@@ -1,0 +1,105 @@
+// Command sharper-bench regenerates the paper's evaluation figures (§4).
+//
+// Usage:
+//
+//	sharper-bench -fig 6a          # one panel
+//	sharper-bench -fig 7           # all four panels of Fig. 7
+//	sharper-bench -fig all         # everything
+//	sharper-bench -fig 8a -quick   # fast, low-resolution sweep
+//
+// Panels: 6a–6d (crash, 0/20/80/100% cross-shard), 7a–7d (Byzantine),
+// 8a/8b (scalability, crash/Byzantine), s34 (§3.4 clustered-network
+// optimization), ablation (super-primary routing on/off).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sharper/internal/bench"
+	"sharper/internal/types"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, 6, 7, 8, all")
+	quick := flag.Bool("quick", false, "small client counts and short windows")
+	seed := flag.Int64("seed", 42, "random seed")
+	csvPath := flag.String("csv", "", "also append results as CSV to this file")
+	flag.Parse()
+
+	o := bench.FigureOptions{Quick: *quick, Seed: *seed}
+	out := os.Stdout
+	crossPct := map[byte]int{'a': 0, 'b': 20, 'c': 80, 'd': 100}
+
+	var csvOut *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+	emit := func(name string, series []bench.Series) {
+		if csvOut != nil {
+			if err := bench.FprintCSV(csvOut, name, series); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+
+	var run func(name string) bool
+	run = func(name string) bool {
+		switch {
+		case len(name) == 2 && name[0] == '6':
+			pct, ok := crossPct[name[1]]
+			if !ok {
+				return false
+			}
+			emit(name, bench.Figure6(out, pct, o))
+		case len(name) == 2 && name[0] == '7':
+			pct, ok := crossPct[name[1]]
+			if !ok {
+				return false
+			}
+			emit(name, bench.Figure7(out, pct, o))
+		case name == "8a":
+			emit(name, bench.Figure8(out, types.CrashOnly, o))
+		case name == "8b":
+			emit(name, bench.Figure8(out, types.Byzantine, o))
+		case name == "s34":
+			emit(name, bench.Section34(out, o))
+		case name == "ablation":
+			emit(name, bench.AblationSuperPrimary(out, o))
+		case name == "skew":
+			emit(name, bench.AblationSkew(out, o))
+		case name == "6":
+			for _, p := range []string{"6a", "6b", "6c", "6d"} {
+				run(p)
+			}
+		case name == "7":
+			for _, p := range []string{"7a", "7b", "7c", "7d"} {
+				run(p)
+			}
+		case name == "8":
+			run("8a")
+			run("8b")
+		case name == "all":
+			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew"} {
+				run(p)
+			}
+		default:
+			return false
+		}
+		return true
+	}
+
+	if !run(strings.ToLower(*fig)) {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

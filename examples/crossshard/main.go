@@ -1,0 +1,91 @@
+// Crossshard: renders the Fig. 2 ledger structure. Intra-shard transactions
+// of different clusters commit in parallel; cross-shard transactions appear
+// in every involved cluster's view with one parent hash per view; and
+// cross-shard transactions over disjoint cluster sets ({0,1} vs {2,3})
+// proceed simultaneously — the property that distinguishes SharPer's
+// flattened protocol from a single reference committee.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"sharper"
+)
+
+func main() {
+	net, err := sharper.New(sharper.Options{
+		Model:            sharper.CrashOnly,
+		Clusters:         4,
+		F:                1,
+		AccountsPerShard: 8,
+		InitialBalance:   1_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	// A few intra-shard transactions per cluster, concurrently.
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := net.NewClient()
+			for j := 0; j < 3; j++ {
+				shard := sharper.ClusterID(c)
+				if _, err := cl.Transfer(
+					net.AccountInShard(shard, uint64(j)),
+					net.AccountInShard(shard, uint64(j+1)),
+					10,
+				); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Two cross-shard transactions with non-overlapping clusters — these
+	// run through the flattened protocol at the same time.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		cl := net.NewClient()
+		if _, err := cl.Transfer(net.AccountInShard(0, 0), net.AccountInShard(1, 0), 5); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		cl := net.NewClient()
+		if _, err := cl.Transfer(net.AccountInShard(2, 0), net.AccountInShard(3, 0), 5); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	wg.Wait()
+
+	// One transaction touching three shards.
+	cl := net.NewClient()
+	res, err := cl.Submit([]sharper.Op{
+		{From: net.AccountInShard(0, 1), To: net.AccountInShard(2, 1), Amount: 1},
+		{From: net.AccountInShard(2, 1), To: net.AccountInShard(3, 1), Amount: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("three-shard transaction: committed=%v cross-shard=%v\n", res.Committed, res.CrossShard)
+
+	time.Sleep(300 * time.Millisecond) // let every replica apply everything
+
+	fmt.Println("\nledger views (one chain per cluster; X marks cross-shard blocks):")
+	fmt.Print(net.DAG().RenderASCII())
+
+	if err := net.Verify(); err != nil {
+		log.Fatalf("ledger audit: %v", err)
+	}
+	fmt.Println("ledger audit passed: every cross-shard block appears in all involved views, in the same order")
+}

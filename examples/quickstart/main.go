@@ -1,0 +1,62 @@
+// Quickstart: spin up a 3-cluster crash-fault-tolerant SharPer network,
+// move money within and across shards, and read the resulting balances.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharper"
+)
+
+func main() {
+	net, err := sharper.New(sharper.Options{
+		Model:            sharper.CrashOnly, // Paxos intra-shard, Algorithm 1 cross-shard
+		Clusters:         3,                 // three clusters → three data shards
+		F:                1,                 // tolerate one crash per cluster (2f+1 = 3 nodes each)
+		AccountsPerShard: 16,
+		InitialBalance:   1_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	client := net.NewClient()
+
+	alice := net.AccountInShard(0, 0) // lives in shard 0
+	bob := net.AccountInShard(0, 1)   // also shard 0
+	carol := net.AccountInShard(2, 0) // lives in shard 2
+
+	// Intra-shard transfer: ordered by shard 0's own Paxos instance.
+	res, err := client.Transfer(alice, bob, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice→bob   100: committed=%v cross-shard=%v latency=%v\n",
+		res.Committed, res.CrossShard, res.Latency)
+
+	// Cross-shard transfer: ordered by the flattened protocol among the
+	// two involved clusters only — cluster 1 is not consulted.
+	res, err = client.Transfer(alice, carol, 250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice→carol 250: committed=%v cross-shard=%v latency=%v\n",
+		res.Committed, res.CrossShard, res.Latency)
+
+	// Overdraft: ordered, then rejected atomically by validation.
+	res, err = client.Transfer(alice, carol, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overdraft      : committed=%v (rejected as expected)\n", res.Committed)
+
+	fmt.Printf("balances: alice=%d bob=%d carol=%d\n",
+		net.Balance(alice), net.Balance(bob), net.Balance(carol))
+
+	if err := net.Verify(); err != nil {
+		log.Fatalf("ledger audit: %v", err)
+	}
+	fmt.Println("ledger audit passed")
+}

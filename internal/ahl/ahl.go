@@ -1,0 +1,197 @@
+// Package ahl implements the modified AHL baseline the paper benchmarks
+// (§4.1): AHL-C and AHL-B [21]. Intra-shard transactions are processed
+// exactly as in SharPer (per-cluster Paxos or PBFT), but cross-shard
+// transactions are coordinated by a *reference committee* (RC) — an extra
+// set of 2f+1 crash-only or 3f+1 Byzantine nodes — running classic 2PC with
+// 2PL, where every 2PC step is itself a consensus round:
+//
+//  1. the RC orders BEGIN(tx) through its own consensus,
+//  2. each involved cluster orders PREPARE(tx) through its intra-shard
+//     consensus, locking the cluster and voting commit/abort to the RC,
+//  3. the RC orders DECIDE(tx, outcome) through its own consensus,
+//  4. each involved cluster orders the decision through intra-shard
+//     consensus, applying and unlocking.
+//
+// The RC coordinates cross-shard transactions one at a time, which is why
+// AHL cannot process cross-shard transactions over non-overlapping clusters
+// in parallel — the property SharPer's flattened protocol removes.
+package ahl
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/state"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// RCCluster is the pseudo-cluster ID the reference committee registers
+// under in the topology.
+const RCCluster types.ClusterID = 0xFFFF
+
+// phase bits folded into control-entry sequence numbers so the 2PC steps of
+// one client transaction never collide in reply caches.
+const (
+	seqPhaseBegin   = uint64(1) << 60
+	seqPhasePrepare = uint64(2) << 60
+	seqPhaseDecide  = uint64(3) << 60
+	seqPhaseApply   = uint64(4) << 60
+	seqPhaseMask    = ^(uint64(7) << 60)
+)
+
+// Config describes an AHL deployment.
+type Config struct {
+	Model    types.FailureModel
+	Clusters int
+	F        int
+	Network  transport.Config
+
+	IntraTimeout time.Duration
+	TickInterval time.Duration
+	Seed         int64
+}
+
+// Deployment is a running AHL system: data clusters plus the reference
+// committee.
+type Deployment struct {
+	cfg     Config
+	Topo    *consensus.Topology
+	Net     *transport.Network
+	Keyring crypto.Authenticator
+	Shards  state.ShardMap
+
+	nodes   map[types.NodeID]*Node
+	rcFirst types.NodeID
+	started bool
+}
+
+// NewDeployment builds the clusters and the reference committee.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if cfg.Clusters <= 0 || cfg.F <= 0 {
+		return nil, fmt.Errorf("ahl: Clusters and F must be positive")
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 5 * time.Millisecond
+	}
+	if cfg.IntraTimeout <= 0 {
+		cfg.IntraTimeout = 500 * time.Millisecond
+	}
+	topo := consensus.UniformTopology(cfg.Model, cfg.Clusters, cfg.F)
+	// Append the reference committee as an extra pseudo-cluster.
+	size := cfg.Model.ClusterSize(cfg.F)
+	rcFirst := types.NodeID(cfg.Clusters * size)
+	rc := consensus.Cluster{ID: RCCluster, F: cfg.F}
+	for i := 0; i < size; i++ {
+		rc.Members = append(rc.Members, rcFirst+types.NodeID(i))
+	}
+	topo.Clusters[RCCluster] = rc
+
+	netCfg := cfg.Network
+	if netCfg == (transport.Config{}) {
+		netCfg = transport.DefaultConfig()
+	}
+	if netCfg.Seed == 0 {
+		netCfg.Seed = cfg.Seed
+	}
+	net := transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
+		return topo.ClusterOf(id)
+	})
+
+	d := &Deployment{
+		cfg:     cfg,
+		Topo:    topo,
+		Net:     net,
+		Keyring: crypto.NewMACKeyring(),
+		Shards:  state.ShardMap{NumShards: cfg.Clusters},
+		nodes:   make(map[types.NodeID]*Node),
+		rcFirst: rcFirst,
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for _, id := range topo.AllNodes() {
+		var signer crypto.Signer = crypto.NoopSigner{}
+		var verifier crypto.Verifier = crypto.NoopSigner{}
+		if cfg.Model == types.Byzantine {
+			if err := d.Keyring.Generate(id, rng); err != nil {
+				return nil, err
+			}
+			s, err := d.Keyring.SignerFor(id)
+			if err != nil {
+				return nil, err
+			}
+			signer, verifier = s, d.Keyring
+		}
+		cluster, _ := topo.ClusterOf(id)
+		d.nodes[id] = newNode(d, cluster, id, signer, verifier)
+	}
+	return d, nil
+}
+
+// Start runs every node.
+func (d *Deployment) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	for _, n := range d.nodes {
+		n.start()
+	}
+}
+
+// Stop terminates every node.
+func (d *Deployment) Stop() {
+	d.Net.Close()
+	if !d.started {
+		return
+	}
+	for _, n := range d.nodes {
+		n.stop()
+	}
+	d.started = false
+}
+
+// Node returns the replica with the given ID.
+func (d *Deployment) Node(id types.NodeID) *Node { return d.nodes[id] }
+
+// Nodes returns every replica.
+func (d *Deployment) Nodes() []*Node {
+	var out []*Node
+	for _, id := range d.Topo.AllNodes() {
+		out = append(out, d.nodes[id])
+	}
+	return out
+}
+
+// SeedAccounts mirrors the SharPer genesis state on the data clusters.
+func (d *Deployment) SeedAccounts(perShard int, balance int64) {
+	for _, n := range d.nodes {
+		if n.cluster == RCCluster {
+			continue
+		}
+		for k := 0; k < perShard; k++ {
+			n.store.Credit(d.Shards.AccountInShard(n.cluster, uint64(k)), balance)
+		}
+	}
+}
+
+// ctrlTx wraps a client transaction into a 2PC control entry with a
+// phase-disambiguated ID.
+func ctrlTx(orig *types.Transaction, kind types.TxKind, phase uint64) *types.Transaction {
+	return &types.Transaction{
+		ID:        types.TxID{Client: orig.ID.Client, Seq: (orig.ID.Seq & seqPhaseMask) | phase},
+		Kind:      kind,
+		Client:    orig.Client,
+		Timestamp: orig.Timestamp,
+		Ops:       orig.Ops,
+		Involved:  orig.Involved,
+	}
+}
+
+// origID recovers the client-visible transaction ID from a control entry.
+func origID(id types.TxID) types.TxID {
+	return types.TxID{Client: id.Client, Seq: id.Seq & seqPhaseMask}
+}

@@ -1,0 +1,511 @@
+package ahl
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/ledger"
+	"sharper/internal/paxos"
+	"sharper/internal/pbft"
+	"sharper/internal/state"
+	"sharper/internal/types"
+)
+
+// engine is the slice of the Paxos/PBFT engines AHL nodes use.
+type engine interface {
+	Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
+	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
+	Tick(now time.Time) []consensus.Outbound
+	Primary() types.NodeID
+	IsPrimary() bool
+}
+
+// Node is one AHL replica: a data-cluster member or a reference-committee
+// member, distinguished by its cluster ID.
+type Node struct {
+	d       *Deployment
+	cluster types.ClusterID
+	id      types.NodeID
+	signer  crypto.Signer
+
+	inbox  <-chan *types.Envelope
+	engine engine
+	store  *state.Store
+
+	// Data-cluster 2PL state: prepared cross-shard transaction holding the
+	// cluster lock, plus the queue of proposals waiting behind it.
+	prepared     map[types.TxID]bool // orig IDs currently holding the lock
+	pendingIntra []*types.Transaction
+
+	// RC-primary coordinator state: 2PC runs strictly one at a time.
+	queue   []*types.Transaction
+	queued  map[types.TxID]bool
+	current *twoPC
+	done    map[types.TxID]bool // completed 2PCs (dedup retransmissions)
+
+	replyCache *consensus.ReplyCache
+	inFlight   map[types.TxID]time.Time
+	committed  atomic.Int64
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// twoPC tracks one in-flight cross-shard transaction at the RC.
+type twoPC struct {
+	tx       *types.Transaction
+	votes    map[types.ClusterID]map[types.NodeID]bool // node → commit?
+	decided  bool
+	outcome  bool
+	acks     map[types.ClusterID]map[types.NodeID]bool
+	started  time.Time
+	resendAt time.Time
+}
+
+func newNode(d *Deployment, cluster types.ClusterID, id types.NodeID,
+	signer crypto.Signer, verifier crypto.Verifier) *Node {
+	n := &Node{
+		d:          d,
+		cluster:    cluster,
+		id:         id,
+		signer:     signer,
+		inbox:      d.Net.Register(id),
+		store:      state.NewStore(cluster, d.Shards),
+		prepared:   make(map[types.TxID]bool),
+		queued:     make(map[types.TxID]bool),
+		done:       make(map[types.TxID]bool),
+		replyCache: consensus.NewReplyCache(1 << 16),
+		inFlight:   make(map[types.TxID]time.Time),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+	}
+	genesis := ledger.GenesisHash()
+	if d.cfg.Model == types.Byzantine {
+		n.engine = pbft.New(pbft.Config{
+			Topology: d.Topo, Cluster: cluster, Self: id,
+			Signer: signer, Verifier: verifier, Timeout: d.cfg.IntraTimeout,
+		}, genesis)
+	} else {
+		n.engine = paxos.New(paxos.Config{
+			Topology: d.Topo, Cluster: cluster, Self: id, Timeout: d.cfg.IntraTimeout,
+		}, genesis)
+	}
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// Cluster returns the node's (pseudo-)cluster.
+func (n *Node) Cluster() types.ClusterID { return n.cluster }
+
+// Committed returns the number of transactions executed.
+func (n *Node) Committed() int64 { return n.committed.Load() }
+
+// Store returns the node's shard state.
+func (n *Node) Store() *state.Store { return n.store }
+
+func (n *Node) start() { go n.loop() }
+
+func (n *Node) stop() {
+	close(n.stopCh)
+	<-n.doneCh
+}
+
+func (n *Node) loop() {
+	defer close(n.doneCh)
+	ticker := time.NewTicker(n.d.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case env := <-n.inbox:
+			n.dispatch(env, time.Now())
+		case now := <-ticker.C:
+			n.send(n.engine.Tick(now))
+			n.rcTick(now)
+		}
+	}
+}
+
+func (n *Node) send(outs []consensus.Outbound) {
+	for _, o := range outs {
+		n.d.Net.Multicast(o.To, o.Env)
+	}
+}
+
+func (n *Node) dispatch(env *types.Envelope, now time.Time) {
+	switch env.Type {
+	case types.MsgRequest:
+		n.onRequest(env, now)
+	case types.MsgAHLVote:
+		n.onVote(env, now)
+	case types.MsgAHLAck:
+		n.onAck(env, now)
+	case types.MsgAHLPrepare:
+		n.onPrepare(env, now)
+	case types.MsgAHLDecision:
+		n.onDecision(env, now)
+	default:
+		outs, decs := n.engine.Step(env, now)
+		n.send(outs)
+		for _, dec := range decs {
+			n.execute(dec.Block.Tx, now)
+		}
+	}
+}
+
+// onRequest routes client traffic: intra-shard through this cluster's
+// consensus, cross-shard through the reference committee's 2PC.
+func (n *Node) onRequest(env *types.Envelope, now time.Time) {
+	req, err := types.DecodeRequest(env.Payload)
+	if err != nil || len(req.Tx.Involved) == 0 {
+		return
+	}
+	tx := req.Tx
+	if r, ok := n.replyCache.Get(tx.ID); ok {
+		n.d.Net.Send(tx.Client, &types.Envelope{Type: types.MsgReply, From: n.id, Payload: r.Encode(nil)})
+		return
+	}
+	if tx.IsCrossShard() && (n.queued[tx.ID] || n.done[tx.ID]) {
+		return
+	}
+	if t, ok := n.inFlight[tx.ID]; ok && now.Sub(t) < n.d.cfg.IntraTimeout {
+		return
+	}
+
+	if tx.IsCrossShard() {
+		if n.cluster != RCCluster {
+			n.d.Net.Send(n.d.rcFirst, env) // route to the reference committee
+			return
+		}
+		if !n.engine.IsPrimary() {
+			n.d.Net.Send(n.engine.Primary(), env)
+			return
+		}
+		if n.queued[tx.ID] || n.done[tx.ID] || (n.current != nil && n.current.tx.ID == tx.ID) {
+			return
+		}
+		n.inFlight[tx.ID] = now
+		n.queued[tx.ID] = true
+		n.queue = append(n.queue, tx)
+		n.tryStartNext(now)
+		return
+	}
+
+	// Intra-shard transaction for our cluster.
+	if n.cluster == RCCluster || tx.Involved[0] != n.cluster {
+		members := n.d.Topo.Members(tx.Involved[0])
+		n.d.Net.Send(members[0], env)
+		return
+	}
+	if !n.engine.IsPrimary() {
+		n.d.Net.Send(n.engine.Primary(), env)
+		return
+	}
+	n.inFlight[tx.ID] = now
+	n.proposeLocal(tx, now)
+}
+
+// proposeLocal orders a transaction in this cluster, queueing behind any
+// prepared cross-shard transaction (cluster-level 2PL).
+func (n *Node) proposeLocal(tx *types.Transaction, now time.Time) {
+	if len(n.prepared) > 0 && tx.Kind == types.TxTransfer {
+		n.pendingIntra = append(n.pendingIntra, tx)
+		return
+	}
+	outs, _ := n.engine.Propose(tx, now)
+	n.send(outs)
+}
+
+// tryStartNext starts the next queued 2PC if the committee is free: AHL's
+// single reference committee serializes cross-shard transactions.
+func (n *Node) tryStartNext(now time.Time) {
+	if n.current != nil || len(n.queue) == 0 || !n.engine.IsPrimary() {
+		return
+	}
+	tx := n.queue[0]
+	n.queue = n.queue[1:]
+	delete(n.queued, tx.ID)
+	n.current = &twoPC{
+		tx:      tx,
+		votes:   make(map[types.ClusterID]map[types.NodeID]bool),
+		acks:    make(map[types.ClusterID]map[types.NodeID]bool),
+		started: now,
+	}
+	// Step 1: the RC reaches consensus on beginning the 2PC.
+	outs, _ := n.engine.Propose(ctrlTx(tx, types.TxAHLBegin, seqPhaseBegin), now)
+	n.send(outs)
+}
+
+// execute applies a decided entry. Data clusters execute transfers and the
+// 2PC control entries; the RC executes BEGIN/DECIDE by driving the protocol.
+func (n *Node) execute(tx *types.Transaction, now time.Time) {
+	if n.replyCache.Contains(tx.ID) {
+		return
+	}
+	switch tx.Kind {
+	case types.TxTransfer:
+		delete(n.inFlight, tx.ID)
+		ok := n.store.Apply(tx) == nil
+		n.committed.Add(1)
+		n.reply(tx.ID, tx.Client, ok)
+
+	case types.TxAHLBegin:
+		// RC decided to run this 2PC: the primary asks the involved
+		// clusters to prepare.
+		n.replyCache.Put(tx.ID, &types.Reply{TxID: tx.ID, Replica: n.id})
+		if n.engine.IsPrimary() && n.cluster == RCCluster {
+			n.broadcastToClusters(tx, types.MsgAHLPrepare)
+		}
+
+	case types.TxAHLPrepare:
+		// Cluster decided to prepare: lock, validate, vote to the RC.
+		n.replyCache.Put(tx.ID, &types.Reply{TxID: tx.ID, Replica: n.id})
+		oid := origID(tx.ID)
+		n.prepared[oid] = true
+		vote := n.store.Validate(tx) == nil
+		msg := &types.ConsensusMsg{Digest: txKey(oid), Cluster: n.cluster}
+		if vote {
+			msg.Seq = 1
+		}
+		payload := msg.Encode(nil)
+		n.d.Net.Multicast(n.d.Topo.Members(RCCluster), &types.Envelope{
+			Type: types.MsgAHLVote, From: n.id, Payload: payload, Sig: n.signer.Sign(payload),
+		})
+
+	case types.TxAHLCommit, types.TxAHLAbort:
+		if n.cluster == RCCluster {
+			// RC consensus on the decision: the primary relays it.
+			n.replyCache.Put(tx.ID, &types.Reply{TxID: tx.ID, Replica: n.id})
+			if n.engine.IsPrimary() && n.current != nil && origID(tx.ID) == n.current.tx.ID {
+				n.current.decided = true
+				n.current.outcome = tx.Kind == types.TxAHLCommit
+				n.broadcastToClusters(tx, types.MsgAHLDecision)
+			}
+			return
+		}
+		// Data cluster applies the decision and releases the lock.
+		n.replyCache.Put(tx.ID, &types.Reply{TxID: tx.ID, Replica: n.id})
+		oid := origID(tx.ID)
+		delete(n.prepared, oid)
+		committed := false
+		if tx.Kind == types.TxAHLCommit {
+			committed = n.store.Apply(tx) == nil
+		}
+		n.committed.Add(1)
+		n.reply(oid, tx.Client, committed)
+		// Ack completion to the RC and release queued work.
+		msg := &types.ConsensusMsg{Digest: txKey(oid), Cluster: n.cluster}
+		payload := msg.Encode(nil)
+		n.d.Net.Multicast(n.d.Topo.Members(RCCluster), &types.Envelope{
+			Type: types.MsgAHLAck, From: n.id, Payload: payload, Sig: n.signer.Sign(payload),
+		})
+		if len(n.prepared) == 0 && n.engine.IsPrimary() {
+			pendingTxs := n.pendingIntra
+			n.pendingIntra = nil
+			for _, p := range pendingTxs {
+				n.proposeLocal(p, now)
+			}
+		}
+	}
+}
+
+func (n *Node) reply(id types.TxID, client types.NodeID, committed bool) {
+	r := &types.Reply{TxID: id, Replica: n.id, Committed: committed}
+	n.replyCache.Put(id, r)
+	// Crash model: only the cluster primary answers; Byzantine clients need
+	// f+1 matching replies, so every replica answers.
+	if n.d.cfg.Model == types.CrashOnly && !n.engine.IsPrimary() {
+		return
+	}
+	payload := r.Encode(nil)
+	n.d.Net.Send(client, &types.Envelope{Type: types.MsgReply, From: n.id,
+		Payload: payload, Sig: n.signer.Sign(payload)})
+}
+
+// broadcastToClusters sends a 2PC step to every member of every involved
+// data cluster (the primaries order it; the rest ignore duplicates).
+func (n *Node) broadcastToClusters(tx *types.Transaction, kind types.MsgType) {
+	payload := tx.Encode(nil)
+	env := &types.Envelope{Type: kind, From: n.id, Payload: payload, Sig: n.signer.Sign(payload)}
+	for _, c := range tx.Involved {
+		n.d.Net.Multicast(n.d.Topo.Members(c), env)
+	}
+}
+
+// onPrepare (data-cluster): order the PREPARE entry through local consensus.
+func (n *Node) onPrepare(env *types.Envelope, now time.Time) {
+	tx, _, err := types.DecodeTransaction(env.Payload)
+	if err != nil || n.cluster == RCCluster || !tx.Involved.Contains(n.cluster) {
+		return
+	}
+	if !n.engine.IsPrimary() {
+		return
+	}
+	entry := ctrlTx(tx, types.TxAHLPrepare, seqPhasePrepare)
+	// The prepare entry itself is a cross-shard control entry and must not
+	// queue behind the lock it is about to take.
+	if n.replyCache.Contains(entry.ID) {
+		return
+	}
+	if t, ok := n.inFlight[entry.ID]; ok && now.Sub(t) < n.d.cfg.IntraTimeout {
+		return
+	}
+	n.inFlight[entry.ID] = now
+	outs, _ := n.engine.Propose(entry, now)
+	n.send(outs)
+}
+
+// onDecision (data-cluster): order the decision through local consensus.
+func (n *Node) onDecision(env *types.Envelope, now time.Time) {
+	tx, _, err := types.DecodeTransaction(env.Payload)
+	if err != nil || n.cluster == RCCluster || !tx.Involved.Contains(n.cluster) {
+		return
+	}
+	if !n.engine.IsPrimary() {
+		return
+	}
+	entry := ctrlTx(tx, tx.Kind, seqPhaseApply)
+	if n.replyCache.Contains(entry.ID) {
+		return
+	}
+	if t, ok := n.inFlight[entry.ID]; ok && now.Sub(t) < n.d.cfg.IntraTimeout {
+		return
+	}
+	n.inFlight[entry.ID] = now
+	outs, _ := n.engine.Propose(entry, now)
+	n.send(outs)
+}
+
+// onVote (RC): tally per-cluster votes; when every involved cluster has a
+// quorum, order the decision through RC consensus.
+func (n *Node) onVote(env *types.Envelope, now time.Time) {
+	if n.cluster != RCCluster || !n.engine.IsPrimary() || n.current == nil {
+		return
+	}
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || m.Digest != txKey(n.current.tx.ID) {
+		return
+	}
+	senderCluster, ok := n.d.Topo.ClusterOf(env.From)
+	if !ok || !n.current.tx.Involved.Contains(senderCluster) {
+		return
+	}
+	if n.current.votes[senderCluster] == nil {
+		n.current.votes[senderCluster] = make(map[types.NodeID]bool)
+	}
+	n.current.votes[senderCluster][env.From] = m.Seq == 1
+	if n.current.decided {
+		return
+	}
+	// Quorum per cluster: f+1 matching votes (one correct node suffices to
+	// pin the deterministic validation outcome under crash; f+1 under byz).
+	need := n.d.cfg.F + 1
+	if n.d.cfg.Model == types.CrashOnly {
+		need = 1
+	}
+	outcome := true
+	for _, c := range n.current.tx.Involved {
+		yes, no := 0, 0
+		for _, v := range n.current.votes[c] {
+			if v {
+				yes++
+			} else {
+				no++
+			}
+		}
+		switch {
+		case no >= need:
+			outcome = false
+		case yes >= need:
+		default:
+			return // this cluster has not voted conclusively yet
+		}
+	}
+	kind := types.TxAHLCommit
+	if !outcome {
+		kind = types.TxAHLAbort
+	}
+	n.current.decided = true
+	n.current.outcome = outcome
+	outs, _ := n.engine.Propose(ctrlTx(n.current.tx, kind, seqPhaseDecide), now)
+	n.send(outs)
+}
+
+// onAck (RC): once every involved cluster acked the decision, the committee
+// is free for the next cross-shard transaction.
+func (n *Node) onAck(env *types.Envelope, now time.Time) {
+	if n.cluster != RCCluster || !n.engine.IsPrimary() || n.current == nil {
+		return
+	}
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || m.Digest != txKey(n.current.tx.ID) {
+		return
+	}
+	senderCluster, ok := n.d.Topo.ClusterOf(env.From)
+	if !ok || !n.current.tx.Involved.Contains(senderCluster) {
+		return
+	}
+	if n.current.acks[senderCluster] == nil {
+		n.current.acks[senderCluster] = make(map[types.NodeID]bool)
+	}
+	n.current.acks[senderCluster][env.From] = true
+	need := n.d.cfg.F + 1
+	if n.d.cfg.Model == types.CrashOnly {
+		need = 1
+	}
+	for _, c := range n.current.tx.Involved {
+		if len(n.current.acks[c]) < need {
+			return
+		}
+	}
+	delete(n.inFlight, n.current.tx.ID)
+	n.done[n.current.tx.ID] = true
+	n.current = nil
+	n.tryStartNext(now)
+}
+
+// rcTick re-drives a stalled 2PC (lost votes or acks) and drains the queue.
+func (n *Node) rcTick(now time.Time) {
+	if n.cluster != RCCluster || !n.engine.IsPrimary() {
+		return
+	}
+	if n.current == nil {
+		n.tryStartNext(now)
+		return
+	}
+	if n.current.resendAt.IsZero() {
+		n.current.resendAt = now.Add(n.d.cfg.IntraTimeout)
+		return
+	}
+	if !now.After(n.current.resendAt) {
+		return
+	}
+	n.current.resendAt = now.Add(n.d.cfg.IntraTimeout)
+	if n.current.decided {
+		kind := types.TxAHLCommit
+		if !n.current.outcome {
+			kind = types.TxAHLAbort
+		}
+		n.broadcastToClusters(ctrlTx(n.current.tx, kind, 0), types.MsgAHLDecision)
+	} else {
+		n.broadcastToClusters(n.current.tx, types.MsgAHLPrepare)
+	}
+}
+
+// txKey folds a TxID into a hash for compact vote matching.
+func txKey(id types.TxID) types.Hash {
+	var buf [12]byte
+	buf[0] = byte(id.Client)
+	buf[1] = byte(id.Client >> 8)
+	buf[2] = byte(id.Client >> 16)
+	buf[3] = byte(id.Client >> 24)
+	for i := 0; i < 8; i++ {
+		buf[4+i] = byte(id.Seq >> (8 * i))
+	}
+	return types.HashBytes(buf[:])
+}

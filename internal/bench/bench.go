@@ -1,0 +1,196 @@
+// Package bench is the measurement harness behind every figure in §4: it
+// drives a system with an increasing number of closed-loop clients, measures
+// steady-state throughput and latency per client count, and emits the
+// (throughput, latency) series the paper plots.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/types"
+	"sharper/internal/workload"
+)
+
+// Issuer submits one transaction built from ops and blocks until the reply
+// quorum arrives, returning the end-to-end latency.
+type Issuer func(ops []types.Op) (time.Duration, error)
+
+// System abstracts a running deployment the harness can drive.
+type System interface {
+	// NewIssuer returns a fresh closed-loop client bound to the system.
+	NewIssuer() Issuer
+	// Stop tears the deployment down.
+	Stop()
+}
+
+// Point is one measurement: a client count and the observed steady state.
+type Point struct {
+	Clients      int
+	ThroughputTx float64 // committed transactions per second
+	AvgLatencyMs float64
+	P50LatencyMs float64
+	P99LatencyMs float64
+	Errors       int64
+}
+
+// Options tunes a measurement run.
+type Options struct {
+	// Warmup is discarded before measurement starts.
+	Warmup time.Duration
+	// Measure is the steady-state window.
+	Measure time.Duration
+}
+
+// DefaultOptions returns windows long enough for steady state on the
+// simulated network while keeping full sweeps fast.
+func DefaultOptions() Options {
+	return Options{Warmup: 300 * time.Millisecond, Measure: time.Second}
+}
+
+// Run drives the system with `clients` closed-loop issuers and measures the
+// steady-state window.
+func Run(sys System, gen *workload.Generator, clients int, opts Options) Point {
+	var (
+		started   atomic.Bool
+		measuring atomic.Bool
+		count     atomic.Int64
+		errs      atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+	started.Store(true)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := gen.Split(i)
+			issue := sys.NewIssuer()
+			var local []time.Duration
+			for !stop.Load() {
+				ops := g.Next()
+				lat, err := issue(ops)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if measuring.Load() {
+					count.Add(1)
+					local = append(local, lat)
+				}
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(i)
+	}
+
+	time.Sleep(opts.Warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(opts.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	p := Point{
+		Clients:      clients,
+		ThroughputTx: float64(count.Load()) / elapsed.Seconds(),
+		Errors:       errs.Load(),
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		p.AvgLatencyMs = float64(sum.Milliseconds()) / float64(len(latencies))
+		p.P50LatencyMs = float64(latencies[len(latencies)/2].Microseconds()) / 1000
+		p.P99LatencyMs = float64(latencies[len(latencies)*99/100].Microseconds()) / 1000
+	}
+	return p
+}
+
+// Sweep measures the system at each client count in order, producing the
+// throughput/latency curve of one plotted series. The same deployment is
+// reused across points (matching the paper's methodology of raising client
+// load against a fixed network).
+func Sweep(sys System, gen *workload.Generator, clientCounts []int, opts Options) []Point {
+	points := make([]Point, 0, len(clientCounts))
+	for _, c := range clientCounts {
+		points = append(points, Run(sys, gen, c, opts))
+	}
+	return points
+}
+
+// Series is a named curve, e.g. "SharPer" in Fig. 6(a).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// PeakThroughput returns the highest throughput across the series.
+func (s Series) PeakThroughput() float64 {
+	var best float64
+	for _, p := range s.Points {
+		if p.ThroughputTx > best {
+			best = p.ThroughputTx
+		}
+	}
+	return best
+}
+
+// FprintCSV writes the series as CSV rows (experiment, system, clients,
+// txps, avg_ms, p50_ms, p99_ms, errors) ready for plotting tools.
+func FprintCSV(w io.Writer, experiment string, series []Series) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"experiment", "system", "clients", "txps", "avg_ms", "p50_ms", "p99_ms", "errors"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rec := []string{
+				experiment, s.Name,
+				strconv.Itoa(p.Clients),
+				strconv.FormatFloat(p.ThroughputTx, 'f', 2, 64),
+				strconv.FormatFloat(p.AvgLatencyMs, 'f', 3, 64),
+				strconv.FormatFloat(p.P50LatencyMs, 'f', 3, 64),
+				strconv.FormatFloat(p.P99LatencyMs, 'f', 3, 64),
+				strconv.FormatInt(p.Errors, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fprint renders the series the way the paper's plots read: throughput on
+// the x axis (ktx/s), latency on the y axis (ms).
+func Fprint(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-12s %8s %14s %12s %12s %12s %8s\n",
+		"system", "clients", "ktx/s", "avg-ms", "p50-ms", "p99-ms", "errors")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%-12s %8d %14.2f %12.2f %12.2f %12.2f %8d\n",
+				s.Name, p.Clients, p.ThroughputTx/1000, p.AvgLatencyMs, p.P50LatencyMs, p.P99LatencyMs, p.Errors)
+		}
+	}
+	fmt.Fprintf(w, "# peaks:")
+	for _, s := range series {
+		fmt.Fprintf(w, " %s=%.2fktx/s", s.Name, s.PeakThroughput()/1000)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharper/internal/state"
+	"sharper/internal/types"
+	"sharper/internal/workload"
+)
+
+// fakeSystem commits instantly with a fixed synthetic latency.
+type fakeSystem struct {
+	latency time.Duration
+	issued  atomic.Int64
+}
+
+func (s *fakeSystem) NewIssuer() Issuer {
+	return func(ops []types.Op) (time.Duration, error) {
+		s.issued.Add(1)
+		time.Sleep(s.latency)
+		return s.latency, nil
+	}
+}
+
+func (s *fakeSystem) Stop() {}
+
+func testGen() *workload.Generator {
+	return workload.New(workload.Config{
+		Shards:           state.ShardMap{NumShards: 2},
+		AccountsPerShard: 8,
+		CrossShardPct:    50,
+		Seed:             1,
+	})
+}
+
+func TestRunMeasuresThroughputAndLatency(t *testing.T) {
+	sys := &fakeSystem{latency: time.Millisecond}
+	p := Run(sys, testGen(), 4, Options{Warmup: 20 * time.Millisecond, Measure: 200 * time.Millisecond})
+	if p.Clients != 4 {
+		t.Fatalf("clients = %d", p.Clients)
+	}
+	// 4 closed-loop clients at 1ms each ≈ 4000 tx/s; allow wide slack for
+	// scheduler noise but catch order-of-magnitude bugs.
+	if p.ThroughputTx < 1000 || p.ThroughputTx > 8000 {
+		t.Fatalf("throughput %f implausible", p.ThroughputTx)
+	}
+	if p.AvgLatencyMs < 0.5 || p.AvgLatencyMs > 10 {
+		t.Fatalf("latency %f implausible", p.AvgLatencyMs)
+	}
+	if p.Errors != 0 {
+		t.Fatalf("errors = %d", p.Errors)
+	}
+}
+
+func TestSweepProducesOnePointPerClientCount(t *testing.T) {
+	sys := &fakeSystem{latency: 200 * time.Microsecond}
+	pts := Sweep(sys, testGen(), []int{1, 2, 4},
+		Options{Warmup: 10 * time.Millisecond, Measure: 50 * time.Millisecond})
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	for i, want := range []int{1, 2, 4} {
+		if pts[i].Clients != want {
+			t.Fatalf("point %d clients = %d", i, pts[i].Clients)
+		}
+	}
+}
+
+func TestFprintFormat(t *testing.T) {
+	var buf bytes.Buffer
+	Fprint(&buf, "Test Panel", []Series{{
+		Name:   "SharPer",
+		Points: []Point{{Clients: 8, ThroughputTx: 12000, AvgLatencyMs: 1.5}},
+	}})
+	out := buf.String()
+	for _, want := range []string{"Test Panel", "SharPer", "12.00", "peaks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPeakThroughput(t *testing.T) {
+	s := Series{Points: []Point{
+		{ThroughputTx: 5}, {ThroughputTx: 11}, {ThroughputTx: 7},
+	}}
+	if s.PeakThroughput() != 11 {
+		t.Fatalf("peak = %f", s.PeakThroughput())
+	}
+}

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"sharper/internal/ahl"
+	"sharper/internal/apr"
+	"sharper/internal/consensus"
+	"sharper/internal/core"
+	"sharper/internal/fab"
+	"sharper/internal/fastpaxos"
+	"sharper/internal/replica"
+	"sharper/internal/state"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+	"sharper/internal/workload"
+)
+
+// FigureOptions tunes a figure reproduction run.
+type FigureOptions struct {
+	// Quick shrinks client counts and windows so tests finish fast; the
+	// full sweep reproduces the paper's curves.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+	// AccountsPerShard sizes the seeded genesis state.
+	AccountsPerShard int
+}
+
+func (o *FigureOptions) fill() {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.AccountsPerShard == 0 {
+		o.AccountsPerShard = 1024
+	}
+}
+
+func (o FigureOptions) clients() []int {
+	if o.Quick {
+		return []int{8, 24}
+	}
+	return []int{4, 8, 16, 32, 64, 128}
+}
+
+func (o FigureOptions) bench() Options {
+	if o.Quick {
+		return Options{Warmup: 150 * 1e6, Measure: 400 * 1e6} // 150ms / 400ms
+	}
+	return DefaultOptions()
+}
+
+const seedBalance = int64(1) << 40
+
+// workloadFor builds the §4 accounting workload for a given shard count and
+// cross-shard percentage.
+func workloadFor(shards, crossPct int, o FigureOptions) *workload.Generator {
+	return workload.New(workload.Config{
+		Shards:           state.ShardMap{NumShards: shards},
+		AccountsPerShard: o.AccountsPerShard,
+		CrossShardPct:    crossPct,
+		ShardsPerCross:   2,
+		Amount:           1,
+		Seed:             o.Seed,
+	})
+}
+
+// Figure6 reproduces one panel of Fig. 6: throughput/latency under the
+// crash model (12 nodes; SharPer and AHL-C as 4 clusters × 3, APR-C with 3
+// active replicas, FPaxos with 4) at the given cross-shard percentage
+// (0, 20, 80, or 100 in the paper).
+func Figure6(w io.Writer, crossPct int, o FigureOptions) []Series {
+	o.fill()
+	const clusters, f = 4, 1
+	gen := workloadFor(clusters, crossPct, o)
+	var series []Series
+
+	series = append(series, runSharPer(types.CrashOnly, clusters, f, gen, o, nil))
+	series = append(series, runAHL(types.CrashOnly, clusters, f, gen, o))
+	series = append(series, runReplicaBaseline("APR-C", gen, o, func() (*replica.Deployment, error) {
+		return apr.NewCrash(12, f, transport.Config{}, o.Seed)
+	}))
+	series = append(series, runReplicaBaseline("FPaxos", gen, o, func() (*replica.Deployment, error) {
+		return fastpaxos.New(12, f, transport.Config{}, o.Seed)
+	}))
+
+	Fprint(w, fmt.Sprintf("Figure 6 — crash model, %d%% cross-shard", crossPct), series)
+	return series
+}
+
+// Figure7 reproduces one panel of Fig. 7: the Byzantine counterpart
+// (16 nodes; SharPer and AHL-B as 4 clusters × 4, APR-B with 4 active
+// replicas, FaB with 6).
+func Figure7(w io.Writer, crossPct int, o FigureOptions) []Series {
+	o.fill()
+	const clusters, f = 4, 1
+	gen := workloadFor(clusters, crossPct, o)
+	var series []Series
+
+	series = append(series, runSharPer(types.Byzantine, clusters, f, gen, o, nil))
+	series = append(series, runAHL(types.Byzantine, clusters, f, gen, o))
+	series = append(series, runReplicaBaseline("APR-B", gen, o, func() (*replica.Deployment, error) {
+		return apr.NewByzantine(16, f, transport.Config{}, o.Seed)
+	}))
+	series = append(series, runReplicaBaseline("FaB", gen, o, func() (*replica.Deployment, error) {
+		return fab.New(16, f, transport.Config{}, o.Seed)
+	}))
+
+	Fprint(w, fmt.Sprintf("Figure 7 — Byzantine model, %d%% cross-shard", crossPct), series)
+	return series
+}
+
+// Figure8 reproduces Fig. 8: SharPer's scalability with 2, 3, 4, and 5
+// clusters under the typical 90% intra / 10% cross-shard workload.
+func Figure8(w io.Writer, model types.FailureModel, o FigureOptions) []Series {
+	o.fill()
+	var series []Series
+	counts := []int{2, 3, 4, 5}
+	if o.Quick {
+		counts = []int{2, 4}
+	}
+	for _, clusters := range counts {
+		gen := workloadFor(clusters, 10, o)
+		s := runSharPer(model, clusters, 1, gen, o, nil)
+		s.Name = fmt.Sprintf("%d-clusters", clusters)
+		series = append(series, s)
+	}
+	Fprint(w, fmt.Sprintf("Figure 8 — SharPer scalability, %s model, 10%% cross-shard", model), series)
+	return series
+}
+
+// Section34 reproduces the §3.4 clustered-network example: 23 Byzantine
+// nodes. Without group knowledge (global f=3) only 2 clusters fit; knowing
+// group A (n=7, f=2) and group B (n=16, f=1) yields 5 clusters and more
+// parallelism.
+func Section34(w io.Writer, o FigureOptions) []Series {
+	o.fill()
+	var series []Series
+
+	// Plan 1: global f=3 → clusters of 3f+1=10; 23 nodes → 2 clusters
+	// (the second absorbs the 3 leftover nodes, §2.2).
+	plan1 := &consensus.Topology{Model: types.Byzantine, Clusters: map[types.ClusterID]consensus.Cluster{}}
+	next := types.NodeID(0)
+	addCluster := func(t *consensus.Topology, id types.ClusterID, f, size int) {
+		c := consensus.Cluster{ID: id, F: f}
+		for i := 0; i < size; i++ {
+			c.Members = append(c.Members, next)
+			next++
+		}
+		t.Clusters[id] = c
+	}
+	addCluster(plan1, 0, 3, 10)
+	addCluster(plan1, 1, 3, 13)
+	gen1 := workloadFor(2, 10, o)
+	s1 := runSharPer(types.Byzantine, 0, 0, gen1, o, plan1)
+	s1.Name = "2-clusters(global-f)"
+	series = append(series, s1)
+
+	// Plan 2: group-aware clustering → 1 cluster of 7 (f=2) + 4 of 4 (f=1).
+	plan2 := &consensus.Topology{Model: types.Byzantine, Clusters: map[types.ClusterID]consensus.Cluster{}}
+	next = 0
+	addCluster(plan2, 0, 2, 7)
+	for i := 1; i <= 4; i++ {
+		addCluster(plan2, types.ClusterID(i), 1, 4)
+	}
+	gen2 := workloadFor(5, 10, o)
+	s2 := runSharPer(types.Byzantine, 0, 0, gen2, o, plan2)
+	s2.Name = "5-clusters(group-aware)"
+	series = append(series, s2)
+
+	Fprint(w, "Section 3.4 — clustered-network optimization, 23 Byzantine nodes, 10% cross-shard", series)
+	return series
+}
+
+// AblationSkew measures contention sensitivity, an experiment beyond the
+// paper: the same 20% cross-shard workload with uniform account selection
+// versus a heavily Zipf-skewed one. Account skew concentrates conflicts on
+// hot records, but because SharPer serializes at cluster granularity (not
+// per record), throughput is expected to be largely insensitive to skew —
+// a property worth documenting either way.
+func AblationSkew(w io.Writer, o FigureOptions) []Series {
+	o.fill()
+	const clusters, f = 4, 1
+	var series []Series
+	for _, zipf := range []float64{0, 1.5} {
+		gen := workload.New(workload.Config{
+			Shards:           state.ShardMap{NumShards: clusters},
+			AccountsPerShard: o.AccountsPerShard,
+			CrossShardPct:    20,
+			ShardsPerCross:   2,
+			Amount:           1,
+			Zipf:             zipf,
+			Seed:             o.Seed,
+		})
+		s := runSharPer(types.CrashOnly, clusters, f, gen, o, nil)
+		if zipf == 0 {
+			s.Name = "uniform"
+		} else {
+			s.Name = fmt.Sprintf("zipf-%.1f", zipf)
+		}
+		series = append(series, s)
+	}
+	Fprint(w, "Ablation — account skew, crash model, 20% cross-shard", series)
+	return series
+}
+
+// AblationSuperPrimary compares SharPer with and without the super-primary
+// routing rule under a high cross-shard percentage, where conflicting
+// cross-shard transactions are common (§3.2).
+func AblationSuperPrimary(w io.Writer, o FigureOptions) []Series {
+	o.fill()
+	const clusters, f = 4, 1
+	gen := workloadFor(clusters, 80, o)
+
+	on := runSharPer(types.CrashOnly, clusters, f, gen, o, nil)
+	on.Name = "super-primary"
+
+	d, err := core.NewDeployment(core.Config{
+		Model: types.CrashOnly, Clusters: clusters, F: f,
+		Seed: o.Seed, DisableSuperPrimary: true,
+	})
+	off := Series{Name: "independent-initiators"}
+	if err == nil {
+		d.SeedAccounts(o.AccountsPerShard, seedBalance)
+		d.Start()
+		sys := SharPerSystem{D: d}
+		off.Points = Sweep(sys, gen, o.clients(), o.bench())
+		sys.Stop()
+	}
+	series := []Series{on, off}
+	Fprint(w, "Ablation — super-primary routing, crash model, 80% cross-shard", series)
+	return series
+}
+
+func runSharPer(model types.FailureModel, clusters, f int, gen *workload.Generator,
+	o FigureOptions, topo *consensus.Topology) Series {
+	cfg := core.Config{Model: model, Clusters: clusters, F: f, Seed: o.Seed, Topology: topo}
+	d, err := core.NewDeployment(cfg)
+	if err != nil {
+		return Series{Name: "SharPer"}
+	}
+	d.SeedAccounts(o.AccountsPerShard, seedBalance)
+	d.Start()
+	sys := SharPerSystem{D: d}
+	pts := Sweep(sys, gen, o.clients(), o.bench())
+	sys.Stop()
+	return Series{Name: "SharPer", Points: pts}
+}
+
+func runAHL(model types.FailureModel, clusters, f int, gen *workload.Generator, o FigureOptions) Series {
+	name := "AHL-C"
+	if model == types.Byzantine {
+		name = "AHL-B"
+	}
+	d, err := ahl.NewDeployment(ahl.Config{Model: model, Clusters: clusters, F: f, Seed: o.Seed})
+	if err != nil {
+		return Series{Name: name}
+	}
+	d.SeedAccounts(o.AccountsPerShard, seedBalance)
+	d.Start()
+	sys := AHLSystem{D: d}
+	pts := Sweep(sys, gen, o.clients(), o.bench())
+	sys.Stop()
+	return Series{Name: name, Points: pts}
+}
+
+func runReplicaBaseline(name string, gen *workload.Generator, o FigureOptions,
+	build func() (*replica.Deployment, error)) Series {
+	d, err := build()
+	if err != nil {
+		return Series{Name: name}
+	}
+	d.SeedAccounts(state.ShardMap{NumShards: gen.NumShards()}, o.AccountsPerShard, seedBalance)
+	d.Start()
+	sys := ReplicaSystem{D: d}
+	pts := Sweep(sys, gen, o.clients(), o.bench())
+	sys.Stop()
+	return Series{Name: name, Points: pts}
+}

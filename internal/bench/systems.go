@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"time"
+
+	"sharper/internal/ahl"
+	"sharper/internal/core"
+	"sharper/internal/replica"
+	"sharper/internal/types"
+)
+
+// SharPerSystem adapts a SharPer deployment to the harness.
+type SharPerSystem struct{ D *core.Deployment }
+
+// NewIssuer returns a closed-loop SharPer client.
+func (s SharPerSystem) NewIssuer() Issuer {
+	c := s.D.NewClient()
+	return func(ops []types.Op) (time.Duration, error) {
+		_, lat, err := c.Transfer(ops)
+		return lat, err
+	}
+}
+
+// Stop tears the deployment down.
+func (s SharPerSystem) Stop() { s.D.Stop() }
+
+// AHLSystem adapts an AHL deployment to the harness.
+type AHLSystem struct{ D *ahl.Deployment }
+
+// NewIssuer returns a closed-loop AHL client.
+func (s AHLSystem) NewIssuer() Issuer {
+	c := s.D.NewClient()
+	return func(ops []types.Op) (time.Duration, error) {
+		_, lat, err := c.Transfer(ops)
+		return lat, err
+	}
+}
+
+// Stop tears the deployment down.
+func (s AHLSystem) Stop() { s.D.Stop() }
+
+// ReplicaSystem adapts an unsharded baseline (APR-C/APR-B/FPaxos/FaB).
+type ReplicaSystem struct{ D *replica.Deployment }
+
+// NewIssuer returns a closed-loop baseline client.
+func (s ReplicaSystem) NewIssuer() Issuer {
+	c := s.D.NewClient()
+	return func(ops []types.Op) (time.Duration, error) {
+		_, lat, err := c.Transfer(ops)
+		return lat, err
+	}
+}
+
+// Stop tears the deployment down.
+func (s ReplicaSystem) Stop() { s.D.Stop() }

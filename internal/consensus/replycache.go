@@ -1,0 +1,66 @@
+package consensus
+
+import (
+	"sharper/internal/types"
+)
+
+// ReplyCache is a bounded, insertion-ordered map from transaction ID to the
+// reply sent for it. Replicas use it both to answer client retransmissions
+// and to keep execution idempotent; without a bound it grows with every
+// transaction ever committed. Eviction is FIFO: retransmissions arrive
+// within a client's timeout window, so only recent entries matter.
+type ReplyCache struct {
+	cap     int
+	entries map[types.TxID]*types.Reply
+	order   []types.TxID
+	head    int
+}
+
+// NewReplyCache creates a cache bounded to capacity entries (minimum 1).
+func NewReplyCache(capacity int) *ReplyCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ReplyCache{
+		cap:     capacity,
+		entries: make(map[types.TxID]*types.Reply, capacity),
+		order:   make([]types.TxID, 0, capacity),
+	}
+}
+
+// Get returns the cached reply for id, if present.
+func (c *ReplyCache) Get(id types.TxID) (*types.Reply, bool) {
+	r, ok := c.entries[id]
+	return r, ok
+}
+
+// Contains reports whether id has a cached reply.
+func (c *ReplyCache) Contains(id types.TxID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Put stores the reply for id, evicting the oldest entry when full.
+// Re-putting an existing id refreshes its value but not its position.
+func (c *ReplyCache) Put(id types.TxID, r *types.Reply) {
+	if _, ok := c.entries[id]; ok {
+		c.entries[id] = r
+		return
+	}
+	if len(c.entries) >= c.cap {
+		victim := c.order[c.head]
+		c.order[c.head] = types.TxID{}
+		c.head++
+		if c.head > c.cap {
+			// Compact the consumed prefix so the slice does not grow forever.
+			c.order = append(c.order[:0], c.order[c.head:]...)
+			c.head = 0
+		}
+		delete(c.entries, victim)
+	}
+	c.entries[id] = r
+	c.order = append(c.order, id)
+}
+
+// Len returns the number of cached replies.
+func (c *ReplyCache) Len() int { return len(c.entries) }

@@ -1,0 +1,186 @@
+package consensus
+
+import (
+	"sharper/internal/types"
+)
+
+// Hash aliases types.Hash for local readability.
+type Hash = types.Hash
+
+// VoteKey identifies the value a vote endorses: the digest of the proposal
+// plus the view it was proposed in. Votes for the same digest in different
+// views never mix.
+type VoteKey struct {
+	View   uint64
+	Digest types.Hash
+}
+
+// VoteSet counts matching votes per cluster with per-node deduplication —
+// the quorum bookkeeping used by every phase of every protocol here
+// ("matching ⟨ACCEPT,…⟩ from f+1 nodes of every cluster p_j in P", §3.2).
+type VoteSet struct {
+	votes map[types.ClusterID]map[types.NodeID]VoteKey
+}
+
+// NewVoteSet returns an empty vote set.
+func NewVoteSet() *VoteSet {
+	return &VoteSet{votes: make(map[types.ClusterID]map[types.NodeID]VoteKey)}
+}
+
+// Add records node's vote (speaking for cluster) for key. A node re-voting
+// replaces its previous vote; correct nodes never equivocate, and Byzantine
+// equivocation cannot inflate counts because one node holds one slot.
+func (s *VoteSet) Add(cluster types.ClusterID, node types.NodeID, key VoteKey) {
+	m, ok := s.votes[cluster]
+	if !ok {
+		m = make(map[types.NodeID]VoteKey)
+		s.votes[cluster] = m
+	}
+	m[node] = key
+}
+
+// Count returns the number of votes from cluster matching key.
+func (s *VoteSet) Count(cluster types.ClusterID, key VoteKey) int {
+	n := 0
+	for _, k := range s.votes[cluster] {
+		if k == key {
+			n++
+		}
+	}
+	return n
+}
+
+// QuorumAll reports whether every cluster in set has at least quorum(c)
+// matching votes for key — the flattened protocol's commit condition.
+func (s *VoteSet) QuorumAll(set types.ClusterSet, key VoteKey, quorum func(types.ClusterID) int) bool {
+	for _, c := range set {
+		if s.Count(c, key) < quorum(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Voters returns the nodes of cluster whose current vote matches key.
+func (s *VoteSet) Voters(cluster types.ClusterID, key VoteKey) []types.NodeID {
+	var out []types.NodeID
+	for n, k := range s.votes[cluster] {
+		if k == key {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HashVote is a vote that also carries the sender cluster's previous-block
+// hash h_j and the sender's local-validation verdict; the flattened protocol
+// collects one per involved cluster before the commit phase (§3.2 lines
+// 12–13), and a transaction executes only if every involved cluster voted
+// its local part valid (cross-shard atomic validation).
+type HashVote struct {
+	Key   VoteKey
+	Prev  types.Hash
+	Valid bool
+}
+
+// HashVoteSet tracks HashVotes per cluster with deduplication and exposes
+// the per-cluster agreed previous hash once a quorum matches.
+type HashVoteSet struct {
+	votes map[types.ClusterID]map[types.NodeID]HashVote
+}
+
+// NewHashVoteSet returns an empty set.
+func NewHashVoteSet() *HashVoteSet {
+	return &HashVoteSet{votes: make(map[types.ClusterID]map[types.NodeID]HashVote)}
+}
+
+// Add records node's vote for cluster.
+func (s *HashVoteSet) Add(cluster types.ClusterID, node types.NodeID, v HashVote) {
+	m, ok := s.votes[cluster]
+	if !ok {
+		m = make(map[types.NodeID]HashVote)
+		s.votes[cluster] = m
+	}
+	m[node] = v
+}
+
+// QuorumPrev returns (prevHash, true) if at least quorum votes from cluster
+// match key *and* agree on the cluster's previous hash. Under the crash
+// model nodes never lie, so any f+1 matching votes agree; under the
+// Byzantine model 2f+1 matching votes include f+1 correct ones, pinning the
+// correct chain head.
+func (s *HashVoteSet) QuorumPrev(cluster types.ClusterID, key VoteKey, quorum int) (types.Hash, bool, bool) {
+	type slot struct {
+		prev  types.Hash
+		valid bool
+	}
+	counts := make(map[slot]int)
+	for _, v := range s.votes[cluster] {
+		if v.Key == key {
+			counts[slot{v.Prev, v.Valid}]++
+		}
+	}
+	for sl, n := range counts {
+		if n >= quorum {
+			return sl.prev, sl.valid, true
+		}
+	}
+	return types.ZeroHash, false, false
+}
+
+// QuorumAllPrev reports whether every involved cluster has a quorum of
+// matching votes, and if so returns the agreed previous hash per cluster in
+// involved-set order — exactly the h_i, h_j, h_k … list the COMMIT message
+// carries (§3.2 line 13).
+// QuorumAllPrev additionally reports whether every involved cluster voted
+// its local part of the transaction valid.
+func (s *HashVoteSet) QuorumAllPrev(set types.ClusterSet, key VoteKey, quorum func(types.ClusterID) int) ([]types.Hash, bool, bool) {
+	out := make([]types.Hash, len(set))
+	valid := true
+	for i, c := range set {
+		h, v, ok := s.QuorumPrev(c, key, quorum(c))
+		if !ok {
+			return nil, false, false
+		}
+		if !v {
+			valid = false
+		}
+		out[i] = h
+	}
+	return out, valid, true
+}
+
+// CountMatching returns the matching-vote count for cluster and key
+// regardless of the carried previous hash.
+func (s *HashVoteSet) CountMatching(cluster types.ClusterID, key VoteKey) int {
+	n := 0
+	for _, v := range s.votes[cluster] {
+		if v.Key == key {
+			n++
+		}
+	}
+	return n
+}
+
+// MatchImpossible reports whether the cluster can no longer produce quorum
+// matching votes for key: even if every silent member voted for the current
+// plurality's hash, the count would fall short. Vote splits across chain
+// heads (a member lagging the previous commit) are detected this way, so
+// the initiator re-proposes immediately instead of waiting out a timer.
+func (s *HashVoteSet) MatchImpossible(cluster types.ClusterID, key VoteKey, quorum, clusterSize int) bool {
+	counts := make(map[Hash]int)
+	total := 0
+	for _, v := range s.votes[cluster] {
+		if v.Key == key {
+			counts[v.Prev]++ // validity follows the hash deterministically
+			total++
+		}
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return best+(clusterSize-total) < quorum
+}

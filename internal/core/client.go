@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/types"
+)
+
+// Client submits transactions to a SharPer deployment and waits for the
+// model-appropriate number of matching replies: one under the crash model,
+// f+1 matching replies from distinct replicas under the Byzantine model
+// (§3.1). Clients are single-goroutine, closed-loop issuers; benchmarks
+// raise concurrency by running many clients.
+type Client struct {
+	id     types.NodeID
+	d      *Deployment
+	inbox  <-chan *types.Envelope
+	seq    uint64
+	sendTo map[types.ClusterID]int // rotating primary guess per cluster
+
+	// Timeout before the client retransmits a request.
+	Timeout time.Duration
+	// MaxAttempts bounds retransmissions before giving up.
+	MaxAttempts int
+}
+
+var clientCounter atomic.Uint32
+
+// NewClient registers a fresh client endpoint on the deployment's network.
+func (d *Deployment) NewClient() *Client {
+	id := types.ClientIDBase + types.NodeID(clientCounter.Add(1))
+	return &Client{
+		id:          id,
+		d:           d,
+		inbox:       d.Net.Register(id),
+		sendTo:      make(map[types.ClusterID]int),
+		Timeout:     2 * time.Second,
+		MaxAttempts: 8,
+	}
+}
+
+// ID returns the client's network identity.
+func (c *Client) ID() types.NodeID { return c.id }
+
+// MakeTx assembles a transaction from ops, deriving the involved-cluster
+// set through the deployment's shard map.
+func (c *Client) MakeTx(ops []types.Op) *types.Transaction {
+	c.seq++
+	return &types.Transaction{
+		ID:        types.TxID{Client: c.id, Seq: c.seq},
+		Client:    c.id,
+		Timestamp: time.Now().UnixNano(),
+		Ops:       ops,
+		Involved:  c.d.Shards.Involved(ops),
+	}
+}
+
+// Submit sends tx and blocks until the reply quorum arrives or every
+// attempt times out. It returns whether the transaction's effects were
+// applied (false = ordered but rejected by validation) and the end-to-end
+// latency.
+func (c *Client) Submit(tx *types.Transaction) (bool, time.Duration, error) {
+	target := c.targetCluster(tx)
+	needed := 1
+	if c.d.Topo.ModelOf(target) == types.Byzantine {
+		needed = c.d.Topo.F(target) + 1
+	}
+	payload := (&types.Request{Tx: tx}).Encode(nil)
+	start := time.Now()
+
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		c.sendRequest(target, payload, attempt)
+		ok, committed := c.awaitReplies(tx.ID, needed, c.Timeout)
+		if ok {
+			return committed, time.Since(start), nil
+		}
+	}
+	return false, time.Since(start), fmt.Errorf("core: tx %s timed out after %d attempts", tx.ID, c.MaxAttempts)
+}
+
+// Transfer is the §4 accounting-app convenience: build, submit, and wait.
+func (c *Client) Transfer(ops []types.Op) (bool, time.Duration, error) {
+	return c.Submit(c.MakeTx(ops))
+}
+
+// targetCluster picks the initiator cluster: the involved cluster itself
+// for intra-shard transactions, min(P) under super-primary routing.
+func (c *Client) targetCluster(tx *types.Transaction) types.ClusterID {
+	return tx.Involved.Min()
+}
+
+// sendRequest sends the request to a member of the target cluster, rotating
+// on retries so a crashed primary does not wedge the client. The receiving
+// node forwards to its current primary.
+func (c *Client) sendRequest(target types.ClusterID, payload []byte, attempt int) {
+	members := c.d.Topo.Members(target)
+	idx := (c.sendTo[target] + attempt) % len(members)
+	if attempt > 0 {
+		c.sendTo[target] = idx
+	}
+	env := &types.Envelope{Type: types.MsgRequest, From: c.id, Payload: payload}
+	if attempt == 0 {
+		c.d.Net.Send(members[idx], env)
+		return
+	}
+	// Retry: blanket the cluster so at least one live node forwards.
+	for _, m := range members {
+		c.d.Net.Send(m, env)
+	}
+}
+
+// awaitReplies drains the inbox until `needed` matching replies for id
+// arrive from distinct replicas, or the deadline passes.
+func (c *Client) awaitReplies(id types.TxID, needed int, timeout time.Duration) (bool, bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	votes := make(map[bool]map[types.NodeID]bool) // committed? → replicas
+	for {
+		select {
+		case env := <-c.inbox:
+			if env.Type != types.MsgReply {
+				continue
+			}
+			r, err := types.DecodeReply(env.Payload)
+			if err != nil || r.TxID != id || r.Replica != env.From {
+				continue
+			}
+			m, ok := votes[r.Committed]
+			if !ok {
+				m = make(map[types.NodeID]bool)
+				votes[r.Committed] = m
+			}
+			m[r.Replica] = true
+			if len(m) >= needed {
+				return true, r.Committed
+			}
+		case <-deadline.C:
+			return false, false
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/ledger"
+	"sharper/internal/types"
+)
+
+// xharness drives the crash-model flattened engines (Algorithm 1) as pure
+// state machines: every node's engine plus a scripted chain status, with
+// deterministic FIFO delivery.
+type xharness struct {
+	t       *testing.T
+	topo    *consensus.Topology
+	engines map[types.NodeID]*xcrash
+	heads   map[types.NodeID]types.Hash
+	drained map[types.NodeID]bool
+	queue   []xrouted
+	decided map[types.NodeID][]crossDecision
+	drop    func(to types.NodeID) bool
+	now     time.Time
+}
+
+type xrouted struct {
+	to  types.NodeID
+	env *types.Envelope
+}
+
+func newXHarness(t *testing.T, clusters int) *xharness {
+	topo := consensus.UniformTopology(types.CrashOnly, clusters, 1)
+	h := &xharness{
+		t:       t,
+		topo:    topo,
+		engines: make(map[types.NodeID]*xcrash),
+		heads:   make(map[types.NodeID]types.Hash),
+		drained: make(map[types.NodeID]bool),
+		decided: make(map[types.NodeID][]crossDecision),
+		now:     time.Unix(10, 0),
+	}
+	for _, id := range topo.AllNodes() {
+		id := id
+		cluster, _ := topo.ClusterOf(id)
+		h.heads[id] = ledger.GenesisHash()
+		h.drained[id] = true
+		status := func() chainStatus {
+			return chainStatus{Head: h.heads[id], Drained: h.drained[id]}
+		}
+		validate := func(*types.Transaction) bool { return true }
+		h.engines[id] = newXCrash(topo, cluster, id, status, validate,
+			time.Second, 200*time.Millisecond, int64(id))
+	}
+	return h
+}
+
+func (h *xharness) sendAll(from types.NodeID, outs []consensus.Outbound) {
+	for _, o := range outs {
+		for _, to := range o.To {
+			if h.drop != nil && h.drop(to) {
+				continue
+			}
+			h.queue = append(h.queue, xrouted{to: to, env: o.Env})
+		}
+	}
+}
+
+func (h *xharness) pump() {
+	for len(h.queue) > 0 {
+		m := h.queue[0]
+		h.queue = h.queue[1:]
+		outs, decs := h.engines[m.to].Step(m.env, h.now)
+		h.sendAll(m.to, outs)
+		for _, d := range decs {
+			h.decided[m.to] = append(h.decided[m.to], d)
+			h.applyDecision(m.to, d)
+		}
+	}
+}
+
+// applyDecision mimics the runtime: move the node's chain head to the new
+// block and notify the engine.
+func (h *xharness) applyDecision(id types.NodeID, d crossDecision) {
+	block := &types.Block{Tx: d.Tx, Parents: d.Hashes}
+	h.heads[id] = block.Hash()
+	outs, decs := h.engines[id].OnChainAdvanced(h.now)
+	h.sendAll(id, outs)
+	for _, d2 := range decs {
+		h.decided[id] = append(h.decided[id], d2)
+		h.applyDecision(id, d2)
+	}
+}
+
+func (h *xharness) tick(d time.Duration) {
+	h.now = h.now.Add(d)
+	for _, id := range h.topo.AllNodes() {
+		outs, decs := h.engines[id].Tick(h.now)
+		h.sendAll(id, outs)
+		for _, dd := range decs {
+			h.decided[id] = append(h.decided[id], dd)
+			h.applyDecision(id, dd)
+		}
+	}
+	h.pump()
+}
+
+func xtx(seq uint64, clusters ...types.ClusterID) *types.Transaction {
+	return &types.Transaction{
+		ID:       types.TxID{Client: types.ClientIDBase + 1, Seq: seq},
+		Client:   types.ClientIDBase + 1,
+		Ops:      []types.Op{{From: 0, To: 1, Amount: 1}},
+		Involved: types.NewClusterSet(clusters...),
+	}
+}
+
+func TestAlg1NormalCase(t *testing.T) {
+	h := newXHarness(t, 3)
+	initiator := h.topo.Primary(0, 0)
+	tx := xtx(1, 0, 1)
+	h.sendAll(initiator, h.engines[initiator].Initiate(tx, h.now))
+	h.pump()
+
+	// Every node of clusters 0 and 1 decides; cluster 2 decides nothing.
+	for _, id := range h.topo.AllNodes() {
+		c, _ := h.topo.ClusterOf(id)
+		want := 0
+		if c == 0 || c == 1 {
+			want = 1
+		}
+		if got := len(h.decided[id]); got != want {
+			t.Fatalf("node %s decided %d, want %d", id, got, want)
+		}
+	}
+	// The agreed parent list has one slot per involved cluster and equals
+	// genesis on both.
+	d := h.decided[initiator][0]
+	if len(d.Hashes) != 2 {
+		t.Fatalf("hash list has %d slots, want 2", len(d.Hashes))
+	}
+	for _, hh := range d.Hashes {
+		if hh != ledger.GenesisHash() {
+			t.Fatalf("agreed parent %s, want genesis", hh)
+		}
+	}
+	if !d.Valid {
+		t.Fatal("decision not marked valid")
+	}
+}
+
+func TestAlg1ParticipantLockBlocksSecondProposal(t *testing.T) {
+	h := newXHarness(t, 3)
+	p0 := h.topo.Primary(0, 0)
+	p1member := h.topo.Members(1)[1] // a backup of cluster 1
+
+	// T1 {0,1} proposes; deliver only to one cluster-1 backup and hold the
+	// rest, so the backup is locked on T1.
+	t1 := xtx(1, 0, 1)
+	outs := h.engines[p0].Initiate(t1, h.now)
+	var held []xrouted
+	for _, o := range outs {
+		for _, to := range o.To {
+			if to == p1member {
+				h.queue = append(h.queue, xrouted{to: to, env: o.Env})
+			} else {
+				held = append(held, xrouted{to: to, env: o.Env})
+			}
+		}
+	}
+	h.pump()
+	if !h.engines[p1member].Locked() {
+		t.Fatal("participant did not lock after voting")
+	}
+	// A conflicting T2 {1,2} proposal arrives at the locked backup: parked.
+	p1 := h.topo.Primary(1, 0)
+	t2 := xtx(2, 1, 2)
+	outs2 := h.engines[p1].Initiate(t2, h.now)
+	for _, o := range outs2 {
+		for _, to := range o.To {
+			if to == p1member {
+				h.queue = append(h.queue, xrouted{to: to, env: o.Env})
+			}
+		}
+	}
+	h.pump()
+	if h.engines[p1member].Waiting() != 1 {
+		t.Fatalf("conflicting proposal not parked: waiting=%d", h.engines[p1member].Waiting())
+	}
+	// Release T1's held messages: T1 commits, unlocking the backup, which
+	// then grants T2 through the parked proposal.
+	h.queue = append(h.queue, held...)
+	h.pump()
+	if len(h.decided[p1member]) == 0 {
+		t.Fatal("T1 never decided at the locked backup")
+	}
+	if h.engines[p1member].Waiting() != 0 {
+		t.Fatal("parked proposal not drained after unlock")
+	}
+}
+
+func TestAlg1WithdrawReleasesLocks(t *testing.T) {
+	h := newXHarness(t, 2)
+	p0 := h.topo.Primary(0, 0)
+	// Cluster 1 is unreachable: T1 can never gather its quorum.
+	h.drop = func(to types.NodeID) bool {
+		c, _ := h.topo.ClusterOf(to)
+		return c == 1
+	}
+	t1 := xtx(1, 0, 1)
+	h.sendAll(p0, h.engines[p0].Initiate(t1, h.now))
+	h.pump()
+	if !h.engines[p0].Locked() {
+		t.Fatal("initiator did not self-lock")
+	}
+	// Past the retry deadline the initiator withdraws: it unlocks itself and
+	// broadcasts the abort to the reachable nodes.
+	h.tick(600 * time.Millisecond)
+	if h.engines[p0].Locked() {
+		t.Fatal("withdraw did not release the initiator's own lock")
+	}
+	// Cluster-0 backups that had voted are released by the abort.
+	for _, id := range h.topo.Members(0)[1:] {
+		if h.engines[id].Locked() {
+			t.Fatalf("node %s still locked after abort", id)
+		}
+	}
+	if len(h.decided[p0]) != 0 {
+		t.Fatal("withdrawn attempt decided")
+	}
+}
+
+func TestAlg1StaleAcceptCannotCommitAfterWithdraw(t *testing.T) {
+	h := newXHarness(t, 2)
+	p0 := h.topo.Primary(0, 0)
+	t1 := xtx(1, 0, 1)
+
+	// Capture cluster-1's accepts instead of delivering them.
+	var stale []xrouted
+	h.drop = func(to types.NodeID) bool { return false }
+	outs := h.engines[p0].Initiate(t1, h.now)
+	// Deliver proposals; intercept resulting accepts bound for p0 from
+	// cluster-1 nodes.
+	for _, o := range outs {
+		for _, to := range o.To {
+			h.queue = append(h.queue, xrouted{to: to, env: o.Env})
+		}
+	}
+	for len(h.queue) > 0 {
+		m := h.queue[0]
+		h.queue = h.queue[1:]
+		fromCluster, _ := h.topo.ClusterOf(m.env.From)
+		if m.env.Type == types.MsgXAccept && fromCluster == 1 {
+			stale = append(stale, m)
+			continue
+		}
+		os, decs := h.engines[m.to].Step(m.env, h.now)
+		h.sendAll(m.to, os)
+		for _, d := range decs {
+			h.decided[m.to] = append(h.decided[m.to], d)
+		}
+	}
+	// The initiator withdraws (view bump invalidates the old votes)…
+	h.tick(600 * time.Millisecond)
+	// …then the stale accepts finally arrive: they must not complete a
+	// quorum for the withdrawn attempt.
+	h.queue = append(h.queue, stale...)
+	h.pump()
+	for _, id := range h.topo.AllNodes() {
+		for _, d := range h.decided[id] {
+			if d.Tx.ID == t1.ID {
+				t.Fatalf("node %s decided a withdrawn attempt from stale votes", id)
+			}
+		}
+	}
+}
+
+func TestAlg1SplitVotesTriggerImmediateReproposal(t *testing.T) {
+	h := newXHarness(t, 2)
+	p0 := h.topo.Primary(0, 0)
+	// Cluster 1's three nodes report three different chain heads: no f+1
+	// match is possible and the initiator must re-propose without waiting
+	// for its timer.
+	for i, id := range h.topo.Members(1) {
+		h.heads[id] = types.HashBytes([]byte{byte(i), 0xab})
+	}
+	t1 := xtx(1, 0, 1)
+	h.sendAll(p0, h.engines[p0].Initiate(t1, h.now))
+	h.pump()
+	proposes, _, _, decides, _ := h.engines[p0].Counters()
+	if decides != 0 {
+		t.Fatal("decided despite a three-way head split")
+	}
+	if proposes < 2 {
+		t.Fatalf("initiator proposed %d times; split votes should force an immediate retry", proposes)
+	}
+}
+
+func TestAlg1InvalidVoteGatesExecution(t *testing.T) {
+	h := newXHarness(t, 2)
+	// Cluster 1's nodes all vote "invalid" for their local part.
+	for _, id := range h.topo.Members(1) {
+		h.engines[id].validate = func(*types.Transaction) bool { return false }
+	}
+	p0 := h.topo.Primary(0, 0)
+	t1 := xtx(1, 0, 1)
+	h.sendAll(p0, h.engines[p0].Initiate(t1, h.now))
+	h.pump()
+	d := h.decided[p0]
+	if len(d) != 1 {
+		t.Fatalf("initiator decided %d, want 1 (ordered but invalid)", len(d))
+	}
+	if d[0].Valid {
+		t.Fatal("decision marked valid despite an invalid cluster vote")
+	}
+}
+
+func TestAlg1DisjointSetsDecideIndependently(t *testing.T) {
+	h := newXHarness(t, 4)
+	pa := h.topo.Primary(0, 0)
+	pc := h.topo.Primary(2, 0)
+	// Hold ALL of T1's traffic undelivered while T2 {2,3} runs end to end:
+	// T2 must not need anything from clusters 0/1.
+	ta := xtx(1, 0, 1)
+	outsA := h.engines[pa].Initiate(ta, h.now)
+	_ = outsA // never delivered
+	tb := xtx(2, 2, 3)
+	h.sendAll(pc, h.engines[pc].Initiate(tb, h.now))
+	h.pump()
+	for _, id := range h.topo.Members(2) {
+		found := false
+		for _, d := range h.decided[id] {
+			if d.Tx.ID == tb.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %s did not decide the disjoint transaction", id)
+		}
+	}
+}

@@ -1,0 +1,572 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/types"
+)
+
+// xbyz implements Algorithm 2: flattened cross-shard consensus with
+// Byzantine nodes. Compared to Algorithm 1 the per-cluster quorum grows
+// from f+1 to 2f+1 and the accept and commit phases are decentralized:
+// every node of every involved cluster multicasts its (signed) ACCEPT and
+// COMMIT to all nodes of all involved clusters, so no single node is
+// trusted to tally votes.
+//
+// Conflict handling mirrors the crash engine: an initiator whose attempt
+// stalls withdraws it with a signed ABORT and re-proposes after a jittered
+// exponential backoff. Because votes are tallied by everyone, two extra
+// guards protect against stale attempts committing after a release:
+//   - a node multicasts COMMIT only while it still holds the lock for the
+//     digest and the agreed hash for its own cluster still equals its chain
+//     head, and
+//   - an ABORT does not release a node that has already entered the commit
+//     phase (its cluster may be pinned by the in-flight decision).
+type xbyz struct {
+	topo    *consensus.Topology
+	cluster types.ClusterID
+	self    types.NodeID
+	signer  crypto.Signer
+	verify  crypto.Verifier
+
+	status   func() chainStatus
+	validate func(*types.Transaction) bool
+
+	lockTimeout  time.Duration
+	retryTimeout time.Duration
+	rng          *rand.Rand
+
+	locked       bool
+	lockDigest   types.Hash
+	lockDeadline time.Time
+	waiting      map[types.Hash]*types.Envelope
+
+	instances map[types.Hash]*xinst
+	leads     map[types.Hash]*xbyzLead
+	decided   map[types.Hash]bool
+}
+
+// xinst is per-digest participant state.
+type xinst struct {
+	tx         *types.Transaction
+	proposer   types.NodeID
+	view       uint64
+	accepts    *consensus.HashVoteSet
+	commits    *consensus.VoteSet
+	sentAccept bool
+	sentCommit bool
+	// keyHashes remembers the hash list behind every commit key seen, so
+	// the decision adopts whichever key reaches quorum.
+	keyHashes map[consensus.VoteKey]keyedHashes
+	// committedHashes pins the one hash list this node has endorsed with a
+	// COMMIT; re-commits must match it, which keeps two different commit
+	// quorums for the same digest from ever co-existing.
+	committedHashes []types.Hash
+	commitEnv       *types.Envelope // stored commit for re-broadcast
+}
+
+// slotOf returns the index of cluster c in the instance's involved set.
+func (inst *xinst) slotOf(c types.ClusterID) int {
+	if inst.tx == nil {
+		return -1
+	}
+	for i, ic := range inst.tx.Involved {
+		if ic == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// xbyzLead is initiator-only retry state.
+type xbyzLead struct {
+	tx       *types.Transaction
+	view     uint64
+	deadline time.Time
+	dormant  bool
+	attempts int
+	// fastRetried limits split-vote-triggered re-proposals to one per
+	// timer window (see xlead.fastRetried).
+	fastRetried bool
+}
+
+func newXByz(topo *consensus.Topology, cluster types.ClusterID, self types.NodeID,
+	signer crypto.Signer, verifier crypto.Verifier,
+	status func() chainStatus, validate func(*types.Transaction) bool,
+	lockTimeout, retryTimeout time.Duration, seed int64) *xbyz {
+	return &xbyz{
+		topo: topo, cluster: cluster, self: self,
+		signer: signer, verify: verifier, status: status, validate: validate,
+		lockTimeout: lockTimeout, retryTimeout: retryTimeout,
+		rng:       rand.New(rand.NewSource(seed)),
+		waiting:   make(map[types.Hash]*types.Envelope),
+		instances: make(map[types.Hash]*xinst),
+		leads:     make(map[types.Hash]*xbyzLead),
+		decided:   make(map[types.Hash]bool),
+	}
+}
+
+func (x *xbyz) Locked() bool { return x.locked }
+
+func (x *xbyz) Waiting() int { return len(x.waiting) }
+
+func (x *xbyz) Pending() int { return len(x.instances) + len(x.waiting) }
+
+func (x *xbyz) backoff(attempts int) time.Duration {
+	shift := attempts - 1
+	if shift > 2 {
+		shift = 2
+	}
+	base := x.retryTimeout << uint(shift)
+	return base + time.Duration(x.rng.Int63n(int64(x.retryTimeout)))
+}
+
+func (x *xbyz) getInstance(digest types.Hash) *xinst {
+	inst, ok := x.instances[digest]
+	if !ok {
+		inst = &xinst{
+			accepts:   consensus.NewHashVoteSet(),
+			commits:   consensus.NewVoteSet(),
+			keyHashes: make(map[consensus.VoteKey]keyedHashes),
+		}
+		x.instances[digest] = inst
+	}
+	return inst
+}
+
+func (x *xbyz) lock(digest types.Hash, now time.Time) {
+	x.locked = true
+	x.lockDigest = digest
+	x.lockDeadline = now.Add(x.lockTimeout)
+}
+
+func (x *xbyz) unlock(digest types.Hash) {
+	if x.locked && x.lockDigest == digest {
+		x.locked = false
+	}
+}
+
+// Initiate starts Algorithm 2 (lines 6–8).
+func (x *xbyz) Initiate(tx *types.Transaction, now time.Time) []consensus.Outbound {
+	digest := tx.Digest()
+	if x.decided[digest] || x.leads[digest] != nil {
+		return nil
+	}
+	lead := &xbyzLead{tx: tx}
+	x.leads[digest] = lead
+	return x.propose(lead, digest, now)
+}
+
+func (x *xbyz) propose(lead *xbyzLead, digest types.Hash, now time.Time) []consensus.Outbound {
+	lead.attempts++
+	lead.view++
+	lead.dormant = false
+	lead.fastRetried = false
+	lead.deadline = now.Add(x.backoff(lead.attempts))
+
+	st := x.status()
+	msg := &types.ConsensusMsg{
+		View:       lead.view,
+		Digest:     digest,
+		Cluster:    x.cluster,
+		PrevHashes: []types.Hash{st.Head},
+		Tx:         lead.tx,
+	}
+	payload := msg.Encode(nil)
+	out := []consensus.Outbound{{
+		To: othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		Env: &types.Envelope{Type: types.MsgXPropose, From: x.self,
+			Payload: payload, Sig: x.signer.Sign(payload)},
+	}}
+
+	// Join the accept phase at the new attempt view ourselves.
+	inst := x.getInstance(digest)
+	inst.tx = lead.tx
+	inst.proposer = x.self
+	if lead.view > inst.view && !inst.sentCommit {
+		inst.view = lead.view
+		inst.sentAccept = false
+	}
+	x.lock(digest, now)
+	out = append(out, x.sendAccept(inst, digest, st)...)
+	return out
+}
+
+// withdraw invalidates the current attempt and asks participants that have
+// not entered the commit phase to release their locks.
+func (x *xbyz) withdraw(lead *xbyzLead, digest types.Hash, now time.Time) []consensus.Outbound {
+	lead.dormant = true
+	lead.deadline = now.Add(x.backoff(lead.attempts))
+
+	msg := &types.ConsensusMsg{View: lead.view, Digest: digest, Cluster: x.cluster}
+	payload := msg.Encode(nil)
+	out := []consensus.Outbound{{
+		To: othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		Env: &types.Envelope{Type: types.MsgXAbort, From: x.self,
+			Payload: payload, Sig: x.signer.Sign(payload)},
+	}}
+	// Release ourselves under the same rule as everyone else.
+	if inst := x.instances[digest]; inst != nil && !inst.sentCommit {
+		x.unlock(digest)
+	}
+	return out
+}
+
+// Step dispatches Algorithm 2 messages. All payloads must carry a valid
+// signature from the claimed sender (§2.1).
+func (x *xbyz) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	if !x.verify.Verify(env.From, env.Payload, env.Sig) {
+		return nil, nil
+	}
+	switch env.Type {
+	case types.MsgXPropose:
+		return x.onPropose(env, now)
+	case types.MsgXAccept:
+		return x.onAccept(env, now)
+	case types.MsgXCommit:
+		return x.onCommit(env)
+	case types.MsgXAbort:
+		return x.onAbort(env, now)
+	default:
+		return nil, nil
+	}
+}
+
+// onPropose (lines 9–11): validate and multicast a signed ACCEPT carrying
+// h_j to every node of every involved cluster.
+func (x *xbyz) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || m.Tx == nil || !m.Tx.Involved.Contains(x.cluster) {
+		return nil, nil
+	}
+	digest := m.Tx.Digest()
+	if digest != m.Digest || x.decided[digest] {
+		return nil, nil
+	}
+	// The proposer must belong to an involved cluster; a node outside the
+	// involved set has no business initiating (malicious traffic).
+	pc, ok := x.topo.ClusterOf(env.From)
+	if !ok || !m.Tx.Involved.Contains(pc) {
+		return nil, nil
+	}
+	st := x.status()
+	inst := x.getInstance(digest)
+	inst.tx = m.Tx
+	if inst.proposer == 0 {
+		inst.proposer = env.From
+	}
+	if (x.locked && x.lockDigest != digest) || !st.Drained {
+		x.waiting[digest] = env
+		return nil, nil
+	}
+	delete(x.waiting, digest)
+	x.maybeReleaseDeadCommit(inst, digest, st)
+	if inst.sentCommit {
+		// We are pinned to a commit whose parent is still our head: help
+		// the new attempt converge to the same hash list by re-voting our
+		// pinned h and re-broadcasting our stored commit.
+		var out []consensus.Outbound
+		if m.View > inst.view {
+			inst.view = m.View
+			inst.sentAccept = false
+			out = x.sendAccept(inst, digest, st)
+		}
+		if inst.commitEnv != nil {
+			out = append(out, consensus.Outbound{
+				To:  othersOf(x.topo.InvolvedNodes(inst.tx.Involved), x.self),
+				Env: inst.commitEnv,
+			})
+		}
+		return out, nil
+	}
+	if m.View > inst.view {
+		// New attempt by the initiator: vote again at the higher view.
+		inst.view = m.View
+		inst.sentAccept = false
+	}
+	if inst.sentAccept {
+		return nil, nil
+	}
+	x.lock(digest, now)
+	return x.sendAccept(inst, digest, st), nil
+}
+
+// maybeReleaseDeadCommit clears a pinned commit whose agreed parent for our
+// cluster no longer matches our chain head. Heads only move forward, so no
+// correct node of our cluster can ever endorse that hash list again: the
+// old attempt is dead and holding its lock would wedge the node.
+func (x *xbyz) maybeReleaseDeadCommit(inst *xinst, digest types.Hash, st chainStatus) {
+	if !inst.sentCommit {
+		return
+	}
+	slot := inst.slotOf(x.cluster)
+	if slot < 0 || slot >= len(inst.committedHashes) {
+		return
+	}
+	if inst.committedHashes[slot] == st.Head {
+		return
+	}
+	inst.sentCommit = false
+	inst.sentAccept = false
+	inst.committedHashes = nil
+	inst.commitEnv = nil
+	x.unlock(digest)
+}
+
+func (x *xbyz) sendAccept(inst *xinst, digest types.Hash, st chainStatus) []consensus.Outbound {
+	if inst.sentAccept {
+		return nil
+	}
+	inst.sentAccept = true
+	valid := x.validate(inst.tx)
+	inst.accepts.Add(x.cluster, x.self, consensus.HashVote{
+		Key:   consensus.VoteKey{View: inst.view, Digest: digest},
+		Prev:  st.Head,
+		Valid: valid,
+	})
+	m := &types.ConsensusMsg{
+		View:       inst.view,
+		Digest:     digest,
+		Cluster:    x.cluster,
+		PrevHashes: []types.Hash{st.Head},
+	}
+	if valid {
+		m.Seq = 1
+	}
+	payload := m.Encode(nil)
+	return []consensus.Outbound{{
+		To: othersOf(x.topo.InvolvedNodes(inst.tx.Involved), x.self),
+		Env: &types.Envelope{Type: types.MsgXAccept, From: x.self,
+			Payload: payload, Sig: x.signer.Sign(payload)},
+	}}
+}
+
+// onAccept (lines 12–14): on 2f+1 matching accepts from every involved
+// cluster, assemble the hash list and multicast a signed COMMIT.
+func (x *xbyz) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || len(m.PrevHashes) != 1 || x.decided[m.Digest] {
+		return nil, nil
+	}
+	senderCluster, ok := x.topo.ClusterOf(env.From)
+	if !ok {
+		return nil, nil
+	}
+	inst := x.getInstance(m.Digest)
+	inst.accepts.Add(senderCluster, env.From, consensus.HashVote{
+		Key:   consensus.VoteKey{View: m.View, Digest: m.Digest},
+		Prev:  m.PrevHashes[0],
+		Valid: m.Seq == 1,
+	})
+	return x.maybeCommit(inst, m.Digest, now)
+}
+
+func (x *xbyz) maybeCommit(inst *xinst, digest types.Hash, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	if inst.tx == nil || inst.sentCommit {
+		return nil, x.maybeDecide(inst, digest)
+	}
+	// Guard: only nodes still holding the lock vote in the commit phase, so
+	// a withdrawn attempt can never resurrect after its locks were released.
+	if !x.locked || x.lockDigest != digest {
+		return nil, x.maybeDecide(inst, digest)
+	}
+	acceptKey := consensus.VoteKey{View: inst.view, Digest: digest}
+	hashes, valid, ok := inst.accepts.QuorumAllPrev(inst.tx.Involved, acceptKey,
+		func(c types.ClusterID) int { return x.topo.CrossQuorum(c) })
+	if !ok {
+		// Vote split across chain heads: if we are the initiator, launch
+		// the next attempt immediately (see xcrash for the rationale), at
+		// most once per timer window.
+		if lead, isLead := x.leads[digest]; isLead && !lead.dormant && !lead.fastRetried {
+			for _, c := range inst.tx.Involved {
+				if inst.accepts.MatchImpossible(c, acceptKey, x.topo.CrossQuorum(c), len(x.topo.Members(c))) {
+					out := x.propose(lead, digest, now)
+					lead.fastRetried = true
+					return out, nil
+				}
+			}
+		}
+		return nil, nil
+	}
+	// Guard: the agreed parent for our own cluster must still be our head.
+	mySlot := -1
+	for i, c := range inst.tx.Involved {
+		if c == x.cluster {
+			mySlot = i
+			break
+		}
+	}
+	if mySlot < 0 || hashes[mySlot] != x.status().Head {
+		return nil, nil
+	}
+	inst.sentCommit = true
+	inst.committedHashes = hashes
+	key := commitKey(digest, hashes, valid)
+	inst.keyHashes[key] = keyedHashes{hashes: hashes, valid: valid}
+	inst.commits.Add(x.cluster, x.self, key)
+
+	m := &types.ConsensusMsg{
+		View:       inst.view,
+		Digest:     digest,
+		Cluster:    x.cluster,
+		PrevHashes: hashes,
+		Tx:         inst.tx,
+	}
+	if valid {
+		m.Seq = 1
+	}
+	payload := m.Encode(nil)
+	env := &types.Envelope{Type: types.MsgXCommit, From: x.self,
+		Payload: payload, Sig: x.signer.Sign(payload)}
+	inst.commitEnv = env
+	out := []consensus.Outbound{{
+		To:  othersOf(x.topo.InvolvedNodes(inst.tx.Involved), x.self),
+		Env: env,
+	}}
+	return out, x.maybeDecide(inst, digest)
+}
+
+// onCommit (lines 15–16): on 2f+1 matching commits from every involved
+// cluster, execute and append.
+func (x *xbyz) onCommit(env *types.Envelope) ([]consensus.Outbound, []crossDecision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || x.decided[m.Digest] {
+		return nil, nil
+	}
+	senderCluster, ok := x.topo.ClusterOf(env.From)
+	if !ok {
+		return nil, nil
+	}
+	inst := x.getInstance(m.Digest)
+	if inst.tx == nil && m.Tx != nil && m.Tx.Digest() == m.Digest {
+		inst.tx = m.Tx
+	}
+	key := commitKey(m.Digest, m.PrevHashes, m.Seq == 1)
+	inst.keyHashes[key] = keyedHashes{hashes: m.PrevHashes, valid: m.Seq == 1}
+	inst.commits.Add(senderCluster, env.From, key)
+	return nil, x.maybeDecide(inst, m.Digest)
+}
+
+func (x *xbyz) maybeDecide(inst *xinst, digest types.Hash) []crossDecision {
+	if inst.tx == nil || x.decided[digest] {
+		return nil
+	}
+	for key, kh := range inst.keyHashes {
+		if !inst.commits.QuorumAll(inst.tx.Involved, key,
+			func(c types.ClusterID) int { return x.topo.CrossQuorum(c) }) {
+			continue
+		}
+		x.decided[digest] = true
+		x.unlock(digest)
+		delete(x.waiting, digest)
+		tx := inst.tx
+		delete(x.instances, digest)
+		delete(x.leads, digest)
+		return []crossDecision{{Tx: tx, Digest: digest, Hashes: kh.hashes, Valid: kh.valid}}
+	}
+	return nil
+}
+
+// keyedHashes pairs a commit key's hash list with its validity verdict.
+type keyedHashes struct {
+	hashes []types.Hash
+	valid  bool
+}
+
+// onAbort releases the lock held for the digest, unless this node already
+// entered the commit phase (the decision may be in flight cluster-wide).
+// Only the attempt's proposer is honored.
+func (x *xbyz) onAbort(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || x.decided[m.Digest] {
+		return nil, nil
+	}
+	inst, ok := x.instances[m.Digest]
+	if !ok || inst.proposer != env.From || inst.sentCommit {
+		return nil, nil
+	}
+	delete(x.waiting, m.Digest)
+	x.unlock(m.Digest)
+	return x.drainWaiting(now)
+}
+
+// OnChainAdvanced retries parked proposals.
+func (x *xbyz) OnChainAdvanced(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	return x.drainWaiting(now)
+}
+
+func (x *xbyz) drainWaiting(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	if len(x.waiting) == 0 || x.locked {
+		return nil, nil
+	}
+	pending := make([]*types.Envelope, 0, len(x.waiting))
+	for _, env := range x.waiting {
+		pending = append(pending, env)
+	}
+	var outs []consensus.Outbound
+	var decs []crossDecision
+	for _, env := range pending {
+		o, d := x.onPropose(env, now)
+		outs = append(outs, o...)
+		decs = append(decs, d...)
+		if x.locked {
+			break
+		}
+	}
+	return outs, decs
+}
+
+// Tick expires locks (crashed-initiator fallback) and drives the withdraw /
+// backoff / re-propose cycle.
+func (x *xbyz) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	var outs []consensus.Outbound
+	if x.locked && now.After(x.lockDeadline) {
+		x.locked = false
+	}
+	st := x.status()
+	for digest, inst := range x.instances {
+		if inst.sentCommit {
+			x.maybeReleaseDeadCommit(inst, digest, st)
+		}
+	}
+	for digest, lead := range x.leads {
+		if x.decided[digest] || !now.After(lead.deadline) {
+			continue
+		}
+		if lead.dormant {
+			if !x.locked && x.status().Drained {
+				outs = append(outs, x.propose(lead, digest, now)...)
+			} else {
+				lead.deadline = now.Add(x.retryTimeout)
+			}
+			continue
+		}
+		if lead.attempts >= maxCrossAttempts {
+			outs = append(outs, x.withdraw(lead, digest, now)...)
+			delete(x.leads, digest)
+			continue
+		}
+		outs = append(outs, x.withdraw(lead, digest, now)...)
+	}
+	o, d := x.drainWaiting(now)
+	return append(outs, o...), d
+}
+
+// commitKey folds the agreed hash list and validity verdict into the vote
+// key so only commits endorsing identical outcomes match.
+func commitKey(digest types.Hash, hashes []types.Hash, valid bool) consensus.VoteKey {
+	buf := make([]byte, 0, 32*(len(hashes)+1)+1)
+	buf = append(buf, digest[:]...)
+	for _, h := range hashes {
+		buf = append(buf, h[:]...)
+	}
+	if valid {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return consensus.VoteKey{Digest: types.HashBytes(buf)}
+}

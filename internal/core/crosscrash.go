@@ -1,0 +1,458 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/types"
+)
+
+// xcrash implements Algorithm 1: flattened cross-shard consensus with
+// crash-only nodes. The initiator primary multicasts PROPOSE to every node
+// of every involved cluster; each node answers ACCEPT (carrying its
+// cluster's previous-block hash h_j) directly to the initiator; the
+// initiator collects f+1 matching accepts from every involved cluster,
+// assembles the per-cluster hash list, and multicasts COMMIT; everyone
+// executes and appends.
+//
+// Conflict handling follows §3.2 "Safety and Liveness": a node that has sent
+// an ACCEPT blocks (does not vote on other transactions) until the COMMIT
+// arrives. Concurrent conflicting transactions can deadlock each other's
+// quorums, so an initiator whose attempt times out *withdraws* it: it
+// invalidates the attempt's votes, multicasts ABORT to release the
+// participants' locks, and re-proposes after an exponentially backed-off,
+// jittered delay. Locks are therefore released by the vote counter itself,
+// which keeps stale accepts from ever forming a quorum. A long unilateral
+// lock expiry remains as a last resort against a crashed initiator.
+type xcrash struct {
+	topo    *consensus.Topology
+	cluster types.ClusterID
+	self    types.NodeID
+
+	status   func() chainStatus            // local cluster-chain state
+	validate func(*types.Transaction) bool // local-part validation
+
+	lockTimeout  time.Duration
+	retryTimeout time.Duration
+	rng          *rand.Rand
+
+	// Participant state.
+	locked       bool
+	lockDigest   types.Hash
+	lockDeadline time.Time
+	// Proposals waiting for the chain to drain or the lock to clear,
+	// deduplicated by digest (retries replace earlier copies).
+	waiting map[types.Hash]*types.Envelope
+
+	// Initiator state, keyed by transaction digest.
+	leads map[types.Hash]*xlead
+
+	decided map[types.Hash]bool // digests already decided locally
+	txs     map[types.Hash]*types.Transaction
+
+	// Diagnostics (read via Counters).
+	nPropose, nWithdraw, nGrant, nDecide, nLockExpire int
+	parkedAt                                          map[types.Hash]time.Time
+	parkWait                                          time.Duration
+	nParks                                            int
+	leadWait                                          time.Duration
+	lockHold                                          time.Duration
+	lockedAt                                          time.Time
+}
+
+// WaitStats reports accumulated wait diagnostics.
+func (x *xcrash) WaitStats() (parks int, avgParkMs, avgLeadMs, avgLockHoldMs float64) {
+	parks = x.nParks
+	if x.nParks > 0 {
+		avgParkMs = float64(x.parkWait.Milliseconds()) / float64(x.nParks)
+	}
+	if x.nDecide > 0 {
+		avgLeadMs = float64(x.leadWait.Microseconds()) / 1000 / float64(x.nDecide)
+	}
+	if x.nGrant+x.nPropose > 0 {
+		avgLockHoldMs = float64(x.lockHold.Microseconds()) / 1000 / float64(x.nGrant+x.nPropose)
+	}
+	return
+}
+
+// Counters reports protocol-event counts for diagnostics and tests.
+func (x *xcrash) Counters() (proposes, withdraws, grants, decides, lockExpiries int) {
+	return x.nPropose, x.nWithdraw, x.nGrant, x.nDecide, x.nLockExpire
+}
+
+type xlead struct {
+	start    time.Time
+	tx       *types.Transaction
+	digest   types.Hash
+	votes    *consensus.HashVoteSet
+	view     uint64 // attempt number; votes from older attempts don't match
+	deadline time.Time
+	dormant  bool // withdrawn, waiting out the backoff before re-proposing
+	done     bool
+	attempts int
+	// fastRetried limits split-vote-triggered re-proposals to one per
+	// timer window, so persistently split heads cannot spin the initiator.
+	fastRetried bool
+}
+
+// maxCrossAttempts bounds initiator re-proposals; past it the instance is
+// dropped and the client's retransmission takes over.
+const maxCrossAttempts = 64
+
+func newXCrash(topo *consensus.Topology, cluster types.ClusterID, self types.NodeID,
+	status func() chainStatus, validate func(*types.Transaction) bool,
+	lockTimeout, retryTimeout time.Duration, seed int64) *xcrash {
+	return &xcrash{
+		topo: topo, cluster: cluster, self: self, status: status, validate: validate,
+		lockTimeout: lockTimeout, retryTimeout: retryTimeout,
+		rng:      rand.New(rand.NewSource(seed)),
+		waiting:  make(map[types.Hash]*types.Envelope),
+		parkedAt: make(map[types.Hash]time.Time),
+		leads:    make(map[types.Hash]*xlead),
+		decided:  make(map[types.Hash]bool),
+		txs:      make(map[types.Hash]*types.Transaction),
+	}
+}
+
+func (x *xcrash) Locked() bool { return x.locked }
+
+func (x *xcrash) Waiting() int { return len(x.waiting) }
+
+func (x *xcrash) Pending() int { return len(x.leads) + len(x.waiting) }
+
+// backoff returns the jittered, exponentially growing re-propose delay.
+func (x *xcrash) backoff(attempts int) time.Duration {
+	shift := attempts - 1
+	if shift > 2 {
+		shift = 2
+	}
+	base := x.retryTimeout << uint(shift)
+	return base + time.Duration(x.rng.Int63n(int64(x.retryTimeout)))
+}
+
+// Initiate starts Algorithm 1 for tx (lines 6–8). The caller guarantees this
+// node is the primary of an involved cluster (normally the super primary).
+func (x *xcrash) Initiate(tx *types.Transaction, now time.Time) []consensus.Outbound {
+	digest := tx.Digest()
+	if x.decided[digest] || x.leads[digest] != nil {
+		return nil
+	}
+	lead := &xlead{start: now, tx: tx, digest: digest, votes: consensus.NewHashVoteSet()}
+	x.leads[digest] = lead
+	x.txs[digest] = tx
+	return x.propose(lead, now)
+}
+
+// propose (re)issues the PROPOSE multicast for a lead instance.
+func (x *xcrash) propose(lead *xlead, now time.Time) []consensus.Outbound {
+	x.nPropose++
+	lead.attempts++
+	lead.view++
+	lead.dormant = false
+	lead.fastRetried = false
+	lead.votes = consensus.NewHashVoteSet()
+	st := x.status()
+	lead.deadline = now.Add(x.backoff(lead.attempts))
+
+	// The initiator primary locks its own cluster chain (§3.2: "the primary
+	// stops initiating or being involved in any other ... transactions").
+	x.lock(lead.digest, now)
+	// Record the initiator's own vote for its cluster.
+	lead.votes.Add(x.cluster, x.self, consensus.HashVote{
+		Key:   consensus.VoteKey{View: lead.view, Digest: lead.digest},
+		Prev:  st.Head,
+		Valid: x.validate(lead.tx),
+	})
+
+	msg := &types.ConsensusMsg{
+		View:       lead.view,
+		Digest:     lead.digest,
+		Cluster:    x.cluster,
+		PrevHashes: []types.Hash{st.Head},
+		Tx:         lead.tx,
+	}
+	env := &types.Envelope{Type: types.MsgXPropose, From: x.self, Payload: msg.Encode(nil)}
+	return []consensus.Outbound{{
+		To:  othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		Env: env,
+	}}
+}
+
+// withdraw invalidates the current attempt and releases everyone's locks.
+// Bumping lead.view first guarantees no late accept for the old attempt can
+// complete a quorum, so releasing the locks cannot fork the chain.
+func (x *xcrash) withdraw(lead *xlead, now time.Time) []consensus.Outbound {
+	x.nWithdraw++
+	lead.view++
+	lead.votes = consensus.NewHashVoteSet()
+	lead.dormant = true
+	lead.deadline = now.Add(x.backoff(lead.attempts))
+	x.unlock(lead.digest)
+
+	msg := &types.ConsensusMsg{View: lead.view, Digest: lead.digest, Cluster: x.cluster}
+	env := &types.Envelope{Type: types.MsgXAbort, From: x.self, Payload: msg.Encode(nil)}
+	return []consensus.Outbound{{
+		To:  othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		Env: env,
+	}}
+}
+
+func (x *xcrash) lock(digest types.Hash, now time.Time) {
+	x.locked = true
+	x.lockedAt = now
+	x.lockDigest = digest
+	x.lockDeadline = now.Add(x.lockTimeout)
+}
+
+func (x *xcrash) unlock(digest types.Hash) {
+	if x.locked && x.lockDigest == digest {
+		x.locked = false
+		x.lockHold += time.Since(x.lockedAt)
+	}
+}
+
+// Step handles PROPOSE (participant), ACCEPT (initiator), COMMIT and ABORT.
+func (x *xcrash) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	switch env.Type {
+	case types.MsgXPropose:
+		return x.onPropose(env, now), nil
+	case types.MsgXAccept:
+		return x.onAccept(env, now)
+	case types.MsgXCommit:
+		return x.onCommit(env)
+	case types.MsgXAbort:
+		return x.onAbort(env, now)
+	default:
+		return nil, nil
+	}
+}
+
+// onPropose implements lines 9–11: validate, then answer ACCEPT with our
+// cluster's previous-block hash. Voting requires a drained, unlocked chain;
+// otherwise the proposal parks until the lock clears or the chain advances.
+func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbound {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || m.Tx == nil || !m.Tx.Involved.Contains(x.cluster) {
+		return nil
+	}
+	digest := m.Tx.Digest()
+	if digest != m.Digest || x.decided[digest] {
+		return nil
+	}
+	x.txs[digest] = m.Tx
+	st := x.status()
+	if (x.locked && x.lockDigest != digest) || !st.Drained {
+		if _, ok := x.parkedAt[digest]; !ok {
+			x.parkedAt[digest] = now
+		}
+		x.waiting[digest] = env
+		return nil
+	}
+	if t, ok := x.parkedAt[digest]; ok {
+		x.parkWait += now.Sub(t)
+		x.nParks++
+		delete(x.parkedAt, digest)
+	}
+	delete(x.waiting, digest)
+	x.nGrant++
+	x.lock(digest, now)
+	reply := &types.ConsensusMsg{
+		View:       m.View,
+		Digest:     digest,
+		Cluster:    x.cluster,
+		PrevHashes: []types.Hash{st.Head}, // h_j, our cluster's head
+	}
+	if x.validate(m.Tx) {
+		reply.Seq = 1 // local part valid (Seq doubles as the validity bit)
+	}
+	return []consensus.Outbound{{
+		To:  []types.NodeID{env.From},
+		Env: &types.Envelope{Type: types.MsgXAccept, From: x.self, Payload: reply.Encode(nil)},
+	}}
+}
+
+// onAccept implements lines 12–14 at the initiator: collect f+1 matching
+// accepts from every involved cluster, then multicast COMMIT with the full
+// hash list and decide locally.
+func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || len(m.PrevHashes) != 1 {
+		return nil, nil
+	}
+	lead, ok := x.leads[m.Digest]
+	if !ok || lead.dormant || (!lead.done && m.View != lead.view) {
+		if x.decided[m.Digest] {
+			return nil, nil // commit is already on its way to the sender
+		}
+		// Stale accept for a withdrawn or dropped attempt: release the
+		// sender so it does not sit on a dead lock until its timer fires.
+		am := &types.ConsensusMsg{View: m.View, Digest: m.Digest, Cluster: x.cluster}
+		return []consensus.Outbound{{
+			To:  []types.NodeID{env.From},
+			Env: &types.Envelope{Type: types.MsgXAbort, From: x.self, Payload: am.Encode(nil)},
+		}}, nil
+	}
+	if lead.done {
+		return nil, nil
+	}
+	senderCluster, ok := x.topo.ClusterOf(env.From)
+	if !ok || !lead.tx.Involved.Contains(senderCluster) {
+		return nil, nil
+	}
+	lead.votes.Add(senderCluster, env.From, consensus.HashVote{
+		Key:   consensus.VoteKey{View: lead.view, Digest: m.Digest},
+		Prev:  m.PrevHashes[0],
+		Valid: m.Seq == 1,
+	})
+	key := consensus.VoteKey{View: lead.view, Digest: m.Digest}
+	hashes, valid, ok := lead.votes.QuorumAllPrev(lead.tx.Involved, key,
+		func(c types.ClusterID) int { return x.topo.CrossQuorum(c) })
+	if !ok {
+		// If some cluster's votes have split across chain heads so that no
+		// matching quorum can ever form at this view, re-propose now: the
+		// lagging nodes will have converged by the time the new attempt
+		// arrives. Participants stay locked on the digest throughout. At
+		// most one fast retry per timer window, so persistently split heads
+		// fall back to the withdraw/backoff cycle instead of spinning.
+		if !lead.fastRetried {
+			for _, c := range lead.tx.Involved {
+				if lead.votes.MatchImpossible(c, key, x.topo.CrossQuorum(c), len(x.topo.Members(c))) {
+					out := x.propose(lead, now)
+					lead.fastRetried = true
+					return out, nil
+				}
+			}
+		}
+		return nil, nil
+	}
+	lead.done = true
+	x.nDecide++
+	x.leadWait += now.Sub(lead.start)
+	x.decided[m.Digest] = true
+	delete(x.leads, m.Digest)
+	x.unlock(m.Digest)
+
+	cm := &types.ConsensusMsg{
+		View:       lead.view,
+		Digest:     m.Digest,
+		Cluster:    x.cluster,
+		PrevHashes: hashes,
+		Tx:         lead.tx,
+	}
+	if valid {
+		cm.Seq = 1
+	}
+	out := []consensus.Outbound{{
+		To:  othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		Env: &types.Envelope{Type: types.MsgXCommit, From: x.self, Payload: cm.Encode(nil)},
+	}}
+	dec := []crossDecision{{Tx: lead.tx, Digest: m.Digest, Hashes: hashes, Valid: valid}}
+	return out, dec
+}
+
+// onCommit implements lines 15–16 at participants: execute and append.
+func (x *xcrash) onCommit(env *types.Envelope) ([]consensus.Outbound, []crossDecision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || x.decided[m.Digest] {
+		return nil, nil
+	}
+	tx := m.Tx
+	if tx == nil {
+		tx = x.txs[m.Digest]
+	}
+	if tx == nil || !tx.Involved.Contains(x.cluster) {
+		return nil, nil
+	}
+	if len(m.PrevHashes) != len(tx.Involved) {
+		return nil, nil
+	}
+	x.decided[m.Digest] = true
+	delete(x.waiting, m.Digest)
+	x.unlock(m.Digest)
+	return nil, []crossDecision{{Tx: tx, Digest: m.Digest, Hashes: m.PrevHashes, Valid: m.Seq == 1}}
+}
+
+// onAbort releases the lock the aborted attempt held at this node and
+// drops any parked copy of the proposal (the initiator re-sends a fresh
+// one when it retries).
+func (x *xcrash) onAbort(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || x.decided[m.Digest] {
+		return nil, nil
+	}
+	delete(x.waiting, m.Digest)
+	x.unlock(m.Digest)
+	out, decs := x.drainWaiting(now)
+	return out, decs
+}
+
+// OnChainAdvanced retries parked proposals now that the chain moved.
+func (x *xcrash) OnChainAdvanced(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	return x.drainWaiting(now)
+}
+
+// drainWaiting re-steps parked proposals; at most one acquires the lock, the
+// rest re-park. Digest order breaks grant-order symmetry deterministically.
+func (x *xcrash) drainWaiting(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	if len(x.waiting) == 0 || x.locked {
+		return nil, nil
+	}
+	pending := make([]*types.Envelope, 0, len(x.waiting))
+	for _, env := range x.waiting {
+		pending = append(pending, env)
+	}
+	var outs []consensus.Outbound
+	for _, env := range pending {
+		outs = append(outs, x.onPropose(env, now)...)
+		if x.locked {
+			break
+		}
+	}
+	return outs, nil
+}
+
+// Tick expires locks (crashed-initiator fallback) and drives the initiator's
+// withdraw/backoff/re-propose cycle.
+func (x *xcrash) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	var outs []consensus.Outbound
+	if x.locked && now.After(x.lockDeadline) {
+		// The initiator died without committing or aborting; give up.
+		x.nLockExpire++
+		x.locked = false
+	}
+	for digest, lead := range x.leads {
+		if lead.done || !now.After(lead.deadline) {
+			continue
+		}
+		if lead.dormant {
+			// Re-propose only when free: between withdraw and re-propose
+			// this node may have granted its lock to a parked proposal.
+			if !x.locked && x.status().Drained {
+				outs = append(outs, x.propose(lead, now)...)
+			} else {
+				lead.deadline = now.Add(x.retryTimeout)
+			}
+			continue
+		}
+		if lead.attempts >= maxCrossAttempts {
+			outs = append(outs, x.withdraw(lead, now)...)
+			delete(x.leads, digest)
+			continue
+		}
+		outs = append(outs, x.withdraw(lead, now)...)
+	}
+	o, d := x.drainWaiting(now)
+	return append(outs, o...), d
+}
+
+// othersOf filters self out of a destination list.
+func othersOf(nodes []types.NodeID, self types.NodeID) []types.NodeID {
+	out := make([]types.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if n != self {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/ledger"
+	"sharper/internal/state"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// Config describes a full SharPer deployment: failure model, cluster plan,
+// network behaviour, and protocol timers.
+type Config struct {
+	// Model selects crash (Paxos + Algorithm 1) or Byzantine (PBFT +
+	// Algorithm 2).
+	Model types.FailureModel
+	// Clusters is |P|; ignored if Topology is set.
+	Clusters int
+	// F is the per-cluster fault bound; ignored if Topology is set.
+	F int
+	// Topology overrides the uniform plan, e.g. for the §3.4
+	// clustered-network optimization.
+	Topology *consensus.Topology
+	// Network configures the simulated fabric; zero value = DefaultConfig.
+	Network transport.Config
+	// SuperPrimary enables §3.2 super-primary routing (default on via
+	// NewDeployment unless DisableSuperPrimary).
+	DisableSuperPrimary bool
+	// Timers; zero values take defaults.
+	IntraTimeout time.Duration
+	LockTimeout  time.Duration
+	RetryTimeout time.Duration
+	TickInterval time.Duration
+	// Seed drives all randomness (keys, jitter, fault injection).
+	Seed int64
+	// Ed25519 switches Byzantine deployments from the default HMAC
+	// authenticators (PBFT's normal-case MAC vectors) to real ed25519
+	// signatures. MACs are the faithful performance model; signatures cost
+	// two orders of magnitude more CPU.
+	Ed25519 bool
+}
+
+// Deployment is a running SharPer network: clusters of nodes over a
+// simulated fabric, plus factories for clients.
+type Deployment struct {
+	cfg     Config
+	Topo    *consensus.Topology
+	Net     *transport.Network
+	Keyring crypto.Authenticator
+	Shards  state.ShardMap
+
+	nodes      map[types.NodeID]*Node
+	nextClient uint32
+	started    bool
+}
+
+// NewDeployment validates the configuration and builds all nodes (stopped).
+func NewDeployment(cfg Config) (*Deployment, error) {
+	topo := cfg.Topology
+	if topo == nil {
+		if cfg.Clusters <= 0 || cfg.F <= 0 {
+			return nil, fmt.Errorf("core: Clusters and F must be positive (got %d, %d)", cfg.Clusters, cfg.F)
+		}
+		topo = consensus.UniformTopology(cfg.Model, cfg.Clusters, cfg.F)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if topo.Model != cfg.Model && !topo.Hybrid() {
+		return nil, fmt.Errorf("core: topology model %s != config model %s", topo.Model, cfg.Model)
+	}
+
+	netCfg := cfg.Network
+	if netCfg == (transport.Config{}) {
+		netCfg = transport.DefaultConfig()
+	}
+	if netCfg.Seed == 0 {
+		netCfg.Seed = cfg.Seed
+	}
+	net := transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
+		return topo.ClusterOf(id)
+	})
+
+	shards := state.ShardMap{NumShards: len(topo.Clusters)}
+
+	var auth crypto.Authenticator = crypto.NewMACKeyring()
+	if cfg.Ed25519 {
+		auth = crypto.NewKeyring()
+	}
+	d := &Deployment{
+		cfg:     cfg,
+		Topo:    topo,
+		Net:     net,
+		Keyring: auth,
+		Shards:  shards,
+		nodes:   make(map[types.NodeID]*Node),
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// Signatures are required deployment-wide as soon as any cluster runs
+	// under the Byzantine model (hybrid deployments, §3.4).
+	sign := topo.AnyByzantine()
+	for _, id := range topo.AllNodes() {
+		var signer crypto.Signer = crypto.NoopSigner{}
+		var verifier crypto.Verifier = crypto.NoopSigner{}
+		if sign {
+			if err := d.Keyring.Generate(id, rng); err != nil {
+				return nil, err
+			}
+			s, err := d.Keyring.SignerFor(id)
+			if err != nil {
+				return nil, err
+			}
+			signer, verifier = s, d.Keyring
+		}
+		cluster, _ := topo.ClusterOf(id)
+		d.nodes[id] = NewNode(NodeConfig{
+			Model:        topo.ModelOf(cluster),
+			Topology:     topo,
+			Cluster:      cluster,
+			Self:         id,
+			Net:          net,
+			Shards:       shards,
+			Signer:       signer,
+			Verifier:     verifier,
+			IntraTimeout: cfg.IntraTimeout,
+			LockTimeout:  cfg.LockTimeout,
+			RetryTimeout: cfg.RetryTimeout,
+			TickInterval: cfg.TickInterval,
+			SuperPrimary: !cfg.DisableSuperPrimary,
+			Seed:         cfg.Seed + int64(id) + 2,
+		})
+	}
+	return d, nil
+}
+
+// Start runs every node.
+func (d *Deployment) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	for _, n := range d.nodes {
+		n.Start()
+	}
+}
+
+// Stop terminates every node and tears the network down.
+func (d *Deployment) Stop() {
+	if !d.started {
+		d.Net.Close()
+		return
+	}
+	d.Net.Close()
+	for _, n := range d.nodes {
+		n.Stop()
+	}
+	d.started = false
+}
+
+// Node returns the replica with the given ID.
+func (d *Deployment) Node(id types.NodeID) *Node { return d.nodes[id] }
+
+// Nodes returns all replicas.
+func (d *Deployment) Nodes() []*Node {
+	out := make([]*Node, 0, len(d.nodes))
+	for _, id := range d.Topo.AllNodes() {
+		out = append(out, d.nodes[id])
+	}
+	return out
+}
+
+// CrashNode stops delivery to a node, modelling its crash.
+func (d *Deployment) CrashNode(id types.NodeID) { d.Net.Crash(id) }
+
+// SeedAccounts credits `perShard` accounts in every shard with balance on
+// every replica of the owning cluster, establishing identical genesis state.
+func (d *Deployment) SeedAccounts(perShard int, balance int64) {
+	for _, n := range d.nodes {
+		for k := 0; k < perShard; k++ {
+			acct := d.Shards.AccountInShard(n.Cluster(), uint64(k))
+			n.Store().Credit(acct, balance)
+		}
+	}
+}
+
+// ClusterViews returns one representative ledger view per cluster (the first
+// member's), for DAG assembly in tests and examples.
+func (d *Deployment) ClusterViews() []*ledger.View {
+	var out []*ledger.View
+	for _, c := range d.Topo.ClusterIDs() {
+		out = append(out, d.nodes[d.Topo.Members(c)[0]].View())
+	}
+	return out
+}
+
+// DAG returns the union ledger assembled from representative views.
+func (d *Deployment) DAG() *ledger.DAG { return ledger.NewDAG(d.ClusterViews()...) }
+
+// TotalCommitted sums committed transactions over one representative node
+// per cluster (each committed tx counts once per involved cluster).
+func (d *Deployment) TotalCommitted() int64 {
+	var total int64
+	for _, c := range d.Topo.ClusterIDs() {
+		total += d.nodes[d.Topo.Members(c)[0]].Committed()
+	}
+	return total
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// TestSurvivesMessageDrops runs a mixed workload over a lossy network: the
+// asynchrony model says messages may be dropped, and retransmission plus
+// chain sync must still drive every transaction to commit.
+func TestSurvivesMessageDrops(t *testing.T) {
+	net := transport.DefaultConfig()
+	net.DropProb = 0.02
+	d, err := NewDeployment(Config{
+		Model: types.CrashOnly, Clusters: 3, F: 1, Seed: 21, Network: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SeedAccounts(32, 1_000_000)
+	d.Start()
+	t.Cleanup(d.Stop)
+
+	c := d.NewClient()
+	c.Timeout = 3 * time.Second
+	for i := 0; i < 30; i++ {
+		var ops []types.Op
+		if i%3 == 0 {
+			ops = crossOps(d, types.ClusterID(i%3), types.ClusterID((i+1)%3))
+		} else {
+			ops = intraOps(d, types.ClusterID(i%3))
+		}
+		if _, _, err := c.Transfer(ops); err != nil {
+			t.Fatalf("tx %d under drops: %v", i, err)
+		}
+	}
+	waitQuiesce(t, d)
+	if err := d.DAG().Verify(); err != nil {
+		t.Fatalf("DAG verify after lossy run: %v", err)
+	}
+}
+
+// TestLaggingReplicaCatchesUp isolates one backup behind a partition while
+// the cluster commits, then heals it: the chain-sync protocol must bring
+// the backup to the same head.
+func TestLaggingReplicaCatchesUp(t *testing.T) {
+	d, err := NewDeployment(Config{Model: types.CrashOnly, Clusters: 2, F: 1, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SeedAccounts(32, 1_000_000)
+	d.Start()
+	t.Cleanup(d.Stop)
+
+	isolated := d.Topo.Members(0)[2]
+	others := append([]types.NodeID{}, d.Topo.Members(0)[0], d.Topo.Members(0)[1])
+	others = append(others, d.Topo.Members(1)...)
+	d.Net.Partition([]types.NodeID{isolated}, others)
+
+	c := d.NewClient()
+	for i := 0; i < 10; i++ {
+		if _, _, err := c.Transfer(intraOps(d, 0)); err != nil {
+			t.Fatalf("tx %d during partition: %v", i, err)
+		}
+	}
+	behind := d.Node(isolated).View().Len()
+	ahead := d.Node(d.Topo.Members(0)[0]).View().Len()
+	if behind >= ahead {
+		t.Fatalf("partition ineffective: isolated at %d, peer at %d", behind, ahead)
+	}
+
+	d.Net.HealPartition()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		a := d.Node(d.Topo.Members(0)[0]).View()
+		b := d.Node(isolated).View()
+		if b.Len() == a.Len() && b.Head() == a.Head() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("isolated replica stuck at %d blocks, peer at %d", b.Len(), a.Len())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// State caught up too, not just the chain.
+	want := d.Node(d.Topo.Members(0)[0]).Store().Snapshot()
+	got := d.Node(isolated).Store().Snapshot()
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("account %s: isolated has %d, peer %d", k, got[k], v)
+		}
+	}
+}
+
+// TestCrossShardAtomicValidation checks that an overdrafting cross-shard
+// transaction is rejected by every involved shard — the credit side must
+// not apply when the debit side fails (§4 validation, voted through the
+// flattened protocol's accept phase).
+func TestCrossShardAtomicValidation(t *testing.T) {
+	for _, model := range []types.FailureModel{types.CrashOnly, types.Byzantine} {
+		t.Run(model.String(), func(t *testing.T) {
+			d := newTestDeployment(t, model, 2)
+			c := d.NewClient()
+			ok, _, err := c.Transfer([]types.Op{{
+				From:   d.Shards.AccountInShard(0, 0),
+				To:     d.Shards.AccountInShard(1, 0),
+				Amount: 5_000_000, // seeded balance is 1M
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatal("overdraft reported committed")
+			}
+			waitQuiesce(t, d)
+			for _, n := range d.Nodes() {
+				if n.Cluster() != 1 {
+					continue
+				}
+				if got := n.Store().Balance(d.Shards.AccountInShard(1, 0)); got != 1_000_000 {
+					t.Fatalf("node %s applied the credit of a rejected tx: %d", n.ID(), got)
+				}
+			}
+		})
+	}
+}
+
+// TestDisjointCrossShardParallelism measures that cross-shard transactions
+// over disjoint cluster pairs make progress concurrently: with pairs {0,1}
+// and {2,3} issued together, total time is far below the serial sum.
+func TestDisjointCrossShardParallelism(t *testing.T) {
+	d := newTestDeployment(t, types.CrashOnly, 4)
+	const n = 20
+	done := make(chan time.Duration, 2)
+	for pair := 0; pair < 2; pair++ {
+		go func(pair int) {
+			c := d.NewClient()
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				a := types.ClusterID(2 * pair)
+				b := types.ClusterID(2*pair + 1)
+				if _, _, err := c.Transfer(crossOps(d, a, b)); err != nil {
+					t.Error(err)
+					break
+				}
+			}
+			done <- time.Since(start)
+		}(pair)
+	}
+	d1, d2 := <-done, <-done
+	serialEstimate := d1 + d2
+	// Run the same load again strictly serially for comparison.
+	c := d.NewClient()
+	start := time.Now()
+	for i := 0; i < 2*n; i++ {
+		a := types.ClusterID(2 * (i % 2))
+		b := a + 1
+		if _, _, err := c.Transfer(crossOps(d, a, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial := time.Since(start)
+	t.Logf("parallel max=%v (sum %v), serial=%v", maxDur(d1, d2), serialEstimate, serial)
+	if maxDur(d1, d2) > serial {
+		t.Fatalf("disjoint cross-shard pairs showed no parallelism: parallel=%v serial=%v",
+			maxDur(d1, d2), serial)
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestSuperPrimarySerializesSharedPairs checks the §3.2 rule: transactions
+// over cluster sets with a common min cluster route through one primary,
+// which orders them without conflicts (no withdrawals needed).
+func TestSuperPrimarySerializesSharedPairs(t *testing.T) {
+	d := newTestDeployment(t, types.CrashOnly, 3)
+	c1, c2 := d.NewClient(), d.NewClient()
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < 10; i++ {
+			if _, _, err := c1.Transfer(crossOps(d, 0, 1)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 10; i++ {
+			if _, _, err := c2.Transfer(crossOps(d, 0, 2)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	waitQuiesce(t, d)
+	if err := d.DAG().VerifyPairwiseOrder(); err != nil {
+		t.Fatal(err)
+	}
+}

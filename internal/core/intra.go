@@ -1,0 +1,108 @@
+// Package core implements SharPer itself (§2–§3): the node runtime that
+// glues a cluster's intra-shard consensus engine (Paxos or PBFT, pluggable
+// per §3.1) to the flattened cross-shard consensus protocol (Algorithm 1 for
+// crash-only deployments, Algorithm 2 for Byzantine ones), the per-cluster
+// DAG ledger view, the sharded account store, and the simulated network.
+package core
+
+import (
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/paxos"
+	"sharper/internal/pbft"
+	"sharper/internal/types"
+)
+
+// IntraEngine is the pluggable intra-shard consensus engine of §3.1. Both
+// Paxos and PBFT engines satisfy it; any other crash or Byzantine
+// fault-tolerant protocol could be slotted in.
+type IntraEngine interface {
+	// Propose starts consensus on tx; only the current primary acts.
+	Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
+	// Step consumes a protocol message.
+	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
+	// Tick fires protocol timers (view change).
+	Tick(now time.Time) []consensus.Outbound
+	// SyncChainHead advances the engine past an externally decided block
+	// (a cross-shard block committed by the flattened protocol), returning
+	// messages from replaying parked proposals plus the node's own orphaned
+	// transactions (in-flight proposals killed by the new block) so the
+	// runtime can re-propose them.
+	SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction)
+	// ProposedHead returns the seq/hash of the latest proposed block.
+	ProposedHead() (uint64, types.Hash)
+	// View returns the engine's current view.
+	View() uint64
+	// Primary returns the current primary of the cluster.
+	Primary() types.NodeID
+	// IsPrimary reports whether this node currently leads.
+	IsPrimary() bool
+	// SuspectPrimary votes to depose the primary after a client request
+	// went unexecuted past its timeout.
+	SuspectPrimary(now time.Time) []consensus.Outbound
+}
+
+// chainStatus reports a node's local cluster-chain state to the cross-shard
+// engine: the committed sequence/head and whether the chain is drained
+// (no proposal is in flight above the committed head). The flattened
+// protocol only votes on a drained chain so that all correct nodes of a
+// cluster report the same h_j (§3.2).
+type chainStatus struct {
+	Seq     uint64
+	Head    types.Hash
+	Drained bool
+}
+
+// newIntraEngine builds the model-appropriate engine.
+func newIntraEngine(model types.FailureModel, topo *consensus.Topology, cluster types.ClusterID,
+	self types.NodeID, signer crypto.Signer, verifier crypto.Verifier,
+	timeout time.Duration, genesis types.Hash) IntraEngine {
+	if model == types.Byzantine {
+		return pbft.New(pbft.Config{
+			Topology: topo, Cluster: cluster, Self: self,
+			Signer: signer, Verifier: verifier, Timeout: timeout,
+		}, genesis)
+	}
+	return paxos.New(paxos.Config{
+		Topology: topo, Cluster: cluster, Self: self, Timeout: timeout,
+	}, genesis)
+}
+
+// crossDecision is a committed cross-shard transaction: the block parents
+// are Hashes (one per involved cluster, in involved-set order).
+type crossDecision struct {
+	Tx     *types.Transaction
+	Digest types.Hash
+	Hashes []types.Hash
+	// Valid is the aggregated validation verdict: every involved cluster
+	// voted its local part valid. Invalid transactions are appended to the
+	// ledger (they were ordered) but not applied.
+	Valid bool
+}
+
+// crossEngine is the flattened cross-shard protocol, one implementation per
+// failure model.
+type crossEngine interface {
+	// Initiate starts flattened consensus on tx (initiator primary only).
+	Initiate(tx *types.Transaction, now time.Time) []consensus.Outbound
+	// Step consumes a cross-shard protocol message.
+	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision)
+	// OnChainAdvanced is called after the local chain appends a block, so
+	// proposals that waited for the chain to drain can be voted on.
+	OnChainAdvanced(now time.Time) ([]consensus.Outbound, []crossDecision)
+	// Tick fires lock expiry and initiator retries.
+	Tick(now time.Time) ([]consensus.Outbound, []crossDecision)
+	// Locked reports whether this node is currently blocked on an in-flight
+	// cross-shard transaction (§3.2: a node that voted accepts no other
+	// transactions until commit or timeout).
+	Locked() bool
+	// Waiting reports the number of cross-shard proposals parked at this
+	// node (held back by a lock or an undrained chain). A primary must stop
+	// feeding intra-shard proposals while this is non-zero, or the chain
+	// never drains and the parked proposals starve.
+	Waiting() int
+	// Pending reports the number of in-flight instances (for tests).
+	Pending() int
+}

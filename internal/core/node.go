@@ -1,0 +1,713 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/ledger"
+	"sharper/internal/state"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// NodeConfig parametrizes one SharPer replica.
+type NodeConfig struct {
+	Model    types.FailureModel
+	Topology *consensus.Topology
+	Cluster  types.ClusterID
+	Self     types.NodeID
+	Net      *transport.Network
+	Shards   state.ShardMap
+	Signer   crypto.Signer
+	Verifier crypto.Verifier
+
+	// IntraTimeout is the backup's suspicion timer before a view change.
+	IntraTimeout time.Duration
+	// LockTimeout bounds how long a node stays blocked on an in-flight
+	// cross-shard transaction (§3.2 "pre-determined time").
+	LockTimeout time.Duration
+	// RetryTimeout is the initiator's re-propose timer for conflicting
+	// cross-shard transactions.
+	RetryTimeout time.Duration
+	// TickInterval drives protocol timers.
+	TickInterval time.Duration
+	// SuperPrimary enables the §3.2 super-primary routing optimization.
+	SuperPrimary bool
+	// Seed feeds the node's jitter source.
+	Seed int64
+}
+
+func (c *NodeConfig) fillDefaults() {
+	if c.IntraTimeout <= 0 {
+		c.IntraTimeout = 500 * time.Millisecond
+	}
+	if c.LockTimeout <= 0 {
+		// Fallback only: locks are normally released by commit or an
+		// initiator abort; the unilateral expiry guards against a crashed
+		// initiator, so it can afford to be patient.
+		c.LockTimeout = time.Second
+	}
+	if c.RetryTimeout <= 0 {
+		// With two-shard transactions under super-primary routing the
+		// waits-for graph is acyclic (locks are acquired lowest-cluster
+		// first), so withdrawals are almost always queueing false alarms —
+		// be patient before aborting an attempt.
+		c.RetryTimeout = 250 * time.Millisecond
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 5 * time.Millisecond
+	}
+	if c.Signer == nil {
+		c.Signer = crypto.NoopSigner{}
+	}
+	if c.Verifier == nil {
+		c.Verifier = crypto.NoopSigner{}
+	}
+}
+
+// replyCacheSize bounds the retransmission-dedup cache; entries older than
+// any client's retry window are safe to evict.
+const replyCacheSize = 1 << 16
+
+// Node is one SharPer replica: it runs the cluster's intra-shard consensus
+// engine and the flattened cross-shard engine over its inbox, maintains its
+// cluster's ledger view and shard store, and answers clients.
+type Node struct {
+	cfg   NodeConfig
+	inbox <-chan *types.Envelope
+
+	intra IntraEngine
+	cross crossEngine
+
+	view  *ledger.View
+	store *state.Store
+
+	// Primary-side request queues used while the cross-shard lock is held.
+	pendingIntra []*types.Transaction
+	pendingCross []*types.Transaction
+	// queued tracks membership of the two queues so client retransmissions
+	// of queued transactions are not enqueued twice.
+	queued map[types.TxID]bool
+	// Intra-shard proposals deferred while locked (§3.2: a locked node
+	// does not process other transactions).
+	deferred []*types.Envelope
+	// Cross-shard decisions whose parent has not caught up locally yet.
+	pendingApply []crossDecision
+
+	replyCache *consensus.ReplyCache
+	// inFlight dedups client retransmissions against proposals that are
+	// still working their way through consensus.
+	inFlight map[types.TxID]time.Time
+	// forwarded tracks client requests relayed to the primary; if one goes
+	// unexecuted past the timeout, the primary is suspected (view change).
+	forwarded map[types.TxID]*forwardedReq
+
+	// Chain-sync (state transfer) bookkeeping: a replica that fell behind
+	// while blocked asks peers for the blocks it missed. Under the
+	// Byzantine model a block is adopted only with f+1 matching copies.
+	lastAppend time.Time
+	syncPeer   int
+	tickCount  int
+	syncVotes  map[uint64]map[types.NodeID]types.Hash
+	syncBlocks map[uint64]map[types.Hash]*types.Block
+
+	committed atomic.Int64
+	conflicts atomic.Int64 // cross-shard re-proposals observed
+	anomalies atomic.Int64 // ledger append failures (should stay 0)
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+}
+
+// NewNode builds a replica; call Start to run it.
+func NewNode(cfg NodeConfig) *Node {
+	cfg.fillDefaults()
+	n := &Node{
+		cfg:        cfg,
+		inbox:      cfg.Net.Register(cfg.Self),
+		view:       ledger.NewView(cfg.Cluster),
+		store:      state.NewStore(cfg.Cluster, cfg.Shards),
+		replyCache: consensus.NewReplyCache(replyCacheSize),
+		inFlight:   make(map[types.TxID]time.Time),
+		forwarded:  make(map[types.TxID]*forwardedReq),
+		queued:     make(map[types.TxID]bool),
+		lastAppend: time.Now(),
+		syncVotes:  make(map[uint64]map[types.NodeID]types.Hash),
+		syncBlocks: make(map[uint64]map[types.Hash]*types.Block),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+	}
+	genesis := ledger.GenesisHash()
+	n.intra = newIntraEngine(cfg.Model, cfg.Topology, cfg.Cluster, cfg.Self,
+		cfg.Signer, cfg.Verifier, cfg.IntraTimeout, genesis)
+	status := n.chainStatus
+	validate := func(tx *types.Transaction) bool { return n.store.Validate(tx) == nil }
+	// Cross-shard protocol selection: the crash-only Algorithm 1 applies
+	// only when every cluster is crash-only; as soon as any cluster may
+	// lie, the decentralized Algorithm 2 runs deployment-wide with
+	// per-cluster quorums (f+1 from crash clusters, 2f+1 from Byzantine
+	// ones) — the hybrid arrangement §3.4 sketches via SeeMoRe.
+	if cfg.Topology.AnyByzantine() {
+		n.cross = newXByz(cfg.Topology, cfg.Cluster, cfg.Self, cfg.Signer, cfg.Verifier,
+			status, validate, cfg.LockTimeout, cfg.RetryTimeout, cfg.Seed)
+	} else {
+		n.cross = newXCrash(cfg.Topology, cfg.Cluster, cfg.Self,
+			status, validate, cfg.LockTimeout, cfg.RetryTimeout, cfg.Seed)
+	}
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() types.NodeID { return n.cfg.Self }
+
+// Cluster returns the node's cluster.
+func (n *Node) Cluster() types.ClusterID { return n.cfg.Cluster }
+
+// View returns the node's ledger view (its cluster's chain).
+func (n *Node) View() *ledger.View { return n.view }
+
+// Store returns the node's shard store.
+func (n *Node) Store() *state.Store { return n.store }
+
+// Committed returns the number of transactions this node has committed.
+func (n *Node) Committed() int64 { return n.committed.Load() }
+
+// Anomalies returns the number of ledger append failures observed (0 in a
+// correct run; tests assert on it).
+func (n *Node) Anomalies() int64 { return n.anomalies.Load() }
+
+// chainStatus reports the local chain state to the cross-shard engine.
+func (n *Node) chainStatus() chainStatus {
+	pSeq, _ := n.intra.ProposedHead()
+	cSeq := uint64(n.view.Len() - 1)
+	return chainStatus{
+		Seq:     cSeq,
+		Head:    n.view.Head(),
+		Drained: pSeq == cSeq,
+	}
+}
+
+// Start runs the node's event loop in its own goroutine.
+func (n *Node) Start() {
+	go n.loop()
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (n *Node) Stop() {
+	close(n.stopCh)
+	<-n.doneCh
+}
+
+func (n *Node) loop() {
+	defer close(n.doneCh)
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case env := <-n.inbox:
+			n.dispatch(env, time.Now())
+		case now := <-ticker.C:
+			n.tick(now)
+		}
+	}
+}
+
+func (n *Node) send(outs []consensus.Outbound) {
+	for _, o := range outs {
+		n.cfg.Net.Multicast(o.To, o.Env)
+	}
+}
+
+func (n *Node) dispatch(env *types.Envelope, now time.Time) {
+	switch env.Type {
+	case types.MsgRequest:
+		n.onRequest(env, now)
+
+	case types.MsgPaxosAccept, types.MsgPrePrepare:
+		// New intra-shard proposals are deferred while the cross-shard lock
+		// is held: a locked node must not vote on other transactions.
+		if n.cross.Locked() {
+			n.deferred = append(n.deferred, env)
+			return
+		}
+		outs, decs := n.intra.Step(env, now)
+		n.send(outs)
+		n.applyIntra(decs, now)
+
+	case types.MsgPaxosAccepted, types.MsgPaxosCommit,
+		types.MsgPrepare, types.MsgCommit,
+		types.MsgViewChange, types.MsgNewView:
+		outs, decs := n.intra.Step(env, now)
+		n.send(outs)
+		n.applyIntra(decs, now)
+
+	case types.MsgXPropose, types.MsgXAccept, types.MsgXCommit, types.MsgXAbort:
+		outs, decs := n.cross.Step(env, now)
+		n.send(outs)
+		n.applyCross(decs, now)
+
+	case types.MsgSyncRequest:
+		n.onSyncRequest(env)
+
+	case types.MsgSyncResponse:
+		n.onSyncResponse(env, now)
+
+	default:
+		// Replies and baseline-only traffic are not for us.
+	}
+	n.maybeLaunch(now)
+}
+
+func (n *Node) tick(now time.Time) {
+	n.tickCount++
+	n.checkForwards(now)
+	n.send(n.intra.Tick(now))
+	outs, decs := n.cross.Tick(now)
+	n.send(outs)
+	n.applyCross(decs, now)
+	n.retryPendingApply(now)
+	n.maybeLaunch(now)
+	n.maybeSync(now)
+}
+
+// maybeSync probes a rotating cluster peer for blocks we may have missed.
+// It fires fast when there is direct evidence of lag (buffered cross-shard
+// decisions) and slowly as a background heartbeat otherwise.
+func (n *Node) maybeSync(now time.Time) {
+	evidence := len(n.pendingApply) > 0
+	stale := now.Sub(n.lastAppend) > 20*n.cfg.TickInterval
+	switch {
+	case evidence && n.tickCount%2 == 0:
+	case stale && n.tickCount%20 == 0:
+	default:
+		return
+	}
+	peers := othersOf(n.cfg.Topology.Members(n.cfg.Cluster), n.cfg.Self)
+	if len(peers) == 0 {
+		return
+	}
+	n.syncPeer = (n.syncPeer + 1) % len(peers)
+	req := &types.SyncRequest{From: uint64(n.view.Len())}
+	payload := req.Encode(nil)
+	n.cfg.Net.Send(peers[n.syncPeer], &types.Envelope{
+		Type: types.MsgSyncRequest, From: n.cfg.Self,
+		Payload: payload, Sig: n.cfg.Signer.Sign(payload),
+	})
+}
+
+// onSyncRequest answers with a bounded run of blocks the requester misses.
+func (n *Node) onSyncRequest(env *types.Envelope) {
+	req, err := types.DecodeSyncRequest(env.Payload)
+	if err != nil {
+		return
+	}
+	have := uint64(n.view.Len())
+	if req.From >= have {
+		return
+	}
+	const maxBatch = 32
+	to := req.From + maxBatch
+	if to > have {
+		to = have
+	}
+	resp := &types.SyncResponse{From: req.From}
+	for i := req.From; i < to; i++ {
+		resp.Blocks = append(resp.Blocks, n.view.Block(int(i)))
+	}
+	payload := resp.Encode(nil)
+	n.cfg.Net.Send(env.From, &types.Envelope{
+		Type: types.MsgSyncResponse, From: n.cfg.Self,
+		Payload: payload, Sig: n.cfg.Signer.Sign(payload),
+	})
+}
+
+// onSyncResponse adopts missed blocks. Crash model: the sender cannot lie,
+// adopt directly. Byzantine model: adopt a block only once f+1 distinct
+// peers sent an identical copy for that index (at least one is correct).
+func (n *Node) onSyncResponse(env *types.Envelope, now time.Time) {
+	if n.cfg.Model == types.Byzantine && !n.cfg.Verifier.Verify(env.From, env.Payload, env.Sig) {
+		return
+	}
+	resp, err := types.DecodeSyncResponse(env.Payload)
+	if err != nil {
+		return
+	}
+	for i, b := range resp.Blocks {
+		idx := resp.From + uint64(i)
+		if idx != uint64(n.view.Len()) {
+			if idx > uint64(n.view.Len()) && n.cfg.Model == types.Byzantine {
+				n.recordSyncVote(idx, env.From, b)
+			}
+			continue
+		}
+		if n.cfg.Model == types.Byzantine {
+			n.recordSyncVote(idx, env.From, b)
+			n.adoptVotedBlocks(now)
+		} else {
+			n.adoptBlock(b, now)
+		}
+	}
+	n.afterChainAdvance(now)
+	n.maybeLaunch(now)
+}
+
+func (n *Node) recordSyncVote(idx uint64, from types.NodeID, b *types.Block) {
+	h := b.Hash()
+	if n.syncVotes[idx] == nil {
+		n.syncVotes[idx] = make(map[types.NodeID]types.Hash)
+		n.syncBlocks[idx] = make(map[types.Hash]*types.Block)
+	}
+	n.syncVotes[idx][from] = h
+	n.syncBlocks[idx][h] = b
+}
+
+// adoptVotedBlocks appends, in order, every next block that has f+1
+// matching copies from distinct peers.
+func (n *Node) adoptVotedBlocks(now time.Time) {
+	f := n.cfg.Topology.F(n.cfg.Cluster)
+	for {
+		idx := uint64(n.view.Len())
+		votes := n.syncVotes[idx]
+		if votes == nil {
+			return
+		}
+		counts := make(map[types.Hash]int)
+		var winner types.Hash
+		for _, h := range votes {
+			counts[h]++
+			if counts[h] >= f+1 {
+				winner = h
+			}
+		}
+		if winner.IsZero() {
+			return
+		}
+		b := n.syncBlocks[idx][winner]
+		delete(n.syncVotes, idx)
+		delete(n.syncBlocks, idx)
+		if !n.adoptBlock(b, now) {
+			return
+		}
+	}
+}
+
+// adoptBlock appends a synced block if it extends the chain, executing it
+// and advancing the intra engine.
+func (n *Node) adoptBlock(b *types.Block, now time.Time) bool {
+	if err := n.view.Append(b); err != nil {
+		return false
+	}
+	n.lastAppend = now
+	// A synced cross-shard block was globally decided; replay its effects.
+	// Validation is deterministic over the chain prefix, so re-validating
+	// locally reproduces the voted verdict for our shard's part.
+	n.execute(b.Tx, true)
+	seq := uint64(n.view.Len() - 1)
+	outs, orphans := n.intra.SyncChainHead(seq, b.Hash(), now)
+	n.send(outs)
+	n.requeueOrphans(orphans)
+	return true
+}
+
+// onRequest routes a client request: intra-shard requests go through this
+// cluster's primary, cross-shard requests through the initiator cluster's
+// primary (the super primary when the optimization is on).
+func (n *Node) onRequest(env *types.Envelope, now time.Time) {
+	req, err := types.DecodeRequest(env.Payload)
+	if err != nil || len(req.Tx.Involved) == 0 {
+		return
+	}
+	tx := req.Tx
+	if r, ok := n.replyCache.Get(tx.ID); ok {
+		// Retransmission of an already-committed request: re-reply.
+		n.cfg.Net.Send(tx.Client, &types.Envelope{
+			Type: types.MsgReply, From: n.cfg.Self, Payload: r.Encode(nil),
+		})
+		return
+	}
+	if n.queued[tx.ID] {
+		return // already waiting in a primary queue
+	}
+	if t, ok := n.inFlight[tx.ID]; ok && now.Sub(t) < n.cfg.IntraTimeout {
+		// Retransmission of a request still in consensus: proposing it
+		// again would order it twice. Past the timeout we allow a fresh
+		// proposal (the first may have died with a deposed primary).
+		return
+	}
+
+	if !tx.IsCrossShard() {
+		if tx.Involved[0] != n.cfg.Cluster {
+			return // misrouted: not our shard
+		}
+		if !n.intra.IsPrimary() {
+			// Forward to the primary we currently believe in, remembering
+			// the request so a dead primary is eventually suspected.
+			n.rememberForward(tx, env, now)
+			n.cfg.Net.Send(n.intra.Primary(), env)
+			return
+		}
+		n.inFlight[tx.ID] = now
+		n.proposeIntra(tx, now)
+		return
+	}
+
+	initCluster := n.initiatorCluster(tx.Involved)
+	if initCluster != n.cfg.Cluster {
+		// Forward toward the initiator cluster; its members route to their
+		// own primary.
+		n.cfg.Net.Send(n.cfg.Topology.Members(initCluster)[0], env)
+		return
+	}
+	if !n.intra.IsPrimary() {
+		n.rememberForward(tx, env, now)
+		n.cfg.Net.Send(n.intra.Primary(), env)
+		return
+	}
+	n.inFlight[tx.ID] = now
+	n.proposeCross(tx, now)
+}
+
+// forwardedReq is a relayed client request awaiting execution.
+type forwardedReq struct {
+	tx  *types.Transaction
+	env *types.Envelope
+	at  time.Time
+}
+
+func (n *Node) rememberForward(tx *types.Transaction, env *types.Envelope, now time.Time) {
+	if _, ok := n.forwarded[tx.ID]; !ok {
+		n.forwarded[tx.ID] = &forwardedReq{tx: tx, env: env, at: now}
+	}
+}
+
+// checkForwards suspects the primary when relayed requests sit unexecuted
+// past the timeout, and re-drives them in the new view.
+func (n *Node) checkForwards(now time.Time) {
+	for id, fw := range n.forwarded {
+		if n.replyCache.Contains(id) {
+			delete(n.forwarded, id)
+			continue
+		}
+		if now.Sub(fw.at) < n.cfg.IntraTimeout {
+			continue
+		}
+		fw.at = now
+		if n.intra.IsPrimary() {
+			// The view changed onto us: drive the request ourselves.
+			delete(n.forwarded, id)
+			n.dispatch(fw.env, now)
+			continue
+		}
+		n.send(n.intra.SuspectPrimary(now))
+		n.cfg.Net.Send(n.intra.Primary(), fw.env)
+	}
+}
+
+// initiatorCluster applies the super-primary rule: min(P) initiates. With
+// the optimization off, the node's own cluster initiates if involved
+// (falling back to min(P) when not).
+func (n *Node) initiatorCluster(set types.ClusterSet) types.ClusterID {
+	if n.cfg.SuperPrimary {
+		return set.Min()
+	}
+	if set.Contains(n.cfg.Cluster) {
+		return n.cfg.Cluster
+	}
+	return set.Min()
+}
+
+func (n *Node) proposeIntra(tx *types.Transaction, now time.Time) {
+	// Queued or parked cross-shard work has priority: new intra proposals
+	// would keep the chain from draining and starve the flattened protocol.
+	if n.cross.Locked() || n.cross.Waiting() > 0 || len(n.pendingCross) > 0 {
+		if !n.queued[tx.ID] {
+			n.queued[tx.ID] = true
+			n.pendingIntra = append(n.pendingIntra, tx)
+		}
+		return
+	}
+	delete(n.queued, tx.ID)
+	outs, _ := n.intra.Propose(tx, now)
+	n.send(outs)
+}
+
+func (n *Node) proposeCross(tx *types.Transaction, now time.Time) {
+	if n.cross.Locked() || !n.chainStatus().Drained {
+		// Blocked or in-flight intra proposals ahead of us: queue; the
+		// chain drains because proposeIntra stops feeding it.
+		if !n.queued[tx.ID] {
+			n.queued[tx.ID] = true
+			n.pendingCross = append(n.pendingCross, tx)
+		}
+		return
+	}
+	delete(n.queued, tx.ID)
+	n.inFlight[tx.ID] = now
+	n.send(n.cross.Initiate(tx, now))
+}
+
+// maybeLaunch makes progress on whatever the node was forced to postpone:
+// deferred intra proposals after a lock clears, then queued cross-shard
+// initiations once the chain drains, then queued intra proposals. It is
+// called after every dispatch and tick, so no unlock transition is missed.
+func (n *Node) maybeLaunch(now time.Time) {
+	if n.cross.Locked() {
+		return
+	}
+	if len(n.deferred) > 0 {
+		envs := n.deferred
+		n.deferred = nil
+		for _, env := range envs {
+			// dispatch re-defers the rest if the node re-locks mid-replay.
+			n.dispatch(env, now)
+		}
+		if n.cross.Locked() {
+			return
+		}
+	}
+	if len(n.pendingCross) > 0 {
+		if !n.chainStatus().Drained {
+			return // wait for in-flight intra proposals to land
+		}
+		tx := n.pendingCross[0]
+		n.pendingCross = n.pendingCross[1:]
+		delete(n.queued, tx.ID)
+		n.inFlight[tx.ID] = now
+		n.send(n.cross.Initiate(tx, now))
+		return
+	}
+	if n.cross.Waiting() == 0 && len(n.pendingIntra) > 0 {
+		txs := n.pendingIntra
+		n.pendingIntra = nil
+		for _, tx := range txs {
+			n.proposeIntra(tx, now)
+		}
+	}
+}
+
+// applyIntra appends intra-shard decisions to the ledger, executes them,
+// and replies to clients.
+func (n *Node) applyIntra(decs []consensus.Decision, now time.Time) {
+	for _, d := range decs {
+		if err := n.view.Append(d.Block); err != nil {
+			n.anomalies.Add(1)
+			continue
+		}
+		n.lastAppend = now
+		n.execute(d.Block.Tx, true)
+	}
+	if len(decs) > 0 {
+		n.afterChainAdvance(now)
+	}
+}
+
+// applyCross appends cross-shard decisions, buffering any whose parent has
+// not been reached locally yet.
+func (n *Node) applyCross(decs []crossDecision, now time.Time) {
+	for _, d := range decs {
+		n.applyCrossOne(d, now)
+	}
+}
+
+func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
+	slot := -1
+	for i, c := range d.Tx.Involved {
+		if c == n.cfg.Cluster {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 || slot >= len(d.Hashes) {
+		return
+	}
+	if n.view.Contains(d.Tx.ID) {
+		return
+	}
+	if d.Hashes[slot] != n.view.Head() {
+		// Our chain is behind the agreed parent; retry after intra commits.
+		n.pendingApply = append(n.pendingApply, d)
+		return
+	}
+	block := &types.Block{Tx: d.Tx, Parents: d.Hashes}
+	if err := n.view.Append(block); err != nil {
+		n.anomalies.Add(1)
+		return
+	}
+	n.lastAppend = now
+	n.execute(d.Tx, d.Valid)
+	seq := uint64(n.view.Len() - 1)
+	outs, orphans := n.intra.SyncChainHead(seq, block.Hash(), now)
+	n.send(outs)
+	n.requeueOrphans(orphans)
+	n.afterChainAdvance(now)
+}
+
+// requeueOrphans re-proposes this primary's transactions whose pipeline
+// slots were taken by an externally decided block.
+func (n *Node) requeueOrphans(orphans []*types.Transaction) {
+	for _, tx := range orphans {
+		if !n.view.Contains(tx.ID) {
+			n.pendingIntra = append(n.pendingIntra, tx)
+		}
+	}
+}
+
+// afterChainAdvance wakes the cross engine (parked proposals may now be
+// votable) and retries buffered cross applications.
+func (n *Node) afterChainAdvance(now time.Time) {
+	outs, decs := n.cross.OnChainAdvanced(now)
+	n.send(outs)
+	n.applyCross(decs, now)
+	n.retryPendingApply(now)
+}
+
+func (n *Node) retryPendingApply(now time.Time) {
+	if len(n.pendingApply) == 0 {
+		return
+	}
+	pending := n.pendingApply
+	n.pendingApply = nil
+	for _, d := range pending {
+		n.applyCrossOne(d, now)
+	}
+}
+
+// execute applies the transaction to the shard store and answers the client.
+// Transactions that fail validation are still ordered (the block is already
+// appended) but have no effect and are reported as not committed; for
+// cross-shard transactions the aggregated validity vote (valid) gates the
+// apply so all involved shards act atomically. Execution is idempotent: a
+// transaction ordered twice (client retransmission racing a slow commit)
+// applies only once.
+func (n *Node) execute(tx *types.Transaction, valid bool) {
+	if r, done := n.replyCache.Get(tx.ID); done {
+		n.cfg.Net.Send(tx.Client, &types.Envelope{
+			Type: types.MsgReply, From: n.cfg.Self, Payload: r.Encode(nil),
+		})
+		return
+	}
+	delete(n.inFlight, tx.ID)
+	delete(n.forwarded, tx.ID)
+	ok := valid && n.store.Apply(tx) == nil
+	n.committed.Add(1)
+	r := &types.Reply{TxID: tx.ID, Replica: n.cfg.Self, Committed: ok}
+	n.replyCache.Put(tx.ID, r)
+	// Under the crash model only the responsible primary answers (Fig. 3a):
+	// the cluster primary for intra-shard transactions, the initiator
+	// cluster's primary for cross-shard ones. Byzantine clients wait for
+	// f+1 matching replies, so every replica of a Byzantine cluster
+	// answers.
+	if n.cfg.Model == types.CrashOnly {
+		if n.initiatorCluster(tx.Involved) != n.cfg.Cluster || !n.intra.IsPrimary() {
+			return
+		}
+	}
+	payload := r.Encode(nil)
+	n.cfg.Net.Send(tx.Client, &types.Envelope{
+		Type: types.MsgReply, From: n.cfg.Self,
+		Payload: payload, Sig: n.cfg.Signer.Sign(payload),
+	})
+}

@@ -1,0 +1,196 @@
+// Package crypto provides the signature substrate of §2.1: every node holds
+// a key pair, knows every other node's public key, and Byzantine-model
+// messages carry public-key signatures over the payload. Crash-model
+// deployments skip signatures entirely (channels are pairwise authenticated).
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"sharper/internal/types"
+)
+
+// Signer signs payloads on behalf of one node.
+type Signer interface {
+	// Sign returns a signature over payload, or nil if the deployment does
+	// not use signatures (crash model).
+	Sign(payload []byte) []byte
+}
+
+// Verifier checks signatures from any node in the deployment.
+type Verifier interface {
+	// Verify reports whether sig is a valid signature by `from` over payload.
+	// In the crash model every message verifies.
+	Verify(from types.NodeID, payload, sig []byte) bool
+}
+
+// NoopSigner implements Signer/Verifier for the crash model: no signatures.
+type NoopSigner struct{}
+
+// Sign returns nil: crash-model messages are unsigned.
+func (NoopSigner) Sign([]byte) []byte { return nil }
+
+// Verify always succeeds: pairwise-authenticated channels already guarantee
+// sender identity under the crash model.
+func (NoopSigner) Verify(types.NodeID, []byte, []byte) bool { return true }
+
+// Authenticator is the deployment-wide key registry: either a Keyring
+// (ed25519 signatures) or a MACKeyring (HMAC authenticators, the default —
+// matching PBFT's normal-case MAC vectors).
+type Authenticator interface {
+	Verifier
+	Generate(id types.NodeID, rng *rand.Rand) error
+	SignerFor(id types.NodeID) (Signer, error)
+}
+
+// Keyring holds the ed25519 key pairs of an entire deployment. Each node
+// gets a NodeSigner view that can sign with only its own private key, while
+// verification uses the shared public-key directory ("all nodes have access
+// to the public keys of all other nodes", §2.1).
+type Keyring struct {
+	mu   sync.RWMutex
+	pub  map[types.NodeID]ed25519.PublicKey
+	priv map[types.NodeID]ed25519.PrivateKey
+}
+
+// NewKeyring creates an empty keyring.
+func NewKeyring() *Keyring {
+	return &Keyring{
+		pub:  make(map[types.NodeID]ed25519.PublicKey),
+		priv: make(map[types.NodeID]ed25519.PrivateKey),
+	}
+}
+
+// Generate creates and registers a key pair for id, using rng for
+// deterministic test setups.
+func (k *Keyring) Generate(id types.NodeID, rng *rand.Rand) error {
+	pub, priv, err := ed25519.GenerateKey(rngReader{rng})
+	if err != nil {
+		return fmt.Errorf("crypto: generate key for %s: %w", id, err)
+	}
+	k.mu.Lock()
+	k.pub[id] = pub
+	k.priv[id] = priv
+	k.mu.Unlock()
+	return nil
+}
+
+// PublicKey returns the registered public key for id.
+func (k *Keyring) PublicKey(id types.NodeID) (ed25519.PublicKey, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	pub, ok := k.pub[id]
+	return pub, ok
+}
+
+// Verify reports whether sig is a valid signature by from over payload.
+func (k *Keyring) Verify(from types.NodeID, payload, sig []byte) bool {
+	k.mu.RLock()
+	pub, ok := k.pub[from]
+	k.mu.RUnlock()
+	if !ok || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pub, payload, sig)
+}
+
+// SignerFor returns a Signer bound to id's private key.
+func (k *Keyring) SignerFor(id types.NodeID) (Signer, error) {
+	k.mu.RLock()
+	priv, ok := k.priv[id]
+	k.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("crypto: no private key for %s", id)
+	}
+	return &NodeSigner{priv: priv}, nil
+}
+
+// NodeSigner signs with a single node's private key.
+type NodeSigner struct {
+	priv ed25519.PrivateKey
+}
+
+// Sign returns an ed25519 signature over payload.
+func (s *NodeSigner) Sign(payload []byte) []byte {
+	return ed25519.Sign(s.priv, payload)
+}
+
+// rngReader adapts math/rand to io.Reader for deterministic key generation
+// in tests and benchmarks. Production deployments would use crypto/rand; the
+// simulation favours reproducibility.
+type rngReader struct{ rng *rand.Rand }
+
+func (r rngReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(r.rng.Intn(256))
+	}
+	return len(p), nil
+}
+
+// MACKeyring implements the Signer/Verifier pair with HMAC-SHA256
+// authenticators instead of public-key signatures. PBFT's normal case — and
+// the high-throughput permissioned-blockchain deployments the paper
+// benchmarks — authenticate messages with MAC vectors because asymmetric
+// signatures cost two orders of magnitude more CPU; this keyring models
+// that: a trusted setup distributes one secret per node, and verification
+// recomputes the tag. Byzantine nodes still cannot forge tags for other
+// nodes (they lack the secrets), which is the property the protocols need.
+type MACKeyring struct {
+	mu   sync.RWMutex
+	keys map[types.NodeID][]byte
+}
+
+// NewMACKeyring creates an empty MAC keyring.
+func NewMACKeyring() *MACKeyring {
+	return &MACKeyring{keys: make(map[types.NodeID][]byte)}
+}
+
+// Generate creates and registers a 32-byte secret for id.
+func (k *MACKeyring) Generate(id types.NodeID, rng *rand.Rand) error {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(rng.Intn(256))
+	}
+	k.mu.Lock()
+	k.keys[id] = key
+	k.mu.Unlock()
+	return nil
+}
+
+// Verify recomputes the sender's tag over payload.
+func (k *MACKeyring) Verify(from types.NodeID, payload, sig []byte) bool {
+	k.mu.RLock()
+	key, ok := k.keys[from]
+	k.mu.RUnlock()
+	if !ok || len(sig) != sha256.Size {
+		return false
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(payload)
+	return hmac.Equal(sig, mac.Sum(nil))
+}
+
+// SignerFor returns a Signer bound to id's secret.
+func (k *MACKeyring) SignerFor(id types.NodeID) (Signer, error) {
+	k.mu.RLock()
+	key, ok := k.keys[id]
+	k.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("crypto: no MAC key for %s", id)
+	}
+	return macSigner{key: key}, nil
+}
+
+type macSigner struct{ key []byte }
+
+// Sign returns the HMAC-SHA256 tag over payload.
+func (s macSigner) Sign(payload []byte) []byte {
+	mac := hmac.New(sha256.New, s.key)
+	mac.Write(payload)
+	return mac.Sum(nil)
+}

@@ -1,0 +1,131 @@
+package crypto
+
+import (
+	"math/rand"
+	"testing"
+
+	"sharper/internal/types"
+)
+
+func TestSignVerify(t *testing.T) {
+	k := NewKeyring()
+	rng := rand.New(rand.NewSource(1))
+	if err := k.Generate(1, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Generate(2, rng); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := k.SignerFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("propose block 7")
+	sig := s1.Sign(msg)
+	if !k.Verify(1, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if k.Verify(2, msg, sig) {
+		t.Fatal("signature attributed to the wrong node")
+	}
+	if k.Verify(1, []byte("propose block 8"), sig) {
+		t.Fatal("signature accepted for altered payload")
+	}
+	sig[0] ^= 0xff
+	if k.Verify(1, msg, sig) {
+		t.Fatal("corrupted signature accepted")
+	}
+}
+
+func TestVerifyUnknownNode(t *testing.T) {
+	k := NewKeyring()
+	if k.Verify(99, []byte("x"), make([]byte, 64)) {
+		t.Fatal("verification succeeded for unregistered node")
+	}
+}
+
+func TestVerifyShortSignature(t *testing.T) {
+	k := NewKeyring()
+	rng := rand.New(rand.NewSource(2))
+	if err := k.Generate(1, rng); err != nil {
+		t.Fatal(err)
+	}
+	if k.Verify(1, []byte("x"), []byte{1, 2, 3}) {
+		t.Fatal("malformed signature accepted")
+	}
+}
+
+func TestSignerForMissingKey(t *testing.T) {
+	k := NewKeyring()
+	if _, err := k.SignerFor(7); err == nil {
+		t.Fatal("expected error for missing private key")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	k1, k2 := NewKeyring(), NewKeyring()
+	if err := k1.Generate(1, rand.New(rand.NewSource(42))); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Generate(1, rand.New(rand.NewSource(42))); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := k1.PublicKey(1)
+	p2, _ := k2.PublicKey(1)
+	if string(p1) != string(p2) {
+		t.Fatal("same seed produced different keys")
+	}
+}
+
+func TestNoopSigner(t *testing.T) {
+	var s NoopSigner
+	if s.Sign([]byte("x")) != nil {
+		t.Fatal("noop signer produced a signature")
+	}
+	if !s.Verify(types.NodeID(1), []byte("x"), nil) {
+		t.Fatal("noop verifier rejected a message")
+	}
+}
+
+func TestMACKeyring(t *testing.T) {
+	k := NewMACKeyring()
+	rng := rand.New(rand.NewSource(3))
+	if err := k.Generate(1, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Generate(2, rng); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := k.SignerFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("commit block 3")
+	tag := s1.Sign(msg)
+	if !k.Verify(1, msg, tag) {
+		t.Fatal("valid tag rejected")
+	}
+	if k.Verify(2, msg, tag) {
+		t.Fatal("tag attributed to the wrong node")
+	}
+	if k.Verify(1, []byte("commit block 4"), tag) {
+		t.Fatal("tag accepted for altered payload")
+	}
+	tag[0] ^= 1
+	if k.Verify(1, msg, tag) {
+		t.Fatal("corrupted tag accepted")
+	}
+	if _, err := k.SignerFor(9); err == nil {
+		t.Fatal("expected error for missing MAC key")
+	}
+	if k.Verify(9, msg, tag) {
+		t.Fatal("verification for unregistered node succeeded")
+	}
+}
+
+// TestAuthenticatorInterfaces pins both keyrings to the Authenticator
+// contract used by deployments.
+func TestAuthenticatorInterfaces(t *testing.T) {
+	var _ Authenticator = NewKeyring()
+	var _ Authenticator = NewMACKeyring()
+}

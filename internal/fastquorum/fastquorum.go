@@ -1,0 +1,366 @@
+// Package fastquorum implements the two-phase "fast" replication engines
+// the paper benchmarks against (§4, §5): protocols that spend extra
+// replicas to drop one communication phase. Fast Paxos [34] reaches crash
+// consensus over 3f+1 nodes in two steps (propose, accept) instead of
+// Paxos's three, and FaB [40] reaches Byzantine consensus over 5f+1 nodes
+// in two steps instead of PBFT's three.
+//
+// The engine is leader-based: the primary multicasts a proposal and every
+// node multicasts an accept; a node decides once it has Q matching accepts,
+// where Q = 2f+1 of 3f+1 (Fast Paxos) or 4f+1 of 5f+1 (FaB). Both variants
+// share this skeleton and differ only in group size, quorum, and signing.
+package fastquorum
+
+import (
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/types"
+)
+
+// Config parametrizes the engine.
+type Config struct {
+	Topology *consensus.Topology
+	Cluster  types.ClusterID
+	Self     types.NodeID
+	// Quorum is the number of matching accepts (including the node's own)
+	// required to decide.
+	Quorum int
+	// Sign enables signatures on every message (FaB).
+	Sign     bool
+	Signer   crypto.Signer
+	Verifier crypto.Verifier
+	// Timeout before a backup suspects the primary.
+	Timeout time.Duration
+}
+
+// Engine is one node's state. It satisfies the replica.Engine interface.
+type Engine struct {
+	cfg  Config
+	view uint64
+
+	proposedSeq  uint64
+	proposedHead types.Hash
+
+	committedSeq  uint64
+	committedHead types.Hash
+
+	instances map[uint64]*instance
+	delivered map[uint64]bool
+
+	vcVotes      map[uint64]map[types.NodeID]*types.ViewChange
+	viewChanging bool
+}
+
+type instance struct {
+	digest     types.Hash
+	parent     types.Hash
+	tx         *types.Transaction
+	view       uint64
+	accepts    map[types.NodeID]types.Hash
+	sentAccept bool
+	committed  bool
+	deadline   time.Time
+}
+
+// New creates an engine at view 0.
+func New(cfg Config, genesis types.Hash) *Engine {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	if cfg.Signer == nil {
+		cfg.Signer = crypto.NoopSigner{}
+	}
+	if cfg.Verifier == nil {
+		cfg.Verifier = crypto.NoopSigner{}
+	}
+	return &Engine{
+		cfg:           cfg,
+		proposedHead:  genesis,
+		committedHead: genesis,
+		instances:     make(map[uint64]*instance),
+		delivered:     make(map[uint64]bool),
+		vcVotes:       make(map[uint64]map[types.NodeID]*types.ViewChange),
+	}
+}
+
+// View returns the current view.
+func (e *Engine) View() uint64 { return e.view }
+
+// Primary returns the current primary.
+func (e *Engine) Primary() types.NodeID { return e.cfg.Topology.Primary(e.cfg.Cluster, e.view) }
+
+// IsPrimary reports whether this node leads the current view.
+func (e *Engine) IsPrimary() bool { return e.Primary() == e.cfg.Self }
+
+func (e *Engine) members() []types.NodeID { return e.cfg.Topology.Members(e.cfg.Cluster) }
+
+func (e *Engine) sign(p []byte) []byte {
+	if !e.cfg.Sign {
+		return nil
+	}
+	return e.cfg.Signer.Sign(p)
+}
+
+func (e *Engine) authentic(env *types.Envelope) bool {
+	if !e.cfg.Sign {
+		return true
+	}
+	return e.cfg.Verifier.Verify(env.From, env.Payload, env.Sig)
+}
+
+// Propose starts consensus on tx (primary only).
+func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
+	if !e.IsPrimary() || e.viewChanging {
+		return nil, 0
+	}
+	seq := e.proposedSeq + 1
+	parent := e.proposedHead
+	block := &types.Block{Tx: tx, Parents: []types.Hash{parent}}
+	digest := tx.Digest()
+
+	inst := e.getInstance(seq)
+	inst.digest = digest
+	inst.parent = parent
+	inst.tx = tx
+	inst.view = e.view
+	inst.deadline = now.Add(e.cfg.Timeout)
+	e.proposedSeq = seq
+	e.proposedHead = block.Hash()
+
+	msg := &types.ConsensusMsg{
+		View: e.view, Seq: seq, Digest: digest, Cluster: e.cfg.Cluster,
+		PrevHashes: []types.Hash{parent}, Tx: tx,
+	}
+	payload := msg.Encode(nil)
+	out := []consensus.Outbound{{
+		To:  others(e.members(), e.cfg.Self),
+		Env: &types.Envelope{Type: types.MsgFastPropose, From: e.cfg.Self, Payload: payload, Sig: e.sign(payload)},
+	}}
+	out = append(out, e.voteAccept(inst, seq)...)
+	return out, seq
+}
+
+func (e *Engine) getInstance(seq uint64) *instance {
+	inst, ok := e.instances[seq]
+	if !ok {
+		inst = &instance{accepts: make(map[types.NodeID]types.Hash)}
+		e.instances[seq] = inst
+	}
+	return inst
+}
+
+// Step consumes one protocol message.
+func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	if !e.authentic(env) {
+		return nil, nil
+	}
+	switch env.Type {
+	case types.MsgFastPropose:
+		return e.onPropose(env, now)
+	case types.MsgFastAccept:
+		return e.onAccept(env)
+	case types.MsgViewChange:
+		return e.onViewChange(env)
+	case types.MsgNewView:
+		return e.onNewView(env)
+	default:
+		return nil, nil
+	}
+}
+
+func (e *Engine) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || m.Tx == nil || len(m.PrevHashes) != 1 {
+		return nil, nil
+	}
+	if env.From != e.cfg.Topology.Primary(e.cfg.Cluster, m.View) || m.View != e.view {
+		return nil, nil
+	}
+	if m.Digest != m.Tx.Digest() {
+		return nil, nil
+	}
+	inst := e.getInstance(m.Seq)
+	if inst.tx == nil {
+		inst.digest = m.Digest
+		inst.parent = m.PrevHashes[0]
+		inst.tx = m.Tx
+		inst.view = m.View
+		inst.deadline = now.Add(e.cfg.Timeout)
+	}
+	if m.Seq > e.proposedSeq {
+		e.proposedSeq = m.Seq
+		block := &types.Block{Tx: m.Tx, Parents: []types.Hash{inst.parent}}
+		e.proposedHead = block.Hash()
+	}
+	out := e.voteAccept(inst, m.Seq)
+	return out, e.advanceFrom(inst, m.Seq)
+}
+
+func (e *Engine) voteAccept(inst *instance, seq uint64) []consensus.Outbound {
+	if inst.sentAccept {
+		return nil
+	}
+	inst.sentAccept = true
+	inst.accepts[e.cfg.Self] = inst.digest
+	m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cfg.Cluster}
+	payload := m.Encode(nil)
+	return []consensus.Outbound{{
+		To:  others(e.members(), e.cfg.Self),
+		Env: &types.Envelope{Type: types.MsgFastAccept, From: e.cfg.Self, Payload: payload, Sig: e.sign(payload)},
+	}}
+}
+
+func (e *Engine) onAccept(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil {
+		return nil, nil
+	}
+	inst := e.getInstance(m.Seq)
+	inst.accepts[env.From] = m.Digest
+	return nil, e.advanceFrom(inst, m.Seq)
+}
+
+func (e *Engine) advanceFrom(inst *instance, seq uint64) []consensus.Decision {
+	if inst.tx != nil && !inst.committed {
+		n := 0
+		for _, d := range inst.accepts {
+			if d == inst.digest {
+				n++
+			}
+		}
+		if n >= e.cfg.Quorum {
+			inst.committed = true
+		}
+	}
+	var out []consensus.Decision
+	for {
+		next := e.committedSeq + 1
+		in, ok := e.instances[next]
+		if !ok || !in.committed || in.tx == nil || e.delivered[next] {
+			return out
+		}
+		block := &types.Block{Tx: in.tx, Parents: []types.Hash{in.parent}}
+		e.delivered[next] = true
+		e.committedSeq = next
+		e.committedHead = block.Hash()
+		out = append(out, consensus.Decision{Block: block, Seq: next})
+		delete(e.instances, next)
+	}
+}
+
+// Tick fires backup timers and triggers a view change on a stuck proposal.
+func (e *Engine) Tick(now time.Time) []consensus.Outbound {
+	if e.IsPrimary() || e.viewChanging {
+		return nil
+	}
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && inst.tx != nil && !inst.committed && now.After(inst.deadline) {
+			return e.startViewChange(e.view + 1)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
+	e.viewChanging = true
+	vc := &types.ViewChange{NewView: newView, Cluster: e.cfg.Cluster,
+		LastSeq: e.committedSeq, LastHash: e.committedHead}
+	e.recordVC(e.cfg.Self, vc)
+	payload := vc.Encode(nil)
+	return []consensus.Outbound{{
+		To:  others(e.members(), e.cfg.Self),
+		Env: &types.Envelope{Type: types.MsgViewChange, From: e.cfg.Self, Payload: payload, Sig: e.sign(payload)},
+	}}
+}
+
+func (e *Engine) recordVC(from types.NodeID, vc *types.ViewChange) {
+	m, ok := e.vcVotes[vc.NewView]
+	if !ok {
+		m = make(map[types.NodeID]*types.ViewChange)
+		e.vcVotes[vc.NewView] = m
+	}
+	m[from] = vc
+}
+
+func (e *Engine) onViewChange(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+	vc, err := types.DecodeViewChange(env.Payload)
+	if err != nil || vc.NewView <= e.view || vc.Cluster != e.cfg.Cluster {
+		return nil, nil
+	}
+	e.recordVC(env.From, vc)
+	votes := e.vcVotes[vc.NewView]
+	f := e.cfg.Topology.F(e.cfg.Cluster)
+
+	var out []consensus.Outbound
+	if !e.viewChanging && len(votes) >= f+1 {
+		out = append(out, e.startViewChange(vc.NewView)...)
+		votes = e.vcVotes[vc.NewView]
+	}
+	if e.cfg.Topology.Primary(e.cfg.Cluster, vc.NewView) != e.cfg.Self {
+		return out, nil
+	}
+	if len(votes) < e.cfg.Quorum {
+		return out, nil
+	}
+	nv := &types.ViewChange{NewView: vc.NewView, Cluster: e.cfg.Cluster,
+		LastSeq: e.committedSeq, LastHash: e.committedHead}
+	payload := nv.Encode(nil)
+	out = append(out, consensus.Outbound{
+		To:  others(e.members(), e.cfg.Self),
+		Env: &types.Envelope{Type: types.MsgNewView, From: e.cfg.Self, Payload: payload, Sig: e.sign(payload)},
+	})
+	e.installView(vc.NewView)
+	return out, nil
+}
+
+func (e *Engine) onNewView(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+	nv, err := types.DecodeViewChange(env.Payload)
+	if err != nil || nv.NewView < e.view || nv.Cluster != e.cfg.Cluster {
+		return nil, nil
+	}
+	if env.From != e.cfg.Topology.Primary(e.cfg.Cluster, nv.NewView) {
+		return nil, nil
+	}
+	e.installView(nv.NewView)
+	return nil, nil
+}
+
+func (e *Engine) installView(v uint64) {
+	if v <= e.view {
+		e.viewChanging = false
+		return
+	}
+	e.view = v
+	e.viewChanging = false
+	e.proposedSeq = e.committedSeq
+	e.proposedHead = e.committedHead
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && !inst.committed {
+			delete(e.instances, seq)
+		}
+	}
+}
+
+func others(members []types.NodeID, self types.NodeID) []types.NodeID {
+	out := make([]types.NodeID, 0, len(members)-1)
+	for _, m := range members {
+		if m != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SuspectPrimary votes to depose the current primary. The runtime calls it
+// when a forwarded client request goes unexecuted past its timeout — the
+// PBFT rule that lets a cluster recover from a primary that fails while
+// holding no in-flight proposals.
+func (e *Engine) SuspectPrimary(now time.Time) []consensus.Outbound {
+	if e.IsPrimary() || e.viewChanging {
+		return nil
+	}
+	_ = now
+	return e.startViewChange(e.view + 1)
+}

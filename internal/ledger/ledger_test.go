@@ -1,0 +1,200 @@
+package ledger
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sharper/internal/types"
+)
+
+func intraTx(client types.NodeID, seq uint64, cluster types.ClusterID) *types.Transaction {
+	return &types.Transaction{
+		ID:       types.TxID{Client: client, Seq: seq},
+		Client:   client,
+		Ops:      []types.Op{{From: 0, To: 1, Amount: 1}},
+		Involved: types.ClusterSet{cluster},
+	}
+}
+
+func crossTx(client types.NodeID, seq uint64, clusters ...types.ClusterID) *types.Transaction {
+	return &types.Transaction{
+		ID:       types.TxID{Client: client, Seq: seq},
+		Client:   client,
+		Ops:      []types.Op{{From: 0, To: 1, Amount: 1}},
+		Involved: types.NewClusterSet(clusters...),
+	}
+}
+
+// appendIntra appends an intra-shard block chaining to the view head.
+func appendIntra(t *testing.T, v *View, tx *types.Transaction) *types.Block {
+	t.Helper()
+	b := &types.Block{Tx: tx, Parents: []types.Hash{v.Head()}}
+	if err := v.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestViewChaining(t *testing.T) {
+	v := NewView(0)
+	if v.Len() != 1 {
+		t.Fatalf("fresh view has %d blocks, want 1 (genesis)", v.Len())
+	}
+	if v.Head() != GenesisHash() {
+		t.Fatal("fresh view head is not genesis")
+	}
+	b1 := appendIntra(t, v, intraTx(types.ClientIDBase+1, 1, 0))
+	b2 := appendIntra(t, v, intraTx(types.ClientIDBase+1, 2, 0))
+	if v.Head() != b2.Hash() {
+		t.Fatal("head not advanced")
+	}
+	if !v.Contains(b1.Tx.ID) || !v.Contains(b2.Tx.ID) {
+		t.Fatal("Contains lost a committed tx")
+	}
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewRejectsWrongParent(t *testing.T) {
+	v := NewView(0)
+	appendIntra(t, v, intraTx(types.ClientIDBase+1, 1, 0))
+	bad := &types.Block{
+		Tx:      intraTx(types.ClientIDBase+1, 2, 0),
+		Parents: []types.Hash{GenesisHash()}, // stale parent
+	}
+	if err := v.Append(bad); err == nil {
+		t.Fatal("append with stale parent succeeded")
+	}
+}
+
+func TestViewRejectsForeignBlock(t *testing.T) {
+	v := NewView(0)
+	b := &types.Block{
+		Tx:      intraTx(types.ClientIDBase+1, 1, 3), // cluster 3, not ours
+		Parents: []types.Hash{v.Head()},
+	}
+	if err := v.Append(b); err == nil {
+		t.Fatal("appended a block that does not involve this cluster")
+	}
+}
+
+func TestCrossShardParentSlots(t *testing.T) {
+	v0, v1 := NewView(0), NewView(1)
+	appendIntra(t, v0, intraTx(types.ClientIDBase+1, 1, 0))
+	appendIntra(t, v1, intraTx(types.ClientIDBase+2, 1, 1))
+
+	x := &types.Block{
+		Tx:      crossTx(types.ClientIDBase+3, 1, 0, 1),
+		Parents: []types.Hash{v0.Head(), v1.Head()}, // slot order = involved order
+	}
+	if err := v0.Append(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Append(x); err != nil {
+		t.Fatal(err)
+	}
+	if len(v0.CrossShardBlocks()) != 1 || len(v1.CrossShardBlocks()) != 1 {
+		t.Fatal("cross-shard block not visible in both views")
+	}
+	if err := NewDAG(v0, v1).Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDAGDetectsMissingCrossBlock(t *testing.T) {
+	v0, v1 := NewView(0), NewView(1)
+	x := &types.Block{
+		Tx:      crossTx(types.ClientIDBase+3, 1, 0, 1),
+		Parents: []types.Hash{v0.Head(), v1.Head()},
+	}
+	if err := v0.Append(x); err != nil {
+		t.Fatal(err)
+	}
+	// v1 never gets the block.
+	if err := NewDAG(v0, v1).Verify(); err == nil {
+		t.Fatal("DAG.Verify missed a cross-shard block absent from an involved view")
+	}
+}
+
+func TestDAGDetectsConflictingOrder(t *testing.T) {
+	v0, v1 := NewView(0), NewView(1)
+	a := crossTx(types.ClientIDBase+1, 1, 0, 1)
+	b := crossTx(types.ClientIDBase+2, 1, 0, 1)
+
+	// v0 commits a then b; v1 commits b then a — an order violation.
+	ba := &types.Block{Tx: a, Parents: []types.Hash{v0.Head(), v1.Head()}}
+	if err := v0.Append(ba); err != nil {
+		t.Fatal(err)
+	}
+	bb0 := &types.Block{Tx: b, Parents: []types.Hash{v0.Head(), GenesisHash()}}
+	if err := v0.Append(bb0); err != nil {
+		t.Fatal(err)
+	}
+	bb1 := &types.Block{Tx: b, Parents: []types.Hash{types.HashBytes([]byte("x")), v1.Head()}}
+	if err := v1.Append(bb1); err != nil {
+		t.Fatal(err)
+	}
+	ba1 := &types.Block{Tx: a, Parents: []types.Hash{types.HashBytes([]byte("y")), v1.Head()}}
+	if err := v1.Append(ba1); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewDAG(v0, v1).VerifyPairwiseOrder(); err == nil {
+		t.Fatal("VerifyPairwiseOrder missed conflicting cross-shard orders")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	v := NewView(0)
+	appendIntra(t, v, intraTx(types.ClientIDBase+1, 1, 0))
+	out := NewDAG(v).RenderASCII()
+	if out == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+// TestQuickChainVerify property: any sequence of correctly chained blocks
+// verifies, and corrupting any stored block breaks verification.
+func TestQuickChainVerify(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := NewView(0)
+		n := 2 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			b := &types.Block{
+				Tx:      intraTx(types.ClientIDBase+1, uint64(i+1), 0),
+				Parents: []types.Hash{v.Head()},
+			}
+			if v.Append(b) != nil {
+				return false
+			}
+		}
+		if v.Verify() != nil {
+			return false
+		}
+		// Corrupt one block in place: verification must fail.
+		idx := 1 + rng.Intn(n)
+		v.Block(idx).Tx.Ops[0].Amount = 999999
+		return v.Verify() != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDuplicateTxTolerated property: the chain records exactly what
+// consensus decided — a duplicate transaction appends fine and Contains
+// still reports it.
+func TestQuickDuplicateTxTolerated(t *testing.T) {
+	v := NewView(0)
+	tx := intraTx(types.ClientIDBase+1, 1, 0)
+	appendIntra(t, v, tx)
+	appendIntra(t, v, tx)
+	if v.Len() != 3 {
+		t.Fatalf("len %d, want 3", v.Len())
+	}
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,516 @@
+// Package paxos implements the intra-shard crash-fault-tolerant consensus
+// of §3.1 (Fig. 3a): a primary-led, three-step protocol over 2f+1 nodes.
+// The primary assigns a sequence number and the hash of the previous block,
+// multicasts an accept message, collects f+1 matching accepted messages
+// (counting itself), and multicasts commit. Liveness under primary failure
+// comes from a timeout-driven view change (§3.2 "Safety and Liveness").
+//
+// The engine is a pure state machine: callers feed it envelopes and timer
+// ticks; it returns outbound messages and ordered decisions. It never
+// touches the network, the ledger, or the clock, which keeps every protocol
+// step deterministic and unit-testable.
+package paxos
+
+import (
+	"fmt"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/types"
+)
+
+// Engine is one node's Paxos state for one cluster.
+type Engine struct {
+	topo    *consensus.Topology
+	cluster types.ClusterID
+	self    types.NodeID
+
+	view uint64
+
+	// Primary-side proposal chain: the hash/seq of the latest block this
+	// primary has proposed (it may be ahead of the committed head, which
+	// enables pipelining — block hashes are computable at proposal time
+	// because they cover only the transaction and parent links).
+	proposedSeq  uint64
+	proposedHead types.Hash
+
+	// Committed progress, advanced by Engine.advance as decisions drain.
+	committedSeq  uint64
+	committedHead types.Hash
+
+	instances map[uint64]*instance
+	delivered map[uint64]bool
+	// parked holds accept messages that arrived out of order (their seq or
+	// parent does not yet extend our chain); they are retried whenever the
+	// proposal chain advances.
+	parked map[uint64]*types.Envelope
+
+	// View change bookkeeping.
+	vcVotes      map[uint64]map[types.NodeID]*types.ViewChange
+	viewChanging bool
+
+	// Proposal timeout for backups awaiting commit.
+	timeout time.Duration
+}
+
+type instance struct {
+	digest    types.Hash
+	parent    types.Hash
+	tx        *types.Transaction
+	view      uint64
+	accepted  map[types.NodeID]bool
+	committed bool
+	sentCmt   bool
+	own       bool // proposed by this node (as primary)
+	deadline  time.Time
+}
+
+// Config parametrizes an Engine.
+type Config struct {
+	Topology *consensus.Topology
+	Cluster  types.ClusterID
+	Self     types.NodeID
+	// Timeout before a backup suspects the primary for an in-flight
+	// proposal and votes to change view.
+	Timeout time.Duration
+}
+
+// New creates an engine starting at view 0 with the genesis head.
+func New(cfg Config, genesis types.Hash) *Engine {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	return &Engine{
+		topo:          cfg.Topology,
+		cluster:       cfg.Cluster,
+		self:          cfg.Self,
+		proposedHead:  genesis,
+		committedHead: genesis,
+		instances:     make(map[uint64]*instance),
+		delivered:     make(map[uint64]bool),
+		parked:        make(map[uint64]*types.Envelope),
+		vcVotes:       make(map[uint64]map[types.NodeID]*types.ViewChange),
+		timeout:       cfg.Timeout,
+	}
+}
+
+// View returns the current view.
+func (e *Engine) View() uint64 { return e.view }
+
+// Primary returns the current primary of the cluster.
+func (e *Engine) Primary() types.NodeID { return e.topo.Primary(e.cluster, e.view) }
+
+// IsPrimary reports whether this node leads the current view.
+func (e *Engine) IsPrimary() bool { return e.Primary() == e.self }
+
+// ProposedHead returns the hash of the last block this node has proposed
+// (primary) or committed (backup) — the h_i the cluster contributes to
+// cross-shard proposals.
+func (e *Engine) ProposedHead() (uint64, types.Hash) { return e.proposedSeq, e.proposedHead }
+
+// SyncChainHead advances the proposal chain past a block decided outside
+// this engine (a cross-shard block committed by the flattened protocol
+// shares the cluster's chain). The runtime calls it after appending such a
+// block so subsequent intra-shard proposals chain to it. In-flight
+// proposals that no longer extend the chain are discarded — their clients
+// retransmit — and out-of-order proposals parked earlier are retried; any
+// resulting outbound messages are returned.
+func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction) {
+	// The externally decided block supersedes the entire in-flight pipeline:
+	// any proposal at or above seq chained through a block that lost the
+	// race for this slot, so the proposal chain resets to the new head even
+	// when it means moving proposedSeq backwards. Transactions this node
+	// itself proposed in the dead pipeline are returned so the runtime can
+	// re-propose them on the new chain.
+	e.proposedSeq = seq
+	e.proposedHead = head
+	if seq > e.committedSeq {
+		e.committedSeq = seq
+		e.committedHead = head
+	}
+	var orphans []*types.Transaction
+	for s, inst := range e.instances {
+		if !inst.committed || s > seq {
+			if inst.own && inst.tx != nil && !inst.committed {
+				orphans = append(orphans, inst.tx)
+			}
+			delete(e.instances, s)
+		}
+	}
+	for s := range e.parked {
+		if s <= seq {
+			delete(e.parked, s)
+		}
+	}
+	return e.retryParked(now), orphans
+}
+
+// retryParked replays parked accepts that may now extend the chain.
+func (e *Engine) retryParked(now time.Time) []consensus.Outbound {
+	var out []consensus.Outbound
+	for {
+		env, ok := e.parked[e.proposedSeq+1]
+		if !ok {
+			return out
+		}
+		delete(e.parked, e.proposedSeq+1)
+		o, _ := e.onAccept(env, now)
+		out = append(out, o...)
+		if len(o) == 0 {
+			return out // still not acceptable; avoid spinning
+		}
+	}
+}
+
+// Propose starts consensus on tx. Only the current primary may call it.
+// It returns the accept multicast and the assigned sequence.
+func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
+	if !e.IsPrimary() || e.viewChanging {
+		return nil, 0
+	}
+	seq := e.proposedSeq + 1
+	parent := e.proposedHead
+	block := &types.Block{Tx: tx, Parents: []types.Hash{parent}}
+	digest := tx.Digest()
+
+	inst := &instance{
+		digest:   digest,
+		parent:   parent,
+		tx:       tx,
+		view:     e.view,
+		accepted: map[types.NodeID]bool{e.self: true}, // primary counts itself
+		own:      true,
+		deadline: now.Add(e.timeout),
+	}
+	e.instances[seq] = inst
+	e.proposedSeq = seq
+	e.proposedHead = block.Hash()
+
+	msg := &types.ConsensusMsg{
+		View:       e.view,
+		Seq:        seq,
+		Digest:     digest,
+		Cluster:    e.cluster,
+		PrevHashes: []types.Hash{parent},
+		Tx:         tx,
+	}
+	out := consensus.Outbound{
+		To:  others(e.topo.Members(e.cluster), e.self),
+		Env: &types.Envelope{Type: types.MsgPaxosAccept, From: e.self, Payload: msg.Encode(nil)},
+	}
+	return []consensus.Outbound{out}, seq
+}
+
+// Step consumes one protocol message and returns outbound messages plus any
+// decisions that became deliverable (in sequence order).
+func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	switch env.Type {
+	case types.MsgPaxosAccept:
+		return e.onAccept(env, now)
+	case types.MsgPaxosAccepted:
+		return e.onAccepted(env)
+	case types.MsgPaxosCommit:
+		return e.onCommit(env)
+	case types.MsgViewChange:
+		return e.onViewChange(env, now)
+	case types.MsgNewView:
+		return e.onNewView(env, now)
+	default:
+		return nil, nil
+	}
+}
+
+func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || m.Tx == nil {
+		return nil, nil
+	}
+	// Only the primary of the message's view may propose.
+	if env.From != e.topo.Primary(e.cluster, m.View) || m.View < e.view {
+		return nil, nil
+	}
+	if m.View > e.view {
+		// We lag behind a view change; adopt the higher view.
+		e.installView(m.View)
+	}
+	// Proposals must extend our chain in order: seq proposedSeq+1 with the
+	// parent equal to our proposed head. Later proposals park until the gap
+	// fills (out-of-order delivery or a cross-shard block in between);
+	// earlier or non-extending ones are stale and ignored.
+	switch {
+	case m.Seq == e.proposedSeq && m.PrevHashes[0] == e.instanceParent(m.Seq) && e.instances[m.Seq] != nil:
+		// Duplicate of the current in-flight proposal: re-ack below.
+	case m.Seq != e.proposedSeq+1:
+		if m.Seq > e.proposedSeq+1 {
+			e.parked[m.Seq] = env
+		}
+		return nil, nil
+	case m.PrevHashes[0] != e.proposedHead:
+		return nil, nil // does not extend our chain (stale across a cross-shard commit)
+	}
+	inst, ok := e.instances[m.Seq]
+	if !ok {
+		inst = &instance{accepted: make(map[types.NodeID]bool)}
+		e.instances[m.Seq] = inst
+	}
+	inst.digest = m.Digest
+	inst.parent = m.PrevHashes[0]
+	inst.tx = m.Tx
+	inst.view = m.View
+	inst.deadline = now.Add(e.timeout)
+	if m.Seq > e.proposedSeq {
+		e.proposedSeq = m.Seq
+		block := &types.Block{Tx: m.Tx, Parents: []types.Hash{inst.parent}}
+		e.proposedHead = block.Hash()
+	}
+
+	reply := &types.ConsensusMsg{View: m.View, Seq: m.Seq, Digest: m.Digest, Cluster: e.cluster}
+	out := []consensus.Outbound{{
+		To:  []types.NodeID{env.From},
+		Env: &types.Envelope{Type: types.MsgPaxosAccepted, From: e.self, Payload: reply.Encode(nil)},
+	}}
+	out = append(out, e.retryParked(now)...)
+	// A commit may have arrived before this proposal (network reordering):
+	// now that the transaction body is known, the decision can deliver.
+	return out, e.advance()
+}
+
+// instanceParent returns the parent hash of the in-flight instance at seq,
+// or the zero hash if unknown.
+func (e *Engine) instanceParent(seq uint64) types.Hash {
+	if inst, ok := e.instances[seq]; ok {
+		return inst.parent
+	}
+	return types.ZeroHash
+}
+
+func (e *Engine) onAccepted(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil {
+		return nil, nil
+	}
+	inst, ok := e.instances[m.Seq]
+	if !ok || inst.view != m.View || inst.digest != m.Digest || inst.sentCmt {
+		return nil, nil
+	}
+	if !e.IsPrimary() {
+		return nil, nil
+	}
+	inst.accepted[env.From] = true
+	if len(inst.accepted) < e.topo.F(e.cluster)+1 {
+		return nil, nil
+	}
+	// Quorum: multicast commit and decide locally.
+	inst.sentCmt = true
+	inst.committed = true
+	cm := &types.ConsensusMsg{View: inst.view, Seq: m.Seq, Digest: inst.digest, Cluster: e.cluster}
+	out := []consensus.Outbound{{
+		To:  others(e.topo.Members(e.cluster), e.self),
+		Env: &types.Envelope{Type: types.MsgPaxosCommit, From: e.self, Payload: cm.Encode(nil)},
+	}}
+	return out, e.advance()
+}
+
+func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil {
+		return nil, nil
+	}
+	if env.From != e.topo.Primary(e.cluster, m.View) {
+		return nil, nil
+	}
+	inst, ok := e.instances[m.Seq]
+	if !ok {
+		// Commit raced ahead of accept; remember it and wait for the accept.
+		inst = &instance{accepted: make(map[types.NodeID]bool)}
+		e.instances[m.Seq] = inst
+	}
+	inst.committed = true
+	return nil, e.advance()
+}
+
+// advance drains committed instances in sequence order into decisions.
+func (e *Engine) advance() []consensus.Decision {
+	var out []consensus.Decision
+	for {
+		seq := e.committedSeq + 1
+		inst, ok := e.instances[seq]
+		if !ok || !inst.committed || inst.tx == nil || e.delivered[seq] {
+			return out
+		}
+		block := &types.Block{Tx: inst.tx, Parents: []types.Hash{inst.parent}}
+		e.delivered[seq] = true
+		e.committedSeq = seq
+		e.committedHead = block.Hash()
+		out = append(out, consensus.Decision{Block: block, Seq: seq})
+		delete(e.instances, seq)
+	}
+}
+
+// Tick fires proposal timeouts: a backup with an instance past its deadline
+// suspects the primary and votes for the next view.
+func (e *Engine) Tick(now time.Time) []consensus.Outbound {
+	if e.IsPrimary() || e.viewChanging {
+		return nil
+	}
+	expired := false
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && !inst.committed && inst.tx != nil && now.After(inst.deadline) {
+			expired = true
+			break
+		}
+	}
+	if !expired {
+		return nil
+	}
+	return e.startViewChange(e.view + 1)
+}
+
+func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
+	e.viewChanging = true
+	vc := &types.ViewChange{
+		NewView:  newView,
+		Cluster:  e.cluster,
+		LastSeq:  e.committedSeq,
+		LastHash: e.committedHead,
+	}
+	// Report the highest uncommitted accepted instance so the new primary
+	// can re-propose it (Paxos phase-1 value recovery, collapsed because
+	// crash-only nodes never lie).
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && inst.tx != nil && !inst.committed && seq > vc.PreparedSeq {
+			vc.PreparedSeq = seq
+			vc.PreparedHash = inst.digest
+		}
+	}
+	e.recordViewChange(e.self, vc)
+	env := &types.Envelope{Type: types.MsgViewChange, From: e.self, Payload: vc.Encode(nil)}
+	return []consensus.Outbound{{To: others(e.topo.Members(e.cluster), e.self), Env: env}}
+}
+
+func (e *Engine) recordViewChange(from types.NodeID, vc *types.ViewChange) {
+	m, ok := e.vcVotes[vc.NewView]
+	if !ok {
+		m = make(map[types.NodeID]*types.ViewChange)
+		e.vcVotes[vc.NewView] = m
+	}
+	m[from] = vc
+}
+
+func (e *Engine) onViewChange(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	vc, err := types.DecodeViewChange(env.Payload)
+	if err != nil || vc.NewView <= e.view || vc.Cluster != e.cluster {
+		return nil, nil
+	}
+	e.recordViewChange(env.From, vc)
+
+	var out []consensus.Outbound
+	// Join the view change once anyone credible started it (we are behind
+	// or our timer fired too); crash-only nodes don't need f+1 proof.
+	if !e.viewChanging {
+		out = append(out, e.startViewChange(vc.NewView)...)
+	}
+	// The would-be primary of newView collects f+1 votes (incl. itself) and
+	// announces the new view.
+	if e.topo.Primary(e.cluster, vc.NewView) != e.self {
+		return out, nil
+	}
+	votes := e.vcVotes[vc.NewView]
+	if len(votes) < e.topo.F(e.cluster)+1 {
+		return out, nil
+	}
+	nv := &types.ViewChange{NewView: vc.NewView, Cluster: e.cluster,
+		LastSeq: e.committedSeq, LastHash: e.committedHead}
+	env2 := &types.Envelope{Type: types.MsgNewView, From: e.self, Payload: nv.Encode(nil)}
+	out = append(out, consensus.Outbound{To: others(e.topo.Members(e.cluster), e.self), Env: env2})
+	e.installView(vc.NewView)
+	// Re-propose the highest reported uncommitted instance, if any.
+	out = append(out, e.reproposePrepared(votes, now)...)
+	return out, nil
+}
+
+func (e *Engine) reproposePrepared(votes map[types.NodeID]*types.ViewChange, now time.Time) []consensus.Outbound {
+	var best *types.ViewChange
+	for _, vc := range votes {
+		if vc.PreparedSeq > e.committedSeq && (best == nil || vc.PreparedSeq > best.PreparedSeq) {
+			best = vc
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Find the transaction body locally (we may have accepted it too).
+	inst, ok := e.instances[best.PreparedSeq]
+	if !ok || inst.tx == nil {
+		return nil // body unavailable; the client will retransmit
+	}
+	out, _ := e.Propose(inst.tx, now)
+	return out
+}
+
+func (e *Engine) onNewView(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	nv, err := types.DecodeViewChange(env.Payload)
+	if err != nil || nv.NewView < e.view || nv.Cluster != e.cluster {
+		return nil, nil
+	}
+	if env.From != e.topo.Primary(e.cluster, nv.NewView) {
+		return nil, nil
+	}
+	e.installView(nv.NewView)
+	return nil, nil
+}
+
+func (e *Engine) installView(v uint64) {
+	if v <= e.view {
+		e.viewChanging = false
+		return
+	}
+	e.view = v
+	e.viewChanging = false
+	// Reset the proposal chain to committed state: uncommitted proposals
+	// from the old primary are abandoned (their clients retransmit).
+	e.proposedSeq = e.committedSeq
+	e.proposedHead = e.committedHead
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && !inst.committed {
+			delete(e.instances, seq)
+		}
+	}
+	e.parked = make(map[uint64]*types.Envelope)
+}
+
+// others returns members minus self.
+func others(members []types.NodeID, self types.NodeID) []types.NodeID {
+	out := make([]types.NodeID, 0, len(members)-1)
+	for _, m := range members {
+		if m != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// DebugString renders internal engine state for test diagnostics.
+func (e *Engine) DebugString() string {
+	s := fmt.Sprintf("view=%d proposed=%d/%s committed=%d/%s vc=%v parked=%d",
+		e.view, e.proposedSeq, e.proposedHead, e.committedSeq, e.committedHead,
+		e.viewChanging, len(e.parked))
+	for seq, inst := range e.instances {
+		s += fmt.Sprintf(" inst[%d]{d=%s p=%s tx=%v v=%d acc=%d cmt=%v sc=%v}",
+			seq, inst.digest, inst.parent, inst.tx != nil, inst.view,
+			len(inst.accepted), inst.committed, inst.sentCmt)
+	}
+	return s
+}
+
+// SuspectPrimary votes to depose the current primary. The runtime calls it
+// when a forwarded client request goes unexecuted past its timeout — the
+// PBFT rule that lets a cluster recover from a primary that fails while
+// holding no in-flight proposals.
+func (e *Engine) SuspectPrimary(now time.Time) []consensus.Outbound {
+	if e.IsPrimary() || e.viewChanging {
+		return nil
+	}
+	_ = now
+	return e.startViewChange(e.view + 1)
+}

@@ -1,0 +1,501 @@
+// Package pbft implements the intra-shard Byzantine-fault-tolerant
+// consensus of §3.1 (Fig. 3b): PBFT's normal-case agreement over 3f+1 nodes
+// (pre-prepare, prepare with 2f matching votes, commit with 2f+1 matching
+// votes) plus the timeout-driven view change that deposes a faulty primary.
+// Messages are signed and verified per §2.1.
+//
+// Like the Paxos engine, this is a pure state machine: envelopes and ticks
+// in, outbound messages and ordered decisions out.
+package pbft
+
+import (
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/types"
+)
+
+// Engine is one node's PBFT state for one cluster.
+type Engine struct {
+	topo    *consensus.Topology
+	cluster types.ClusterID
+	self    types.NodeID
+	signer  crypto.Signer
+	verify  crypto.Verifier
+
+	view uint64
+
+	proposedSeq  uint64
+	proposedHead types.Hash
+
+	committedSeq  uint64
+	committedHead types.Hash
+
+	instances map[uint64]*instance
+	delivered map[uint64]bool
+	// parked holds pre-prepares that arrived out of order; they are retried
+	// whenever the proposal chain advances.
+	parked map[uint64]*types.Envelope
+
+	vcVotes      map[uint64]map[types.NodeID]*types.ViewChange
+	viewChanging bool
+
+	timeout time.Duration
+}
+
+type instance struct {
+	digest     types.Hash
+	parent     types.Hash
+	tx         *types.Transaction
+	view       uint64
+	own        bool // proposed by this node (as primary)
+	prePrep    bool
+	prepares   map[types.NodeID]types.Hash
+	commits    map[types.NodeID]types.Hash
+	sentPrep   bool
+	sentCommit bool
+	committed  bool
+	deadline   time.Time
+}
+
+// Config parametrizes an Engine.
+type Config struct {
+	Topology *consensus.Topology
+	Cluster  types.ClusterID
+	Self     types.NodeID
+	Signer   crypto.Signer
+	Verifier crypto.Verifier
+	Timeout  time.Duration
+}
+
+// New creates an engine at view 0 with the genesis head.
+func New(cfg Config, genesis types.Hash) *Engine {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Second
+	}
+	if cfg.Signer == nil {
+		cfg.Signer = crypto.NoopSigner{}
+	}
+	if cfg.Verifier == nil {
+		cfg.Verifier = crypto.NoopSigner{}
+	}
+	return &Engine{
+		topo:          cfg.Topology,
+		cluster:       cfg.Cluster,
+		self:          cfg.Self,
+		signer:        cfg.Signer,
+		verify:        cfg.Verifier,
+		proposedHead:  genesis,
+		committedHead: genesis,
+		instances:     make(map[uint64]*instance),
+		delivered:     make(map[uint64]bool),
+		parked:        make(map[uint64]*types.Envelope),
+		vcVotes:       make(map[uint64]map[types.NodeID]*types.ViewChange),
+		timeout:       cfg.Timeout,
+	}
+}
+
+// View returns the current view.
+func (e *Engine) View() uint64 { return e.view }
+
+// Primary returns the primary of the current view.
+func (e *Engine) Primary() types.NodeID { return e.topo.Primary(e.cluster, e.view) }
+
+// IsPrimary reports whether this node leads the current view.
+func (e *Engine) IsPrimary() bool { return e.Primary() == e.self }
+
+// ProposedHead returns the sequence and hash of the last proposed block.
+func (e *Engine) ProposedHead() (uint64, types.Hash) { return e.proposedSeq, e.proposedHead }
+
+// SyncChainHead advances past a block decided by the cross-shard protocol,
+// discarding in-flight proposals that no longer extend the chain and
+// retrying parked ones.
+func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction) {
+	// The externally decided block supersedes the entire in-flight pipeline
+	// (see paxos.Engine.SyncChainHead): reset unconditionally and hand the
+	// node's own orphaned transactions back for re-proposal.
+	e.proposedSeq = seq
+	e.proposedHead = head
+	if seq > e.committedSeq {
+		e.committedSeq = seq
+		e.committedHead = head
+	}
+	var orphans []*types.Transaction
+	for s, inst := range e.instances {
+		if !inst.committed || s > seq {
+			if inst.own && inst.tx != nil && !inst.committed {
+				orphans = append(orphans, inst.tx)
+			}
+			delete(e.instances, s)
+		}
+	}
+	for s := range e.parked {
+		if s <= seq {
+			delete(e.parked, s)
+		}
+	}
+	return e.retryParked(now), orphans
+}
+
+// retryParked replays parked pre-prepares that may now extend the chain.
+func (e *Engine) retryParked(now time.Time) []consensus.Outbound {
+	var out []consensus.Outbound
+	for {
+		env, ok := e.parked[e.proposedSeq+1]
+		if !ok {
+			return out
+		}
+		delete(e.parked, e.proposedSeq+1)
+		o, _ := e.onPrePrepare(env, now)
+		out = append(out, o...)
+		if len(o) == 0 {
+			return out
+		}
+	}
+}
+
+func (e *Engine) sign(payload []byte) []byte { return e.signer.Sign(payload) }
+
+func (e *Engine) authentic(env *types.Envelope) bool {
+	return e.verify.Verify(env.From, env.Payload, env.Sig)
+}
+
+// Propose starts consensus on tx; primary only.
+func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
+	if !e.IsPrimary() || e.viewChanging {
+		return nil, 0
+	}
+	seq := e.proposedSeq + 1
+	parent := e.proposedHead
+	block := &types.Block{Tx: tx, Parents: []types.Hash{parent}}
+	digest := tx.Digest()
+
+	inst := e.getInstance(seq)
+	inst.digest = digest
+	inst.parent = parent
+	inst.tx = tx
+	inst.view = e.view
+	inst.own = true
+	inst.prePrep = true
+	inst.deadline = now.Add(e.timeout)
+	e.proposedSeq = seq
+	e.proposedHead = block.Hash()
+
+	msg := &types.ConsensusMsg{
+		View: e.view, Seq: seq, Digest: digest, Cluster: e.cluster,
+		PrevHashes: []types.Hash{parent}, Tx: tx,
+	}
+	payload := msg.Encode(nil)
+	out := []consensus.Outbound{{
+		To:  others(e.topo.Members(e.cluster), e.self),
+		Env: &types.Envelope{Type: types.MsgPrePrepare, From: e.self, Payload: payload, Sig: e.sign(payload)},
+	}}
+	// The primary's own prepare vote is broadcast like everyone else's.
+	out = append(out, e.votePrepare(inst, seq)...)
+	return out, seq
+}
+
+func (e *Engine) getInstance(seq uint64) *instance {
+	inst, ok := e.instances[seq]
+	if !ok {
+		inst = &instance{
+			prepares: make(map[types.NodeID]types.Hash),
+			commits:  make(map[types.NodeID]types.Hash),
+		}
+		e.instances[seq] = inst
+	}
+	return inst
+}
+
+// Step consumes one protocol message.
+func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	if !e.authentic(env) {
+		return nil, nil
+	}
+	switch env.Type {
+	case types.MsgPrePrepare:
+		return e.onPrePrepare(env, now)
+	case types.MsgPrepare:
+		return e.onPrepare(env)
+	case types.MsgCommit:
+		return e.onCommit(env)
+	case types.MsgViewChange:
+		return e.onViewChange(env, now)
+	case types.MsgNewView:
+		return e.onNewView(env)
+	default:
+		return nil, nil
+	}
+}
+
+func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || m.Tx == nil || len(m.PrevHashes) != 1 {
+		return nil, nil
+	}
+	if env.From != e.topo.Primary(e.cluster, m.View) || m.View != e.view {
+		return nil, nil
+	}
+	if m.Digest != m.Tx.Digest() {
+		return nil, nil // malicious primary: digest mismatch
+	}
+	// Proposals must extend our chain in order (see paxos.Engine.onAccept):
+	// park ahead-of-chain pre-prepares, drop stale ones.
+	if dup := e.instances[m.Seq]; !(m.Seq == e.proposedSeq && dup != nil && dup.parent == m.PrevHashes[0]) {
+		if m.Seq != e.proposedSeq+1 {
+			if m.Seq > e.proposedSeq+1 {
+				e.parked[m.Seq] = env
+			}
+			return nil, nil
+		}
+		if m.PrevHashes[0] != e.proposedHead {
+			return nil, nil
+		}
+	}
+	inst := e.getInstance(m.Seq)
+	if inst.prePrep && inst.digest != m.Digest {
+		return nil, nil // equivocating primary: keep the first pre-prepare
+	}
+	inst.prePrep = true
+	inst.digest = m.Digest
+	inst.parent = m.PrevHashes[0]
+	inst.tx = m.Tx
+	inst.view = m.View
+	inst.deadline = now.Add(e.timeout)
+	if m.Seq > e.proposedSeq {
+		e.proposedSeq = m.Seq
+		block := &types.Block{Tx: m.Tx, Parents: []types.Hash{inst.parent}}
+		e.proposedHead = block.Hash()
+	}
+	out := e.votePrepare(inst, m.Seq)
+	out2, dec := e.maybeProgress(inst, m.Seq)
+	out = append(out, out2...)
+	out = append(out, e.retryParked(now)...)
+	return out, dec
+}
+
+func (e *Engine) votePrepare(inst *instance, seq uint64) []consensus.Outbound {
+	if inst.sentPrep {
+		return nil
+	}
+	inst.sentPrep = true
+	inst.prepares[e.self] = inst.digest
+	m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster}
+	payload := m.Encode(nil)
+	return []consensus.Outbound{{
+		To:  others(e.topo.Members(e.cluster), e.self),
+		Env: &types.Envelope{Type: types.MsgPrepare, From: e.self, Payload: payload, Sig: e.sign(payload)},
+	}}
+}
+
+func (e *Engine) onPrepare(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil || m.View != e.view {
+		return nil, nil
+	}
+	inst := e.getInstance(m.Seq)
+	inst.prepares[env.From] = m.Digest
+	return e.maybeProgress(inst, m.Seq)
+}
+
+func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+	m, err := types.DecodeConsensusMsg(env.Payload)
+	if err != nil {
+		return nil, nil
+	}
+	inst := e.getInstance(m.Seq)
+	inst.commits[env.From] = m.Digest
+	return e.maybeProgress(inst, m.Seq)
+}
+
+// maybeProgress moves an instance through prepared → committed as vote
+// quorums fill in, tolerating any message arrival order.
+func (e *Engine) maybeProgress(inst *instance, seq uint64) ([]consensus.Outbound, []consensus.Decision) {
+	var out []consensus.Outbound
+	f := e.topo.F(e.cluster)
+	if inst.prePrep && !inst.sentCommit && countMatching(inst.prepares, inst.digest) >= 2*f+1 {
+		// Prepared: 2f matching prepares from others + our own (§3.1).
+		inst.sentCommit = true
+		inst.commits[e.self] = inst.digest
+		m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster}
+		payload := m.Encode(nil)
+		out = append(out, consensus.Outbound{
+			To:  others(e.topo.Members(e.cluster), e.self),
+			Env: &types.Envelope{Type: types.MsgCommit, From: e.self, Payload: payload, Sig: e.sign(payload)},
+		})
+	}
+	if inst.prePrep && !inst.committed && countMatching(inst.commits, inst.digest) >= 2*f+1 {
+		inst.committed = true
+	}
+	return out, e.advance()
+}
+
+func (e *Engine) advance() []consensus.Decision {
+	var out []consensus.Decision
+	for {
+		seq := e.committedSeq + 1
+		inst, ok := e.instances[seq]
+		if !ok || !inst.committed || inst.tx == nil || e.delivered[seq] {
+			return out
+		}
+		block := &types.Block{Tx: inst.tx, Parents: []types.Hash{inst.parent}}
+		e.delivered[seq] = true
+		e.committedSeq = seq
+		e.committedHead = block.Hash()
+		out = append(out, consensus.Decision{Block: block, Seq: seq})
+		delete(e.instances, seq)
+	}
+}
+
+// Tick fires the backup timers that trigger view changes.
+func (e *Engine) Tick(now time.Time) []consensus.Outbound {
+	if e.IsPrimary() || e.viewChanging {
+		return nil
+	}
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && inst.prePrep && !inst.committed && now.After(inst.deadline) {
+			return e.startViewChange(e.view + 1)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
+	e.viewChanging = true
+	vc := &types.ViewChange{
+		NewView:  newView,
+		Cluster:  e.cluster,
+		LastSeq:  e.committedSeq,
+		LastHash: e.committedHead,
+	}
+	for seq, inst := range e.instances {
+		// Report prepared-but-uncommitted instances for value recovery.
+		if seq > e.committedSeq && inst.tx != nil && !inst.committed &&
+			countMatching(inst.prepares, inst.digest) >= 2*e.topo.F(e.cluster)+1 &&
+			seq > vc.PreparedSeq {
+			vc.PreparedSeq = seq
+			vc.PreparedHash = inst.digest
+		}
+	}
+	e.recordViewChange(e.self, vc)
+	payload := vc.Encode(nil)
+	env := &types.Envelope{Type: types.MsgViewChange, From: e.self, Payload: payload, Sig: e.sign(payload)}
+	return []consensus.Outbound{{To: others(e.topo.Members(e.cluster), e.self), Env: env}}
+}
+
+func (e *Engine) recordViewChange(from types.NodeID, vc *types.ViewChange) {
+	m, ok := e.vcVotes[vc.NewView]
+	if !ok {
+		m = make(map[types.NodeID]*types.ViewChange)
+		e.vcVotes[vc.NewView] = m
+	}
+	m[from] = vc
+}
+
+func (e *Engine) onViewChange(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	vc, err := types.DecodeViewChange(env.Payload)
+	if err != nil || vc.NewView <= e.view || vc.Cluster != e.cluster {
+		return nil, nil
+	}
+	e.recordViewChange(env.From, vc)
+	votes := e.vcVotes[vc.NewView]
+	f := e.topo.F(e.cluster)
+
+	var out []consensus.Outbound
+	// Join once f+1 distinct nodes ask for this view: at least one correct
+	// node timed out, so the suspicion is credible.
+	if !e.viewChanging && len(votes) >= f+1 {
+		out = append(out, e.startViewChange(vc.NewView)...)
+		votes = e.vcVotes[vc.NewView]
+	}
+	if e.topo.Primary(e.cluster, vc.NewView) != e.self {
+		return out, nil
+	}
+	if len(votes) < 2*f+1 {
+		return out, nil
+	}
+	nv := &types.ViewChange{NewView: vc.NewView, Cluster: e.cluster,
+		LastSeq: e.committedSeq, LastHash: e.committedHead}
+	payload := nv.Encode(nil)
+	out = append(out, consensus.Outbound{
+		To:  others(e.topo.Members(e.cluster), e.self),
+		Env: &types.Envelope{Type: types.MsgNewView, From: e.self, Payload: payload, Sig: e.sign(payload)},
+	})
+	e.installView(vc.NewView)
+	// Re-propose the highest prepared uncommitted instance if we hold it.
+	var best *types.ViewChange
+	for _, v := range votes {
+		if v.PreparedSeq > e.committedSeq && (best == nil || v.PreparedSeq > best.PreparedSeq) {
+			best = v
+		}
+	}
+	if best != nil {
+		if inst, ok := e.instances[best.PreparedSeq]; ok && inst.tx != nil {
+			o, _ := e.Propose(inst.tx, now)
+			out = append(out, o...)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) onNewView(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+	nv, err := types.DecodeViewChange(env.Payload)
+	if err != nil || nv.NewView < e.view || nv.Cluster != e.cluster {
+		return nil, nil
+	}
+	if env.From != e.topo.Primary(e.cluster, nv.NewView) {
+		return nil, nil
+	}
+	e.installView(nv.NewView)
+	return nil, nil
+}
+
+func (e *Engine) installView(v uint64) {
+	if v <= e.view {
+		e.viewChanging = false
+		return
+	}
+	e.view = v
+	e.viewChanging = false
+	e.proposedSeq = e.committedSeq
+	e.proposedHead = e.committedHead
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && !inst.committed {
+			delete(e.instances, seq)
+		}
+	}
+	e.parked = make(map[uint64]*types.Envelope)
+}
+
+func countMatching(votes map[types.NodeID]types.Hash, digest types.Hash) int {
+	n := 0
+	for _, d := range votes {
+		if d == digest {
+			n++
+		}
+	}
+	return n
+}
+
+func others(members []types.NodeID, self types.NodeID) []types.NodeID {
+	out := make([]types.NodeID, 0, len(members)-1)
+	for _, m := range members {
+		if m != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SuspectPrimary votes to depose the current primary. The runtime calls it
+// when a forwarded client request goes unexecuted past its timeout — the
+// PBFT rule that lets a cluster recover from a primary that fails while
+// holding no in-flight proposals.
+func (e *Engine) SuspectPrimary(now time.Time) []consensus.Outbound {
+	if e.IsPrimary() || e.viewChanging {
+		return nil
+	}
+	_ = now
+	return e.startViewChange(e.view + 1)
+}

@@ -1,0 +1,108 @@
+package replica
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/types"
+)
+
+// Client is a closed-loop issuer for a baseline deployment. All requests go
+// to the active ordering group.
+type Client struct {
+	id    types.NodeID
+	d     *Deployment
+	inbox <-chan *types.Envelope
+	seq   uint64
+
+	// Timeout before the client retransmits a request.
+	Timeout time.Duration
+	// MaxAttempts bounds retransmissions before giving up.
+	MaxAttempts int
+}
+
+var clientCounter atomic.Uint32
+
+// NewClient registers a fresh client endpoint.
+func (d *Deployment) NewClient() *Client {
+	id := types.ClientIDBase + types.NodeID(1<<17) + types.NodeID(clientCounter.Add(1))
+	return &Client{
+		id:          id,
+		d:           d,
+		inbox:       d.Net.Register(id),
+		Timeout:     2 * time.Second,
+		MaxAttempts: 8,
+	}
+}
+
+// MakeTx assembles a transaction from ops. Baselines are unsharded, so the
+// involved set is always the single ordering group.
+func (c *Client) MakeTx(ops []types.Op) *types.Transaction {
+	c.seq++
+	return &types.Transaction{
+		ID:        types.TxID{Client: c.id, Seq: c.seq},
+		Client:    c.id,
+		Timestamp: time.Now().UnixNano(),
+		Ops:       ops,
+		Involved:  types.ClusterSet{0},
+	}
+}
+
+// Transfer builds, submits, and waits for the reply quorum.
+func (c *Client) Transfer(ops []types.Op) (bool, time.Duration, error) {
+	return c.Submit(c.MakeTx(ops))
+}
+
+// Submit sends tx and blocks until enough matching replies arrive.
+func (c *Client) Submit(tx *types.Transaction) (bool, time.Duration, error) {
+	needed := 1
+	if c.d.cfg.Model == types.Byzantine {
+		needed = c.d.cfg.F + 1
+	}
+	payload := (&types.Request{Tx: tx}).Encode(nil)
+	start := time.Now()
+	members := c.d.Topo.Members(0)
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		if attempt == 0 {
+			c.d.Net.Send(members[0], &types.Envelope{Type: types.MsgRequest, From: c.id, Payload: payload})
+		} else {
+			for _, m := range members {
+				c.d.Net.Send(m, &types.Envelope{Type: types.MsgRequest, From: c.id, Payload: payload})
+			}
+		}
+		if ok, committed := c.awaitReplies(tx.ID, needed, c.Timeout); ok {
+			return committed, time.Since(start), nil
+		}
+	}
+	return false, time.Since(start), fmt.Errorf("replica: tx %s timed out after %d attempts", tx.ID, c.MaxAttempts)
+}
+
+func (c *Client) awaitReplies(id types.TxID, needed int, timeout time.Duration) (bool, bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	votes := make(map[bool]map[types.NodeID]bool)
+	for {
+		select {
+		case env := <-c.inbox:
+			if env.Type != types.MsgReply {
+				continue
+			}
+			r, err := types.DecodeReply(env.Payload)
+			if err != nil || r.TxID != id || r.Replica != env.From {
+				continue
+			}
+			m, ok := votes[r.Committed]
+			if !ok {
+				m = make(map[types.NodeID]bool)
+				votes[r.Committed] = m
+			}
+			m[r.Replica] = true
+			if len(m) >= needed {
+				return true, r.Committed
+			}
+		case <-deadline.C:
+			return false, false
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package replica is a generic single-group replicated state machine used
+// by the non-sharded baselines of §4 (APR-C, APR-B, FPaxos, FaB): one
+// ordering group of active replicas runs a consensus engine over the whole
+// database, and the remaining nodes are passive replicas that receive
+// execution results only ("the extra nodes become passive replicas", §5).
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/crypto"
+	"sharper/internal/state"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// Engine is the ordering protocol run by the active group. The Paxos and
+// PBFT engines satisfy it, as does the two-phase fastquorum engine.
+type Engine interface {
+	Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
+	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
+	Tick(now time.Time) []consensus.Outbound
+	View() uint64
+	Primary() types.NodeID
+	IsPrimary() bool
+	SuspectPrimary(now time.Time) []consensus.Outbound
+}
+
+// EngineFactory builds the engine for one active replica.
+type EngineFactory func(topo *consensus.Topology, self types.NodeID,
+	signer crypto.Signer, verifier crypto.Verifier) Engine
+
+// Config describes a baseline deployment.
+type Config struct {
+	// Model determines the reply quorum clients wait for.
+	Model types.FailureModel
+	// ActiveSize is the ordering-group size (2f+1, 3f+1, or 5f+1).
+	ActiveSize int
+	// TotalNodes is the full deployment size; TotalNodes-ActiveSize nodes
+	// become passive replicas.
+	TotalNodes int
+	// F is the fault bound inside the active group.
+	F int
+	// Factory builds the per-replica ordering engine.
+	Factory EngineFactory
+	// Network configures the fabric; zero value = transport.DefaultConfig().
+	Network transport.Config
+	// Sign enables signatures (Byzantine deployments).
+	Sign bool
+
+	IntraTimeout time.Duration
+	TickInterval time.Duration
+	Seed         int64
+}
+
+// Deployment is a running baseline system.
+type Deployment struct {
+	cfg     Config
+	Topo    *consensus.Topology
+	Net     *transport.Network
+	Keyring crypto.Authenticator
+	Shards  state.ShardMap
+
+	nodes      []*Node
+	nextClient atomic.Uint32
+	started    bool
+}
+
+// NewDeployment builds the active group plus passive replicas.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if cfg.ActiveSize <= 0 || cfg.TotalNodes < cfg.ActiveSize {
+		return nil, fmt.Errorf("replica: bad sizes: active=%d total=%d", cfg.ActiveSize, cfg.TotalNodes)
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 5 * time.Millisecond
+	}
+	if cfg.IntraTimeout <= 0 {
+		cfg.IntraTimeout = 500 * time.Millisecond
+	}
+	// One "cluster" holding the active group; passives live outside it.
+	members := make([]types.NodeID, cfg.ActiveSize)
+	for i := range members {
+		members[i] = types.NodeID(i)
+	}
+	topo := &consensus.Topology{
+		Model: cfg.Model,
+		Clusters: map[types.ClusterID]consensus.Cluster{
+			0: {ID: 0, F: cfg.F, Members: members},
+		},
+	}
+
+	netCfg := cfg.Network
+	if netCfg == (transport.Config{}) {
+		netCfg = transport.DefaultConfig()
+	}
+	if netCfg.Seed == 0 {
+		netCfg.Seed = cfg.Seed
+	}
+	net := transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
+		if int(id) < cfg.ActiveSize {
+			return 0, true
+		}
+		return 1, true // passives are "elsewhere": cross-cluster latency
+	})
+
+	d := &Deployment{
+		cfg:     cfg,
+		Topo:    topo,
+		Net:     net,
+		Keyring: crypto.NewMACKeyring(),
+		Shards:  state.ShardMap{NumShards: 1},
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var passives []types.NodeID
+	for i := cfg.ActiveSize; i < cfg.TotalNodes; i++ {
+		passives = append(passives, types.NodeID(i))
+	}
+	for i := 0; i < cfg.TotalNodes; i++ {
+		id := types.NodeID(i)
+		var signer crypto.Signer = crypto.NoopSigner{}
+		var verifier crypto.Verifier = crypto.NoopSigner{}
+		if cfg.Sign {
+			if err := d.Keyring.Generate(id, rng); err != nil {
+				return nil, err
+			}
+			s, err := d.Keyring.SignerFor(id)
+			if err != nil {
+				return nil, err
+			}
+			signer, verifier = s, d.Keyring
+		}
+		n := &Node{
+			d:          d,
+			id:         id,
+			active:     i < cfg.ActiveSize,
+			passives:   passives,
+			inbox:      net.Register(id),
+			store:      state.NewStore(0, d.Shards),
+			signer:     signer,
+			replyCache: consensus.NewReplyCache(1 << 16),
+			inFlight:   make(map[types.TxID]time.Time),
+			forwarded:  make(map[types.TxID]*forwardedReq),
+			stopCh:     make(chan struct{}),
+			doneCh:     make(chan struct{}),
+		}
+		if n.active {
+			n.engine = cfg.Factory(topo, id, signer, verifier)
+		}
+		d.nodes = append(d.nodes, n)
+	}
+	return d, nil
+}
+
+// Start runs all replicas.
+func (d *Deployment) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	for _, n := range d.nodes {
+		n.start()
+	}
+}
+
+// Stop terminates all replicas.
+func (d *Deployment) Stop() {
+	d.Net.Close()
+	if !d.started {
+		return
+	}
+	for _, n := range d.nodes {
+		n.stop()
+	}
+	d.started = false
+}
+
+// Nodes returns all replicas (actives first).
+func (d *Deployment) Nodes() []*Node { return d.nodes }
+
+// SeedAccounts credits accounts on every replica, mirroring the SharPer
+// deployment's genesis state for apples-to-apples workloads. perShard and
+// shards describe the *workload's* account naming (the baseline itself is
+// unsharded and stores everything everywhere).
+func (d *Deployment) SeedAccounts(shards state.ShardMap, perShard int, balance int64) {
+	for _, n := range d.nodes {
+		for c := 0; c < shards.NumShards; c++ {
+			for k := 0; k < perShard; k++ {
+				n.store.Credit(shards.AccountInShard(types.ClusterID(c), uint64(k)), balance)
+			}
+		}
+	}
+}
+
+// Node is one baseline replica (active or passive).
+type Node struct {
+	d        *Deployment
+	id       types.NodeID
+	active   bool
+	passives []types.NodeID
+	inbox    <-chan *types.Envelope
+	engine   Engine
+	store    *state.Store
+	signer   crypto.Signer
+
+	replyCache *consensus.ReplyCache
+	inFlight   map[types.TxID]time.Time
+	forwarded  map[types.TxID]*forwardedReq
+	committed  atomic.Int64
+	// updateQueue batches execution results bound for the passive replicas;
+	// flushed on each tick or when it grows past a threshold.
+	updateQueue []*types.Transaction
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// ID returns the replica's identity.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// Active reports whether the replica is in the ordering group.
+func (n *Node) Active() bool { return n.active }
+
+// Committed returns the number of transactions executed.
+func (n *Node) Committed() int64 { return n.committed.Load() }
+
+// Store returns the replica's state.
+func (n *Node) Store() *state.Store { return n.store }
+
+func (n *Node) start() { go n.loop() }
+
+func (n *Node) stop() {
+	close(n.stopCh)
+	<-n.doneCh
+}
+
+func (n *Node) loop() {
+	defer close(n.doneCh)
+	ticker := time.NewTicker(n.d.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case env := <-n.inbox:
+			n.dispatch(env, time.Now())
+		case now := <-ticker.C:
+			if n.active {
+				n.send(n.engine.Tick(now))
+				n.flushUpdates()
+				n.checkForwards(now)
+			}
+		}
+	}
+}
+
+func (n *Node) send(outs []consensus.Outbound) {
+	for _, o := range outs {
+		n.d.Net.Multicast(o.To, o.Env)
+	}
+}
+
+func (n *Node) dispatch(env *types.Envelope, now time.Time) {
+	switch env.Type {
+	case types.MsgRequest:
+		n.onRequest(env, now)
+	case types.MsgAPRStateUpdate:
+		n.onStateUpdate(env)
+	default:
+		if !n.active {
+			return
+		}
+		outs, decs := n.engine.Step(env, now)
+		n.send(outs)
+		for _, dec := range decs {
+			n.execute(dec.Block.Tx)
+			// Actives stream execution results to the passive replicas;
+			// only the primary sends, batched to amortize the cost.
+			if n.engine.IsPrimary() && len(n.passives) > 0 {
+				n.updateQueue = append(n.updateQueue, dec.Block.Tx)
+				if len(n.updateQueue) >= 32 {
+					n.flushUpdates()
+				}
+			}
+		}
+	}
+}
+
+// flushUpdates sends the queued execution results to the passive replicas
+// as one batched message.
+func (n *Node) flushUpdates() {
+	if len(n.updateQueue) == 0 {
+		return
+	}
+	up := &types.Envelope{Type: types.MsgAPRStateUpdate, From: n.id,
+		Payload: types.EncodeTxBatch(nil, n.updateQueue)}
+	n.updateQueue = nil
+	n.d.Net.Multicast(n.passives, up)
+}
+
+func (n *Node) onRequest(env *types.Envelope, now time.Time) {
+	req, err := types.DecodeRequest(env.Payload)
+	if err != nil {
+		return
+	}
+	tx := req.Tx
+	if r, ok := n.replyCache.Get(tx.ID); ok {
+		n.d.Net.Send(tx.Client, &types.Envelope{Type: types.MsgReply, From: n.id, Payload: r.Encode(nil)})
+		return
+	}
+	if !n.active {
+		n.d.Net.Send(0, env) // forward toward the active group
+		return
+	}
+	if !n.engine.IsPrimary() {
+		if _, ok := n.forwarded[tx.ID]; !ok {
+			n.forwarded[tx.ID] = &forwardedReq{tx: tx, env: env, at: now}
+		}
+		n.d.Net.Send(n.engine.Primary(), env)
+		return
+	}
+	if t, ok := n.inFlight[tx.ID]; ok && now.Sub(t) < n.d.cfg.IntraTimeout {
+		return
+	}
+	n.inFlight[tx.ID] = now
+	outs, _ := n.engine.Propose(tx, now)
+	n.send(outs)
+}
+
+// forwardedReq is a relayed client request awaiting execution.
+type forwardedReq struct {
+	tx  *types.Transaction
+	env *types.Envelope
+	at  time.Time
+}
+
+// checkForwards suspects the primary when relayed requests sit unexecuted
+// past the timeout.
+func (n *Node) checkForwards(now time.Time) {
+	for id, fw := range n.forwarded {
+		if n.replyCache.Contains(id) {
+			delete(n.forwarded, id)
+			continue
+		}
+		if now.Sub(fw.at) < n.d.cfg.IntraTimeout {
+			continue
+		}
+		fw.at = now
+		if n.engine.IsPrimary() {
+			delete(n.forwarded, id)
+			n.dispatch(fw.env, now)
+			continue
+		}
+		n.send(n.engine.SuspectPrimary(now))
+		n.d.Net.Send(n.engine.Primary(), fw.env)
+	}
+}
+
+func (n *Node) onStateUpdate(env *types.Envelope) {
+	txs, err := types.DecodeTxBatch(env.Payload)
+	if err != nil {
+		return
+	}
+	for _, tx := range txs {
+		if n.replyCache.Contains(tx.ID) {
+			continue
+		}
+		ok := n.store.Apply(tx) == nil
+		n.committed.Add(1)
+		n.replyCache.Put(tx.ID, &types.Reply{TxID: tx.ID, Replica: n.id, Committed: ok})
+	}
+}
+
+func (n *Node) execute(tx *types.Transaction) {
+	if r, done := n.replyCache.Get(tx.ID); done {
+		n.d.Net.Send(tx.Client, &types.Envelope{Type: types.MsgReply, From: n.id, Payload: r.Encode(nil)})
+		return
+	}
+	delete(n.inFlight, tx.ID)
+	delete(n.forwarded, tx.ID)
+	ok := n.store.Apply(tx) == nil
+	n.committed.Add(1)
+	r := &types.Reply{TxID: tx.ID, Replica: n.id, Committed: ok}
+	n.replyCache.Put(tx.ID, r)
+	// Under the crash model only the primary answers (Fig. 3a); Byzantine
+	// clients need f+1 matching replies, so every active answers.
+	if n.d.cfg.Model == types.CrashOnly && !n.engine.IsPrimary() {
+		return
+	}
+	payload := r.Encode(nil)
+	n.d.Net.Send(tx.Client, &types.Envelope{Type: types.MsgReply, From: n.id,
+		Payload: payload, Sig: n.signer.Sign(payload)})
+}

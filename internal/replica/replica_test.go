@@ -1,0 +1,165 @@
+package replica_test
+
+import (
+	"testing"
+	"time"
+
+	"sharper/internal/apr"
+	"sharper/internal/fab"
+	"sharper/internal/fastpaxos"
+	"sharper/internal/replica"
+	"sharper/internal/state"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// client is a minimal closed-loop issuer for the baseline deployments.
+type client struct {
+	id    types.NodeID
+	d     *replica.Deployment
+	inbox <-chan *types.Envelope
+	seq   uint64
+	model types.FailureModel
+	f     int
+}
+
+var nextClientID types.NodeID = types.ClientIDBase + 1<<19
+
+func newClient(d *replica.Deployment, model types.FailureModel, f int) *client {
+	nextClientID++
+	return &client{id: nextClientID, d: d, inbox: d.Net.Register(nextClientID), model: model, f: f}
+}
+
+func (c *client) transfer(t *testing.T, from, to types.AccountID, amount int64) bool {
+	t.Helper()
+	c.seq++
+	tx := &types.Transaction{
+		ID:       types.TxID{Client: c.id, Seq: c.seq},
+		Client:   c.id,
+		Ops:      []types.Op{{From: from, To: to, Amount: amount}},
+		Involved: types.ClusterSet{0},
+	}
+	payload := (&types.Request{Tx: tx}).Encode(nil)
+	needed := 1
+	if c.model == types.Byzantine {
+		needed = c.f + 1
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		c.d.Net.Send(0, &types.Envelope{Type: types.MsgRequest, From: c.id, Payload: payload})
+		deadline := time.NewTimer(2 * time.Second)
+		got := make(map[types.NodeID]bool)
+		var committed bool
+	waitLoop:
+		for {
+			select {
+			case env := <-c.inbox:
+				r, err := types.DecodeReply(env.Payload)
+				if err != nil || r.TxID != tx.ID {
+					continue
+				}
+				got[r.Replica] = true
+				committed = r.Committed
+				if len(got) >= needed {
+					deadline.Stop()
+					return committed
+				}
+			case <-deadline.C:
+				break waitLoop
+			}
+		}
+	}
+	t.Fatalf("baseline tx %s timed out", tx.ID)
+	return false
+}
+
+func seedAndStart(t *testing.T, d *replica.Deployment) {
+	t.Helper()
+	d.SeedAccounts(state.ShardMap{NumShards: 4}, 16, 1_000_000)
+	d.Start()
+	t.Cleanup(d.Stop)
+}
+
+func TestAPRCrash(t *testing.T) {
+	d, err := apr.NewCrash(12, 1, transport.Config{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndStart(t, d)
+	c := newClient(d, types.CrashOnly, 1)
+	for i := 0; i < 10; i++ {
+		if !c.transfer(t, 0, 1, 5) {
+			t.Fatalf("tx %d rejected", i)
+		}
+	}
+	// Passive replicas eventually receive the execution results.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lagging := 0
+		for _, n := range d.Nodes() {
+			if !n.Active() && n.Committed() < 10 {
+				lagging++
+			}
+		}
+		if lagging == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d passive replicas still lagging", lagging)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestAPRByzantine(t *testing.T) {
+	d, err := apr.NewByzantine(16, 1, transport.Config{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndStart(t, d)
+	c := newClient(d, types.Byzantine, 1)
+	for i := 0; i < 5; i++ {
+		if !c.transfer(t, 0, 1, 5) {
+			t.Fatalf("tx %d rejected", i)
+		}
+	}
+}
+
+func TestFastPaxos(t *testing.T) {
+	d, err := fastpaxos.New(12, 1, transport.Config{}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndStart(t, d)
+	c := newClient(d, types.CrashOnly, 1)
+	for i := 0; i < 10; i++ {
+		if !c.transfer(t, 0, 1, 5) {
+			t.Fatalf("tx %d rejected", i)
+		}
+	}
+}
+
+func TestFaB(t *testing.T) {
+	d, err := fab.New(16, 1, transport.Config{}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndStart(t, d)
+	c := newClient(d, types.Byzantine, 1)
+	for i := 0; i < 5; i++ {
+		if !c.transfer(t, 0, 1, 5) {
+			t.Fatalf("tx %d rejected", i)
+		}
+	}
+}
+
+func TestValidationRejectsOverdraw(t *testing.T) {
+	d, err := apr.NewCrash(12, 1, transport.Config{}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndStart(t, d)
+	c := newClient(d, types.CrashOnly, 1)
+	if c.transfer(t, 0, 1, 5_000_000) {
+		t.Fatal("overdraw committed; want rejection")
+	}
+}

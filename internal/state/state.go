@@ -1,0 +1,176 @@
+// Package state implements the account-based data model of §2.4 and the
+// blockchain accounting application of §4: records are client accounts with
+// balances, data is range/hash-sharded across clusters, and transactions
+// transfer units between accounts, validated against the sender's balance.
+package state
+
+import (
+	"fmt"
+	"sync"
+
+	"sharper/internal/types"
+)
+
+// ShardMap assigns every account to the cluster whose shard stores it.
+// SharPer uses workload-aware sharding (§2.2); the simulation uses modulo
+// placement, which the workload generator composes with to produce exact
+// intra/cross-shard mixes.
+type ShardMap struct {
+	// NumShards is |P|, the number of clusters/shards.
+	NumShards int
+}
+
+// Cluster returns the cluster storing the account.
+func (m ShardMap) Cluster(a types.AccountID) types.ClusterID {
+	return types.ClusterID(uint64(a) % uint64(m.NumShards))
+}
+
+// Involved computes the normalized involved-cluster set for a list of ops.
+func (m ShardMap) Involved(ops []types.Op) types.ClusterSet {
+	ids := make([]types.ClusterID, 0, 2*len(ops))
+	for _, op := range ops {
+		ids = append(ids, m.Cluster(op.From), m.Cluster(op.To))
+	}
+	return types.NewClusterSet(ids...)
+}
+
+// AccountInShard returns the k-th account that maps to cluster c, letting
+// workload generators pick accounts with exact shard placement.
+func (m ShardMap) AccountInShard(c types.ClusterID, k uint64) types.AccountID {
+	return types.AccountID(uint64(c) + k*uint64(m.NumShards))
+}
+
+// Store holds one shard's account balances, replicated on every node of the
+// owning cluster. It is safe for concurrent use.
+type Store struct {
+	cluster types.ClusterID
+	shards  ShardMap
+
+	mu       sync.RWMutex
+	balances map[types.AccountID]int64
+	applied  int // number of transactions applied, for audits
+}
+
+// NewStore creates a store for the shard owned by cluster.
+func NewStore(cluster types.ClusterID, shards ShardMap) *Store {
+	return &Store{
+		cluster:  cluster,
+		shards:   shards,
+		balances: make(map[types.AccountID]int64),
+	}
+}
+
+// Cluster returns the owning cluster.
+func (s *Store) Cluster() types.ClusterID { return s.cluster }
+
+// Credit seeds an account with an initial balance. It panics if the account
+// does not belong to this shard: placement errors are bugs, not runtime
+// conditions.
+func (s *Store) Credit(a types.AccountID, amount int64) {
+	if s.shards.Cluster(a) != s.cluster {
+		panic(fmt.Sprintf("state: account %s not in shard of %s", a, s.cluster))
+	}
+	s.mu.Lock()
+	s.balances[a] += amount
+	s.mu.Unlock()
+}
+
+// Balance returns the account's balance (zero for unknown accounts).
+func (s *Store) Balance(a types.AccountID) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.balances[a]
+}
+
+// Applied returns the number of transactions applied so far.
+func (s *Store) Applied() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// Validate checks the local-shard effects of tx without applying them:
+// every op whose From account lives in this shard must be covered by the
+// account's balance, counting earlier ops in the same transaction ("the
+// account balance is at least x", §4). Ops on foreign shards are ignored —
+// their owning cluster validates them.
+func (s *Store) Validate(tx *types.Transaction) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.validateLocked(tx)
+}
+
+func (s *Store) validateLocked(tx *types.Transaction) error {
+	delta := make(map[types.AccountID]int64)
+	for _, op := range tx.Ops {
+		if op.Amount < 0 {
+			return fmt.Errorf("state: tx %s has negative amount", tx.ID)
+		}
+		if s.shards.Cluster(op.From) == s.cluster {
+			delta[op.From] -= op.Amount
+			if s.balances[op.From]+delta[op.From] < 0 {
+				return fmt.Errorf("state: tx %s overdraws %s", tx.ID, op.From)
+			}
+		}
+		if s.shards.Cluster(op.To) == s.cluster {
+			delta[op.To] += op.Amount
+		}
+	}
+	return nil
+}
+
+// Apply validates and applies the local-shard effects of tx atomically.
+// A failed validation leaves the store unchanged and returns the error.
+func (s *Store) Apply(tx *types.Transaction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validateLocked(tx); err != nil {
+		return err
+	}
+	for _, op := range tx.Ops {
+		if s.shards.Cluster(op.From) == s.cluster {
+			s.balances[op.From] -= op.Amount
+		}
+		if s.shards.Cluster(op.To) == s.cluster {
+			s.balances[op.To] += op.Amount
+		}
+	}
+	s.applied++
+	return nil
+}
+
+// Total returns the sum of all balances in the shard — conservation audits
+// in tests check that intra-shard transfers keep the per-shard total fixed
+// and cross-shard transfers keep the global total fixed.
+func (s *Store) Total() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var t int64
+	for _, b := range s.balances {
+		t += b
+	}
+	return t
+}
+
+// Snapshot returns a copy of all balances, for state transfer to passive
+// replicas (APR baseline) and for test assertions.
+func (s *Store) Snapshot() map[types.AccountID]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[types.AccountID]int64, len(s.balances))
+	for k, v := range s.balances {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore replaces the store contents with the snapshot.
+func (s *Store) Restore(snap map[types.AccountID]int64, applied int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.balances = make(map[types.AccountID]int64, len(snap))
+	for k, v := range snap {
+		s.balances[k] = v
+	}
+	s.applied = applied
+}

@@ -1,0 +1,215 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sharper/internal/types"
+)
+
+func TestShardMapPlacement(t *testing.T) {
+	m := ShardMap{NumShards: 4}
+	for c := types.ClusterID(0); c < 4; c++ {
+		for k := uint64(0); k < 8; k++ {
+			a := m.AccountInShard(c, k)
+			if got := m.Cluster(a); got != c {
+				t.Fatalf("account %s placed in %s, want %s", a, got, c)
+			}
+		}
+	}
+}
+
+func TestShardMapInvolved(t *testing.T) {
+	m := ShardMap{NumShards: 4}
+	ops := []types.Op{
+		{From: m.AccountInShard(0, 0), To: m.AccountInShard(2, 0), Amount: 1},
+		{From: m.AccountInShard(2, 1), To: m.AccountInShard(0, 1), Amount: 1},
+	}
+	inv := m.Involved(ops)
+	if !inv.Equal(types.ClusterSet{0, 2}) {
+		t.Fatalf("involved = %v, want {0,2}", inv)
+	}
+}
+
+func TestApplyAndValidate(t *testing.T) {
+	m := ShardMap{NumShards: 2}
+	s := NewStore(0, m)
+	a, b := m.AccountInShard(0, 0), m.AccountInShard(0, 1)
+	s.Credit(a, 100)
+
+	tx := &types.Transaction{
+		ID:       types.TxID{Client: 1, Seq: 1},
+		Ops:      []types.Op{{From: a, To: b, Amount: 60}},
+		Involved: types.ClusterSet{0},
+	}
+	if err := s.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance(a) != 40 || s.Balance(b) != 60 {
+		t.Fatalf("balances %d/%d", s.Balance(a), s.Balance(b))
+	}
+
+	over := &types.Transaction{
+		ID:  types.TxID{Client: 1, Seq: 2},
+		Ops: []types.Op{{From: a, To: b, Amount: 41}},
+	}
+	if err := s.Apply(over); err == nil {
+		t.Fatal("overdraft applied")
+	}
+	if s.Balance(a) != 40 {
+		t.Fatal("failed apply mutated state")
+	}
+}
+
+func TestValidateSequentialOps(t *testing.T) {
+	m := ShardMap{NumShards: 1}
+	s := NewStore(0, m)
+	a, b, c := m.AccountInShard(0, 0), m.AccountInShard(0, 1), m.AccountInShard(0, 2)
+	s.Credit(a, 10)
+	// b starts at 0; the first op funds it, the second spends it — valid
+	// only if ops are validated in order with intra-tx effects visible.
+	tx := &types.Transaction{
+		Ops: []types.Op{
+			{From: a, To: b, Amount: 10},
+			{From: b, To: c, Amount: 5},
+		},
+	}
+	if err := s.Validate(tx); err != nil {
+		t.Fatalf("sequential ops rejected: %v", err)
+	}
+	bad := &types.Transaction{
+		Ops: []types.Op{
+			{From: b, To: c, Amount: 5}, // spends before funding
+			{From: a, To: b, Amount: 10},
+		},
+	}
+	if err := s.Validate(bad); err == nil {
+		t.Fatal("out-of-order spend validated")
+	}
+}
+
+func TestNegativeAmountRejected(t *testing.T) {
+	m := ShardMap{NumShards: 1}
+	s := NewStore(0, m)
+	s.Credit(0, 10)
+	tx := &types.Transaction{Ops: []types.Op{{From: 0, To: 1, Amount: -5}}}
+	if err := s.Validate(tx); err == nil {
+		t.Fatal("negative amount validated")
+	}
+}
+
+func TestForeignShardOpsIgnored(t *testing.T) {
+	m := ShardMap{NumShards: 2}
+	s := NewStore(0, m)
+	local := m.AccountInShard(0, 0)
+	foreign := m.AccountInShard(1, 0)
+	s.Credit(local, 10)
+	// Debit on the foreign shard: this store only applies the local credit.
+	tx := &types.Transaction{Ops: []types.Op{{From: foreign, To: local, Amount: 7}}}
+	if err := s.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance(local) != 17 {
+		t.Fatalf("local credit not applied: %d", s.Balance(local))
+	}
+	if s.Balance(foreign) != 0 {
+		t.Fatal("foreign balance materialized in wrong shard")
+	}
+}
+
+func TestCreditWrongShardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := ShardMap{NumShards: 2}
+	NewStore(0, m).Credit(m.AccountInShard(1, 0), 5)
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := ShardMap{NumShards: 1}
+	s := NewStore(0, m)
+	s.Credit(0, 50)
+	s.Credit(1, 70)
+	snap := s.Snapshot()
+	applied := s.Applied()
+
+	s2 := NewStore(0, m)
+	s2.Restore(snap, applied)
+	if s2.Balance(0) != 50 || s2.Balance(1) != 70 || s2.Total() != 120 {
+		t.Fatal("restore mismatch")
+	}
+}
+
+// TestQuickConservation property: any sequence of applied transfers within
+// one shard keeps the shard's total balance constant.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := ShardMap{NumShards: 1}
+		s := NewStore(0, m)
+		const accounts = 8
+		for k := 0; k < accounts; k++ {
+			s.Credit(m.AccountInShard(0, uint64(k)), 1000)
+		}
+		want := s.Total()
+		for i := 0; i < 50; i++ {
+			tx := &types.Transaction{
+				ID: types.TxID{Client: 1, Seq: uint64(i)},
+				Ops: []types.Op{{
+					From:   m.AccountInShard(0, uint64(rng.Intn(accounts))),
+					To:     m.AccountInShard(0, uint64(rng.Intn(accounts))),
+					Amount: int64(rng.Intn(2000)),
+				}},
+			}
+			_ = s.Apply(tx) // rejected overdrafts must leave state intact
+		}
+		return s.Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickValidateApplyAgree property: Apply succeeds exactly when
+// Validate passes, and a failed Apply never changes any balance.
+func TestQuickValidateApplyAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := ShardMap{NumShards: 2}
+		s := NewStore(0, m)
+		for k := 0; k < 4; k++ {
+			s.Credit(m.AccountInShard(0, uint64(k)), int64(rng.Intn(100)))
+		}
+		for i := 0; i < 30; i++ {
+			tx := &types.Transaction{
+				ID: types.TxID{Client: 1, Seq: uint64(i)},
+				Ops: []types.Op{{
+					From:   m.AccountInShard(types.ClusterID(rng.Intn(2)), uint64(rng.Intn(4))),
+					To:     m.AccountInShard(types.ClusterID(rng.Intn(2)), uint64(rng.Intn(4))),
+					Amount: int64(rng.Intn(150)),
+				}},
+			}
+			valErr := s.Validate(tx)
+			before := s.Snapshot()
+			appErr := s.Apply(tx)
+			if (valErr == nil) != (appErr == nil) {
+				return false
+			}
+			if appErr != nil {
+				after := s.Snapshot()
+				for k, v := range before {
+					if after[k] != v {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+// Package transport simulates the network substrate of §2.1: point-to-point,
+// pairwise-authenticated, bi-directional channels between every pair of
+// nodes. The simulation models per-link latency (intra-cluster vs
+// cross-cluster vs client links), jitter, message drops, duplication,
+// network partitions, and node crashes, so consensus protocols built on top
+// exercise the same code paths they would on a real cluster.
+//
+// Delivery is asynchronous: messages may be delayed, dropped, duplicated, or
+// reordered (the safety assumption of §3), but a message that is delivered
+// is delivered intact and with an authentic sender identity.
+package transport
+
+import (
+	"container/heap"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/types"
+)
+
+// Config describes the simulated network's behaviour.
+type Config struct {
+	// IntraClusterLatency is the one-way delay between two nodes in the
+	// same cluster (nodes are co-located, §2.2).
+	IntraClusterLatency time.Duration
+	// CrossClusterLatency is the one-way delay between nodes of different
+	// clusters.
+	CrossClusterLatency time.Duration
+	// ClientLatency is the one-way delay between a client and any replica.
+	ClientLatency time.Duration
+	// JitterFrac adds uniform jitter in [0, JitterFrac·latency) per message.
+	JitterFrac float64
+	// DropProb drops each message independently with this probability.
+	DropProb float64
+	// DupProb duplicates each delivered message with this probability.
+	DupProb float64
+	// Seed makes fault injection reproducible.
+	Seed int64
+	// InboxSize is the buffered capacity of each node's inbox. Messages
+	// beyond it are still delivered (a goroutine blocks until space frees)
+	// so the network never silently loses traffic it decided to deliver.
+	InboxSize int
+	// ProcessingTime models per-message service cost at each replica (CPU
+	// serialization, marshalling, syscalls). Every message a replica sends
+	// or receives occupies it for this long, so a node caps out at roughly
+	// 1/ProcessingTime messages per second — the resource that makes a
+	// single ordering group saturate and lets sharding scale throughput
+	// with cluster count, as on the paper's real testbed. Zero disables the
+	// model. Clients are not charged.
+	ProcessingTime time.Duration
+}
+
+// DefaultConfig returns a LAN-like configuration suitable for benchmarks:
+// sub-millisecond intra-cluster links and ~1ms cross-cluster links.
+func DefaultConfig() Config {
+	return Config{
+		IntraClusterLatency: 100 * time.Microsecond,
+		CrossClusterLatency: 200 * time.Microsecond,
+		ClientLatency:       200 * time.Microsecond,
+		JitterFrac:          0.2,
+		InboxSize:           16384,
+		ProcessingTime:      15 * time.Microsecond,
+	}
+}
+
+// Locator maps a node to the cluster it belongs to, for latency selection.
+// Clients (id.IsClient()) are not expected to be mapped.
+type Locator func(types.NodeID) (types.ClusterID, bool)
+
+// Stats aggregates message-level counters, used by tests to assert on the
+// number of communication phases and by benchmarks to report network load.
+type Stats struct {
+	Sent      atomic.Int64
+	Delivered atomic.Int64
+	Dropped   atomic.Int64
+	Bytes     atomic.Int64
+}
+
+// Network is the in-process message fabric. It is safe for concurrent use.
+type Network struct {
+	cfg    Config
+	locate Locator
+
+	mu        sync.RWMutex
+	inboxes   map[types.NodeID]chan *types.Envelope
+	crashed   map[types.NodeID]bool
+	partition map[[2]types.NodeID]bool // blocked ordered pairs
+	closed    bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// busyUntil models each replica's single message-processing core: the
+	// virtual time until which the node is occupied. Guarded by busyMu.
+	busyMu    sync.Mutex
+	busyUntil map[types.NodeID]time.Time
+
+	// Delayed-delivery machinery: a min-heap drained by the dispatcher
+	// goroutine on a fine quantum (see Network.dispatcher).
+	qMu     sync.Mutex
+	queue   deliveryHeap
+	qWake   chan struct{}
+	qDone   chan struct{}
+	qClosed bool
+
+	stats Stats
+}
+
+// New creates a network with the given behaviour and topology.
+func New(cfg Config, locate Locator) *Network {
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 16384
+	}
+	n := &Network{
+		cfg:       cfg,
+		locate:    locate,
+		inboxes:   make(map[types.NodeID]chan *types.Envelope),
+		crashed:   make(map[types.NodeID]bool),
+		partition: make(map[[2]types.NodeID]bool),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		busyUntil: make(map[types.NodeID]time.Time),
+		qWake:     make(chan struct{}, 1),
+		qDone:     make(chan struct{}),
+	}
+	go n.dispatcher()
+	return n
+}
+
+// occupy charges the node's processing core for one message starting no
+// earlier than at, returning when processing completes. Clients have no
+// modelled core.
+func (n *Network) occupy(id types.NodeID, at time.Time) time.Time {
+	if n.cfg.ProcessingTime <= 0 || id.IsClient() {
+		return at
+	}
+	n.busyMu.Lock()
+	start := at
+	if b := n.busyUntil[id]; b.After(start) {
+		start = b
+	}
+	done := start.Add(n.cfg.ProcessingTime)
+	n.busyUntil[id] = done
+	n.busyMu.Unlock()
+	return done
+}
+
+// Stats returns the live counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// Register creates (or returns) the inbox for id. Each node and client calls
+// this once before participating.
+func (n *Network) Register(id types.NodeID) <-chan *types.Envelope {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ch, ok := n.inboxes[id]; ok {
+		return ch
+	}
+	ch := make(chan *types.Envelope, n.cfg.InboxSize)
+	n.inboxes[id] = ch
+	return ch
+}
+
+// Crash marks id as stopped: it receives no further messages until Restart.
+// This models the crash failure of §2.1.
+func (n *Network) Crash(id types.NodeID) {
+	n.mu.Lock()
+	n.crashed[id] = true
+	n.mu.Unlock()
+}
+
+// Restart clears the crashed mark for id.
+func (n *Network) Restart(id types.NodeID) {
+	n.mu.Lock()
+	delete(n.crashed, id)
+	n.mu.Unlock()
+}
+
+// Partition blocks delivery in both directions between every pair drawn from
+// a and b. Heal with HealPartition.
+func (n *Network) Partition(a, b []types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			n.partition[[2]types.NodeID{x, y}] = true
+			n.partition[[2]types.NodeID{y, x}] = true
+		}
+	}
+}
+
+// HealPartition removes all partition rules.
+func (n *Network) HealPartition() {
+	n.mu.Lock()
+	n.partition = make(map[[2]types.NodeID]bool)
+	n.mu.Unlock()
+}
+
+// Close tears the network down; subsequent sends are dropped.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.qMu.Lock()
+	if !n.qClosed {
+		n.qClosed = true
+		close(n.qDone)
+	}
+	n.qMu.Unlock()
+}
+
+// latency picks the one-way delay for the link from → to.
+func (n *Network) latency(from, to types.NodeID) time.Duration {
+	var base time.Duration
+	switch {
+	case from.IsClient() || to.IsClient():
+		base = n.cfg.ClientLatency
+	default:
+		cf, okF := n.locate(from)
+		ct, okT := n.locate(to)
+		if okF && okT && cf == ct {
+			base = n.cfg.IntraClusterLatency
+		} else {
+			base = n.cfg.CrossClusterLatency
+		}
+	}
+	if n.cfg.JitterFrac > 0 && base > 0 {
+		n.rngMu.Lock()
+		j := n.rng.Float64() * n.cfg.JitterFrac
+		n.rngMu.Unlock()
+		base += time.Duration(float64(base) * j)
+	}
+	return base
+}
+
+// roll returns true with probability p.
+func (n *Network) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	v := n.rng.Float64()
+	n.rngMu.Unlock()
+	return v < p
+}
+
+// Send queues env for delivery to `to`. Drops, duplication, and latency are
+// applied per the config; partitioned or crashed destinations receive
+// nothing. Send never blocks the caller.
+func (n *Network) Send(to types.NodeID, env *types.Envelope) {
+	n.stats.Sent.Add(1)
+	n.stats.Bytes.Add(int64(len(env.Payload)))
+
+	n.mu.RLock()
+	closed := n.closed
+	blocked := n.partition[[2]types.NodeID{env.From, to}]
+	n.mu.RUnlock()
+	if closed || blocked || n.roll(n.cfg.DropProb) {
+		n.stats.Dropped.Add(1)
+		return
+	}
+
+	// Total delay = sender serialization + link latency + receiver
+	// serialization, each against the node's modelled processing core.
+	now := time.Now()
+	sent := n.occupy(env.From, now)
+	arrival := sent.Add(n.latency(env.From, to))
+	done := n.occupy(to, arrival)
+	n.deliverAfter(to, env, done.Sub(now))
+	if n.roll(n.cfg.DupProb) {
+		n.deliverAfter(to, env, done.Sub(now)+n.latency(env.From, to))
+	}
+}
+
+// queued is one message awaiting its delivery time.
+type queued struct {
+	due time.Time
+	to  types.NodeID
+	env *types.Envelope
+}
+
+// deliveryHeap orders queued messages by due time.
+type deliveryHeap []queued
+
+func (h deliveryHeap) Len() int            { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool  { return h[i].due.Before(h[j].due) }
+func (h deliveryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x interface{}) { *h = append(*h, x.(queued)) }
+func (h *deliveryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+func (n *Network) deliverAfter(to types.NodeID, env *types.Envelope, d time.Duration) {
+	if d <= 0 {
+		n.deliver(to, env)
+		return
+	}
+	n.qMu.Lock()
+	heap.Push(&n.queue, queued{due: time.Now().Add(d), to: to, env: env})
+	n.qMu.Unlock()
+	select {
+	case n.qWake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatcher delivers queued messages with sub-millisecond precision.
+// Go runtime timers (time.AfterFunc, time.Sleep) round sub-millisecond
+// waits up to ~1ms, which would dwarf the configured link latencies, so the
+// dispatcher sleeps coarsely only while the next deadline is far away and
+// yield-spins across the final stretch.
+func (n *Network) dispatcher() {
+	for {
+		n.qMu.Lock()
+		for n.queue.Len() == 0 && !n.qClosed {
+			n.qMu.Unlock()
+			select {
+			case <-n.qWake:
+			case <-n.qDone:
+				return
+			}
+			n.qMu.Lock()
+		}
+		if n.qClosed {
+			n.qMu.Unlock()
+			return
+		}
+		now := time.Now()
+		var due []queued
+		for n.queue.Len() > 0 && !n.queue[0].due.After(now) {
+			due = append(due, heap.Pop(&n.queue).(queued))
+		}
+		var wait time.Duration
+		if n.queue.Len() > 0 {
+			wait = n.queue[0].due.Sub(now)
+		}
+		n.qMu.Unlock()
+		for _, q := range due {
+			n.deliver(q.to, q.env)
+		}
+		if wait > 2*time.Millisecond {
+			time.Sleep(wait - time.Millisecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (n *Network) deliver(to types.NodeID, env *types.Envelope) {
+	n.mu.RLock()
+	ch, ok := n.inboxes[to]
+	dead := n.crashed[to] || n.closed
+	n.mu.RUnlock()
+	if !ok || dead {
+		n.stats.Dropped.Add(1)
+		return
+	}
+	select {
+	case ch <- env:
+		n.stats.Delivered.Add(1)
+	default:
+		// Inbox full: deliver from a goroutine so the timer callback never
+		// blocks. Ordering may shift, which the asynchrony model permits.
+		go func() {
+			defer func() { recover() }() // tolerate teardown races on close
+			ch <- env
+			n.stats.Delivered.Add(1)
+		}()
+	}
+}
+
+// Multicast sends env to every destination in to (excluding none; callers
+// decide whether to include themselves).
+func (n *Network) Multicast(to []types.NodeID, env *types.Envelope) {
+	for _, id := range to {
+		n.Send(id, env)
+	}
+}

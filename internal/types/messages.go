@@ -1,0 +1,321 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MsgType discriminates protocol messages on the wire.
+type MsgType uint8
+
+// Message kinds. One namespace is shared by every protocol in the repo so a
+// node can dispatch on the type alone.
+const (
+	MsgInvalid MsgType = iota
+
+	// Client traffic.
+	MsgRequest // client → primary: ordered transaction request
+	MsgReply   // replica → client: execution result
+
+	// Intra-shard Paxos (§3.1, Fig. 3a).
+	MsgPaxosAccept   // primary → cluster
+	MsgPaxosAccepted // node → primary
+	MsgPaxosCommit   // primary → cluster
+
+	// Intra-shard PBFT (§3.1, Fig. 3b).
+	MsgPrePrepare // primary → cluster
+	MsgPrepare    // node → cluster
+	MsgCommit     // node → cluster
+
+	// Flattened cross-shard consensus (§3.2 Alg. 1, §3.3 Alg. 2).
+	MsgXPropose // initiator primary → all nodes of involved clusters
+	MsgXAccept  // node → primary (crash) or → all involved nodes (byz)
+	MsgXCommit  // primary → involved nodes (crash) or node → all (byz)
+	MsgXAbort   // initiator → involved nodes: attempt withdrawn, release locks
+
+	// Chain synchronization (state transfer for lagging replicas).
+	MsgSyncRequest  // node → cluster peer: send me blocks from index N
+	MsgSyncResponse // peer → node: requested blocks
+
+	// View change (both intra engines; §3.2/§3.3 liveness).
+	MsgViewChange
+	MsgNewView
+
+	// AHL baseline reference-committee 2PC (§4.1).
+	MsgAHLPrepare    // RC → involved cluster primaries: vote request
+	MsgAHLVote       // cluster → RC: prepared / abort
+	MsgAHLDecision   // RC → involved clusters: commit / abort
+	MsgAHLAck        // cluster → RC: decision applied
+	MsgAHLRCInternal // intra-RC consensus traffic wrapper
+
+	// Active/passive replication baseline.
+	MsgAPRStateUpdate // active replica → passive replicas
+
+	// Fast Paxos / FaB baselines (two-phase protocols).
+	MsgFastPropose
+	MsgFastAccept
+	MsgFastCommit
+)
+
+var msgNames = map[MsgType]string{
+	MsgRequest: "request", MsgReply: "reply",
+	MsgPaxosAccept: "paxos-accept", MsgPaxosAccepted: "paxos-accepted", MsgPaxosCommit: "paxos-commit",
+	MsgPrePrepare: "pre-prepare", MsgPrepare: "prepare", MsgCommit: "commit",
+	MsgXPropose: "x-propose", MsgXAccept: "x-accept", MsgXCommit: "x-commit", MsgXAbort: "x-abort",
+	MsgSyncRequest: "sync-req", MsgSyncResponse: "sync-resp",
+	MsgViewChange: "view-change", MsgNewView: "new-view",
+	MsgAHLPrepare: "ahl-prepare", MsgAHLVote: "ahl-vote", MsgAHLDecision: "ahl-decision",
+	MsgAHLAck: "ahl-ack", MsgAHLRCInternal: "ahl-rc",
+	MsgAPRStateUpdate: "apr-update",
+	MsgFastPropose:    "fast-propose", MsgFastAccept: "fast-accept", MsgFastCommit: "fast-commit",
+}
+
+func (m MsgType) String() string {
+	if s, ok := msgNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(m))
+}
+
+// Envelope is the unit the transport delivers: a typed payload plus sender
+// identity and, under the Byzantine model, a signature over the payload.
+// Channels are pairwise authenticated (§2.1), so From is trustworthy even
+// when Sig is empty (crash model).
+type Envelope struct {
+	Type    MsgType
+	From    NodeID
+	Payload []byte
+	Sig     []byte
+}
+
+// Request is the client's signed transaction request ⟨REQUEST, tx, τ_c, c⟩.
+type Request struct {
+	Tx *Transaction
+}
+
+// Encode appends the canonical encoding.
+func (r *Request) Encode(dst []byte) []byte { return r.Tx.Encode(dst) }
+
+// DecodeRequest parses a Request.
+func DecodeRequest(b []byte) (*Request, error) {
+	tx, _, err := DecodeTransaction(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Tx: tx}, nil
+}
+
+// Reply is a replica's response to the client.
+type Reply struct {
+	TxID      TxID
+	Replica   NodeID
+	Committed bool // false ⇒ the transaction was rejected by validation
+	Result    int64
+}
+
+// Encode appends the canonical encoding.
+func (r *Reply) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.TxID.Client))
+	dst = binary.LittleEndian.AppendUint64(dst, r.TxID.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Replica))
+	if r.Committed {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Result))
+	return dst
+}
+
+// DecodeReply parses a Reply.
+func DecodeReply(b []byte) (*Reply, error) {
+	if len(b) < 4+8+4+1+8 {
+		return nil, fmt.Errorf("types: short reply")
+	}
+	r := &Reply{}
+	r.TxID.Client = NodeID(binary.LittleEndian.Uint32(b))
+	r.TxID.Seq = binary.LittleEndian.Uint64(b[4:])
+	r.Replica = NodeID(binary.LittleEndian.Uint32(b[12:]))
+	r.Committed = b[16] == 1
+	r.Result = int64(binary.LittleEndian.Uint64(b[17:]))
+	return r, nil
+}
+
+// ConsensusMsg is the single payload shape shared by every ordering protocol
+// in the repo (Paxos, PBFT, flattened cross-shard, baselines). Fields unused
+// by a given protocol/phase are left zero; the codec is tolerant of that.
+//
+// Field mapping to the paper:
+//   - View: current view (primary epoch) of the sending cluster.
+//   - Seq: per-cluster sequence number (the paper chains by hash; we carry
+//     the hash in PrevHashes and a sequence for quorum bookkeeping).
+//   - Digest: D(m), the transaction digest the vote refers to.
+//   - Cluster: the cluster the *sender* speaks for.
+//   - PrevHashes: h_i, h_j, h_k … — one prior-block hash per involved
+//     cluster. Slot order matches Involved order in the carried transaction;
+//     for phase-1 messages only the sender's slot is filled.
+//   - Tx: full transaction; carried only on proposal-phase messages.
+type ConsensusMsg struct {
+	View       uint64
+	Seq        uint64
+	Digest     Hash
+	Cluster    ClusterID
+	PrevHashes []Hash
+	Tx         *Transaction
+}
+
+// Encode appends the canonical encoding of m.
+func (m *ConsensusMsg) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.View)
+	dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
+	dst = append(dst, m.Digest[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(m.Cluster))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.PrevHashes)))
+	for _, h := range m.PrevHashes {
+		dst = append(dst, h[:]...)
+	}
+	if m.Tx != nil {
+		dst = append(dst, 1)
+		dst = m.Tx.Encode(dst)
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// DecodeConsensusMsg parses a ConsensusMsg.
+func DecodeConsensusMsg(b []byte) (*ConsensusMsg, error) {
+	const fixed = 8 + 8 + 32 + 2 + 2
+	if len(b) < fixed {
+		return nil, fmt.Errorf("types: short consensus message: %d bytes", len(b))
+	}
+	m := &ConsensusMsg{}
+	off := 0
+	m.View = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	m.Seq = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	copy(m.Digest[:], b[off:off+32])
+	off += 32
+	m.Cluster = ClusterID(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	n := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+n*32+1 {
+		return nil, fmt.Errorf("types: short consensus message hash section")
+	}
+	m.PrevHashes = make([]Hash, n)
+	for i := 0; i < n; i++ {
+		copy(m.PrevHashes[i][:], b[off:off+32])
+		off += 32
+	}
+	hasTx := b[off]
+	off++
+	if hasTx == 1 {
+		tx, _, err := DecodeTransaction(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		m.Tx = tx
+	}
+	return m, nil
+}
+
+// SyncRequest asks a cluster peer for the blocks of its view starting at
+// index From (state transfer for replicas that fell behind while blocked on
+// a cross-shard transaction).
+type SyncRequest struct {
+	From uint64
+}
+
+// Encode appends the canonical encoding.
+func (s *SyncRequest) Encode(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint64(dst, s.From)
+}
+
+// DecodeSyncRequest parses a SyncRequest.
+func DecodeSyncRequest(b []byte) (*SyncRequest, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("types: short sync request")
+	}
+	return &SyncRequest{From: binary.LittleEndian.Uint64(b)}, nil
+}
+
+// SyncResponse returns a contiguous run of blocks starting at index From.
+type SyncResponse struct {
+	From   uint64
+	Blocks []*Block
+}
+
+// Encode appends the canonical encoding.
+func (s *SyncResponse) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, s.From)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s.Blocks)))
+	for _, b := range s.Blocks {
+		dst = b.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeSyncResponse parses a SyncResponse.
+func DecodeSyncResponse(b []byte) (*SyncResponse, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("types: short sync response")
+	}
+	s := &SyncResponse{From: binary.LittleEndian.Uint64(b)}
+	n := int(binary.LittleEndian.Uint16(b[8:]))
+	off := 10
+	s.Blocks = make([]*Block, 0, n)
+	for i := 0; i < n; i++ {
+		bl, used, err := DecodeBlock(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		s.Blocks = append(s.Blocks, bl)
+		off += used
+	}
+	return s, nil
+}
+
+// ViewChange carries a node's vote to depose the current primary, together
+// with its last committed sequence so the new primary can resume.
+type ViewChange struct {
+	NewView      uint64
+	Cluster      ClusterID
+	LastSeq      uint64
+	LastHash     Hash
+	PreparedSeq  uint64 // highest sequence this node voted for but saw no commit
+	PreparedHash Hash   // digest of that in-flight proposal (zero if none)
+}
+
+// Encode appends the canonical encoding.
+func (v *ViewChange) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, v.NewView)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(v.Cluster))
+	dst = binary.LittleEndian.AppendUint64(dst, v.LastSeq)
+	dst = append(dst, v.LastHash[:]...)
+	dst = binary.LittleEndian.AppendUint64(dst, v.PreparedSeq)
+	dst = append(dst, v.PreparedHash[:]...)
+	return dst
+}
+
+// DecodeViewChange parses a ViewChange.
+func DecodeViewChange(b []byte) (*ViewChange, error) {
+	if len(b) < 8+2+8+32+8+32 {
+		return nil, fmt.Errorf("types: short view-change")
+	}
+	v := &ViewChange{}
+	off := 0
+	v.NewView = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	v.Cluster = ClusterID(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	v.LastSeq = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	copy(v.LastHash[:], b[off:off+32])
+	off += 32
+	v.PreparedSeq = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	copy(v.PreparedHash[:], b[off:off+32])
+	return v, nil
+}

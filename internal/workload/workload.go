@@ -1,0 +1,129 @@
+// Package workload generates the §4 accounting workloads: a configurable
+// percentage of cross-shard transactions (0%, 10%, 20%, 80%, 100% in the
+// paper), a configurable number of involved shards per cross-shard
+// transaction (two in the paper), and account selection with optional skew.
+// The load is spread evenly across clusters ("the load is equally
+// distributed among all the nodes", §4.1).
+package workload
+
+import (
+	"math/rand"
+
+	"sharper/internal/state"
+	"sharper/internal/types"
+)
+
+// Config describes a workload mix.
+type Config struct {
+	// Shards is the deployment's shard map.
+	Shards state.ShardMap
+	// AccountsPerShard bounds account selection (must match the seeded
+	// genesis state).
+	AccountsPerShard int
+	// CrossShardPct is the percentage (0–100) of cross-shard transactions.
+	CrossShardPct int
+	// ShardsPerCross is how many distinct shards a cross-shard transaction
+	// touches (the paper uses 2).
+	ShardsPerCross int
+	// Amount transferred per op.
+	Amount int64
+	// Zipf skews account selection within a shard when > 0 (s parameter of
+	// a Zipf distribution); 0 selects uniformly.
+	Zipf float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Generator produces transaction op-lists. It is not safe for concurrent
+// use; give each client goroutine its own (Split).
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	next int // round-robin home cluster to spread the load evenly
+}
+
+// New validates the configuration and builds a generator.
+func New(cfg Config) *Generator {
+	if cfg.ShardsPerCross < 2 {
+		cfg.ShardsPerCross = 2
+	}
+	if cfg.ShardsPerCross > cfg.Shards.NumShards {
+		cfg.ShardsPerCross = cfg.Shards.NumShards
+	}
+	if cfg.AccountsPerShard <= 1 {
+		cfg.AccountsPerShard = 2
+	}
+	if cfg.Amount == 0 {
+		cfg.Amount = 1
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Zipf > 1 {
+		g.zipf = rand.NewZipf(g.rng, cfg.Zipf, 1, uint64(cfg.AccountsPerShard-1))
+	}
+	return g
+}
+
+// Split derives an independent generator with a decorrelated seed, for
+// handing one to each client goroutine.
+func (g *Generator) Split(i int) *Generator {
+	cfg := g.cfg
+	cfg.Seed = g.cfg.Seed*7919 + int64(i)*104729 + 1
+	return New(cfg)
+}
+
+// pickAccount selects account index k within a shard.
+func (g *Generator) pickAccount(c types.ClusterID) types.AccountID {
+	var k uint64
+	if g.zipf != nil {
+		k = g.zipf.Uint64()
+	} else {
+		k = uint64(g.rng.Intn(g.cfg.AccountsPerShard))
+	}
+	return g.cfg.Shards.AccountInShard(c, k)
+}
+
+// pickDistinct selects account index k' ≠ avoiding collision with from.
+func (g *Generator) pickDistinct(c types.ClusterID, from types.AccountID) types.AccountID {
+	for i := 0; i < 8; i++ {
+		to := g.pickAccount(c)
+		if to != from {
+			return to
+		}
+	}
+	// Fall back to a deterministic neighbour.
+	return g.cfg.Shards.AccountInShard(c, (uint64(from)/uint64(g.cfg.Shards.NumShards)+1)%uint64(g.cfg.AccountsPerShard))
+}
+
+// Next returns the ops of the next transaction in the stream.
+func (g *Generator) Next() []types.Op {
+	n := g.cfg.Shards.NumShards
+	home := types.ClusterID(g.next % n)
+	g.next++
+
+	cross := g.rng.Intn(100) < g.cfg.CrossShardPct && n > 1
+	if !cross {
+		from := g.pickAccount(home)
+		return []types.Op{{From: from, To: g.pickDistinct(home, from), Amount: g.cfg.Amount}}
+	}
+
+	// Choose ShardsPerCross distinct random shards (§4.1: "two (randomly
+	// chosen) shards are involved in each cross-shard transaction").
+	shards := g.rng.Perm(n)[:g.cfg.ShardsPerCross]
+	ops := make([]types.Op, 0, len(shards)-1)
+	for i := 0; i+1 < len(shards); i++ {
+		from := g.pickAccount(types.ClusterID(shards[i]))
+		to := g.pickAccount(types.ClusterID(shards[i+1]))
+		ops = append(ops, types.Op{From: from, To: to, Amount: g.cfg.Amount})
+	}
+	return ops
+}
+
+// IsCross reports whether the op-list spans multiple shards, for callers
+// that track the realized mix.
+func (g *Generator) IsCross(ops []types.Op) bool {
+	return len(g.cfg.Shards.Involved(ops)) > 1
+}
+
+// NumShards returns the shard count the generator produces accounts for.
+func (g *Generator) NumShards() int { return g.cfg.Shards.NumShards }

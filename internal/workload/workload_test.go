@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"sharper/internal/state"
+)
+
+func gen(crossPct int) *Generator {
+	return New(Config{
+		Shards:           state.ShardMap{NumShards: 4},
+		AccountsPerShard: 64,
+		CrossShardPct:    crossPct,
+		ShardsPerCross:   2,
+		Seed:             9,
+	})
+}
+
+func TestMixPercentage(t *testing.T) {
+	for _, pct := range []int{0, 20, 80, 100} {
+		g := gen(pct)
+		cross := 0
+		const n = 2000
+		for i := 0; i < n; i++ {
+			if g.IsCross(g.Next()) {
+				cross++
+			}
+		}
+		got := 100 * cross / n
+		if got < pct-5 || got > pct+5 {
+			t.Errorf("cross pct %d: realized %d%%", pct, got)
+		}
+	}
+}
+
+func TestIntraOpsStayInOneShard(t *testing.T) {
+	g := gen(0)
+	shards := state.ShardMap{NumShards: 4}
+	for i := 0; i < 500; i++ {
+		ops := g.Next()
+		if len(shards.Involved(ops)) != 1 {
+			t.Fatalf("intra workload produced cross-shard ops: %v", ops)
+		}
+		if ops[0].From == ops[0].To {
+			t.Fatalf("self transfer: %v", ops[0])
+		}
+	}
+}
+
+func TestCrossOpsSpanExactlyTwoShards(t *testing.T) {
+	g := gen(100)
+	shards := state.ShardMap{NumShards: 4}
+	for i := 0; i < 500; i++ {
+		ops := g.Next()
+		if got := len(shards.Involved(ops)); got != 2 {
+			t.Fatalf("cross tx spans %d shards, want 2: %v", got, ops)
+		}
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	a, b := gen(50), gen(50)
+	for i := 0; i < 100; i++ {
+		opsA, opsB := a.Next(), b.Next()
+		if len(opsA) != len(opsB) {
+			t.Fatal("streams diverged in length")
+		}
+		for j := range opsA {
+			if opsA[j] != opsB[j] {
+				t.Fatalf("streams diverged at %d", i)
+			}
+		}
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	g := gen(50)
+	a, b := g.Split(1), g.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		opsA, opsB := a.Next(), b.Next()
+		if len(opsA) == len(opsB) && opsA[0] == opsB[0] {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("split streams correlated: %d/100 identical", same)
+	}
+}
+
+func TestHomeClusterRoundRobin(t *testing.T) {
+	g := gen(0)
+	shards := state.ShardMap{NumShards: 4}
+	counts := make(map[int]int)
+	for i := 0; i < 400; i++ {
+		ops := g.Next()
+		counts[int(shards.Cluster(ops[0].From))]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 100 {
+			t.Fatalf("cluster %d got %d txs, want 100 (even spread)", c, counts[c])
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Config{
+		Shards:           state.ShardMap{NumShards: 1},
+		AccountsPerShard: 64,
+		Zipf:             1.5,
+		Seed:             3,
+	})
+	counts := make(map[uint64]int)
+	shards := state.ShardMap{NumShards: 1}
+	for i := 0; i < 2000; i++ {
+		ops := g.Next()
+		counts[uint64(ops[0].From)/uint64(shards.NumShards)]++
+	}
+	// Rank-0 account must dominate under heavy skew.
+	if counts[0] < 400 {
+		t.Fatalf("zipf skew too weak: rank-0 count %d", counts[0])
+	}
+}

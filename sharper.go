@@ -1,0 +1,347 @@
+// Package sharper is a Go implementation of SharPer, the permissioned
+// blockchain system of Amiri, Agrawal, and El Abbadi ("SharPer: Sharding
+// Permissioned Blockchains Over Network Clusters", SIGMOD 2021).
+//
+// SharPer partitions the nodes of a permissioned blockchain into clusters
+// of 2f+1 crash-only or 3f+1 Byzantine nodes, assigns one data shard to
+// each cluster, and represents the ledger as a directed acyclic graph of
+// single-transaction blocks in which every cluster maintains only its own
+// view. Intra-shard transactions are ordered by per-cluster consensus
+// (Paxos or PBFT); cross-shard transactions are ordered by a flattened
+// consensus protocol among all and only the involved clusters, so
+// cross-shard transactions over disjoint cluster sets commit in parallel.
+//
+// The package runs a full deployment on a simulated network fabric with
+// configurable latency, fault injection, and a per-node processing-cost
+// model, which makes it suitable for protocol research, benchmarking, and
+// teaching. See DESIGN.md for the mapping from the paper's sections to the
+// packages under internal/.
+//
+// # Quick start
+//
+//	net, err := sharper.New(sharper.Options{
+//		Model:    sharper.CrashOnly,
+//		Clusters: 4,
+//		F:        1,
+//	})
+//	if err != nil { ... }
+//	defer net.Close()
+//
+//	client := net.NewClient()
+//	res, err := client.Transfer(
+//		net.AccountInShard(0, 0), // from, shard 0
+//		net.AccountInShard(1, 0), // to, shard 1 → cross-shard
+//		42,
+//	)
+package sharper
+
+import (
+	"fmt"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/core"
+	"sharper/internal/ledger"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// FailureModel selects the fault assumption of a deployment.
+type FailureModel = types.FailureModel
+
+// Failure models.
+const (
+	// CrashOnly tolerates f stop failures per cluster of 2f+1 nodes, using
+	// Paxos intra-shard and Algorithm 1 cross-shard.
+	CrashOnly = types.CrashOnly
+	// Byzantine tolerates f arbitrary failures per cluster of 3f+1 nodes,
+	// using PBFT intra-shard and Algorithm 2 cross-shard.
+	Byzantine = types.Byzantine
+)
+
+// AccountID names an account in the account-based data model.
+type AccountID = types.AccountID
+
+// Op is a single transfer inside a transaction.
+type Op = types.Op
+
+// ClusterID identifies a cluster and its data shard.
+type ClusterID = types.ClusterID
+
+// NetworkOptions tunes the simulated fabric.
+type NetworkOptions struct {
+	// IntraClusterLatency is the one-way delay inside a cluster.
+	IntraClusterLatency time.Duration
+	// CrossClusterLatency is the one-way delay between clusters.
+	CrossClusterLatency time.Duration
+	// ClientLatency is the one-way client↔replica delay.
+	ClientLatency time.Duration
+	// DropProb drops each message with this probability.
+	DropProb float64
+	// ProcessingTime is the per-message service cost at each replica.
+	ProcessingTime time.Duration
+}
+
+// Options configures a deployment.
+type Options struct {
+	// Model is the failure assumption (CrashOnly or Byzantine).
+	Model FailureModel
+	// Clusters is the number of clusters |P| (= number of shards).
+	Clusters int
+	// F is the per-cluster fault bound; cluster size follows from Model.
+	F int
+	// AccountsPerShard seeds this many accounts per shard at genesis.
+	AccountsPerShard int
+	// InitialBalance is each seeded account's starting balance.
+	InitialBalance int64
+	// DisableSuperPrimary turns off the §3.2 super-primary routing rule.
+	DisableSuperPrimary bool
+	// Network tunes the simulated fabric; zero values take defaults.
+	Network NetworkOptions
+	// Seed drives all randomness; runs with equal seeds are comparable.
+	Seed int64
+	// Plan overrides the uniform cluster layout, e.g. the §3.4
+	// group-aware plan built with PlanClusters.
+	Plan *Plan
+}
+
+// Network is a running SharPer deployment.
+type Network struct {
+	d *core.Deployment
+}
+
+// New builds and starts a deployment.
+func New(opts Options) (*Network, error) {
+	if opts.AccountsPerShard <= 0 {
+		opts.AccountsPerShard = 1024
+	}
+	if opts.InitialBalance == 0 {
+		opts.InitialBalance = 1 << 40
+	}
+	netCfg := transport.DefaultConfig()
+	if opts.Network.IntraClusterLatency > 0 {
+		netCfg.IntraClusterLatency = opts.Network.IntraClusterLatency
+	}
+	if opts.Network.CrossClusterLatency > 0 {
+		netCfg.CrossClusterLatency = opts.Network.CrossClusterLatency
+	}
+	if opts.Network.ClientLatency > 0 {
+		netCfg.ClientLatency = opts.Network.ClientLatency
+	}
+	if opts.Network.DropProb > 0 {
+		netCfg.DropProb = opts.Network.DropProb
+	}
+	if opts.Network.ProcessingTime > 0 {
+		netCfg.ProcessingTime = opts.Network.ProcessingTime
+	}
+	cfg := core.Config{
+		Model:               opts.Model,
+		Clusters:            opts.Clusters,
+		F:                   opts.F,
+		Network:             netCfg,
+		DisableSuperPrimary: opts.DisableSuperPrimary,
+		Seed:                opts.Seed,
+	}
+	if opts.Plan != nil {
+		cfg.Topology = opts.Plan.topo
+	}
+	d, err := core.NewDeployment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.SeedAccounts(opts.AccountsPerShard, opts.InitialBalance)
+	d.Start()
+	return &Network{d: d}, nil
+}
+
+// Close stops every node and tears down the fabric.
+func (n *Network) Close() { n.d.Stop() }
+
+// Clusters returns the number of clusters (= shards).
+func (n *Network) Clusters() int { return len(n.d.Topo.Clusters) }
+
+// AccountInShard returns the k-th seeded account of the given shard, so
+// callers can construct intra- or cross-shard transfers deliberately.
+func (n *Network) AccountInShard(shard ClusterID, k uint64) AccountID {
+	return n.d.Shards.AccountInShard(shard, k)
+}
+
+// ShardOf returns the shard that stores the account.
+func (n *Network) ShardOf(a AccountID) ClusterID { return n.d.Shards.Cluster(a) }
+
+// Balance reads an account's balance from a replica of its shard.
+// It is a direct state read, not an ordered transaction.
+func (n *Network) Balance(a AccountID) int64 {
+	c := n.d.Shards.Cluster(a)
+	return n.d.Node(n.d.Topo.Members(c)[0]).Store().Balance(a)
+}
+
+// DAG assembles the union blockchain ledger (Fig. 2a) from one
+// representative view per cluster, for inspection and audits.
+func (n *Network) DAG() *ledger.DAG { return n.d.DAG() }
+
+// Verify checks ledger consistency across all clusters: per-view hash
+// chains, cross-shard agreement, and pairwise commit order. Call it on a
+// quiesced network.
+func (n *Network) Verify() error {
+	dag := n.d.DAG()
+	if err := dag.Verify(); err != nil {
+		return err
+	}
+	return dag.VerifyPairwiseOrder()
+}
+
+// CrashNode simulates the crash of one replica of the given cluster
+// (0 ≤ idx < cluster size). Consensus keeps making progress while at most f
+// replicas per cluster are down; crashing a primary triggers a view change.
+func (n *Network) CrashNode(cluster ClusterID, idx int) error {
+	members := n.d.Topo.Members(cluster)
+	if idx < 0 || idx >= len(members) {
+		return fmt.Errorf("sharper: cluster %s has no member %d", cluster, idx)
+	}
+	n.d.CrashNode(members[idx])
+	return nil
+}
+
+// Result reports the outcome of a submitted transaction.
+type Result struct {
+	// Committed is true when the transaction's effects were applied; false
+	// means it was ordered but rejected by validation (e.g. overdraft).
+	Committed bool
+	// CrossShard reports whether the transaction spanned clusters.
+	CrossShard bool
+	// Latency is the end-to-end client-observed time.
+	Latency time.Duration
+}
+
+// Client issues transactions against the deployment. Each client is a
+// single closed-loop issuer; create one per concurrent goroutine.
+type Client struct {
+	n *Network
+	c *core.Client
+}
+
+// NewClient registers a new client endpoint.
+func (n *Network) NewClient() *Client {
+	return &Client{n: n, c: n.d.NewClient()}
+}
+
+// Transfer moves amount from one account to another, waiting for the reply
+// quorum. The involved-cluster set is derived from the accounts: same shard
+// → intra-shard consensus, different shards → flattened cross-shard
+// consensus.
+func (c *Client) Transfer(from, to AccountID, amount int64) (Result, error) {
+	return c.Submit([]Op{{From: from, To: to, Amount: amount}})
+}
+
+// Submit executes a multi-op transaction atomically.
+func (c *Client) Submit(ops []Op) (Result, error) {
+	tx := c.c.MakeTx(ops)
+	committed, lat, err := c.c.Submit(tx)
+	return Result{
+		Committed:  committed,
+		CrossShard: tx.IsCrossShard(),
+		Latency:    lat,
+	}, err
+}
+
+// Plan is a cluster layout, possibly heterogeneous (§3.4): groups with
+// known, different fault bounds yield more clusters than a single global f.
+type Plan struct {
+	topo *consensus.Topology
+}
+
+// Group describes one node group for PlanClusters.
+type Group struct {
+	// Nodes is the group's size.
+	Nodes int
+	// F is the group's fault bound.
+	F int
+}
+
+// PlanClusters builds the §3.4 group-aware plan: each group is partitioned
+// independently into clusters of Model.ClusterSize(group.F), with leftover
+// nodes absorbed by the group's last cluster.
+func PlanClusters(model FailureModel, groups []Group) (*Plan, error) {
+	topo := &consensus.Topology{Model: model, Clusters: map[types.ClusterID]consensus.Cluster{}}
+	next := types.NodeID(0)
+	cid := types.ClusterID(0)
+	for gi, g := range groups {
+		size := model.ClusterSize(g.F)
+		if g.Nodes < size {
+			return nil, fmt.Errorf("sharper: group %d has %d nodes, needs at least %d for f=%d",
+				gi, g.Nodes, size, g.F)
+		}
+		count := g.Nodes / size
+		for c := 0; c < count; c++ {
+			members := size
+			if c == count-1 {
+				members = g.Nodes - size*(count-1) // last cluster absorbs leftovers
+			}
+			cl := consensus.Cluster{ID: cid, F: g.F}
+			for i := 0; i < members; i++ {
+				cl.Members = append(cl.Members, next)
+				next++
+			}
+			topo.Clusters[cid] = cl
+			cid++
+		}
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{topo: topo}, nil
+}
+
+// NumClusters returns the number of clusters in the plan.
+func (p *Plan) NumClusters() int { return len(p.topo.Clusters) }
+
+// HybridGroup describes one node group for PlanHybridClusters: its size,
+// fault bound, and failure model.
+type HybridGroup struct {
+	// Nodes is the group's size.
+	Nodes int
+	// F is the group's fault bound.
+	F int
+	// Model is the group's failure model: crash-only groups form clusters
+	// of 2f+1 running Paxos, Byzantine groups clusters of 3f+1 running
+	// PBFT.
+	Model FailureModel
+}
+
+// PlanHybridClusters builds the §3.4 hybrid-cloud plan: clusters with
+// different failure models in one deployment (e.g. a private crash-only
+// cloud next to a public Byzantine one). Intra-shard consensus follows each
+// cluster's own model; cross-shard transactions run the decentralized
+// flattened protocol with per-cluster quorums (f+1 from crash clusters,
+// 2f+1 from Byzantine ones) and deployment-wide signatures.
+func PlanHybridClusters(groups []HybridGroup) (*Plan, error) {
+	topo := &consensus.Topology{Model: CrashOnly, Clusters: map[types.ClusterID]consensus.Cluster{}}
+	next := types.NodeID(0)
+	cid := types.ClusterID(0)
+	for gi, g := range groups {
+		size := g.Model.ClusterSize(g.F)
+		if g.Nodes < size {
+			return nil, fmt.Errorf("sharper: hybrid group %d has %d nodes, needs at least %d for f=%d (%s)",
+				gi, g.Nodes, size, g.F, g.Model)
+		}
+		count := g.Nodes / size
+		for c := 0; c < count; c++ {
+			members := size
+			if c == count-1 {
+				members = g.Nodes - size*(count-1)
+			}
+			cl := consensus.Cluster{ID: cid, F: g.F, Model: g.Model, ModelSet: true}
+			for i := 0; i < members; i++ {
+				cl.Members = append(cl.Members, next)
+				next++
+			}
+			topo.Clusters[cid] = cl
+			cid++
+		}
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{topo: topo}, nil
+}
