@@ -38,6 +38,13 @@ const (
 // reports throughput and latency.
 func drive(b *testing.B, sys bench.System, gen *workload.Generator) {
 	b.Helper()
+	driveN(b, sys, gen, benchClients)
+}
+
+// driveN is drive with an explicit client-pool size; saturation experiments
+// (batching) need more closed-loop clients than the default panel runs.
+func driveN(b *testing.B, sys bench.System, gen *workload.Generator, clients int) {
+	b.Helper()
 	defer sys.Stop()
 
 	var issued atomic.Int64
@@ -45,7 +52,7 @@ func drive(b *testing.B, sys bench.System, gen *workload.Generator) {
 	var wg sync.WaitGroup
 	b.ResetTimer()
 	start := time.Now()
-	for i := 0; i < benchClients; i++ {
+	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
@@ -159,6 +166,35 @@ func BenchmarkFig6a_0pctCross(b *testing.B)   { benchFig6(b, 0) }
 func BenchmarkFig6b_20pctCross(b *testing.B)  { benchFig6(b, 20) }
 func BenchmarkFig6c_80pctCross(b *testing.B)  { benchFig6(b, 80) }
 func BenchmarkFig6d_100pctCross(b *testing.B) { benchFig6(b, 100) }
+
+// --- Batching ablation: multi-transaction blocks (deliberate deviation from
+// the paper's single-tx blocks; see DESIGN.md). Run with -bench=Fig6a. ---
+
+func sharperBatchSys(b *testing.B, model types.FailureModel, clusters, f, batchSize int) bench.System {
+	b.Helper()
+	d, err := core.NewDeployment(core.Config{
+		Model: model, Clusters: clusters, F: f, Seed: 42, BatchSize: batchSize,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.SeedAccounts(benchAccountsPerShard, benchSeedBalance)
+	d.Start()
+	return bench.SharPerSystem{D: d}
+}
+
+// batchingClients saturates the 4-cluster fabric so batches actually fill;
+// the default 16-client pool never queues more than ~4 requests per cluster.
+const batchingClients = 128
+
+func BenchmarkFig6aBatching(b *testing.B) {
+	for _, bs := range []int{1, 8, 16} {
+		bs := bs
+		b.Run(map[int]string{1: "batch1", 8: "batch8", 16: "batch16"}[bs], func(b *testing.B) {
+			driveN(b, sharperBatchSys(b, types.CrashOnly, 4, 1, bs), benchGen(4, 0), batchingClients)
+		})
+	}
+}
 
 // --- Figure 7: Byzantine model, 16 nodes, varying cross-shard percentage ---
 

@@ -9,10 +9,13 @@
 //
 // Panels: 6a–6d (crash, 0/20/80/100% cross-shard), 7a–7d (Byzantine),
 // 8a/8b (scalability, crash/Byzantine), s34 (§3.4 clustered-network
-// optimization), ablation (super-primary routing on/off).
+// optimization), ablation (super-primary routing on/off), batching
+// (multi-transaction blocks at batch sizes 1/8/16; -json writes the
+// machine-readable BENCH_batching.json other tooling tracks).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +26,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, 6, 7, 8, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, 6, 7, 8, all")
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPath := flag.String("csv", "", "also append results as CSV to this file")
+	jsonPath := flag.String("json", "BENCH_batching.json", "write the batching ablation as JSON to this file (batching figure only)")
 	flag.Parse()
 
 	o := bench.FigureOptions{Quick: *quick, Seed: *seed}
@@ -76,6 +80,19 @@ func main() {
 			emit(name, bench.AblationSuperPrimary(out, o))
 		case name == "skew":
 			emit(name, bench.AblationSkew(out, o))
+		case name == "batching":
+			results := bench.AblationBatching(out, o)
+			if *jsonPath != "" {
+				data, err := json.MarshalIndent(results, "", "  ")
+				if err == nil {
+					err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(out, "# wrote %s\n", *jsonPath)
+			}
 		case name == "6":
 			for _, p := range []string{"6a", "6b", "6c", "6d"} {
 				run(p)
@@ -88,7 +105,7 @@ func main() {
 			run("8a")
 			run("8b")
 		case name == "all":
-			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew"} {
+			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching"} {
 				run(p)
 			}
 		default:

@@ -28,6 +28,7 @@ func main() {
 	clients := flag.Int("clients", 16, "closed-loop clients")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	seed := flag.Int64("seed", 1, "random seed")
+	batch := flag.Int("batch", 1, "max transactions per block (1 = the paper's single-tx blocks)")
 	showDAG := flag.Bool("dag", false, "print the ledger DAG at the end")
 	flag.Parse()
 
@@ -43,10 +44,11 @@ func main() {
 	}
 
 	net, err := sharper.New(sharper.Options{
-		Model:    fm,
-		Clusters: *clusters,
-		F:        *f,
-		Seed:     *seed,
+		Model:     fm,
+		Clusters:  *clusters,
+		F:         *f,
+		Seed:      *seed,
+		BatchSize: *batch,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -54,8 +56,8 @@ func main() {
 	defer net.Close()
 
 	size := fm.ClusterSize(*f)
-	fmt.Printf("sharperd: %s model, %d clusters × %d nodes (%d total), %d%% cross-shard, %d clients\n",
-		fm, *clusters, size, *clusters*size, *cross, *clients)
+	fmt.Printf("sharperd: %s model, %d clusters × %d nodes (%d total), %d%% cross-shard, %d clients, batch≤%d\n",
+		fm, *clusters, size, *clusters*size, *cross, *clients, *batch)
 
 	gen := workload.New(workload.Config{
 		Shards:           state.ShardMap{NumShards: *clusters},

@@ -1,0 +1,3 @@
+module sharper
+
+go 1.22

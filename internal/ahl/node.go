@@ -15,7 +15,7 @@ import (
 
 // engine is the slice of the Paxos/PBFT engines AHL nodes use.
 type engine interface {
-	Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
+	Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
 	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
 	Tick(now time.Time) []consensus.Outbound
 	Primary() types.NodeID
@@ -153,7 +153,9 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 		outs, decs := n.engine.Step(env, now)
 		n.send(outs)
 		for _, dec := range decs {
-			n.execute(dec.Block.Tx, now)
+			for _, tx := range dec.Block.Txs {
+				n.execute(tx, now)
+			}
 		}
 	}
 }
@@ -217,7 +219,7 @@ func (n *Node) proposeLocal(tx *types.Transaction, now time.Time) {
 		n.pendingIntra = append(n.pendingIntra, tx)
 		return
 	}
-	outs, _ := n.engine.Propose(tx, now)
+	outs, _ := n.engine.Propose([]*types.Transaction{tx}, now)
 	n.send(outs)
 }
 
@@ -237,7 +239,7 @@ func (n *Node) tryStartNext(now time.Time) {
 		started: now,
 	}
 	// Step 1: the RC reaches consensus on beginning the 2PC.
-	outs, _ := n.engine.Propose(ctrlTx(tx, types.TxAHLBegin, seqPhaseBegin), now)
+	outs, _ := n.engine.Propose([]*types.Transaction{ctrlTx(tx, types.TxAHLBegin, seqPhaseBegin)}, now)
 	n.send(outs)
 }
 
@@ -356,7 +358,7 @@ func (n *Node) onPrepare(env *types.Envelope, now time.Time) {
 		return
 	}
 	n.inFlight[entry.ID] = now
-	outs, _ := n.engine.Propose(entry, now)
+	outs, _ := n.engine.Propose([]*types.Transaction{entry}, now)
 	n.send(outs)
 }
 
@@ -377,7 +379,7 @@ func (n *Node) onDecision(env *types.Envelope, now time.Time) {
 		return
 	}
 	n.inFlight[entry.ID] = now
-	outs, _ := n.engine.Propose(entry, now)
+	outs, _ := n.engine.Propose([]*types.Transaction{entry}, now)
 	n.send(outs)
 }
 
@@ -432,7 +434,7 @@ func (n *Node) onVote(env *types.Envelope, now time.Time) {
 	}
 	n.current.decided = true
 	n.current.outcome = outcome
-	outs, _ := n.engine.Propose(ctrlTx(n.current.tx, kind, seqPhaseDecide), now)
+	outs, _ := n.engine.Propose([]*types.Transaction{ctrlTx(n.current.tx, kind, seqPhaseDecide)}, now)
 	n.send(outs)
 }
 

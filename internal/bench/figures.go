@@ -233,6 +233,69 @@ func AblationSuperPrimary(w io.Writer, o FigureOptions) []Series {
 	return series
 }
 
+// BatchingResult is one point of the batching ablation, shaped for the
+// machine-readable BENCH_batching.json that tracks the perf trajectory
+// across PRs.
+type BatchingResult struct {
+	BatchSize    int     `json:"batch_size"`
+	Clients      int     `json:"clients"`
+	ThroughputTx float64 `json:"tx_per_sec"`
+	AvgLatencyMs float64 `json:"ms_per_tx"`
+	MsgsPerTx    float64 `json:"msgs_per_tx"`
+}
+
+// AblationBatching measures SharPer's multi-transaction blocks (a deliberate
+// deviation from the paper's single-tx blocks; see DESIGN.md) on the
+// Fig. 6(a) intra-shard workload at batch sizes 1, 8, and 16, with a client
+// pool large enough to saturate the 4-cluster fabric. It reports throughput,
+// latency, and delivered messages per committed transaction — the quantity
+// batching amortizes.
+func AblationBatching(w io.Writer, o FigureOptions) []BatchingResult {
+	o.fill()
+	const clusters, f = 4, 1
+	clients := 128
+	if o.Quick {
+		clients = 48
+	}
+	gen := workloadFor(clusters, 0, o)
+	var results []BatchingResult
+	var series []Series
+	for _, bs := range []int{1, 8, 16} {
+		d, err := core.NewDeployment(core.Config{
+			Model: types.CrashOnly, Clusters: clusters, F: f, Seed: o.Seed, BatchSize: bs,
+		})
+		if err != nil {
+			// Surface the failure instead of silently truncating the sweep:
+			// a short BENCH_batching.json must be distinguishable from a
+			// completed run.
+			fmt.Fprintf(w, "# batch-%d: deployment failed: %v\n", bs, err)
+			continue
+		}
+		d.SeedAccounts(o.AccountsPerShard, seedBalance)
+		d.Start()
+		sys := SharPerSystem{D: d}
+		startMsgs := d.Net.Stats().Delivered.Load()
+		startCommitted := d.TotalCommitted()
+		pt := Run(sys, gen, clients, o.bench())
+		msgs := d.Net.Stats().Delivered.Load() - startMsgs
+		committed := d.TotalCommitted() - startCommitted
+		sys.Stop()
+		r := BatchingResult{
+			BatchSize:    bs,
+			Clients:      clients,
+			ThroughputTx: pt.ThroughputTx,
+			AvgLatencyMs: pt.AvgLatencyMs,
+		}
+		if committed > 0 {
+			r.MsgsPerTx = float64(msgs) / float64(committed)
+		}
+		results = append(results, r)
+		series = append(series, Series{Name: fmt.Sprintf("batch-%d", bs), Points: []Point{pt}})
+	}
+	Fprint(w, "Ablation — batched blocks, crash model, 0% cross-shard", series)
+	return results
+}
+
 func runSharPer(model types.FailureModel, clusters, f int, gen *workload.Generator,
 	o FigureOptions, topo *consensus.Topology) Series {
 	cfg := core.Config{Model: model, Clusters: clusters, F: f, Seed: o.Seed, Topology: topo}

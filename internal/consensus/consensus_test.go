@@ -123,14 +123,14 @@ func TestHashVoteSetAgreesOnPrev(t *testing.T) {
 	key := VoteKey{View: 1, Digest: types.HashBytes([]byte("d"))}
 	hA := types.HashBytes([]byte("headA"))
 	hB := types.HashBytes([]byte("headB"))
-	s.Add(0, 1, HashVote{Key: key, Prev: hA, Valid: true})
-	s.Add(0, 2, HashVote{Key: key, Prev: hB, Valid: true})
+	s.Add(0, 1, HashVote{Key: key, Prev: hA, Valid: 1})
+	s.Add(0, 2, HashVote{Key: key, Prev: hB, Valid: 1})
 	if _, _, ok := s.QuorumPrev(0, key, 2); ok {
 		t.Fatal("split votes produced a quorum")
 	}
-	s.Add(0, 3, HashVote{Key: key, Prev: hA, Valid: true})
+	s.Add(0, 3, HashVote{Key: key, Prev: hA, Valid: 1})
 	h, valid, ok := s.QuorumPrev(0, key, 2)
-	if !ok || h != hA || !valid {
+	if !ok || h != hA || valid&1 == 0 {
 		t.Fatalf("quorum = (%v,%v,%v)", h, valid, ok)
 	}
 }
@@ -140,18 +140,19 @@ func TestHashVoteSetValidityAggregation(t *testing.T) {
 	key := VoteKey{View: 1, Digest: types.HashBytes([]byte("d"))}
 	h0 := types.HashBytes([]byte("h0"))
 	h1 := types.HashBytes([]byte("h1"))
-	// Cluster 0 votes valid, cluster 1 votes invalid.
-	s.Add(0, 1, HashVote{Key: key, Prev: h0, Valid: true})
-	s.Add(0, 2, HashVote{Key: key, Prev: h0, Valid: true})
-	s.Add(1, 10, HashVote{Key: key, Prev: h1, Valid: false})
-	s.Add(1, 11, HashVote{Key: key, Prev: h1, Valid: false})
+	// The validity bitmap aggregates per transaction: cluster 0 votes both
+	// batch txs valid, cluster 1 votes only tx 0 valid → only bit 0 survives.
+	s.Add(0, 1, HashVote{Key: key, Prev: h0, Valid: 0b11})
+	s.Add(0, 2, HashVote{Key: key, Prev: h0, Valid: 0b11})
+	s.Add(1, 10, HashVote{Key: key, Prev: h1, Valid: 0b01})
+	s.Add(1, 11, HashVote{Key: key, Prev: h1, Valid: 0b01})
 	set := types.NewClusterSet(0, 1)
 	hashes, valid, ok := s.QuorumAllPrev(set, key, func(types.ClusterID) int { return 2 })
 	if !ok {
 		t.Fatal("quorum missed")
 	}
-	if valid {
-		t.Fatal("validity aggregated to true despite an invalid cluster")
+	if valid != 0b01 {
+		t.Fatalf("validity bitmap = %b, want 01 (AND across clusters)", valid)
 	}
 	if hashes[0] != h0 || hashes[1] != h1 {
 		t.Fatal("hash list misordered")

@@ -73,14 +73,16 @@ func (s *VoteSet) Voters(cluster types.ClusterID, key VoteKey) []types.NodeID {
 }
 
 // HashVote is a vote that also carries the sender cluster's previous-block
-// hash h_j and the sender's local-validation verdict; the flattened protocol
-// collects one per involved cluster before the commit phase (§3.2 lines
-// 12–13), and a transaction executes only if every involved cluster voted
-// its local part valid (cross-shard atomic validation).
+// hash h_j and the sender's local-validation verdict for the proposed batch;
+// the flattened protocol collects one per involved cluster before the commit
+// phase (§3.2 lines 12–13). Valid is a bitmap — bit i set means batch
+// transaction i passed the sender's local validation — and a transaction
+// executes only if every involved cluster voted its local part valid
+// (cross-shard atomic validation, per transaction within the batch).
 type HashVote struct {
 	Key   VoteKey
 	Prev  types.Hash
-	Valid bool
+	Valid uint64
 }
 
 // HashVoteSet tracks HashVotes per cluster with deduplication and exposes
@@ -104,15 +106,15 @@ func (s *HashVoteSet) Add(cluster types.ClusterID, node types.NodeID, v HashVote
 	m[node] = v
 }
 
-// QuorumPrev returns (prevHash, true) if at least quorum votes from cluster
-// match key *and* agree on the cluster's previous hash. Under the crash
-// model nodes never lie, so any f+1 matching votes agree; under the
-// Byzantine model 2f+1 matching votes include f+1 correct ones, pinning the
-// correct chain head.
-func (s *HashVoteSet) QuorumPrev(cluster types.ClusterID, key VoteKey, quorum int) (types.Hash, bool, bool) {
+// QuorumPrev returns (prevHash, validBitmap, true) if at least quorum votes
+// from cluster match key *and* agree on the cluster's previous hash and
+// validity bitmap. Under the crash model nodes never lie, so any f+1
+// matching votes agree; under the Byzantine model 2f+1 matching votes
+// include f+1 correct ones, pinning the correct chain head.
+func (s *HashVoteSet) QuorumPrev(cluster types.ClusterID, key VoteKey, quorum int) (types.Hash, uint64, bool) {
 	type slot struct {
 		prev  types.Hash
-		valid bool
+		valid uint64
 	}
 	counts := make(map[slot]int)
 	for _, v := range s.votes[cluster] {
@@ -125,26 +127,24 @@ func (s *HashVoteSet) QuorumPrev(cluster types.ClusterID, key VoteKey, quorum in
 			return sl.prev, sl.valid, true
 		}
 	}
-	return types.ZeroHash, false, false
+	return types.ZeroHash, 0, false
 }
 
 // QuorumAllPrev reports whether every involved cluster has a quorum of
 // matching votes, and if so returns the agreed previous hash per cluster in
 // involved-set order — exactly the h_i, h_j, h_k … list the COMMIT message
 // carries (§3.2 line 13).
-// QuorumAllPrev additionally reports whether every involved cluster voted
-// its local part of the transaction valid.
-func (s *HashVoteSet) QuorumAllPrev(set types.ClusterSet, key VoteKey, quorum func(types.ClusterID) int) ([]types.Hash, bool, bool) {
+// QuorumAllPrev additionally returns the aggregated validity bitmap: bit i
+// survives only if every involved cluster voted batch transaction i valid.
+func (s *HashVoteSet) QuorumAllPrev(set types.ClusterSet, key VoteKey, quorum func(types.ClusterID) int) ([]types.Hash, uint64, bool) {
 	out := make([]types.Hash, len(set))
-	valid := true
+	valid := ^uint64(0)
 	for i, c := range set {
 		h, v, ok := s.QuorumPrev(c, key, quorum(c))
 		if !ok {
-			return nil, false, false
+			return nil, 0, false
 		}
-		if !v {
-			valid = false
-		}
+		valid &= v
 		out[i] = h
 	}
 	return out, valid, true

@@ -82,7 +82,7 @@ func (h *xharness) pump() {
 // applyDecision mimics the runtime: move the node's chain head to the new
 // block and notify the engine.
 func (h *xharness) applyDecision(id types.NodeID, d crossDecision) {
-	block := &types.Block{Tx: d.Tx, Parents: d.Hashes}
+	block := &types.Block{Txs: d.Txs, Parents: d.Hashes}
 	h.heads[id] = block.Hash()
 	outs, decs := h.engines[id].OnChainAdvanced(h.now)
 	h.sendAll(id, outs)
@@ -105,6 +105,19 @@ func (h *xharness) tick(d time.Duration) {
 	h.pump()
 }
 
+// xbatch wraps a transaction as a batch-of-1 initiation.
+func xbatch(txs ...*types.Transaction) []*types.Transaction { return txs }
+
+// xdecided reports whether the decision's batch contains the transaction.
+func xdecided(d crossDecision, id types.TxID) bool {
+	for _, tx := range d.Txs {
+		if tx.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
 func xtx(seq uint64, clusters ...types.ClusterID) *types.Transaction {
 	return &types.Transaction{
 		ID:       types.TxID{Client: types.ClientIDBase + 1, Seq: seq},
@@ -118,7 +131,7 @@ func TestAlg1NormalCase(t *testing.T) {
 	h := newXHarness(t, 3)
 	initiator := h.topo.Primary(0, 0)
 	tx := xtx(1, 0, 1)
-	h.sendAll(initiator, h.engines[initiator].Initiate(tx, h.now))
+	h.sendAll(initiator, h.engines[initiator].Initiate(xbatch(tx), h.now))
 	h.pump()
 
 	// Every node of clusters 0 and 1 decides; cluster 2 decides nothing.
@@ -143,7 +156,7 @@ func TestAlg1NormalCase(t *testing.T) {
 			t.Fatalf("agreed parent %s, want genesis", hh)
 		}
 	}
-	if !d.Valid {
+	if d.Valid&1 == 0 {
 		t.Fatal("decision not marked valid")
 	}
 }
@@ -156,7 +169,7 @@ func TestAlg1ParticipantLockBlocksSecondProposal(t *testing.T) {
 	// T1 {0,1} proposes; deliver only to one cluster-1 backup and hold the
 	// rest, so the backup is locked on T1.
 	t1 := xtx(1, 0, 1)
-	outs := h.engines[p0].Initiate(t1, h.now)
+	outs := h.engines[p0].Initiate(xbatch(t1), h.now)
 	var held []xrouted
 	for _, o := range outs {
 		for _, to := range o.To {
@@ -174,7 +187,7 @@ func TestAlg1ParticipantLockBlocksSecondProposal(t *testing.T) {
 	// A conflicting T2 {1,2} proposal arrives at the locked backup: parked.
 	p1 := h.topo.Primary(1, 0)
 	t2 := xtx(2, 1, 2)
-	outs2 := h.engines[p1].Initiate(t2, h.now)
+	outs2 := h.engines[p1].Initiate(xbatch(t2), h.now)
 	for _, o := range outs2 {
 		for _, to := range o.To {
 			if to == p1member {
@@ -207,7 +220,7 @@ func TestAlg1WithdrawReleasesLocks(t *testing.T) {
 		return c == 1
 	}
 	t1 := xtx(1, 0, 1)
-	h.sendAll(p0, h.engines[p0].Initiate(t1, h.now))
+	h.sendAll(p0, h.engines[p0].Initiate(xbatch(t1), h.now))
 	h.pump()
 	if !h.engines[p0].Locked() {
 		t.Fatal("initiator did not self-lock")
@@ -237,7 +250,7 @@ func TestAlg1StaleAcceptCannotCommitAfterWithdraw(t *testing.T) {
 	// Capture cluster-1's accepts instead of delivering them.
 	var stale []xrouted
 	h.drop = func(to types.NodeID) bool { return false }
-	outs := h.engines[p0].Initiate(t1, h.now)
+	outs := h.engines[p0].Initiate(xbatch(t1), h.now)
 	// Deliver proposals; intercept resulting accepts bound for p0 from
 	// cluster-1 nodes.
 	for _, o := range outs {
@@ -267,7 +280,7 @@ func TestAlg1StaleAcceptCannotCommitAfterWithdraw(t *testing.T) {
 	h.pump()
 	for _, id := range h.topo.AllNodes() {
 		for _, d := range h.decided[id] {
-			if d.Tx.ID == t1.ID {
+			if xdecided(d, t1.ID) {
 				t.Fatalf("node %s decided a withdrawn attempt from stale votes", id)
 			}
 		}
@@ -284,7 +297,7 @@ func TestAlg1SplitVotesTriggerImmediateReproposal(t *testing.T) {
 		h.heads[id] = types.HashBytes([]byte{byte(i), 0xab})
 	}
 	t1 := xtx(1, 0, 1)
-	h.sendAll(p0, h.engines[p0].Initiate(t1, h.now))
+	h.sendAll(p0, h.engines[p0].Initiate(xbatch(t1), h.now))
 	h.pump()
 	proposes, _, _, decides, _ := h.engines[p0].Counters()
 	if decides != 0 {
@@ -303,13 +316,13 @@ func TestAlg1InvalidVoteGatesExecution(t *testing.T) {
 	}
 	p0 := h.topo.Primary(0, 0)
 	t1 := xtx(1, 0, 1)
-	h.sendAll(p0, h.engines[p0].Initiate(t1, h.now))
+	h.sendAll(p0, h.engines[p0].Initiate(xbatch(t1), h.now))
 	h.pump()
 	d := h.decided[p0]
 	if len(d) != 1 {
 		t.Fatalf("initiator decided %d, want 1 (ordered but invalid)", len(d))
 	}
-	if d[0].Valid {
+	if d[0].Valid != 0 {
 		t.Fatal("decision marked valid despite an invalid cluster vote")
 	}
 }
@@ -321,15 +334,15 @@ func TestAlg1DisjointSetsDecideIndependently(t *testing.T) {
 	// Hold ALL of T1's traffic undelivered while T2 {2,3} runs end to end:
 	// T2 must not need anything from clusters 0/1.
 	ta := xtx(1, 0, 1)
-	outsA := h.engines[pa].Initiate(ta, h.now)
+	outsA := h.engines[pa].Initiate(xbatch(ta), h.now)
 	_ = outsA // never delivered
 	tb := xtx(2, 2, 3)
-	h.sendAll(pc, h.engines[pc].Initiate(tb, h.now))
+	h.sendAll(pc, h.engines[pc].Initiate(xbatch(tb), h.now))
 	h.pump()
 	for _, id := range h.topo.Members(2) {
 		found := false
 		for _, d := range h.decided[id] {
-			if d.Tx.ID == tb.ID {
+			if xdecided(d, tb.ID) {
 				found = true
 			}
 		}

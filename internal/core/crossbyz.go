@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"time"
 
@@ -51,7 +52,8 @@ type xbyz struct {
 
 // xinst is per-digest participant state.
 type xinst struct {
-	tx         *types.Transaction
+	txs        []*types.Transaction
+	involved   types.ClusterSet
 	proposer   types.NodeID
 	view       uint64
 	accepts    *consensus.HashVoteSet
@@ -70,10 +72,7 @@ type xinst struct {
 
 // slotOf returns the index of cluster c in the instance's involved set.
 func (inst *xinst) slotOf(c types.ClusterID) int {
-	if inst.tx == nil {
-		return -1
-	}
-	for i, ic := range inst.tx.Involved {
+	for i, ic := range inst.involved {
 		if ic == c {
 			return i
 		}
@@ -83,7 +82,8 @@ func (inst *xinst) slotOf(c types.ClusterID) int {
 
 // xbyzLead is initiator-only retry state.
 type xbyzLead struct {
-	tx       *types.Transaction
+	txs      []*types.Transaction
+	involved types.ClusterSet
 	view     uint64
 	deadline time.Time
 	dormant  bool
@@ -149,13 +149,18 @@ func (x *xbyz) unlock(digest types.Hash) {
 	}
 }
 
-// Initiate starts Algorithm 2 (lines 6–8).
-func (x *xbyz) Initiate(tx *types.Transaction, now time.Time) []consensus.Outbound {
-	digest := tx.Digest()
+// Initiate starts Algorithm 2 (lines 6–8) on a batch of cross-shard
+// transactions that share one involved-cluster set.
+func (x *xbyz) Initiate(txs []*types.Transaction, now time.Time) []consensus.Outbound {
+	involved, ok := batchInvolved(txs)
+	if !ok {
+		return nil
+	}
+	digest := types.BatchDigest(txs)
 	if x.decided[digest] || x.leads[digest] != nil {
 		return nil
 	}
-	lead := &xbyzLead{tx: tx}
+	lead := &xbyzLead{txs: txs, involved: involved}
 	x.leads[digest] = lead
 	return x.propose(lead, digest, now)
 }
@@ -173,18 +178,19 @@ func (x *xbyz) propose(lead *xbyzLead, digest types.Hash, now time.Time) []conse
 		Digest:     digest,
 		Cluster:    x.cluster,
 		PrevHashes: []types.Hash{st.Head},
-		Tx:         lead.tx,
+		Txs:        lead.txs,
 	}
 	payload := msg.Encode(nil)
 	out := []consensus.Outbound{{
-		To: othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		To: othersOf(x.topo.InvolvedNodes(lead.involved), x.self),
 		Env: &types.Envelope{Type: types.MsgXPropose, From: x.self,
 			Payload: payload, Sig: x.signer.Sign(payload)},
 	}}
 
 	// Join the accept phase at the new attempt view ourselves.
 	inst := x.getInstance(digest)
-	inst.tx = lead.tx
+	inst.txs = lead.txs
+	inst.involved = lead.involved
 	inst.proposer = x.self
 	if lead.view > inst.view && !inst.sentCommit {
 		inst.view = lead.view
@@ -204,7 +210,7 @@ func (x *xbyz) withdraw(lead *xbyzLead, digest types.Hash, now time.Time) []cons
 	msg := &types.ConsensusMsg{View: lead.view, Digest: digest, Cluster: x.cluster}
 	payload := msg.Encode(nil)
 	out := []consensus.Outbound{{
-		To: othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		To: othersOf(x.topo.InvolvedNodes(lead.involved), x.self),
 		Env: &types.Envelope{Type: types.MsgXAbort, From: x.self,
 			Payload: payload, Sig: x.signer.Sign(payload)},
 	}}
@@ -239,22 +245,27 @@ func (x *xbyz) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, [
 // h_j to every node of every involved cluster.
 func (x *xbyz) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
 	m, err := types.DecodeConsensusMsg(env.Payload)
-	if err != nil || m.Tx == nil || !m.Tx.Involved.Contains(x.cluster) {
+	if err != nil {
 		return nil, nil
 	}
-	digest := m.Tx.Digest()
+	involved, ok := batchInvolved(m.Txs)
+	if !ok || !involved.Contains(x.cluster) {
+		return nil, nil
+	}
+	digest := types.BatchDigest(m.Txs)
 	if digest != m.Digest || x.decided[digest] {
 		return nil, nil
 	}
 	// The proposer must belong to an involved cluster; a node outside the
 	// involved set has no business initiating (malicious traffic).
 	pc, ok := x.topo.ClusterOf(env.From)
-	if !ok || !m.Tx.Involved.Contains(pc) {
+	if !ok || !involved.Contains(pc) {
 		return nil, nil
 	}
 	st := x.status()
 	inst := x.getInstance(digest)
-	inst.tx = m.Tx
+	inst.txs = m.Txs
+	inst.involved = involved
 	if inst.proposer == 0 {
 		inst.proposer = env.From
 	}
@@ -276,7 +287,7 @@ func (x *xbyz) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outbou
 		}
 		if inst.commitEnv != nil {
 			out = append(out, consensus.Outbound{
-				To:  othersOf(x.topo.InvolvedNodes(inst.tx.Involved), x.self),
+				To:  othersOf(x.topo.InvolvedNodes(inst.involved), x.self),
 				Env: inst.commitEnv,
 			})
 		}
@@ -321,7 +332,7 @@ func (x *xbyz) sendAccept(inst *xinst, digest types.Hash, st chainStatus) []cons
 		return nil
 	}
 	inst.sentAccept = true
-	valid := x.validate(inst.tx)
+	valid := validBits(inst.txs, x.validate)
 	inst.accepts.Add(x.cluster, x.self, consensus.HashVote{
 		Key:   consensus.VoteKey{View: inst.view, Digest: digest},
 		Prev:  st.Head,
@@ -332,13 +343,11 @@ func (x *xbyz) sendAccept(inst *xinst, digest types.Hash, st chainStatus) []cons
 		Digest:     digest,
 		Cluster:    x.cluster,
 		PrevHashes: []types.Hash{st.Head},
-	}
-	if valid {
-		m.Seq = 1
+		Seq:        valid, // per-transaction validity bitmap
 	}
 	payload := m.Encode(nil)
 	return []consensus.Outbound{{
-		To: othersOf(x.topo.InvolvedNodes(inst.tx.Involved), x.self),
+		To: othersOf(x.topo.InvolvedNodes(inst.involved), x.self),
 		Env: &types.Envelope{Type: types.MsgXAccept, From: x.self,
 			Payload: payload, Sig: x.signer.Sign(payload)},
 	}}
@@ -359,13 +368,13 @@ func (x *xbyz) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outboun
 	inst.accepts.Add(senderCluster, env.From, consensus.HashVote{
 		Key:   consensus.VoteKey{View: m.View, Digest: m.Digest},
 		Prev:  m.PrevHashes[0],
-		Valid: m.Seq == 1,
+		Valid: m.Seq,
 	})
 	return x.maybeCommit(inst, m.Digest, now)
 }
 
 func (x *xbyz) maybeCommit(inst *xinst, digest types.Hash, now time.Time) ([]consensus.Outbound, []crossDecision) {
-	if inst.tx == nil || inst.sentCommit {
+	if len(inst.txs) == 0 || inst.sentCommit {
 		return nil, x.maybeDecide(inst, digest)
 	}
 	// Guard: only nodes still holding the lock vote in the commit phase, so
@@ -374,14 +383,14 @@ func (x *xbyz) maybeCommit(inst *xinst, digest types.Hash, now time.Time) ([]con
 		return nil, x.maybeDecide(inst, digest)
 	}
 	acceptKey := consensus.VoteKey{View: inst.view, Digest: digest}
-	hashes, valid, ok := inst.accepts.QuorumAllPrev(inst.tx.Involved, acceptKey,
+	hashes, valid, ok := inst.accepts.QuorumAllPrev(inst.involved, acceptKey,
 		func(c types.ClusterID) int { return x.topo.CrossQuorum(c) })
 	if !ok {
 		// Vote split across chain heads: if we are the initiator, launch
 		// the next attempt immediately (see xcrash for the rationale), at
 		// most once per timer window.
 		if lead, isLead := x.leads[digest]; isLead && !lead.dormant && !lead.fastRetried {
-			for _, c := range inst.tx.Involved {
+			for _, c := range inst.involved {
 				if inst.accepts.MatchImpossible(c, acceptKey, x.topo.CrossQuorum(c), len(x.topo.Members(c))) {
 					out := x.propose(lead, digest, now)
 					lead.fastRetried = true
@@ -392,13 +401,7 @@ func (x *xbyz) maybeCommit(inst *xinst, digest types.Hash, now time.Time) ([]con
 		return nil, nil
 	}
 	// Guard: the agreed parent for our own cluster must still be our head.
-	mySlot := -1
-	for i, c := range inst.tx.Involved {
-		if c == x.cluster {
-			mySlot = i
-			break
-		}
-	}
+	mySlot := inst.slotOf(x.cluster)
 	if mySlot < 0 || hashes[mySlot] != x.status().Head {
 		return nil, nil
 	}
@@ -413,17 +416,15 @@ func (x *xbyz) maybeCommit(inst *xinst, digest types.Hash, now time.Time) ([]con
 		Digest:     digest,
 		Cluster:    x.cluster,
 		PrevHashes: hashes,
-		Tx:         inst.tx,
-	}
-	if valid {
-		m.Seq = 1
+		Txs:        inst.txs,
+		Seq:        valid, // aggregated validity bitmap
 	}
 	payload := m.Encode(nil)
 	env := &types.Envelope{Type: types.MsgXCommit, From: x.self,
 		Payload: payload, Sig: x.signer.Sign(payload)}
 	inst.commitEnv = env
 	out := []consensus.Outbound{{
-		To:  othersOf(x.topo.InvolvedNodes(inst.tx.Involved), x.self),
+		To:  othersOf(x.topo.InvolvedNodes(inst.involved), x.self),
 		Env: env,
 	}}
 	return out, x.maybeDecide(inst, digest)
@@ -441,39 +442,42 @@ func (x *xbyz) onCommit(env *types.Envelope) ([]consensus.Outbound, []crossDecis
 		return nil, nil
 	}
 	inst := x.getInstance(m.Digest)
-	if inst.tx == nil && m.Tx != nil && m.Tx.Digest() == m.Digest {
-		inst.tx = m.Tx
+	if len(inst.txs) == 0 && len(m.Txs) > 0 && types.BatchDigest(m.Txs) == m.Digest {
+		if involved, ok := batchInvolved(m.Txs); ok {
+			inst.txs = m.Txs
+			inst.involved = involved
+		}
 	}
-	key := commitKey(m.Digest, m.PrevHashes, m.Seq == 1)
-	inst.keyHashes[key] = keyedHashes{hashes: m.PrevHashes, valid: m.Seq == 1}
+	key := commitKey(m.Digest, m.PrevHashes, m.Seq)
+	inst.keyHashes[key] = keyedHashes{hashes: m.PrevHashes, valid: m.Seq}
 	inst.commits.Add(senderCluster, env.From, key)
 	return nil, x.maybeDecide(inst, m.Digest)
 }
 
 func (x *xbyz) maybeDecide(inst *xinst, digest types.Hash) []crossDecision {
-	if inst.tx == nil || x.decided[digest] {
+	if len(inst.txs) == 0 || x.decided[digest] {
 		return nil
 	}
 	for key, kh := range inst.keyHashes {
-		if !inst.commits.QuorumAll(inst.tx.Involved, key,
+		if !inst.commits.QuorumAll(inst.involved, key,
 			func(c types.ClusterID) int { return x.topo.CrossQuorum(c) }) {
 			continue
 		}
 		x.decided[digest] = true
 		x.unlock(digest)
 		delete(x.waiting, digest)
-		tx := inst.tx
+		txs := inst.txs
 		delete(x.instances, digest)
 		delete(x.leads, digest)
-		return []crossDecision{{Tx: tx, Digest: digest, Hashes: kh.hashes, Valid: kh.valid}}
+		return []crossDecision{{Txs: txs, Digest: digest, Hashes: kh.hashes, Valid: kh.valid}}
 	}
 	return nil
 }
 
-// keyedHashes pairs a commit key's hash list with its validity verdict.
+// keyedHashes pairs a commit key's hash list with its validity bitmap.
 type keyedHashes struct {
 	hashes []types.Hash
-	valid  bool
+	valid  uint64
 }
 
 // onAbort releases the lock held for the digest, unless this node already
@@ -555,18 +559,14 @@ func (x *xbyz) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 	return append(outs, o...), d
 }
 
-// commitKey folds the agreed hash list and validity verdict into the vote
+// commitKey folds the agreed hash list and validity bitmap into the vote
 // key so only commits endorsing identical outcomes match.
-func commitKey(digest types.Hash, hashes []types.Hash, valid bool) consensus.VoteKey {
-	buf := make([]byte, 0, 32*(len(hashes)+1)+1)
+func commitKey(digest types.Hash, hashes []types.Hash, valid uint64) consensus.VoteKey {
+	buf := make([]byte, 0, 32*(len(hashes)+1)+8)
 	buf = append(buf, digest[:]...)
 	for _, h := range hashes {
 		buf = append(buf, h[:]...)
 	}
-	if valid {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
-	}
+	buf = binary.LittleEndian.AppendUint64(buf, valid)
 	return consensus.VoteKey{Digest: types.HashBytes(buf)}
 }

@@ -49,7 +49,7 @@ type xcrash struct {
 	leads map[types.Hash]*xlead
 
 	decided map[types.Hash]bool // digests already decided locally
-	txs     map[types.Hash]*types.Transaction
+	txs     map[types.Hash][]*types.Transaction
 
 	// Diagnostics (read via Counters).
 	nPropose, nWithdraw, nGrant, nDecide, nLockExpire int
@@ -83,7 +83,8 @@ func (x *xcrash) Counters() (proposes, withdraws, grants, decides, lockExpiries 
 
 type xlead struct {
 	start    time.Time
-	tx       *types.Transaction
+	txs      []*types.Transaction
+	involved types.ClusterSet
 	digest   types.Hash
 	votes    *consensus.HashVoteSet
 	view     uint64 // attempt number; votes from older attempts don't match
@@ -111,7 +112,7 @@ func newXCrash(topo *consensus.Topology, cluster types.ClusterID, self types.Nod
 		parkedAt: make(map[types.Hash]time.Time),
 		leads:    make(map[types.Hash]*xlead),
 		decided:  make(map[types.Hash]bool),
-		txs:      make(map[types.Hash]*types.Transaction),
+		txs:      make(map[types.Hash][]*types.Transaction),
 	}
 }
 
@@ -131,16 +132,22 @@ func (x *xcrash) backoff(attempts int) time.Duration {
 	return base + time.Duration(x.rng.Int63n(int64(x.retryTimeout)))
 }
 
-// Initiate starts Algorithm 1 for tx (lines 6–8). The caller guarantees this
+// Initiate starts Algorithm 1 for a batch of cross-shard transactions that
+// share one involved-cluster set (lines 6–8). The caller guarantees this
 // node is the primary of an involved cluster (normally the super primary).
-func (x *xcrash) Initiate(tx *types.Transaction, now time.Time) []consensus.Outbound {
-	digest := tx.Digest()
+func (x *xcrash) Initiate(txs []*types.Transaction, now time.Time) []consensus.Outbound {
+	involved, ok := batchInvolved(txs)
+	if !ok {
+		return nil
+	}
+	digest := types.BatchDigest(txs)
 	if x.decided[digest] || x.leads[digest] != nil {
 		return nil
 	}
-	lead := &xlead{start: now, tx: tx, digest: digest, votes: consensus.NewHashVoteSet()}
+	lead := &xlead{start: now, txs: txs, involved: involved, digest: digest,
+		votes: consensus.NewHashVoteSet()}
 	x.leads[digest] = lead
-	x.txs[digest] = tx
+	x.txs[digest] = txs
 	return x.propose(lead, now)
 }
 
@@ -162,7 +169,7 @@ func (x *xcrash) propose(lead *xlead, now time.Time) []consensus.Outbound {
 	lead.votes.Add(x.cluster, x.self, consensus.HashVote{
 		Key:   consensus.VoteKey{View: lead.view, Digest: lead.digest},
 		Prev:  st.Head,
-		Valid: x.validate(lead.tx),
+		Valid: validBits(lead.txs, x.validate),
 	})
 
 	msg := &types.ConsensusMsg{
@@ -170,11 +177,11 @@ func (x *xcrash) propose(lead *xlead, now time.Time) []consensus.Outbound {
 		Digest:     lead.digest,
 		Cluster:    x.cluster,
 		PrevHashes: []types.Hash{st.Head},
-		Tx:         lead.tx,
+		Txs:        lead.txs,
 	}
 	env := &types.Envelope{Type: types.MsgXPropose, From: x.self, Payload: msg.Encode(nil)}
 	return []consensus.Outbound{{
-		To:  othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		To:  othersOf(x.topo.InvolvedNodes(lead.involved), x.self),
 		Env: env,
 	}}
 }
@@ -193,7 +200,7 @@ func (x *xcrash) withdraw(lead *xlead, now time.Time) []consensus.Outbound {
 	msg := &types.ConsensusMsg{View: lead.view, Digest: lead.digest, Cluster: x.cluster}
 	env := &types.Envelope{Type: types.MsgXAbort, From: x.self, Payload: msg.Encode(nil)}
 	return []consensus.Outbound{{
-		To:  othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		To:  othersOf(x.topo.InvolvedNodes(lead.involved), x.self),
 		Env: env,
 	}}
 }
@@ -233,14 +240,18 @@ func (x *xcrash) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound,
 // otherwise the proposal parks until the lock clears or the chain advances.
 func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbound {
 	m, err := types.DecodeConsensusMsg(env.Payload)
-	if err != nil || m.Tx == nil || !m.Tx.Involved.Contains(x.cluster) {
+	if err != nil {
 		return nil
 	}
-	digest := m.Tx.Digest()
+	involved, ok := batchInvolved(m.Txs)
+	if !ok || !involved.Contains(x.cluster) {
+		return nil
+	}
+	digest := types.BatchDigest(m.Txs)
 	if digest != m.Digest || x.decided[digest] {
 		return nil
 	}
-	x.txs[digest] = m.Tx
+	x.txs[digest] = m.Txs
 	st := x.status()
 	if (x.locked && x.lockDigest != digest) || !st.Drained {
 		if _, ok := x.parkedAt[digest]; !ok {
@@ -262,9 +273,8 @@ func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbo
 		Digest:     digest,
 		Cluster:    x.cluster,
 		PrevHashes: []types.Hash{st.Head}, // h_j, our cluster's head
-	}
-	if x.validate(m.Tx) {
-		reply.Seq = 1 // local part valid (Seq doubles as the validity bit)
+		// Seq doubles as the per-transaction validity bitmap of the batch.
+		Seq: validBits(m.Txs, x.validate),
 	}
 	return []consensus.Outbound{{
 		To:  []types.NodeID{env.From},
@@ -297,16 +307,16 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		return nil, nil
 	}
 	senderCluster, ok := x.topo.ClusterOf(env.From)
-	if !ok || !lead.tx.Involved.Contains(senderCluster) {
+	if !ok || !lead.involved.Contains(senderCluster) {
 		return nil, nil
 	}
 	lead.votes.Add(senderCluster, env.From, consensus.HashVote{
 		Key:   consensus.VoteKey{View: lead.view, Digest: m.Digest},
 		Prev:  m.PrevHashes[0],
-		Valid: m.Seq == 1,
+		Valid: m.Seq,
 	})
 	key := consensus.VoteKey{View: lead.view, Digest: m.Digest}
-	hashes, valid, ok := lead.votes.QuorumAllPrev(lead.tx.Involved, key,
+	hashes, valid, ok := lead.votes.QuorumAllPrev(lead.involved, key,
 		func(c types.ClusterID) int { return x.topo.CrossQuorum(c) })
 	if !ok {
 		// If some cluster's votes have split across chain heads so that no
@@ -316,7 +326,7 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		// most one fast retry per timer window, so persistently split heads
 		// fall back to the withdraw/backoff cycle instead of spinning.
 		if !lead.fastRetried {
-			for _, c := range lead.tx.Involved {
+			for _, c := range lead.involved {
 				if lead.votes.MatchImpossible(c, key, x.topo.CrossQuorum(c), len(x.topo.Members(c))) {
 					out := x.propose(lead, now)
 					lead.fastRetried = true
@@ -338,16 +348,14 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		Digest:     m.Digest,
 		Cluster:    x.cluster,
 		PrevHashes: hashes,
-		Tx:         lead.tx,
-	}
-	if valid {
-		cm.Seq = 1
+		Txs:        lead.txs,
+		Seq:        valid, // aggregated validity bitmap
 	}
 	out := []consensus.Outbound{{
-		To:  othersOf(x.topo.InvolvedNodes(lead.tx.Involved), x.self),
+		To:  othersOf(x.topo.InvolvedNodes(lead.involved), x.self),
 		Env: &types.Envelope{Type: types.MsgXCommit, From: x.self, Payload: cm.Encode(nil)},
 	}}
-	dec := []crossDecision{{Tx: lead.tx, Digest: m.Digest, Hashes: hashes, Valid: valid}}
+	dec := []crossDecision{{Txs: lead.txs, Digest: m.Digest, Hashes: hashes, Valid: valid}}
 	return out, dec
 }
 
@@ -357,20 +365,21 @@ func (x *xcrash) onCommit(env *types.Envelope) ([]consensus.Outbound, []crossDec
 	if err != nil || x.decided[m.Digest] {
 		return nil, nil
 	}
-	tx := m.Tx
-	if tx == nil {
-		tx = x.txs[m.Digest]
+	txs := m.Txs
+	if len(txs) == 0 {
+		txs = x.txs[m.Digest]
 	}
-	if tx == nil || !tx.Involved.Contains(x.cluster) {
+	involved, ok := batchInvolved(txs)
+	if !ok || !involved.Contains(x.cluster) {
 		return nil, nil
 	}
-	if len(m.PrevHashes) != len(tx.Involved) {
+	if len(m.PrevHashes) != len(involved) {
 		return nil, nil
 	}
 	x.decided[m.Digest] = true
 	delete(x.waiting, m.Digest)
 	x.unlock(m.Digest)
-	return nil, []crossDecision{{Tx: tx, Digest: m.Digest, Hashes: m.PrevHashes, Valid: m.Seq == 1}}
+	return nil, []crossDecision{{Txs: txs, Digest: m.Digest, Hashes: m.PrevHashes, Valid: m.Seq}}
 }
 
 // onAbort releases the lock the aborted attempt held at this node and

@@ -122,7 +122,7 @@ func TestStressMixedByz(t *testing.T) {
 		x := n.cross.(*xbyz)
 		extra := ""
 		for dg, inst := range x.instances {
-			extra += fmt.Sprintf(" inst[%s]{view=%d sentA=%v sentC=%v tx=%v}", dg, inst.view, inst.sentAccept, inst.sentCommit, inst.tx != nil)
+			extra += fmt.Sprintf(" inst[%s]{view=%d sentA=%v sentC=%v txs=%d}", dg, inst.view, inst.sentAccept, inst.sentCommit, len(inst.txs))
 		}
 		for dg, lead := range x.leads {
 			extra += fmt.Sprintf(" lead[%s]{view=%d att=%d dormant=%v}", dg, lead.view, lead.attempts, lead.dormant)
@@ -185,7 +185,7 @@ func TestStressWorkloadCrash(t *testing.T) {
 		x := n.cross.(*xcrash)
 		extra := ""
 		for dg, lead := range x.leads {
-			extra += fmt.Sprintf(" lead[%s]{view=%d att=%d dormant=%v inv=%s}", dg, lead.view, lead.attempts, lead.dormant, lead.tx.Involved)
+			extra += fmt.Sprintf(" lead[%s]{view=%d att=%d dormant=%v inv=%s}", dg, lead.view, lead.attempts, lead.dormant, lead.involved)
 		}
 		for dg := range x.waiting {
 			extra += fmt.Sprintf(" wait[%s]", dg)

@@ -36,6 +36,11 @@ type Config struct {
 	LockTimeout  time.Duration
 	RetryTimeout time.Duration
 	TickInterval time.Duration
+	// Batching and pipelining knobs; zero values take defaults (see
+	// NodeConfig).
+	BatchSize    int
+	BatchTimeout time.Duration
+	MaxInFlight  int
 	// Seed drives all randomness (keys, jitter, fault injection).
 	Seed int64
 	// Ed25519 switches Byzantine deployments from the default HMAC
@@ -132,6 +137,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			LockTimeout:  cfg.LockTimeout,
 			RetryTimeout: cfg.RetryTimeout,
 			TickInterval: cfg.TickInterval,
+			BatchSize:    cfg.BatchSize,
+			BatchTimeout: cfg.BatchTimeout,
+			MaxInFlight:  cfg.MaxInFlight,
 			SuperPrimary: !cfg.DisableSuperPrimary,
 			Seed:         cfg.Seed + int64(id) + 2,
 		})

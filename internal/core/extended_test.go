@@ -195,9 +195,9 @@ func TestByzantineForgedCommitRejected(t *testing.T) {
 		Timestamp: 1,
 	}
 	m := &types.ConsensusMsg{
-		View: 1, Seq: 1, Digest: fake.Digest(), Cluster: 0,
+		View: 1, Seq: 1, Digest: types.BatchDigest([]*types.Transaction{fake}), Cluster: 0,
 		PrevHashes: []types.Hash{types.HashBytes([]byte("a")), types.HashBytes([]byte("b"))},
-		Tx:         fake,
+		Txs:        []*types.Transaction{fake},
 	}
 	payload := m.Encode(nil)
 	env := &types.Envelope{Type: types.MsgXCommit, From: evil,

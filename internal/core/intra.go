@@ -19,8 +19,9 @@ import (
 // Paxos and PBFT engines satisfy it; any other crash or Byzantine
 // fault-tolerant protocol could be slotted in.
 type IntraEngine interface {
-	// Propose starts consensus on tx; only the current primary acts.
-	Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
+	// Propose starts consensus on a batch of transactions; only the current
+	// primary acts. The batch occupies a single consensus instance.
+	Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
 	// Step consumes a protocol message.
 	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
 	// Tick fires protocol timers (view change).
@@ -70,23 +71,62 @@ func newIntraEngine(model types.FailureModel, topo *consensus.Topology, cluster 
 	}, genesis)
 }
 
-// crossDecision is a committed cross-shard transaction: the block parents
-// are Hashes (one per involved cluster, in involved-set order).
+// crossDecision is a committed cross-shard batch: the block parents are
+// Hashes (one per involved cluster, in involved-set order shared by every
+// transaction of the batch).
 type crossDecision struct {
-	Tx     *types.Transaction
+	Txs    []*types.Transaction
 	Digest types.Hash
 	Hashes []types.Hash
-	// Valid is the aggregated validation verdict: every involved cluster
-	// voted its local part valid. Invalid transactions are appended to the
-	// ledger (they were ordered) but not applied.
-	Valid bool
+	// Valid is the aggregated validation bitmap: bit i is set when every
+	// involved cluster voted batch transaction i's local part valid.
+	// Invalid transactions are appended to the ledger (they were ordered)
+	// but not applied.
+	Valid uint64
+}
+
+// Involved returns the involved-cluster set shared by the decided batch.
+func (d *crossDecision) Involved() types.ClusterSet {
+	if len(d.Txs) == 0 {
+		return nil
+	}
+	return d.Txs[0].Involved
+}
+
+// batchInvolved returns the involved-cluster set shared by every transaction
+// of the batch, or false when the batch is empty or mixes sets — malformed
+// proposals are dropped at the protocol boundary.
+func batchInvolved(txs []*types.Transaction) (types.ClusterSet, bool) {
+	if len(txs) == 0 || len(txs) > 64 {
+		return nil, false
+	}
+	inv := txs[0].Involved
+	for _, tx := range txs[1:] {
+		if !tx.Involved.Equal(inv) {
+			return nil, false
+		}
+	}
+	return inv, true
+}
+
+// validBits evaluates validate over the batch and packs the verdicts into
+// the per-transaction validity bitmap (bit i = transaction i valid).
+func validBits(txs []*types.Transaction, validate func(*types.Transaction) bool) uint64 {
+	var bits uint64
+	for i, tx := range txs {
+		if validate(tx) {
+			bits |= 1 << uint(i)
+		}
+	}
+	return bits
 }
 
 // crossEngine is the flattened cross-shard protocol, one implementation per
 // failure model.
 type crossEngine interface {
-	// Initiate starts flattened consensus on tx (initiator primary only).
-	Initiate(tx *types.Transaction, now time.Time) []consensus.Outbound
+	// Initiate starts flattened consensus on a batch of transactions that
+	// share one involved-cluster set (initiator primary only).
+	Initiate(txs []*types.Transaction, now time.Time) []consensus.Outbound
 	// Step consumes a cross-shard protocol message.
 	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision)
 	// OnChainAdvanced is called after the local chain appends a block, so

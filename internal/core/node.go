@@ -1,6 +1,8 @@
 package core
 
 import (
+	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +39,22 @@ type NodeConfig struct {
 	SuperPrimary bool
 	// Seed feeds the node's jitter source.
 	Seed int64
+
+	// BatchSize caps the number of transactions bundled into one block (one
+	// consensus instance). 1 reproduces the paper's single-transaction
+	// blocks; larger values amortize the quorum message cost over the batch.
+	// Cross-shard batches are additionally capped at 64 (the validity
+	// bitmap width).
+	BatchSize int
+	// BatchTimeout bounds how long a partial batch may wait for more
+	// requests while earlier instances are still in flight. A batch never
+	// waits when the pipeline is empty.
+	BatchTimeout time.Duration
+	// MaxInFlight bounds the number of pipelined intra-shard consensus
+	// instances above the committed head. Requests arriving while the
+	// pipeline is full accumulate into the next batch instead of opening
+	// ever more instances.
+	MaxInFlight int
 }
 
 func (c *NodeConfig) fillDefaults() {
@@ -65,6 +83,31 @@ func (c *NodeConfig) fillDefaults() {
 	if c.Verifier == nil {
 		c.Verifier = crypto.NoopSigner{}
 	}
+	if c.BatchSize <= 0 {
+		// SHARPER_BATCH lets CI and experiments re-run the whole suite at a
+		// different batch size without touching every call site.
+		c.BatchSize = envBatchSize()
+	}
+	if c.BatchSize > 64 {
+		c.BatchSize = 64 // validity-bitmap width caps cross-shard batches
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 2 * time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+}
+
+// envBatchSize reads the SHARPER_BATCH override (default 1, the paper's
+// single-transaction blocks).
+func envBatchSize() int {
+	if v := os.Getenv("SHARPER_BATCH"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
 }
 
 // replyCacheSize bounds the retransmission-dedup cache; entries older than
@@ -84,9 +127,16 @@ type Node struct {
 	view  *ledger.View
 	store *state.Store
 
-	// Primary-side request queues used while the cross-shard lock is held.
+	// Primary-side request accumulators. pendingIntra is the intra-shard
+	// batch accumulator drained by flushIntra (up to BatchSize per
+	// consensus instance, bounded by MaxInFlight pipelined instances);
+	// pendingCross queues cross-shard requests, launched one batch (same
+	// involved-cluster set) at a time.
 	pendingIntra []*types.Transaction
 	pendingCross []*types.Transaction
+	// intraSince is when the oldest accumulated intra-shard request
+	// arrived, driving the BatchTimeout partial-batch flush.
+	intraSince time.Time
 	// queued tracks membership of the two queues so client retransmissions
 	// of queued transactions are not enqueued twice.
 	queued map[types.TxID]bool
@@ -404,7 +454,9 @@ func (n *Node) adoptBlock(b *types.Block, now time.Time) bool {
 	// A synced cross-shard block was globally decided; replay its effects.
 	// Validation is deterministic over the chain prefix, so re-validating
 	// locally reproduces the voted verdict for our shard's part.
-	n.execute(b.Tx, true)
+	for _, tx := range b.Txs {
+		n.execute(tx, true)
+	}
 	seq := uint64(n.view.Len() - 1)
 	outs, orphans := n.intra.SyncChainHead(seq, b.Hash(), now)
 	n.send(outs)
@@ -519,39 +571,105 @@ func (n *Node) initiatorCluster(set types.ClusterSet) types.ClusterID {
 	return set.Min()
 }
 
+// proposeIntra adds an intra-shard request to the batch accumulator; the
+// accumulator is drained by flushIntra (called from maybeLaunch after every
+// dispatch and tick, so a request proposes in the same turn it arrives
+// whenever the pipeline has room).
 func (n *Node) proposeIntra(tx *types.Transaction, now time.Time) {
-	// Queued or parked cross-shard work has priority: new intra proposals
-	// would keep the chain from draining and starve the flattened protocol.
-	if n.cross.Locked() || n.cross.Waiting() > 0 || len(n.pendingCross) > 0 {
-		if !n.queued[tx.ID] {
-			n.queued[tx.ID] = true
-			n.pendingIntra = append(n.pendingIntra, tx)
-		}
+	if n.queued[tx.ID] {
 		return
 	}
-	delete(n.queued, tx.ID)
-	outs, _ := n.intra.Propose(tx, now)
-	n.send(outs)
+	if len(n.pendingIntra) == 0 {
+		n.intraSince = now
+	}
+	n.queued[tx.ID] = true
+	n.pendingIntra = append(n.pendingIntra, tx)
+}
+
+// inFlightIntra reports the number of pipelined intra-shard instances above
+// the committed head.
+func (n *Node) inFlightIntra() int {
+	pSeq, _ := n.intra.ProposedHead()
+	cSeq := uint64(n.view.Len() - 1)
+	if pSeq <= cSeq {
+		return 0
+	}
+	return int(pSeq - cSeq)
+}
+
+// flushIntra drains the batch accumulator into consensus instances: up to
+// BatchSize transactions per block, at most MaxInFlight pipelined instances.
+// A partial batch proposes immediately when the pipeline is empty (no added
+// latency at low load) and otherwise waits up to BatchTimeout for more
+// requests to amortize the instance's quorum cost.
+func (n *Node) flushIntra(now time.Time) {
+	for len(n.pendingIntra) > 0 {
+		// Queued or parked cross-shard work has priority: new intra
+		// proposals would keep the chain from draining and starve the
+		// flattened protocol.
+		if n.cross.Locked() || n.cross.Waiting() > 0 || len(n.pendingCross) > 0 {
+			return
+		}
+		inFlight := n.inFlightIntra()
+		if inFlight >= n.cfg.MaxInFlight {
+			return
+		}
+		if len(n.pendingIntra) < n.cfg.BatchSize && inFlight > 0 &&
+			now.Sub(n.intraSince) < n.cfg.BatchTimeout {
+			return // wait for the batch to fill while the pipeline works
+		}
+		take := n.cfg.BatchSize
+		if take > len(n.pendingIntra) {
+			take = len(n.pendingIntra)
+		}
+		batch := make([]*types.Transaction, take)
+		copy(batch, n.pendingIntra)
+		n.pendingIntra = n.pendingIntra[take:]
+		n.intraSince = now
+		for _, tx := range batch {
+			delete(n.queued, tx.ID)
+		}
+		outs, _ := n.intra.Propose(batch, now)
+		n.send(outs)
+	}
 }
 
 func (n *Node) proposeCross(tx *types.Transaction, now time.Time) {
-	if n.cross.Locked() || !n.chainStatus().Drained {
-		// Blocked or in-flight intra proposals ahead of us: queue; the
-		// chain drains because proposeIntra stops feeding it.
-		if !n.queued[tx.ID] {
-			n.queued[tx.ID] = true
-			n.pendingCross = append(n.pendingCross, tx)
-		}
+	if n.queued[tx.ID] {
 		return
 	}
-	delete(n.queued, tx.ID)
-	n.inFlight[tx.ID] = now
-	n.send(n.cross.Initiate(tx, now))
+	n.queued[tx.ID] = true
+	n.pendingCross = append(n.pendingCross, tx)
+	// maybeLaunch (called after every dispatch) initiates immediately when
+	// the node is free, so an uncontended request still proposes in the
+	// same turn it arrives.
+}
+
+// takeCrossBatch removes and returns the next cross-shard batch: the head of
+// the queue plus every later queued transaction with the same
+// involved-cluster set, up to BatchSize — those commit through one flattened
+// consensus instance and one DAG block.
+func (n *Node) takeCrossBatch() []*types.Transaction {
+	head := n.pendingCross[0]
+	batch := []*types.Transaction{head}
+	var rest []*types.Transaction
+	for _, tx := range n.pendingCross[1:] {
+		if len(batch) < n.cfg.BatchSize && tx.Involved.Equal(head.Involved) {
+			batch = append(batch, tx)
+		} else {
+			rest = append(rest, tx)
+		}
+	}
+	n.pendingCross = rest
+	for _, tx := range batch {
+		delete(n.queued, tx.ID)
+	}
+	return batch
 }
 
 // maybeLaunch makes progress on whatever the node was forced to postpone:
 // deferred intra proposals after a lock clears, then queued cross-shard
-// initiations once the chain drains, then queued intra proposals. It is
+// initiations once the chain drains, then the accumulated intra batch. It is
 // called after every dispatch and tick, so no unlock transition is missed.
 func (n *Node) maybeLaunch(now time.Time) {
 	if n.cross.Locked() {
@@ -572,24 +690,20 @@ func (n *Node) maybeLaunch(now time.Time) {
 		if !n.chainStatus().Drained {
 			return // wait for in-flight intra proposals to land
 		}
-		tx := n.pendingCross[0]
-		n.pendingCross = n.pendingCross[1:]
-		delete(n.queued, tx.ID)
-		n.inFlight[tx.ID] = now
-		n.send(n.cross.Initiate(tx, now))
+		batch := n.takeCrossBatch()
+		for _, tx := range batch {
+			n.inFlight[tx.ID] = now
+		}
+		n.send(n.cross.Initiate(batch, now))
 		return
 	}
-	if n.cross.Waiting() == 0 && len(n.pendingIntra) > 0 {
-		txs := n.pendingIntra
-		n.pendingIntra = nil
-		for _, tx := range txs {
-			n.proposeIntra(tx, now)
-		}
+	if n.cross.Waiting() == 0 {
+		n.flushIntra(now)
 	}
 }
 
-// applyIntra appends intra-shard decisions to the ledger, executes them,
-// and replies to clients.
+// applyIntra appends intra-shard decisions to the ledger, executes every
+// transaction of each decided batch, and replies to clients.
 func (n *Node) applyIntra(decs []consensus.Decision, now time.Time) {
 	for _, d := range decs {
 		if err := n.view.Append(d.Block); err != nil {
@@ -597,7 +711,9 @@ func (n *Node) applyIntra(decs []consensus.Decision, now time.Time) {
 			continue
 		}
 		n.lastAppend = now
-		n.execute(d.Block.Tx, true)
+		for _, tx := range d.Block.Txs {
+			n.execute(tx, true)
+		}
 	}
 	if len(decs) > 0 {
 		n.afterChainAdvance(now)
@@ -614,7 +730,7 @@ func (n *Node) applyCross(decs []crossDecision, now time.Time) {
 
 func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 	slot := -1
-	for i, c := range d.Tx.Involved {
+	for i, c := range d.Involved() {
 		if c == n.cfg.Cluster {
 			slot = i
 			break
@@ -623,7 +739,20 @@ func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 	if slot < 0 || slot >= len(d.Hashes) {
 		return
 	}
-	if n.view.Contains(d.Tx.ID) {
+	// Dedup against re-delivered decisions: skip only when every member
+	// transaction already landed. A partially-contained batch (a client
+	// retransmission raced an earlier attempt that committed one member
+	// alone) must still append — duplicates across blocks are tolerated by
+	// the ledger and execution is idempotent, while skipping would silently
+	// drop the globally-decided fresh transactions in the batch.
+	allContained := true
+	for _, tx := range d.Txs {
+		if !n.view.Contains(tx.ID) {
+			allContained = false
+			break
+		}
+	}
+	if allContained {
 		return
 	}
 	if d.Hashes[slot] != n.view.Head() {
@@ -631,13 +760,15 @@ func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 		n.pendingApply = append(n.pendingApply, d)
 		return
 	}
-	block := &types.Block{Tx: d.Tx, Parents: d.Hashes}
+	block := &types.Block{Txs: d.Txs, Parents: d.Hashes}
 	if err := n.view.Append(block); err != nil {
 		n.anomalies.Add(1)
 		return
 	}
 	n.lastAppend = now
-	n.execute(d.Tx, d.Valid)
+	for i, tx := range d.Txs {
+		n.execute(tx, d.Valid&(1<<uint(i)) != 0)
+	}
 	seq := uint64(n.view.Len() - 1)
 	outs, orphans := n.intra.SyncChainHead(seq, block.Hash(), now)
 	n.send(outs)
@@ -645,11 +776,16 @@ func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 	n.afterChainAdvance(now)
 }
 
-// requeueOrphans re-proposes this primary's transactions whose pipeline
-// slots were taken by an externally decided block.
+// requeueOrphans re-accumulates this primary's transactions whose pipeline
+// slots were taken by an externally decided block; they ride in the next
+// batch.
 func (n *Node) requeueOrphans(orphans []*types.Transaction) {
 	for _, tx := range orphans {
-		if !n.view.Contains(tx.ID) {
+		if !n.view.Contains(tx.ID) && !n.queued[tx.ID] {
+			if len(n.pendingIntra) == 0 {
+				n.intraSince = n.lastAppend
+			}
+			n.queued[tx.ID] = true
 			n.pendingIntra = append(n.pendingIntra, tx)
 		}
 	}

@@ -56,7 +56,7 @@ type Engine struct {
 type instance struct {
 	digest     types.Hash
 	parent     types.Hash
-	tx         *types.Transaction
+	txs        []*types.Transaction
 	view       uint64
 	accepts    map[types.NodeID]types.Hash
 	sentAccept bool
@@ -110,20 +110,20 @@ func (e *Engine) authentic(env *types.Envelope) bool {
 	return e.cfg.Verifier.Verify(env.From, env.Payload, env.Sig)
 }
 
-// Propose starts consensus on tx (primary only).
-func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
-	if !e.IsPrimary() || e.viewChanging {
+// Propose starts consensus on a batch of transactions (primary only).
+func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
+	if !e.IsPrimary() || e.viewChanging || len(txs) == 0 {
 		return nil, 0
 	}
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
-	block := &types.Block{Tx: tx, Parents: []types.Hash{parent}}
-	digest := tx.Digest()
+	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
+	digest := types.BatchDigest(txs)
 
 	inst := e.getInstance(seq)
 	inst.digest = digest
 	inst.parent = parent
-	inst.tx = tx
+	inst.txs = txs
 	inst.view = e.view
 	inst.deadline = now.Add(e.cfg.Timeout)
 	e.proposedSeq = seq
@@ -131,7 +131,7 @@ func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outb
 
 	msg := &types.ConsensusMsg{
 		View: e.view, Seq: seq, Digest: digest, Cluster: e.cfg.Cluster,
-		PrevHashes: []types.Hash{parent}, Tx: tx,
+		PrevHashes: []types.Hash{parent}, Txs: txs,
 	}
 	payload := msg.Encode(nil)
 	out := []consensus.Outbound{{
@@ -172,26 +172,26 @@ func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound,
 
 func (e *Engine) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	m, err := types.DecodeConsensusMsg(env.Payload)
-	if err != nil || m.Tx == nil || len(m.PrevHashes) != 1 {
+	if err != nil || len(m.Txs) == 0 || len(m.PrevHashes) != 1 {
 		return nil, nil
 	}
 	if env.From != e.cfg.Topology.Primary(e.cfg.Cluster, m.View) || m.View != e.view {
 		return nil, nil
 	}
-	if m.Digest != m.Tx.Digest() {
+	if m.Digest != types.BatchDigest(m.Txs) {
 		return nil, nil
 	}
 	inst := e.getInstance(m.Seq)
-	if inst.tx == nil {
+	if len(inst.txs) == 0 {
 		inst.digest = m.Digest
 		inst.parent = m.PrevHashes[0]
-		inst.tx = m.Tx
+		inst.txs = m.Txs
 		inst.view = m.View
 		inst.deadline = now.Add(e.cfg.Timeout)
 	}
 	if m.Seq > e.proposedSeq {
 		e.proposedSeq = m.Seq
-		block := &types.Block{Tx: m.Tx, Parents: []types.Hash{inst.parent}}
+		block := &types.Block{Txs: m.Txs, Parents: []types.Hash{inst.parent}}
 		e.proposedHead = block.Hash()
 	}
 	out := e.voteAccept(inst, m.Seq)
@@ -223,7 +223,7 @@ func (e *Engine) onAccept(env *types.Envelope) ([]consensus.Outbound, []consensu
 }
 
 func (e *Engine) advanceFrom(inst *instance, seq uint64) []consensus.Decision {
-	if inst.tx != nil && !inst.committed {
+	if len(inst.txs) > 0 && !inst.committed {
 		n := 0
 		for _, d := range inst.accepts {
 			if d == inst.digest {
@@ -238,10 +238,10 @@ func (e *Engine) advanceFrom(inst *instance, seq uint64) []consensus.Decision {
 	for {
 		next := e.committedSeq + 1
 		in, ok := e.instances[next]
-		if !ok || !in.committed || in.tx == nil || e.delivered[next] {
+		if !ok || !in.committed || len(in.txs) == 0 || e.delivered[next] {
 			return out
 		}
-		block := &types.Block{Tx: in.tx, Parents: []types.Hash{in.parent}}
+		block := &types.Block{Txs: in.txs, Parents: []types.Hash{in.parent}}
 		e.delivered[next] = true
 		e.committedSeq = next
 		e.committedHead = block.Hash()
@@ -256,7 +256,7 @@ func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 		return nil
 	}
 	for seq, inst := range e.instances {
-		if seq > e.committedSeq && inst.tx != nil && !inst.committed && now.After(inst.deadline) {
+		if seq > e.committedSeq && len(inst.txs) > 0 && !inst.committed && now.After(inst.deadline) {
 			return e.startViewChange(e.view + 1)
 		}
 	}

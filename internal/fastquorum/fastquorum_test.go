@@ -84,7 +84,7 @@ func tx(seq uint64) *types.Transaction {
 
 func TestTwoPhaseCommit(t *testing.T) {
 	h := newHarness(t, 4, 1, 3) // Fast Paxos: 3f+1 nodes, quorum 2f+1
-	outs, _ := h.engines[0].Propose(tx(1), h.now)
+	outs, _ := h.engines[0].Propose([]*types.Transaction{tx(1)}, h.now)
 	h.sendAll(outs)
 	h.pump()
 	for id, decs := range h.decided {
@@ -97,7 +97,7 @@ func TestTwoPhaseCommit(t *testing.T) {
 func TestCommitWithFSilent(t *testing.T) {
 	h := newHarness(t, 4, 1, 3)
 	h.drop = func(to types.NodeID) bool { return to == 3 }
-	outs, _ := h.engines[0].Propose(tx(1), h.now)
+	outs, _ := h.engines[0].Propose([]*types.Transaction{tx(1)}, h.now)
 	h.sendAll(outs)
 	h.pump()
 	for id, decs := range h.decided {
@@ -114,7 +114,7 @@ func TestNoCommitBelowQuorum(t *testing.T) {
 	h := newHarness(t, 6, 1, 5) // FaB sizing: 5f+1, quorum 4f+1
 	// Two nodes silent: only 4 < 5 accepts can gather.
 	h.drop = func(to types.NodeID) bool { return to == 4 || to == 5 }
-	outs, _ := h.engines[0].Propose(tx(1), h.now)
+	outs, _ := h.engines[0].Propose([]*types.Transaction{tx(1)}, h.now)
 	h.sendAll(outs)
 	h.pump()
 	for id, decs := range h.decided {
@@ -127,7 +127,7 @@ func TestNoCommitBelowQuorum(t *testing.T) {
 func TestSequentialDecisions(t *testing.T) {
 	h := newHarness(t, 4, 1, 3)
 	for i := uint64(1); i <= 5; i++ {
-		outs, _ := h.engines[0].Propose(tx(i), h.now)
+		outs, _ := h.engines[0].Propose([]*types.Transaction{tx(i)}, h.now)
 		h.sendAll(outs)
 	}
 	h.pump()

@@ -51,27 +51,33 @@ func (d *DAG) Verify() error {
 			return err
 		}
 	}
-	// Cross-shard agreement: same tx ⇒ same block hash everywhere it appears.
+	// Cross-shard agreement: same tx ⇒ same block hash everywhere it appears
+	// (a batched cross-shard block commits identically on every involved
+	// cluster, so every transaction of the batch maps to the same hash).
 	seen := make(map[types.TxID]types.Hash)
 	for _, v := range d.views {
 		for _, b := range v.CrossShardBlocks() {
 			h := b.Hash()
-			if prev, ok := seen[b.Tx.ID]; ok && prev != h {
-				return fmt.Errorf("ledger: cross-shard tx %s committed with diverging content", b.Tx.ID)
+			for _, tx := range b.Txs {
+				if prev, ok := seen[tx.ID]; ok && prev != h {
+					return fmt.Errorf("ledger: cross-shard tx %s committed with diverging content", tx.ID)
+				}
+				seen[tx.ID] = h
 			}
-			seen[b.Tx.ID] = h
 		}
 	}
 	// Every involved cluster we hold a view for must have the block.
 	for _, v := range d.views {
 		for _, b := range v.CrossShardBlocks() {
-			for _, c := range b.Tx.Involved {
-				ov, ok := d.views[c]
-				if !ok {
-					continue // partial union: tolerated
-				}
-				if !ov.Contains(b.Tx.ID) {
-					return fmt.Errorf("ledger: cross-shard tx %s missing from involved cluster %s", b.Tx.ID, c)
+			for _, tx := range b.Txs {
+				for _, c := range tx.Involved {
+					ov, ok := d.views[c]
+					if !ok {
+						continue // partial union: tolerated
+					}
+					if !ov.Contains(tx.ID) {
+						return fmt.Errorf("ledger: cross-shard tx %s missing from involved cluster %s", tx.ID, c)
+					}
 				}
 			}
 		}
@@ -88,15 +94,17 @@ func (d *DAG) VerifyPairwiseOrder() error {
 	position := make(map[types.TxID]map[types.ClusterID]int)
 	for c, v := range d.views {
 		for i, b := range v.Blocks() {
-			if i == 0 || !b.Tx.IsCrossShard() {
+			if i == 0 || !b.IsCrossShard() {
 				continue
 			}
-			m, ok := position[b.Tx.ID]
-			if !ok {
-				m = make(map[types.ClusterID]int)
-				position[b.Tx.ID] = m
+			for _, tx := range b.Txs {
+				m, ok := position[tx.ID]
+				if !ok {
+					m = make(map[types.ClusterID]int)
+					position[tx.ID] = m
+				}
+				m[c] = i
 			}
-			m[c] = i
 		}
 	}
 	ids := make([]types.TxID, 0, len(position))
@@ -149,10 +157,10 @@ func (d *DAG) RenderASCII() string {
 				out += " λ"
 				continue
 			}
-			if b.Tx.IsCrossShard() {
-				out += fmt.Sprintf(" →[X %s %s]", b.Tx.ID, b.Tx.Involved)
+			if b.IsCrossShard() {
+				out += fmt.Sprintf(" →[X %s %s]", blockLabel(b), b.Involved())
 			} else {
-				out += fmt.Sprintf(" →[%s]", b.Tx.ID)
+				out += fmt.Sprintf(" →[%s]", blockLabel(b))
 			}
 		}
 		out += "\n"

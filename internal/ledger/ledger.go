@@ -1,10 +1,13 @@
 // Package ledger implements the SharPer blockchain ledger of §2.3: a
-// directed acyclic graph of single-transaction blocks in which each block
-// carries one predecessor hash per involved cluster. No node stores the full
-// DAG; each cluster maintains a View containing its intra-shard blocks and
-// the cross-shard blocks it participates in, chained in a total order.
-// The logical DAG is the union of the views (Fig. 2), and DAG provides that
-// union plus consistency verification for tests and audits.
+// directed acyclic graph of blocks in which each block carries one
+// predecessor hash per involved cluster. The paper uses single-transaction
+// blocks; here a block batches one or more transactions that share the same
+// involved-cluster set, so one DAG vertex (and one consensus instance)
+// amortizes over the whole batch. No node stores the full DAG; each cluster
+// maintains a View containing its intra-shard blocks and the cross-shard
+// blocks it participates in, chained in a total order. The logical DAG is
+// the union of the views (Fig. 2), and DAG provides that union plus
+// consistency verification for tests and audits.
 package ledger
 
 import (
@@ -19,10 +22,10 @@ import (
 // well defined from the first block.
 func GenesisBlock() *types.Block {
 	return &types.Block{
-		Tx: &types.Transaction{
+		Txs: []*types.Transaction{{
 			ID:       types.TxID{Client: 0, Seq: 0},
 			Involved: types.ClusterSet{},
-		},
+		}},
 		Parents: nil,
 	}
 }
@@ -101,42 +104,83 @@ func (v *View) Blocks() []*types.Block {
 // parentSlot returns the index of this view's cluster in the block's
 // involved set, which is also the index of its parent-hash slot.
 func (v *View) parentSlot(b *types.Block) (int, error) {
-	if len(b.Tx.Involved) == 0 {
-		return 0, fmt.Errorf("ledger: block %s has empty involved set", b.Tx.ID)
+	inv := b.Involved()
+	if len(inv) == 0 {
+		return 0, fmt.Errorf("ledger: block %s has empty involved set", blockLabel(b))
 	}
-	for i, c := range b.Tx.Involved {
+	for i, c := range inv {
 		if c == v.cluster {
 			return i, nil
 		}
 	}
-	return 0, fmt.Errorf("ledger: block %s does not involve cluster %s", b.Tx.ID, v.cluster)
+	return 0, fmt.Errorf("ledger: block %s does not involve cluster %s", blockLabel(b), v.cluster)
+}
+
+// blockLabel names a block by its first transaction for error messages.
+func blockLabel(b *types.Block) string {
+	if len(b.Txs) == 0 {
+		return "<empty>"
+	}
+	if len(b.Txs) == 1 {
+		return b.Txs[0].ID.String()
+	}
+	return fmt.Sprintf("%s(+%d)", b.Txs[0].ID, len(b.Txs)-1)
+}
+
+// validateBatch checks the structural invariants of a multi-transaction
+// block: a non-empty batch, every transaction sharing one involved-cluster
+// set (so the parent-slot layout is well defined), and no transaction
+// appearing twice inside the same block.
+func validateBatch(b *types.Block) error {
+	if len(b.Txs) == 0 {
+		return fmt.Errorf("ledger: empty block")
+	}
+	inv := b.Txs[0].Involved
+	seen := make(map[types.TxID]struct{}, len(b.Txs))
+	for _, tx := range b.Txs {
+		if !tx.Involved.Equal(inv) {
+			return fmt.Errorf("ledger: block %s mixes involved sets %s and %s",
+				blockLabel(b), inv, tx.Involved)
+		}
+		if _, dup := seen[tx.ID]; dup {
+			return fmt.Errorf("ledger: block %s contains tx %s twice", blockLabel(b), tx.ID)
+		}
+		seen[tx.ID] = struct{}{}
+	}
+	return nil
 }
 
 // Append validates that the block's parent slot for this cluster equals the
-// current head and appends it. The chain records exactly what consensus
-// decided; a transaction re-ordered by a client retransmission may appear
-// twice, and the execution layer deduplicates (the second occurrence is a
-// no-op there). Appending out of order is an error.
+// current head and appends it. Batches must be well formed (one shared
+// involved set, no intra-block duplicates). The chain records exactly what
+// consensus decided; a transaction re-ordered by a client retransmission may
+// appear in two different blocks, and the execution layer deduplicates (the
+// second occurrence is a no-op there). Appending out of order is an error.
 func (v *View) Append(b *types.Block) error {
+	if err := validateBatch(b); err != nil {
+		return err
+	}
 	slot, err := v.parentSlot(b)
 	if err != nil {
 		return err
 	}
 	if slot >= len(b.Parents) {
-		return fmt.Errorf("ledger: block %s missing parent slot %d", b.Tx.ID, slot)
+		return fmt.Errorf("ledger: block %s missing parent slot %d", blockLabel(b), slot)
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	head := v.hashes[len(v.hashes)-1]
 	if b.Parents[slot] != head {
 		return fmt.Errorf("ledger: block %s parent %s does not extend head %s of %s",
-			b.Tx.ID, b.Parents[slot], head, v.cluster)
+			blockLabel(b), b.Parents[slot], head, v.cluster)
 	}
 	h := b.Hash()
 	v.blocks = append(v.blocks, b)
 	v.hashes = append(v.hashes, h)
 	v.byHash[h] = len(v.blocks) - 1
-	v.byTx[b.Tx.ID] = struct{}{}
+	for _, tx := range b.Txs {
+		v.byTx[tx.ID] = struct{}{}
+	}
 	return nil
 }
 
@@ -147,22 +191,25 @@ func (v *View) Verify() error {
 	defer v.mu.RUnlock()
 	for i := 1; i < len(v.blocks); i++ {
 		b := v.blocks[i]
+		if err := validateBatch(b); err != nil {
+			return fmt.Errorf("ledger: block %d: %w", i, err)
+		}
 		slot := 0
 		found := false
-		for j, c := range b.Tx.Involved {
+		for j, c := range b.Involved() {
 			if c == v.cluster {
 				slot, found = j, true
 				break
 			}
 		}
 		if !found {
-			return fmt.Errorf("ledger: block %d (%s) does not involve %s", i, b.Tx.ID, v.cluster)
+			return fmt.Errorf("ledger: block %d (%s) does not involve %s", i, blockLabel(b), v.cluster)
 		}
 		if slot >= len(b.Parents) || b.Parents[slot] != v.hashes[i-1] {
-			return fmt.Errorf("ledger: block %d (%s) breaks the hash chain of %s", i, b.Tx.ID, v.cluster)
+			return fmt.Errorf("ledger: block %d (%s) breaks the hash chain of %s", i, blockLabel(b), v.cluster)
 		}
 		if v.hashes[i] != b.Hash() {
-			return fmt.Errorf("ledger: block %d (%s) stored hash mismatch", i, b.Tx.ID)
+			return fmt.Errorf("ledger: block %d (%s) stored hash mismatch", i, blockLabel(b))
 		}
 	}
 	return nil
@@ -174,7 +221,7 @@ func (v *View) CrossShardBlocks() []*types.Block {
 	defer v.mu.RUnlock()
 	var out []*types.Block
 	for _, b := range v.blocks[1:] {
-		if b.Tx.IsCrossShard() {
+		if b.IsCrossShard() {
 			out = append(out, b)
 		}
 	}

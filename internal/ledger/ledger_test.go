@@ -29,7 +29,7 @@ func crossTx(client types.NodeID, seq uint64, clusters ...types.ClusterID) *type
 // appendIntra appends an intra-shard block chaining to the view head.
 func appendIntra(t *testing.T, v *View, tx *types.Transaction) *types.Block {
 	t.Helper()
-	b := &types.Block{Tx: tx, Parents: []types.Hash{v.Head()}}
+	b := &types.Block{Txs: []*types.Transaction{tx}, Parents: []types.Hash{v.Head()}}
 	if err := v.Append(b); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestViewChaining(t *testing.T) {
 	if v.Head() != b2.Hash() {
 		t.Fatal("head not advanced")
 	}
-	if !v.Contains(b1.Tx.ID) || !v.Contains(b2.Tx.ID) {
+	if !v.Contains(b1.Txs[0].ID) || !v.Contains(b2.Txs[0].ID) {
 		t.Fatal("Contains lost a committed tx")
 	}
 	if err := v.Verify(); err != nil {
@@ -61,7 +61,7 @@ func TestViewRejectsWrongParent(t *testing.T) {
 	v := NewView(0)
 	appendIntra(t, v, intraTx(types.ClientIDBase+1, 1, 0))
 	bad := &types.Block{
-		Tx:      intraTx(types.ClientIDBase+1, 2, 0),
+		Txs:     []*types.Transaction{intraTx(types.ClientIDBase+1, 2, 0)},
 		Parents: []types.Hash{GenesisHash()}, // stale parent
 	}
 	if err := v.Append(bad); err == nil {
@@ -72,7 +72,7 @@ func TestViewRejectsWrongParent(t *testing.T) {
 func TestViewRejectsForeignBlock(t *testing.T) {
 	v := NewView(0)
 	b := &types.Block{
-		Tx:      intraTx(types.ClientIDBase+1, 1, 3), // cluster 3, not ours
+		Txs:     []*types.Transaction{intraTx(types.ClientIDBase+1, 1, 3)}, // cluster 3, not ours
 		Parents: []types.Hash{v.Head()},
 	}
 	if err := v.Append(b); err == nil {
@@ -86,7 +86,7 @@ func TestCrossShardParentSlots(t *testing.T) {
 	appendIntra(t, v1, intraTx(types.ClientIDBase+2, 1, 1))
 
 	x := &types.Block{
-		Tx:      crossTx(types.ClientIDBase+3, 1, 0, 1),
+		Txs:     []*types.Transaction{crossTx(types.ClientIDBase+3, 1, 0, 1)},
 		Parents: []types.Hash{v0.Head(), v1.Head()}, // slot order = involved order
 	}
 	if err := v0.Append(x); err != nil {
@@ -106,7 +106,7 @@ func TestCrossShardParentSlots(t *testing.T) {
 func TestDAGDetectsMissingCrossBlock(t *testing.T) {
 	v0, v1 := NewView(0), NewView(1)
 	x := &types.Block{
-		Tx:      crossTx(types.ClientIDBase+3, 1, 0, 1),
+		Txs:     []*types.Transaction{crossTx(types.ClientIDBase+3, 1, 0, 1)},
 		Parents: []types.Hash{v0.Head(), v1.Head()},
 	}
 	if err := v0.Append(x); err != nil {
@@ -124,24 +124,121 @@ func TestDAGDetectsConflictingOrder(t *testing.T) {
 	b := crossTx(types.ClientIDBase+2, 1, 0, 1)
 
 	// v0 commits a then b; v1 commits b then a — an order violation.
-	ba := &types.Block{Tx: a, Parents: []types.Hash{v0.Head(), v1.Head()}}
+	ba := &types.Block{Txs: []*types.Transaction{a}, Parents: []types.Hash{v0.Head(), v1.Head()}}
 	if err := v0.Append(ba); err != nil {
 		t.Fatal(err)
 	}
-	bb0 := &types.Block{Tx: b, Parents: []types.Hash{v0.Head(), GenesisHash()}}
+	bb0 := &types.Block{Txs: []*types.Transaction{b}, Parents: []types.Hash{v0.Head(), GenesisHash()}}
 	if err := v0.Append(bb0); err != nil {
 		t.Fatal(err)
 	}
-	bb1 := &types.Block{Tx: b, Parents: []types.Hash{types.HashBytes([]byte("x")), v1.Head()}}
+	bb1 := &types.Block{Txs: []*types.Transaction{b}, Parents: []types.Hash{types.HashBytes([]byte("x")), v1.Head()}}
 	if err := v1.Append(bb1); err != nil {
 		t.Fatal(err)
 	}
-	ba1 := &types.Block{Tx: a, Parents: []types.Hash{types.HashBytes([]byte("y")), v1.Head()}}
+	ba1 := &types.Block{Txs: []*types.Transaction{a}, Parents: []types.Hash{types.HashBytes([]byte("y")), v1.Head()}}
 	if err := v1.Append(ba1); err != nil {
 		t.Fatal(err)
 	}
 	if err := NewDAG(v0, v1).VerifyPairwiseOrder(); err == nil {
 		t.Fatal("VerifyPairwiseOrder missed conflicting cross-shard orders")
+	}
+}
+
+// appendBatch appends a multi-tx intra-shard block chaining to the view head.
+func appendBatch(t *testing.T, v *View, txs ...*types.Transaction) *types.Block {
+	t.Helper()
+	b := &types.Block{Txs: txs, Parents: []types.Hash{v.Head()}}
+	if err := v.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMultiTxBlockAppend: a batched block appends as one chain link and every
+// member transaction becomes visible to Contains.
+func TestMultiTxBlockAppend(t *testing.T) {
+	v := NewView(0)
+	txs := []*types.Transaction{
+		intraTx(types.ClientIDBase+1, 1, 0),
+		intraTx(types.ClientIDBase+1, 2, 0),
+		intraTx(types.ClientIDBase+2, 1, 0),
+	}
+	appendBatch(t, v, txs...)
+	if v.Len() != 2 {
+		t.Fatalf("len %d, want 2 (genesis + one batched block)", v.Len())
+	}
+	for _, tx := range txs {
+		if !v.Contains(tx.ID) {
+			t.Fatalf("Contains lost batched tx %s", tx.ID)
+		}
+	}
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiTxBlockRejectsIntraBlockDuplicate: the same transaction twice in
+// one batch is a malformed block, not a tolerated re-ordering.
+func TestMultiTxBlockRejectsIntraBlockDuplicate(t *testing.T) {
+	v := NewView(0)
+	tx := intraTx(types.ClientIDBase+1, 1, 0)
+	b := &types.Block{Txs: []*types.Transaction{tx, tx}, Parents: []types.Hash{v.Head()}}
+	if err := v.Append(b); err == nil {
+		t.Fatal("appended a block containing the same tx twice")
+	}
+	if v.Len() != 1 {
+		t.Fatal("rejected block still advanced the chain")
+	}
+}
+
+// TestMultiTxBlockRejectsMixedInvolvedSets: every transaction of a batch
+// must share one involved-cluster set or the parent-slot layout is undefined.
+func TestMultiTxBlockRejectsMixedInvolvedSets(t *testing.T) {
+	v := NewView(0)
+	b := &types.Block{
+		Txs: []*types.Transaction{
+			intraTx(types.ClientIDBase+1, 1, 0),
+			crossTx(types.ClientIDBase+1, 2, 0, 1),
+		},
+		Parents: []types.Hash{v.Head()},
+	}
+	if err := v.Append(b); err == nil {
+		t.Fatal("appended a block mixing involved-cluster sets")
+	}
+	empty := &types.Block{Txs: nil, Parents: []types.Hash{v.Head()}}
+	if err := v.Append(empty); err == nil {
+		t.Fatal("appended an empty block")
+	}
+}
+
+// TestMultiTxCrossShardBlock: a batched cross-shard block commits identically
+// on every involved view and the DAG verifies, including per-tx positions in
+// VerifyPairwiseOrder.
+func TestMultiTxCrossShardBlock(t *testing.T) {
+	v0, v1 := NewView(0), NewView(1)
+	txs := []*types.Transaction{
+		crossTx(types.ClientIDBase+1, 1, 0, 1),
+		crossTx(types.ClientIDBase+2, 1, 0, 1),
+	}
+	x := &types.Block{Txs: txs, Parents: []types.Hash{v0.Head(), v1.Head()}}
+	if err := v0.Append(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Append(x); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDAG(v0, v1)
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyPairwiseOrder(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate-across-blocks (a retransmission race) is still tolerated:
+	// the conflicting-content check keys on per-tx block hashes.
+	if !v0.Contains(txs[1].ID) || !v1.Contains(txs[1].ID) {
+		t.Fatal("batched cross-shard tx lost from a view")
 	}
 }
 
@@ -163,7 +260,7 @@ func TestQuickChainVerify(t *testing.T) {
 		n := 2 + rng.Intn(10)
 		for i := 0; i < n; i++ {
 			b := &types.Block{
-				Tx:      intraTx(types.ClientIDBase+1, uint64(i+1), 0),
+				Txs:     []*types.Transaction{intraTx(types.ClientIDBase+1, uint64(i+1), 0)},
 				Parents: []types.Hash{v.Head()},
 			}
 			if v.Append(b) != nil {
@@ -175,7 +272,7 @@ func TestQuickChainVerify(t *testing.T) {
 		}
 		// Corrupt one block in place: verification must fail.
 		idx := 1 + rng.Intn(n)
-		v.Block(idx).Tx.Ops[0].Amount = 999999
+		v.Block(idx).Txs[0].Ops[0].Amount = 999999
 		return v.Verify() != nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {

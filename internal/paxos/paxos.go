@@ -56,7 +56,7 @@ type Engine struct {
 type instance struct {
 	digest    types.Hash
 	parent    types.Hash
-	tx        *types.Transaction
+	txs       []*types.Transaction
 	view      uint64
 	accepted  map[types.NodeID]bool
 	committed bool
@@ -131,8 +131,8 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 	var orphans []*types.Transaction
 	for s, inst := range e.instances {
 		if !inst.committed || s > seq {
-			if inst.own && inst.tx != nil && !inst.committed {
-				orphans = append(orphans, inst.tx)
+			if inst.own && !inst.committed {
+				orphans = append(orphans, inst.txs...)
 			}
 			delete(e.instances, s)
 		}
@@ -162,21 +162,22 @@ func (e *Engine) retryParked(now time.Time) []consensus.Outbound {
 	}
 }
 
-// Propose starts consensus on tx. Only the current primary may call it.
-// It returns the accept multicast and the assigned sequence.
-func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
-	if !e.IsPrimary() || e.viewChanging {
+// Propose starts consensus on a batch of transactions. Only the current
+// primary may call it. It returns the accept multicast and the assigned
+// sequence; the whole batch occupies one consensus instance and one block.
+func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
+	if !e.IsPrimary() || e.viewChanging || len(txs) == 0 {
 		return nil, 0
 	}
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
-	block := &types.Block{Tx: tx, Parents: []types.Hash{parent}}
-	digest := tx.Digest()
+	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
+	digest := types.BatchDigest(txs)
 
 	inst := &instance{
 		digest:   digest,
 		parent:   parent,
-		tx:       tx,
+		txs:      txs,
 		view:     e.view,
 		accepted: map[types.NodeID]bool{e.self: true}, // primary counts itself
 		own:      true,
@@ -192,7 +193,7 @@ func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outb
 		Digest:     digest,
 		Cluster:    e.cluster,
 		PrevHashes: []types.Hash{parent},
-		Tx:         tx,
+		Txs:        txs,
 	}
 	out := consensus.Outbound{
 		To:  others(e.topo.Members(e.cluster), e.self),
@@ -222,7 +223,7 @@ func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound,
 
 func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	m, err := types.DecodeConsensusMsg(env.Payload)
-	if err != nil || m.Tx == nil {
+	if err != nil || len(m.Txs) == 0 {
 		return nil, nil
 	}
 	// Only the primary of the message's view may propose.
@@ -255,12 +256,12 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 	}
 	inst.digest = m.Digest
 	inst.parent = m.PrevHashes[0]
-	inst.tx = m.Tx
+	inst.txs = m.Txs
 	inst.view = m.View
 	inst.deadline = now.Add(e.timeout)
 	if m.Seq > e.proposedSeq {
 		e.proposedSeq = m.Seq
-		block := &types.Block{Tx: m.Tx, Parents: []types.Hash{inst.parent}}
+		block := &types.Block{Txs: m.Txs, Parents: []types.Hash{inst.parent}}
 		e.proposedHead = block.Hash()
 	}
 
@@ -335,10 +336,10 @@ func (e *Engine) advance() []consensus.Decision {
 	for {
 		seq := e.committedSeq + 1
 		inst, ok := e.instances[seq]
-		if !ok || !inst.committed || inst.tx == nil || e.delivered[seq] {
+		if !ok || !inst.committed || len(inst.txs) == 0 || e.delivered[seq] {
 			return out
 		}
-		block := &types.Block{Tx: inst.tx, Parents: []types.Hash{inst.parent}}
+		block := &types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}
 		e.delivered[seq] = true
 		e.committedSeq = seq
 		e.committedHead = block.Hash()
@@ -355,7 +356,7 @@ func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 	}
 	expired := false
 	for seq, inst := range e.instances {
-		if seq > e.committedSeq && !inst.committed && inst.tx != nil && now.After(inst.deadline) {
+		if seq > e.committedSeq && !inst.committed && len(inst.txs) > 0 && now.After(inst.deadline) {
 			expired = true
 			break
 		}
@@ -378,7 +379,7 @@ func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
 	// can re-propose it (Paxos phase-1 value recovery, collapsed because
 	// crash-only nodes never lie).
 	for seq, inst := range e.instances {
-		if seq > e.committedSeq && inst.tx != nil && !inst.committed && seq > vc.PreparedSeq {
+		if seq > e.committedSeq && len(inst.txs) > 0 && !inst.committed && seq > vc.PreparedSeq {
 			vc.PreparedSeq = seq
 			vc.PreparedHash = inst.digest
 		}
@@ -439,12 +440,12 @@ func (e *Engine) reproposePrepared(votes map[types.NodeID]*types.ViewChange, now
 	if best == nil {
 		return nil
 	}
-	// Find the transaction body locally (we may have accepted it too).
+	// Find the batch body locally (we may have accepted it too).
 	inst, ok := e.instances[best.PreparedSeq]
-	if !ok || inst.tx == nil {
-		return nil // body unavailable; the client will retransmit
+	if !ok || len(inst.txs) == 0 {
+		return nil // body unavailable; the clients will retransmit
 	}
-	out, _ := e.Propose(inst.tx, now)
+	out, _ := e.Propose(inst.txs, now)
 	return out
 }
 
@@ -496,8 +497,8 @@ func (e *Engine) DebugString() string {
 		e.view, e.proposedSeq, e.proposedHead, e.committedSeq, e.committedHead,
 		e.viewChanging, len(e.parked))
 	for seq, inst := range e.instances {
-		s += fmt.Sprintf(" inst[%d]{d=%s p=%s tx=%v v=%d acc=%d cmt=%v sc=%v}",
-			seq, inst.digest, inst.parent, inst.tx != nil, inst.view,
+		s += fmt.Sprintf(" inst[%d]{d=%s p=%s txs=%d v=%d acc=%d cmt=%v sc=%v}",
+			seq, inst.digest, inst.parent, len(inst.txs), inst.view,
 			len(inst.accepted), inst.committed, inst.sentCmt)
 	}
 	return s

@@ -73,10 +73,10 @@ func (h *harness) tick(d time.Duration) {
 	h.pump()
 }
 
-func (h *harness) propose(tx *types.Transaction) {
+func (h *harness) propose(txs ...*types.Transaction) {
 	for _, e := range h.engines {
 		if e.IsPrimary() {
-			outs, _ := e.Propose(tx, h.now)
+			outs, _ := e.Propose(txs, h.now)
 			h.sendAll(outs)
 			h.pump()
 			return
@@ -84,6 +84,9 @@ func (h *harness) propose(tx *types.Transaction) {
 	}
 	h.t.Fatal("no primary")
 }
+
+// batch wraps transactions as a proposal batch.
+func batch(txs ...*types.Transaction) []*types.Transaction { return txs }
 
 func tx(seq uint64) *types.Transaction {
 	return &types.Transaction{
@@ -105,7 +108,7 @@ func TestNormalCaseCommit(t *testing.T) {
 		if decs[0].Seq != 1 || decs[1].Seq != 2 {
 			t.Fatalf("node %s decided out of order: %v", id, decs)
 		}
-		if decs[0].Block.Tx.ID.Seq != 1 {
+		if decs[0].Block.Txs[0].ID.Seq != 1 {
 			t.Fatalf("node %s decided wrong tx first", id)
 		}
 	}
@@ -121,6 +124,27 @@ func TestNormalCaseCommit(t *testing.T) {
 	}
 }
 
+// TestBatchedCommit: a multi-transaction batch commits through one Paxos
+// instance as one block, in proposal order, at every node.
+func TestBatchedCommit(t *testing.T) {
+	h := newHarness(t, 1)
+	h.propose(tx(1), tx(2), tx(3))
+	for id, decs := range h.decided {
+		if len(decs) != 1 {
+			t.Fatalf("node %s decided %d instances, want 1", id, len(decs))
+		}
+		b := decs[0].Block
+		if len(b.Txs) != 3 {
+			t.Fatalf("node %s block carries %d txs, want 3", id, len(b.Txs))
+		}
+		for i, bt := range b.Txs {
+			if bt.ID.Seq != uint64(i+1) {
+				t.Fatalf("node %s batch order broken at %d", id, i)
+			}
+		}
+	}
+}
+
 func TestPipelinedProposals(t *testing.T) {
 	h := newHarness(t, 1)
 	// Queue three proposals before delivering anything.
@@ -131,7 +155,7 @@ func TestPipelinedProposals(t *testing.T) {
 		}
 	}
 	for i := uint64(1); i <= 3; i++ {
-		outs, seq := primary.Propose(tx(i), h.now)
+		outs, seq := primary.Propose(batch(tx(i)), h.now)
 		if seq != i {
 			t.Fatalf("assigned seq %d, want %d", seq, i)
 		}
@@ -167,7 +191,7 @@ func TestViewChangeOnPrimaryCrash(t *testing.T) {
 	// Crash the primary, then deliver a proposal that cannot commit: a
 	// backup accepts but never sees the commit, its timer fires.
 	h.drop = func(to types.NodeID, env *types.Envelope) bool { return to == old }
-	outs, _ := h.engines[old].Propose(tx(2), h.now)
+	outs, _ := h.engines[old].Propose(batch(tx(2)), h.now)
 	h.sendAll(outs)
 	h.pump()
 	// Fire timers past the timeout: backups suspect and elect view 1.
@@ -186,7 +210,7 @@ func TestViewChangeOnPrimaryCrash(t *testing.T) {
 		t.Fatal("rotation returned the crashed primary")
 	}
 	// The new primary can commit fresh transactions.
-	outs, _ = h.engines[newPrimary].Propose(tx(3), h.now)
+	outs, _ = h.engines[newPrimary].Propose(batch(tx(3)), h.now)
 	h.sendAll(outs)
 	h.pump()
 	committed := 0
@@ -195,7 +219,7 @@ func TestViewChangeOnPrimaryCrash(t *testing.T) {
 			continue
 		}
 		for _, d := range decs {
-			if d.Block.Tx.ID.Seq == 3 {
+			if d.Block.Txs[0].ID.Seq == 3 {
 				committed++
 			}
 		}
@@ -227,8 +251,8 @@ func TestSyncChainHeadResetsPipeline(t *testing.T) {
 	}
 	h.propose(tx(1))
 	// Primary pipelines seq 2 and 3; they never commit.
-	primary.Propose(tx(2), h.now)
-	primary.Propose(tx(3), h.now)
+	primary.Propose(batch(tx(2)), h.now)
+	primary.Propose(batch(tx(3)), h.now)
 	// An external (cross-shard) block takes seq 2.
 	external := types.HashBytes([]byte("cross-block"))
 	_, orphans := primary.SyncChainHead(2, external, h.now)
@@ -240,7 +264,7 @@ func TestSyncChainHeadResetsPipeline(t *testing.T) {
 		t.Fatalf("pipeline not reset: seq=%d", seq)
 	}
 	// The next proposal chains to the external block at seq 3.
-	_, seq = primary.Propose(tx(4), h.now)
+	_, seq = primary.Propose(batch(tx(4)), h.now)
 	if seq != 3 {
 		t.Fatalf("next proposal at seq %d, want 3", seq)
 	}
@@ -251,9 +275,9 @@ func TestStaleProposalRejected(t *testing.T) {
 	backup := h.topo.Members(0)[1]
 	// A proposal whose parent does not extend the backup's chain.
 	m := &types.ConsensusMsg{
-		View: 0, Seq: 1, Digest: tx(9).Digest(), Cluster: 0,
+		View: 0, Seq: 1, Digest: types.BatchDigest(batch(tx(9))), Cluster: 0,
 		PrevHashes: []types.Hash{types.HashBytes([]byte("bogus"))},
-		Tx:         tx(9),
+		Txs:        batch(tx(9)),
 	}
 	outs, decs := h.engines[backup].Step(&types.Envelope{
 		Type: types.MsgPaxosAccept, From: h.topo.Primary(0, 0), Payload: m.Encode(nil),
@@ -267,9 +291,9 @@ func TestNonPrimaryProposalIgnored(t *testing.T) {
 	h := newHarness(t, 1)
 	backup := h.topo.Members(0)[2]
 	m := &types.ConsensusMsg{
-		View: 0, Seq: 1, Digest: tx(9).Digest(), Cluster: 0,
+		View: 0, Seq: 1, Digest: types.BatchDigest(batch(tx(9))), Cluster: 0,
 		PrevHashes: []types.Hash{ledger.GenesisHash()},
-		Tx:         tx(9),
+		Txs:        batch(tx(9)),
 	}
 	// Sent "from" a backup instead of the primary.
 	outs, _ := h.engines[h.topo.Members(0)[1]].Step(&types.Envelope{
@@ -288,8 +312,8 @@ func TestOutOfOrderDeliveryParksAndRecovers(t *testing.T) {
 			primary = e
 		}
 	}
-	outs1, _ := primary.Propose(tx(1), h.now)
-	outs2, _ := primary.Propose(tx(2), h.now)
+	outs1, _ := primary.Propose(batch(tx(1)), h.now)
+	outs2, _ := primary.Propose(batch(tx(2)), h.now)
 	// Deliver proposal 2 before proposal 1 at one backup.
 	backup := h.topo.Members(0)[1]
 	for _, o := range append(outs2, outs1...) {
@@ -316,12 +340,12 @@ func TestCommitBeforeAcceptBuffered(t *testing.T) {
 			primary = e
 		}
 	}
-	outs, _ := primary.Propose(tx(1), h.now)
+	outs, _ := primary.Propose(batch(tx(1)), h.now)
 	backup := h.topo.Members(0)[1]
 
 	// Hand-build the commit the primary would send and deliver it BEFORE
 	// the accept at one backup (network reordering).
-	cm := &types.ConsensusMsg{View: 0, Seq: 1, Digest: tx(1).Digest(), Cluster: 0}
+	cm := &types.ConsensusMsg{View: 0, Seq: 1, Digest: types.BatchDigest(batch(tx(1))), Cluster: 0}
 	_, decs := h.engines[backup].Step(&types.Envelope{
 		Type: types.MsgPaxosCommit, From: primary.self, Payload: cm.Encode(nil),
 	}, h.now)
@@ -337,7 +361,7 @@ func TestCommitBeforeAcceptBuffered(t *testing.T) {
 			_, decs = h.engines[backup].Step(o.Env, h.now)
 		}
 	}
-	if len(decs) != 1 || decs[0].Block.Tx.ID.Seq != 1 {
+	if len(decs) != 1 || decs[0].Block.Txs[0].ID.Seq != 1 {
 		t.Fatalf("reordered commit+accept did not decide: %v", decs)
 	}
 }
@@ -350,11 +374,11 @@ func TestDuplicateAcceptedNotDoubleCounted(t *testing.T) {
 			primary = e
 		}
 	}
-	outs, _ := primary.Propose(tx(1), h.now)
+	outs, _ := primary.Propose(batch(tx(1)), h.now)
 	_ = outs
 	// One backup's accepted message delivered three times must not commit
 	// (primary + 1 distinct backup = 2 < 3).
-	m := &types.ConsensusMsg{View: 0, Seq: 1, Digest: tx(1).Digest(), Cluster: 0}
+	m := &types.ConsensusMsg{View: 0, Seq: 1, Digest: types.BatchDigest(batch(tx(1))), Cluster: 0}
 	env := &types.Envelope{Type: types.MsgPaxosAccepted, From: h.topo.Members(0)[1], Payload: m.Encode(nil)}
 	var sent []consensus.Outbound
 	for i := 0; i < 3; i++ {

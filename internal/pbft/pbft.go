@@ -47,7 +47,7 @@ type Engine struct {
 type instance struct {
 	digest     types.Hash
 	parent     types.Hash
-	tx         *types.Transaction
+	txs        []*types.Transaction
 	view       uint64
 	own        bool // proposed by this node (as primary)
 	prePrep    bool
@@ -124,8 +124,8 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 	var orphans []*types.Transaction
 	for s, inst := range e.instances {
 		if !inst.committed || s > seq {
-			if inst.own && inst.tx != nil && !inst.committed {
-				orphans = append(orphans, inst.tx)
+			if inst.own && !inst.committed {
+				orphans = append(orphans, inst.txs...)
 			}
 			delete(e.instances, s)
 		}
@@ -161,20 +161,22 @@ func (e *Engine) authentic(env *types.Envelope) bool {
 	return e.verify.Verify(env.From, env.Payload, env.Sig)
 }
 
-// Propose starts consensus on tx; primary only.
-func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
-	if !e.IsPrimary() || e.viewChanging {
+// Propose starts consensus on a batch of transactions; primary only. The
+// whole batch occupies one consensus instance and one block, and the digest
+// the cluster votes on covers every transaction in the batch.
+func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64) {
+	if !e.IsPrimary() || e.viewChanging || len(txs) == 0 {
 		return nil, 0
 	}
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
-	block := &types.Block{Tx: tx, Parents: []types.Hash{parent}}
-	digest := tx.Digest()
+	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
+	digest := types.BatchDigest(txs)
 
 	inst := e.getInstance(seq)
 	inst.digest = digest
 	inst.parent = parent
-	inst.tx = tx
+	inst.txs = txs
 	inst.view = e.view
 	inst.own = true
 	inst.prePrep = true
@@ -184,7 +186,7 @@ func (e *Engine) Propose(tx *types.Transaction, now time.Time) ([]consensus.Outb
 
 	msg := &types.ConsensusMsg{
 		View: e.view, Seq: seq, Digest: digest, Cluster: e.cluster,
-		PrevHashes: []types.Hash{parent}, Tx: tx,
+		PrevHashes: []types.Hash{parent}, Txs: txs,
 	}
 	payload := msg.Encode(nil)
 	out := []consensus.Outbound{{
@@ -231,14 +233,14 @@ func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound,
 
 func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	m, err := types.DecodeConsensusMsg(env.Payload)
-	if err != nil || m.Tx == nil || len(m.PrevHashes) != 1 {
+	if err != nil || len(m.Txs) == 0 || len(m.PrevHashes) != 1 {
 		return nil, nil
 	}
 	if env.From != e.topo.Primary(e.cluster, m.View) || m.View != e.view {
 		return nil, nil
 	}
-	if m.Digest != m.Tx.Digest() {
-		return nil, nil // malicious primary: digest mismatch
+	if m.Digest != types.BatchDigest(m.Txs) {
+		return nil, nil // malicious primary: digest mismatch (any tampered tx in the batch)
 	}
 	// Proposals must extend our chain in order (see paxos.Engine.onAccept):
 	// park ahead-of-chain pre-prepares, drop stale ones.
@@ -260,12 +262,12 @@ func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.O
 	inst.prePrep = true
 	inst.digest = m.Digest
 	inst.parent = m.PrevHashes[0]
-	inst.tx = m.Tx
+	inst.txs = m.Txs
 	inst.view = m.View
 	inst.deadline = now.Add(e.timeout)
 	if m.Seq > e.proposedSeq {
 		e.proposedSeq = m.Seq
-		block := &types.Block{Tx: m.Tx, Parents: []types.Hash{inst.parent}}
+		block := &types.Block{Txs: m.Txs, Parents: []types.Hash{inst.parent}}
 		e.proposedHead = block.Hash()
 	}
 	out := e.votePrepare(inst, m.Seq)
@@ -336,10 +338,10 @@ func (e *Engine) advance() []consensus.Decision {
 	for {
 		seq := e.committedSeq + 1
 		inst, ok := e.instances[seq]
-		if !ok || !inst.committed || inst.tx == nil || e.delivered[seq] {
+		if !ok || !inst.committed || len(inst.txs) == 0 || e.delivered[seq] {
 			return out
 		}
-		block := &types.Block{Tx: inst.tx, Parents: []types.Hash{inst.parent}}
+		block := &types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}
 		e.delivered[seq] = true
 		e.committedSeq = seq
 		e.committedHead = block.Hash()
@@ -371,7 +373,7 @@ func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
 	}
 	for seq, inst := range e.instances {
 		// Report prepared-but-uncommitted instances for value recovery.
-		if seq > e.committedSeq && inst.tx != nil && !inst.committed &&
+		if seq > e.committedSeq && len(inst.txs) > 0 && !inst.committed &&
 			countMatching(inst.prepares, inst.digest) >= 2*e.topo.F(e.cluster)+1 &&
 			seq > vc.PreparedSeq {
 			vc.PreparedSeq = seq
@@ -431,8 +433,8 @@ func (e *Engine) onViewChange(env *types.Envelope, now time.Time) ([]consensus.O
 		}
 	}
 	if best != nil {
-		if inst, ok := e.instances[best.PreparedSeq]; ok && inst.tx != nil {
-			o, _ := e.Propose(inst.tx, now)
+		if inst, ok := e.instances[best.PreparedSeq]; ok && len(inst.txs) > 0 {
+			o, _ := e.Propose(inst.txs, now)
 			out = append(out, o...)
 		}
 	}

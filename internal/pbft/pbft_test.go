@@ -97,11 +97,14 @@ func (h *harness) primary() *Engine {
 	return nil
 }
 
-func (h *harness) propose(tx *types.Transaction) {
-	outs, _ := h.primary().Propose(tx, h.now)
+func (h *harness) propose(txs ...*types.Transaction) {
+	outs, _ := h.primary().Propose(txs, h.now)
 	h.sendAll(outs)
 	h.pump()
 }
+
+// batch wraps transactions as a proposal batch.
+func batch(txs ...*types.Transaction) []*types.Transaction { return txs }
 
 func tx(seq uint64) *types.Transaction {
 	return &types.Transaction{
@@ -120,7 +123,7 @@ func TestNormalCaseCommit(t *testing.T) {
 		if len(decs) != 2 {
 			t.Fatalf("node %s decided %d, want 2", id, len(decs))
 		}
-		if decs[0].Block.Tx.ID.Seq != 1 || decs[1].Block.Tx.ID.Seq != 2 {
+		if decs[0].Block.Txs[0].ID.Seq != 1 || decs[1].Block.Txs[0].ID.Seq != 2 {
 			t.Fatalf("node %s decided out of order", id)
 		}
 	}
@@ -145,8 +148,8 @@ func TestForgedMessageRejected(t *testing.T) {
 	h := newHarness(t, 1)
 	backup := h.topo.Members(0)[1]
 	m := &types.ConsensusMsg{
-		View: 0, Seq: 1, Digest: tx(1).Digest(), Cluster: 0,
-		PrevHashes: []types.Hash{ledger.GenesisHash()}, Tx: tx(1),
+		View: 0, Seq: 1, Digest: types.BatchDigest(batch(tx(1))), Cluster: 0,
+		PrevHashes: []types.Hash{ledger.GenesisHash()}, Txs: batch(tx(1)),
 	}
 	payload := m.Encode(nil)
 	// Claim to be the primary but sign nothing valid.
@@ -165,7 +168,7 @@ func TestDigestMismatchRejected(t *testing.T) {
 	signer, _ := h.keyring.SignerFor(primaryID)
 	m := &types.ConsensusMsg{
 		View: 0, Seq: 1, Digest: types.HashBytes([]byte("lie")), Cluster: 0,
-		PrevHashes: []types.Hash{ledger.GenesisHash()}, Tx: tx(1),
+		PrevHashes: []types.Hash{ledger.GenesisHash()}, Txs: batch(tx(1)),
 	}
 	payload := m.Encode(nil)
 	backup := h.topo.Members(0)[1]
@@ -186,8 +189,8 @@ func TestEquivocatingPrimaryCannotForkCluster(t *testing.T) {
 
 	send := func(to types.NodeID, txx *types.Transaction) {
 		m := &types.ConsensusMsg{
-			View: 0, Seq: 1, Digest: txx.Digest(), Cluster: 0,
-			PrevHashes: []types.Hash{ledger.GenesisHash()}, Tx: txx,
+			View: 0, Seq: 1, Digest: types.BatchDigest(batch(txx)), Cluster: 0,
+			PrevHashes: []types.Hash{ledger.GenesisHash()}, Txs: batch(txx),
 		}
 		payload := m.Encode(nil)
 		outs, decs := h.engines[to].Step(&types.Envelope{
@@ -214,6 +217,67 @@ func TestEquivocatingPrimaryCannotForkCluster(t *testing.T) {
 	}
 	if len(committed) > 1 {
 		t.Fatal("equivocation forked the cluster")
+	}
+}
+
+// TestBatchedNormalCaseCommit: a multi-transaction batch commits through one
+// PBFT instance, delivering one block with every transaction in proposal
+// order at every node.
+func TestBatchedNormalCaseCommit(t *testing.T) {
+	h := newHarness(t, 1)
+	h.propose(tx(1), tx(2), tx(3), tx(4))
+	for id, decs := range h.decided {
+		if len(decs) != 1 {
+			t.Fatalf("node %s decided %d instances, want 1 (one batch)", id, len(decs))
+		}
+		b := decs[0].Block
+		if len(b.Txs) != 4 {
+			t.Fatalf("node %s block carries %d txs, want 4", id, len(b.Txs))
+		}
+		for i, bt := range b.Txs {
+			if bt.ID.Seq != uint64(i+1) {
+				t.Fatalf("node %s batch order broken at %d", id, i)
+			}
+		}
+	}
+}
+
+// TestTamperedBatchTxRejected: a Byzantine primary that alters one
+// transaction inside a batch (keeping the advertised digest) is caught by
+// the batch-digest check — the pre-prepare is dropped, exactly like the
+// single-transaction digest-mismatch case.
+func TestTamperedBatchTxRejected(t *testing.T) {
+	h := newHarness(t, 1)
+	primaryID := h.topo.Primary(0, 0)
+	signer, _ := h.keyring.SignerFor(primaryID)
+
+	honest := batch(tx(1), tx(2), tx(3))
+	digest := types.BatchDigest(honest)
+	tampered := batch(tx(1), tx(2), tx(3))
+	tampered[1].Ops[0].Amount += 1000 // inflate the middle transfer
+
+	m := &types.ConsensusMsg{
+		View: 0, Seq: 1, Digest: digest, Cluster: 0,
+		PrevHashes: []types.Hash{ledger.GenesisHash()}, Txs: tampered,
+	}
+	payload := m.Encode(nil)
+	backup := h.topo.Members(0)[1]
+	outs, decs := h.engines[backup].Step(&types.Envelope{
+		Type: types.MsgPrePrepare, From: primaryID,
+		Payload: payload, Sig: signer.Sign(payload),
+	}, h.now)
+	if len(outs) != 0 || len(decs) != 0 {
+		t.Fatal("pre-prepare with a tampered batch transaction was processed")
+	}
+	// The honest batch under the same digest is accepted.
+	m.Txs = honest
+	payload = m.Encode(nil)
+	outs, _ = h.engines[backup].Step(&types.Envelope{
+		Type: types.MsgPrePrepare, From: primaryID,
+		Payload: payload, Sig: signer.Sign(payload),
+	}, h.now)
+	if len(outs) == 0 {
+		t.Fatal("honest batch with matching digest was not answered")
 	}
 }
 
@@ -247,7 +311,7 @@ func TestViewChangeAfterPrimaryFailure(t *testing.T) {
 	}
 	// Progress under the new primary.
 	newPrimary := h.engines[h.topo.Primary(0, h.engines[h.topo.Members(0)[1]].View())]
-	outs, _ := newPrimary.Propose(tx(3), h.now)
+	outs, _ := newPrimary.Propose(batch(tx(3)), h.now)
 	h.sendAll(outs)
 	h.pump()
 	n := 0
@@ -256,7 +320,7 @@ func TestViewChangeAfterPrimaryFailure(t *testing.T) {
 			continue
 		}
 		for _, d := range decs {
-			if d.Block.Tx.ID.Seq == 3 {
+			if d.Block.Txs[0].ID.Seq == 3 {
 				n++
 			}
 		}
@@ -270,7 +334,7 @@ func TestSyncChainHeadOrphans(t *testing.T) {
 	h := newHarness(t, 1)
 	p := h.primary()
 	h.propose(tx(1))
-	p.Propose(tx(2), h.now)
+	p.Propose(batch(tx(2)), h.now)
 	external := types.HashBytes([]byte("x"))
 	_, orphans := p.SyncChainHead(2, external, h.now)
 	if len(orphans) != 1 || orphans[0].ID.Seq != 2 {

@@ -21,7 +21,7 @@ import (
 // Engine is the ordering protocol run by the active group. The Paxos and
 // PBFT engines satisfy it, as does the two-phase fastquorum engine.
 type Engine interface {
-	Propose(tx *types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
+	Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
 	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
 	Tick(now time.Time) []consensus.Outbound
 	View() uint64
@@ -277,13 +277,15 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 		outs, decs := n.engine.Step(env, now)
 		n.send(outs)
 		for _, dec := range decs {
-			n.execute(dec.Block.Tx)
-			// Actives stream execution results to the passive replicas;
-			// only the primary sends, batched to amortize the cost.
-			if n.engine.IsPrimary() && len(n.passives) > 0 {
-				n.updateQueue = append(n.updateQueue, dec.Block.Tx)
-				if len(n.updateQueue) >= 32 {
-					n.flushUpdates()
+			for _, tx := range dec.Block.Txs {
+				n.execute(tx)
+				// Actives stream execution results to the passive replicas;
+				// only the primary sends, batched to amortize the cost.
+				if n.engine.IsPrimary() && len(n.passives) > 0 {
+					n.updateQueue = append(n.updateQueue, tx)
+					if len(n.updateQueue) >= 32 {
+						n.flushUpdates()
+					}
 				}
 			}
 		}
@@ -327,7 +329,7 @@ func (n *Node) onRequest(env *types.Envelope, now time.Time) {
 		return
 	}
 	n.inFlight[tx.ID] = now
-	outs, _ := n.engine.Propose(tx, now)
+	outs, _ := n.engine.Propose([]*types.Transaction{tx}, now)
 	n.send(outs)
 }
 

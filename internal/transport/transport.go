@@ -40,8 +40,10 @@ type Config struct {
 	// Seed makes fault injection reproducible.
 	Seed int64
 	// InboxSize is the buffered capacity of each node's inbox. Messages
-	// beyond it are still delivered (a goroutine blocks until space frees)
-	// so the network never silently loses traffic it decided to deliver.
+	// beyond it spill into a bounded per-node overflow queue drained in
+	// arrival order, so saturation never silently loses or reorders the
+	// traffic the network decided to deliver; only a node whose overflow
+	// also fills (overflowFactor×InboxSize) starts dropping.
 	InboxSize int
 	// ProcessingTime models per-message service cost at each replica (CPU
 	// serialization, marshalling, syscalls). Every message a replica sends
@@ -106,8 +108,21 @@ type Network struct {
 	qDone   chan struct{}
 	qClosed bool
 
+	// Per-node overflow queues for messages that found the inbox full; one
+	// drainer goroutine per backed-up node feeds them into the inbox in
+	// order (see Network.deliver).
+	ovMu     sync.Mutex
+	overflow map[types.NodeID][]*types.Envelope
+	ovBusy   map[types.NodeID]bool
+
 	stats Stats
 }
+
+// overflowFactor sizes the per-node overflow queue relative to InboxSize;
+// beyond InboxSize×overflowFactor backed-up messages the node is considered
+// unrecoverable at current load and further traffic to it is dropped
+// (counted in Stats.Dropped) rather than buffered without bound.
+const overflowFactor = 4
 
 // New creates a network with the given behaviour and topology.
 func New(cfg Config, locate Locator) *Network {
@@ -124,6 +139,8 @@ func New(cfg Config, locate Locator) *Network {
 		busyUntil: make(map[types.NodeID]time.Time),
 		qWake:     make(chan struct{}, 1),
 		qDone:     make(chan struct{}),
+		overflow:  make(map[types.NodeID][]*types.Envelope),
+		ovBusy:    make(map[types.NodeID]bool),
 	}
 	go n.dispatcher()
 	return n
@@ -361,17 +378,67 @@ func (n *Network) deliver(to types.NodeID, env *types.Envelope) {
 		n.stats.Dropped.Add(1)
 		return
 	}
+	n.ovMu.Lock()
+	if n.ovBusy[to] || len(n.overflow[to]) > 0 {
+		// The node is backed up (queued messages, or the drainer still has
+		// one in flight): append behind them so delivery order is
+		// preserved while the drainer catches up. Checking ovBusy matters —
+		// the drainer pops a message before sending it, so an empty queue
+		// alone does not mean the backlog has fully landed.
+		n.spillLocked(to, ch, env)
+		n.ovMu.Unlock()
+		return
+	}
+	n.ovMu.Unlock()
 	select {
 	case ch <- env:
 		n.stats.Delivered.Add(1)
 	default:
-		// Inbox full: deliver from a goroutine so the timer callback never
-		// blocks. Ordering may shift, which the asynchrony model permits.
-		go func() {
-			defer func() { recover() }() // tolerate teardown races on close
-			ch <- env
+		// Inbox full: spill into the bounded per-node overflow queue; a
+		// single drainer goroutine per node feeds it into the inbox in
+		// order, so the timer callback never blocks and saturation cannot
+		// spawn one goroutine per overflowing message.
+		n.ovMu.Lock()
+		n.spillLocked(to, ch, env)
+		n.ovMu.Unlock()
+	}
+}
+
+// spillLocked enqueues env on to's overflow queue (dropping when the bound
+// is hit) and ensures a drainer goroutine is running. Caller holds ovMu.
+func (n *Network) spillLocked(to types.NodeID, ch chan *types.Envelope, env *types.Envelope) {
+	if len(n.overflow[to]) >= n.cfg.InboxSize*overflowFactor {
+		n.stats.Dropped.Add(1)
+		return
+	}
+	n.overflow[to] = append(n.overflow[to], env)
+	if !n.ovBusy[to] {
+		n.ovBusy[to] = true
+		go n.drainOverflow(to, ch)
+	}
+}
+
+// drainOverflow pushes to's backed-up messages into its inbox in order,
+// exiting when the queue empties or the network shuts down.
+func (n *Network) drainOverflow(to types.NodeID, ch chan *types.Envelope) {
+	for {
+		n.ovMu.Lock()
+		q := n.overflow[to]
+		if len(q) == 0 {
+			n.ovBusy[to] = false
+			delete(n.overflow, to)
+			n.ovMu.Unlock()
+			return
+		}
+		env := q[0]
+		n.overflow[to] = q[1:]
+		n.ovMu.Unlock()
+		select {
+		case ch <- env:
 			n.stats.Delivered.Add(1)
-		}()
+		case <-n.qDone:
+			return
+		}
 	}
 }
 

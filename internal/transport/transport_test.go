@@ -179,3 +179,59 @@ func TestCloseDropsTraffic(t *testing.T) {
 	case <-time.After(20 * time.Millisecond):
 	}
 }
+
+// TestOverflowDrainsInOrder: messages beyond the inbox capacity spill into
+// the bounded per-node overflow queue and are delivered in arrival order
+// once the receiver starts consuming — saturation must not reorder or
+// silently lose traffic the network decided to deliver.
+func TestOverflowDrainsInOrder(t *testing.T) {
+	const inbox = 8
+	n, a, b, inboxB := twoNodes(Config{InboxSize: inbox})
+	defer n.Close()
+
+	const total = 3 * inbox // well past the channel capacity
+	for i := 0; i < total; i++ {
+		n.Send(b, &types.Envelope{From: a, Type: types.MsgRequest, Payload: []byte{byte(i)}})
+	}
+	deadline := time.After(2 * time.Second)
+	for i := 0; i < total; i++ {
+		select {
+		case env := <-inboxB:
+			if int(env.Payload[0]) != i {
+				t.Fatalf("message %d delivered at position %d", env.Payload[0], i)
+			}
+		case <-deadline:
+			t.Fatalf("only %d of %d messages delivered", i, total)
+		}
+	}
+	if got := n.Stats().Delivered.Load(); got != total {
+		t.Fatalf("delivered %d, want %d", got, total)
+	}
+}
+
+// TestOverflowBounded: a receiver that never drains drops traffic only past
+// inbox + overflowFactor×inbox buffered messages, instead of spawning one
+// goroutine per overflowing message.
+func TestOverflowBounded(t *testing.T) {
+	const inbox = 4
+	n, a, b, inboxB := twoNodes(Config{InboxSize: inbox})
+	defer n.Close()
+	_ = inboxB // registered but never consumed
+
+	const total = 10 * inbox
+	for i := 0; i < total; i++ {
+		n.Send(b, &types.Envelope{From: a, Type: types.MsgRequest})
+	}
+	// Allow the dispatcher and drainer to settle.
+	time.Sleep(50 * time.Millisecond)
+	// Buffered at most: inbox (channel) + 1 (drainer in flight) +
+	// overflowFactor×inbox (queue); the rest must be counted dropped.
+	maxBuffered := int64(inbox + 1 + overflowFactor*inbox)
+	dropped := n.Stats().Dropped.Load()
+	if dropped < total-maxBuffered {
+		t.Fatalf("dropped %d, want ≥ %d (overflow must be bounded)", dropped, total-maxBuffered)
+	}
+	if delivered := n.Stats().Delivered.Load(); delivered > int64(inbox) {
+		t.Fatalf("delivered %d into a never-consumed inbox of %d", delivered, inbox)
+	}
+}

@@ -2,8 +2,9 @@
 // subsystem: node/cluster identifiers, transactions, blocks, protocol
 // messages, and a deterministic binary codec for all of them.
 //
-// The paper (§2.3) uses single-transaction blocks, so Block wraps exactly one
-// Transaction plus the hash links that place it in the DAG ledger.
+// The paper (§2.3) uses single-transaction blocks; Block generalizes that to
+// a batch of transactions plus the hash links that place it in the DAG
+// ledger, with the single-transaction block as the batch-of-1 special case.
 package types
 
 import (

@@ -148,20 +148,23 @@ func DecodeReply(b []byte) (*Reply, error) {
 // Field mapping to the paper:
 //   - View: current view (primary epoch) of the sending cluster.
 //   - Seq: per-cluster sequence number (the paper chains by hash; we carry
-//     the hash in PrevHashes and a sequence for quorum bookkeeping).
-//   - Digest: D(m), the transaction digest the vote refers to.
+//     the hash in PrevHashes and a sequence for quorum bookkeeping). The
+//     flattened cross-shard protocol reuses this field as the per-transaction
+//     validity bitmap of the carried batch (bit i = batch transaction i
+//     passed local validation), which caps cross-shard batches at 64.
+//   - Digest: D(m), the batch digest (types.BatchDigest) the vote refers to.
 //   - Cluster: the cluster the *sender* speaks for.
 //   - PrevHashes: h_i, h_j, h_k … — one prior-block hash per involved
-//     cluster. Slot order matches Involved order in the carried transaction;
+//     cluster. Slot order matches Involved order in the carried batch;
 //     for phase-1 messages only the sender's slot is filled.
-//   - Tx: full transaction; carried only on proposal-phase messages.
+//   - Txs: full transaction batch; carried only on proposal-phase messages.
 type ConsensusMsg struct {
 	View       uint64
 	Seq        uint64
 	Digest     Hash
 	Cluster    ClusterID
 	PrevHashes []Hash
-	Tx         *Transaction
+	Txs        []*Transaction
 }
 
 // Encode appends the canonical encoding of m.
@@ -174,9 +177,9 @@ func (m *ConsensusMsg) Encode(dst []byte) []byte {
 	for _, h := range m.PrevHashes {
 		dst = append(dst, h[:]...)
 	}
-	if m.Tx != nil {
+	if len(m.Txs) > 0 {
 		dst = append(dst, 1)
-		dst = m.Tx.Encode(dst)
+		dst = EncodeTxBatch(dst, m.Txs)
 	} else {
 		dst = append(dst, 0)
 	}
@@ -212,11 +215,11 @@ func DecodeConsensusMsg(b []byte) (*ConsensusMsg, error) {
 	hasTx := b[off]
 	off++
 	if hasTx == 1 {
-		tx, _, err := DecodeTransaction(b[off:])
+		txs, _, err := decodeTxBatch(b[off:])
 		if err != nil {
 			return nil, err
 		}
-		m.Tx = tx
+		m.Txs = txs
 	}
 	return m, nil
 }

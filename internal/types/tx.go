@@ -52,9 +52,10 @@ const (
 	TxAHLDecide                // reference committee: record the decision
 )
 
-// Transaction is the unit of ordering and execution. Per §2.3 each block
-// carries exactly one transaction. Involved is the normalized set of clusters
-// whose shards the transaction touches; len(Involved)==1 means intra-shard.
+// Transaction is the unit of execution; blocks batch one or more of them as
+// the unit of ordering (the paper's §2.3 single-transaction block is the
+// batch-of-1 case). Involved is the normalized set of clusters whose shards
+// the transaction touches; len(Involved)==1 means intra-shard.
 type Transaction struct {
 	// ID is unique per client request: high bits client, low bits sequence.
 	ID TxID
@@ -160,18 +161,46 @@ func DecodeTransaction(b []byte) (*Transaction, int, error) {
 	return t, off, nil
 }
 
-// Block is one vertex of the DAG ledger: a single transaction plus one
-// predecessor hash per involved cluster (§2.3). For an intra-shard block
-// Parents has exactly one entry; for a cross-shard block it has one entry per
-// involved cluster, in the same order as Tx.Involved.
+// Block is one vertex of the DAG ledger: a batch of transactions plus one
+// predecessor hash per involved cluster. The paper (§2.3) uses
+// single-transaction blocks; this implementation generalizes the block to a
+// batch so one consensus instance amortizes its quorum message cost over many
+// transactions (the paper's block is the batch-of-1 special case). Every
+// transaction in a batch shares the same involved-cluster set, so the
+// parent-slot layout of §2.3 is unchanged: for an intra-shard block Parents
+// has exactly one entry; for a cross-shard block it has one entry per
+// involved cluster, in the same order as the shared Involved set.
 type Block struct {
-	Tx      *Transaction
+	Txs     []*Transaction
 	Parents []Hash
+}
+
+// Involved returns the involved-cluster set shared by every transaction in
+// the block (empty for an empty block, e.g. genesis placeholders).
+func (bl *Block) Involved() ClusterSet {
+	if len(bl.Txs) == 0 {
+		return nil
+	}
+	return bl.Txs[0].Involved
+}
+
+// IsCrossShard reports whether the block's batch spans more than one cluster.
+func (bl *Block) IsCrossShard() bool { return len(bl.Involved()) > 1 }
+
+// BatchDigest returns D(m) for the block's batch — the value consensus votes
+// refer to. Tampering with any transaction in the batch changes the digest.
+func (bl *Block) BatchDigest() Hash { return BatchDigest(bl.Txs) }
+
+// BatchDigest returns the SHA-256 digest of the canonical encoding of a
+// transaction batch. Two correct nodes always compute the same digest for
+// the same ordered batch; any bit of any transaction changes it.
+func BatchDigest(txs []*Transaction) Hash {
+	return HashBytes(EncodeTxBatch(nil, txs))
 }
 
 // Encode appends the canonical encoding of the block.
 func (bl *Block) Encode(dst []byte) []byte {
-	dst = bl.Tx.Encode(dst)
+	dst = EncodeTxBatch(dst, bl.Txs)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(bl.Parents)))
 	for _, p := range bl.Parents {
 		dst = append(dst, p[:]...)
@@ -181,7 +210,7 @@ func (bl *Block) Encode(dst []byte) []byte {
 
 // DecodeBlock parses a block from b, returning the block and bytes consumed.
 func DecodeBlock(b []byte) (*Block, int, error) {
-	tx, off, err := DecodeTransaction(b)
+	txs, off, err := decodeTxBatch(b)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -193,7 +222,7 @@ func DecodeBlock(b []byte) (*Block, int, error) {
 	if len(b) < off+n*32 {
 		return nil, 0, fmt.Errorf("types: short block parents section")
 	}
-	bl := &Block{Tx: tx, Parents: make([]Hash, n)}
+	bl := &Block{Txs: txs, Parents: make([]Hash, n)}
 	for i := 0; i < n; i++ {
 		copy(bl.Parents[i][:], b[off:off+32])
 		off += 32
@@ -219,8 +248,14 @@ func EncodeTxBatch(dst []byte, txs []*Transaction) []byte {
 
 // DecodeTxBatch parses a batch written by EncodeTxBatch.
 func DecodeTxBatch(b []byte) ([]*Transaction, error) {
+	txs, _, err := decodeTxBatch(b)
+	return txs, err
+}
+
+// decodeTxBatch parses a batch and reports the bytes consumed.
+func decodeTxBatch(b []byte) ([]*Transaction, int, error) {
 	if len(b) < 2 {
-		return nil, fmt.Errorf("types: short tx batch")
+		return nil, 0, fmt.Errorf("types: short tx batch")
 	}
 	n := int(binary.LittleEndian.Uint16(b))
 	off := 2
@@ -228,10 +263,10 @@ func DecodeTxBatch(b []byte) ([]*Transaction, error) {
 	for i := 0; i < n; i++ {
 		t, used, err := DecodeTransaction(b[off:])
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		out = append(out, t)
 		off += used
 	}
-	return out, nil
+	return out, off, nil
 }

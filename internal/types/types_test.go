@@ -59,7 +59,7 @@ func TestTransactionDecodeShortInput(t *testing.T) {
 
 func TestBlockRoundTrip(t *testing.T) {
 	bl := &Block{
-		Tx:      sampleTx(),
+		Txs:     []*Transaction{sampleTx()},
 		Parents: []Hash{HashBytes([]byte("a")), HashBytes([]byte("b"))},
 	}
 	enc := bl.Encode(nil)
@@ -78,6 +78,103 @@ func TestBlockRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMultiTxBlockRoundTrip covers the batched-block codec: a block holding
+// several transactions survives Encode∘Decode bit-exactly, and its hash and
+// batch digest are stable across the codec.
+func TestMultiTxBlockRoundTrip(t *testing.T) {
+	txs := make([]*Transaction, 5)
+	for i := range txs {
+		txs[i] = sampleTx()
+		txs[i].ID.Seq = uint64(42 + i)
+		txs[i].Ops[0].Amount = int64(i * 7)
+	}
+	bl := &Block{
+		Txs:     txs,
+		Parents: []Hash{HashBytes([]byte("a")), HashBytes([]byte("b"))},
+	}
+	enc := bl.Encode(nil)
+	dec, n, err := DecodeBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !reflect.DeepEqual(bl, dec) {
+		t.Fatal("multi-tx block round trip mismatch")
+	}
+	if bl.Hash() != dec.Hash() {
+		t.Fatal("multi-tx block hash changed across codec")
+	}
+	if bl.BatchDigest() != dec.BatchDigest() {
+		t.Fatal("batch digest changed across codec")
+	}
+	if !bl.Involved().Equal(txs[0].Involved) {
+		t.Fatalf("Involved = %v, want %v", bl.Involved(), txs[0].Involved)
+	}
+	if !bl.IsCrossShard() {
+		t.Fatal("two-cluster batch not classified cross-shard")
+	}
+}
+
+// TestBatchDigestTamper asserts the batch digest covers every member: any
+// mutated transaction, a reordered batch, or a dropped transaction yields a
+// different digest.
+func TestBatchDigestTamper(t *testing.T) {
+	mk := func() []*Transaction {
+		txs := make([]*Transaction, 3)
+		for i := range txs {
+			txs[i] = sampleTx()
+			txs[i].ID.Seq = uint64(i)
+		}
+		return txs
+	}
+	base := BatchDigest(mk())
+	tampered := mk()
+	tampered[1].Ops[0].Amount++
+	if BatchDigest(tampered) == base {
+		t.Fatal("tampering with a middle transaction kept the digest")
+	}
+	reordered := mk()
+	reordered[0], reordered[2] = reordered[2], reordered[0]
+	if BatchDigest(reordered) == base {
+		t.Fatal("reordering the batch kept the digest")
+	}
+	if BatchDigest(mk()[:2]) == base {
+		t.Fatal("truncating the batch kept the digest")
+	}
+	if BatchDigest(mk()) != base {
+		t.Fatal("equal batches produced different digests")
+	}
+}
+
+// TestMultiTxConsensusMsgRoundTrip covers proposal messages carrying a
+// full batch plus a validity bitmap in Seq.
+func TestMultiTxConsensusMsgRoundTrip(t *testing.T) {
+	txs := []*Transaction{sampleTx(), sampleTx(), sampleTx()}
+	for i, tx := range txs {
+		tx.ID.Seq = uint64(100 + i)
+	}
+	m := &ConsensusMsg{
+		View:       7,
+		Seq:        0b101, // validity bitmap: txs 0 and 2 valid
+		Digest:     BatchDigest(txs),
+		Cluster:    1,
+		PrevHashes: []Hash{HashBytes([]byte("p"))},
+		Txs:        txs,
+	}
+	dec, err := DecodeConsensusMsg(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, dec) {
+		t.Fatal("batched consensus message round trip mismatch")
+	}
+	if dec.Digest != BatchDigest(dec.Txs) {
+		t.Fatal("decoded batch digest mismatch")
+	}
+}
+
 func TestConsensusMsgRoundTrip(t *testing.T) {
 	m := &ConsensusMsg{
 		View:       3,
@@ -85,7 +182,7 @@ func TestConsensusMsgRoundTrip(t *testing.T) {
 		Digest:     HashBytes([]byte("d")),
 		Cluster:    2,
 		PrevHashes: []Hash{HashBytes([]byte("p1")), HashBytes([]byte("p2"))},
-		Tx:         sampleTx(),
+		Txs:        []*Transaction{sampleTx()},
 	}
 	dec, err := DecodeConsensusMsg(m.Encode(nil))
 	if err != nil {
@@ -94,14 +191,14 @@ func TestConsensusMsgRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(m, dec) {
 		t.Fatal("consensus message round trip mismatch")
 	}
-	// Without a transaction.
-	m.Tx = nil
+	// Without a transaction batch.
+	m.Txs = nil
 	dec, err = DecodeConsensusMsg(m.Encode(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.Tx != nil {
-		t.Fatal("expected nil transaction")
+	if dec.Txs != nil {
+		t.Fatal("expected nil transaction batch")
 	}
 }
 
@@ -137,8 +234,8 @@ func TestSyncRoundTrip(t *testing.T) {
 		t.Fatalf("sync request round trip: %v %+v", err, gotReq)
 	}
 	resp := &SyncResponse{From: 12, Blocks: []*Block{
-		{Tx: sampleTx(), Parents: []Hash{HashBytes([]byte("x"))}},
-		{Tx: sampleTx(), Parents: []Hash{HashBytes([]byte("y")), HashBytes([]byte("z"))}},
+		{Txs: []*Transaction{sampleTx()}, Parents: []Hash{HashBytes([]byte("x"))}},
+		{Txs: []*Transaction{sampleTx()}, Parents: []Hash{HashBytes([]byte("y")), HashBytes([]byte("z"))}},
 	}}
 	gotResp, err := DecodeSyncResponse(resp.Encode(nil))
 	if err != nil {

@@ -103,6 +103,19 @@ type Options struct {
 	// Plan overrides the uniform cluster layout, e.g. the §3.4
 	// group-aware plan built with PlanClusters.
 	Plan *Plan
+	// BatchSize caps the number of transactions per block (one consensus
+	// instance orders the whole batch). The default of 1 reproduces the
+	// paper's single-transaction blocks; larger values (up to 64) amortize
+	// the quorum message cost and raise saturation throughput. See
+	// DESIGN.md, "Batched blocks".
+	BatchSize int
+	// BatchTimeout bounds how long a partial batch waits for more requests
+	// while earlier instances are in flight (default 2ms). A batch never
+	// waits when the pipeline is empty.
+	BatchTimeout time.Duration
+	// MaxInFlight bounds pipelined consensus instances per cluster
+	// (default 8).
+	MaxInFlight int
 }
 
 // Network is a running SharPer deployment.
@@ -141,6 +154,9 @@ func New(opts Options) (*Network, error) {
 		Network:             netCfg,
 		DisableSuperPrimary: opts.DisableSuperPrimary,
 		Seed:                opts.Seed,
+		BatchSize:           opts.BatchSize,
+		BatchTimeout:        opts.BatchTimeout,
+		MaxInFlight:         opts.MaxInFlight,
 	}
 	if opts.Plan != nil {
 		cfg.Topology = opts.Plan.topo
