@@ -1,21 +1,48 @@
-// Command sharperd runs a SharPer deployment on the simulated fabric and
-// drives it with a configurable workload, printing live throughput and a
-// final ledger audit. It is the quickest way to watch the system work:
+// Command sharperd runs SharPer. It has three modes:
+//
+// Single process (the quickest way to watch the system work) — build a full
+// deployment in-process, on the simulated fabric or over real loopback TCP
+// sockets, drive it with a configurable workload, and print live throughput
+// plus a final ledger audit:
 //
 //	sharperd -model crash -clusters 4 -f 1 -cross 10 -clients 16 -duration 5s
+//	sharperd -transport tcp -clusters 4 -f 1 -duration 5s
+//
+// Replica process — run ONE replica of a multi-process deployment described
+// by a topology file (every process is started from the same file; node
+// identity is derived from -listen or given with -node):
+//
+//	sharperd -topology topo.txt -listen 127.0.0.1:7100
+//
+// Client driver — attach to a running multi-process deployment, issue a
+// mixed intra-/cross-shard workload, then fetch every cluster's chain over
+// the sync protocol and audit the assembled DAG:
+//
+//	sharperd -topology topo.txt -drive -clients 16 -duration 5s
+//
+// Scaffold a topology file with -topology-init:
+//
+//	sharperd -topology topo.txt -topology-init -clusters 4 -f 1
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sharper"
+	"sharper/internal/core"
+	"sharper/internal/crypto"
+	"sharper/internal/ledger"
 	"sharper/internal/state"
+	"sharper/internal/transport/tcpnet"
 	"sharper/internal/types"
 	"sharper/internal/workload"
 )
@@ -30,47 +57,356 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	batch := flag.Int("batch", 1, "max transactions per block (1 = the paper's single-tx blocks)")
 	showDAG := flag.Bool("dag", false, "print the ledger DAG at the end")
+	transportKind := flag.String("transport", "sim", "single-process fabric: sim or tcp")
+	accounts := flag.Int("accounts", 1024, "accounts seeded per shard at genesis")
+	balance := flag.Int64("balance", 1<<40, "initial balance of each seeded account")
+
+	topoPath := flag.String("topology", "", "topology file: run as one process of a multi-process deployment")
+	topoInit := flag.Bool("topology-init", false, "write a fresh topology file (with -clusters, -f, -model) and exit")
+	listen := flag.String("listen", "", "replica mode: run the node whose topology address is this")
+	nodeID := flag.Int("node", -1, "replica mode: run this node id (alternative to -listen)")
+	drive := flag.Bool("drive", false, "driver mode: issue workload against a running multi-process deployment")
+	host := flag.String("host", "127.0.0.1", "host for -topology-init addresses")
+	basePort := flag.Int("base-port", 7100, "first port for -topology-init addresses")
+	secret := flag.String("secret", "sharper-demo", "wire secret for -topology-init")
+	driverIdx := flag.Int("driver-index", 0, "unique index of this driver process (keeps client IDs disjoint)")
+	connectTimeout := flag.Duration("connect-timeout", 15*time.Second, "driver mode: how long to wait for replicas to come up")
 	flag.Parse()
 
-	var fm sharper.FailureModel
-	switch *model {
-	case "crash":
-		fm = sharper.CrashOnly
-	case "byzantine", "byz":
-		fm = sharper.Byzantine
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+	fm, err := parseModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	if *topoInit {
+		if *topoPath == "" {
+			fmt.Fprintln(os.Stderr, "-topology-init needs -topology FILE")
+			os.Exit(2)
+		}
+		if err := WriteTopologyFile(*topoPath, *host, *basePort, *clusters, *f, fm, *secret); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d %s clusters, f=%d\n", *topoPath, *clusters, fm, *f)
+		return
+	}
+
+	if *topoPath != "" {
+		tf, err := ParseTopologyFile(*topoPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case *drive:
+			err = runDriver(tf, driverOptions{
+				Clients:        *clients,
+				CrossPct:       *cross,
+				Duration:       *duration,
+				Seed:           *seed,
+				Accounts:       *accounts,
+				DriverIndex:    *driverIdx,
+				ConnectTimeout: *connectTimeout,
+				ShowDAG:        *showDAG,
+			}, os.Stdout)
+			if err != nil {
+				log.Fatal(err)
+			}
+		case *listen != "" || *nodeID >= 0:
+			self := types.NodeID(*nodeID)
+			if *listen != "" {
+				id, ok := tf.NodeByListenAddr(*listen)
+				if !ok {
+					log.Fatalf("no node in %s listens on %s", *topoPath, *listen)
+				}
+				self = id
+			}
+			stop := make(chan struct{})
+			go func() {
+				sig := make(chan os.Signal, 1)
+				signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+				<-sig
+				close(stop)
+			}()
+			if err := runReplica(tf, self, replicaOptions{
+				Seed:     *seed,
+				Batch:    *batch,
+				Accounts: *accounts,
+				Balance:  *balance,
+			}, stop, os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			log.Fatal("with -topology, pass -listen ADDR / -node N (replica) or -drive (driver)")
+		}
+		return
+	}
+
+	runLocal(fm, localOptions{
+		Clusters: *clusters, F: *f, CrossPct: *cross, Clients: *clients,
+		Duration: *duration, Seed: *seed, Batch: *batch, ShowDAG: *showDAG,
+		Accounts: *accounts, Balance: *balance, TCP: *transportKind == "tcp",
+	})
+}
+
+func parseModel(s string) (sharper.FailureModel, error) {
+	switch s {
+	case "crash":
+		return sharper.CrashOnly, nil
+	case "byzantine", "byz":
+		return sharper.Byzantine, nil
+	default:
+		return sharper.CrashOnly, fmt.Errorf("unknown model %q", s)
+	}
+}
+
+// ---------------------------------------------------------------- replica --
+
+type replicaOptions struct {
+	Seed     int64
+	Batch    int
+	Accounts int
+	Balance  int64
+}
+
+// runReplica hosts one node of a multi-process deployment: a TCP fabric
+// listening on the node's topology address, the replica runtime on top, and
+// genesis state for its own shard. It returns when stop closes.
+func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <-chan struct{}, out io.Writer) error {
+	addr, ok := tf.Addrs[self]
+	if !ok {
+		return fmt.Errorf("node %s is not in the topology", self)
+	}
+	fab, err := tcpnet.New(tcpnet.Config{
+		Self:       self,
+		ListenAddr: addr,
+		Peers:      tf.Addrs,
+		Secret:     crypto.WireKey(tf.Secret),
+	})
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+
+	node, err := core.NewProcessNode(core.ProcessConfig{
+		Topo:      tf.Topo,
+		Self:      self,
+		Fabric:    fab,
+		Seed:      opts.Seed,
+		BatchSize: opts.Batch,
+	})
+	if err != nil {
+		return err
+	}
+	shards := state.ShardMap{NumShards: len(tf.Topo.Clusters)}
+	for k := 0; k < opts.Accounts; k++ {
+		node.Store().Credit(shards.AccountInShard(node.Cluster(), uint64(k)), opts.Balance)
+	}
+	node.Start()
+	defer node.Stop()
+	fmt.Fprintf(out, "sharperd: replica %s (cluster %s) listening on %s\n", self, node.Cluster(), fab.Addr())
+	<-stop
+	fmt.Fprintf(out, "sharperd: replica %s stopping (committed %d, chain %d blocks, %d anomalies)\n",
+		self, node.Committed(), node.View().Len(), node.Anomalies())
+	if os.Getenv("SHARPERD_DEBUG") != "" {
+		for _, line := range node.DebugTrace() {
+			fmt.Fprintf(out, "sharperd: trace %s: %s\n", self, line)
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------- driver --
+
+type driverOptions struct {
+	Clients        int
+	CrossPct       int
+	Duration       time.Duration
+	Seed           int64
+	Accounts       int
+	DriverIndex    int
+	ConnectTimeout time.Duration
+	ShowDAG        bool
+}
+
+// runDriver attaches to a running multi-process deployment over a dial-only
+// fabric, issues the workload, then audits the deployment's DAG by fetching
+// every cluster's chain through the sync protocol.
+func runDriver(tf *TopologyFile, opts driverOptions, out io.Writer) error {
+	fab, err := tcpnet.New(tcpnet.Config{
+		Peers:  tf.Addrs,
+		Secret: crypto.WireKey(tf.Secret),
+	})
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+
+	shards := state.ShardMap{NumShards: len(tf.Topo.Clusters)}
+	// Client IDs are partitioned by driver index so several driver processes
+	// can share one deployment without colliding.
+	clientBase := types.ClientIDBase + types.NodeID(opts.DriverIndex)*100_000
+	cls := make([]*core.Client, opts.Clients)
+	for i := range cls {
+		cls[i] = core.NewClientAt(fab, tf.Topo, shards, clientBase+types.NodeID(i)+1)
+	}
+	fmt.Fprintf(out, "sharperd: driver connecting to %d replicas…\n", len(tf.Addrs))
+	if err := fab.ConnectAll(opts.ConnectTimeout); err != nil {
+		return fmt.Errorf("deployment not up: %w", err)
+	}
+
+	gen := workload.New(workload.Config{
+		Shards:           shards,
+		AccountsPerShard: opts.Accounts,
+		CrossShardPct:    opts.CrossPct,
+		ShardsPerCross:   2,
+		Seed:             opts.Seed,
+	})
+
+	var committed, crossDone, failed atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i, c := range cls {
+		wg.Add(1)
+		go func(k int, c *core.Client) {
+			defer wg.Done()
+			g := gen.Split(k)
+			for !stop.Load() {
+				tx := c.MakeTx(g.Next())
+				ok, _, err := c.Submit(tx)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				_ = ok
+				committed.Add(1)
+				if tx.IsCrossShard() {
+					crossDone.Add(1)
+				}
+			}
+		}(i, c)
+	}
+
+	start := time.Now()
+	ticker := time.NewTicker(time.Second)
+	deadline := time.After(opts.Duration)
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			n := committed.Load()
+			fmt.Fprintf(out, "  t=%4.1fs committed=%6d (%.0f tx/s, %d cross-shard)\n",
+				time.Since(start).Seconds(), n, float64(n)/time.Since(start).Seconds(), crossDone.Load())
+		case <-deadline:
+			break loop
+		}
+	}
+	ticker.Stop()
+	stop.Store(true)
+	wg.Wait()
+
+	n := committed.Load()
+	fmt.Fprintf(out, "total: %d transactions (%.0f tx/s), %d cross-shard, %d failed\n",
+		n, float64(n)/time.Since(start).Seconds(), crossDone.Load(), failed.Load())
+
+	// Replicas keep converging (cross-shard decisions propagate to
+	// non-initiator replicas asynchronously, chain sync fills gaps), so
+	// retry the audit until the fetched views agree or the deadline passes.
+	var dag *ledger.DAG
+	var auditErr error
+	auditDeadline := time.Now().Add(15 * time.Second)
+	for attempt := 0; ; attempt++ {
+		dag, auditErr = fetchDAG(fab, tf, clientBase+99_000+types.NodeID(attempt))
+		if auditErr == nil {
+			if auditErr = dag.Verify(); auditErr == nil {
+				auditErr = dag.VerifyPairwiseOrder()
+			}
+		}
+		if auditErr == nil {
+			break
+		}
+		if time.Now().After(auditDeadline) {
+			return fmt.Errorf("ledger audit FAILED: %w", auditErr)
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+	fmt.Fprintln(out, "ledger audit: all views consistent, cross-shard order agrees")
+	if opts.ShowDAG {
+		fmt.Fprint(out, dag.RenderASCII())
+	}
+	return nil
+}
+
+// fetchDAG pulls one representative chain per cluster over the sync
+// protocol and assembles the Fig. 2 union DAG, giving a driver process the
+// same audit a co-located deployment gets from Deployment.DAG().
+func fetchDAG(fab *tcpnet.Net, tf *TopologyFile, auditID types.NodeID) (*ledger.DAG, error) {
+	inbox := fab.Register(auditID)
+	var views []*ledger.View
+	for _, cid := range tf.Topo.ClusterIDs() {
+		peer := tf.Topo.Members(cid)[0]
+		v, err := core.FetchView(fab, auditID, inbox, peer, cid, 500*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, v)
+	}
+	return ledger.NewDAG(views...), nil
+}
+
+// ------------------------------------------------------- single process ----
+
+type localOptions struct {
+	Clusters, F, CrossPct, Clients int
+	Duration                       time.Duration
+	Seed                           int64
+	Batch                          int
+	ShowDAG                        bool
+	Accounts                       int
+	Balance                        int64
+	TCP                            bool
+}
+
+// runLocal is the original single-process mode: a full deployment in one
+// process, on the simulated fabric or (with -transport tcp) on real
+// loopback sockets.
+func runLocal(fm sharper.FailureModel, opts localOptions) {
+	tr := sharper.TransportSim
+	trName := "simulated fabric"
+	if opts.TCP {
+		tr = sharper.TransportTCP
+		trName = "loopback TCP sockets"
+	}
 	net, err := sharper.New(sharper.Options{
-		Model:     fm,
-		Clusters:  *clusters,
-		F:         *f,
-		Seed:      *seed,
-		BatchSize: *batch,
+		Model:            fm,
+		Clusters:         opts.Clusters,
+		F:                opts.F,
+		Seed:             opts.Seed,
+		BatchSize:        opts.Batch,
+		Transport:        tr,
+		AccountsPerShard: opts.Accounts,
+		InitialBalance:   opts.Balance,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer net.Close()
 
-	size := fm.ClusterSize(*f)
-	fmt.Printf("sharperd: %s model, %d clusters × %d nodes (%d total), %d%% cross-shard, %d clients, batch≤%d\n",
-		fm, *clusters, size, *clusters*size, *cross, *clients, *batch)
+	size := fm.ClusterSize(opts.F)
+	fmt.Printf("sharperd: %s model, %d clusters × %d nodes (%d total) over %s, %d%% cross-shard, %d clients, batch≤%d\n",
+		fm, opts.Clusters, size, opts.Clusters*size, trName, opts.CrossPct, opts.Clients, opts.Batch)
 
 	gen := workload.New(workload.Config{
-		Shards:           state.ShardMap{NumShards: *clusters},
-		AccountsPerShard: 1024,
-		CrossShardPct:    *cross,
+		Shards:           state.ShardMap{NumShards: opts.Clusters},
+		AccountsPerShard: opts.Accounts,
+		CrossShardPct:    opts.CrossPct,
 		ShardsPerCross:   2,
-		Seed:             *seed,
+		Seed:             opts.Seed,
 	})
 
 	var committed, crossDone atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	for i := 0; i < *clients; i++ {
+	for i := 0; i < opts.Clients; i++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
@@ -92,7 +428,7 @@ func main() {
 
 	start := time.Now()
 	ticker := time.NewTicker(time.Second)
-	deadline := time.After(*duration)
+	deadline := time.After(opts.Duration)
 loop:
 	for {
 		select {
@@ -116,7 +452,7 @@ loop:
 		log.Fatalf("ledger audit FAILED: %v", err)
 	}
 	fmt.Println("ledger audit: all views consistent, cross-shard order agrees")
-	if *showDAG {
+	if opts.ShowDAG {
 		fmt.Print(net.DAG().RenderASCII())
 	}
 }

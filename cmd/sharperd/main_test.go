@@ -1,0 +1,294 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sharper/internal/core"
+	"sharper/internal/crypto"
+	"sharper/internal/ledger"
+	"sharper/internal/transport/tcpnet"
+	"sharper/internal/types"
+)
+
+// TestMain doubles as the replica entry point for the multi-process test:
+// the test re-execs its own binary with SHARPERD_TEST_ROLE=replica, which
+// runs one real sharperd replica process until killed — the same code path
+// as `sharperd -topology FILE -node N`.
+func TestMain(m *testing.M) {
+	if os.Getenv("SHARPERD_TEST_ROLE") == "replica" {
+		tf, err := ParseTopologyFile(os.Getenv("SHARPERD_TEST_TOPO"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		id, err := strconv.Atoi(os.Getenv("SHARPERD_TEST_NODE"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Runs until the parent kills it; SIGTERM triggers a clean shutdown
+		// (which dumps the protocol trace when SHARPERD_DEBUG is set).
+		stop := make(chan struct{})
+		go func() {
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, syscall.SIGTERM)
+			<-sig
+			close(stop)
+		}()
+		if err := runReplica(tf, types.NodeID(id), replicaOptions{
+			Seed: 1, Batch: 1, Accounts: 256, Balance: 1 << 30,
+		}, stop, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// freeAddrs reserves n distinct loopback ports by briefly listening on :0.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestMultiProcessDeployment boots a 4-cluster crash-model deployment as 12
+// separate sharperd OS processes on loopback, drives a mixed intra-/cross-
+// shard workload against it, and audits the assembled ledger DAG fetched
+// over the wire — the acceptance scenario for the TCP backend.
+func TestMultiProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployment test is not -short")
+	}
+	const clusters, f = 4, 1
+	size := types.CrashOnly.ClusterSize(f)
+	total := clusters * size
+
+	addrs := freeAddrs(t, total)
+	var topo strings.Builder
+	fmt.Fprintf(&topo, "model crash\nf %d\nsecret multiproc-test\n", f)
+	for c := 0; c < clusters; c++ {
+		fmt.Fprintf(&topo, "cluster %d %s\n", c, strings.Join(addrs[c*size:(c+1)*size], " "))
+	}
+	topoPath := filepath.Join(t.TempDir(), "topo.txt")
+	if err := os.WriteFile(topoPath, []byte(topo.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ParseTopologyFile(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One OS process per replica.
+	var replicaLogs []*bytes.Buffer
+	var replicaCmds []*exec.Cmd
+	for id := 0; id < total; id++ {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"SHARPERD_TEST_ROLE=replica",
+			"SHARPERD_TEST_TOPO="+topoPath,
+			"SHARPERD_TEST_NODE="+strconv.Itoa(id),
+			"SHARPERD_DEBUG=1",
+			"SHARPER_TRACE=1",
+		)
+		log := &bytes.Buffer{}
+		cmd.Stdout = log
+		cmd.Stderr = log
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawn replica %d: %v", id, err)
+		}
+		replicaLogs = append(replicaLogs, log)
+		replicaCmds = append(replicaCmds, cmd)
+		proc := cmd.Process
+		t.Cleanup(func() {
+			proc.Kill()
+			cmd.Wait()
+		})
+	}
+
+	// The driver runs in-process through the exact function `sharperd
+	// -topology ... -drive` dispatches to; its ConnectAll waits for the
+	// replica processes to come up.
+	var out bytes.Buffer
+	err = runDriver(tf, driverOptions{
+		Clients:        8,
+		CrossPct:       20,
+		Duration:       2 * time.Second,
+		Seed:           1,
+		Accounts:       256,
+		ConnectTimeout: 20 * time.Second,
+	}, &out)
+	if err != nil {
+		t.Log(debugChainLengths(tf))
+		// Graceful shutdown dumps each replica's protocol trace.
+		for _, cmd := range replicaCmds {
+			cmd.Process.Signal(syscall.SIGTERM)
+		}
+		time.Sleep(2 * time.Second)
+		for i, log := range replicaLogs {
+			if log.Len() > 0 {
+				t.Logf("replica %d: %s", i, log.String())
+			}
+		}
+		t.Fatalf("driver: %v\noutput:\n%s", err, out.String())
+	}
+
+	got := out.String()
+	if !strings.Contains(got, "ledger audit: all views consistent") {
+		t.Fatalf("driver output missing audit line:\n%s", got)
+	}
+	// A healthy 2s run commits far more than this; the floor just guards
+	// against an accidentally idle deployment passing the audit vacuously.
+	committed, crossShard := parseTotals(t, got)
+	if committed < 50 {
+		t.Fatalf("suspiciously few commits (%d):\n%s", committed, got)
+	}
+	if crossShard == 0 {
+		t.Fatalf("no cross-shard transactions committed:\n%s", got)
+	}
+}
+
+// parseTotals extracts the committed and cross-shard counts from the
+// driver's "total: N transactions (...), M cross-shard, K failed" line.
+func parseTotals(t *testing.T, out string) (committed, crossShard int) {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "total: ") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "total: %d transactions", &committed); err != nil {
+			t.Fatalf("unparseable total line %q: %v", line, err)
+		}
+		if i := strings.Index(line, ", "); i >= 0 {
+			fmt.Sscanf(line[i+2:], "%d cross-shard", &crossShard)
+		}
+		return committed, crossShard
+	}
+	t.Fatalf("no total line in driver output:\n%s", out)
+	return 0, 0
+}
+
+func TestTopologyFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.txt")
+	if err := WriteTopologyFile(path, "127.0.0.1", 7300, 3, 1, types.Byzantine, "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ParseTopologyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Model != types.Byzantine || tf.F != 1 || tf.Secret != "s3cret" {
+		t.Fatalf("header mismatch: %+v", tf)
+	}
+	if len(tf.Topo.Clusters) != 3 {
+		t.Fatalf("want 3 clusters, got %d", len(tf.Topo.Clusters))
+	}
+	size := types.Byzantine.ClusterSize(1)
+	if len(tf.Addrs) != 3*size {
+		t.Fatalf("want %d addresses, got %d", 3*size, len(tf.Addrs))
+	}
+	id, ok := tf.NodeByListenAddr("127.0.0.1:7300")
+	if !ok || id != 0 {
+		t.Fatalf("NodeByListenAddr: id=%v ok=%v", id, ok)
+	}
+}
+
+func TestTopologyFileRejectsUndersizedCluster(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.txt")
+	content := "model byzantine\nf 1\nsecret x\ncluster 0 127.0.0.1:1 127.0.0.1:2 127.0.0.1:3\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTopologyFile(path); err == nil {
+		t.Fatal("3-node byzantine f=1 cluster accepted (needs 3f+1=4)")
+	}
+}
+
+// debugChainLengths fetches every replica's chain length for flake triage.
+func debugChainLengths(tf *TopologyFile) string {
+	fab, err := tcpnet.New(tcpnet.Config{Peers: tf.Addrs, Secret: crypto.WireKey(tf.Secret)})
+	if err != nil {
+		return err.Error()
+	}
+	defer fab.Close()
+	var b strings.Builder
+	audit := types.ClientIDBase + 500_000
+	inbox := fab.Register(audit)
+	for _, cid := range tf.Topo.ClusterIDs() {
+		var views []*ledger.View
+		for _, m := range tf.Topo.Members(cid) {
+			v, err := core.FetchView(fab, audit, inbox, m, cid, 400*time.Millisecond)
+			if err != nil {
+				fmt.Fprintf(&b, "%s/%s: fetch error %v\n", cid, m, err)
+				continue
+			}
+			fmt.Fprintf(&b, "%s/%s: %d blocks head=%s\n", cid, m, v.Len(), v.Head())
+			views = append(views, v)
+			audit++
+			inbox = fab.Register(audit)
+		}
+		// Report the first index where members' chains diverge, if any.
+		for i := 1; i < len(views); i++ {
+			a, c := views[0], views[i]
+			n := a.Len()
+			if c.Len() < n {
+				n = c.Len()
+			}
+			for idx := 0; idx < n; idx++ {
+				if a.Block(idx).Hash() != c.Block(idx).Hash() {
+					fmt.Fprintf(&b, "%s: DIVERGENCE at block %d between member 0 (%s) and member %d (%s)\n",
+						cid, idx, blockTxs(a.Block(idx)), i, blockTxs(c.Block(idx)))
+					break
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+func blockTxs(bl *types.Block) string {
+	var b strings.Builder
+	for i, tx := range bl.Txs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tx.ID.String())
+	}
+	fmt.Fprintf(&b, " inv=%s", bl.Involved())
+	return b.String()
+}
+
+func TestTopologyFileRejectsLateFaultBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.txt")
+	content := "model crash\nsecret x\ncluster 0 127.0.0.1:1 127.0.0.1:2 127.0.0.1:3\nf 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTopologyFile(path); err == nil {
+		t.Fatal("f directive after cluster lines accepted (earlier clusters would get the wrong quorums)")
+	}
+}

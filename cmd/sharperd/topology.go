@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sharper/internal/consensus"
+	"sharper/internal/types"
+)
+
+// TopologyFile is the parsed form of a sharperd topology file, the single
+// artifact every process of a multi-process deployment is started from.
+//
+// The format is line-based; '#' starts a comment:
+//
+//	model crash            # or: byzantine
+//	f 1                    # per-cluster fault bound (cluster size follows)
+//	secret demo-secret     # shared wire-authentication secret
+//	cluster 0 127.0.0.1:7100 127.0.0.1:7101 127.0.0.1:7102
+//	cluster 1 127.0.0.1:7110 127.0.0.1:7111 127.0.0.1:7112
+//
+// Node IDs are assigned densely in listing order (cluster 0's members are
+// n0, n1, n2, …), matching consensus.UniformTopology, so every process
+// derives the same topology — and, for Byzantine deployments, the same
+// seed-derived keyring — from the same file.
+type TopologyFile struct {
+	Model  types.FailureModel
+	F      int
+	Secret string
+	Topo   *consensus.Topology
+	Addrs  map[types.NodeID]string
+}
+
+// ParseTopologyFile reads and validates a topology file.
+func ParseTopologyFile(path string) (*TopologyFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	tf := &TopologyFile{
+		F:     1,
+		Topo:  &consensus.Topology{Clusters: map[types.ClusterID]consensus.Cluster{}},
+		Addrs: map[types.NodeID]string{},
+	}
+	next := types.NodeID(0)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "model":
+			if next > 0 {
+				return nil, fmt.Errorf("%s:%d: model must precede all cluster lines", path, lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%s:%d: model needs one value", path, lineNo)
+			}
+			switch fields[1] {
+			case "crash":
+				tf.Model = types.CrashOnly
+			case "byzantine", "byz":
+				tf.Model = types.Byzantine
+			default:
+				return nil, fmt.Errorf("%s:%d: unknown model %q", path, lineNo, fields[1])
+			}
+		case "f":
+			if next > 0 {
+				// Each cluster line snapshots the current F; a later change
+				// would silently give earlier clusters the wrong quorums.
+				return nil, fmt.Errorf("%s:%d: f must precede all cluster lines", path, lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%s:%d: f needs one value", path, lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("%s:%d: bad fault bound %q", path, lineNo, fields[1])
+			}
+			tf.F = v
+		case "secret":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%s:%d: secret needs one value", path, lineNo)
+			}
+			tf.Secret = fields[1]
+		case "cluster":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%s:%d: cluster needs an id and at least one address", path, lineNo)
+			}
+			cid64, err := strconv.ParseUint(fields[1], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad cluster id %q", path, lineNo, fields[1])
+			}
+			cid := types.ClusterID(cid64)
+			if _, dup := tf.Topo.Clusters[cid]; dup {
+				return nil, fmt.Errorf("%s:%d: cluster %s listed twice", path, lineNo, cid)
+			}
+			cl := consensus.Cluster{ID: cid, F: tf.F}
+			for _, addr := range fields[2:] {
+				tf.Addrs[next] = addr
+				cl.Members = append(cl.Members, next)
+				next++
+			}
+			tf.Topo.Clusters[cid] = cl
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown directive %q", path, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if tf.Secret == "" {
+		return nil, fmt.Errorf("%s: missing `secret` directive (all processes must share one)", path)
+	}
+	tf.Topo.Model = tf.Model
+	size := tf.Model.ClusterSize(tf.F)
+	for cid, cl := range tf.Topo.Clusters {
+		if len(cl.Members) < size {
+			return nil, fmt.Errorf("%s: cluster %s has %d addresses, %s f=%d needs %d",
+				path, cid, len(cl.Members), tf.Model, tf.F, size)
+		}
+	}
+	if err := tf.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	return tf, nil
+}
+
+// NodeByListenAddr resolves -listen: the node whose topology address equals
+// addr.
+func (tf *TopologyFile) NodeByListenAddr(addr string) (types.NodeID, bool) {
+	for id, a := range tf.Addrs {
+		if a == addr {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// WriteTopologyFile renders a topology file for n uniform clusters, used by
+// `sharperd -topology-init` to scaffold a deployment.
+func WriteTopologyFile(path, host string, basePort, clusters, f int, model types.FailureModel, secret string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# sharperd topology: %d %s clusters, f=%d\n", clusters, model, f)
+	fmt.Fprintf(&b, "model %s\nf %d\nsecret %s\n", model, f, secret)
+	size := model.ClusterSize(f)
+	port := basePort
+	for c := 0; c < clusters; c++ {
+		fmt.Fprintf(&b, "cluster %d", c)
+		for i := 0; i < size; i++ {
+			fmt.Fprintf(&b, " %s:%d", host, port)
+			port++
+		}
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

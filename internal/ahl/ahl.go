@@ -48,7 +48,11 @@ type Config struct {
 	Model    types.FailureModel
 	Clusters int
 	F        int
-	Network  transport.Config
+	// Network configures the simulated fabric; ignored when Fabric is set.
+	Network transport.Config
+	// Fabric, when non-nil, overrides the simulated network with an
+	// externally built message fabric.
+	Fabric transport.Fabric
 
 	IntraTimeout time.Duration
 	TickInterval time.Duration
@@ -60,7 +64,7 @@ type Config struct {
 type Deployment struct {
 	cfg     Config
 	Topo    *consensus.Topology
-	Net     *transport.Network
+	Net     transport.Fabric
 	Keyring crypto.Authenticator
 	Shards  state.ShardMap
 
@@ -90,16 +94,19 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	}
 	topo.Clusters[RCCluster] = rc
 
-	netCfg := cfg.Network
-	if netCfg == (transport.Config{}) {
-		netCfg = transport.DefaultConfig()
+	net := cfg.Fabric
+	if net == nil {
+		netCfg := cfg.Network
+		if netCfg == (transport.Config{}) {
+			netCfg = transport.DefaultConfig()
+		}
+		if netCfg.Seed == 0 {
+			netCfg.Seed = cfg.Seed
+		}
+		net = transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
+			return topo.ClusterOf(id)
+		})
 	}
-	if netCfg.Seed == 0 {
-		netCfg.Seed = cfg.Seed
-	}
-	net := transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
-		return topo.ClusterOf(id)
-	})
 
 	d := &Deployment{
 		cfg:     cfg,

@@ -5,6 +5,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sharper/internal/consensus"
+	"sharper/internal/state"
+	"sharper/internal/transport"
 	"sharper/internal/types"
 )
 
@@ -13,9 +16,15 @@ import (
 // f+1 matching replies from distinct replicas under the Byzantine model
 // (§3.1). Clients are single-goroutine, closed-loop issuers; benchmarks
 // raise concurrency by running many clients.
+//
+// A client speaks to the deployment only through a transport.Fabric plus
+// the static topology and shard map, so the same type drives an in-process
+// simulated deployment and a remote multi-process one over TCP.
 type Client struct {
 	id     types.NodeID
-	d      *Deployment
+	net    transport.Fabric
+	topo   *consensus.Topology
+	shards state.ShardMap
 	inbox  <-chan *types.Envelope
 	seq    uint64
 	sendTo map[types.ClusterID]int // rotating primary guess per cluster
@@ -28,13 +37,34 @@ type Client struct {
 
 var clientCounter atomic.Uint32
 
-// NewClient registers a fresh client endpoint on the deployment's network.
+// NewClient registers a fresh client endpoint on the deployment's fabric.
+// Under TransportTCP the client fabric first connects to every replica so
+// replies routed by nodes the client never dialed still find a return path.
 func (d *Deployment) NewClient() *Client {
+	c := NewClientOn(d.Net, d.Topo, d.Shards)
+	if d.fabrics != nil {
+		d.connectClients()
+	}
+	return c
+}
+
+// NewClientOn builds a client with a process-locally unique ID on an
+// arbitrary fabric. Use NewClientAt when several driver processes share one
+// deployment and must not collide.
+func NewClientOn(fab transport.Fabric, topo *consensus.Topology, shards state.ShardMap) *Client {
 	id := types.ClientIDBase + types.NodeID(clientCounter.Add(1))
+	return NewClientAt(fab, topo, shards, id)
+}
+
+// NewClientAt builds a client with an explicit endpoint ID (must be in the
+// client range, i.e. ≥ types.ClientIDBase, and unique deployment-wide).
+func NewClientAt(fab transport.Fabric, topo *consensus.Topology, shards state.ShardMap, id types.NodeID) *Client {
 	return &Client{
 		id:          id,
-		d:           d,
-		inbox:       d.Net.Register(id),
+		net:         fab,
+		topo:        topo,
+		shards:      shards,
+		inbox:       fab.Register(id),
 		sendTo:      make(map[types.ClusterID]int),
 		Timeout:     2 * time.Second,
 		MaxAttempts: 8,
@@ -45,7 +75,7 @@ func (d *Deployment) NewClient() *Client {
 func (c *Client) ID() types.NodeID { return c.id }
 
 // MakeTx assembles a transaction from ops, deriving the involved-cluster
-// set through the deployment's shard map.
+// set through the shard map.
 func (c *Client) MakeTx(ops []types.Op) *types.Transaction {
 	c.seq++
 	return &types.Transaction{
@@ -53,7 +83,7 @@ func (c *Client) MakeTx(ops []types.Op) *types.Transaction {
 		Client:    c.id,
 		Timestamp: time.Now().UnixNano(),
 		Ops:       ops,
-		Involved:  c.d.Shards.Involved(ops),
+		Involved:  c.shards.Involved(ops),
 	}
 }
 
@@ -64,8 +94,8 @@ func (c *Client) MakeTx(ops []types.Op) *types.Transaction {
 func (c *Client) Submit(tx *types.Transaction) (bool, time.Duration, error) {
 	target := c.targetCluster(tx)
 	needed := 1
-	if c.d.Topo.ModelOf(target) == types.Byzantine {
-		needed = c.d.Topo.F(target) + 1
+	if c.topo.ModelOf(target) == types.Byzantine {
+		needed = c.topo.F(target) + 1
 	}
 	payload := (&types.Request{Tx: tx}).Encode(nil)
 	start := time.Now()
@@ -95,19 +125,19 @@ func (c *Client) targetCluster(tx *types.Transaction) types.ClusterID {
 // on retries so a crashed primary does not wedge the client. The receiving
 // node forwards to its current primary.
 func (c *Client) sendRequest(target types.ClusterID, payload []byte, attempt int) {
-	members := c.d.Topo.Members(target)
+	members := c.topo.Members(target)
 	idx := (c.sendTo[target] + attempt) % len(members)
 	if attempt > 0 {
 		c.sendTo[target] = idx
 	}
 	env := &types.Envelope{Type: types.MsgRequest, From: c.id, Payload: payload}
 	if attempt == 0 {
-		c.d.Net.Send(members[idx], env)
+		c.net.Send(members[idx], env)
 		return
 	}
 	// Retry: blanket the cluster so at least one live node forwards.
 	for _, m := range members {
-		c.d.Net.Send(m, env)
+		c.net.Send(m, env)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"sharper/internal/consensus"
@@ -10,8 +11,29 @@ import (
 	"sharper/internal/ledger"
 	"sharper/internal/state"
 	"sharper/internal/transport"
+	"sharper/internal/transport/tcpnet"
 	"sharper/internal/types"
 )
+
+// TransportKind selects the message fabric a deployment runs over.
+type TransportKind int
+
+const (
+	// TransportSim is the in-process simulated fabric (internal/transport):
+	// modelled latency, fault injection, per-message processing cost. The
+	// default, and what tests and benchmarks use.
+	TransportSim TransportKind = iota
+	// TransportTCP gives every replica its own TCP fabric on a loopback
+	// socket (internal/transport/tcpnet): real length-prefixed,
+	// HMAC-authenticated frames between real listeners, inside one process.
+	// Fault injection is physical — CrashNode closes the victim's sockets.
+	TransportTCP
+)
+
+// MaxBatchSize is the hard cap on transactions per block: the flattened
+// cross-shard protocol carries per-transaction validity verdicts as a 64-bit
+// bitmap (ConsensusMsg.Seq), so larger batches cannot be voted on.
+const MaxBatchSize = 64
 
 // Config describes a full SharPer deployment: failure model, cluster plan,
 // network behaviour, and protocol timers.
@@ -26,7 +48,10 @@ type Config struct {
 	// Topology overrides the uniform plan, e.g. for the §3.4
 	// clustered-network optimization.
 	Topology *consensus.Topology
+	// Transport selects the fabric implementation (default TransportSim).
+	Transport TransportKind
 	// Network configures the simulated fabric; zero value = DefaultConfig.
+	// Ignored under TransportTCP (real sockets have real latency).
 	Network transport.Config
 	// SuperPrimary enables §3.2 super-primary routing (default on via
 	// NewDeployment unless DisableSuperPrimary).
@@ -50,18 +75,24 @@ type Config struct {
 	Ed25519 bool
 }
 
-// Deployment is a running SharPer network: clusters of nodes over a
-// simulated fabric, plus factories for clients.
+// Deployment is a running SharPer network: clusters of nodes over a message
+// fabric (simulated or TCP), plus factories for clients.
 type Deployment struct {
 	cfg     Config
 	Topo    *consensus.Topology
-	Net     *transport.Network
+	// Net is the fabric clients attach to: the shared simulated network, or
+	// the dial-only client fabric of a TCP deployment.
+	Net     transport.Fabric
 	Keyring crypto.Authenticator
 	Shards  state.ShardMap
 
-	nodes      map[types.NodeID]*Node
-	nextClient uint32
-	started    bool
+	// fabrics holds each replica's own fabric under TransportTCP (every
+	// node listens on its own loopback socket); empty under TransportSim,
+	// where all nodes share Net.
+	fabrics          map[types.NodeID]*tcpnet.Net
+	nodes            map[types.NodeID]*Node
+	clientsConnected atomic.Bool // NewClient may run concurrently
+	started          bool
 }
 
 // NewDeployment validates the configuration and builds all nodes (stopped).
@@ -79,17 +110,39 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	if topo.Model != cfg.Model && !topo.Hybrid() {
 		return nil, fmt.Errorf("core: topology model %s != config model %s", topo.Model, cfg.Model)
 	}
+	if cfg.BatchSize > MaxBatchSize {
+		return nil, fmt.Errorf("core: BatchSize %d exceeds the %d-transaction cap (the cross-shard validity bitmap is %d bits wide)",
+			cfg.BatchSize, MaxBatchSize, MaxBatchSize)
+	}
 
-	netCfg := cfg.Network
-	if netCfg == (transport.Config{}) {
-		netCfg = transport.DefaultConfig()
+	var clientNet transport.Fabric
+	var fabrics map[types.NodeID]*tcpnet.Net
+	nodeFabric := func(types.NodeID) transport.Fabric { return clientNet }
+	switch cfg.Transport {
+	case TransportSim:
+		netCfg := cfg.Network
+		if netCfg == (transport.Config{}) {
+			netCfg = transport.DefaultConfig()
+		}
+		if netCfg.Seed == 0 {
+			netCfg.Seed = cfg.Seed
+		}
+		clientNet = transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
+			return topo.ClusterOf(id)
+		})
+	case TransportTCP:
+		secret := crypto.WireKey(fmt.Sprintf("loopback-%d", cfg.Seed))
+		var clientFab *tcpnet.Net
+		var err error
+		fabrics, clientFab, err = tcpnet.Loopback(topo.AllNodes(), secret, nil)
+		if err != nil {
+			return nil, err
+		}
+		clientNet = clientFab
+		nodeFabric = func(id types.NodeID) transport.Fabric { return fabrics[id] }
+	default:
+		return nil, fmt.Errorf("core: unknown transport kind %d", cfg.Transport)
 	}
-	if netCfg.Seed == 0 {
-		netCfg.Seed = cfg.Seed
-	}
-	net := transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
-		return topo.ClusterOf(id)
-	})
 
 	shards := state.ShardMap{NumShards: len(topo.Clusters)}
 
@@ -100,9 +153,10 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	d := &Deployment{
 		cfg:     cfg,
 		Topo:    topo,
-		Net:     net,
+		Net:     clientNet,
 		Keyring: auth,
 		Shards:  shards,
+		fabrics: fabrics,
 		nodes:   make(map[types.NodeID]*Node),
 	}
 
@@ -129,7 +183,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			Topology:     topo,
 			Cluster:      cluster,
 			Self:         id,
-			Net:          net,
+			Net:          nodeFabric(id),
 			Shards:       shards,
 			Signer:       signer,
 			Verifier:     verifier,
@@ -158,13 +212,15 @@ func (d *Deployment) Start() {
 	}
 }
 
-// Stop terminates every node and tears the network down.
+// Stop terminates every node and tears the fabric(s) down.
 func (d *Deployment) Stop() {
+	d.Net.Close()
+	for _, fab := range d.fabrics {
+		fab.Close()
+	}
 	if !d.started {
-		d.Net.Close()
 		return
 	}
-	d.Net.Close()
 	for _, n := range d.nodes {
 		n.Stop()
 	}
@@ -183,8 +239,52 @@ func (d *Deployment) Nodes() []*Node {
 	return out
 }
 
-// CrashNode stops delivery to a node, modelling its crash.
-func (d *Deployment) CrashNode(id types.NodeID) { d.Net.Crash(id) }
+// CrashNode stops delivery to a node, modelling its crash. On the simulated
+// fabric the network marks it dead; on TCP the node's own fabric is closed —
+// its listener and every connection drop, exactly what killing the process
+// would look like to its peers.
+func (d *Deployment) CrashNode(id types.NodeID) {
+	if fab, ok := d.fabrics[id]; ok {
+		fab.Close()
+		return
+	}
+	if fi, ok := d.Net.(transport.FaultInjector); ok {
+		fi.Crash(id)
+	}
+}
+
+// Faults exposes the simulated fabric's fault-injection surface (partitions,
+// crash/restart). It returns nil under TransportTCP, where faults are
+// physical: close a fabric or kill a process.
+func (d *Deployment) Faults() transport.FaultInjector {
+	fi, _ := d.Net.(transport.FaultInjector)
+	return fi
+}
+
+// NodeFabric returns the fabric a replica is attached to: its own TCP
+// fabric under TransportTCP, the shared network otherwise.
+func (d *Deployment) NodeFabric(id types.NodeID) transport.Fabric {
+	if fab, ok := d.fabrics[id]; ok {
+		return fab
+	}
+	return d.Net
+}
+
+// connectClients eagerly connects the TCP client fabric to every replica so
+// replies forwarded through other nodes can route back. The first call
+// waits for the full mesh; later calls use a short grace period (crashed
+// replicas stay unreachable by design and must not stall client creation).
+func (d *Deployment) connectClients() {
+	cf, ok := d.Net.(*tcpnet.Net)
+	if !ok {
+		return
+	}
+	timeout := 250 * time.Millisecond
+	if !d.clientsConnected.Swap(true) {
+		timeout = 5 * time.Second
+	}
+	cf.ConnectAll(timeout)
+}
 
 // SeedAccounts credits `perShard` accounts in every shard with balance on
 // every replica of the owning cluster, establishing identical genesis state.

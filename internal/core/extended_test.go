@@ -226,7 +226,7 @@ func TestCrashRestartCatchUp(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	d.Net.Restart(victim)
+	d.Faults().Restart(victim)
 	ref := d.Node(d.Topo.Members(0)[0]).View()
 	deadline := time.Now().Add(10 * time.Second)
 	for {

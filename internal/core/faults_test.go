@@ -58,7 +58,7 @@ func TestLaggingReplicaCatchesUp(t *testing.T) {
 	isolated := d.Topo.Members(0)[2]
 	others := append([]types.NodeID{}, d.Topo.Members(0)[0], d.Topo.Members(0)[1])
 	others = append(others, d.Topo.Members(1)...)
-	d.Net.Partition([]types.NodeID{isolated}, others)
+	d.Faults().Partition([]types.NodeID{isolated}, others)
 
 	c := d.NewClient()
 	for i := 0; i < 10; i++ {
@@ -72,7 +72,7 @@ func TestLaggingReplicaCatchesUp(t *testing.T) {
 		t.Fatalf("partition ineffective: isolated at %d, peer at %d", behind, ahead)
 	}
 
-	d.Net.HealPartition()
+	d.Faults().HealPartition()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		a := d.Node(d.Topo.Members(0)[0]).View()

@@ -34,6 +34,12 @@ type IntraEngine interface {
 	SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction)
 	// ProposedHead returns the seq/hash of the latest proposed block.
 	ProposedHead() (uint64, types.Hash)
+	// HasUncommitted reports whether any consensus instance with a known
+	// body sits above the committed head — including values retained from a
+	// deposed view, which may hold a commit quorum elsewhere. The flattened
+	// protocol must not vote while one exists, or a cross-shard block could
+	// take a slot an intra-shard value already committed into.
+	HasUncommitted() bool
 	// View returns the engine's current view.
 	View() uint64
 	// Primary returns the current primary of the cluster.

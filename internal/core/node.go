@@ -20,8 +20,10 @@ type NodeConfig struct {
 	Topology *consensus.Topology
 	Cluster  types.ClusterID
 	Self     types.NodeID
-	Net      *transport.Network
-	Shards   state.ShardMap
+	// Net is the message fabric the node sends and receives through: the
+	// simulated network, or this node's own TCP fabric.
+	Net    transport.Fabric
+	Shards state.ShardMap
 	Signer   crypto.Signer
 	Verifier crypto.Verifier
 
@@ -223,6 +225,16 @@ func (n *Node) Store() *state.Store { return n.store }
 // Committed returns the number of transactions this node has committed.
 func (n *Node) Committed() int64 { return n.committed.Load() }
 
+// DebugTrace returns the intra engine's recent protocol events, when the
+// engine records them (both bundled engines do). Read it only on a stopped
+// or quiesced node.
+func (n *Node) DebugTrace() []string {
+	if e, ok := n.intra.(interface{ DebugTrace() []string }); ok {
+		return e.DebugTrace()
+	}
+	return nil
+}
+
 // Anomalies returns the number of ledger append failures observed (0 in a
 // correct run; tests assert on it).
 func (n *Node) Anomalies() int64 { return n.anomalies.Load() }
@@ -232,9 +244,12 @@ func (n *Node) chainStatus() chainStatus {
 	pSeq, _ := n.intra.ProposedHead()
 	cSeq := uint64(n.view.Len() - 1)
 	return chainStatus{
-		Seq:     cSeq,
-		Head:    n.view.Head(),
-		Drained: pSeq == cSeq,
+		Seq:  cSeq,
+		Head: n.view.Head(),
+		// Values retained across a view change also block draining: they may
+		// hold a commit quorum at the deposed primary, and a cross-shard
+		// block voted on the current head would fork the chain against them.
+		Drained: pSeq == cSeq && !n.intra.HasUncommitted(),
 	}
 }
 
@@ -276,9 +291,14 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 	case types.MsgRequest:
 		n.onRequest(env, now)
 
-	case types.MsgPaxosAccept, types.MsgPrePrepare:
+	case types.MsgPaxosAccept, types.MsgPrePrepare,
+		types.MsgViewChange, types.MsgNewView:
 		// New intra-shard proposals are deferred while the cross-shard lock
-		// is held: a locked node must not vote on other transactions.
+		// is held: a locked node must not vote on other transactions. View
+		// changes defer too — a new primary's value recovery re-proposes
+		// intra values immediately, which would bind the chain slot this
+		// node's cross-shard vote has already promised away. The lock is
+		// released by commit, abort, or expiry, so deferral is bounded.
 		if n.cross.Locked() {
 			n.deferred = append(n.deferred, env)
 			return
@@ -288,8 +308,7 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 		n.applyIntra(decs, now)
 
 	case types.MsgPaxosAccepted, types.MsgPaxosCommit,
-		types.MsgPrepare, types.MsgCommit,
-		types.MsgViewChange, types.MsgNewView:
+		types.MsgPrepare, types.MsgCommit:
 		outs, decs := n.intra.Step(env, now)
 		n.send(outs)
 		n.applyIntra(decs, now)
@@ -629,7 +648,17 @@ func (n *Node) flushIntra(now time.Time) {
 		for _, tx := range batch {
 			delete(n.queued, tx.ID)
 		}
-		outs, _ := n.intra.Propose(batch, now)
+		outs, seq := n.intra.Propose(batch, now)
+		if seq == 0 {
+			// The engine refused (view change, or a fresh primary still
+			// replaying a deposed view's values): put the batch back and try
+			// again next turn.
+			for _, tx := range batch {
+				n.queued[tx.ID] = true
+			}
+			n.pendingIntra = append(batch, n.pendingIntra...)
+			return
+		}
 		n.send(outs)
 	}
 }

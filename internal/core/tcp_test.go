@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sharper/internal/types"
+)
+
+// tcpConfig is a crash-model TCP deployment tuned for test latency: short
+// suspicion timers so view changes finish quickly.
+func tcpConfig(clusters int) Config {
+	return Config{
+		Model:        types.CrashOnly,
+		Clusters:     clusters,
+		F:            1,
+		Transport:    TransportTCP,
+		Seed:         11,
+		IntraTimeout: 200 * time.Millisecond,
+		TickInterval: 2 * time.Millisecond,
+	}
+}
+
+func startTCP(t *testing.T, cfg Config) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SeedAccounts(64, 1_000_000)
+	d.Start()
+	t.Cleanup(d.Stop)
+	return d
+}
+
+// TestTCPDeploymentCommits boots a full crash-model deployment over real
+// loopback TCP sockets and commits a mixed intra-/cross-shard workload,
+// then audits the assembled DAG — the §5 setting (real networked replicas)
+// that the simulated fabric only models.
+func TestTCPDeploymentCommits(t *testing.T) {
+	d := startTCP(t, tcpConfig(3))
+	c := d.NewClient()
+	c.Timeout = 2 * time.Second
+
+	// Intra-shard traffic in every shard.
+	for shard := 0; shard < 3; shard++ {
+		from := d.Shards.AccountInShard(types.ClusterID(shard), 0)
+		to := d.Shards.AccountInShard(types.ClusterID(shard), 1)
+		ok, _, err := c.Transfer([]types.Op{{From: from, To: to, Amount: 5}})
+		if err != nil {
+			t.Fatalf("intra tx shard %d: %v", shard, err)
+		}
+		if !ok {
+			t.Fatalf("intra tx shard %d not committed", shard)
+		}
+	}
+	// Cross-shard traffic over two different cluster pairs.
+	for i, pair := range [][2]types.ClusterID{{0, 1}, {1, 2}, {0, 2}} {
+		from := d.Shards.AccountInShard(pair[0], 2)
+		to := d.Shards.AccountInShard(pair[1], 2)
+		ok, _, err := c.Transfer([]types.Op{{From: from, To: to, Amount: int64(i + 1)}})
+		if err != nil {
+			t.Fatalf("cross tx %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("cross tx %d not committed", i)
+		}
+	}
+
+	waitConverged(t, d)
+	dag := d.DAG()
+	if err := dag.Verify(); err != nil {
+		t.Fatalf("DAG audit: %v", err)
+	}
+	if err := dag.VerifyPairwiseOrder(); err != nil {
+		t.Fatalf("pairwise order audit: %v", err)
+	}
+	for _, n := range d.Nodes() {
+		if n.Anomalies() != 0 {
+			t.Fatalf("node %s observed %d ledger anomalies", n.ID(), n.Anomalies())
+		}
+	}
+}
+
+// waitConverged waits until every replica of each cluster converges on the
+// same chain head (cross-shard commits propagate asynchronously to
+// non-initiator replicas).
+func waitConverged(t *testing.T, d *Deployment) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		settled := true
+		for _, cid := range d.Topo.ClusterIDs() {
+			members := d.Topo.Members(cid)
+			ref := d.Node(members[0]).View()
+			for _, m := range members[1:] {
+				v := d.Node(m).View()
+				if v.Len() != ref.Len() || v.Head() != ref.Head() {
+					settled = false
+				}
+			}
+		}
+		if settled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Log("warning: replicas did not fully converge; auditing representative views")
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTCPPrimaryCrashViewChange kills a primary's listener (closing its TCP
+// fabric — sockets drop, peers' redials fail) and asserts the cluster
+// rotates to a new primary and keeps committing.
+func TestTCPPrimaryCrashViewChange(t *testing.T) {
+	d := startTCP(t, tcpConfig(2))
+	c := d.NewClient()
+	c.Timeout = 400 * time.Millisecond
+	c.MaxAttempts = 30
+
+	from := d.Shards.AccountInShard(0, 0)
+	to := d.Shards.AccountInShard(0, 1)
+	if ok, _, err := c.Transfer([]types.Op{{From: from, To: to, Amount: 1}}); err != nil || !ok {
+		t.Fatalf("pre-crash tx: ok=%v err=%v", ok, err)
+	}
+
+	// The initial primary of cluster 0 is its first member (view 0).
+	primary := d.Topo.Members(0)[0]
+	d.CrashNode(primary)
+
+	// The cluster must rotate and keep committing without the primary.
+	for i := 0; i < 3; i++ {
+		ok, _, err := c.Transfer([]types.Op{{From: from, To: to, Amount: 1}})
+		if err != nil {
+			t.Fatalf("post-crash tx %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("post-crash tx %d not committed", i)
+		}
+	}
+
+	// A surviving replica's chain advanced past the pre-crash commit.
+	survivor := d.Topo.Members(0)[1]
+	if got := d.Node(survivor).View().Len(); got < 4 {
+		t.Fatalf("survivor chain too short after view change: %d blocks", got)
+	}
+}
+
+// TestTCPByzantineDeployment runs the Byzantine model (PBFT + MAC vectors +
+// f+1 reply quorums) over real sockets.
+func TestTCPByzantineDeployment(t *testing.T) {
+	cfg := tcpConfig(2)
+	cfg.Model = types.Byzantine
+	d := startTCP(t, cfg)
+	c := d.NewClient()
+	c.Timeout = 2 * time.Second
+
+	from := d.Shards.AccountInShard(0, 0)
+	to := d.Shards.AccountInShard(1, 0)
+	ok, _, err := c.Transfer([]types.Op{{From: from, To: to, Amount: 3}})
+	if err != nil {
+		t.Fatalf("byzantine cross tx: %v", err)
+	}
+	if !ok {
+		t.Fatal("byzantine cross tx not committed")
+	}
+	waitConverged(t, d)
+	if err := d.DAG().Verify(); err != nil {
+		t.Fatalf("DAG audit: %v", err)
+	}
+}
+
+// TestBatchSizeValidated asserts the explicit error for batches beyond the
+// cross-shard validity-bitmap width (formerly a silent cap).
+func TestBatchSizeValidated(t *testing.T) {
+	_, err := NewDeployment(Config{Model: types.CrashOnly, Clusters: 2, F: 1, BatchSize: MaxBatchSize + 1})
+	if err == nil {
+		t.Fatalf("BatchSize %d accepted", MaxBatchSize+1)
+	}
+	d, err := NewDeployment(Config{Model: types.CrashOnly, Clusters: 2, F: 1, BatchSize: MaxBatchSize})
+	if err != nil {
+		t.Fatalf("BatchSize %d rejected: %v", MaxBatchSize, err)
+	}
+	d.Stop()
+}

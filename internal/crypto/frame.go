@@ -1,0 +1,37 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// FrameTagSize is the length of a wire-frame authenticator tag.
+const FrameTagSize = sha256.Size
+
+// WireKey derives the shared frame-authentication key of a deployment from
+// its configured secret string. Every process of one deployment must be
+// started with the same secret; frames carrying a tag computed under a
+// different key are discarded before they reach any decoder.
+func WireKey(secret string) []byte {
+	sum := sha256.Sum256([]byte("sharper-wire-v1:" + secret))
+	return sum[:]
+}
+
+// FrameTag computes the HMAC-SHA256 authenticator the TCP backend appends to
+// every frame. This is transport-level authentication (§2.1's pairwise
+// authenticated channels, which the simulated fabric gets for free); it is
+// independent of the per-node protocol-level MAC/ed25519 signatures.
+func FrameTag(key, frame []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(frame)
+	return mac.Sum(nil)
+}
+
+// VerifyFrameTag reports whether tag authenticates frame under key, in
+// constant time.
+func VerifyFrameTag(key, frame, tag []byte) bool {
+	if len(tag) != FrameTagSize {
+		return false
+	}
+	return hmac.Equal(tag, FrameTag(key, frame))
+}

@@ -13,6 +13,8 @@ package paxos
 
 import (
 	"fmt"
+	"os"
+	"sort"
 	"time"
 
 	"sharper/internal/consensus"
@@ -45,12 +47,52 @@ type Engine struct {
 	// proposal chain advances.
 	parked map[uint64]*types.Envelope
 
-	// View change bookkeeping.
+	// View change bookkeeping. promised is the highest view this node has
+	// voted a view change for: like a Paxos phase-1 promise, once cast the
+	// node rejects proposals from lower views — otherwise an acceptance
+	// granted after the view-change vote would be invisible to the new
+	// view's value recovery, and the deposed primary could commit with it.
 	vcVotes      map[uint64]map[types.NodeID]*types.ViewChange
 	viewChanging bool
+	promised     uint64
+
+	// New-primary recovery state: values reported prepared by the
+	// view-change quorum, to re-propose in order, and the committed
+	// sequence this node must reach (by chain sync) before proposing
+	// anything — a voter reported commits we have not seen, so proposing
+	// earlier could re-bind an already-committed slot.
+	pendingRepropose []preparedCand
+	reproposeBarrier uint64
 
 	// Proposal timeout for backups awaiting commit.
 	timeout time.Duration
+
+	// trace is a bounded ring of protocol events for post-mortem debugging
+	// (see DebugTrace), recorded only when SHARPER_TRACE is set — the
+	// formatting is not free on the benchmark hot path.
+	traceOn bool
+	trace   []string
+}
+
+// tracef records a protocol event in the debug ring.
+func (e *Engine) tracef(format string, args ...interface{}) {
+	if !e.traceOn {
+		return
+	}
+	if len(e.trace) >= 512 {
+		e.trace = e.trace[1:]
+	}
+	e.trace = append(e.trace, fmt.Sprintf(format, args...))
+}
+
+// DebugTrace returns the recent protocol events (oldest first).
+func (e *Engine) DebugTrace() []string { return e.trace }
+
+// preparedCand is one value owed to the chain by a deposed view.
+type preparedCand struct {
+	seq  uint64
+	view uint64
+	txs  []*types.Transaction
 }
 
 type instance struct {
@@ -91,6 +133,7 @@ func New(cfg Config, genesis types.Hash) *Engine {
 		parked:        make(map[uint64]*types.Envelope),
 		vcVotes:       make(map[uint64]map[types.NodeID]*types.ViewChange),
 		timeout:       cfg.Timeout,
+		traceOn:       os.Getenv("SHARPER_TRACE") != "",
 	}
 }
 
@@ -116,22 +159,49 @@ func (e *Engine) ProposedHead() (uint64, types.Hash) { return e.proposedSeq, e.p
 // retransmit — and out-of-order proposals parked earlier are retried; any
 // resulting outbound messages are returned.
 func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction) {
-	// The externally decided block supersedes the entire in-flight pipeline:
-	// any proposal at or above seq chained through a block that lost the
-	// race for this slot, so the proposal chain resets to the new head even
-	// when it means moving proposedSeq backwards. Transactions this node
-	// itself proposed in the dead pipeline are returned so the runtime can
-	// re-propose them on the new chain.
 	e.proposedSeq = seq
 	e.proposedHead = head
 	if seq > e.committedSeq {
 		e.committedSeq = seq
 		e.committedHead = head
 	}
+	e.tracef("sync-head seq=%d head=%s", seq, head)
+	// Slots at or below the new head are decided; their instances are
+	// stale. This node's own uncommitted proposals among them are handed
+	// back for re-proposal (the runtime dedups against the chain).
 	var orphans []*types.Transaction
 	for s, inst := range e.instances {
-		if !inst.committed || s > seq {
+		if s <= seq {
 			if inst.own && !inst.committed {
+				orphans = append(orphans, inst.txs...)
+			}
+			delete(e.instances, s)
+		}
+	}
+	// Instances ABOVE the new head survive if they still chain onto it: a
+	// synced block is often exactly the parent an accepted-but-uncommitted
+	// proposal was built on (the replica missed the commit, not the value),
+	// and wiping such an acceptance is unsafe — the primary counted it, so
+	// the slot may already be committed elsewhere, while this replica would
+	// report itself drained and vote a cross-shard block into that slot.
+	// Walk upward re-linking; everything past the first break is dead
+	// pipeline (it chained through a block that lost the slot race).
+	expect := head
+	for s := seq + 1; ; s++ {
+		inst, ok := e.instances[s]
+		if !ok || len(inst.txs) == 0 || inst.parent != expect {
+			break
+		}
+		bh := (&types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}).Hash()
+		e.proposedSeq = s
+		e.proposedHead = bh
+		expect = bh
+	}
+	for s, inst := range e.instances {
+		// Committed instances above the walk are kept: the cluster bound
+		// those slots; chain sync will deliver or supersede them.
+		if s > e.proposedSeq && !inst.committed {
+			if inst.own {
 				orphans = append(orphans, inst.txs...)
 			}
 			delete(e.instances, s)
@@ -142,7 +212,31 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 			delete(e.parked, s)
 		}
 	}
-	return e.retryParked(now), orphans
+	out := e.retryParked(now)
+	// The synced block may have satisfied the recovery barrier.
+	out = append(out, e.drainRepropose(now)...)
+	return out, orphans
+}
+
+// HasUncommitted reports whether any consensus instance with a known body
+// sits above the committed head — accepted-but-uncommitted, or committed
+// above a gap. The cross-shard protocol must not treat the chain as drained
+// while such a slot exists: its value may already hold a commit quorum
+// elsewhere, and a cross-shard block voted on the current head would fork
+// the chain against it.
+func (e *Engine) HasUncommitted() bool {
+	for seq, inst := range e.instances {
+		if seq <= e.committedSeq {
+			continue
+		}
+		// A bodyless committed instance (a commit that raced ahead of its
+		// accept) counts too: the slot is known bound even though the value
+		// has not arrived yet.
+		if inst.committed || len(inst.txs) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // retryParked replays parked accepts that may now extend the chain.
@@ -169,8 +263,20 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	if !e.IsPrimary() || e.viewChanging || len(txs) == 0 {
 		return nil, 0
 	}
+	// A fresh primary first replays what the deposed view owed the chain
+	// (and catches up to any commit a view-change voter reported); new
+	// client batches wait so they cannot steal a possibly-committed slot.
+	if e.committedSeq < e.reproposeBarrier || len(e.pendingRepropose) > 0 {
+		return nil, 0
+	}
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
+	if prev, ok := e.instances[seq]; ok && prev.committed {
+		// The slot is already bound (a commit raced ahead of its accept):
+		// proposing over it would erase that knowledge. Chain sync delivers
+		// or supersedes it; the batch stays queued.
+		return nil, 0
+	}
 	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
 	digest := types.BatchDigest(txs)
 
@@ -186,6 +292,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	e.instances[seq] = inst
 	e.proposedSeq = seq
 	e.proposedHead = block.Hash()
+	e.tracef("propose v=%d seq=%d d=%s tx0=%s", e.view, seq, digest, txs[0].ID)
 
 	msg := &types.ConsensusMsg{
 		View:       e.view,
@@ -226,13 +333,14 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 	if err != nil || len(m.Txs) == 0 {
 		return nil, nil
 	}
-	// Only the primary of the message's view may propose.
-	if env.From != e.topo.Primary(e.cluster, m.View) || m.View < e.view {
+	// Only the primary of the message's view may propose, and only at or
+	// above the view this node has promised.
+	if env.From != e.topo.Primary(e.cluster, m.View) || m.View < e.view || m.View < e.promised {
 		return nil, nil
 	}
 	if m.View > e.view {
 		// We lag behind a view change; adopt the higher view.
-		e.installView(m.View)
+		e.installView(m.View, now)
 	}
 	// Proposals must extend our chain in order: seq proposedSeq+1 with the
 	// parent equal to our proposed head. Later proposals park until the gap
@@ -254,11 +362,24 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		inst = &instance{accepted: make(map[types.NodeID]bool)}
 		e.instances[m.Seq] = inst
 	}
+	if inst.committed && inst.digest != m.Digest {
+		// We know this slot committed with a different value (awaiting the
+		// gap below it); a conflicting re-proposal must not overwrite it.
+		return nil, nil
+	}
+	if inst.view != m.View {
+		// A retained instance from a deposed view is overwritten by the new
+		// view's proposal; its old votes must not leak into the new binding.
+		inst.accepted = map[types.NodeID]bool{}
+		inst.sentCmt = false
+		inst.own = false
+	}
 	inst.digest = m.Digest
 	inst.parent = m.PrevHashes[0]
 	inst.txs = m.Txs
 	inst.view = m.View
 	inst.deadline = now.Add(e.timeout)
+	e.tracef("accept v=%d seq=%d d=%s tx0=%s", m.View, m.Seq, m.Digest, m.Txs[0].ID)
 	if m.Seq > e.proposedSeq {
 		e.proposedSeq = m.Seq
 		block := &types.Block{Txs: m.Txs, Parents: []types.Hash{inst.parent}}
@@ -294,7 +415,9 @@ func (e *Engine) onAccepted(env *types.Envelope) ([]consensus.Outbound, []consen
 	if !ok || inst.view != m.View || inst.digest != m.Digest || inst.sentCmt {
 		return nil, nil
 	}
-	if !e.IsPrimary() {
+	if !e.IsPrimary() || e.viewChanging || m.View < e.promised {
+		// A primary that joined a view change has promised not to commit in
+		// the old view: late accepteds must not complete its quorums.
 		return nil, nil
 	}
 	inst.accepted[env.From] = true
@@ -304,6 +427,7 @@ func (e *Engine) onAccepted(env *types.Envelope) ([]consensus.Outbound, []consen
 	// Quorum: multicast commit and decide locally.
 	inst.sentCmt = true
 	inst.committed = true
+	e.tracef("commit-quorum v=%d seq=%d d=%s acc=%d", inst.view, m.Seq, inst.digest, len(inst.accepted))
 	cm := &types.ConsensusMsg{View: inst.view, Seq: m.Seq, Digest: inst.digest, Cluster: e.cluster}
 	out := []consensus.Outbound{{
 		To:  others(e.topo.Members(e.cluster), e.self),
@@ -326,7 +450,16 @@ func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensu
 		inst = &instance{accepted: make(map[types.NodeID]bool)}
 		e.instances[m.Seq] = inst
 	}
+	if inst.digest.IsZero() {
+		inst.digest = m.Digest
+	}
+	if inst.digest != m.Digest {
+		// A stale commit from a deposed view must not commit the slot's new
+		// binding (nor may a buffered commit accept a different body later).
+		return nil, nil
+	}
 	inst.committed = true
+	e.tracef("commit-msg v=%d seq=%d d=%s from=%s", m.View, m.Seq, m.Digest, env.From)
 	return nil, e.advance()
 }
 
@@ -349,10 +482,14 @@ func (e *Engine) advance() []consensus.Decision {
 }
 
 // Tick fires proposal timeouts: a backup with an instance past its deadline
-// suspects the primary and votes for the next view.
+// suspects the primary and votes for the next view. A fresh primary uses the
+// tick to retry its recovery obligations once chain sync catches it up.
 func (e *Engine) Tick(now time.Time) []consensus.Outbound {
-	if e.IsPrimary() || e.viewChanging {
+	if e.viewChanging {
 		return nil
+	}
+	if e.IsPrimary() {
+		return e.drainRepropose(now)
 	}
 	expired := false
 	for seq, inst := range e.instances {
@@ -369,22 +506,47 @@ func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 
 func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
 	e.viewChanging = true
+	if newView > e.promised {
+		e.promised = newView
+	}
 	vc := &types.ViewChange{
 		NewView:  newView,
 		Cluster:  e.cluster,
 		LastSeq:  e.committedSeq,
 		LastHash: e.committedHead,
 	}
-	// Report the highest uncommitted accepted instance so the new primary
-	// can re-propose it (Paxos phase-1 value recovery, collapsed because
-	// crash-only nodes never lie).
+	// Report every uncommitted accepted instance — with its body — so the
+	// new primary can re-propose the values (Paxos phase-1 value recovery,
+	// collapsed because crash-only nodes never lie). Any value that reached
+	// a commit quorum at the deposed primary was accepted by at least one
+	// member of every view-change quorum, so it is always reported.
+	// Committed-but-undelivered instances (a commit observed above a gap)
+	// are reported too: they are bound slots the new primary must respect.
+	reported := make(map[uint64]bool)
 	for seq, inst := range e.instances {
-		if seq > e.committedSeq && len(inst.txs) > 0 && !inst.committed && seq > vc.PreparedSeq {
-			vc.PreparedSeq = seq
-			vc.PreparedHash = inst.digest
+		if seq > e.committedSeq && len(inst.txs) > 0 {
+			vc.Prepared = append(vc.Prepared, types.PreparedInstance{
+				Seq: seq, View: inst.view, Digest: inst.digest, Txs: inst.txs,
+			})
+			reported[seq] = true
+			if seq > vc.PreparedSeq {
+				vc.PreparedSeq = seq
+				vc.PreparedHash = inst.digest
+			}
+		}
+	}
+	// Values this node recovered as primary but had not re-proposed yet
+	// live only in pendingRepropose; they must survive into the next view's
+	// recovery as well, or a twice-deposed value could lose its slot.
+	for _, c := range e.pendingRepropose {
+		if c.seq > e.committedSeq && !reported[c.seq] {
+			vc.Prepared = append(vc.Prepared, types.PreparedInstance{
+				Seq: c.seq, View: c.view, Digest: types.BatchDigest(c.txs), Txs: c.txs,
+			})
 		}
 	}
 	e.recordViewChange(e.self, vc)
+	e.tracef("vc-vote nv=%d last=%d prepared=%d", newView, vc.LastSeq, len(vc.Prepared))
 	env := &types.Envelope{Type: types.MsgViewChange, From: e.self, Payload: vc.Encode(nil)}
 	return []consensus.Outbound{{To: others(e.topo.Members(e.cluster), e.self), Env: env}}
 }
@@ -424,28 +586,62 @@ func (e *Engine) onViewChange(env *types.Envelope, now time.Time) ([]consensus.O
 		LastSeq: e.committedSeq, LastHash: e.committedHead}
 	env2 := &types.Envelope{Type: types.MsgNewView, From: e.self, Payload: nv.Encode(nil)}
 	out = append(out, consensus.Outbound{To: others(e.topo.Members(e.cluster), e.self), Env: env2})
-	e.installView(vc.NewView)
-	// Re-propose the highest reported uncommitted instance, if any.
-	out = append(out, e.reproposePrepared(votes, now)...)
+	e.adoptRecovery(votes)
+	e.installView(vc.NewView, now)
+	out = append(out, e.drainRepropose(now)...)
 	return out, nil
 }
 
-func (e *Engine) reproposePrepared(votes map[types.NodeID]*types.ViewChange, now time.Time) []consensus.Outbound {
-	var best *types.ViewChange
+// adoptRecovery digests the view-change quorum's reports into the new
+// primary's obligations: the commit level it must reach before proposing
+// (reproposeBarrier, satisfied by chain sync) and the accepted values it
+// must re-bind first (pendingRepropose, ascending, highest accept-view wins
+// per slot).
+func (e *Engine) adoptRecovery(votes map[types.NodeID]*types.ViewChange) {
+	maxLast := e.committedSeq
+	cands := make(map[uint64]preparedCand)
 	for _, vc := range votes {
-		if vc.PreparedSeq > e.committedSeq && (best == nil || vc.PreparedSeq > best.PreparedSeq) {
-			best = vc
+		if vc.LastSeq > maxLast {
+			maxLast = vc.LastSeq
+		}
+		for _, p := range vc.Prepared {
+			if len(p.Txs) == 0 || types.BatchDigest(p.Txs) != p.Digest {
+				continue
+			}
+			if cur, ok := cands[p.Seq]; !ok || p.View > cur.view {
+				cands[p.Seq] = preparedCand{seq: p.Seq, view: p.View, txs: p.Txs}
+			}
 		}
 	}
-	if best == nil {
+	e.reproposeBarrier = maxLast
+	e.pendingRepropose = e.pendingRepropose[:0]
+	for _, c := range cands {
+		if c.seq > e.committedSeq {
+			e.pendingRepropose = append(e.pendingRepropose, c)
+		}
+	}
+	sort.Slice(e.pendingRepropose, func(i, j int) bool {
+		return e.pendingRepropose[i].seq < e.pendingRepropose[j].seq
+	})
+	e.tracef("adopt-recovery barrier=%d pending=%d committed=%d", e.reproposeBarrier, len(e.pendingRepropose), e.committedSeq)
+}
+
+// drainRepropose re-binds recovered values once the primary has caught up
+// to the barrier; slots already filled by synced blocks are skipped.
+func (e *Engine) drainRepropose(now time.Time) []consensus.Outbound {
+	if !e.IsPrimary() || e.viewChanging || e.committedSeq < e.reproposeBarrier || len(e.pendingRepropose) == 0 {
 		return nil
 	}
-	// Find the batch body locally (we may have accepted it too).
-	inst, ok := e.instances[best.PreparedSeq]
-	if !ok || len(inst.txs) == 0 {
-		return nil // body unavailable; the clients will retransmit
+	pending := e.pendingRepropose
+	e.pendingRepropose = nil
+	var out []consensus.Outbound
+	for _, c := range pending {
+		if c.seq <= e.committedSeq {
+			continue // chain sync already delivered this slot
+		}
+		o, _ := e.Propose(c.txs, now)
+		out = append(out, o...)
 	}
-	out, _ := e.Propose(inst.txs, now)
 	return out
 }
 
@@ -457,24 +653,29 @@ func (e *Engine) onNewView(env *types.Envelope, now time.Time) ([]consensus.Outb
 	if env.From != e.topo.Primary(e.cluster, nv.NewView) {
 		return nil, nil
 	}
-	e.installView(nv.NewView)
+	e.installView(nv.NewView, now)
 	return nil, nil
 }
 
-func (e *Engine) installView(v uint64) {
+func (e *Engine) installView(v uint64, now time.Time) {
 	if v <= e.view {
 		e.viewChanging = false
 		return
 	}
 	e.view = v
 	e.viewChanging = false
-	// Reset the proposal chain to committed state: uncommitted proposals
-	// from the old primary are abandoned (their clients retransmit).
+	e.tracef("install-view v=%d committed=%d", v, e.committedSeq)
+	// Reset the proposal chain to committed state. Uncommitted accepted
+	// instances are RETAINED: like Paxos acceptors, this node keeps the
+	// values it voted for so later view changes can still recover them (a
+	// value may hold a commit quorum at the deposed primary). Their timers
+	// restart so the new primary gets a full window to re-bind them; the
+	// new view's proposals overwrite them slot by slot.
 	e.proposedSeq = e.committedSeq
 	e.proposedHead = e.committedHead
 	for seq, inst := range e.instances {
 		if seq > e.committedSeq && !inst.committed {
-			delete(e.instances, seq)
+			inst.deadline = now.Add(e.timeout)
 		}
 	}
 	e.parked = make(map[uint64]*types.Envelope)

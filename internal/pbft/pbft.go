@@ -9,6 +9,7 @@
 package pbft
 
 import (
+	"sort"
 	"time"
 
 	"sharper/internal/consensus"
@@ -38,10 +39,27 @@ type Engine struct {
 	// whenever the proposal chain advances.
 	parked map[uint64]*types.Envelope
 
+	// promised is the highest view this node has voted a view change for:
+	// once cast, votes for lower views are refused (see paxos.Engine).
 	vcVotes      map[uint64]map[types.NodeID]*types.ViewChange
 	viewChanging bool
+	promised     uint64
+
+	// New-primary recovery state (see paxos.Engine): values the deposed
+	// view owed the chain, and the commit level to reach before proposing.
+	pendingRepropose []preparedCand
+	reproposeBarrier uint64
 
 	timeout time.Duration
+}
+
+// preparedCand is one value owed to the chain by a deposed view, with the
+// certificate that admitted it (re-reported if this primary is deposed too).
+type preparedCand struct {
+	seq   uint64
+	view  uint64
+	txs   []*types.Transaction
+	proof []types.VoteProof
 }
 
 type instance struct {
@@ -53,6 +71,10 @@ type instance struct {
 	prePrep    bool
 	prepares   map[types.NodeID]types.Hash
 	commits    map[types.NodeID]types.Hash
+	// voteSigs keeps each node's signature over its prepare/commit payload
+	// (one canonical encoding), so a view change can carry a verifiable
+	// prepared certificate instead of an unproven claim.
+	voteSigs map[types.NodeID][]byte
 	sentPrep   bool
 	sentCommit bool
 	committed  bool
@@ -112,19 +134,41 @@ func (e *Engine) ProposedHead() (uint64, types.Hash) { return e.proposedSeq, e.p
 // discarding in-flight proposals that no longer extend the chain and
 // retrying parked ones.
 func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction) {
-	// The externally decided block supersedes the entire in-flight pipeline
-	// (see paxos.Engine.SyncChainHead): reset unconditionally and hand the
-	// node's own orphaned transactions back for re-proposal.
 	e.proposedSeq = seq
 	e.proposedHead = head
 	if seq > e.committedSeq {
 		e.committedSeq = seq
 		e.committedHead = head
 	}
+	// Slots at or below the new head are decided; their instances are
+	// stale, and this node's own uncommitted proposals among them are
+	// handed back for re-proposal. Instances above the head survive while
+	// they still chain onto it (see paxos.Engine.SyncChainHead — wiping a
+	// still-valid acceptance the primary already counted lets a cross-shard
+	// block steal its slot).
 	var orphans []*types.Transaction
 	for s, inst := range e.instances {
-		if !inst.committed || s > seq {
+		if s <= seq {
 			if inst.own && !inst.committed {
+				orphans = append(orphans, inst.txs...)
+			}
+			delete(e.instances, s)
+		}
+	}
+	expect := head
+	for s := seq + 1; ; s++ {
+		inst, ok := e.instances[s]
+		if !ok || len(inst.txs) == 0 || inst.parent != expect {
+			break
+		}
+		bh := (&types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}).Hash()
+		e.proposedSeq = s
+		e.proposedHead = bh
+		expect = bh
+	}
+	for s, inst := range e.instances {
+		if s > e.proposedSeq && !inst.committed {
+			if inst.own {
 				orphans = append(orphans, inst.txs...)
 			}
 			delete(e.instances, s)
@@ -135,7 +179,34 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 			delete(e.parked, s)
 		}
 	}
-	return e.retryParked(now), orphans
+	out := e.retryParked(now)
+	out = append(out, e.drainRepropose(now)...)
+	return out, orphans
+}
+
+// HasUncommitted reports whether any consensus instance with a known body
+// sits above the committed head (see paxos.Engine.HasUncommitted): the
+// cross-shard protocol must not treat the chain as drained while one does.
+func (e *Engine) HasUncommitted() bool {
+	q := 2*e.topo.F(e.cluster) + 1
+	for seq, inst := range e.instances {
+		if seq <= e.committedSeq {
+			continue
+		}
+		if len(inst.txs) > 0 || inst.committed {
+			return true
+		}
+		// A bodyless instance with a full commit certificate is a known
+		// bound slot even before the pre-prepare arrives.
+		counts := make(map[types.Hash]int)
+		for _, d := range inst.commits {
+			counts[d]++
+			if counts[d] >= q {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // retryParked replays parked pre-prepares that may now extend the chain.
@@ -168,12 +239,31 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	if !e.IsPrimary() || e.viewChanging || len(txs) == 0 {
 		return nil, 0
 	}
+	// A fresh primary first replays what the deposed view owed the chain;
+	// see paxos.Engine.Propose.
+	if e.committedSeq < e.reproposeBarrier || len(e.pendingRepropose) > 0 {
+		return nil, 0
+	}
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
+	if prev, ok := e.instances[seq]; ok && prev.committed {
+		// The slot is already bound (a commit certificate raced ahead of
+		// its body): proposing over it would erase that knowledge. Chain
+		// sync delivers or supersedes it; the batch stays queued.
+		return nil, 0
+	}
 	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
 	digest := types.BatchDigest(txs)
 
-	inst := e.getInstance(seq)
+	// A fresh instance, never getInstance: a retained instance from a
+	// deposed view may linger at this slot, and its stale votes must not
+	// count toward the new binding's quorums.
+	inst := &instance{
+		prepares: make(map[types.NodeID]types.Hash),
+		commits:  make(map[types.NodeID]types.Hash),
+		voteSigs: make(map[types.NodeID][]byte),
+	}
+	e.instances[seq] = inst
 	inst.digest = digest
 	inst.parent = parent
 	inst.txs = txs
@@ -204,6 +294,7 @@ func (e *Engine) getInstance(seq uint64) *instance {
 		inst = &instance{
 			prepares: make(map[types.NodeID]types.Hash),
 			commits:  make(map[types.NodeID]types.Hash),
+			voteSigs: make(map[types.NodeID][]byte),
 		}
 		e.instances[seq] = inst
 	}
@@ -225,7 +316,7 @@ func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound,
 	case types.MsgViewChange:
 		return e.onViewChange(env, now)
 	case types.MsgNewView:
-		return e.onNewView(env)
+		return e.onNewView(env, now)
 	default:
 		return nil, nil
 	}
@@ -236,7 +327,7 @@ func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.O
 	if err != nil || len(m.Txs) == 0 || len(m.PrevHashes) != 1 {
 		return nil, nil
 	}
-	if env.From != e.topo.Primary(e.cluster, m.View) || m.View != e.view {
+	if env.From != e.topo.Primary(e.cluster, m.View) || m.View != e.view || m.View < e.promised {
 		return nil, nil
 	}
 	if m.Digest != types.BatchDigest(m.Txs) {
@@ -256,8 +347,21 @@ func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.O
 		}
 	}
 	inst := e.getInstance(m.Seq)
-	if inst.prePrep && inst.digest != m.Digest {
+	if inst.prePrep && inst.view == m.View && inst.digest != m.Digest {
 		return nil, nil // equivocating primary: keep the first pre-prepare
+	}
+	if inst.committed && inst.digest != m.Digest {
+		return nil, nil // slot already committed with a different value
+	}
+	if inst.view != m.View {
+		// A retained instance from a deposed view is overwritten by the new
+		// view's pre-prepare; its old votes must not leak into the new one.
+		inst.prepares = make(map[types.NodeID]types.Hash)
+		inst.commits = make(map[types.NodeID]types.Hash)
+		inst.voteSigs = make(map[types.NodeID][]byte)
+		inst.sentPrep = false
+		inst.sentCommit = false
+		inst.own = false
 	}
 	inst.prePrep = true
 	inst.digest = m.Digest
@@ -285,29 +389,35 @@ func (e *Engine) votePrepare(inst *instance, seq uint64) []consensus.Outbound {
 	inst.prepares[e.self] = inst.digest
 	m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster}
 	payload := m.Encode(nil)
+	sig := e.sign(payload)
+	inst.voteSigs[e.self] = sig
 	return []consensus.Outbound{{
 		To:  others(e.topo.Members(e.cluster), e.self),
-		Env: &types.Envelope{Type: types.MsgPrepare, From: e.self, Payload: payload, Sig: e.sign(payload)},
+		Env: &types.Envelope{Type: types.MsgPrepare, From: e.self, Payload: payload, Sig: sig},
 	}}
 }
 
 func (e *Engine) onPrepare(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
 	m, err := types.DecodeConsensusMsg(env.Payload)
-	if err != nil || m.View != e.view {
+	if err != nil || m.View != e.view || m.View < e.promised {
 		return nil, nil
 	}
 	inst := e.getInstance(m.Seq)
 	inst.prepares[env.From] = m.Digest
+	inst.voteSigs[env.From] = env.Sig
 	return e.maybeProgress(inst, m.Seq)
 }
 
 func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
 	m, err := types.DecodeConsensusMsg(env.Payload)
-	if err != nil {
+	if err != nil || m.View < e.promised {
 		return nil, nil
 	}
 	inst := e.getInstance(m.Seq)
 	inst.commits[env.From] = m.Digest
+	if _, ok := inst.voteSigs[env.From]; !ok {
+		inst.voteSigs[env.From] = env.Sig
+	}
 	return e.maybeProgress(inst, m.Seq)
 }
 
@@ -322,9 +432,13 @@ func (e *Engine) maybeProgress(inst *instance, seq uint64) ([]consensus.Outbound
 		inst.commits[e.self] = inst.digest
 		m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster}
 		payload := m.Encode(nil)
+		sig := e.sign(payload)
+		if _, ok := inst.voteSigs[e.self]; !ok {
+			inst.voteSigs[e.self] = sig
+		}
 		out = append(out, consensus.Outbound{
 			To:  others(e.topo.Members(e.cluster), e.self),
-			Env: &types.Envelope{Type: types.MsgCommit, From: e.self, Payload: payload, Sig: e.sign(payload)},
+			Env: &types.Envelope{Type: types.MsgCommit, From: e.self, Payload: payload, Sig: sig},
 		})
 	}
 	if inst.prePrep && !inst.committed && countMatching(inst.commits, inst.digest) >= 2*f+1 {
@@ -350,10 +464,14 @@ func (e *Engine) advance() []consensus.Decision {
 	}
 }
 
-// Tick fires the backup timers that trigger view changes.
+// Tick fires the backup timers that trigger view changes; a fresh primary
+// uses it to retry recovery obligations once chain sync catches it up.
 func (e *Engine) Tick(now time.Time) []consensus.Outbound {
-	if e.IsPrimary() || e.viewChanging {
+	if e.viewChanging {
 		return nil
+	}
+	if e.IsPrimary() {
+		return e.drainRepropose(now)
 	}
 	for seq, inst := range e.instances {
 		if seq > e.committedSeq && inst.prePrep && !inst.committed && now.After(inst.deadline) {
@@ -365,19 +483,45 @@ func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 
 func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
 	e.viewChanging = true
+	if newView > e.promised {
+		e.promised = newView
+	}
 	vc := &types.ViewChange{
 		NewView:  newView,
 		Cluster:  e.cluster,
 		LastSeq:  e.committedSeq,
 		LastHash: e.committedHead,
 	}
+	// Report prepared-certified instances (2f+1 matching, signed prepare or
+	// commit votes) and committed-but-undelivered ones, with bodies and the
+	// vote signatures as the certificate, for value recovery.
+	q := 2*e.topo.F(e.cluster) + 1
+	reported := make(map[uint64]bool)
 	for seq, inst := range e.instances {
-		// Report prepared-but-uncommitted instances for value recovery.
-		if seq > e.committedSeq && len(inst.txs) > 0 && !inst.committed &&
-			countMatching(inst.prepares, inst.digest) >= 2*e.topo.F(e.cluster)+1 &&
-			seq > vc.PreparedSeq {
+		if seq <= e.committedSeq || len(inst.txs) == 0 {
+			continue
+		}
+		proof := instanceProof(inst)
+		if len(proof) < q {
+			continue
+		}
+		vc.Prepared = append(vc.Prepared, types.PreparedInstance{
+			Seq: seq, View: inst.view, Digest: inst.digest, Txs: inst.txs, Proof: proof,
+		})
+		reported[seq] = true
+		if seq > vc.PreparedSeq {
 			vc.PreparedSeq = seq
 			vc.PreparedHash = inst.digest
+		}
+	}
+	// Recovered-but-not-yet-re-proposed values must survive further view
+	// changes too (see paxos.Engine.startViewChange); their certificates
+	// ride along from the recovery that admitted them.
+	for _, c := range e.pendingRepropose {
+		if c.seq > e.committedSeq && !reported[c.seq] {
+			vc.Prepared = append(vc.Prepared, types.PreparedInstance{
+				Seq: c.seq, View: c.view, Digest: types.BatchDigest(c.txs), Txs: c.txs, Proof: c.proof,
+			})
 		}
 	}
 	e.recordViewChange(e.self, vc)
@@ -424,24 +568,116 @@ func (e *Engine) onViewChange(env *types.Envelope, now time.Time) ([]consensus.O
 		To:  others(e.topo.Members(e.cluster), e.self),
 		Env: &types.Envelope{Type: types.MsgNewView, From: e.self, Payload: payload, Sig: e.sign(payload)},
 	})
-	e.installView(vc.NewView)
-	// Re-propose the highest prepared uncommitted instance if we hold it.
-	var best *types.ViewChange
-	for _, v := range votes {
-		if v.PreparedSeq > e.committedSeq && (best == nil || v.PreparedSeq > best.PreparedSeq) {
-			best = v
-		}
-	}
-	if best != nil {
-		if inst, ok := e.instances[best.PreparedSeq]; ok && len(inst.txs) > 0 {
-			o, _ := e.Propose(inst.txs, now)
-			out = append(out, o...)
-		}
-	}
+	e.adoptRecovery(votes, f)
+	e.installView(vc.NewView, now)
+	out = append(out, e.drainRepropose(now)...)
 	return out, nil
 }
 
-func (e *Engine) onNewView(env *types.Envelope) ([]consensus.Outbound, []consensus.Decision) {
+// adoptRecovery digests the view-change quorum into the new primary's
+// obligations, with Byzantine-grade filters: a value counts only with a
+// verifiable prepared certificate — 2f+1 distinct nodes' signatures over
+// the canonical prepare/commit payload — so one honest reporter suffices
+// (a commit anywhere implies f+1 honest certificate holders, and any 2f+1
+// view-change quorum intersects them) while no coalition of f liars can
+// fabricate a binding. The catch-up barrier is the (f+1)-th highest
+// reported LastSeq, so it is bounded by an honest node's commit.
+func (e *Engine) adoptRecovery(votes map[types.NodeID]*types.ViewChange, f int) {
+	lastSeqs := make([]uint64, 0, len(votes))
+	cands := make(map[uint64]preparedCand)
+	for _, vc := range votes {
+		lastSeqs = append(lastSeqs, vc.LastSeq)
+		for _, p := range vc.Prepared {
+			if p.Seq <= e.committedSeq || len(p.Txs) == 0 || types.BatchDigest(p.Txs) != p.Digest {
+				continue
+			}
+			if !e.verifyCertificate(&p, 2*f+1) {
+				continue
+			}
+			if cur, ok := cands[p.Seq]; !ok || p.View > cur.view {
+				cands[p.Seq] = preparedCand{seq: p.Seq, view: p.View, txs: p.Txs, proof: p.Proof}
+			}
+		}
+	}
+	sort.Slice(lastSeqs, func(i, j int) bool { return lastSeqs[i] > lastSeqs[j] })
+	barrier := e.committedSeq
+	if len(lastSeqs) > f && lastSeqs[f] > barrier {
+		barrier = lastSeqs[f]
+	}
+	e.reproposeBarrier = barrier
+	e.pendingRepropose = e.pendingRepropose[:0]
+	for _, c := range cands {
+		e.pendingRepropose = append(e.pendingRepropose, c)
+	}
+	sort.Slice(e.pendingRepropose, func(i, j int) bool {
+		return e.pendingRepropose[i].seq < e.pendingRepropose[j].seq
+	})
+}
+
+// verifyCertificate checks that a reported prepared instance carries at
+// least `need` distinct cluster members' valid signatures over the
+// canonical vote payload for (view, seq, digest).
+func (e *Engine) verifyCertificate(p *types.PreparedInstance, need int) bool {
+	payload := (&types.ConsensusMsg{
+		View: p.View, Seq: p.Seq, Digest: p.Digest, Cluster: e.cluster,
+	}).Encode(nil)
+	members := make(map[types.NodeID]bool, len(e.topo.Members(e.cluster)))
+	for _, m := range e.topo.Members(e.cluster) {
+		members[m] = true
+	}
+	valid := make(map[types.NodeID]bool)
+	for _, pr := range p.Proof {
+		if !members[pr.Node] || valid[pr.Node] {
+			continue
+		}
+		if e.verify.Verify(pr.Node, payload, pr.Sig) {
+			valid[pr.Node] = true
+			if len(valid) >= need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// instanceProof assembles the certificate for an instance: every recorded
+// prepare/commit vote matching the instance's digest, with its signature.
+func instanceProof(inst *instance) []types.VoteProof {
+	seen := make(map[types.NodeID]bool)
+	var proof []types.VoteProof
+	add := func(votes map[types.NodeID]types.Hash) {
+		for id, d := range votes {
+			if d == inst.digest && !seen[id] {
+				seen[id] = true
+				proof = append(proof, types.VoteProof{Node: id, Sig: inst.voteSigs[id]})
+			}
+		}
+	}
+	add(inst.prepares)
+	add(inst.commits)
+	return proof
+}
+
+// drainRepropose re-binds recovered values once the primary caught up to
+// the barrier; slots already filled by synced blocks are skipped.
+func (e *Engine) drainRepropose(now time.Time) []consensus.Outbound {
+	if !e.IsPrimary() || e.viewChanging || e.committedSeq < e.reproposeBarrier || len(e.pendingRepropose) == 0 {
+		return nil
+	}
+	pending := e.pendingRepropose
+	e.pendingRepropose = nil
+	var out []consensus.Outbound
+	for _, c := range pending {
+		if c.seq <= e.committedSeq {
+			continue
+		}
+		o, _ := e.Propose(c.txs, now)
+		out = append(out, o...)
+	}
+	return out
+}
+
+func (e *Engine) onNewView(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	nv, err := types.DecodeViewChange(env.Payload)
 	if err != nil || nv.NewView < e.view || nv.Cluster != e.cluster {
 		return nil, nil
@@ -449,11 +685,11 @@ func (e *Engine) onNewView(env *types.Envelope) ([]consensus.Outbound, []consens
 	if env.From != e.topo.Primary(e.cluster, nv.NewView) {
 		return nil, nil
 	}
-	e.installView(nv.NewView)
+	e.installView(nv.NewView, now)
 	return nil, nil
 }
 
-func (e *Engine) installView(v uint64) {
+func (e *Engine) installView(v uint64, now time.Time) {
 	if v <= e.view {
 		e.viewChanging = false
 		return
@@ -462,9 +698,12 @@ func (e *Engine) installView(v uint64) {
 	e.viewChanging = false
 	e.proposedSeq = e.committedSeq
 	e.proposedHead = e.committedHead
+	// Uncommitted instances are retained (see paxos.Engine.installView):
+	// prepared certificates must survive into later view changes. Timers
+	// restart so the new primary gets a full window.
 	for seq, inst := range e.instances {
 		if seq > e.committedSeq && !inst.committed {
-			delete(e.instances, seq)
+			inst.deadline = now.Add(e.timeout)
 		}
 	}
 	e.parked = make(map[uint64]*types.Envelope)

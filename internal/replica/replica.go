@@ -47,8 +47,13 @@ type Config struct {
 	F int
 	// Factory builds the per-replica ordering engine.
 	Factory EngineFactory
-	// Network configures the fabric; zero value = transport.DefaultConfig().
+	// Network configures the simulated fabric; zero value =
+	// transport.DefaultConfig(). Ignored when Fabric is set.
 	Network transport.Config
+	// Fabric, when non-nil, overrides the simulated network with an
+	// externally built message fabric (e.g. a tcpnet.Net), letting the
+	// baselines run over real sockets like the sharded system.
+	Fabric transport.Fabric
 	// Sign enables signatures (Byzantine deployments).
 	Sign bool
 
@@ -61,7 +66,7 @@ type Config struct {
 type Deployment struct {
 	cfg     Config
 	Topo    *consensus.Topology
-	Net     *transport.Network
+	Net     transport.Fabric
 	Keyring crypto.Authenticator
 	Shards  state.ShardMap
 
@@ -93,19 +98,22 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		},
 	}
 
-	netCfg := cfg.Network
-	if netCfg == (transport.Config{}) {
-		netCfg = transport.DefaultConfig()
-	}
-	if netCfg.Seed == 0 {
-		netCfg.Seed = cfg.Seed
-	}
-	net := transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
-		if int(id) < cfg.ActiveSize {
-			return 0, true
+	net := cfg.Fabric
+	if net == nil {
+		netCfg := cfg.Network
+		if netCfg == (transport.Config{}) {
+			netCfg = transport.DefaultConfig()
 		}
-		return 1, true // passives are "elsewhere": cross-cluster latency
-	})
+		if netCfg.Seed == 0 {
+			netCfg.Seed = cfg.Seed
+		}
+		net = transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
+			if int(id) < cfg.ActiveSize {
+				return 0, true
+			}
+			return 1, true // passives are "elsewhere": cross-cluster latency
+		})
+	}
 
 	d := &Deployment{
 		cfg:     cfg,

@@ -1,0 +1,622 @@
+// Package tcpnet is the real-network implementation of transport.Fabric:
+// length-prefixed frames over TCP connections, so a SharPer deployment can
+// run as separate OS processes on loopback or a LAN (§5 runs replicas as
+// networked processes; the simulated fabric in internal/transport remains
+// the default for tests and benchmarks).
+//
+// # Wire format
+//
+// Every frame is
+//
+//	uint32 LE  frameLen            (length of everything below)
+//	uint32 LE  to                  (destination NodeID, or helloDst)
+//	           envelope            (types.Envelope canonical encoding)
+//	[32]byte   HMAC-SHA256 tag     (over to ‖ envelope, keyed by the
+//	                                deployment's shared wire secret)
+//
+// Frames whose tag does not verify are discarded and the connection is
+// dropped: an attacker on the network cannot inject or alter protocol
+// messages, which restores the pairwise-authenticated-channel assumption of
+// §2.1 that the simulated fabric gets for free. Protocol-level signatures
+// (internal/crypto MAC vectors or ed25519) ride inside the envelope and are
+// unchanged.
+//
+// # Routing
+//
+// One Net instance typically hosts a single replica (its process) or a set
+// of client endpoints (a driver process). Send routes by destination:
+// locally registered inboxes deliver directly; replica IDs named in the
+// static peer table go out over a per-peer connection with its own bounded
+// outbound queue, reconnect, and exponential backoff; anything else (client
+// IDs, which are dynamic) routes over the connection the destination was
+// last seen on. Connections advertise their local inboxes with small hello
+// frames on establishment, so replies to clients flow back over the
+// client's own connections without the clients appearing in any topology
+// file.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sharper/internal/crypto"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// helloDst is the reserved destination of route-advertisement frames. It is
+// far outside both the replica ID range (dense from 0) and the client range
+// (from types.ClientIDBase).
+const helloDst = ^uint32(0)
+
+// Config describes one process's attachment to the wire.
+type Config struct {
+	// Self is the primary identity this fabric hosts, used in error text.
+	// Dial-only fabrics (client drivers) may leave it zero.
+	Self types.NodeID
+	// ListenAddr is the TCP address to accept peer connections on
+	// ("host:port"; ":0" picks a free port — read it back with Addr).
+	// Empty means dial-only: the fabric originates connections but accepts
+	// none, which is all a client driver needs.
+	ListenAddr string
+	// Listener, when non-nil, is used instead of ListenAddr (ownership
+	// transfers to the fabric). Loopback uses this to fix every node's
+	// address before any fabric starts.
+	Listener net.Listener
+	// Peers maps every replica to its address. Destinations outside the map
+	// are assumed to be clients and routed over learned return routes.
+	Peers map[types.NodeID]string
+	// Secret keys the per-frame HMAC; every process of the deployment must
+	// share it (crypto.WireKey derives it from a secret string).
+	Secret []byte
+	// InboxSize is the buffered capacity of each local inbox (default 16384).
+	InboxSize int
+	// QueueSize bounds each per-peer outbound queue; frames beyond it are
+	// dropped, like the simulated fabric under saturation (default 16384).
+	QueueSize int
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// MaxFrame caps accepted frame sizes (default 4 MiB); oversized length
+	// prefixes poison the connection, which is dropped and redialed.
+	MaxFrame int
+}
+
+func (c *Config) fillDefaults() {
+	if c.InboxSize <= 0 {
+		c.InboxSize = 16384
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 16384
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 4 << 20
+	}
+}
+
+// Net is the TCP fabric. It is safe for concurrent use.
+type Net struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.RWMutex
+	inboxes map[types.NodeID]chan *types.Envelope
+	routes  map[types.NodeID]*wireConn // learned client return routes
+	conns   map[*wireConn]struct{}     // every live connection, for shutdown
+	peers   map[types.NodeID]*peer
+	closed  bool
+
+	stats transport.Stats
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+var _ transport.Fabric = (*Net)(nil)
+
+// New creates a fabric and, when a listen address (or listener) is
+// configured, starts accepting connections immediately.
+func New(cfg Config) (*Net, error) {
+	cfg.fillDefaults()
+	if len(cfg.Secret) == 0 {
+		return nil, fmt.Errorf("tcpnet: empty wire secret")
+	}
+	n := &Net{
+		cfg:     cfg,
+		inboxes: make(map[types.NodeID]chan *types.Envelope),
+		routes:  make(map[types.NodeID]*wireConn),
+		conns:   make(map[*wireConn]struct{}),
+		peers:   make(map[types.NodeID]*peer),
+		done:    make(chan struct{}),
+	}
+	if cfg.Listener != nil {
+		n.ln = cfg.Listener
+	} else if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.ListenAddr, err)
+		}
+		n.ln = ln
+	}
+	if n.ln != nil {
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// Addr returns the fabric's accept address ("" for dial-only fabrics).
+func (n *Net) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Stats returns the live counters.
+func (n *Net) Stats() *transport.Stats { return &n.stats }
+
+// Register creates (or returns) the local inbox for id and advertises it to
+// every known peer, so replicas can route replies back here. Advertisements
+// travel through the same per-peer queues as ordinary frames, so on any one
+// connection the hello always precedes traffic the new endpoint sends later.
+func (n *Net) Register(id types.NodeID) <-chan *types.Envelope {
+	n.mu.Lock()
+	if ch, ok := n.inboxes[id]; ok {
+		n.mu.Unlock()
+		return ch
+	}
+	ch := make(chan *types.Envelope, n.cfg.InboxSize)
+	n.inboxes[id] = ch
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	hello := n.encodeFrame(helloDst, &types.Envelope{From: id})
+	for _, p := range peers {
+		p.enqueue(hello, &n.stats)
+	}
+	return ch
+}
+
+// Send routes env toward `to`: local inbox, static peer link, or learned
+// return route, in that order. Send never blocks; undeliverable or
+// over-pressure frames are dropped and counted.
+func (n *Net) Send(to types.NodeID, env *types.Envelope) {
+	n.stats.Sent.Add(1)
+	n.stats.Bytes.Add(int64(len(env.Payload)))
+
+	n.mu.RLock()
+	closed := n.closed
+	local, isLocal := n.inboxes[to]
+	route := n.routes[to]
+	n.mu.RUnlock()
+	if closed {
+		n.stats.Dropped.Add(1)
+		return
+	}
+	if isLocal {
+		select {
+		case local <- env:
+			n.stats.Delivered.Add(1)
+		default:
+			n.stats.Dropped.Add(1)
+		}
+		return
+	}
+	if _, ok := n.cfg.Peers[to]; ok {
+		n.peerFor(to).enqueue(n.encodeFrame(uint32(to), env), &n.stats)
+		return
+	}
+	if route != nil {
+		route.enqueue(n.encodeFrame(uint32(to), env), &n.stats)
+		return
+	}
+	n.stats.Dropped.Add(1)
+}
+
+// Multicast sends env to every destination in to.
+func (n *Net) Multicast(to []types.NodeID, env *types.Envelope) {
+	for _, id := range to {
+		n.Send(id, env)
+	}
+}
+
+// ConnectAll eagerly establishes a connection to every peer in the table,
+// waiting up to timeout for the set to come up (and for each connection's
+// hello advertisements to be written). It returns an error naming the peers
+// still unreachable; the fabric keeps redialing those in the background, so
+// a partial failure is not fatal. Client drivers call this before issuing
+// load so replies routed by replicas they never dialed directly still find a
+// return path.
+func (n *Net) ConnectAll(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	waiting := make(map[types.NodeID]*peer, len(n.cfg.Peers))
+	for id := range n.cfg.Peers {
+		waiting[id] = n.peerFor(id)
+	}
+	var unreachable []types.NodeID
+	for id, p := range waiting {
+		remain := time.Until(deadline)
+		if remain < 0 {
+			remain = 0
+		}
+		select {
+		case <-p.ready:
+		case <-n.done:
+			return fmt.Errorf("tcpnet: fabric closed while connecting")
+		case <-time.After(remain):
+			unreachable = append(unreachable, id)
+		}
+	}
+	if len(unreachable) > 0 {
+		return fmt.Errorf("tcpnet: %d peer(s) unreachable after %s: %v", len(unreachable), timeout, unreachable)
+	}
+	return nil
+}
+
+// Close tears the fabric down: the listener stops, every connection closes,
+// all goroutines exit, and subsequent sends are dropped.
+func (n *Net) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := make([]*wireConn, 0, len(n.conns))
+	for wc := range n.conns {
+		conns = append(conns, wc)
+	}
+	n.mu.Unlock()
+	close(n.done)
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, wc := range conns {
+		wc.close()
+	}
+	n.wg.Wait()
+}
+
+// encodeFrame builds a complete length-prefixed, authenticated wire frame.
+func (n *Net) encodeFrame(to uint32, env *types.Envelope) []byte {
+	buf := make([]byte, 4, 4+4+9+len(env.Payload)+len(env.Sig)+crypto.FrameTagSize)
+	buf = binary.LittleEndian.AppendUint32(buf, to)
+	buf = env.Encode(buf)
+	buf = append(buf, crypto.FrameTag(n.cfg.Secret, buf[4:])...)
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	return buf
+}
+
+// helloFrames returns one advertisement frame per locally registered inbox.
+func (n *Net) helloFrames() [][]byte {
+	n.mu.RLock()
+	ids := make([]types.NodeID, 0, len(n.inboxes))
+	for id := range n.inboxes {
+		ids = append(ids, id)
+	}
+	n.mu.RUnlock()
+	out := make([][]byte, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, n.encodeFrame(helloDst, &types.Envelope{From: id}))
+	}
+	return out
+}
+
+// peerFor returns (creating if needed) the outbound link to a static peer.
+func (n *Net) peerFor(id types.NodeID) *peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.peers[id]; ok {
+		return p
+	}
+	p := &peer{
+		id:    id,
+		addr:  n.cfg.Peers[id],
+		ch:    make(chan []byte, n.cfg.QueueSize),
+		ready: make(chan struct{}),
+	}
+	n.peers[id] = p
+	if !n.closed {
+		n.wg.Add(1)
+		go n.runPeer(p)
+	}
+	return p
+}
+
+// peer is one static outbound link: a bounded frame queue drained by a
+// goroutine that dials, redials with backoff, and writes.
+type peer struct {
+	id   types.NodeID
+	addr string
+	ch   chan []byte
+
+	ready     chan struct{} // closed after the first successful connect
+	readyOnce sync.Once
+}
+
+// enqueue adds a frame to an outbound queue, dropping when full.
+func (p *peer) enqueue(frame []byte, stats *transport.Stats) {
+	select {
+	case p.ch <- frame:
+	default:
+		stats.Dropped.Add(1)
+	}
+}
+
+// runPeer owns the peer's connection lifecycle: dial with exponential
+// backoff, advertise local inboxes, then drain the outbound queue until the
+// connection breaks or the fabric closes.
+func (n *Net) runPeer(p *peer) {
+	defer n.wg.Done()
+	const minBackoff = 25 * time.Millisecond
+	const maxBackoff = time.Second
+	backoff := minBackoff
+	for {
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		c, err := net.DialTimeout("tcp", p.addr, n.cfg.DialTimeout)
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = minBackoff
+		wc := n.adoptConn(c)
+		if wc == nil {
+			return // fabric closed during dial
+		}
+		ok := true
+		for _, hello := range n.helloFrames() {
+			if err := wc.write(hello); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			p.readyOnce.Do(func() { close(p.ready) })
+		}
+	drain:
+		for ok {
+			select {
+			case <-n.done:
+				return
+			case frame := <-p.ch:
+				if err := wc.write(frame); err != nil {
+					break drain
+				}
+			}
+		}
+		n.dropConn(wc)
+	}
+}
+
+// adoptConn registers a new connection: tracked for shutdown, read loop
+// started. Returns nil (closing c) if the fabric is already closed.
+func (n *Net) adoptConn(c net.Conn) *wireConn {
+	wc := &wireConn{c: c, out: make(chan []byte, n.cfg.QueueSize)}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	n.conns[wc] = struct{}{}
+	n.mu.Unlock()
+	n.wg.Add(2)
+	go n.readLoop(wc)
+	go n.writeLoop(wc)
+	return wc
+}
+
+// dropConn closes a connection and forgets it and any routes through it.
+func (n *Net) dropConn(wc *wireConn) {
+	wc.close()
+	n.mu.Lock()
+	delete(n.conns, wc)
+	for id, route := range n.routes {
+		if route == wc {
+			delete(n.routes, id)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// acceptLoop admits inbound connections until the listener closes.
+func (n *Net) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.adoptConn(c)
+	}
+}
+
+// writeLoop drains a connection's return-route queue. Static peer frames are
+// written by runPeer directly; this queue carries replies to clients and
+// hello advertisements, so neither path ever blocks a consensus goroutine.
+func (n *Net) writeLoop(wc *wireConn) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case frame := <-wc.out:
+			if err := wc.write(frame); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readLoop parses frames off one connection until it breaks: verify the
+// authenticator, learn return routes from hellos (and from any sender we
+// cannot reach otherwise), and deliver to the local inbox. Delivery blocks
+// when an inbox is full — TCP flow control then pushes back on the sender,
+// as on any real network.
+func (n *Net) readLoop(wc *wireConn) {
+	defer n.wg.Done()
+	defer n.dropConn(wc)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(wc.c, lenBuf[:]); err != nil {
+			return
+		}
+		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+		if int64(frameLen) > int64(n.cfg.MaxFrame) || frameLen < 4+crypto.FrameTagSize {
+			return // malformed or hostile length prefix: poison, drop the conn
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(wc.c, frame); err != nil {
+			return
+		}
+		body := frame[:len(frame)-crypto.FrameTagSize]
+		tag := frame[len(frame)-crypto.FrameTagSize:]
+		if !crypto.VerifyFrameTag(n.cfg.Secret, body, tag) {
+			return // unauthenticated traffic: drop the connection
+		}
+		to := binary.LittleEndian.Uint32(body)
+		env, _, err := types.DecodeEnvelope(body[4:])
+		if err != nil {
+			return
+		}
+		if to == helloDst {
+			// Routes are learned ONLY from hello frames: an ordinary frame's
+			// From may have been forwarded by a replica, and recording the
+			// forwarding connection as the sender's route would misdeliver
+			// every later reply.
+			n.learnRoute(env.From, wc)
+			continue
+		}
+		n.mu.RLock()
+		ch, ok := n.inboxes[types.NodeID(to)]
+		n.mu.RUnlock()
+		if !ok {
+			n.stats.Dropped.Add(1)
+			continue
+		}
+		select {
+		case ch <- env:
+			n.stats.Delivered.Add(1)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// learnRoute records (or refreshes) the connection a dynamic sender is
+// reachable over. Static peers never route this way.
+func (n *Net) learnRoute(from types.NodeID, wc *wireConn) {
+	if _, static := n.cfg.Peers[from]; static {
+		return
+	}
+	n.mu.Lock()
+	if !n.closed {
+		if _, local := n.inboxes[from]; !local {
+			n.routes[from] = wc
+		}
+	}
+	n.mu.Unlock()
+}
+
+// wireConn wraps one TCP connection with a write mutex (runPeer and
+// writeLoop may interleave on the same socket) and a bounded queue for
+// return-route traffic.
+type wireConn struct {
+	c   net.Conn
+	out chan []byte
+
+	wmu       sync.Mutex
+	closeOnce sync.Once
+}
+
+func (wc *wireConn) write(frame []byte) error {
+	wc.wmu.Lock()
+	defer wc.wmu.Unlock()
+	_, err := wc.c.Write(frame)
+	return err
+}
+
+// enqueue queues a frame for the connection's writer, dropping when full.
+func (wc *wireConn) enqueue(frame []byte, stats *transport.Stats) {
+	select {
+	case wc.out <- frame:
+	default:
+		stats.Dropped.Add(1)
+	}
+}
+
+func (wc *wireConn) close() {
+	wc.closeOnce.Do(func() { wc.c.Close() })
+}
+
+// Loopback builds one listening fabric per replica on 127.0.0.1 plus a
+// dial-only fabric for clients, all sharing one secret — a full multi-node
+// TCP deployment inside a single process, used by core's TransportTCP mode
+// and the integration tests. tune, when non-nil, adjusts each fabric's
+// config before construction.
+func Loopback(ids []types.NodeID, secret []byte, tune func(*Config)) (map[types.NodeID]*Net, *Net, error) {
+	listeners := make(map[types.NodeID]net.Listener, len(ids))
+	peers := make(map[types.NodeID]string, len(ids))
+	fail := func(err error) (map[types.NodeID]*Net, *Net, error) {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+		return nil, nil, err
+	}
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(fmt.Errorf("tcpnet: loopback listener for %s: %w", id, err))
+		}
+		listeners[id] = ln
+		peers[id] = ln.Addr().String()
+	}
+	fabrics := make(map[types.NodeID]*Net, len(ids))
+	for _, id := range ids {
+		cfg := Config{Self: id, Listener: listeners[id], Peers: peers, Secret: secret}
+		if tune != nil {
+			tune(&cfg)
+		}
+		fab, err := New(cfg)
+		if err != nil {
+			for _, f := range fabrics {
+				f.Close()
+			}
+			return fail(err)
+		}
+		delete(listeners, id) // ownership transferred
+		fabrics[id] = fab
+	}
+	clientCfg := Config{Peers: peers, Secret: secret}
+	if tune != nil {
+		tune(&clientCfg)
+	}
+	clientFab, err := New(clientCfg)
+	if err != nil {
+		for _, f := range fabrics {
+			f.Close()
+		}
+		return fail(err)
+	}
+	return fabrics, clientFab, nil
+}

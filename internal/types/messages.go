@@ -88,6 +88,57 @@ type Envelope struct {
 	Sig     []byte
 }
 
+// Encode appends the canonical wire encoding of the envelope: type, sender,
+// then length-prefixed payload and signature. This is the unit the TCP
+// backend frames onto the wire; the simulated fabric passes envelopes by
+// pointer and never serializes them.
+func (e *Envelope) Encode(dst []byte) []byte {
+	dst = append(dst, byte(e.Type))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(e.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Payload)))
+	dst = append(dst, e.Payload...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Sig)))
+	dst = append(dst, e.Sig...)
+	return dst
+}
+
+// DecodeEnvelope parses an envelope from b, returning the envelope and the
+// number of bytes consumed. The payload and signature alias b; callers that
+// reuse the buffer must copy first (the TCP backend reads each frame into a
+// fresh buffer, so aliasing is safe there).
+func DecodeEnvelope(b []byte) (*Envelope, int, error) {
+	const hdr = 1 + 4 + 4
+	if len(b) < hdr {
+		return nil, 0, fmt.Errorf("types: short envelope header: %d bytes", len(b))
+	}
+	e := &Envelope{
+		Type: MsgType(b[0]),
+		From: NodeID(binary.LittleEndian.Uint32(b[1:])),
+	}
+	plen := binary.LittleEndian.Uint32(b[5:])
+	off := hdr
+	if uint64(plen) > uint64(len(b)-off) {
+		return nil, 0, fmt.Errorf("types: envelope payload length %d exceeds %d remaining bytes", plen, len(b)-off)
+	}
+	if plen > 0 {
+		e.Payload = b[off : off+int(plen)]
+	}
+	off += int(plen)
+	if len(b) < off+2 {
+		return nil, 0, fmt.Errorf("types: short envelope signature length")
+	}
+	slen := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if slen > len(b)-off {
+		return nil, 0, fmt.Errorf("types: envelope signature length %d exceeds %d remaining bytes", slen, len(b)-off)
+	}
+	if slen > 0 {
+		e.Sig = b[off : off+slen]
+	}
+	off += slen
+	return e, off, nil
+}
+
 // Request is the client's signed transaction request ⟨REQUEST, tx, τ_c, c⟩.
 type Request struct {
 	Tx *Transaction
@@ -214,12 +265,21 @@ func DecodeConsensusMsg(b []byte) (*ConsensusMsg, error) {
 	}
 	hasTx := b[off]
 	off++
-	if hasTx == 1 {
+	switch hasTx {
+	case 0:
+	case 1:
 		txs, _, err := decodeTxBatch(b[off:])
 		if err != nil {
 			return nil, err
 		}
+		if len(txs) == 0 {
+			return nil, fmt.Errorf("types: consensus message tx flag set on empty batch")
+		}
 		m.Txs = txs
+	default:
+		// Found by fuzzing: a lax flag byte made malformed input decode to a
+		// message that re-encodes differently, a digest-confusion hazard.
+		return nil, fmt.Errorf("types: bad consensus message tx flag %d", hasTx)
 	}
 	return m, nil
 }
@@ -280,8 +340,38 @@ func DecodeSyncResponse(b []byte) (*SyncResponse, error) {
 	return s, nil
 }
 
+// VoteProof is one signed vote inside a prepared certificate: the named
+// node signed the canonical prepare/commit payload for (view, seq, digest).
+type VoteProof struct {
+	Node NodeID
+	Sig  []byte
+}
+
+// PreparedInstance reports one accepted-but-uncommitted consensus instance
+// inside a ViewChange, including the transaction body so the new primary can
+// re-propose the value even when it never received the original proposal
+// (it may have been deferred behind a cross-shard lock, or lost). Carrying
+// the body is what makes the Paxos phase-1 value recovery actually work: a
+// value that reached a commit quorum at the deposed primary is reported by
+// at least one member of any view-change quorum (quorum intersection), and
+// the new primary re-binds it before anything else can take its slot.
+//
+// Under the Byzantine model the claim must be provable: Proof carries 2f+1
+// distinct nodes' signatures over the prepare/commit payload (they share
+// one canonical encoding), so a single honest reporter suffices and no
+// coalition of f liars can fabricate a binding.
+type PreparedInstance struct {
+	Seq    uint64
+	View   uint64 // view the instance was accepted in; highest view wins
+	Digest Hash
+	Txs    []*Transaction
+	Proof  []VoteProof
+}
+
 // ViewChange carries a node's vote to depose the current primary, together
-// with its last committed sequence so the new primary can resume.
+// with its last committed sequence and every accepted-but-uncommitted
+// instance (with bodies) so the new primary can resume without losing
+// possibly-committed values.
 type ViewChange struct {
 	NewView      uint64
 	Cluster      ClusterID
@@ -289,6 +379,7 @@ type ViewChange struct {
 	LastHash     Hash
 	PreparedSeq  uint64 // highest sequence this node voted for but saw no commit
 	PreparedHash Hash   // digest of that in-flight proposal (zero if none)
+	Prepared     []PreparedInstance
 }
 
 // Encode appends the canonical encoding.
@@ -299,12 +390,25 @@ func (v *ViewChange) Encode(dst []byte) []byte {
 	dst = append(dst, v.LastHash[:]...)
 	dst = binary.LittleEndian.AppendUint64(dst, v.PreparedSeq)
 	dst = append(dst, v.PreparedHash[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Prepared)))
+	for _, p := range v.Prepared {
+		dst = binary.LittleEndian.AppendUint64(dst, p.Seq)
+		dst = binary.LittleEndian.AppendUint64(dst, p.View)
+		dst = append(dst, p.Digest[:]...)
+		dst = EncodeTxBatch(dst, p.Txs)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.Proof)))
+		for _, pr := range p.Proof {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(pr.Node))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(pr.Sig)))
+			dst = append(dst, pr.Sig...)
+		}
+	}
 	return dst
 }
 
 // DecodeViewChange parses a ViewChange.
 func DecodeViewChange(b []byte) (*ViewChange, error) {
-	if len(b) < 8+2+8+32+8+32 {
+	if len(b) < 8+2+8+32+8+32+2 {
 		return nil, fmt.Errorf("types: short view-change")
 	}
 	v := &ViewChange{}
@@ -320,5 +424,50 @@ func DecodeViewChange(b []byte) (*ViewChange, error) {
 	v.PreparedSeq = binary.LittleEndian.Uint64(b[off:])
 	off += 8
 	copy(v.PreparedHash[:], b[off:off+32])
+	off += 32
+	n := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	for i := 0; i < n; i++ {
+		if len(b) < off+8+8+32 {
+			return nil, fmt.Errorf("types: short view-change prepared entry")
+		}
+		var p PreparedInstance
+		p.Seq = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		p.View = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		copy(p.Digest[:], b[off:off+32])
+		off += 32
+		txs, used, err := decodeTxBatch(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		p.Txs = txs
+		if len(b) < off+2 {
+			return nil, fmt.Errorf("types: short view-change proof count")
+		}
+		np := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		for j := 0; j < np; j++ {
+			if len(b) < off+4+2 {
+				return nil, fmt.Errorf("types: short view-change proof header")
+			}
+			var pr VoteProof
+			pr.Node = NodeID(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+			slen := int(binary.LittleEndian.Uint16(b[off:]))
+			off += 2
+			if slen > len(b)-off {
+				return nil, fmt.Errorf("types: view-change proof signature overruns buffer")
+			}
+			if slen > 0 {
+				pr.Sig = b[off : off+slen]
+			}
+			off += slen
+			p.Proof = append(p.Proof, pr)
+		}
+		v.Prepared = append(v.Prepared, p)
+	}
 	return v, nil
 }

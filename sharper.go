@@ -68,6 +68,27 @@ type Op = types.Op
 // ClusterID identifies a cluster and its data shard.
 type ClusterID = types.ClusterID
 
+// Transport selects the message fabric a deployment runs over.
+type Transport int
+
+const (
+	// TransportSim is the in-process simulated fabric with modelled latency,
+	// fault injection, and per-message processing cost — the default, and
+	// what tests and benchmarks use.
+	TransportSim Transport = iota
+	// TransportTCP runs every replica on its own loopback TCP socket:
+	// length-prefixed, HMAC-authenticated frames between real listeners.
+	// Same API, real wire. For a deployment of separate OS processes (one
+	// replica per process, on loopback or a LAN), see cmd/sharperd's
+	// -topology/-listen mode.
+	TransportTCP
+)
+
+// MaxBatchSize is the upper bound on Options.BatchSize: the flattened
+// cross-shard protocol carries per-transaction validity verdicts as a 64-bit
+// bitmap, so larger blocks cannot be voted on (see DESIGN.md).
+const MaxBatchSize = core.MaxBatchSize
+
 // NetworkOptions tunes the simulated fabric.
 type NetworkOptions struct {
 	// IntraClusterLatency is the one-way delay inside a cluster.
@@ -96,7 +117,10 @@ type Options struct {
 	InitialBalance int64
 	// DisableSuperPrimary turns off the §3.2 super-primary routing rule.
 	DisableSuperPrimary bool
+	// Transport selects the fabric: TransportSim (default) or TransportTCP.
+	Transport Transport
 	// Network tunes the simulated fabric; zero values take defaults.
+	// Ignored under TransportTCP (real sockets have real latency).
 	Network NetworkOptions
 	// Seed drives all randomness; runs with equal seeds are comparable.
 	Seed int64
@@ -105,9 +129,10 @@ type Options struct {
 	Plan *Plan
 	// BatchSize caps the number of transactions per block (one consensus
 	// instance orders the whole batch). The default of 1 reproduces the
-	// paper's single-transaction blocks; larger values (up to 64) amortize
-	// the quorum message cost and raise saturation throughput. See
-	// DESIGN.md, "Batched blocks".
+	// paper's single-transaction blocks; larger values amortize the quorum
+	// message cost and raise saturation throughput. Values above
+	// MaxBatchSize (64, the cross-shard validity-bitmap width) are rejected
+	// by New with an error. See DESIGN.md, "Batched blocks".
 	BatchSize int
 	// BatchTimeout bounds how long a partial batch waits for more requests
 	// while earlier instances are in flight (default 2ms). A batch never
@@ -125,6 +150,10 @@ type Network struct {
 
 // New builds and starts a deployment.
 func New(opts Options) (*Network, error) {
+	if opts.BatchSize > MaxBatchSize {
+		return nil, fmt.Errorf("sharper: BatchSize %d exceeds MaxBatchSize %d (the cross-shard validity bitmap is %d bits wide)",
+			opts.BatchSize, MaxBatchSize, MaxBatchSize)
+	}
 	if opts.AccountsPerShard <= 0 {
 		opts.AccountsPerShard = 1024
 	}
@@ -151,6 +180,7 @@ func New(opts Options) (*Network, error) {
 		Model:               opts.Model,
 		Clusters:            opts.Clusters,
 		F:                   opts.F,
+		Transport:           core.TransportKind(opts.Transport),
 		Network:             netCfg,
 		DisableSuperPrimary: opts.DisableSuperPrimary,
 		Seed:                opts.Seed,
