@@ -26,16 +26,23 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, 6, 7, 8, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, 6, 7, 8, all")
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPath := flag.String("csv", "", "also append results as CSV to this file")
-	jsonPath := flag.String("json", "BENCH_batching.json", "write the batching ablation as JSON to this file (batching figure only)")
+	jsonPath := flag.String("json", "", "write machine-readable JSON here (batching → BENCH_batching.json, persistence → BENCH_persistence.json when unset)")
 	flag.Parse()
 
 	o := bench.FigureOptions{Quick: *quick, Seed: *seed}
 	out := os.Stdout
 	crossPct := map[byte]int{'a': 0, 'b': 20, 'c': 80, 'd': 100}
+	// An explicit -json path is honored only for a directly requested
+	// figure: under -fig all, several figures emit JSON and would silently
+	// clobber one another at a single path.
+	jsonOverride := *jsonPath
+	if strings.ToLower(*fig) == "all" {
+		jsonOverride = ""
+	}
 
 	var csvOut *os.File
 	if *csvPath != "" {
@@ -81,18 +88,9 @@ func main() {
 		case name == "skew":
 			emit(name, bench.AblationSkew(out, o))
 		case name == "batching":
-			results := bench.AblationBatching(out, o)
-			if *jsonPath != "" {
-				data, err := json.MarshalIndent(results, "", "  ")
-				if err == nil {
-					err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
-				}
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				fmt.Fprintf(out, "# wrote %s\n", *jsonPath)
-			}
+			writeJSON(out, jsonOverride, "BENCH_batching.json", bench.AblationBatching(out, o))
+		case name == "persistence":
+			writeJSON(out, jsonOverride, "BENCH_persistence.json", bench.AblationPersistence(out, o))
 		case name == "6":
 			for _, p := range []string{"6a", "6b", "6c", "6d"} {
 				run(p)
@@ -105,7 +103,7 @@ func main() {
 			run("8a")
 			run("8b")
 		case name == "all":
-			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching"} {
+			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence"} {
 				run(p)
 			}
 		default:
@@ -119,4 +117,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeJSON writes results to the explicit -json path, or to the figure's
+// default file when -json was not given.
+func writeJSON(out *os.File, path, fallback string, results interface{}) {
+	if path == "" {
+		path = fallback
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(out, "# wrote %s\n", path)
 }

@@ -42,6 +42,7 @@ import (
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
 	"sharper/internal/state"
+	"sharper/internal/storage"
 	"sharper/internal/transport/tcpnet"
 	"sharper/internal/types"
 	"sharper/internal/workload"
@@ -60,6 +61,9 @@ func main() {
 	transportKind := flag.String("transport", "sim", "single-process fabric: sim or tcp")
 	accounts := flag.Int("accounts", 1024, "accounts seeded per shard at genesis")
 	balance := flag.Int64("balance", 1<<40, "initial balance of each seeded account")
+	dataDir := flag.String("data", "", "durable storage base directory (each replica uses DIR/node-<id>); a killed replica restarted with the same -data recovers in place")
+	syncPolicy := flag.String("sync", "group", "WAL fsync policy: none, group, or always")
+	lockTimeout := flag.Duration("lock-timeout", 0, "cross-shard lock expiry, the §3.2 'pre-determined time' (0 = default 3s); must dominate worst-case commit delivery in your environment")
 
 	topoPath := flag.String("topology", "", "topology file: run as one process of a multi-process deployment")
 	topoInit := flag.Bool("topology-init", false, "write a fresh topology file (with -clusters, -f, -model) and exit")
@@ -74,6 +78,11 @@ func main() {
 	flag.Parse()
 
 	fm, err := parseModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sync, err := storage.ParseSyncPolicy(*syncPolicy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -128,10 +137,13 @@ func main() {
 				close(stop)
 			}()
 			if err := runReplica(tf, self, replicaOptions{
-				Seed:     *seed,
-				Batch:    *batch,
-				Accounts: *accounts,
-				Balance:  *balance,
+				Seed:        *seed,
+				Batch:       *batch,
+				Accounts:    *accounts,
+				Balance:     *balance,
+				DataDir:     *dataDir,
+				Sync:        sync,
+				LockTimeout: *lockTimeout,
 			}, stop, os.Stdout); err != nil {
 				log.Fatal(err)
 			}
@@ -145,6 +157,7 @@ func main() {
 		Clusters: *clusters, F: *f, CrossPct: *cross, Clients: *clients,
 		Duration: *duration, Seed: *seed, Batch: *batch, ShowDAG: *showDAG,
 		Accounts: *accounts, Balance: *balance, TCP: *transportKind == "tcp",
+		DataDir: *dataDir, Sync: sync,
 	})
 }
 
@@ -166,6 +179,12 @@ type replicaOptions struct {
 	Batch    int
 	Accounts int
 	Balance  int64
+	// DataDir is the deployment's storage base directory; this replica
+	// persists under DataDir/node-<id> and recovers from it on restart.
+	DataDir string
+	Sync    storage.SyncPolicy
+	// LockTimeout is the cross-shard lock expiry (0 = default).
+	LockTimeout time.Duration
 }
 
 // runReplica hosts one node of a multi-process deployment: a TCP fabric
@@ -187,13 +206,19 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 	}
 	defer fab.Close()
 
-	node, err := core.NewProcessNode(core.ProcessConfig{
-		Topo:      tf.Topo,
-		Self:      self,
-		Fabric:    fab,
-		Seed:      opts.Seed,
-		BatchSize: opts.Batch,
-	})
+	pcfg := core.ProcessConfig{
+		Topo:        tf.Topo,
+		Self:        self,
+		Fabric:      fab,
+		Seed:        opts.Seed,
+		BatchSize:   opts.Batch,
+		Sync:        opts.Sync,
+		LockTimeout: opts.LockTimeout,
+	}
+	if opts.DataDir != "" {
+		pcfg.DataDir = core.NodeDataDir(opts.DataDir, self)
+	}
+	node, err := core.NewProcessNode(pcfg)
 	if err != nil {
 		return err
 	}
@@ -203,6 +228,9 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 	}
 	node.Start()
 	defer node.Stop()
+	if n := node.RecoveredBlocks(); n > 0 {
+		fmt.Fprintf(out, "sharperd: replica %s recovered %d blocks from %s\n", self, n, pcfg.DataDir)
+	}
 	fmt.Fprintf(out, "sharperd: replica %s (cluster %s) listening on %s\n", self, node.Cluster(), fab.Addr())
 	<-stop
 	fmt.Fprintf(out, "sharperd: replica %s stopping (committed %d, chain %d blocks, %d anomalies)\n",
@@ -364,6 +392,8 @@ type localOptions struct {
 	Accounts                       int
 	Balance                        int64
 	TCP                            bool
+	DataDir                        string
+	Sync                           storage.SyncPolicy
 }
 
 // runLocal is the original single-process mode: a full deployment in one
@@ -385,6 +415,8 @@ func runLocal(fm sharper.FailureModel, opts localOptions) {
 		Transport:        tr,
 		AccountsPerShard: opts.Accounts,
 		InitialBalance:   opts.Balance,
+		DataDir:          opts.DataDir,
+		Sync:             opts.Sync,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"sharper/internal/ahl"
 	"sharper/internal/apr"
@@ -12,6 +13,7 @@ import (
 	"sharper/internal/fastpaxos"
 	"sharper/internal/replica"
 	"sharper/internal/state"
+	"sharper/internal/storage"
 	"sharper/internal/transport"
 	"sharper/internal/types"
 	"sharper/internal/workload"
@@ -293,6 +295,108 @@ func AblationBatching(w io.Writer, o FigureOptions) []BatchingResult {
 		series = append(series, Series{Name: fmt.Sprintf("batch-%d", bs), Points: []Point{pt}})
 	}
 	Fprint(w, "Ablation — batched blocks, crash model, 0% cross-shard", series)
+	return results
+}
+
+// PersistenceResult is one point of the durability ablation, shaped for the
+// machine-readable BENCH_persistence.json that puts the WAL's overhead on
+// the perf trajectory.
+type PersistenceResult struct {
+	// SyncPolicy is "memory" (no storage at all) or a storage.SyncPolicy
+	// name: "none", "group", "always".
+	SyncPolicy   string  `json:"sync_policy"`
+	BatchSize    int     `json:"batch_size"`
+	Clients      int     `json:"clients"`
+	ThroughputTx float64 `json:"tx_per_sec"`
+	AvgLatencyMs float64 `json:"ms_per_tx"`
+	// OverheadPct is the throughput cost versus the in-memory baseline at
+	// the same batch size (0 for the baseline itself).
+	OverheadPct float64 `json:"overhead_pct_vs_memory"`
+}
+
+// AblationPersistence measures the durable-storage subsystem's cost on the
+// Fig. 6(a) intra-shard workload: the in-memory baseline against the three
+// WAL fsync policies (none / group / always), at batch sizes 1 and 16.
+// Every durable run writes a real write-ahead log plus checkpoints to a
+// temporary directory; "always" additionally pays one fsync per record,
+// which is the full persist-before-ack guarantee against power loss.
+func AblationPersistence(w io.Writer, o FigureOptions) []PersistenceResult {
+	o.fill()
+	const clusters, f = 4, 1
+	clients := 128
+	if o.Quick {
+		clients = 48
+	}
+	gen := workloadFor(clusters, 0, o)
+	configs := []struct {
+		name string
+		sync storage.SyncPolicy
+		mem  bool
+	}{
+		{name: "memory", mem: true},
+		{name: "none", sync: storage.SyncNone},
+		{name: "group", sync: storage.SyncGroup},
+		{name: "always", sync: storage.SyncAlways},
+	}
+	var results []PersistenceResult
+	var series []Series
+	baseline := make(map[int]float64) // batch size → memory tx/s
+	for _, bs := range []int{1, 16} {
+		for _, c := range configs {
+			cfg := core.Config{
+				Model: types.CrashOnly, Clusters: clusters, F: f,
+				Seed: o.Seed, BatchSize: bs,
+				// The in-memory row must stay in-memory even under the
+				// SHARPER_PERSIST suite override.
+				NoPersist: c.mem,
+			}
+			var dir string
+			if !c.mem {
+				var err error
+				dir, err = os.MkdirTemp("", "sharper-bench-persist-")
+				if err != nil {
+					fmt.Fprintf(w, "# %s/batch-%d: tempdir failed: %v\n", c.name, bs, err)
+					continue
+				}
+				cfg.DataDir = dir
+				cfg.Sync = c.sync
+			}
+			d, err := core.NewDeployment(cfg)
+			if err != nil {
+				fmt.Fprintf(w, "# %s/batch-%d: deployment failed: %v\n", c.name, bs, err)
+				if dir != "" {
+					os.RemoveAll(dir)
+				}
+				continue
+			}
+			d.SeedAccounts(o.AccountsPerShard, seedBalance)
+			d.Start()
+			sys := SharPerSystem{D: d}
+			pt := Run(sys, gen, clients, o.bench())
+			sys.Stop()
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+			r := PersistenceResult{
+				SyncPolicy:   c.name,
+				BatchSize:    bs,
+				Clients:      clients,
+				ThroughputTx: pt.ThroughputTx,
+				AvgLatencyMs: pt.AvgLatencyMs,
+			}
+			if c.mem {
+				baseline[bs] = pt.ThroughputTx
+			} else if base := baseline[bs]; base > 0 {
+				r.OverheadPct = 100 * (base - pt.ThroughputTx) / base
+			}
+			results = append(results, r)
+			series = append(series, Series{
+				Name:   fmt.Sprintf("%s/batch-%d", c.name, bs),
+				Points: []Point{pt},
+			})
+		}
+	}
+	Fprint(w, "Ablation — durable storage (WAL fsync policies), crash model, 0% cross-shard", series)
 	return results
 }
 

@@ -1,0 +1,43 @@
+package consensus
+
+import "sharper/internal/types"
+
+// Persister is the durability hook a consensus engine calls before it lets
+// an acceptance or a promise leave the node. The §2.1 system model gives
+// every replica stable storage, and the view-change value recovery depends
+// on it: a value that reached a commit quorum at a deposed primary is known
+// only through the acceptors that voted for it, so an acceptor that forgets
+// an acceptance (or the view it promised) across a restart could ack a
+// conflicting value — two different blocks committing at one height.
+//
+// Engines call the hook synchronously, before returning the outbound
+// message the persisted state vouches for (persist-before-ack). The
+// fsync policy behind the write is the store's business (see
+// internal/storage.SyncPolicy); the write itself always reaches the kernel
+// before the ack leaves, so a kill -9 of the process loses nothing.
+//
+// A returned error means the record did NOT reach stable storage (disk
+// full, I/O failure): the engine must withhold the corresponding message —
+// a vote acked but not persisted could be reneged on after a restart,
+// which is exactly the divergence this hook exists to prevent. A replica
+// with failing storage therefore stops participating, becoming one of the
+// f faults the protocol already tolerates.
+type Persister interface {
+	// PersistAccept records an accepted-but-uncommitted instance: the value
+	// this node is about to vote for at (seq, view).
+	PersistAccept(seq, view uint64, parent, digest types.Hash, txs []*types.Transaction) error
+	// PersistView records the engine's view position: the installed view and
+	// the highest view this node has promised (voted a view change for).
+	PersistView(view, promised uint64) error
+}
+
+// DurableInstance is one accepted-but-uncommitted consensus instance in its
+// durable form — what PersistAccept records and what recovery hands back to
+// Engine.Restore so a restarted acceptor keeps every obligation it took on.
+type DurableInstance struct {
+	Seq    uint64
+	View   uint64
+	Parent types.Hash
+	Digest types.Hash
+	Txs    []*types.Transaction
+}

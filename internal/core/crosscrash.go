@@ -41,6 +41,13 @@ type xcrash struct {
 	locked       bool
 	lockDigest   types.Hash
 	lockDeadline time.Time
+	// lockReply/lockFrom let a participant whose lock has sat un-released
+	// for most of its window re-send the accept to the initiator: a decided
+	// attempt answers with the (possibly lost) commit, a withdrawn one with
+	// an abort — either beats expiring unilaterally and diverging.
+	lockReply  *types.Envelope
+	lockFrom   types.NodeID
+	lockNudged bool
 	// Proposals waiting for the chain to drain or the lock to clear,
 	// deduplicated by digest (retries replace earlier copies).
 	waiting map[types.Hash]*types.Envelope
@@ -50,6 +57,13 @@ type xcrash struct {
 
 	decided map[types.Hash]bool // digests already decided locally
 	txs     map[types.Hash][]*types.Transaction
+	// recent retains decided attempts' COMMIT multicasts for a bounded
+	// retransmission schedule: a commit lost or badly delayed on its way to
+	// a participant cluster would otherwise leave that cluster's view
+	// permanently missing the block (no participant can fetch a decision it
+	// never saw, and intra-cluster chain sync cannot heal a cluster where
+	// nobody has it).
+	recent map[types.Hash]*xcommitRetain
 
 	// Diagnostics (read via Counters).
 	nPropose, nWithdraw, nGrant, nDecide, nLockExpire int
@@ -101,6 +115,18 @@ type xlead struct {
 // dropped and the client's retransmission takes over.
 const maxCrossAttempts = 64
 
+// xcommitRetain schedules a decided attempt's COMMIT retransmissions.
+type xcommitRetain struct {
+	env      *types.Envelope
+	to       []types.NodeID
+	resends  int
+	deadline time.Time
+}
+
+// maxCommitResends bounds the retransmission schedule; each round doubles
+// the reach window while duplicates stay idempotent at the receivers.
+const maxCommitResends = 2
+
 func newXCrash(topo *consensus.Topology, cluster types.ClusterID, self types.NodeID,
 	status func() chainStatus, validate func(*types.Transaction) bool,
 	lockTimeout, retryTimeout time.Duration, seed int64) *xcrash {
@@ -113,6 +139,7 @@ func newXCrash(topo *consensus.Topology, cluster types.ClusterID, self types.Nod
 		leads:    make(map[types.Hash]*xlead),
 		decided:  make(map[types.Hash]bool),
 		txs:      make(map[types.Hash][]*types.Transaction),
+		recent:   make(map[types.Hash]*xcommitRetain),
 	}
 }
 
@@ -210,6 +237,9 @@ func (x *xcrash) lock(digest types.Hash, now time.Time) {
 	x.lockedAt = now
 	x.lockDigest = digest
 	x.lockDeadline = now.Add(x.lockTimeout)
+	// A participant vote for this lock re-arms the nudge below; an
+	// initiator-side lock has no accept to re-send.
+	x.lockReply, x.lockFrom, x.lockNudged = nil, 0, false
 }
 
 func (x *xcrash) unlock(digest types.Hash) {
@@ -276,9 +306,11 @@ func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbo
 		// Seq doubles as the per-transaction validity bitmap of the batch.
 		Seq: validBits(m.Txs, x.validate),
 	}
+	renv := &types.Envelope{Type: types.MsgXAccept, From: x.self, Payload: reply.Encode(nil)}
+	x.lockReply, x.lockFrom, x.lockNudged = renv, env.From, false
 	return []consensus.Outbound{{
 		To:  []types.NodeID{env.From},
-		Env: &types.Envelope{Type: types.MsgXAccept, From: x.self, Payload: reply.Encode(nil)},
+		Env: renv,
 	}}
 }
 
@@ -293,7 +325,13 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 	lead, ok := x.leads[m.Digest]
 	if !ok || lead.dormant || (!lead.done && m.View != lead.view) {
 		if x.decided[m.Digest] {
-			return nil, nil // commit is already on its way to the sender
+			// A re-sent accept for a decided attempt means the sender never
+			// saw the commit (its lock timer is nudging it); repeat it
+			// point-to-point while we still hold the payload.
+			if r, ok := x.recent[m.Digest]; ok {
+				return []consensus.Outbound{{To: []types.NodeID{env.From}, Env: r.env}}, nil
+			}
+			return nil, nil // commit already propagated and retired
 		}
 		// Stale accept for a withdrawn or dropped attempt: release the
 		// sender so it does not sit on a dead lock until its timer fires.
@@ -351,10 +389,15 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		Txs:        lead.txs,
 		Seq:        valid, // aggregated validity bitmap
 	}
-	out := []consensus.Outbound{{
-		To:  othersOf(x.topo.InvolvedNodes(lead.involved), x.self),
-		Env: &types.Envelope{Type: types.MsgXCommit, From: x.self, Payload: cm.Encode(nil)},
-	}}
+	to := othersOf(x.topo.InvolvedNodes(lead.involved), x.self)
+	cenv := &types.Envelope{Type: types.MsgXCommit, From: x.self, Payload: cm.Encode(nil)}
+	// Retain the commit for retransmission: participants are holding their
+	// chains locked for it, and a lost or slow copy must not strand a
+	// cluster without the decided block.
+	x.recent[m.Digest] = &xcommitRetain{
+		env: cenv, to: to, deadline: now.Add(x.lockTimeout / 4),
+	}
+	out := []consensus.Outbound{{To: to, Env: cenv}}
 	dec := []crossDecision{{Txs: lead.txs, Digest: m.Digest, Hashes: hashes, Valid: valid}}
 	return out, dec
 }
@@ -425,10 +468,30 @@ func (x *xcrash) drainWaiting(now time.Time) ([]consensus.Outbound, []crossDecis
 // withdraw/backoff/re-propose cycle.
 func (x *xcrash) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 	var outs []consensus.Outbound
+	if x.locked && !x.lockNudged && x.lockReply != nil &&
+		now.After(x.lockDeadline.Add(-x.lockTimeout/4)) {
+		// The lock has sat un-released for most of its window: re-send the
+		// accept so a live initiator repeats its commit (or abort) before
+		// this node expires unilaterally and lets its chain move on.
+		x.lockNudged = true
+		outs = append(outs, consensus.Outbound{To: []types.NodeID{x.lockFrom}, Env: x.lockReply})
+	}
 	if x.locked && now.After(x.lockDeadline) {
 		// The initiator died without committing or aborting; give up.
 		x.nLockExpire++
 		x.locked = false
+	}
+	for digest, r := range x.recent {
+		if !now.After(r.deadline) {
+			continue
+		}
+		if r.resends >= maxCommitResends {
+			delete(x.recent, digest)
+			continue
+		}
+		r.resends++
+		r.deadline = now.Add(x.lockTimeout / 4)
+		outs = append(outs, consensus.Outbound{To: r.to, Env: r.env})
 	}
 	for digest, lead := range x.leads {
 		if lead.done || !now.After(lead.deadline) {

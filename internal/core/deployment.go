@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
 	"sharper/internal/state"
+	"sharper/internal/storage"
 	"sharper/internal/transport"
 	"sharper/internal/transport/tcpnet"
 	"sharper/internal/types"
@@ -73,6 +76,48 @@ type Config struct {
 	// signatures. MACs are the faithful performance model; signatures cost
 	// two orders of magnitude more CPU.
 	Ed25519 bool
+
+	// DataDir enables durable storage: every replica keeps a write-ahead
+	// log and periodic checkpoints under DataDir/node-<id>, recovers from
+	// them when rebuilt over the same directory, and can be restarted in
+	// place with RestartNode. Empty means in-memory — unless the
+	// SHARPER_PERSIST environment override is set (see below).
+	DataDir string
+	// Sync is the WAL fsync policy (default storage.SyncGroup).
+	Sync storage.SyncPolicy
+	// CheckpointInterval is the number of committed blocks between
+	// checkpoints (default 256).
+	CheckpointInterval int
+	// NoPersist opts this deployment out of the SHARPER_PERSIST override —
+	// for benchmarks that need a true in-memory baseline next to durable
+	// configurations in the same process.
+	NoPersist bool
+}
+
+// resolvePersistence decides the deployment's storage configuration. An
+// explicit DataDir wins; otherwise SHARPER_PERSIST re-runs any deployment
+// with durability on (mirroring SHARPER_BATCH): a temporary directory is
+// created, owned, and removed at Stop. SHARPER_PERSIST's value may name the
+// sync policy ("1"/"group", "none", "always").
+func resolvePersistence(cfg *Config) (dataDir string, owned bool, err error) {
+	if cfg.DataDir != "" {
+		return cfg.DataDir, false, nil
+	}
+	v := os.Getenv("SHARPER_PERSIST")
+	if v == "" || v == "0" || cfg.NoPersist {
+		return "", false, nil
+	}
+	p, err := storage.ParseSyncPolicy(v)
+	if err != nil {
+		// A typo must not silently test a different durability policy.
+		return "", false, fmt.Errorf("core: SHARPER_PERSIST: %w", err)
+	}
+	cfg.Sync = p
+	dir, err := os.MkdirTemp("", "sharper-persist-")
+	if err != nil {
+		return "", false, err
+	}
+	return dir, true, nil
 }
 
 // Deployment is a running SharPer network: clusters of nodes over a message
@@ -91,8 +136,28 @@ type Deployment struct {
 	// where all nodes share Net.
 	fabrics          map[types.NodeID]*tcpnet.Net
 	nodes            map[types.NodeID]*Node
-	clientsConnected atomic.Bool // NewClient may run concurrently
+	nodeCfgs         map[types.NodeID]NodeConfig // for RestartNode rebuilds
+	clientsConnected atomic.Bool                 // NewClient may run concurrently
 	started          bool
+
+	// Durable-storage bookkeeping: the resolved base directory, whether the
+	// deployment created it (SHARPER_PERSIST temp dirs are removed at Stop),
+	// and the per-store options.
+	dataDir     string
+	ownsDataDir bool
+	storageOpts storage.Options
+
+	// Genesis seeding parameters, remembered so RestartNode can rebuild a
+	// replica's genesis state before recovery replays over it.
+	seedPerShard int
+	seedBalance  int64
+}
+
+// NodeDataDir is where one replica's storage lives under a deployment's
+// base directory — the single definition of the on-disk layout, shared
+// with sharperd's per-process replicas.
+func NodeDataDir(base string, id types.NodeID) string {
+	return filepath.Join(base, fmt.Sprintf("node-%d", id))
 }
 
 // NewDeployment validates the configuration and builds all nodes (stopped).
@@ -146,18 +211,37 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 
 	shards := state.ShardMap{NumShards: len(topo.Clusters)}
 
+	dataDir, ownsDir, err := resolvePersistence(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
 	var auth crypto.Authenticator = crypto.NewMACKeyring()
 	if cfg.Ed25519 {
 		auth = crypto.NewKeyring()
 	}
 	d := &Deployment{
-		cfg:     cfg,
-		Topo:    topo,
-		Net:     clientNet,
-		Keyring: auth,
-		Shards:  shards,
-		fabrics: fabrics,
-		nodes:   make(map[types.NodeID]*Node),
+		cfg:         cfg,
+		Topo:        topo,
+		Net:         clientNet,
+		Keyring:     auth,
+		Shards:      shards,
+		fabrics:     fabrics,
+		nodes:       make(map[types.NodeID]*Node),
+		nodeCfgs:    make(map[types.NodeID]NodeConfig),
+		dataDir:     dataDir,
+		ownsDataDir: ownsDir,
+		storageOpts: storage.Options{Sync: cfg.Sync, CheckpointInterval: cfg.CheckpointInterval},
+	}
+
+	// Construction failures must release everything already built: open
+	// stores (each with a live flusher goroutine) and an owned temp dir.
+	fail := func(err error) (*Deployment, error) {
+		d.closeStorages()
+		if d.ownsDataDir {
+			os.RemoveAll(d.dataDir)
+		}
+		return nil, err
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
@@ -169,16 +253,24 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		var verifier crypto.Verifier = crypto.NoopSigner{}
 		if sign {
 			if err := d.Keyring.Generate(id, rng); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			s, err := d.Keyring.SignerFor(id)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			signer, verifier = s, d.Keyring
 		}
 		cluster, _ := topo.ClusterOf(id)
-		d.nodes[id] = NewNode(NodeConfig{
+		var st *storage.Store
+		if d.dataDir != "" {
+			var serr error
+			st, serr = storage.Open(NodeDataDir(d.dataDir, id), d.storageOpts)
+			if serr != nil {
+				return fail(serr)
+			}
+		}
+		ncfg := NodeConfig{
 			Model:        topo.ModelOf(cluster),
 			Topology:     topo,
 			Cluster:      cluster,
@@ -196,9 +288,20 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			MaxInFlight:  cfg.MaxInFlight,
 			SuperPrimary: !cfg.DisableSuperPrimary,
 			Seed:         cfg.Seed + int64(id) + 2,
-		})
+			Storage:      st,
+		}
+		d.nodeCfgs[id] = ncfg
+		d.nodes[id] = NewNode(ncfg)
 	}
 	return d, nil
+}
+
+// closeStorages closes every built node's storage (used on construction
+// failure and for never-started deployments).
+func (d *Deployment) closeStorages() {
+	for _, n := range d.nodes {
+		n.CloseStorage()
+	}
 }
 
 // Start runs every node.
@@ -212,19 +315,73 @@ func (d *Deployment) Start() {
 	}
 }
 
-// Stop terminates every node and tears the fabric(s) down.
+// Stop terminates every node, tears the fabric(s) down, closes storage,
+// and removes an owned (SHARPER_PERSIST temp) data directory.
 func (d *Deployment) Stop() {
 	d.Net.Close()
 	for _, fab := range d.fabrics {
 		fab.Close()
 	}
+	if d.started {
+		for _, n := range d.nodes {
+			n.Stop() // closes the node's storage too
+		}
+		d.started = false
+	} else {
+		d.closeStorages()
+	}
+	if d.ownsDataDir {
+		os.RemoveAll(d.dataDir)
+		d.ownsDataDir = false
+	}
+}
+
+// DataDir returns the deployment's resolved storage base directory ("" when
+// running in-memory).
+func (d *Deployment) DataDir() string { return d.dataDir }
+
+// RestartNode models a full process restart of one replica on the simulated
+// fabric: the current incarnation is stopped (its in-memory state dies with
+// it), a fresh node is built over the same storage directory — recovering
+// chain, shard state, and acceptor obligations from checkpoint + log — and
+// started; it then rejoins the cluster and fetches whatever it missed
+// through the chain-sync protocol. Combine with CrashNode to model the
+// crash itself; RestartNode clears the fabric's crash mark. Without a
+// DataDir the node restarts empty (and resyncs from genesis).
+//
+// TCP replicas restart by restarting their process (see cmd/sharperd -data).
+func (d *Deployment) RestartNode(id types.NodeID) (*Node, error) {
+	if d.fabrics != nil {
+		return nil, fmt.Errorf("core: RestartNode needs the simulated fabric; restart a TCP replica by restarting its process")
+	}
 	if !d.started {
-		return
+		return nil, fmt.Errorf("core: RestartNode on a stopped deployment")
 	}
-	for _, n := range d.nodes {
-		n.Stop()
+	old, ok := d.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %s", id)
 	}
-	d.started = false
+	old.Stop() // also closes its storage handle
+	cfg := d.nodeCfgs[id]
+	cfg.Storage = nil
+	if d.dataDir != "" {
+		st, err := storage.Open(NodeDataDir(d.dataDir, id), d.storageOpts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Storage = st
+	}
+	d.nodeCfgs[id] = cfg
+	n := NewNode(cfg)
+	d.nodes[id] = n
+	// Rebuild the deterministic genesis state before recovery replays over
+	// it (a checkpoint snapshot, when present, replaces it wholesale).
+	d.seedNode(n)
+	if fi := d.Faults(); fi != nil {
+		fi.Restart(id)
+	}
+	n.Start()
+	return n, nil
 }
 
 // Node returns the replica with the given ID.
@@ -289,11 +446,17 @@ func (d *Deployment) connectClients() {
 // SeedAccounts credits `perShard` accounts in every shard with balance on
 // every replica of the owning cluster, establishing identical genesis state.
 func (d *Deployment) SeedAccounts(perShard int, balance int64) {
+	d.seedPerShard, d.seedBalance = perShard, balance
 	for _, n := range d.nodes {
-		for k := 0; k < perShard; k++ {
-			acct := d.Shards.AccountInShard(n.Cluster(), uint64(k))
-			n.Store().Credit(acct, balance)
-		}
+		d.seedNode(n)
+	}
+}
+
+// seedNode replays the genesis credit for one replica's shard.
+func (d *Deployment) seedNode(n *Node) {
+	for k := 0; k < d.seedPerShard; k++ {
+		acct := d.Shards.AccountInShard(n.Cluster(), uint64(k))
+		n.Store().Credit(acct, d.seedBalance)
 	}
 }
 

@@ -49,6 +49,13 @@ type IntraEngine interface {
 	// SuspectPrimary votes to depose the primary after a client request
 	// went unexecuted past its timeout.
 	SuspectPrimary(now time.Time) []consensus.Outbound
+	// Restore warms a freshly built engine from recovered durable state:
+	// view position plus accepted-but-uncommitted instances. Called once,
+	// after SyncChainHead advanced the engine to the recovered chain head.
+	Restore(view, promised uint64, insts []consensus.DurableInstance, now time.Time)
+	// DurableState reports the engine state a checkpoint must carry into a
+	// fresh log segment: view position and uncommitted acceptances.
+	DurableState() (view, promised uint64, insts []consensus.DurableInstance)
 }
 
 // chainStatus reports a node's local cluster-chain state to the cross-shard
@@ -65,15 +72,15 @@ type chainStatus struct {
 // newIntraEngine builds the model-appropriate engine.
 func newIntraEngine(model types.FailureModel, topo *consensus.Topology, cluster types.ClusterID,
 	self types.NodeID, signer crypto.Signer, verifier crypto.Verifier,
-	timeout time.Duration, genesis types.Hash) IntraEngine {
+	timeout time.Duration, genesis types.Hash, persist consensus.Persister) IntraEngine {
 	if model == types.Byzantine {
 		return pbft.New(pbft.Config{
 			Topology: topo, Cluster: cluster, Self: self,
-			Signer: signer, Verifier: verifier, Timeout: timeout,
+			Signer: signer, Verifier: verifier, Timeout: timeout, Persist: persist,
 		}, genesis)
 	}
 	return paxos.New(paxos.Config{
-		Topology: topo, Cluster: cluster, Self: self, Timeout: timeout,
+		Topology: topo, Cluster: cluster, Self: self, Timeout: timeout, Persist: persist,
 	}, genesis)
 }
 

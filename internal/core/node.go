@@ -3,6 +3,7 @@ package core
 import (
 	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
 	"sharper/internal/state"
+	"sharper/internal/storage"
 	"sharper/internal/transport"
 	"sharper/internal/types"
 )
@@ -57,6 +59,14 @@ type NodeConfig struct {
 	// pipeline is full accumulate into the next batch instead of opening
 	// ever more instances.
 	MaxInFlight int
+
+	// Storage, when non-nil, is the replica's durability subsystem: the
+	// node logs committed blocks and acceptor state through it
+	// (persist-before-ack), checkpoints periodically, and — when the store
+	// was opened over an existing directory — recovers chain, state, and
+	// consensus obligations from it before processing any message. The node
+	// owns the handle and closes it on Stop.
+	Storage *storage.Store
 }
 
 func (c *NodeConfig) fillDefaults() {
@@ -66,8 +76,13 @@ func (c *NodeConfig) fillDefaults() {
 	if c.LockTimeout <= 0 {
 		// Fallback only: locks are normally released by commit or an
 		// initiator abort; the unilateral expiry guards against a crashed
-		// initiator, so it can afford to be patient.
-		c.LockTimeout = time.Second
+		// initiator, so it can afford to be patient. It MUST be patient: a
+		// participant whose lock expires while the decided COMMIT is still
+		// in flight resumes intra-shard ordering, its chain moves past the
+		// head it voted, and the late commit can never append there — the
+		// §3.2 "pre-determined time" has to dominate worst-case commit
+		// delivery, including heavily loaded multi-process deployments.
+		c.LockTimeout = 3 * time.Second
 	}
 	if c.RetryTimeout <= 0 {
 		// With two-shard transactions under super-primary routing the
@@ -170,6 +185,27 @@ type Node struct {
 	anomalies atomic.Int64 // ledger append failures (should stay 0)
 	stopCh    chan struct{}
 	doneCh    chan struct{}
+	stopOnce  sync.Once
+
+	// failedTx records ordered-but-rejected transactions (overdrafts,
+	// cross-shard validity vetoes) so checkpoints can carry the verdicts:
+	// a recovered reply cache must answer retransmissions of an old failed
+	// transaction with Committed=false, not a guess. Bounded FIFO at the
+	// reply cache's size — verdicts older than any client's retry window
+	// can never be consulted, so both the map and the checkpoint section
+	// stay O(recent failures), not O(history).
+	failedTx   map[types.TxID]bool
+	failedList []types.TxID
+
+	// recoveredBlocks counts the chain blocks loaded from storage at build
+	// time (restart tests assert catch-up fetched only the delta).
+	recoveredBlocks int
+	// lastCkptAttempt rate-limits checkpoint retries after a disk error.
+	lastCkptAttempt time.Time
+	// pendingRecovery defers state re-execution to Start: genesis accounts
+	// are seeded between NewNode and Start, and replay must run over them
+	// (or a checkpoint snapshot must replace them) before traffic arrives.
+	pendingRecovery *storage.Recovered
 }
 
 // NewNode builds a replica; call Start to run it.
@@ -184,6 +220,7 @@ func NewNode(cfg NodeConfig) *Node {
 		inFlight:   make(map[types.TxID]time.Time),
 		forwarded:  make(map[types.TxID]*forwardedReq),
 		queued:     make(map[types.TxID]bool),
+		failedTx:   make(map[types.TxID]bool),
 		lastAppend: time.Now(),
 		syncVotes:  make(map[uint64]map[types.NodeID]types.Hash),
 		syncBlocks: make(map[uint64]map[types.Hash]*types.Block),
@@ -191,8 +228,13 @@ func NewNode(cfg NodeConfig) *Node {
 		doneCh:     make(chan struct{}),
 	}
 	genesis := ledger.GenesisHash()
+	// A nil *storage.Store must stay a nil Persister interface.
+	var persist consensus.Persister
+	if cfg.Storage != nil {
+		persist = cfg.Storage
+	}
 	n.intra = newIntraEngine(cfg.Model, cfg.Topology, cfg.Cluster, cfg.Self,
-		cfg.Signer, cfg.Verifier, cfg.IntraTimeout, genesis)
+		cfg.Signer, cfg.Verifier, cfg.IntraTimeout, genesis, persist)
 	status := n.chainStatus
 	validate := func(tx *types.Transaction) bool { return n.store.Validate(tx) == nil }
 	// Cross-shard protocol selection: the crash-only Algorithm 1 applies
@@ -207,7 +249,113 @@ func NewNode(cfg NodeConfig) *Node {
 		n.cross = newXCrash(cfg.Topology, cfg.Cluster, cfg.Self,
 			status, validate, cfg.LockTimeout, cfg.RetryTimeout, cfg.Seed)
 	}
+	if cfg.Storage != nil {
+		n.recoverChain(cfg.Storage.Recovered())
+	}
 	return n
+}
+
+// recoverChain rebuilds the ledger view and the intra engine from recovered
+// durable state. Shard-store reconstruction waits until Start (see
+// pendingRecovery); the chain and the engine's acceptor obligations must be
+// in place before anything else reads them.
+func (n *Node) recoverChain(rec *storage.Recovered) {
+	if rec.Fresh() {
+		return
+	}
+	now := time.Now()
+	for _, b := range rec.Blocks {
+		if err := n.view.Append(b); err != nil {
+			// A recovered block that does not extend the chain means the
+			// files were damaged in a way the CRC frames could not see
+			// (e.g. mixed directories). Keep the valid prefix.
+			n.anomalies.Add(1)
+			break
+		}
+		n.recoveredBlocks++
+	}
+	if seq := uint64(n.view.Len() - 1); seq > 0 {
+		// Advance the engine to the recovered head; outbound messages are
+		// impossible here (nothing is parked in a fresh engine).
+		n.intra.SyncChainHead(seq, n.view.Head(), now)
+	}
+	n.intra.Restore(rec.View, rec.Promised, rec.Accepted, now)
+	n.pendingRecovery = rec
+}
+
+// RecoveredBlocks reports how many chain blocks were loaded from storage
+// when the node was built (0 for a fresh node).
+func (n *Node) RecoveredBlocks() int { return n.recoveredBlocks }
+
+// finishRecovery reconstructs the shard store and reply cache. It runs at
+// Start, after genesis seeding: a checkpoint snapshot replaces the seeded
+// balances wholesale (it already contains them), while log-replayed blocks
+// re-execute over the store deterministically.
+func (n *Node) finishRecovery() {
+	rec := n.pendingRecovery
+	if rec == nil {
+		return
+	}
+	n.pendingRecovery = nil
+	if rec.HaveSnapshot {
+		n.store.Restore(rec.Balances, rec.Applied)
+	}
+	// The checkpoint's failed-transaction list restores the true verdicts
+	// for blocks the snapshot already covers (and seeds the next
+	// checkpoint's list).
+	for id := range rec.FailedTxs {
+		n.recordFailed(id)
+	}
+	for i, b := range rec.Blocks {
+		if i >= n.recoveredBlocks {
+			break // past the valid prefix recoverChain kept
+		}
+		idx := uint64(i + 1)
+		for j, tx := range b.Txs {
+			if idx <= rec.SnapshotSeq {
+				// The snapshot already reflects this block; only the reply
+				// cache entry is rebuilt, so an ancient retransmission is
+				// re-replied (with its original verdict) instead of
+				// re-ordered and re-applied.
+				n.replyCache.Put(tx.ID, &types.Reply{
+					TxID: tx.ID, Replica: n.cfg.Self, Committed: !rec.FailedTxs[tx.ID],
+				})
+				n.committed.Add(1)
+				continue
+			}
+			// The logged validity bitmap replays remote shards' vetoes
+			// exactly as the original execution saw them.
+			n.recoverExecute(tx, rec.Valid[i]&(1<<uint(j)) != 0)
+		}
+	}
+}
+
+// recoverExecute re-applies one logged transaction during recovery: the
+// logged validity verdict plus deterministic local validation over the
+// chain prefix reproduce the original effects without sending replies.
+func (n *Node) recoverExecute(tx *types.Transaction, valid bool) {
+	if n.replyCache.Contains(tx.ID) {
+		return // ordered twice; the first execution won
+	}
+	ok := valid && n.store.Apply(tx) == nil
+	if !ok {
+		n.recordFailed(tx.ID)
+	}
+	n.committed.Add(1)
+	n.replyCache.Put(tx.ID, &types.Reply{TxID: tx.ID, Replica: n.cfg.Self, Committed: ok})
+}
+
+// recordFailed adds a rejected verdict to the bounded FIFO.
+func (n *Node) recordFailed(id types.TxID) {
+	if n.failedTx[id] {
+		return
+	}
+	n.failedTx[id] = true
+	n.failedList = append(n.failedList, id)
+	if len(n.failedList) > replyCacheSize {
+		delete(n.failedTx, n.failedList[0])
+		n.failedList = n.failedList[1:]
+	}
 }
 
 // ID returns the node's identity.
@@ -253,15 +401,32 @@ func (n *Node) chainStatus() chainStatus {
 	}
 }
 
-// Start runs the node's event loop in its own goroutine.
+// Start runs the node's event loop in its own goroutine. If the node was
+// built over recovered storage, the shard store is reconstructed first (the
+// call sites seed genesis accounts between NewNode and Start, and replay
+// must see them).
 func (n *Node) Start() {
+	n.finishRecovery()
 	go n.loop()
 }
 
-// Stop terminates the event loop and waits for it to exit.
+// Stop terminates the event loop, waits for it to exit, and closes the
+// node's storage. Idempotent: teardown paths (RestartNode + deferred
+// Deployment.Stop) may both reach the same node.
 func (n *Node) Stop() {
-	close(n.stopCh)
-	<-n.doneCh
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		<-n.doneCh
+		n.CloseStorage()
+	})
+}
+
+// CloseStorage flushes and closes the node's storage handle, if any. Stop
+// calls it; deployments call it directly for nodes that never started.
+func (n *Node) CloseStorage() {
+	if n.cfg.Storage != nil {
+		n.cfg.Storage.Close()
+	}
 }
 
 func (n *Node) loop() {
@@ -340,6 +505,49 @@ func (n *Node) tick(now time.Time) {
 	n.retryPendingApply(now)
 	n.maybeLaunch(now)
 	n.maybeSync(now)
+	if n.cfg.Storage != nil {
+		// Fsync cadence is the store's own business (SyncGroup runs a
+		// background flusher); the loop only drives checkpoints.
+		n.maybeCheckpoint()
+	}
+}
+
+// maybeCheckpoint snapshots the committed state once the chain has grown
+// CheckpointInterval blocks past the last checkpoint, truncating the log
+// behind it. Runs in the event loop, so the snapshot is taken at a
+// consistent point; the write stalls the node for one file write, which is
+// the price of not needing a copy-on-write store.
+func (n *Node) maybeCheckpoint() {
+	st := n.cfg.Storage
+	height := uint64(n.view.Len() - 1)
+	if !st.CheckpointDue(height) {
+		return
+	}
+	// On a failing disk CheckpointDue stays true; retry at most once per
+	// second instead of re-serializing the full snapshot every tick.
+	now := time.Now()
+	if now.Sub(n.lastCkptAttempt) < time.Second {
+		return
+	}
+	n.lastCkptAttempt = now
+	view, promised, insts := n.intra.DurableState()
+	if err := st.Checkpoint(height, n.store.Snapshot(), n.store.Applied(), n.failedList,
+		view, promised, insts); err != nil {
+		// Disk trouble degrades durability, not consensus; the next tick
+		// retries.
+		return
+	}
+}
+
+// persistCommit logs a block just appended at chain index seq — with the
+// decision's validity bitmap, so replay reproduces remote shards' vetoes —
+// before its effects (execution, replies) happen. Losing an unsynced tail
+// commit is safe: the cluster quorum holds the block and chain sync
+// refetches it.
+func (n *Node) persistCommit(b *types.Block, valid uint64) {
+	if n.cfg.Storage != nil {
+		n.cfg.Storage.AppendCommit(uint64(n.view.Len()-1), valid, b)
+	}
 }
 
 // maybeSync probes a rotating cluster peer for blocks we may have missed.
@@ -469,6 +677,9 @@ func (n *Node) adoptBlock(b *types.Block, now time.Time) bool {
 	if err := n.view.Append(b); err != nil {
 		return false
 	}
+	// The sync path has no validity bitmap (a pre-existing gap shared with
+	// live adoption below: local re-validation approximates the vote).
+	n.persistCommit(b, ^uint64(0))
 	n.lastAppend = now
 	// A synced cross-shard block was globally decided; replay its effects.
 	// Validation is deterministic over the chain prefix, so re-validating
@@ -739,6 +950,7 @@ func (n *Node) applyIntra(decs []consensus.Decision, now time.Time) {
 			n.anomalies.Add(1)
 			continue
 		}
+		n.persistCommit(d.Block, ^uint64(0))
 		n.lastAppend = now
 		for _, tx := range d.Block.Txs {
 			n.execute(tx, true)
@@ -794,6 +1006,7 @@ func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 		n.anomalies.Add(1)
 		return
 	}
+	n.persistCommit(block, d.Valid)
 	n.lastAppend = now
 	for i, tx := range d.Txs {
 		n.execute(tx, d.Valid&(1<<uint(i)) != 0)
@@ -857,6 +1070,11 @@ func (n *Node) execute(tx *types.Transaction, valid bool) {
 	delete(n.inFlight, tx.ID)
 	delete(n.forwarded, tx.ID)
 	ok := valid && n.store.Apply(tx) == nil
+	if !ok && n.cfg.Storage != nil {
+		// Remember rejected verdicts for checkpoints, so a restarted
+		// replica re-answers retransmissions honestly.
+		n.recordFailed(tx.ID)
+	}
 	n.committed.Add(1)
 	r := &types.Reply{TxID: tx.ID, Replica: n.cfg.Self, Committed: ok}
 	n.replyCache.Put(tx.ID, r)

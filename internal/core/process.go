@@ -9,6 +9,7 @@ import (
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
 	"sharper/internal/state"
+	"sharper/internal/storage"
 	"sharper/internal/transport"
 	"sharper/internal/types"
 )
@@ -39,6 +40,17 @@ type ProcessConfig struct {
 	MaxInFlight  int
 	// DisableSuperPrimary turns off §3.2 super-primary routing.
 	DisableSuperPrimary bool
+
+	// DataDir, when set, is THIS replica's durable storage directory: a
+	// write-ahead log plus checkpoints, recovered from on restart-in-place
+	// (kill the process, start it again with the same directory, and it
+	// rejoins with its chain and acceptor state intact).
+	DataDir string
+	// Sync is the WAL fsync policy (default storage.SyncGroup).
+	Sync storage.SyncPolicy
+	// CheckpointInterval is the number of committed blocks between
+	// checkpoints (default 256).
+	CheckpointInterval int
 }
 
 // NewProcessNode builds the single replica a standalone process hosts. Key
@@ -85,6 +97,16 @@ func NewProcessNode(cfg ProcessConfig) (*Node, error) {
 		signer, verifier = s, auth
 	}
 
+	var st *storage.Store
+	if cfg.DataDir != "" {
+		var serr error
+		st, serr = storage.Open(cfg.DataDir, storage.Options{
+			Sync: cfg.Sync, CheckpointInterval: cfg.CheckpointInterval,
+		})
+		if serr != nil {
+			return nil, serr
+		}
+	}
 	return NewNode(NodeConfig{
 		Model:        cfg.Topo.ModelOf(cluster),
 		Topology:     cfg.Topo,
@@ -103,6 +125,7 @@ func NewProcessNode(cfg ProcessConfig) (*Node, error) {
 		MaxInFlight:  cfg.MaxInFlight,
 		SuperPrimary: !cfg.DisableSuperPrimary,
 		Seed:         cfg.Seed + int64(cfg.Self) + 2,
+		Storage:      st,
 	}), nil
 }
 

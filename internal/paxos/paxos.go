@@ -55,6 +55,12 @@ type Engine struct {
 	vcVotes      map[uint64]map[types.NodeID]*types.ViewChange
 	viewChanging bool
 	promised     uint64
+	// vcDeadline bounds how long the node waits for the voted view to
+	// install before escalating to the next one. Without it, a view whose
+	// candidate primary is itself dead (view numbers rotate over all
+	// members, crashed or not) wedges the cluster forever: every live node
+	// sits in viewChanging, and Tick fires no further suspicion.
+	vcDeadline time.Time
 
 	// New-primary recovery state: values reported prepared by the
 	// view-change quorum, to re-propose in order, and the committed
@@ -66,6 +72,11 @@ type Engine struct {
 
 	// Proposal timeout for backups awaiting commit.
 	timeout time.Duration
+
+	// persist, when set, records acceptances and view positions to stable
+	// storage before the message they vouch for leaves the node, so a
+	// restarted acceptor cannot renege on a promise or an acceptance.
+	persist consensus.Persister
 
 	// trace is a bounded ring of protocol events for post-mortem debugging
 	// (see DebugTrace), recorded only when SHARPER_TRACE is set — the
@@ -105,6 +116,11 @@ type instance struct {
 	sentCmt   bool
 	own       bool // proposed by this node (as primary)
 	deadline  time.Time
+	// durableView/durableDigest track what PersistAccept last recorded for
+	// this slot, so duplicate deliveries do not rewrite the log.
+	durable       bool
+	durableView   uint64
+	durableDigest types.Hash
 }
 
 // Config parametrizes an Engine.
@@ -115,6 +131,9 @@ type Config struct {
 	// Timeout before a backup suspects the primary for an in-flight
 	// proposal and votes to change view.
 	Timeout time.Duration
+	// Persist, when non-nil, is the stable-storage hook for acceptor state
+	// (persist-before-ack; see consensus.Persister).
+	Persist consensus.Persister
 }
 
 // New creates an engine starting at view 0 with the genesis head.
@@ -133,8 +152,105 @@ func New(cfg Config, genesis types.Hash) *Engine {
 		parked:        make(map[uint64]*types.Envelope),
 		vcVotes:       make(map[uint64]map[types.NodeID]*types.ViewChange),
 		timeout:       cfg.Timeout,
+		persist:       cfg.Persist,
 		traceOn:       os.Getenv("SHARPER_TRACE") != "",
 	}
+}
+
+// persistAccept records the instance's current binding if it changed since
+// the last record for this slot. False means the record did not reach
+// stable storage and the caller must withhold the acceptance (the durable
+// marker stays clear, so the next delivery retries).
+func (e *Engine) persistAccept(seq uint64, inst *instance) bool {
+	if e.persist == nil || len(inst.txs) == 0 {
+		return true
+	}
+	if inst.durable && inst.durableView == inst.view && inst.durableDigest == inst.digest {
+		return true
+	}
+	if err := e.persist.PersistAccept(seq, inst.view, inst.parent, inst.digest, inst.txs); err != nil {
+		return false
+	}
+	inst.durable = true
+	inst.durableView = inst.view
+	inst.durableDigest = inst.digest
+	return true
+}
+
+// persistViewState records the engine's view position; false withholds the
+// dependent message.
+func (e *Engine) persistViewState() bool {
+	if e.persist == nil {
+		return true
+	}
+	return e.persist.PersistView(e.view, e.promised) == nil
+}
+
+// Restore warms a freshly built engine from recovered durable state: the
+// view position and every acceptance the node had taken on. Call it once,
+// after SyncChainHead has advanced the engine to the recovered chain head
+// and before the node starts processing messages.
+func (e *Engine) Restore(view, promised uint64, insts []consensus.DurableInstance, now time.Time) {
+	if view > e.view {
+		e.view = view
+	}
+	if promised > e.promised {
+		e.promised = promised
+	}
+	for _, d := range insts {
+		if d.Seq <= e.committedSeq || len(d.Txs) == 0 {
+			continue
+		}
+		e.instances[d.Seq] = &instance{
+			digest:   d.Digest,
+			parent:   d.Parent,
+			txs:      d.Txs,
+			view:     d.View,
+			accepted: map[types.NodeID]bool{e.self: true},
+			deadline: now.Add(e.timeout),
+			durable:  true, durableView: d.View, durableDigest: d.Digest,
+		}
+	}
+	// Restored acceptances occupy their pipeline slots: walk the proposal
+	// chain over the contiguous run above the committed head (the same
+	// relink SyncChainHead does) so a restarted primary's next Propose
+	// cannot allocate — and overwrite — a slot it had already accepted a
+	// value in.
+	expect := e.proposedHead
+	for s := e.proposedSeq + 1; ; s++ {
+		inst, ok := e.instances[s]
+		if !ok || len(inst.txs) == 0 || inst.parent != expect {
+			break
+		}
+		bh := (&types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}).Hash()
+		e.proposedSeq = s
+		e.proposedHead = bh
+		expect = bh
+	}
+	e.tracef("restore v=%d promised=%d committed=%d proposed=%d accepted=%d",
+		e.view, e.promised, e.committedSeq, e.proposedSeq, len(insts))
+}
+
+// DurableState reports the engine state a checkpoint must carry forward
+// into a fresh log segment: the view position and every
+// accepted-but-uncommitted value (including recovered values not yet
+// re-proposed, which are acceptor obligations all the same).
+func (e *Engine) DurableState() (view, promised uint64, insts []consensus.DurableInstance) {
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && len(inst.txs) > 0 {
+			insts = append(insts, consensus.DurableInstance{
+				Seq: seq, View: inst.view, Parent: inst.parent, Digest: inst.digest, Txs: inst.txs,
+			})
+		}
+	}
+	for _, c := range e.pendingRepropose {
+		if c.seq > e.committedSeq {
+			insts = append(insts, consensus.DurableInstance{
+				Seq: c.seq, View: c.view, Digest: types.BatchDigest(c.txs), Txs: c.txs,
+			})
+		}
+	}
+	return e.view, e.promised, insts
 }
 
 // View returns the current view.
@@ -271,14 +387,24 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	}
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
-	if prev, ok := e.instances[seq]; ok && prev.committed {
-		// The slot is already bound (a commit raced ahead of its accept):
-		// proposing over it would erase that knowledge. Chain sync delivers
-		// or supersedes it; the batch stays queued.
-		return nil, 0
-	}
 	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
 	digest := types.BatchDigest(txs)
+	if prev, ok := e.instances[seq]; ok {
+		if prev.committed {
+			// The slot is already bound (a commit raced ahead of its
+			// accept): proposing over it would erase that knowledge. Chain
+			// sync delivers or supersedes it; the batch stays queued.
+			return nil, 0
+		}
+		if len(prev.txs) > 0 && prev.view == e.view && prev.digest != digest {
+			// This node already accepted a different value for the slot in
+			// THIS view (a restored acceptance whose parent did not link
+			// into the proposal walk): binding a second value at the same
+			// (view, seq) is equivocation. A higher view's recovery may
+			// overwrite it; the same view may not.
+			return nil, 0
+		}
+	}
 
 	inst := &instance{
 		digest:   digest,
@@ -288,6 +414,12 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 		accepted: map[types.NodeID]bool{e.self: true}, // primary counts itself
 		own:      true,
 		deadline: now.Add(e.timeout),
+	}
+	// The primary's self-acceptance counts toward the commit quorum, so it
+	// must be just as durable as a backup's — and refused (batch back to
+	// the queue) when storage cannot record it.
+	if !e.persistAccept(seq, inst) {
+		return nil, 0
 	}
 	e.instances[seq] = inst
 	e.proposedSeq = seq
@@ -386,6 +518,12 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		e.proposedHead = block.Hash()
 	}
 
+	// Persist the acceptance before the ack leaves: the primary will count
+	// it toward a commit quorum, so this node must still report it after a
+	// restart (view-change value recovery). Unpersistable ⇒ no ack.
+	if !e.persistAccept(m.Seq, inst) {
+		return nil, nil
+	}
 	reply := &types.ConsensusMsg{View: m.View, Seq: m.Seq, Digest: m.Digest, Cluster: e.cluster}
 	out := []consensus.Outbound{{
 		To:  []types.NodeID{env.From},
@@ -483,9 +621,16 @@ func (e *Engine) advance() []consensus.Decision {
 
 // Tick fires proposal timeouts: a backup with an instance past its deadline
 // suspects the primary and votes for the next view. A fresh primary uses the
-// tick to retry its recovery obligations once chain sync catches it up.
+// tick to retry its recovery obligations once chain sync catches it up. A
+// node stuck mid-view-change past its deadline escalates to the next view —
+// the candidate primary may be dead too.
 func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 	if e.viewChanging {
+		if now.After(e.vcDeadline) {
+			next := e.promised + 1
+			e.tracef("vc-escalate nv=%d", next)
+			return e.startViewChange(next, now)
+		}
 		return nil
 	}
 	if e.IsPrimary() {
@@ -501,13 +646,23 @@ func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 	if !expired {
 		return nil
 	}
-	return e.startViewChange(e.view + 1)
+	return e.startViewChange(e.view+1, now)
 }
 
-func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
+func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outbound {
 	e.viewChanging = true
+	// Give the candidate primary two full windows to assemble the new view
+	// before escalating past it.
+	e.vcDeadline = now.Add(2 * e.timeout)
 	if newView > e.promised {
 		e.promised = newView
+	}
+	// The promise must hit stable storage before the vote leaves: a
+	// restarted node that forgot it could accept proposals from the deposed
+	// view, invisible to the new view's value recovery. Unpersistable ⇒ no
+	// vote (the escalation timer retries).
+	if !e.persistViewState() {
+		return nil
 	}
 	vc := &types.ViewChange{
 		NewView:  newView,
@@ -571,7 +726,7 @@ func (e *Engine) onViewChange(env *types.Envelope, now time.Time) ([]consensus.O
 	// Join the view change once anyone credible started it (we are behind
 	// or our timer fired too); crash-only nodes don't need f+1 proof.
 	if !e.viewChanging {
-		out = append(out, e.startViewChange(vc.NewView)...)
+		out = append(out, e.startViewChange(vc.NewView, now)...)
 	}
 	// The would-be primary of newView collects f+1 votes (incl. itself) and
 	// announces the new view.
@@ -664,6 +819,10 @@ func (e *Engine) installView(v uint64, now time.Time) {
 	}
 	e.view = v
 	e.viewChanging = false
+	// Best effort: the installed view is recoverable from peers (a higher
+	// view's first proposal re-installs it); the promise above is what
+	// safety rides on.
+	e.persistViewState()
 	e.tracef("install-view v=%d committed=%d", v, e.committedSeq)
 	// Reset the proposal chain to committed state. Uncommitted accepted
 	// instances are RETAINED: like Paxos acceptors, this node keeps the
@@ -713,6 +872,5 @@ func (e *Engine) SuspectPrimary(now time.Time) []consensus.Outbound {
 	if e.IsPrimary() || e.viewChanging {
 		return nil
 	}
-	_ = now
-	return e.startViewChange(e.view + 1)
+	return e.startViewChange(e.view+1, now)
 }

@@ -44,6 +44,11 @@ type Engine struct {
 	vcVotes      map[uint64]map[types.NodeID]*types.ViewChange
 	viewChanging bool
 	promised     uint64
+	// vcDeadline bounds how long the node waits mid-view-change before
+	// escalating to the next view (see paxos.Engine.vcDeadline: the
+	// candidate primary may itself be dead, and without escalation every
+	// live node wedges in viewChanging).
+	vcDeadline time.Time
 
 	// New-primary recovery state (see paxos.Engine): values the deposed
 	// view owed the chain, and the commit level to reach before proposing.
@@ -51,6 +56,11 @@ type Engine struct {
 	reproposeBarrier uint64
 
 	timeout time.Duration
+
+	// persist, when set, records acceptances and view positions to stable
+	// storage before the message they vouch for leaves the node (see
+	// consensus.Persister and paxos.Engine).
+	persist consensus.Persister
 }
 
 // preparedCand is one value owed to the chain by a deposed view, with the
@@ -79,6 +89,11 @@ type instance struct {
 	sentCommit bool
 	committed  bool
 	deadline   time.Time
+	// durableView/durableDigest track what PersistAccept last recorded for
+	// this slot, so duplicate deliveries do not rewrite the log.
+	durable       bool
+	durableView   uint64
+	durableDigest types.Hash
 }
 
 // Config parametrizes an Engine.
@@ -89,6 +104,9 @@ type Config struct {
 	Signer   crypto.Signer
 	Verifier crypto.Verifier
 	Timeout  time.Duration
+	// Persist, when non-nil, is the stable-storage hook for acceptor state
+	// (persist-before-ack; see consensus.Persister).
+	Persist consensus.Persister
 }
 
 // New creates an engine at view 0 with the genesis head.
@@ -115,7 +133,105 @@ func New(cfg Config, genesis types.Hash) *Engine {
 		parked:        make(map[uint64]*types.Envelope),
 		vcVotes:       make(map[uint64]map[types.NodeID]*types.ViewChange),
 		timeout:       cfg.Timeout,
+		persist:       cfg.Persist,
 	}
+}
+
+// persistAccept records the instance's current binding if it changed since
+// the last record for this slot. False means the record did not reach
+// stable storage and the caller must withhold the vote (the durable marker
+// stays clear, so the next delivery retries).
+func (e *Engine) persistAccept(seq uint64, inst *instance) bool {
+	if e.persist == nil || len(inst.txs) == 0 {
+		return true
+	}
+	if inst.durable && inst.durableView == inst.view && inst.durableDigest == inst.digest {
+		return true
+	}
+	if err := e.persist.PersistAccept(seq, inst.view, inst.parent, inst.digest, inst.txs); err != nil {
+		return false
+	}
+	inst.durable = true
+	inst.durableView = inst.view
+	inst.durableDigest = inst.digest
+	return true
+}
+
+// persistViewState records the engine's view position; false withholds the
+// dependent message.
+func (e *Engine) persistViewState() bool {
+	if e.persist == nil {
+		return true
+	}
+	return e.persist.PersistView(e.view, e.promised) == nil
+}
+
+// Restore warms a freshly built engine from recovered durable state (see
+// paxos.Engine.Restore). The restored node re-signs its own prepare vote
+// for each recovered instance so it stays bound to the digest it voted for:
+// an equivocating pre-prepare for the same slot is rejected against the
+// restored binding.
+func (e *Engine) Restore(view, promised uint64, insts []consensus.DurableInstance, now time.Time) {
+	if view > e.view {
+		e.view = view
+	}
+	if promised > e.promised {
+		e.promised = promised
+	}
+	for _, d := range insts {
+		if d.Seq <= e.committedSeq || len(d.Txs) == 0 {
+			continue
+		}
+		payload := (&types.ConsensusMsg{
+			View: d.View, Seq: d.Seq, Digest: d.Digest, Cluster: e.cluster,
+		}).Encode(nil)
+		e.instances[d.Seq] = &instance{
+			digest:   d.Digest,
+			parent:   d.Parent,
+			txs:      d.Txs,
+			view:     d.View,
+			prePrep:  true,
+			prepares: map[types.NodeID]types.Hash{e.self: d.Digest},
+			commits:  make(map[types.NodeID]types.Hash),
+			voteSigs: map[types.NodeID][]byte{e.self: e.sign(payload)},
+			deadline: now.Add(e.timeout),
+			durable:  true, durableView: d.View, durableDigest: d.Digest,
+		}
+	}
+	// Restored acceptances occupy their pipeline slots (see
+	// paxos.Engine.Restore): walk the proposal chain over the contiguous
+	// run so a restarted primary cannot re-allocate a slot it voted in.
+	expect := e.proposedHead
+	for s := e.proposedSeq + 1; ; s++ {
+		inst, ok := e.instances[s]
+		if !ok || len(inst.txs) == 0 || inst.parent != expect {
+			break
+		}
+		bh := (&types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}).Hash()
+		e.proposedSeq = s
+		e.proposedHead = bh
+		expect = bh
+	}
+}
+
+// DurableState reports the engine state a checkpoint must carry forward
+// into a fresh log segment (see paxos.Engine.DurableState).
+func (e *Engine) DurableState() (view, promised uint64, insts []consensus.DurableInstance) {
+	for seq, inst := range e.instances {
+		if seq > e.committedSeq && len(inst.txs) > 0 {
+			insts = append(insts, consensus.DurableInstance{
+				Seq: seq, View: inst.view, Parent: inst.parent, Digest: inst.digest, Txs: inst.txs,
+			})
+		}
+	}
+	for _, c := range e.pendingRepropose {
+		if c.seq > e.committedSeq {
+			insts = append(insts, consensus.DurableInstance{
+				Seq: c.seq, View: c.view, Digest: types.BatchDigest(c.txs), Txs: c.txs,
+			})
+		}
+	}
+	return e.view, e.promised, insts
 }
 
 // View returns the current view.
@@ -246,14 +362,29 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	}
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
-	if prev, ok := e.instances[seq]; ok && prev.committed {
-		// The slot is already bound (a commit certificate raced ahead of
-		// its body): proposing over it would erase that knowledge. Chain
-		// sync delivers or supersedes it; the batch stays queued.
-		return nil, 0
-	}
 	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
 	digest := types.BatchDigest(txs)
+	if prev, ok := e.instances[seq]; ok {
+		if prev.committed {
+			// The slot is already bound (a commit certificate raced ahead
+			// of its body): proposing over it would erase that knowledge.
+			// Chain sync delivers or supersedes it; the batch stays queued.
+			return nil, 0
+		}
+		if len(prev.txs) > 0 && prev.view == e.view && prev.digest != digest {
+			// Already voted a different value at this (view, seq) — a
+			// restored acceptance outside the proposal walk; proposing a
+			// second binding in the same view is equivocation.
+			return nil, 0
+		}
+	}
+	// Persist the primary's own acceptance before anything leaves the node
+	// (see paxos.Engine.Propose): unpersistable ⇒ refuse, batch requeued.
+	if e.persist != nil {
+		if err := e.persist.PersistAccept(seq, e.view, parent, digest, txs); err != nil {
+			return nil, 0
+		}
+	}
 
 	// A fresh instance, never getInstance: a retained instance from a
 	// deposed view may linger at this slot, and its stale votes must not
@@ -262,6 +393,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 		prepares: make(map[types.NodeID]types.Hash),
 		commits:  make(map[types.NodeID]types.Hash),
 		voteSigs: make(map[types.NodeID][]byte),
+		durable:  true, durableView: e.view, durableDigest: digest,
 	}
 	e.instances[seq] = inst
 	inst.digest = digest
@@ -385,6 +517,12 @@ func (e *Engine) votePrepare(inst *instance, seq uint64) []consensus.Outbound {
 	if inst.sentPrep {
 		return nil
 	}
+	// Persist before the prepare vote leaves: the vote can end up inside a
+	// prepared certificate, and a restarted node must keep honoring it.
+	// Unpersistable ⇒ no vote (a re-delivered pre-prepare retries).
+	if !e.persistAccept(seq, inst) {
+		return nil
+	}
 	inst.sentPrep = true
 	inst.prepares[e.self] = inst.digest
 	m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster}
@@ -465,9 +603,13 @@ func (e *Engine) advance() []consensus.Decision {
 }
 
 // Tick fires the backup timers that trigger view changes; a fresh primary
-// uses it to retry recovery obligations once chain sync catches it up.
+// uses it to retry recovery obligations once chain sync catches it up. A
+// node stuck mid-view-change past its deadline escalates to the next view.
 func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 	if e.viewChanging {
+		if now.After(e.vcDeadline) {
+			return e.startViewChange(e.promised+1, now)
+		}
 		return nil
 	}
 	if e.IsPrimary() {
@@ -475,16 +617,24 @@ func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 	}
 	for seq, inst := range e.instances {
 		if seq > e.committedSeq && inst.prePrep && !inst.committed && now.After(inst.deadline) {
-			return e.startViewChange(e.view + 1)
+			return e.startViewChange(e.view+1, now)
 		}
 	}
 	return nil
 }
 
-func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {
+func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outbound {
 	e.viewChanging = true
+	// Two full windows for the candidate primary to assemble the view.
+	e.vcDeadline = now.Add(2 * e.timeout)
 	if newView > e.promised {
 		e.promised = newView
+	}
+	// The promise must reach stable storage before the vote leaves (see
+	// paxos.Engine.startViewChange); unpersistable ⇒ no vote, the
+	// escalation timer retries.
+	if !e.persistViewState() {
+		return nil
 	}
 	vc := &types.ViewChange{
 		NewView:  newView,
@@ -552,7 +702,7 @@ func (e *Engine) onViewChange(env *types.Envelope, now time.Time) ([]consensus.O
 	// Join once f+1 distinct nodes ask for this view: at least one correct
 	// node timed out, so the suspicion is credible.
 	if !e.viewChanging && len(votes) >= f+1 {
-		out = append(out, e.startViewChange(vc.NewView)...)
+		out = append(out, e.startViewChange(vc.NewView, now)...)
 		votes = e.vcVotes[vc.NewView]
 	}
 	if e.topo.Primary(e.cluster, vc.NewView) != e.self {
@@ -696,6 +846,7 @@ func (e *Engine) installView(v uint64, now time.Time) {
 	}
 	e.view = v
 	e.viewChanging = false
+	e.persistViewState()
 	e.proposedSeq = e.committedSeq
 	e.proposedHead = e.committedHead
 	// Uncommitted instances are retained (see paxos.Engine.installView):
@@ -737,6 +888,5 @@ func (e *Engine) SuspectPrimary(now time.Time) []consensus.Outbound {
 	if e.IsPrimary() || e.viewChanging {
 		return nil
 	}
-	_ = now
-	return e.startViewChange(e.view + 1)
+	return e.startViewChange(e.view+1, now)
 }

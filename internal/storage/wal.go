@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"sharper/internal/types"
+)
+
+// WAL framing. Every record is written as
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// and the payload is [1B record type][type-specific body] built from the
+// types package's canonical codecs. The CRC frame is what makes recovery
+// safe against torn tails: a record cut short by a crash (or any corrupted
+// bytes after it) fails the length or checksum test, and recovery truncates
+// the log at the last valid record instead of replaying garbage.
+const frameHeader = 4 + 4
+
+// maxRecordLen bounds a single record. A declared length beyond it is
+// treated as tail corruption, not an allocation request — a torn length
+// field must not ask recovery for gigabytes.
+const maxRecordLen = 64 << 20
+
+// crcTable is the Castagnoli polynomial, the hardware-accelerated choice.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record types.
+const (
+	// recCommit: [8B seq][8B valid][block] — a block committed at chain
+	// index seq (genesis is index 0 and is never logged). valid is the
+	// per-transaction validity bitmap the decision carried (bit i =
+	// transaction i's effects were applied): replaying a block without the
+	// remote shards' vetoes would apply transactions this cluster
+	// originally rejected.
+	recCommit byte = 1
+	// recAccept: [8B seq][8B view][32B parent][32B digest][tx batch] — an
+	// accepted-but-uncommitted instance (persist-before-ack).
+	recAccept byte = 2
+	// recView: [8B view][8B promised] — the engine's view position.
+	recView byte = 3
+)
+
+// appendFrame wraps payload in the length+CRC frame.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// readFrame parses one frame from b, returning the payload and the total
+// bytes consumed. An error means the bytes at the front of b are not a
+// whole, intact frame — recovery treats that as the end of the log.
+func readFrame(b []byte) ([]byte, int, error) {
+	if len(b) < frameHeader {
+		return nil, 0, fmt.Errorf("storage: short frame header: %d bytes", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxRecordLen {
+		return nil, 0, fmt.Errorf("storage: frame length %d exceeds limit", n)
+	}
+	if uint64(len(b)-frameHeader) < uint64(n) {
+		return nil, 0, fmt.Errorf("storage: torn frame: %d of %d payload bytes", len(b)-frameHeader, n)
+	}
+	payload := b[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[4:]) {
+		return nil, 0, fmt.Errorf("storage: frame checksum mismatch")
+	}
+	return payload, frameHeader + int(n), nil
+}
+
+// encodeCommit builds a recCommit payload.
+func encodeCommit(dst []byte, seq, valid uint64, b *types.Block) []byte {
+	dst = append(dst, recCommit)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint64(dst, valid)
+	return b.Encode(dst)
+}
+
+// encodeAccept builds a recAccept payload.
+func encodeAccept(dst []byte, seq, view uint64, parent, digest types.Hash, txs []*types.Transaction) []byte {
+	dst = append(dst, recAccept)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint64(dst, view)
+	dst = append(dst, parent[:]...)
+	dst = append(dst, digest[:]...)
+	return types.EncodeTxBatch(dst, txs)
+}
+
+// encodeView builds a recView payload.
+func encodeView(dst []byte, view, promised uint64) []byte {
+	dst = append(dst, recView)
+	dst = binary.LittleEndian.AppendUint64(dst, view)
+	return binary.LittleEndian.AppendUint64(dst, promised)
+}
+
+// walRecord is one decoded record.
+type walRecord struct {
+	kind byte
+
+	// recCommit
+	seq   uint64
+	valid uint64
+	block *types.Block
+
+	// recAccept
+	view   uint64
+	parent types.Hash
+	digest types.Hash
+	txs    []*types.Transaction
+
+	// recView
+	promised uint64
+}
+
+// decodeRecord parses a framed payload into a record. Errors mean the
+// record is structurally invalid even though its checksum passed — possible
+// only for records written by a different (buggy or future) version, so the
+// caller stops replay there.
+func decodeRecord(payload []byte) (walRecord, error) {
+	var r walRecord
+	if len(payload) < 1 {
+		return r, fmt.Errorf("storage: empty record")
+	}
+	r.kind = payload[0]
+	body := payload[1:]
+	switch r.kind {
+	case recCommit:
+		if len(body) < 16 {
+			return r, fmt.Errorf("storage: short commit record")
+		}
+		r.seq = binary.LittleEndian.Uint64(body)
+		r.valid = binary.LittleEndian.Uint64(body[8:])
+		b, used, err := types.DecodeBlock(body[16:])
+		if err != nil {
+			return r, err
+		}
+		if used != len(body)-16 {
+			return r, fmt.Errorf("storage: %d trailing bytes after commit block", len(body)-16-used)
+		}
+		r.block = b
+	case recAccept:
+		const fixed = 8 + 8 + 32 + 32
+		if len(body) < fixed {
+			return r, fmt.Errorf("storage: short accept record")
+		}
+		r.seq = binary.LittleEndian.Uint64(body)
+		r.view = binary.LittleEndian.Uint64(body[8:])
+		copy(r.parent[:], body[16:48])
+		copy(r.digest[:], body[48:80])
+		txs, err := types.DecodeTxBatch(body[fixed:])
+		if err != nil {
+			return r, err
+		}
+		if len(txs) == 0 {
+			return r, fmt.Errorf("storage: accept record with empty batch")
+		}
+		r.txs = txs
+	case recView:
+		if len(body) < 16 {
+			return r, fmt.Errorf("storage: short view record")
+		}
+		r.view = binary.LittleEndian.Uint64(body)
+		r.promised = binary.LittleEndian.Uint64(body[8:])
+	default:
+		return r, fmt.Errorf("storage: unknown record type %d", r.kind)
+	}
+	return r, nil
+}

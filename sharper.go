@@ -42,6 +42,7 @@ import (
 	"sharper/internal/consensus"
 	"sharper/internal/core"
 	"sharper/internal/ledger"
+	"sharper/internal/storage"
 	"sharper/internal/transport"
 	"sharper/internal/types"
 )
@@ -88,6 +89,25 @@ const (
 // cross-shard protocol carries per-transaction validity verdicts as a 64-bit
 // bitmap, so larger blocks cannot be voted on (see DESIGN.md).
 const MaxBatchSize = core.MaxBatchSize
+
+// SyncPolicy selects when a durable deployment fsyncs its write-ahead log.
+// Every policy writes records before the message they vouch for leaves the
+// node, so killing a replica process loses nothing; the policies trade
+// throughput against what an OS or power failure can take (see DESIGN.md,
+// "Durable storage").
+type SyncPolicy = storage.SyncPolicy
+
+// Sync policies for Options.Sync.
+const (
+	// SyncGroup (the default) batches fsyncs: a background flusher syncs
+	// acknowledged acceptor state every 50ms, so an OS crash can lose at
+	// most that window (a killed process loses nothing).
+	SyncGroup = storage.SyncGroup
+	// SyncNone never fsyncs; the kernel writes back on its own schedule.
+	SyncNone = storage.SyncNone
+	// SyncAlways fsyncs every record before the ack leaves.
+	SyncAlways = storage.SyncAlways
+)
 
 // NetworkOptions tunes the simulated fabric.
 type NetworkOptions struct {
@@ -141,6 +161,20 @@ type Options struct {
 	// MaxInFlight bounds pipelined consensus instances per cluster
 	// (default 8).
 	MaxInFlight int
+	// DataDir enables durable storage: every replica keeps a write-ahead
+	// log and periodic checkpoints under DataDir/node-<id>, and a replica
+	// restarted over the same directory (RestartNode, or a new process for
+	// sharperd deployments) recovers its chain, balances, and consensus
+	// obligations from disk, then fetches only the delta via chain sync.
+	// Empty (the default) runs in-memory; setting SHARPER_PERSIST=1 in the
+	// environment turns persistence on for such deployments too (CI runs
+	// the whole suite that way).
+	DataDir string
+	// Sync is the write-ahead-log fsync policy (default SyncGroup).
+	Sync SyncPolicy
+	// CheckpointInterval is the number of committed blocks between
+	// checkpoints (default 256).
+	CheckpointInterval int
 }
 
 // Network is a running SharPer deployment.
@@ -187,6 +221,9 @@ func New(opts Options) (*Network, error) {
 		BatchSize:           opts.BatchSize,
 		BatchTimeout:        opts.BatchTimeout,
 		MaxInFlight:         opts.MaxInFlight,
+		DataDir:             opts.DataDir,
+		Sync:                opts.Sync,
+		CheckpointInterval:  opts.CheckpointInterval,
 	}
 	if opts.Plan != nil {
 		cfg.Topology = opts.Plan.topo
@@ -249,6 +286,20 @@ func (n *Network) CrashNode(cluster ClusterID, idx int) error {
 	return nil
 }
 
+// RestartNode restarts a (typically crashed) replica as if its process had
+// been killed and relaunched: with Options.DataDir set the replica recovers
+// its chain, balances, and consensus obligations from disk and then fetches
+// only what it missed via chain sync; without durable storage it rejoins
+// empty and resyncs from genesis. Simulated transport only.
+func (n *Network) RestartNode(cluster ClusterID, idx int) error {
+	members := n.d.Topo.Members(cluster)
+	if idx < 0 || idx >= len(members) {
+		return fmt.Errorf("sharper: cluster %s has no member %d", cluster, idx)
+	}
+	_, err := n.d.RestartNode(members[idx])
+	return err
+}
+
 // Result reports the outcome of a submitted transaction.
 type Result struct {
 	// Committed is true when the transaction's effects were applied; false
@@ -270,6 +321,19 @@ type Client struct {
 // NewClient registers a new client endpoint.
 func (n *Network) NewClient() *Client {
 	return &Client{n: n, c: n.d.NewClient()}
+}
+
+// SetRetry adjusts the client's per-attempt reply timeout and its attempt
+// budget (default 2s × 8). Fault-injection tests that must ride out view
+// changes under heavy machine load scale the budget up instead of racing a
+// fixed deadline.
+func (c *Client) SetRetry(timeout time.Duration, attempts int) {
+	if timeout > 0 {
+		c.c.Timeout = timeout
+	}
+	if attempts > 0 {
+		c.c.MaxAttempts = attempts
+	}
 }
 
 // Transfer moves amount from one account to another, waiting for the reply

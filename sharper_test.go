@@ -6,6 +6,27 @@ import (
 	"time"
 )
 
+// retryAttemptsFor sizes a client's retransmission budget off the test's
+// own deadline: as many perAttempt windows as fit before it (minus a margin
+// for the audit and teardown), never fewer than the default 8, capped so a
+// genuinely wedged cluster still fails with time to report.
+func retryAttemptsFor(t *testing.T, perAttempt time.Duration) int {
+	t.Helper()
+	const floor, cap = 8, 60
+	deadline, ok := t.Deadline()
+	if !ok {
+		return cap // no -timeout: be patient
+	}
+	n := int((time.Until(deadline) - 10*time.Second) / perAttempt)
+	if n < floor {
+		return floor
+	}
+	if n > cap {
+		return cap
+	}
+	return n
+}
+
 func newNet(t *testing.T, model FailureModel, clusters int) *Network {
 	t.Helper()
 	n, err := New(Options{
@@ -123,6 +144,10 @@ func TestCrashBackupTolerated(t *testing.T) {
 func TestCrashPrimaryViewChange(t *testing.T) {
 	n := newNet(t, CrashOnly, 2)
 	c := n.NewClient()
+	// The default client budget (8 attempts × 2s) can be missed when a view
+	// change lands under heavy parallel package load; scale the attempt
+	// budget off the test's own deadline instead of racing a fixed 16s.
+	c.SetRetry(2*time.Second, retryAttemptsFor(t, 2*time.Second))
 	// Commit one transaction so the cluster is warm.
 	if _, err := c.Transfer(n.AccountInShard(0, 0), n.AccountInShard(0, 1), 1); err != nil {
 		t.Fatal(err)
