@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"sharper/internal/bench"
@@ -26,12 +28,42 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, 6, 7, 8, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, 6, 7, 8, all")
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPath := flag.String("csv", "", "also append results as CSV to this file")
-	jsonPath := flag.String("json", "", "write machine-readable JSON here (batching → BENCH_batching.json, persistence → BENCH_persistence.json when unset)")
+	jsonPath := flag.String("json", "", "write machine-readable JSON here (batching → BENCH_batching.json, persistence → BENCH_persistence.json, hotpath → BENCH_hotpath.json when unset)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run here (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit here (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	o := bench.FigureOptions{Quick: *quick, Seed: *seed}
 	out := os.Stdout
@@ -91,6 +123,8 @@ func main() {
 			writeJSON(out, jsonOverride, "BENCH_batching.json", bench.AblationBatching(out, o))
 		case name == "persistence":
 			writeJSON(out, jsonOverride, "BENCH_persistence.json", bench.AblationPersistence(out, o))
+		case name == "hotpath":
+			writeJSON(out, jsonOverride, "BENCH_hotpath.json", bench.AblationHotpath(out, o))
 		case name == "6":
 			for _, p := range []string{"6a", "6b", "6c", "6d"} {
 				run(p)
@@ -103,7 +137,7 @@ func main() {
 			run("8a")
 			run("8b")
 		case name == "all":
-			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence"} {
+			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath"} {
 				run(p)
 			}
 		default:

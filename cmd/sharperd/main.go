@@ -30,8 +30,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -75,7 +78,17 @@ func main() {
 	secret := flag.String("secret", "sharper-demo", "wire secret for -topology-init")
 	driverIdx := flag.Int("driver-index", 0, "unique index of this driver process (keeps client IDs disjoint)")
 	connectTimeout := flag.Duration("connect-timeout", 15*time.Second, "driver mode: how long to wait for replicas to come up")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) so perf work starts from profiles")
+	traceDir := flag.String("trace-dir", "", "driver mode: directory to dump every replica's SHARPER_TRACE ring into when the wire audit finds divergence (default: the topology file's directory)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "sharperd: pprof server: %v"+"\n", err)
+			}
+		}()
+	}
 
 	fm, err := parseModel(*model)
 	if err != nil {
@@ -107,6 +120,10 @@ func main() {
 		}
 		switch {
 		case *drive:
+			td := *traceDir
+			if td == "" {
+				td = filepath.Dir(*topoPath)
+			}
 			err = runDriver(tf, driverOptions{
 				Clients:        *clients,
 				CrossPct:       *cross,
@@ -116,6 +133,7 @@ func main() {
 				DriverIndex:    *driverIdx,
 				ConnectTimeout: *connectTimeout,
 				ShowDAG:        *showDAG,
+				TraceDir:       td,
 			}, os.Stdout)
 			if err != nil {
 				log.Fatal(err)
@@ -254,6 +272,9 @@ type driverOptions struct {
 	DriverIndex    int
 	ConnectTimeout time.Duration
 	ShowDAG        bool
+	// TraceDir is where a failed wire audit dumps every replica's
+	// SHARPER_TRACE ring (one trace-node-<id>.log per replica).
+	TraceDir string
 }
 
 // runDriver attaches to a running multi-process deployment over a dial-only
@@ -353,6 +374,10 @@ loop:
 			break
 		}
 		if time.Now().After(auditDeadline) {
+			// A divergent deployment's protocol history lives in the
+			// replicas' SHARPER_TRACE rings; pull them all while the
+			// processes are still up — they are the only evidence.
+			dumpTraces(fab, tf, opts.TraceDir, clientBase+98_000, out)
 			return fmt.Errorf("ledger audit FAILED: %w", auditErr)
 		}
 		time.Sleep(300 * time.Millisecond)
@@ -362,6 +387,64 @@ loop:
 		fmt.Fprint(out, dag.RenderASCII())
 	}
 	return nil
+}
+
+// dumpTraces asks every replica for its SHARPER_TRACE protocol-event ring
+// and writes one trace-node-<id>.log per replica into dir, giving a
+// divergence hunt the cross-process evidence the ROADMAP's open fork item
+// needs. Replicas running without SHARPER_TRACE answer with empty rings,
+// which are noted but not written.
+func dumpTraces(fab *tcpnet.Net, tf *TopologyFile, dir string, dumpID types.NodeID, out io.Writer) {
+	inbox := fab.Register(dumpID)
+	for id := range tf.Addrs {
+		fab.Send(id, &types.Envelope{Type: types.MsgTraceRequest, From: dumpID})
+	}
+	got := make(map[types.NodeID]bool)
+	deadline := time.After(3 * time.Second)
+	empty := 0
+	for len(got) < len(tf.Addrs) {
+		select {
+		case env := <-inbox:
+			if env.Type != types.MsgTraceResponse {
+				continue
+			}
+			dump, err := types.DecodeTraceDump(env.Payload)
+			if err != nil || got[dump.Node] {
+				continue
+			}
+			// The dump runs precisely when the audit found divergence, i.e.
+			// possibly with a lying replica around: only accept names from
+			// the topology so a forged Node cannot clobber another replica's
+			// evidence file or satisfy the completion count. (A Byzantine
+			// replica can still claim a peer's ID — rings are diagnostic
+			// leads, not authenticated evidence.)
+			if _, known := tf.Addrs[dump.Node]; !known {
+				continue
+			}
+			got[dump.Node] = true
+			if len(dump.Lines) == 0 {
+				empty++
+				continue
+			}
+			path := filepath.Join(dir, fmt.Sprintf("trace-node-%d.log", uint32(dump.Node)))
+			var buf []byte
+			for _, l := range dump.Lines {
+				buf = append(buf, l...)
+				buf = append(buf, '\n')
+			}
+			if werr := os.WriteFile(path, buf, 0o644); werr != nil {
+				fmt.Fprintf(out, "sharperd: trace dump %s: %v\n", path, werr)
+				continue
+			}
+			fmt.Fprintf(out, "sharperd: wrote %s (%d events)\n", path, len(dump.Lines))
+		case <-deadline:
+			fmt.Fprintf(out, "sharperd: trace dump: %d/%d replicas answered\n", len(got), len(tf.Addrs))
+			return
+		}
+	}
+	if empty > 0 {
+		fmt.Fprintf(out, "sharperd: trace dump: %d replicas had empty rings (start them with SHARPER_TRACE=1 to record)\n", empty)
+	}
 }
 
 // fetchDAG pulls one representative chain per cluster over the sync

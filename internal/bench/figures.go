@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"sharper/internal/ahl"
 	"sharper/internal/apr"
@@ -397,6 +398,106 @@ func AblationPersistence(w io.Writer, o FigureOptions) []PersistenceResult {
 		}
 	}
 	Fprint(w, "Ablation — durable storage (WAL fsync policies), crash model, 0% cross-shard", series)
+	return results
+}
+
+// HotpathResult is one point of the hot-path ablation, shaped for the
+// machine-readable BENCH_hotpath.json that tracks the send/receive/verify
+// overhaul (digest memoization, pooled zero-alloc encoding, coalesced TCP
+// writes, parallel verification) against the pre-overhaul seed.
+type HotpathResult struct {
+	// Fabric is "sim" (the modelled in-process network) or "tcp" (real
+	// loopback sockets, one fabric per replica).
+	Fabric       string  `json:"fabric"`
+	BatchSize    int     `json:"batch_size"`
+	Clients      int     `json:"clients"`
+	ThroughputTx float64 `json:"tx_per_sec"`
+	AvgLatencyMs float64 `json:"ms_per_tx"`
+	// AllocsPerTx is the process-wide heap allocation count per committed
+	// transaction over the measurement window (clients included) — the
+	// quantity the pooled encoding work drives down.
+	AllocsPerTx float64 `json:"allocs_per_tx"`
+	// SeedThroughputTx is the same configuration measured at the pre-overhaul
+	// commit (see hotpathSeed); Speedup = ThroughputTx / SeedThroughputTx.
+	SeedThroughputTx float64 `json:"seed_tx_per_sec,omitempty"`
+	Speedup          float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+// hotpathSeed holds the pre-overhaul baselines for AblationHotpath's exact
+// configurations (4 crash clusters × 3, 64 clients, 0% cross-shard,
+// 1024 accounts/shard, seed 42, full windows), measured on the development
+// machine at the PR base commit (328496d, single CPU). Refresh alongside
+// BENCH_hotpath.json when re-baselining on different hardware.
+var hotpathSeed = map[string]float64{
+	"sim/1": 15756, "sim/8": 34685, "sim/16": 33968,
+	"tcp/1": 10665, "tcp/8": 22181, "tcp/16": 26490,
+}
+
+// AblationHotpath measures the hot-path overhaul on the Fig. 6(a)
+// intra-shard workload at batch sizes 1, 8, and 16, over both fabrics. The
+// TCP rows are the headline: real sockets pay for every allocation, HMAC
+// state, and write syscall the overhaul removes, so they isolate the wire
+// hot path the way the simulated fabric (which models per-message cost
+// instead of paying it) cannot.
+func AblationHotpath(w io.Writer, o FigureOptions) []HotpathResult {
+	o.fill()
+	const clusters, f = 4, 1
+	clients := 64
+	if o.Quick {
+		clients = 24
+	}
+	gen := workloadFor(clusters, 0, o)
+	var results []HotpathResult
+	var series []Series
+	for _, fabric := range []struct {
+		name string
+		kind core.TransportKind
+	}{{"sim", core.TransportSim}, {"tcp", core.TransportTCP}} {
+		for _, bs := range []int{1, 8, 16} {
+			d, err := core.NewDeployment(core.Config{
+				Model: types.CrashOnly, Clusters: clusters, F: f, Seed: o.Seed,
+				BatchSize: bs, Transport: fabric.kind,
+				// The hot path under measurement is the wire, not the disk.
+				NoPersist: true,
+			})
+			if err != nil {
+				fmt.Fprintf(w, "# %s/batch-%d: deployment failed: %v\n", fabric.name, bs, err)
+				continue
+			}
+			d.SeedAccounts(o.AccountsPerShard, seedBalance)
+			d.Start()
+			sys := SharPerSystem{D: d}
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			startCommitted := d.TotalCommitted()
+			pt := Run(sys, gen, clients, o.bench())
+			runtime.ReadMemStats(&m1)
+			committed := d.TotalCommitted() - startCommitted
+			sys.Stop()
+			r := HotpathResult{
+				Fabric:       fabric.name,
+				BatchSize:    bs,
+				Clients:      clients,
+				ThroughputTx: pt.ThroughputTx,
+				AvgLatencyMs: pt.AvgLatencyMs,
+			}
+			if committed > 0 {
+				r.AllocsPerTx = float64(m1.Mallocs-m0.Mallocs) / float64(committed)
+			}
+			// Quick runs use different client counts/windows than the
+			// recorded baselines; comparing them would be noise.
+			if base := hotpathSeed[fmt.Sprintf("%s/%d", fabric.name, bs)]; base > 0 && !o.Quick {
+				r.SeedThroughputTx = base
+				r.Speedup = r.ThroughputTx / base
+			}
+			results = append(results, r)
+			series = append(series, Series{
+				Name:   fmt.Sprintf("%s/batch-%d", fabric.name, bs),
+				Points: []Point{pt},
+			})
+		}
+	}
+	Fprint(w, "Ablation — hot-path overhaul (sim + TCP fabrics), crash model, 0% cross-shard", series)
 	return results
 }
 

@@ -123,8 +123,8 @@ func resolvePersistence(cfg *Config) (dataDir string, owned bool, err error) {
 // Deployment is a running SharPer network: clusters of nodes over a message
 // fabric (simulated or TCP), plus factories for clients.
 type Deployment struct {
-	cfg     Config
-	Topo    *consensus.Topology
+	cfg  Config
+	Topo *consensus.Topology
 	// Net is the fabric clients attach to: the shared simulated network, or
 	// the dial-only client fabric of a TCP deployment.
 	Net     transport.Fabric

@@ -24,8 +24,8 @@ type NodeConfig struct {
 	Self     types.NodeID
 	// Net is the message fabric the node sends and receives through: the
 	// simulated network, or this node's own TCP fabric.
-	Net    transport.Fabric
-	Shards state.ShardMap
+	Net      transport.Fabric
+	Shards   state.ShardMap
 	Signer   crypto.Signer
 	Verifier crypto.Verifier
 
@@ -137,6 +137,11 @@ const replyCacheSize = 1 << 16
 type Node struct {
 	cfg   NodeConfig
 	inbox <-chan *types.Envelope
+	// vpool, under the Byzantine model, verifies inbound signatures on a
+	// bounded worker pool between the inbox and the event loop (arrival
+	// order preserved), so MAC/ed25519 CPU cost runs ahead of the
+	// single-threaded dispatch. Nil under the crash model.
+	vpool *crypto.VerifyPool
 
 	intra IntraEngine
 	cross crossEngine
@@ -407,6 +412,12 @@ func (n *Node) chainStatus() chainStatus {
 // must see them).
 func (n *Node) Start() {
 	n.finishRecovery()
+	// The pool starts with the loop (not at NewNode) so never-started nodes
+	// leak no goroutines. NoopSigner deployments skip it: every envelope
+	// verifies trivially, the pipeline would be pure overhead.
+	if _, noop := n.cfg.Verifier.(crypto.NoopSigner); !noop {
+		n.vpool = crypto.NewVerifyPool(n.cfg.Verifier, n.inbox, 0, 0)
+	}
 	go n.loop()
 }
 
@@ -417,6 +428,9 @@ func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stopCh)
 		<-n.doneCh
+		if n.vpool != nil {
+			n.vpool.Close()
+		}
 		n.CloseStorage()
 	})
 }
@@ -433,11 +447,22 @@ func (n *Node) loop() {
 	defer close(n.doneCh)
 	ticker := time.NewTicker(n.cfg.TickInterval)
 	defer ticker.Stop()
+	// With a verification pool, envelopes arrive pre-verified through its
+	// ordered output; the raw inbox is set nil so the select never races the
+	// pool's feeder for messages.
+	inbox := n.inbox
+	var verified <-chan *types.Envelope
+	if n.vpool != nil {
+		inbox = nil
+		verified = n.vpool.Out()
+	}
 	for {
 		select {
 		case <-n.stopCh:
 			return
-		case env := <-n.inbox:
+		case env := <-inbox:
+			n.dispatch(env, time.Now())
+		case env := <-verified:
 			n.dispatch(env, time.Now())
 		case now := <-ticker.C:
 			n.tick(now)
@@ -488,6 +513,9 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 
 	case types.MsgSyncResponse:
 		n.onSyncResponse(env, now)
+
+	case types.MsgTraceRequest:
+		n.onTraceRequest(env)
 
 	default:
 		// Replies and baseline-only traffic are not for us.
@@ -605,8 +633,14 @@ func (n *Node) onSyncRequest(env *types.Envelope) {
 // adopt directly. Byzantine model: adopt a block only once f+1 distinct
 // peers sent an identical copy for that index (at least one is correct).
 func (n *Node) onSyncResponse(env *types.Envelope, now time.Time) {
-	if n.cfg.Model == types.Byzantine && !n.cfg.Verifier.Verify(env.From, env.Payload, env.Sig) {
-		return
+	if n.cfg.Model == types.Byzantine {
+		if ok, known := env.Auth(); known {
+			if !ok {
+				return
+			}
+		} else if !n.cfg.Verifier.Verify(env.From, env.Payload, env.Sig) {
+			return
+		}
 	}
 	resp, err := types.DecodeSyncResponse(env.Payload)
 	if err != nil {
@@ -692,6 +726,17 @@ func (n *Node) adoptBlock(b *types.Block, now time.Time) bool {
 	n.send(outs)
 	n.requeueOrphans(orphans)
 	return true
+}
+
+// onTraceRequest answers a debug trace fetch with this node's protocol
+// event ring (empty unless SHARPER_TRACE is set — the engines only record
+// events then). Divergence hunts across a multi-process deployment need the
+// rings of ALL processes, and this is the only way a driver can reach them.
+func (n *Node) onTraceRequest(env *types.Envelope) {
+	dump := &types.TraceDump{Node: n.cfg.Self, Lines: n.DebugTrace()}
+	n.cfg.Net.Send(env.From, &types.Envelope{
+		Type: types.MsgTraceResponse, From: n.cfg.Self, Payload: dump.Encode(nil),
+	})
 }
 
 // onRequest routes a client request: intra-shard requests go through this

@@ -3,6 +3,8 @@ package crypto
 import (
 	"crypto/hmac"
 	"crypto/sha256"
+	"hash"
+	"sync"
 )
 
 // FrameTagSize is the length of a wire-frame authenticator tag.
@@ -34,4 +36,44 @@ func VerifyFrameTag(key, frame, tag []byte) bool {
 		return false
 	}
 	return hmac.Equal(tag, FrameTag(key, frame))
+}
+
+// FrameAuth is the hot-path form of FrameTag/VerifyFrameTag: one instance
+// per fabric holds a pool of keyed HMAC states, so tagging or verifying a
+// frame costs a Reset instead of rebuilding the two SHA-256 key blocks (and
+// their allocations) that hmac.New pays on every call.
+type FrameAuth struct {
+	pool sync.Pool
+}
+
+// NewFrameAuth builds a pooled authenticator for key (see WireKey).
+func NewFrameAuth(key []byte) *FrameAuth {
+	k := append([]byte(nil), key...)
+	return &FrameAuth{pool: sync.Pool{New: func() any { return hmac.New(sha256.New, k) }}}
+}
+
+// AppendTag appends the authenticator over msg to dst and returns the
+// extended slice. msg may alias dst (the tag of a frame being assembled in
+// place): msg is fully consumed before dst grows.
+func (a *FrameAuth) AppendTag(dst, msg []byte) []byte {
+	m := a.pool.Get().(hash.Hash)
+	m.Reset()
+	m.Write(msg)
+	dst = m.Sum(dst)
+	a.pool.Put(m)
+	return dst
+}
+
+// Verify reports whether tag authenticates msg, in constant time.
+func (a *FrameAuth) Verify(msg, tag []byte) bool {
+	if len(tag) != FrameTagSize {
+		return false
+	}
+	m := a.pool.Get().(hash.Hash)
+	m.Reset()
+	m.Write(msg)
+	var sum [FrameTagSize]byte
+	got := m.Sum(sum[:0])
+	a.pool.Put(m)
+	return hmac.Equal(tag, got)
 }

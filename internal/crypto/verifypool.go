@@ -1,0 +1,140 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+
+	"sharper/internal/types"
+)
+
+// VerifyPool verifies envelope signatures on a bounded worker pool ahead of
+// a node's single-threaded consensus loop. Envelopes are read from the
+// node's inbox, verified concurrently (MAC vectors or ed25519, whichever
+// Verifier the deployment uses), marked with their verdict
+// (types.Envelope.MarkAuth), and emitted on Out in exactly the order they
+// arrived — so per-sender FIFO delivery, which the protocols rely on, is
+// preserved while the signature CPU cost moves off the event loop.
+//
+// The engines consult the cached verdict through Envelope.Auth and only
+// fall back to inline verification for envelopes that never passed through
+// a pool (tests stepping engines directly, recovery paths).
+type VerifyPool struct {
+	verifier Verifier
+
+	work    chan *verifyJob
+	ordered chan *verifyJob
+	out     chan *types.Envelope
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// verifyJob is one envelope in flight; done closes when the verdict is
+// marked on the envelope.
+type verifyJob struct {
+	env  *types.Envelope
+	done chan struct{}
+}
+
+// NewVerifyPool starts a pool that drains `in`, verifies with v, and emits
+// verified envelopes on Out in arrival order. workers ≤ 0 picks
+// min(GOMAXPROCS, 4); depth ≤ 0 picks 256 (the backpressure bound: when the
+// consumer stalls, Submit stalls, and the fabric's inbox fills exactly as it
+// would without the pool). Close the pool after the consumer stops.
+func NewVerifyPool(v Verifier, in <-chan *types.Envelope, workers, depth int) *VerifyPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	p := &VerifyPool{
+		verifier: v,
+		work:     make(chan *verifyJob, depth),
+		ordered:  make(chan *verifyJob, depth),
+		out:      make(chan *types.Envelope, depth),
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	p.wg.Add(2)
+	go p.feed(in)
+	go p.collect()
+	return p
+}
+
+// Out is the ordered stream of envelopes with their verdicts marked.
+func (p *VerifyPool) Out() <-chan *types.Envelope { return p.out }
+
+// Close stops every pool goroutine. Envelopes still in flight are dropped
+// (the pool only closes after its consumer has stopped dispatching).
+func (p *VerifyPool) Close() {
+	p.closeOnce.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+// feed submits inbox arrivals in order: the ordered queue fixes emission
+// order, the work queue feeds the workers.
+func (p *VerifyPool) feed(in <-chan *types.Envelope) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case env := <-in:
+			j := &verifyJob{env: env, done: make(chan struct{})}
+			select {
+			case p.ordered <- j:
+			case <-p.done:
+				return
+			}
+			select {
+			case p.work <- j:
+			case <-p.done:
+				return
+			}
+		}
+	}
+}
+
+// worker verifies jobs as they come, in any order.
+func (p *VerifyPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case j := <-p.work:
+			j.env.MarkAuth(p.verifier.Verify(j.env.From, j.env.Payload, j.env.Sig))
+			close(j.done)
+		}
+	}
+}
+
+// collect re-serializes: wait for each job in submission order, then emit.
+func (p *VerifyPool) collect() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case j := <-p.ordered:
+			select {
+			case <-j.done:
+			case <-p.done:
+				return
+			}
+			select {
+			case p.out <- j.env:
+			case <-p.done:
+				return
+			}
+		}
+	}
+}

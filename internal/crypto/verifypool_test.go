@@ -1,0 +1,94 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sharper/internal/types"
+)
+
+// TestVerifyPoolOrderAndVerdicts drives the pool with interleaved traffic
+// from several senders (a deterministic subset carrying corrupted
+// signatures) and asserts the two contracts the consensus loop relies on:
+// envelopes emerge in exactly the order they were submitted (so per-sender
+// FIFO is preserved), and every envelope carries the correct verdict. Run
+// under -race this also exercises the worker pool for data races.
+func TestVerifyPoolOrderAndVerdicts(t *testing.T) {
+	k := NewMACKeyring()
+	rng := rand.New(rand.NewSource(1))
+	signers := make(map[types.NodeID]Signer)
+	for id := types.NodeID(1); id <= 3; id++ {
+		if err := k.Generate(id, rng); err != nil {
+			t.Fatal(err)
+		}
+		s, err := k.SignerFor(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[id] = s
+	}
+
+	const total = 600
+	in := make(chan *types.Envelope, total)
+	p := NewVerifyPool(k, in, 4, 32)
+	defer p.Close()
+
+	sent := make([]*types.Envelope, 0, total)
+	wantOK := make([]bool, 0, total)
+	for i := 0; i < total; i++ {
+		from := types.NodeID(1 + i%3)
+		payload := binary.LittleEndian.AppendUint64(nil, uint64(i))
+		sig := signers[from].Sign(payload)
+		ok := true
+		if i%7 == 0 {
+			sig[0] ^= 0xff // corrupt: must verify false
+			ok = false
+		}
+		env := &types.Envelope{Type: types.MsgPrepare, From: from, Payload: payload, Sig: sig}
+		sent = append(sent, env)
+		wantOK = append(wantOK, ok)
+		in <- env
+	}
+
+	for i := 0; i < total; i++ {
+		select {
+		case env := <-p.Out():
+			if env != sent[i] {
+				t.Fatalf("envelope %d emitted out of order", i)
+			}
+			ok, known := env.Auth()
+			if !known {
+				t.Fatalf("envelope %d emitted without a verdict", i)
+			}
+			if ok != wantOK[i] {
+				t.Fatalf("envelope %d: verdict %v, want %v", i, ok, wantOK[i])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("pool stalled after %d envelopes", i)
+		}
+	}
+}
+
+// TestVerifyPoolCloseUnblocks asserts Close returns even with envelopes
+// still queued and nobody draining Out.
+func TestVerifyPoolCloseUnblocks(t *testing.T) {
+	k := NewMACKeyring()
+	rng := rand.New(rand.NewSource(1))
+	if err := k.Generate(1, rng); err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *types.Envelope, 1024)
+	p := NewVerifyPool(k, in, 2, 4)
+	for i := 0; i < 1024; i++ {
+		in <- &types.Envelope{From: 1, Payload: []byte{byte(i)}}
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the pool goroutines")
+	}
+}

@@ -99,17 +99,23 @@ func (e *Engine) tracef(format string, args ...interface{}) {
 // DebugTrace returns the recent protocol events (oldest first).
 func (e *Engine) DebugTrace() []string { return e.trace }
 
-// preparedCand is one value owed to the chain by a deposed view.
+// preparedCand is one value owed to the chain by a deposed view. digest is
+// the batch digest the reporting quorum already verified for txs, carried
+// along so later re-reports need not recompute it.
 type preparedCand struct {
-	seq  uint64
-	view uint64
-	txs  []*types.Transaction
+	seq    uint64
+	view   uint64
+	digest types.Hash
+	txs    []*types.Transaction
 }
 
 type instance struct {
-	digest    types.Hash
-	parent    types.Hash
-	txs       []*types.Transaction
+	digest types.Hash
+	parent types.Hash
+	txs    []*types.Transaction
+	// block is the batch as a chain block, built once when the body is
+	// known; its memoized Hash makes every later chain-walk relink cheap.
+	block     *types.Block
 	view      uint64
 	accepted  map[types.NodeID]bool
 	committed bool
@@ -205,6 +211,7 @@ func (e *Engine) Restore(view, promised uint64, insts []consensus.DurableInstanc
 			digest:   d.Digest,
 			parent:   d.Parent,
 			txs:      d.Txs,
+			block:    &types.Block{Txs: d.Txs, Parents: []types.Hash{d.Parent}},
 			view:     d.View,
 			accepted: map[types.NodeID]bool{e.self: true},
 			deadline: now.Add(e.timeout),
@@ -222,7 +229,7 @@ func (e *Engine) Restore(view, promised uint64, insts []consensus.DurableInstanc
 		if !ok || len(inst.txs) == 0 || inst.parent != expect {
 			break
 		}
-		bh := (&types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}).Hash()
+		bh := inst.block.Hash()
 		e.proposedSeq = s
 		e.proposedHead = bh
 		expect = bh
@@ -246,7 +253,7 @@ func (e *Engine) DurableState() (view, promised uint64, insts []consensus.Durabl
 	for _, c := range e.pendingRepropose {
 		if c.seq > e.committedSeq {
 			insts = append(insts, consensus.DurableInstance{
-				Seq: c.seq, View: c.view, Digest: types.BatchDigest(c.txs), Txs: c.txs,
+				Seq: c.seq, View: c.view, Digest: c.digest, Txs: c.txs,
 			})
 		}
 	}
@@ -308,7 +315,7 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 		if !ok || len(inst.txs) == 0 || inst.parent != expect {
 			break
 		}
-		bh := (&types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}).Hash()
+		bh := inst.block.Hash()
 		e.proposedSeq = s
 		e.proposedHead = bh
 		expect = bh
@@ -388,7 +395,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
 	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
-	digest := types.BatchDigest(txs)
+	digest := block.BatchDigest()
 	if prev, ok := e.instances[seq]; ok {
 		if prev.committed {
 			// The slot is already bound (a commit raced ahead of its
@@ -410,6 +417,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 		digest:   digest,
 		parent:   parent,
 		txs:      txs,
+		block:    block,
 		view:     e.view,
 		accepted: map[types.NodeID]bool{e.self: true}, // primary counts itself
 		own:      true,
@@ -509,13 +517,13 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 	inst.digest = m.Digest
 	inst.parent = m.PrevHashes[0]
 	inst.txs = m.Txs
+	inst.block = &types.Block{Txs: m.Txs, Parents: []types.Hash{inst.parent}}
 	inst.view = m.View
 	inst.deadline = now.Add(e.timeout)
 	e.tracef("accept v=%d seq=%d d=%s tx0=%s", m.View, m.Seq, m.Digest, m.Txs[0].ID)
 	if m.Seq > e.proposedSeq {
 		e.proposedSeq = m.Seq
-		block := &types.Block{Txs: m.Txs, Parents: []types.Hash{inst.parent}}
-		e.proposedHead = block.Hash()
+		e.proposedHead = inst.block.Hash()
 	}
 
 	// Persist the acceptance before the ack leaves: the primary will count
@@ -610,7 +618,7 @@ func (e *Engine) advance() []consensus.Decision {
 		if !ok || !inst.committed || len(inst.txs) == 0 || e.delivered[seq] {
 			return out
 		}
-		block := &types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}
+		block := inst.block
 		e.delivered[seq] = true
 		e.committedSeq = seq
 		e.committedHead = block.Hash()
@@ -696,7 +704,7 @@ func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outb
 	for _, c := range e.pendingRepropose {
 		if c.seq > e.committedSeq && !reported[c.seq] {
 			vc.Prepared = append(vc.Prepared, types.PreparedInstance{
-				Seq: c.seq, View: c.view, Digest: types.BatchDigest(c.txs), Txs: c.txs,
+				Seq: c.seq, View: c.view, Digest: c.digest, Txs: c.txs,
 			})
 		}
 	}
@@ -764,7 +772,7 @@ func (e *Engine) adoptRecovery(votes map[types.NodeID]*types.ViewChange) {
 				continue
 			}
 			if cur, ok := cands[p.Seq]; !ok || p.View > cur.view {
-				cands[p.Seq] = preparedCand{seq: p.Seq, view: p.View, txs: p.Txs}
+				cands[p.Seq] = preparedCand{seq: p.Seq, view: p.View, digest: p.Digest, txs: p.Txs}
 			}
 		}
 	}

@@ -64,27 +64,32 @@ type Engine struct {
 }
 
 // preparedCand is one value owed to the chain by a deposed view, with the
-// certificate that admitted it (re-reported if this primary is deposed too).
+// certificate that admitted it (re-reported if this primary is deposed
+// too). digest is the batch digest the recovery already verified for txs.
 type preparedCand struct {
-	seq   uint64
-	view  uint64
-	txs   []*types.Transaction
-	proof []types.VoteProof
+	seq    uint64
+	view   uint64
+	digest types.Hash
+	txs    []*types.Transaction
+	proof  []types.VoteProof
 }
 
 type instance struct {
-	digest     types.Hash
-	parent     types.Hash
-	txs        []*types.Transaction
-	view       uint64
-	own        bool // proposed by this node (as primary)
-	prePrep    bool
-	prepares   map[types.NodeID]types.Hash
-	commits    map[types.NodeID]types.Hash
+	digest types.Hash
+	parent types.Hash
+	txs    []*types.Transaction
+	// block is the batch as a chain block, built once when the body is
+	// known; its memoized Hash makes every later chain-walk relink cheap.
+	block    *types.Block
+	view     uint64
+	own      bool // proposed by this node (as primary)
+	prePrep  bool
+	prepares map[types.NodeID]types.Hash
+	commits  map[types.NodeID]types.Hash
 	// voteSigs keeps each node's signature over its prepare/commit payload
 	// (one canonical encoding), so a view change can carry a verifiable
 	// prepared certificate instead of an unproven claim.
-	voteSigs map[types.NodeID][]byte
+	voteSigs   map[types.NodeID][]byte
 	sentPrep   bool
 	sentCommit bool
 	committed  bool
@@ -189,6 +194,7 @@ func (e *Engine) Restore(view, promised uint64, insts []consensus.DurableInstanc
 			digest:   d.Digest,
 			parent:   d.Parent,
 			txs:      d.Txs,
+			block:    &types.Block{Txs: d.Txs, Parents: []types.Hash{d.Parent}},
 			view:     d.View,
 			prePrep:  true,
 			prepares: map[types.NodeID]types.Hash{e.self: d.Digest},
@@ -207,7 +213,7 @@ func (e *Engine) Restore(view, promised uint64, insts []consensus.DurableInstanc
 		if !ok || len(inst.txs) == 0 || inst.parent != expect {
 			break
 		}
-		bh := (&types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}).Hash()
+		bh := inst.block.Hash()
 		e.proposedSeq = s
 		e.proposedHead = bh
 		expect = bh
@@ -227,7 +233,7 @@ func (e *Engine) DurableState() (view, promised uint64, insts []consensus.Durabl
 	for _, c := range e.pendingRepropose {
 		if c.seq > e.committedSeq {
 			insts = append(insts, consensus.DurableInstance{
-				Seq: c.seq, View: c.view, Digest: types.BatchDigest(c.txs), Txs: c.txs,
+				Seq: c.seq, View: c.view, Digest: c.digest, Txs: c.txs,
 			})
 		}
 	}
@@ -277,7 +283,7 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 		if !ok || len(inst.txs) == 0 || inst.parent != expect {
 			break
 		}
-		bh := (&types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}).Hash()
+		bh := inst.block.Hash()
 		e.proposedSeq = s
 		e.proposedHead = bh
 		expect = bh
@@ -344,7 +350,14 @@ func (e *Engine) retryParked(now time.Time) []consensus.Outbound {
 
 func (e *Engine) sign(payload []byte) []byte { return e.signer.Sign(payload) }
 
+// authentic checks the envelope's protocol-level signature, preferring the
+// verdict the parallel verification pool already computed (see
+// crypto.VerifyPool); envelopes stepped in directly (tests, replay paths)
+// carry no verdict and are verified inline.
 func (e *Engine) authentic(env *types.Envelope) bool {
+	if ok, known := env.Auth(); known {
+		return ok
+	}
 	return e.verify.Verify(env.From, env.Payload, env.Sig)
 }
 
@@ -363,7 +376,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	seq := e.proposedSeq + 1
 	parent := e.proposedHead
 	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
-	digest := types.BatchDigest(txs)
+	digest := block.BatchDigest()
 	if prev, ok := e.instances[seq]; ok {
 		if prev.committed {
 			// The slot is already bound (a commit certificate raced ahead
@@ -399,6 +412,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	inst.digest = digest
 	inst.parent = parent
 	inst.txs = txs
+	inst.block = block
 	inst.view = e.view
 	inst.own = true
 	inst.prePrep = true
@@ -462,7 +476,8 @@ func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.O
 	if env.From != e.topo.Primary(e.cluster, m.View) || m.View != e.view || m.View < e.promised {
 		return nil, nil
 	}
-	if m.Digest != types.BatchDigest(m.Txs) {
+	body := &types.Block{Txs: m.Txs, Parents: m.PrevHashes}
+	if m.Digest != body.BatchDigest() {
 		return nil, nil // malicious primary: digest mismatch (any tampered tx in the batch)
 	}
 	// Proposals must extend our chain in order (see paxos.Engine.onAccept):
@@ -499,12 +514,12 @@ func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.O
 	inst.digest = m.Digest
 	inst.parent = m.PrevHashes[0]
 	inst.txs = m.Txs
+	inst.block = body
 	inst.view = m.View
 	inst.deadline = now.Add(e.timeout)
 	if m.Seq > e.proposedSeq {
 		e.proposedSeq = m.Seq
-		block := &types.Block{Txs: m.Txs, Parents: []types.Hash{inst.parent}}
-		e.proposedHead = block.Hash()
+		e.proposedHead = body.Hash()
 	}
 	out := e.votePrepare(inst, m.Seq)
 	out2, dec := e.maybeProgress(inst, m.Seq)
@@ -593,7 +608,7 @@ func (e *Engine) advance() []consensus.Decision {
 		if !ok || !inst.committed || len(inst.txs) == 0 || e.delivered[seq] {
 			return out
 		}
-		block := &types.Block{Txs: inst.txs, Parents: []types.Hash{inst.parent}}
+		block := inst.block
 		e.delivered[seq] = true
 		e.committedSeq = seq
 		e.committedHead = block.Hash()
@@ -670,7 +685,7 @@ func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outb
 	for _, c := range e.pendingRepropose {
 		if c.seq > e.committedSeq && !reported[c.seq] {
 			vc.Prepared = append(vc.Prepared, types.PreparedInstance{
-				Seq: c.seq, View: c.view, Digest: types.BatchDigest(c.txs), Txs: c.txs, Proof: c.proof,
+				Seq: c.seq, View: c.view, Digest: c.digest, Txs: c.txs, Proof: c.proof,
 			})
 		}
 	}
@@ -745,7 +760,7 @@ func (e *Engine) adoptRecovery(votes map[types.NodeID]*types.ViewChange, f int) 
 				continue
 			}
 			if cur, ok := cands[p.Seq]; !ok || p.View > cur.view {
-				cands[p.Seq] = preparedCand{seq: p.Seq, view: p.View, txs: p.Txs, proof: p.Proof}
+				cands[p.Seq] = preparedCand{seq: p.Seq, view: p.View, digest: p.Digest, txs: p.Txs, proof: p.Proof}
 			}
 		}
 	}

@@ -1,0 +1,54 @@
+//go:build !race
+
+// Steady-state allocation regression for WAL record framing: persisting an
+// acceptance or a view position builds the CRC frame in place in the
+// store's reused scratch buffer (beginFrame/finishFrame), so the write path
+// adds no per-record heap allocations beyond what the OS write itself
+// costs. Excluded under the race detector, which adds its own allocations.
+
+package storage
+
+import (
+	"testing"
+
+	"sharper/internal/types"
+)
+
+func TestPersistSteadyStateAllocs(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	txs := []*types.Transaction{{
+		ID:       types.TxID{Client: types.ClientIDBase + 1, Seq: 1},
+		Ops:      []types.Op{{From: 1, To: 2, Amount: 3}},
+		Involved: types.ClusterSet{0},
+	}}
+	digest := types.BatchDigest(txs)
+
+	// Warm the scratch buffer, then require zero further allocations.
+	if err := st.PersistAccept(1, 0, types.ZeroHash, digest, txs); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(2)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := st.PersistAccept(seq, 0, types.ZeroHash, digest, txs); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	})
+	if allocs > 0 {
+		t.Fatalf("PersistAccept allocates %.1f per record in steady state (want 0)", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(200, func() {
+		if err := st.PersistView(3, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("PersistView allocates %.1f per record in steady state (want 0)", allocs)
+	}
+}

@@ -171,8 +171,7 @@ type Store struct {
 	walDirty bool
 	ckptSeq  uint64
 	closed   bool
-	buf      []byte // framed-record scratch, reused under mu
-	payload  []byte // record-payload scratch, reused under mu
+	buf      []byte // framed-record scratch, reused under mu (see frameRecord)
 
 	// flushStop terminates the SyncGroup background flusher.
 	flushStop chan struct{}
@@ -417,14 +416,14 @@ func (s *Store) Recovered() *Recovered { return &s.rec }
 // Dir returns the storage directory.
 func (s *Store) Dir() string { return s.dir }
 
-// appendLocked frames and writes one record to f, tracking dirtiness in
-// *dirty. The error reports a record that did not reach the kernel (torn
-// short writes are left for recovery's CRC truncation). Caller holds mu.
-func (s *Store) appendLocked(f *os.File, dirty *bool, payload []byte) error {
+// writeLocked writes the framed record(s) staged in s.buf to f, tracking
+// dirtiness in *dirty. The error reports a record that did not reach the
+// kernel (torn short writes are left for recovery's CRC truncation). Caller
+// holds mu and has built s.buf with beginFrame/finishFrame.
+func (s *Store) writeLocked(f *os.File, dirty *bool) error {
 	if s.closed || f == nil {
 		return fmt.Errorf("storage: store is closed")
 	}
-	s.buf = appendFrame(s.buf[:0], payload)
 	if _, err := f.Write(s.buf); err != nil {
 		return err // disk full/error; recovery truncates at the last whole record
 	}
@@ -444,8 +443,9 @@ func (s *Store) AppendCommit(seq, valid uint64, b *types.Block) {
 	if s.closed || s.chainW == nil {
 		return
 	}
-	s.payload = encodeCommit(s.payload[:0], seq, valid, b)
-	s.buf = appendFrame(s.buf[:0], s.payload)
+	var start int
+	s.buf, start = beginFrame(s.buf[:0])
+	s.buf = finishFrame(encodeCommit(s.buf, seq, valid, b), start)
 	if _, err := s.chainW.Write(s.buf); err != nil {
 		return // disk full/error: degraded to in-memory
 	}
@@ -463,8 +463,10 @@ func (s *Store) AppendCommit(seq, valid uint64, b *types.Block) {
 func (s *Store) PersistAccept(seq, view uint64, parent, digest types.Hash, txs []*types.Transaction) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.payload = encodeAccept(s.payload[:0], seq, view, parent, digest, txs)
-	return s.appendLocked(s.wal, &s.walDirty, s.payload)
+	var start int
+	s.buf, start = beginFrame(s.buf[:0])
+	s.buf = finishFrame(encodeAccept(s.buf, seq, view, parent, digest, txs), start)
+	return s.writeLocked(s.wal, &s.walDirty)
 }
 
 // PersistView logs the engine's view position (the consensus.Persister
@@ -473,8 +475,10 @@ func (s *Store) PersistAccept(seq, view uint64, parent, digest types.Hash, txs [
 func (s *Store) PersistView(view, promised uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.payload = encodeView(s.payload[:0], view, promised)
-	return s.appendLocked(s.wal, &s.walDirty, s.payload)
+	var start int
+	s.buf, start = beginFrame(s.buf[:0])
+	s.buf = finishFrame(encodeView(s.buf, view, promised), start)
+	return s.writeLocked(s.wal, &s.walDirty)
 }
 
 // Flush synchronously fsyncs dirty log data (SyncGroup normally leaves this
@@ -540,10 +544,12 @@ func (s *Store) Checkpoint(height uint64, balances map[types.AccountID]int64,
 	if err != nil {
 		return err
 	}
-	buf := appendFrame(nil, encodeView(nil, view, promised))
+	buf, fstart := beginFrame(nil)
+	buf = finishFrame(encodeView(buf, view, promised), fstart)
 	for _, inst := range accepted {
 		if inst.Seq > height {
-			buf = appendFrame(buf, encodeAccept(nil, inst.Seq, inst.View, inst.Parent, inst.Digest, inst.Txs))
+			buf, fstart = beginFrame(buf)
+			buf = finishFrame(encodeAccept(buf, inst.Seq, inst.View, inst.Parent, inst.Digest, inst.Txs), fstart)
 		}
 	}
 	if _, err := f.Write(buf); err != nil {

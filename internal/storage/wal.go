@@ -50,6 +50,24 @@ func appendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// beginFrame/finishFrame build one framed record in place, the hot-path
+// form of appendFrame: beginFrame reserves the 8-byte header (returning its
+// offset), the caller appends the payload directly behind it, and
+// finishFrame patches length+CRC over what was appended. One buffer, no
+// payload-then-copy step — every per-message WAL write reuses the store's
+// scratch buffer without allocating.
+func beginFrame(dst []byte) ([]byte, int) {
+	start := len(dst)
+	return append(dst, 0, 0, 0, 0, 0, 0, 0, 0), start
+}
+
+func finishFrame(dst []byte, start int) []byte {
+	payload := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
 // readFrame parses one frame from b, returning the payload and the total
 // bytes consumed. An error means the bytes at the front of b are not a
 // whole, intact frame — recovery treats that as the end of the log.

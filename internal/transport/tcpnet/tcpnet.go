@@ -21,6 +21,16 @@
 // (internal/crypto MAC vectors or ed25519) ride inside the envelope and are
 // unchanged.
 //
+// # Hot path
+//
+// Send never serializes: it enqueues the envelope pointer on the
+// destination link's bounded queue. Each link's writer goroutine drains the
+// queue in batches, assembling frames into a reused buffer (HMAC computed
+// in place by a pooled authenticator, zero allocations in steady state) and
+// flushing the whole batch through one buffered write per wakeup — so a
+// burst of N consensus messages costs one syscall, not N. The read side
+// buffers the socket the same way.
+//
 // # Routing
 //
 // One Net instance typically hosts a single replica (its process) or a set
@@ -36,6 +46,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -52,6 +63,13 @@ import (
 // far outside both the replica ID range (dense from 0) and the client range
 // (from types.ClientIDBase).
 const helloDst = ^uint32(0)
+
+// maxCoalesce bounds how many bytes one writer wakeup assembles before
+// flushing, so a deep queue cannot grow the batch buffer without bound.
+const maxCoalesce = 256 << 10
+
+// sockBufSize sizes the per-connection buffered reader and writer.
+const sockBufSize = 64 << 10
 
 // Config describes one process's attachment to the wire.
 type Config struct {
@@ -100,10 +118,20 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// outFrame is one queued outbound message: the destination that goes into
+// the frame header plus the envelope, serialized by the link's writer
+// goroutine (not by the sender) so frame assembly reuses one buffer per
+// link instead of allocating per message.
+type outFrame struct {
+	to  uint32
+	env *types.Envelope
+}
+
 // Net is the TCP fabric. It is safe for concurrent use.
 type Net struct {
-	cfg Config
-	ln  net.Listener
+	cfg  Config
+	ln   net.Listener
+	auth *crypto.FrameAuth
 
 	mu      sync.RWMutex
 	inboxes map[types.NodeID]chan *types.Envelope
@@ -128,6 +156,7 @@ func New(cfg Config) (*Net, error) {
 	}
 	n := &Net{
 		cfg:     cfg,
+		auth:    crypto.NewFrameAuth(cfg.Secret),
 		inboxes: make(map[types.NodeID]chan *types.Envelope),
 		routes:  make(map[types.NodeID]*wireConn),
 		conns:   make(map[*wireConn]struct{}),
@@ -178,7 +207,7 @@ func (n *Net) Register(id types.NodeID) <-chan *types.Envelope {
 		peers = append(peers, p)
 	}
 	n.mu.Unlock()
-	hello := n.encodeFrame(helloDst, &types.Envelope{From: id})
+	hello := outFrame{to: helloDst, env: &types.Envelope{From: id}}
 	for _, p := range peers {
 		p.enqueue(hello, &n.stats)
 	}
@@ -186,8 +215,9 @@ func (n *Net) Register(id types.NodeID) <-chan *types.Envelope {
 }
 
 // Send routes env toward `to`: local inbox, static peer link, or learned
-// return route, in that order. Send never blocks; undeliverable or
-// over-pressure frames are dropped and counted.
+// return route, in that order. Send never blocks and never serializes; the
+// link's writer goroutine encodes. Undeliverable or over-pressure frames
+// are dropped and counted.
 func (n *Net) Send(to types.NodeID, env *types.Envelope) {
 	n.stats.Sent.Add(1)
 	n.stats.Bytes.Add(int64(len(env.Payload)))
@@ -211,11 +241,11 @@ func (n *Net) Send(to types.NodeID, env *types.Envelope) {
 		return
 	}
 	if _, ok := n.cfg.Peers[to]; ok {
-		n.peerFor(to).enqueue(n.encodeFrame(uint32(to), env), &n.stats)
+		n.peerFor(to).enqueue(outFrame{to: uint32(to), env: env}, &n.stats)
 		return
 	}
 	if route != nil {
-		route.enqueue(n.encodeFrame(uint32(to), env), &n.stats)
+		route.enqueue(outFrame{to: uint32(to), env: env}, &n.stats)
 		return
 	}
 	n.stats.Dropped.Add(1)
@@ -285,28 +315,29 @@ func (n *Net) Close() {
 	n.wg.Wait()
 }
 
-// encodeFrame builds a complete length-prefixed, authenticated wire frame.
-func (n *Net) encodeFrame(to uint32, env *types.Envelope) []byte {
-	buf := make([]byte, 4, 4+4+9+len(env.Payload)+len(env.Sig)+crypto.FrameTagSize)
-	buf = binary.LittleEndian.AppendUint32(buf, to)
-	buf = env.Encode(buf)
-	buf = append(buf, crypto.FrameTag(n.cfg.Secret, buf[4:])...)
-	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
-	return buf
+// appendFrame assembles one complete length-prefixed, authenticated wire
+// frame for env into dst and returns the extended slice. The HMAC runs over
+// the frame bytes in place (pooled authenticator state, no per-frame hash
+// construction), so steady-state frame assembly into a reused buffer does
+// not allocate.
+func (n *Net) appendFrame(dst []byte, to uint32, env *types.Envelope) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	dst = binary.LittleEndian.AppendUint32(dst, to)
+	dst = env.Encode(dst)
+	dst = n.auth.AppendTag(dst, dst[start+4:])
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
 }
 
-// helloFrames returns one advertisement frame per locally registered inbox.
-func (n *Net) helloFrames() [][]byte {
+// helloEnvs returns one advertisement per locally registered inbox.
+func (n *Net) helloEnvs() []outFrame {
 	n.mu.RLock()
-	ids := make([]types.NodeID, 0, len(n.inboxes))
+	out := make([]outFrame, 0, len(n.inboxes))
 	for id := range n.inboxes {
-		ids = append(ids, id)
+		out = append(out, outFrame{to: helloDst, env: &types.Envelope{From: id}})
 	}
 	n.mu.RUnlock()
-	out := make([][]byte, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, n.encodeFrame(helloDst, &types.Envelope{From: id}))
-	}
 	return out
 }
 
@@ -320,7 +351,7 @@ func (n *Net) peerFor(id types.NodeID) *peer {
 	p := &peer{
 		id:    id,
 		addr:  n.cfg.Peers[id],
-		ch:    make(chan []byte, n.cfg.QueueSize),
+		ch:    make(chan outFrame, n.cfg.QueueSize),
 		ready: make(chan struct{}),
 	}
 	n.peers[id] = p
@@ -336,29 +367,56 @@ func (n *Net) peerFor(id types.NodeID) *peer {
 type peer struct {
 	id   types.NodeID
 	addr string
-	ch   chan []byte
+	ch   chan outFrame
 
 	ready     chan struct{} // closed after the first successful connect
 	readyOnce sync.Once
 }
 
 // enqueue adds a frame to an outbound queue, dropping when full.
-func (p *peer) enqueue(frame []byte, stats *transport.Stats) {
+func (p *peer) enqueue(f outFrame, stats *transport.Stats) {
 	select {
-	case p.ch <- frame:
+	case p.ch <- f:
 	default:
 		stats.Dropped.Add(1)
 	}
 }
 
+// drainBatch coalesces f and everything already waiting on ch (up to
+// maxCoalesce bytes) into scratch as wire frames, returning the filled
+// buffer and the number of frames in it. This is the heart of the write
+// path: one wakeup, one buffer, one flush — however many messages the
+// queue held.
+func (n *Net) drainBatch(scratch []byte, f outFrame, ch <-chan outFrame) ([]byte, int) {
+	scratch = n.appendFrame(scratch[:0], f.to, f.env)
+	count := 1
+	for len(scratch) < maxCoalesce {
+		select {
+		case more := <-ch:
+			scratch = n.appendFrame(scratch, more.to, more.env)
+			count++
+		default:
+			return scratch, count
+		}
+	}
+	return scratch, count
+}
+
 // runPeer owns the peer's connection lifecycle: dial with exponential
 // backoff, advertise local inboxes, then drain the outbound queue until the
-// connection breaks or the fabric closes.
+// connection breaks or the fabric closes. Draining coalesces every queued
+// message into one buffered write per wakeup. A batch whose write failed is
+// carried across the reconnect and retransmitted first on the next
+// connection — coalescing must not amplify a broken connection's one
+// in-flight loss into the loss of the whole drained batch. (The receiver
+// tolerates the resulting duplicates when the failed write partially
+// landed; consensus is built for redelivery.)
 func (n *Net) runPeer(p *peer) {
 	defer n.wg.Done()
 	const minBackoff = 25 * time.Millisecond
 	const maxBackoff = time.Second
 	backoff := minBackoff
+	var carry []byte // drained-but-unwritten frames, retried after reconnect
 	for {
 		select {
 		case <-n.done:
@@ -383,35 +441,53 @@ func (n *Net) runPeer(p *peer) {
 		if wc == nil {
 			return // fabric closed during dial
 		}
+		// Hellos go in their own buffer: carry may hold a prior batch, and
+		// route advertisements must precede it on the new connection.
 		ok := true
-		for _, hello := range n.helloFrames() {
-			if err := wc.write(hello); err != nil {
-				ok = false
-				break
-			}
+		var hellos []byte
+		for _, hello := range n.helloEnvs() {
+			hellos = n.appendFrame(hellos, hello.to, hello.env)
+		}
+		if len(hellos) > 0 {
+			ok = wc.write(hellos) == nil
 		}
 		if ok {
 			p.readyOnce.Do(func() { close(p.ready) })
+		}
+		if ok && len(carry) > 0 {
+			ok = wc.write(carry) == nil
+		}
+		if ok {
+			carry = carry[:0]
 		}
 	drain:
 		for ok {
 			select {
 			case <-n.done:
 				return
-			case frame := <-p.ch:
-				if err := wc.write(frame); err != nil {
-					break drain
+			case f := <-p.ch:
+				carry, _ = n.drainBatch(carry[:0], f, p.ch)
+				if err := wc.write(carry); err != nil {
+					break drain // carry retained: retried on the next connection
 				}
+				carry = carry[:0]
 			}
 		}
 		n.dropConn(wc)
+		if len(carry) == 0 && cap(carry) > maxCoalesce {
+			carry = nil // don't pin a burst-sized buffer across reconnects
+		}
 	}
 }
 
 // adoptConn registers a new connection: tracked for shutdown, read loop
 // started. Returns nil (closing c) if the fabric is already closed.
 func (n *Net) adoptConn(c net.Conn) *wireConn {
-	wc := &wireConn{c: c, out: make(chan []byte, n.cfg.QueueSize)}
+	wc := &wireConn{
+		c:   c,
+		w:   bufio.NewWriterSize(c, sockBufSize),
+		out: make(chan outFrame, n.cfg.QueueSize),
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -451,18 +527,29 @@ func (n *Net) acceptLoop() {
 	}
 }
 
-// writeLoop drains a connection's return-route queue. Static peer frames are
-// written by runPeer directly; this queue carries replies to clients and
-// hello advertisements, so neither path ever blocks a consensus goroutine.
+// writeLoop drains a connection's return-route queue with the same
+// coalescing as runPeer. Static peer frames are written by runPeer
+// directly; this queue carries replies to clients and hello advertisements,
+// so neither path ever blocks a consensus goroutine.
 func (n *Net) writeLoop(wc *wireConn) {
 	defer n.wg.Done()
+	var scratch []byte
 	for {
 		select {
 		case <-n.done:
 			return
-		case frame := <-wc.out:
-			if err := wc.write(frame); err != nil {
+		case f := <-wc.out:
+			batch, count := n.drainBatch(scratch[:0], f, wc.out)
+			scratch = batch
+			if err := wc.write(batch); err != nil {
+				// The connection (and the return routes through it) is gone;
+				// unlike a static peer there is no reconnect to retry on, so
+				// the drained batch is lost — count it, clients retransmit.
+				n.stats.Dropped.Add(int64(count))
 				return
+			}
+			if cap(scratch) > maxCoalesce {
+				scratch = nil // don't pin a burst-sized buffer per connection
 			}
 		}
 	}
@@ -470,28 +557,33 @@ func (n *Net) writeLoop(wc *wireConn) {
 
 // readLoop parses frames off one connection until it breaks: verify the
 // authenticator, learn return routes from hellos (and from any sender we
-// cannot reach otherwise), and deliver to the local inbox. Delivery blocks
-// when an inbox is full — TCP flow control then pushes back on the sender,
-// as on any real network.
+// cannot reach otherwise), and deliver to the local inbox. The socket is
+// read through a buffered reader, so a coalesced burst costs one syscall to
+// ingest too. Delivery blocks when an inbox is full — TCP flow control then
+// pushes back on the sender, as on any real network.
 func (n *Net) readLoop(wc *wireConn) {
 	defer n.wg.Done()
 	defer n.dropConn(wc)
+	br := bufio.NewReaderSize(wc.c, sockBufSize)
 	var lenBuf [4]byte
 	for {
-		if _, err := io.ReadFull(wc.c, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
 		}
 		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
 		if int64(frameLen) > int64(n.cfg.MaxFrame) || frameLen < 4+crypto.FrameTagSize {
 			return // malformed or hostile length prefix: poison, drop the conn
 		}
+		// One allocation per inbound frame: the decoded envelope's payload
+		// and signature alias this buffer, which the consensus layer may
+		// retain indefinitely, so it cannot be pooled.
 		frame := make([]byte, frameLen)
-		if _, err := io.ReadFull(wc.c, frame); err != nil {
+		if _, err := io.ReadFull(br, frame); err != nil {
 			return
 		}
 		body := frame[:len(frame)-crypto.FrameTagSize]
 		tag := frame[len(frame)-crypto.FrameTagSize:]
-		if !crypto.VerifyFrameTag(n.cfg.Secret, body, tag) {
+		if !n.auth.Verify(body, tag) {
 			return // unauthenticated traffic: drop the connection
 		}
 		to := binary.LittleEndian.Uint32(body)
@@ -538,28 +630,34 @@ func (n *Net) learnRoute(from types.NodeID, wc *wireConn) {
 	n.mu.Unlock()
 }
 
-// wireConn wraps one TCP connection with a write mutex (runPeer and
-// writeLoop may interleave on the same socket) and a bounded queue for
-// return-route traffic.
+// wireConn wraps one TCP connection with a buffered writer under a mutex
+// (runPeer and writeLoop may interleave on the same socket) and a bounded
+// queue for return-route traffic.
 type wireConn struct {
 	c   net.Conn
-	out chan []byte
+	w   *bufio.Writer
+	out chan outFrame
 
 	wmu       sync.Mutex
 	closeOnce sync.Once
 }
 
-func (wc *wireConn) write(frame []byte) error {
+// write pushes an assembled batch of frames through the buffered writer and
+// flushes once — one syscall per wakeup for any batch up to the buffer
+// size.
+func (wc *wireConn) write(batch []byte) error {
 	wc.wmu.Lock()
 	defer wc.wmu.Unlock()
-	_, err := wc.c.Write(frame)
-	return err
+	if _, err := wc.w.Write(batch); err != nil {
+		return err
+	}
+	return wc.w.Flush()
 }
 
 // enqueue queues a frame for the connection's writer, dropping when full.
-func (wc *wireConn) enqueue(frame []byte, stats *transport.Stats) {
+func (wc *wireConn) enqueue(f outFrame, stats *transport.Stats) {
 	select {
-	case wc.out <- frame:
+	case wc.out <- f:
 	default:
 		stats.Dropped.Add(1)
 	}

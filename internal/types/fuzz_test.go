@@ -137,3 +137,19 @@ func FuzzDecodeReply(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodeTraceDump(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&TraceDump{Node: 3, Lines: []string{"propose v=0 seq=1", "commit-msg v=0 seq=1"}}).Encode(nil))
+	f.Add((&TraceDump{Node: ClientIDBase}).Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeTraceDump(b)
+		if err != nil {
+			return
+		}
+		enc := d.Encode(nil)
+		if !bytes.Equal(enc, b[:len(enc)]) {
+			t.Fatalf("re-encode mismatch for %x", b[:len(enc)])
+		}
+	})
+}

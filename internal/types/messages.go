@@ -3,6 +3,7 @@ package types
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // MsgType discriminates protocol messages on the wire.
@@ -55,6 +56,13 @@ const (
 	MsgFastPropose
 	MsgFastAccept
 	MsgFastCommit
+
+	// Debug traffic: fetch a replica's SHARPER_TRACE protocol-event ring
+	// for post-mortem divergence hunts (sharperd -drive dumps every
+	// process's ring when the wire audit fails). Empty unless the replica
+	// runs with SHARPER_TRACE set.
+	MsgTraceRequest
+	MsgTraceResponse
 )
 
 var msgNames = map[MsgType]string{
@@ -68,6 +76,7 @@ var msgNames = map[MsgType]string{
 	MsgAHLAck: "ahl-ack", MsgAHLRCInternal: "ahl-rc",
 	MsgAPRStateUpdate: "apr-update",
 	MsgFastPropose:    "fast-propose", MsgFastAccept: "fast-accept", MsgFastCommit: "fast-commit",
+	MsgTraceRequest: "trace-req", MsgTraceResponse: "trace-resp",
 }
 
 func (m MsgType) String() string {
@@ -86,6 +95,37 @@ type Envelope struct {
 	From    NodeID
 	Payload []byte
 	Sig     []byte
+
+	// auth caches the protocol-level signature verdict over (From, Payload,
+	// Sig), set by the parallel verification pool ahead of the consensus
+	// loop: 0 unverified, 1 valid, 2 invalid. Atomic because the simulated
+	// fabric multicasts one envelope pointer to many nodes, whose pools may
+	// verify it concurrently (they share the deployment keyring, so every
+	// writer stores the same verdict). Never encoded on the wire.
+	auth atomic.Uint32
+}
+
+// MarkAuth records the signature verdict for the envelope's payload.
+func (e *Envelope) MarkAuth(ok bool) {
+	v := uint32(2)
+	if ok {
+		v = 1
+	}
+	e.auth.Store(v)
+}
+
+// Auth returns the cached signature verdict. known is false when no
+// verification pool has processed the envelope — the consumer must verify
+// inline then (e.g. envelopes stepped directly into an engine by tests).
+func (e *Envelope) Auth() (ok, known bool) {
+	switch e.auth.Load() {
+	case 1:
+		return true, true
+	case 2:
+		return false, true
+	default:
+		return false, false
+	}
 }
 
 // Encode appends the canonical wire encoding of the envelope: type, sender,
@@ -338,6 +378,52 @@ func DecodeSyncResponse(b []byte) (*SyncResponse, error) {
 		off += used
 	}
 	return s, nil
+}
+
+// TraceDump carries one replica's SHARPER_TRACE protocol-event ring (the
+// engines' bounded debug rings) to a requesting driver. Lines is empty when
+// the replica runs without SHARPER_TRACE.
+type TraceDump struct {
+	Node  NodeID
+	Lines []string
+}
+
+// maxTraceLine bounds a single decoded trace line; the rings hold short
+// formatted protocol events, so anything huge is a hostile length prefix.
+const maxTraceLine = 1 << 16
+
+// Encode appends the canonical encoding.
+func (t *TraceDump) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(t.Node))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Lines)))
+	for _, l := range t.Lines {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(l)))
+		dst = append(dst, l...)
+	}
+	return dst
+}
+
+// DecodeTraceDump parses a TraceDump.
+func DecodeTraceDump(b []byte) (*TraceDump, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("types: short trace dump")
+	}
+	t := &TraceDump{Node: NodeID(binary.LittleEndian.Uint32(b))}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	off := 8
+	for i := 0; i < n; i++ {
+		if len(b) < off+4 {
+			return nil, fmt.Errorf("types: short trace dump line header")
+		}
+		l := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if l > maxTraceLine || l > len(b)-off {
+			return nil, fmt.Errorf("types: trace dump line overruns buffer")
+		}
+		t.Lines = append(t.Lines, string(b[off:off+l]))
+		off += l
+	}
+	return t, nil
 }
 
 // VoteProof is one signed vote inside a prepared certificate: the named
