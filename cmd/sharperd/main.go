@@ -67,6 +67,7 @@ func main() {
 	dataDir := flag.String("data", "", "durable storage base directory (each replica uses DIR/node-<id>); a killed replica restarted with the same -data recovers in place")
 	syncPolicy := flag.String("sync", "group", "WAL fsync policy: none, group, or always")
 	lockTimeout := flag.Duration("lock-timeout", 0, "cross-shard lock expiry, the §3.2 'pre-determined time' (0 = default 3s); must dominate worst-case commit delivery in your environment")
+	serializeCross := flag.Bool("serialize-cross", false, "restore the legacy serialized cross-shard scheduler (whole-node lock, drain-gated initiation) for A/B comparison")
 
 	topoPath := flag.String("topology", "", "topology file: run as one process of a multi-process deployment")
 	topoInit := flag.Bool("topology-init", false, "write a fresh topology file (with -clusters, -f, -model) and exit")
@@ -155,13 +156,14 @@ func main() {
 				close(stop)
 			}()
 			if err := runReplica(tf, self, replicaOptions{
-				Seed:        *seed,
-				Batch:       *batch,
-				Accounts:    *accounts,
-				Balance:     *balance,
-				DataDir:     *dataDir,
-				Sync:        sync,
-				LockTimeout: *lockTimeout,
+				Seed:           *seed,
+				Batch:          *batch,
+				Accounts:       *accounts,
+				Balance:        *balance,
+				DataDir:        *dataDir,
+				Sync:           sync,
+				LockTimeout:    *lockTimeout,
+				SerializeCross: *serializeCross,
 			}, stop, os.Stdout); err != nil {
 				log.Fatal(err)
 			}
@@ -175,7 +177,7 @@ func main() {
 		Clusters: *clusters, F: *f, CrossPct: *cross, Clients: *clients,
 		Duration: *duration, Seed: *seed, Batch: *batch, ShowDAG: *showDAG,
 		Accounts: *accounts, Balance: *balance, TCP: *transportKind == "tcp",
-		DataDir: *dataDir, Sync: sync,
+		DataDir: *dataDir, Sync: sync, SerializeCross: *serializeCross,
 	})
 }
 
@@ -197,6 +199,8 @@ type replicaOptions struct {
 	Batch    int
 	Accounts int
 	Balance  int64
+	// SerializeCross restores the legacy serialized cross-shard scheduler.
+	SerializeCross bool
 	// DataDir is the deployment's storage base directory; this replica
 	// persists under DataDir/node-<id> and recovers from it on restart.
 	DataDir string
@@ -225,13 +229,14 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 	defer fab.Close()
 
 	pcfg := core.ProcessConfig{
-		Topo:        tf.Topo,
-		Self:        self,
-		Fabric:      fab,
-		Seed:        opts.Seed,
-		BatchSize:   opts.Batch,
-		Sync:        opts.Sync,
-		LockTimeout: opts.LockTimeout,
+		Topo:           tf.Topo,
+		Self:           self,
+		Fabric:         fab,
+		Seed:           opts.Seed,
+		BatchSize:      opts.Batch,
+		Sync:           opts.Sync,
+		LockTimeout:    opts.LockTimeout,
+		SerializeCross: opts.SerializeCross,
 	}
 	if opts.DataDir != "" {
 		pcfg.DataDir = core.NodeDataDir(opts.DataDir, self)
@@ -251,8 +256,13 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 	}
 	fmt.Fprintf(out, "sharperd: replica %s (cluster %s) listening on %s\n", self, node.Cluster(), fab.Addr())
 	<-stop
-	fmt.Fprintf(out, "sharperd: replica %s stopping (committed %d, chain %d blocks, %d anomalies)\n",
-		self, node.Committed(), node.View().Len(), node.Anomalies())
+	// Stop before reading the scheduler counters: Counters is a quiesced
+	// read (the deferred Stop above is idempotent).
+	node.Stop()
+	s := node.Counters()
+	fmt.Fprintf(out, "sharperd: replica %s stopping (committed %d, chain %d blocks, %d anomalies; sched leads=%d parks=%d withdraws=%d expiries=%d avoided=%d)\n",
+		self, node.Committed(), node.View().Len(), node.Anomalies(),
+		s.LeadsInFlight, s.Parks, s.Withdraws, s.LockExpiries, s.DefersAvoided)
 	if os.Getenv("SHARPERD_DEBUG") != "" {
 		for _, line := range node.DebugTrace() {
 			fmt.Fprintf(out, "sharperd: trace %s: %s\n", self, line)
@@ -383,10 +393,52 @@ loop:
 		time.Sleep(300 * time.Millisecond)
 	}
 	fmt.Fprintln(out, "ledger audit: all views consistent, cross-shard order agrees")
+	printSchedStats(fab, tf, clientBase+97_000, out)
 	if opts.ShowDAG {
 		fmt.Fprint(out, dag.RenderASCII())
 	}
 	return nil
+}
+
+// printSchedStats fetches every replica's cross-shard scheduler counters
+// over the wire (MsgStatsRequest) and prints the deployment-wide aggregate —
+// the audit's view into leads pipelining, conflict-table occupancy, and
+// deferral precision.
+func printSchedStats(fab *tcpnet.Net, tf *TopologyFile, statsID types.NodeID, out io.Writer) {
+	inbox := fab.Register(statsID)
+	for id := range tf.Addrs {
+		fab.Send(id, &types.Envelope{Type: types.MsgStatsRequest, From: statsID})
+	}
+	var agg types.SchedStats
+	got := make(map[types.NodeID]bool)
+	deadline := time.After(3 * time.Second)
+	for len(got) < len(tf.Addrs) {
+		select {
+		case env := <-inbox:
+			if env.Type != types.MsgStatsResponse {
+				continue
+			}
+			s, err := types.DecodeSchedStats(env.Payload)
+			if err != nil || got[s.Node] {
+				continue
+			}
+			if _, known := tf.Addrs[s.Node]; !known {
+				continue
+			}
+			got[s.Node] = true
+			agg.Add(s)
+		case <-deadline:
+			fmt.Fprintf(out, "sharperd: scheduler stats: %d/%d replicas answered\n", len(got), len(tf.Addrs))
+			if len(got) == 0 {
+				return
+			}
+			goto done
+		}
+	}
+done:
+	fmt.Fprintf(out, "scheduler: leads=%d (hw %d) table=%d grants=%d parks=%d withdraws=%d expiries=%d defers=%d avoided=%d selfwaits=%d\n",
+		agg.LeadsInFlight, agg.LeadHighWater, agg.TableSize, agg.Grants, agg.Parks,
+		agg.Withdraws, agg.LockExpiries, agg.Defers, agg.DefersAvoided, agg.SelfVoteWaits)
 }
 
 // dumpTraces asks every replica for its SHARPER_TRACE protocol-event ring
@@ -477,6 +529,7 @@ type localOptions struct {
 	TCP                            bool
 	DataDir                        string
 	Sync                           storage.SyncPolicy
+	SerializeCross                 bool
 }
 
 // runLocal is the original single-process mode: a full deployment in one
@@ -500,6 +553,7 @@ func runLocal(fm sharper.FailureModel, opts localOptions) {
 		InitialBalance:   opts.Balance,
 		DataDir:          opts.DataDir,
 		Sync:             opts.Sync,
+		SerializeCross:   opts.SerializeCross,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -563,6 +617,14 @@ loop:
 	n := committed.Load()
 	fmt.Printf("total: %d transactions (%.0f tx/s), %d cross-shard\n",
 		n, float64(n)/time.Since(start).Seconds(), crossDone.Load())
+	// Stop the deployment before reading counters and auditing: scheduler
+	// counters are a quiesced read, and Close is idempotent under the
+	// deferred call above.
+	net.Close()
+	s := net.SchedStats()
+	fmt.Printf("scheduler: leads=%d (hw %d) table=%d grants=%d parks=%d withdraws=%d expiries=%d defers=%d avoided=%d selfwaits=%d\n",
+		s.LeadsInFlight, s.LeadHighWater, s.TableSize, s.Grants, s.Parks,
+		s.Withdraws, s.LockExpiries, s.Defers, s.DefersAvoided, s.SelfVoteWaits)
 	if err := net.Verify(); err != nil {
 		log.Fatalf("ledger audit FAILED: %v", err)
 	}

@@ -17,7 +17,7 @@ import (
 type engine interface {
 	Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
 	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
-	Tick(now time.Time) []consensus.Outbound
+	Tick(now time.Time) ([]consensus.Outbound, []consensus.Decision)
 	Primary() types.NodeID
 	IsPrimary() bool
 }
@@ -125,7 +125,13 @@ func (n *Node) loop() {
 		case env := <-n.inbox:
 			n.dispatch(env, time.Now())
 		case now := <-ticker.C:
-			n.send(n.engine.Tick(now))
+			outs, decs := n.engine.Tick(now)
+			n.send(outs)
+			for _, dec := range decs {
+				for _, tx := range dec.Block.Txs {
+					n.execute(tx, now)
+				}
+			}
 			n.rcTick(now)
 		}
 	}

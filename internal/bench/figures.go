@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 
 	"sharper/internal/ahl"
 	"sharper/internal/apr"
@@ -498,6 +499,157 @@ func AblationHotpath(w io.Writer, o FigureOptions) []HotpathResult {
 		}
 	}
 	Fprint(w, "Ablation — hot-path overhaul (sim + TCP fabrics), crash model, 0% cross-shard", series)
+	return results
+}
+
+// CrossParallelResult is one point of the cross-shard scheduling ablation,
+// shaped for the machine-readable BENCH_crossparallel.json that tracks the
+// conflict-aware scheduler against the serialized one it replaced.
+type CrossParallelResult struct {
+	// Workload names the mix: "intra", "cross50-disjoint",
+	// "cross90-disjoint", "cross90-overlap".
+	Workload string `json:"workload"`
+	// Scheduler is "serialized" (whole-node lock, drain-gated initiation,
+	// one lead) or "parallel" (conflict table, pipelined leads,
+	// slot-precise deferral).
+	Scheduler    string  `json:"scheduler"`
+	BatchSize    int     `json:"batch_size"`
+	Clients      int     `json:"clients"`
+	ThroughputTx float64 `json:"tx_per_sec"`
+	AvgLatencyMs float64 `json:"ms_per_tx"`
+	P99LatencyMs float64 `json:"p99_ms"`
+	// MsgsPerTx is delivered fabric messages per committed transaction over
+	// the measurement window — what scheduling churn (re-proposals, parks,
+	// retries) shows up as.
+	MsgsPerTx float64 `json:"msgs_per_tx"`
+	// Scheduler counters summed over all replicas at the end of the run.
+	Leads         uint64 `json:"lead_high_water_sum"`
+	Parks         uint64 `json:"parks"`
+	Withdraws     uint64 `json:"withdraws"`
+	DefersAvoided uint64 `json:"defers_avoided"`
+	SelfVoteWaits uint64 `json:"self_vote_waits"`
+	// Speedup is parallel/serialized throughput for the same workload
+	// (set on parallel rows once both measured).
+	Speedup float64 `json:"speedup_vs_serialized,omitempty"`
+}
+
+// AblationCrossParallel measures the conflict-aware cross-shard scheduler
+// against the serialized one on cross-heavy workloads (the regime Fig. 8's
+// parallelism claim is about): 50% and 90% cross-shard with cluster-disjoint
+// sets, 90% with overlapping sets (the contention-bound case, where little
+// improvement is possible by construction), and the intra-only workload as a
+// no-regression guard.
+func AblationCrossParallel(w io.Writer, o FigureOptions) []CrossParallelResult {
+	o.fill()
+	const clusters, f = 4, 1
+	bs := 16
+	clients := 96
+	if o.Quick {
+		clients = 32
+	}
+	workloads := []struct {
+		name     string
+		crossPct int
+		sets     workload.CrossSetMode
+	}{
+		{"intra", 0, workload.SetsRandom},
+		{"cross50-disjoint", 50, workload.SetsDisjoint},
+		{"cross90-disjoint", 90, workload.SetsDisjoint},
+		{"cross90-random", 90, workload.SetsRandom},
+		{"cross90-overlap", 90, workload.SetsOverlapping},
+	}
+	// The shared benchmark host is noisy, so each configuration is measured
+	// over fresh deployments several times and the median-throughput run is
+	// reported; single-shot A/B ratios on this machine swing ±15%.
+	reps := 3
+	if o.Quick {
+		reps = 1
+	}
+	var results []CrossParallelResult
+	var series []Series
+	serialized := make(map[string]float64) // workload → serialized tx/s
+	for _, sched := range []struct {
+		name      string
+		serialize bool
+	}{{"serialized", true}, {"parallel", false}} {
+		for _, wl := range workloads {
+			var runs []CrossParallelResult
+			for rep := 0; rep < reps; rep++ {
+				gen := workload.New(workload.Config{
+					Shards:           state.ShardMap{NumShards: clusters},
+					AccountsPerShard: o.AccountsPerShard,
+					CrossShardPct:    wl.crossPct,
+					ShardsPerCross:   2,
+					CrossSets:        wl.sets,
+					Amount:           1,
+					Seed:             o.Seed + int64(rep),
+				})
+				d, err := core.NewDeployment(core.Config{
+					Model: types.CrashOnly, Clusters: clusters, F: f,
+					Seed:      o.Seed + int64(rep),
+					BatchSize: bs, SerializeCross: sched.serialize, NoPersist: true,
+				})
+				if err != nil {
+					fmt.Fprintf(w, "# %s/%s: deployment failed: %v\n", sched.name, wl.name, err)
+					continue
+				}
+				d.SeedAccounts(o.AccountsPerShard, seedBalance)
+				d.Start()
+				sys := SharPerSystem{D: d}
+				startMsgs := d.Net.Stats().Delivered.Load()
+				startCommitted := d.TotalCommitted()
+				pt := Run(sys, gen, clients, o.bench())
+				msgs := d.Net.Stats().Delivered.Load() - startMsgs
+				committed := d.TotalCommitted() - startCommitted
+				sys.Stop() // counters are a quiesced read
+				var agg types.SchedStats
+				for _, n := range d.Nodes() {
+					agg.Add(n.Counters())
+				}
+				r := CrossParallelResult{
+					Workload:      wl.name,
+					Scheduler:     sched.name,
+					BatchSize:     bs,
+					Clients:       clients,
+					ThroughputTx:  pt.ThroughputTx,
+					AvgLatencyMs:  pt.AvgLatencyMs,
+					P99LatencyMs:  pt.P99LatencyMs,
+					Leads:         agg.LeadHighWater,
+					Parks:         agg.Parks,
+					Withdraws:     agg.Withdraws,
+					DefersAvoided: agg.DefersAvoided,
+					SelfVoteWaits: agg.SelfVoteWaits,
+				}
+				if committed > 0 {
+					r.MsgsPerTx = float64(msgs) / float64(committed)
+				}
+				runs = append(runs, r)
+			}
+			if len(runs) == 0 {
+				continue
+			}
+			sort.Slice(runs, func(i, j int) bool {
+				return runs[i].ThroughputTx < runs[j].ThroughputTx
+			})
+			r := runs[len(runs)/2]
+			if sched.serialize {
+				serialized[wl.name] = r.ThroughputTx
+			} else if base := serialized[wl.name]; base > 0 {
+				r.Speedup = r.ThroughputTx / base
+			}
+			results = append(results, r)
+			series = append(series, Series{
+				Name: fmt.Sprintf("%s/%s", sched.name, wl.name),
+				Points: []Point{{
+					Clients:      r.Clients,
+					ThroughputTx: r.ThroughputTx,
+					AvgLatencyMs: r.AvgLatencyMs,
+					P99LatencyMs: r.P99LatencyMs,
+				}},
+			})
+		}
+	}
+	Fprint(w, "Ablation — conflict-aware cross-shard scheduling vs serialized, crash model, batch 16", series)
 	return results
 }
 

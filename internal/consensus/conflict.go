@@ -1,0 +1,248 @@
+package consensus
+
+import (
+	"time"
+
+	"sharper/internal/types"
+)
+
+// ConflictTable is the single authority over a node's cross-shard scheduling
+// decisions. It replaces the whole-node boolean lock the flattened protocol
+// engines used to keep: every vote/propose decision — cross-shard accept,
+// intra-shard proposal deferral, initiator launch — consults it, so the
+// paper's §3.2 rule ("a node that voted for a cross-shard transaction does
+// not vote on a conflicting one until commit, abort, or timeout") falls out
+// of one auditable structure instead of being scattered across engines.
+//
+// The table tracks two things:
+//
+//   - The slot vote: at most one cross-shard attempt per node may hold the
+//     promise for the node's next chain slot (committed head + 1). A vote
+//     carries the cluster's previous-block hash, so two concurrent votes
+//     from one node would endorse two blocks at the same height — the fork
+//     §3.2 forbids. Acquire/Release/ExpireHolder manage that promise.
+//
+//   - The lead registry: the attempts this node is currently initiating.
+//     Launch eligibility (CanLead) admits a new lead only when every
+//     in-flight lead either shares the exact same involved-cluster set
+//     (same-set attempts pipeline FIFO through the participants' locks) or
+//     intersects it nowhere outside this node's own cluster (cluster-disjoint
+//     attempts proceed in parallel, the paper's headline property). Partially
+//     overlapping sets would fight over a remote cluster's locks and churn
+//     through withdraw/backoff cycles, so they wait.
+//
+// The table is not safe for concurrent use; it lives in a node's event loop
+// like the engines that consult it.
+type ConflictTable struct {
+	own types.ClusterID
+
+	// Slot-vote holder state.
+	held     bool
+	holder   types.Hash
+	slot     uint64
+	parent   types.Hash
+	involved types.ClusterSet
+	deadline time.Time
+
+	// Lead registry: attempts this node is initiating, by digest.
+	leads map[types.Hash]types.ClusterSet
+
+	// gen increments on every acquire/release, so schedulers that parked
+	// work against the table know when re-evaluating could possibly help.
+	gen uint64
+
+	// Counters (read via Stats).
+	grants, releases, expiries uint64
+	defers, defersAvoided      uint64
+	selfVoteWaits              uint64
+	leadHighWater              uint64
+}
+
+// NewConflictTable returns an empty table for a node of cluster own.
+func NewConflictTable(own types.ClusterID) *ConflictTable {
+	return &ConflictTable{own: own, leads: make(map[types.Hash]types.ClusterSet)}
+}
+
+// Held reports whether any attempt currently holds the slot vote.
+func (t *ConflictTable) Held() bool { return t.held }
+
+// Holds reports whether the given attempt holds the slot vote.
+func (t *ConflictTable) Holds(digest types.Hash) bool {
+	return t.held && t.holder == digest
+}
+
+// Holder returns the digest holding the slot vote.
+func (t *ConflictTable) Holder() (types.Hash, bool) { return t.holder, t.held }
+
+// HolderDeadline returns the slot vote's expiry deadline.
+func (t *ConflictTable) HolderDeadline() (time.Time, bool) { return t.deadline, t.held }
+
+// ReservedSlot returns the chain slot the held vote has promised away.
+func (t *ConflictTable) ReservedSlot() (uint64, bool) { return t.slot, t.held }
+
+// Gen returns the table's change generation (bumped by acquire/release).
+func (t *ConflictTable) Gen() uint64 { return t.gen }
+
+// CanVote reports whether this node may cast a cross-shard vote for the
+// attempt: the slot is free, or the attempt already holds it (re-votes at a
+// higher attempt view re-use the reservation).
+func (t *ConflictTable) CanVote(digest types.Hash) bool {
+	return !t.held || t.holder == digest
+}
+
+// Acquire grants the slot vote to the attempt: digest promises parent as the
+// predecessor of chain slot slot. Re-acquiring by the current holder updates
+// slot, parent, and deadline (an initiator re-voting a retried attempt at a
+// new chain head). It fails while a different attempt holds the vote.
+func (t *ConflictTable) Acquire(digest types.Hash, involved types.ClusterSet,
+	slot uint64, parent types.Hash, deadline time.Time) bool {
+	if t.held && t.holder != digest {
+		return false
+	}
+	if !t.held {
+		t.grants++
+	}
+	t.held = true
+	t.holder = digest
+	t.slot = slot
+	t.parent = parent
+	t.involved = involved
+	t.deadline = deadline
+	t.gen++
+	return true
+}
+
+// Release clears the slot vote if the attempt holds it (commit, abort, or
+// withdraw observed), reporting whether it did.
+func (t *ConflictTable) Release(digest types.Hash) bool {
+	if !t.held || t.holder != digest {
+		return false
+	}
+	t.held = false
+	t.releases++
+	t.gen++
+	return true
+}
+
+// ExpireHolder releases the slot vote unilaterally once its deadline passed —
+// the §3.2 "pre-determined time" fallback against a crashed initiator. It
+// returns the released digest.
+func (t *ConflictTable) ExpireHolder(now time.Time) (types.Hash, bool) {
+	if !t.held || !now.After(t.deadline) {
+		return types.Hash{}, false
+	}
+	d := t.holder
+	t.held = false
+	t.expiries++
+	t.gen++
+	return d, true
+}
+
+// ConflictsIntra reports whether an intra-shard proposal at seq would bind
+// the chain slot the held cross-shard vote has promised away. Proposals at
+// other slots (the node lags the cluster, or a new view re-proposes above a
+// gap) are safe to vote on — the precision that lets a locked node keep
+// working instead of deferring node-wide.
+func (t *ConflictTable) ConflictsIntra(seq uint64) bool {
+	return t.held && seq == t.slot
+}
+
+// NoteDefer counts an intra-shard message deferred on a slot conflict.
+func (t *ConflictTable) NoteDefer() { t.defers++ }
+
+// NoteDeferAvoided counts an intra-shard message processed while the slot
+// vote was held — work the old whole-node lock would have postponed.
+func (t *ConflictTable) NoteDeferAvoided() { t.defersAvoided++ }
+
+// NoteSelfVoteWait counts an initiator self-vote deferred for a busy slot.
+func (t *ConflictTable) NoteSelfVoteWait() { t.selfVoteWaits++ }
+
+// RegisterLead records an in-flight initiator attempt.
+func (t *ConflictTable) RegisterLead(digest types.Hash, involved types.ClusterSet) {
+	t.leads[digest] = involved
+	if n := uint64(len(t.leads)); n > t.leadHighWater {
+		t.leadHighWater = n
+	}
+}
+
+// DropLead removes a decided or abandoned initiator attempt.
+func (t *ConflictTable) DropLead(digest types.Hash) { delete(t.leads, digest) }
+
+// Leads returns the number of in-flight initiator attempts.
+func (t *ConflictTable) Leads() int { return len(t.leads) }
+
+// LeadsFor returns the number of in-flight attempts over exactly this
+// involved-cluster set — the scheduler batches a set's next launch while one
+// is already working.
+func (t *ConflictTable) LeadsFor(involved types.ClusterSet) int {
+	n := 0
+	for _, set := range t.leads {
+		if set.Equal(involved) {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of live attempts the table tracks (the in-flight
+// leads plus a held participant vote for a foreign attempt).
+func (t *ConflictTable) Size() int {
+	n := len(t.leads)
+	if t.held {
+		if _, ours := t.leads[t.holder]; !ours {
+			n++
+		}
+	}
+	return n
+}
+
+// CanLead reports whether a new attempt over involved may launch alongside
+// the in-flight leads: the lead count stays under max, and every existing
+// lead shares the identical set — same-set attempts pipeline FIFO through
+// the participants' slot votes. Different sets at one initiator always
+// share at least the initiator's own cluster (truly disjoint sets have
+// different super-primary initiators by the min-cluster rule), so running
+// them concurrently would only pin the remote clusters' slot votes while
+// the own chain serializes the attempts anyway — measured as a clear
+// regression under overlapping-set contention. Cluster-disjoint parallelism
+// happens across initiators, which never contend in the first place. A held
+// participant vote for a foreign overlapping attempt blocks launches too —
+// launching into a set the node is already locked against feeds the
+// withdraw cycle.
+func (t *ConflictTable) CanLead(involved types.ClusterSet, max int) bool {
+	if len(t.leads) >= max {
+		return false
+	}
+	for _, set := range t.leads {
+		if !set.Equal(involved) {
+			return false
+		}
+	}
+	if t.held {
+		if _, ours := t.leads[t.holder]; !ours && !t.compatible(involved, t.involved) {
+			return false
+		}
+	}
+	return true
+}
+
+// compatible reports whether a new lead may launch while this node's slot
+// vote is held for a foreign attempt: identical sets, or sets intersecting
+// at most in the node's own cluster (the held vote's remote clusters are
+// busy; a lead overlapping them would withdraw-churn).
+func (t *ConflictTable) compatible(a, b types.ClusterSet) bool {
+	if a.Equal(b) {
+		return true
+	}
+	for _, c := range a {
+		if c != t.own && b.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats reports the table's counters.
+func (t *ConflictTable) Stats() (grants, releases, expiries, defers, defersAvoided, selfVoteWaits, leadHighWater uint64) {
+	return t.grants, t.releases, t.expiries, t.defers, t.defersAvoided, t.selfVoteWaits, t.leadHighWater
+}

@@ -1,0 +1,202 @@
+package consensus
+
+import (
+	"testing"
+	"time"
+
+	"sharper/internal/types"
+)
+
+func hash(b byte) types.Hash { return types.HashBytes([]byte{b}) }
+
+func TestConflictTableSlotVoteExclusive(t *testing.T) {
+	tb := NewConflictTable(0)
+	now := time.Unix(10, 0)
+	d1, d2 := hash(1), hash(2)
+	set := types.NewClusterSet(0, 1)
+
+	if tb.Held() {
+		t.Fatal("fresh table held")
+	}
+	if !tb.CanVote(d1) || !tb.CanVote(d2) {
+		t.Fatal("fresh table refuses votes")
+	}
+	if !tb.Acquire(d1, set, 5, hash(10), now.Add(time.Second)) {
+		t.Fatal("acquire on free table failed")
+	}
+	if !tb.Holds(d1) || tb.Holds(d2) {
+		t.Fatal("holder bookkeeping wrong")
+	}
+	if tb.Acquire(d2, set, 5, hash(10), now.Add(time.Second)) {
+		t.Fatal("second attempt stole the held slot vote")
+	}
+	if tb.CanVote(d2) {
+		t.Fatal("CanVote granted a conflicting concurrent attempt (§3.2)")
+	}
+	// Re-acquire by the holder (retry at a new chain head) updates the slot.
+	if !tb.Acquire(d1, set, 7, hash(11), now.Add(2*time.Second)) {
+		t.Fatal("holder re-acquire failed")
+	}
+	if slot, _ := tb.ReservedSlot(); slot != 7 {
+		t.Fatalf("reserved slot = %d, want 7", slot)
+	}
+}
+
+func TestConflictTableReleaseOnCommitAbortExpiry(t *testing.T) {
+	tb := NewConflictTable(0)
+	now := time.Unix(10, 0)
+	d1, d2 := hash(1), hash(2)
+	set := types.NewClusterSet(0, 1)
+
+	// Commit/abort path: only the holder's release clears the vote.
+	tb.Acquire(d1, set, 1, hash(9), now.Add(time.Second))
+	if tb.Release(d2) {
+		t.Fatal("released by a non-holder")
+	}
+	if !tb.Release(d1) || tb.Held() {
+		t.Fatal("holder release did not clear the vote")
+	}
+	// Release is idempotent for retransmitted commits/aborts.
+	if tb.Release(d1) {
+		t.Fatal("double release reported success")
+	}
+
+	// Expiry path: only past the deadline.
+	tb.Acquire(d1, set, 2, hash(9), now.Add(time.Second))
+	if _, ok := tb.ExpireHolder(now); ok {
+		t.Fatal("expired before the deadline")
+	}
+	if d, ok := tb.ExpireHolder(now.Add(2 * time.Second)); !ok || d != d1 {
+		t.Fatalf("expiry returned (%v, %v), want (%v, true)", d, ok, d1)
+	}
+	if tb.Held() {
+		t.Fatal("table held after expiry")
+	}
+	_, _, expiries, _, _, _, _ := tb.Stats()
+	if expiries != 1 {
+		t.Fatalf("expiries = %d, want 1", expiries)
+	}
+}
+
+func TestConflictTableGenTracksChanges(t *testing.T) {
+	tb := NewConflictTable(0)
+	now := time.Unix(10, 0)
+	g0 := tb.Gen()
+	tb.Acquire(hash(1), types.NewClusterSet(0, 1), 1, hash(9), now.Add(time.Second))
+	g1 := tb.Gen()
+	if g1 == g0 {
+		t.Fatal("acquire did not bump gen")
+	}
+	tb.NoteDefer() // counters must not look like scheduling changes
+	if tb.Gen() != g1 {
+		t.Fatal("counter note bumped gen")
+	}
+	tb.Release(hash(1))
+	if tb.Gen() == g1 {
+		t.Fatal("release did not bump gen")
+	}
+}
+
+func TestConflictTableIntraSlotPrecision(t *testing.T) {
+	tb := NewConflictTable(0)
+	now := time.Unix(10, 0)
+	tb.Acquire(hash(1), types.NewClusterSet(0, 1), 5, hash(9), now.Add(time.Second))
+	if !tb.ConflictsIntra(5) {
+		t.Fatal("proposal at the reserved slot not flagged")
+	}
+	for _, seq := range []uint64{3, 4, 6, 7} {
+		if tb.ConflictsIntra(seq) {
+			t.Fatalf("proposal at slot %d flagged despite reservation at 5", seq)
+		}
+	}
+	tb.Release(hash(1))
+	if tb.ConflictsIntra(5) {
+		t.Fatal("conflict outlived the release")
+	}
+}
+
+func TestConflictTableLeadEligibility(t *testing.T) {
+	tb := NewConflictTable(0)
+	s01 := types.NewClusterSet(0, 1)
+	s02 := types.NewClusterSet(0, 2)
+	s12 := types.NewClusterSet(1, 2)
+	const max = 4
+
+	if !tb.CanLead(s01, max) {
+		t.Fatal("empty table refused a lead")
+	}
+	tb.RegisterLead(hash(1), s01)
+	// Same set: pipelines FIFO behind the first attempt.
+	if !tb.CanLead(s01, max) {
+		t.Fatal("same-set lead refused")
+	}
+	// A different set waits for the in-flight lead even when the overlap is
+	// only the own cluster: the own chain serializes the attempts anyway,
+	// and launching early would just pin cluster 2's slot votes.
+	if tb.CanLead(s02, max) {
+		t.Fatal("different-set lead admitted alongside an in-flight one")
+	}
+	if tb.CanLead(s12, max) {
+		t.Fatal("remote-overlapping lead admitted (withdraw churn)")
+	}
+	// The cap bounds pipelining.
+	tb.RegisterLead(hash(2), s01)
+	if tb.CanLead(s01, 2) {
+		t.Fatal("lead admitted past the cap")
+	}
+	tb.DropLead(hash(2))
+	if !tb.CanLead(s01, 2) {
+		t.Fatal("dropped lead still counted")
+	}
+
+	// A held participant vote for a foreign attempt screens launches too.
+	tb.DropLead(hash(1))
+	now := time.Unix(10, 0)
+	tb.Acquire(hash(9), s12, 3, hash(8), now.Add(time.Second))
+	if tb.CanLead(types.NewClusterSet(0, 2, 3), max) {
+		// {0,2,3} overlaps the held {1,2} at remote cluster 2.
+		t.Fatal("lead admitted against the held foreign vote's set")
+	}
+	if !tb.CanLead(types.NewClusterSet(0, 3), max) {
+		t.Fatal("lead refused despite no remote overlap with the held vote")
+	}
+}
+
+func TestConflictTableWithdrawInterleaving(t *testing.T) {
+	// An initiator withdraw releases the slot vote but keeps the lead
+	// registered (the attempt is dormant, not gone); a parked foreign
+	// proposal may take the slot in between; the re-propose then waits.
+	tb := NewConflictTable(0)
+	now := time.Unix(10, 0)
+	mine, theirs := hash(1), hash(2)
+	s01 := types.NewClusterSet(0, 1)
+	s02 := types.NewClusterSet(0, 2)
+
+	tb.RegisterLead(mine, s01)
+	tb.Acquire(mine, s01, 1, hash(9), now.Add(time.Second))
+	tb.Release(mine) // withdraw
+	if tb.Leads() != 1 {
+		t.Fatal("withdraw dropped the lead")
+	}
+	if !tb.Acquire(theirs, s02, 1, hash(9), now.Add(time.Second)) {
+		t.Fatal("foreign proposal could not take the freed slot")
+	}
+	// Re-propose of the dormant lead: self-vote must wait.
+	if tb.CanVote(mine) {
+		t.Fatal("re-proposed lead could vote over the foreign hold")
+	}
+	tb.Release(theirs)
+	if !tb.CanVote(mine) {
+		t.Fatal("slot not votable after the foreign release")
+	}
+	// Size counts leads plus a held foreign vote, without double counting.
+	tb.Acquire(mine, s01, 2, hash(9), now.Add(time.Second))
+	if tb.Size() != 1 {
+		t.Fatalf("size = %d, want 1 (own lead holding)", tb.Size())
+	}
+	tb.Release(mine)
+	tb.Acquire(theirs, s02, 2, hash(9), now.Add(time.Second))
+	if tb.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (lead + foreign hold)", tb.Size())
+	}
+}

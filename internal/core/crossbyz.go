@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"math/rand"
+	"sort"
 	"time"
 
 	"sharper/internal/consensus"
@@ -17,13 +19,15 @@ import (
 // COMMIT to all nodes of all involved clusters, so no single node is
 // trusted to tally votes.
 //
-// Conflict handling mirrors the crash engine: an initiator whose attempt
-// stalls withdraws it with a signed ABORT and re-proposes after a jittered
-// exponential backoff. Because votes are tallied by everyone, two extra
+// Conflict handling mirrors the crash engine: scheduling goes through the
+// node's shared conflict table (slot vote + lead admission), an initiator
+// whose attempt stalls withdraws it with a signed ABORT and re-proposes
+// after a jittered exponential backoff, and several leads pipeline when the
+// table admits them. Because votes are tallied by everyone, two extra
 // guards protect against stale attempts committing after a release:
-//   - a node multicasts COMMIT only while it still holds the lock for the
-//     digest and the agreed hash for its own cluster still equals its chain
-//     head, and
+//   - a node multicasts COMMIT only while it still holds the slot vote for
+//     the digest and the agreed hash for its own cluster still equals its
+//     chain head, and
 //   - an ABORT does not release a node that has already entered the commit
 //     phase (its cluster may be pinned by the in-flight decision).
 type xbyz struct {
@@ -36,18 +40,22 @@ type xbyz struct {
 	status   func() chainStatus
 	validate func(*types.Transaction) bool
 
+	table    *consensus.ConflictTable
+	maxLeads int
+
 	lockTimeout  time.Duration
 	retryTimeout time.Duration
 	rng          *rand.Rand
 
-	locked       bool
-	lockDigest   types.Hash
-	lockDeadline time.Time
-	waiting      map[types.Hash]*types.Envelope
+	waiting   map[types.Hash]*types.Envelope
+	waitOrder []types.Hash
 
 	instances map[types.Hash]*xinst
 	leads     map[types.Hash]*xbyzLead
 	decided   map[types.Hash]bool
+
+	// Diagnostics (read via Stats).
+	nPropose, nWithdraw, nGrant, nDecide, nLockExpire, nParks int
 }
 
 // xinst is per-digest participant state.
@@ -60,6 +68,9 @@ type xinst struct {
 	commits    *consensus.VoteSet
 	sentAccept bool
 	sentCommit bool
+	// needAccept marks a lead instance whose own accept is still deferred
+	// behind a busy slot vote; it is cast when the slot frees.
+	needAccept bool
 	// keyHashes remembers the hash list behind every commit key seen, so
 	// the decision adopts whichever key reaches quorum.
 	keyHashes map[consensus.VoteKey]keyedHashes
@@ -94,12 +105,16 @@ type xbyzLead struct {
 }
 
 func newXByz(topo *consensus.Topology, cluster types.ClusterID, self types.NodeID,
-	signer crypto.Signer, verifier crypto.Verifier,
+	signer crypto.Signer, verifier crypto.Verifier, table *consensus.ConflictTable,
 	status func() chainStatus, validate func(*types.Transaction) bool,
-	lockTimeout, retryTimeout time.Duration, seed int64) *xbyz {
+	lockTimeout, retryTimeout time.Duration, maxLeads int, seed int64) *xbyz {
+	if maxLeads <= 0 {
+		maxLeads = 1
+	}
 	return &xbyz{
 		topo: topo, cluster: cluster, self: self,
 		signer: signer, verify: verifier, status: status, validate: validate,
+		table: table, maxLeads: maxLeads,
 		lockTimeout: lockTimeout, retryTimeout: retryTimeout,
 		rng:       rand.New(rand.NewSource(seed)),
 		waiting:   make(map[types.Hash]*types.Envelope),
@@ -109,11 +124,56 @@ func newXByz(topo *consensus.Topology, cluster types.ClusterID, self types.NodeI
 	}
 }
 
-func (x *xbyz) Locked() bool { return x.locked }
+func (x *xbyz) Locked() bool { return x.table.Held() }
 
 func (x *xbyz) Waiting() int { return len(x.waiting) }
 
 func (x *xbyz) Pending() int { return len(x.instances) + len(x.waiting) }
+
+// CanInitiate consults the conflict table's lead-admission rule.
+func (x *xbyz) CanInitiate(involved types.ClusterSet) bool {
+	depth := x.maxLeads
+	if depth > crossLeadDepth {
+		depth = crossLeadDepth
+	}
+	return x.table.CanLead(involved, depth)
+}
+
+// ActiveLeads counts in-flight leads over exactly this set.
+func (x *xbyz) ActiveLeads(involved types.ClusterSet) int {
+	return x.table.LeadsFor(involved)
+}
+
+// NeedsSlot reports whether a lead instance still waits to cast its accept.
+func (x *xbyz) NeedsSlot() bool {
+	for digest, inst := range x.instances {
+		if inst.needAccept {
+			if lead, ok := x.leads[digest]; ok && !lead.dormant {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats reports the scheduler-observability counters.
+func (x *xbyz) Stats() types.SchedStats {
+	_, _, _, defers, avoided, selfWaits, hw := x.table.Stats()
+	return types.SchedStats{
+		Proposes:      uint64(x.nPropose),
+		Withdraws:     uint64(x.nWithdraw),
+		Grants:        uint64(x.nGrant),
+		Decides:       uint64(x.nDecide),
+		LockExpiries:  uint64(x.nLockExpire),
+		Parks:         uint64(x.nParks),
+		LeadsInFlight: uint64(x.table.Leads()),
+		LeadHighWater: hw,
+		TableSize:     uint64(x.table.Size()),
+		Defers:        defers,
+		DefersAvoided: avoided,
+		SelfVoteWaits: selfWaits,
+	}
+}
 
 func (x *xbyz) backoff(attempts int) time.Duration {
 	shift := attempts - 1
@@ -137,16 +197,12 @@ func (x *xbyz) getInstance(digest types.Hash) *xinst {
 	return inst
 }
 
-func (x *xbyz) lock(digest types.Hash, now time.Time) {
-	x.locked = true
-	x.lockDigest = digest
-	x.lockDeadline = now.Add(x.lockTimeout)
+func (x *xbyz) acquire(digest types.Hash, involved types.ClusterSet, st chainStatus, now time.Time) {
+	x.table.Acquire(digest, involved, st.Seq+1, st.Head, now.Add(x.lockTimeout))
 }
 
 func (x *xbyz) unlock(digest types.Hash) {
-	if x.locked && x.lockDigest == digest {
-		x.locked = false
-	}
+	x.table.Release(digest)
 }
 
 // Initiate starts Algorithm 2 (lines 6–8) on a batch of cross-shard
@@ -162,10 +218,12 @@ func (x *xbyz) Initiate(txs []*types.Transaction, now time.Time) []consensus.Out
 	}
 	lead := &xbyzLead{txs: txs, involved: involved}
 	x.leads[digest] = lead
+	x.table.RegisterLead(digest, involved)
 	return x.propose(lead, digest, now)
 }
 
 func (x *xbyz) propose(lead *xbyzLead, digest types.Hash, now time.Time) []consensus.Outbound {
+	x.nPropose++
 	lead.attempts++
 	lead.view++
 	lead.dormant = false
@@ -187,7 +245,8 @@ func (x *xbyz) propose(lead *xbyzLead, digest types.Hash, now time.Time) []conse
 			Payload: payload, Sig: x.signer.Sign(payload)},
 	}}
 
-	// Join the accept phase at the new attempt view ourselves.
+	// Join the accept phase at the new attempt view ourselves; the accept is
+	// deferred if another attempt holds the slot vote.
 	inst := x.getInstance(digest)
 	inst.txs = lead.txs
 	inst.involved = lead.involved
@@ -196,14 +255,71 @@ func (x *xbyz) propose(lead *xbyzLead, digest types.Hash, now time.Time) []conse
 		inst.view = lead.view
 		inst.sentAccept = false
 	}
-	x.lock(digest, now)
-	out = append(out, x.sendAccept(inst, digest, st)...)
+	out = append(out, x.tryVote(inst, digest, now)...)
 	return out
 }
 
+// tryVote casts this node's accept for the instance once the chain is
+// drained and the slot vote is grantable, deferring it otherwise.
+func (x *xbyz) tryVote(inst *xinst, digest types.Hash, now time.Time) []consensus.Outbound {
+	if inst.sentAccept || inst.sentCommit {
+		inst.needAccept = false
+		return nil
+	}
+	st := x.status()
+	if !st.Drained || !x.table.CanVote(digest) {
+		if !inst.needAccept {
+			inst.needAccept = true
+			x.table.NoteSelfVoteWait()
+		}
+		return nil
+	}
+	inst.needAccept = false
+	x.acquire(digest, inst.involved, st, now)
+	return x.sendAccept(inst, digest, st)
+}
+
+// castSelfVotes retries deferred lead accepts in digest order.
+func (x *xbyz) castSelfVotes(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	if x.table.Held() || !x.status().Drained {
+		return nil, nil // no accept can be cast; skip the scan
+	}
+	var pending []types.Hash
+	for digest, inst := range x.instances {
+		if inst.needAccept {
+			if lead, ok := x.leads[digest]; ok && !lead.dormant {
+				pending = append(pending, digest)
+			}
+		}
+	}
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		return bytes.Compare(pending[i][:], pending[j][:]) < 0
+	})
+	var outs []consensus.Outbound
+	var decs []crossDecision
+	for _, digest := range pending {
+		inst := x.instances[digest]
+		if inst == nil {
+			continue
+		}
+		outs = append(outs, x.tryVote(inst, digest, now)...)
+		if inst.sentAccept {
+			// Our vote may have been the last one missing.
+			o, d := x.maybeCommit(inst, digest, now)
+			outs = append(outs, o...)
+			decs = append(decs, d...)
+		}
+	}
+	return outs, decs
+}
+
 // withdraw invalidates the current attempt and asks participants that have
-// not entered the commit phase to release their locks.
+// not entered the commit phase to release their slot votes.
 func (x *xbyz) withdraw(lead *xbyzLead, digest types.Hash, now time.Time) []consensus.Outbound {
+	x.nWithdraw++
 	lead.dormant = true
 	lead.deadline = now.Add(x.backoff(lead.attempts))
 
@@ -215,8 +331,11 @@ func (x *xbyz) withdraw(lead *xbyzLead, digest types.Hash, now time.Time) []cons
 			Payload: payload, Sig: x.signer.Sign(payload)},
 	}}
 	// Release ourselves under the same rule as everyone else.
-	if inst := x.instances[digest]; inst != nil && !inst.sentCommit {
-		x.unlock(digest)
+	if inst := x.instances[digest]; inst != nil {
+		inst.needAccept = false
+		if !inst.sentCommit {
+			x.unlock(digest)
+		}
 	}
 	return out
 }
@@ -243,6 +362,19 @@ func (x *xbyz) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, [
 	default:
 		return nil, nil
 	}
+}
+
+// park holds a proposal back in arrival order (see xcrash.park).
+func (x *xbyz) park(digest types.Hash, env *types.Envelope) {
+	if _, ok := x.waiting[digest]; !ok {
+		x.waitOrder = append(x.waitOrder, digest)
+		x.nParks++
+	}
+	x.waiting[digest] = env
+}
+
+func (x *xbyz) unpark(digest types.Hash) {
+	delete(x.waiting, digest)
 }
 
 // onPropose (lines 9–11): validate and multicast a signed ACCEPT carrying
@@ -273,11 +405,11 @@ func (x *xbyz) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outbou
 	if inst.proposer == 0 {
 		inst.proposer = env.From
 	}
-	if (x.locked && x.lockDigest != digest) || !st.Drained {
-		x.waiting[digest] = env
+	if !st.Drained || !x.table.CanVote(digest) {
+		x.park(digest, env)
 		return nil, nil
 	}
-	delete(x.waiting, digest)
+	x.unpark(digest)
 	x.maybeReleaseDeadCommit(inst, digest, st)
 	if inst.sentCommit {
 		// We are pinned to a commit whose parent is still our head: help
@@ -305,14 +437,15 @@ func (x *xbyz) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outbou
 	if inst.sentAccept {
 		return nil, nil
 	}
-	x.lock(digest, now)
+	x.nGrant++
+	x.acquire(digest, involved, st, now)
 	return x.sendAccept(inst, digest, st), nil
 }
 
 // maybeReleaseDeadCommit clears a pinned commit whose agreed parent for our
 // cluster no longer matches our chain head. Heads only move forward, so no
 // correct node of our cluster can ever endorse that hash list again: the
-// old attempt is dead and holding its lock would wedge the node.
+// old attempt is dead and holding its slot vote would wedge the node.
 func (x *xbyz) maybeReleaseDeadCommit(inst *xinst, digest types.Hash, st chainStatus) {
 	if !inst.sentCommit {
 		return
@@ -381,9 +514,10 @@ func (x *xbyz) maybeCommit(inst *xinst, digest types.Hash, now time.Time) ([]con
 	if len(inst.txs) == 0 || inst.sentCommit {
 		return nil, x.maybeDecide(inst, digest)
 	}
-	// Guard: only nodes still holding the lock vote in the commit phase, so
-	// a withdrawn attempt can never resurrect after its locks were released.
-	if !x.locked || x.lockDigest != digest {
+	// Guard: only nodes still holding the slot vote may vote in the commit
+	// phase, so a withdrawn attempt can never resurrect after its votes were
+	// released.
+	if !x.table.Holds(digest) {
 		return nil, x.maybeDecide(inst, digest)
 	}
 	acceptKey := consensus.VoteKey{View: inst.view, Digest: digest}
@@ -468,11 +602,13 @@ func (x *xbyz) maybeDecide(inst *xinst, digest types.Hash) []crossDecision {
 			continue
 		}
 		x.decided[digest] = true
+		x.nDecide++
 		x.unlock(digest)
-		delete(x.waiting, digest)
+		x.unpark(digest)
 		txs := inst.txs
 		delete(x.instances, digest)
 		delete(x.leads, digest)
+		x.table.DropLead(digest)
 		return []crossDecision{{Txs: txs, Digest: digest, Hashes: kh.hashes, Valid: kh.valid}}
 	}
 	return nil
@@ -484,9 +620,9 @@ type keyedHashes struct {
 	valid  uint64
 }
 
-// onAbort releases the lock held for the digest, unless this node already
-// entered the commit phase (the decision may be in flight cluster-wide).
-// Only the attempt's proposer is honored.
+// onAbort releases the slot vote held for the digest, unless this node
+// already entered the commit phase (the decision may be in flight
+// cluster-wide). Only the attempt's proposer is honored.
 func (x *xbyz) onAbort(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
 	m, err := types.DecodeConsensusMsg(env.Payload)
 	if err != nil || x.decided[m.Digest] {
@@ -496,43 +632,74 @@ func (x *xbyz) onAbort(env *types.Envelope, now time.Time) ([]consensus.Outbound
 	if !ok || inst.proposer != env.From || inst.sentCommit {
 		return nil, nil
 	}
-	delete(x.waiting, m.Digest)
+	x.unpark(m.Digest)
 	x.unlock(m.Digest)
-	return x.drainWaiting(now)
+	return x.drainAndVote(now)
 }
 
-// OnChainAdvanced retries parked proposals.
+// OnChainAdvanced retries parked proposals and deferred lead accepts.
 func (x *xbyz) OnChainAdvanced(now time.Time) ([]consensus.Outbound, []crossDecision) {
-	return x.drainWaiting(now)
+	return x.drainAndVote(now)
+}
+
+func (x *xbyz) drainAndVote(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	// Self-votes before foreign grants (see xcrash.OnChainAdvanced): the
+	// home lock of an in-flight lead outranks parked foreign proposals to
+	// keep lock acquisition lowest-cluster-first.
+	outs, decs := x.castSelfVotes(now)
+	o2, d2 := x.drainWaiting(now)
+	return append(outs, o2...), append(decs, d2...)
 }
 
 func (x *xbyz) drainWaiting(now time.Time) ([]consensus.Outbound, []crossDecision) {
-	if len(x.waiting) == 0 || x.locked {
+	if len(x.waiting) == 0 || x.table.Held() {
+		x.compactWaitOrder()
 		return nil, nil
 	}
-	pending := make([]*types.Envelope, 0, len(x.waiting))
-	for _, env := range x.waiting {
-		pending = append(pending, env)
+	if !x.status().Drained {
+		// No parked proposal can be granted on an undrained chain (see
+		// xcrash.drainWaiting).
+		return nil, nil
 	}
+	pending := make([]types.Hash, len(x.waitOrder))
+	copy(pending, x.waitOrder)
 	var outs []consensus.Outbound
 	var decs []crossDecision
-	for _, env := range pending {
+	for _, dg := range pending {
+		env, ok := x.waiting[dg]
+		if !ok {
+			continue
+		}
 		o, d := x.onPropose(env, now)
 		outs = append(outs, o...)
 		decs = append(decs, d...)
-		if x.locked {
+		if x.table.Held() {
 			break
 		}
 	}
+	x.compactWaitOrder()
 	return outs, decs
 }
 
-// Tick expires locks (crashed-initiator fallback) and drives the withdraw /
-// backoff / re-propose cycle.
+func (x *xbyz) compactWaitOrder() {
+	if len(x.waitOrder) <= 4*len(x.waiting)+8 {
+		return
+	}
+	kept := x.waitOrder[:0]
+	for _, dg := range x.waitOrder {
+		if _, ok := x.waiting[dg]; ok {
+			kept = append(kept, dg)
+		}
+	}
+	x.waitOrder = kept
+}
+
+// Tick expires slot votes (crashed-initiator fallback) and drives the
+// withdraw / backoff / re-propose cycle.
 func (x *xbyz) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 	var outs []consensus.Outbound
-	if x.locked && now.After(x.lockDeadline) {
-		x.locked = false
+	if _, ok := x.table.ExpireHolder(now); ok {
+		x.nLockExpire++
 	}
 	st := x.status()
 	for digest, inst := range x.instances {
@@ -545,7 +712,7 @@ func (x *xbyz) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 			continue
 		}
 		if lead.dormant {
-			if !x.locked && x.status().Drained {
+			if x.table.CanVote(digest) && x.status().Drained {
 				outs = append(outs, x.propose(lead, digest, now)...)
 			} else {
 				lead.deadline = now.Add(x.retryTimeout)
@@ -555,11 +722,18 @@ func (x *xbyz) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 		if lead.attempts >= maxCrossAttempts {
 			outs = append(outs, x.withdraw(lead, digest, now)...)
 			delete(x.leads, digest)
+			x.table.DropLead(digest)
 			continue
 		}
 		outs = append(outs, x.withdraw(lead, digest, now)...)
+		// Withdraw same-set followers together (see xcrash.Tick).
+		for dg2, l2 := range x.leads {
+			if dg2 != digest && !l2.dormant && !x.decided[dg2] && l2.involved.Equal(lead.involved) {
+				outs = append(outs, x.withdraw(l2, dg2, now)...)
+			}
+		}
 	}
-	o, d := x.drainWaiting(now)
+	o, d := x.drainAndVote(now)
 	return append(outs, o...), d
 }
 

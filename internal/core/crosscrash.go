@@ -1,7 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
+	"os"
+	"sort"
 	"time"
 
 	"sharper/internal/consensus"
@@ -16,15 +20,25 @@ import (
 // assembles the per-cluster hash list, and multicasts COMMIT; everyone
 // executes and appends.
 //
-// Conflict handling follows §3.2 "Safety and Liveness": a node that has sent
-// an ACCEPT blocks (does not vote on other transactions) until the COMMIT
-// arrives. Concurrent conflicting transactions can deadlock each other's
-// quorums, so an initiator whose attempt times out *withdraws* it: it
-// invalidates the attempt's votes, multicasts ABORT to release the
-// participants' locks, and re-proposes after an exponentially backed-off,
-// jittered delay. Locks are therefore released by the vote counter itself,
-// which keeps stale accepts from ever forming a quorum. A long unilateral
-// lock expiry remains as a last resort against a crashed initiator.
+// Conflict handling follows §3.2 "Safety and Liveness", enforced through the
+// node's shared conflict table rather than a whole-node boolean lock: a node
+// that has sent an ACCEPT holds the table's slot vote (it has promised its
+// chain head to this attempt) until the COMMIT arrives. Concurrent
+// conflicting transactions can deadlock each other's quorums, so an
+// initiator whose attempt times out *withdraws* it: it invalidates the
+// attempt's votes, multicasts ABORT to release the participants' slot votes,
+// and re-proposes after an exponentially backed-off, jittered delay. Votes
+// are invalidated by the view bump itself, which keeps stale accepts from
+// ever forming a quorum. A long unilateral expiry remains as a last resort
+// against a crashed initiator.
+//
+// Unlike the serialized scheduler this engine replaced, an initiator keeps
+// several leads in flight (the conflict table admits same-set attempts,
+// which pipeline FIFO through the participants' slot votes, and
+// cluster-disjoint attempts, which never contend): the PROPOSE for the next
+// attempt travels while the previous one commits. The initiator's own vote
+// for a lead is deferred while another attempt holds the slot and cast the
+// moment it frees.
 type xcrash struct {
 	topo    *consensus.Topology
 	cluster types.ClusterID
@@ -33,24 +47,32 @@ type xcrash struct {
 	status   func() chainStatus            // local cluster-chain state
 	validate func(*types.Transaction) bool // local-part validation
 
+	// table is the node-wide conflict table: the single authority over the
+	// slot vote and lead admission, shared with the node's scheduler.
+	table    *consensus.ConflictTable
+	maxLeads int
+
 	lockTimeout  time.Duration
 	retryTimeout time.Duration
 	rng          *rand.Rand
 
-	// Participant state.
-	locked       bool
-	lockDigest   types.Hash
-	lockDeadline time.Time
-	// lockReply/lockFrom let a participant whose lock has sat un-released
-	// for most of its window re-send the accept to the initiator: a decided
-	// attempt answers with the (possibly lost) commit, a withdrawn one with
-	// an abort — either beats expiring unilaterally and diverging.
-	lockReply  *types.Envelope
-	lockFrom   types.NodeID
-	lockNudged bool
-	// Proposals waiting for the chain to drain or the lock to clear,
-	// deduplicated by digest (retries replace earlier copies).
-	waiting map[types.Hash]*types.Envelope
+	// lockReply/lockFrom let a participant whose slot vote has sat
+	// un-released for most of its window re-send the accept to the
+	// initiator: a decided attempt answers with the (possibly lost) commit,
+	// a withdrawn one with an abort — either beats expiring unilaterally and
+	// diverging. lockReplyDigest names the vote the reply belongs to.
+	lockReply       *types.Envelope
+	lockFrom        types.NodeID
+	lockNudged      bool
+	lockReplyDigest types.Hash
+
+	// Proposals waiting for the slot vote or an undrained chain,
+	// deduplicated by digest (retries replace earlier copies). waitOrder
+	// keeps arrival order so parked proposals drain FIFO — pipelined
+	// same-set attempts from one initiator must be granted in the order
+	// they were proposed at every participant, or they withdraw-churn.
+	waiting   map[types.Hash]*types.Envelope
+	waitOrder []types.Hash
 
 	// Initiator state, keyed by transaction digest.
 	leads map[types.Hash]*xlead
@@ -65,7 +87,7 @@ type xcrash struct {
 	// nobody has it).
 	recent map[types.Hash]*xcommitRetain
 
-	// Diagnostics (read via Counters).
+	// Diagnostics (read via Counters / Stats).
 	nPropose, nWithdraw, nGrant, nDecide, nLockExpire int
 	parkedAt                                          map[types.Hash]time.Time
 	parkWait                                          time.Duration
@@ -73,7 +95,29 @@ type xcrash struct {
 	leadWait                                          time.Duration
 	lockHold                                          time.Duration
 	lockedAt                                          time.Time
+
+	// trace is a bounded ring of slot-vote events (SHARPER_TRACE only),
+	// read next to the intra engine's ring when hunting intra/cross forks:
+	// the two rings together show every vote a node cast for one chain slot.
+	traceOn bool
+	trace   []string
 }
+
+// tracef records a slot-vote event in the debug ring.
+func (x *xcrash) tracef(format string, args ...interface{}) {
+	if !x.traceOn {
+		return
+	}
+	if len(x.trace) >= 2048 {
+		x.trace = x.trace[1:]
+	}
+	// The wall-clock prefix lets a divergence hunt merge the intra and cross
+	// rings of one node (and of different processes) into a single timeline.
+	x.trace = append(x.trace, fmt.Sprintf("%d ", time.Now().UnixMilli()%100000)+fmt.Sprintf(format, args...))
+}
+
+// DebugTrace returns the recent slot-vote events (oldest first).
+func (x *xcrash) DebugTrace() []string { return x.trace }
 
 // WaitStats reports accumulated wait diagnostics.
 func (x *xcrash) WaitStats() (parks int, avgParkMs, avgLeadMs, avgLockHoldMs float64) {
@@ -95,6 +139,25 @@ func (x *xcrash) Counters() (proposes, withdraws, grants, decides, lockExpiries 
 	return x.nPropose, x.nWithdraw, x.nGrant, x.nDecide, x.nLockExpire
 }
 
+// Stats reports the scheduler-observability counters.
+func (x *xcrash) Stats() types.SchedStats {
+	_, _, _, defers, avoided, selfWaits, hw := x.table.Stats()
+	return types.SchedStats{
+		Proposes:      uint64(x.nPropose),
+		Withdraws:     uint64(x.nWithdraw),
+		Grants:        uint64(x.nGrant),
+		Decides:       uint64(x.nDecide),
+		LockExpiries:  uint64(x.nLockExpire),
+		Parks:         uint64(x.nParks),
+		LeadsInFlight: uint64(x.table.Leads()),
+		LeadHighWater: hw,
+		TableSize:     uint64(x.table.Size()),
+		Defers:        defers,
+		DefersAvoided: avoided,
+		SelfVoteWaits: selfWaits,
+	}
+}
+
 type xlead struct {
 	start    time.Time
 	txs      []*types.Transaction
@@ -106,6 +169,10 @@ type xlead struct {
 	dormant  bool // withdrawn, waiting out the backoff before re-proposing
 	done     bool
 	attempts int
+	// needSelfVote marks a proposed attempt whose initiator vote is still
+	// deferred behind a busy slot; it is cast when the slot frees.
+	needSelfVote bool
+	waitNoted    bool
 	// fastRetried limits split-vote-triggered re-proposals to one per
 	// timer window, so persistently split heads cannot spin the initiator.
 	fastRetried bool
@@ -128,10 +195,15 @@ type xcommitRetain struct {
 const maxCommitResends = 2
 
 func newXCrash(topo *consensus.Topology, cluster types.ClusterID, self types.NodeID,
-	status func() chainStatus, validate func(*types.Transaction) bool,
-	lockTimeout, retryTimeout time.Duration, seed int64) *xcrash {
+	table *consensus.ConflictTable, status func() chainStatus,
+	validate func(*types.Transaction) bool,
+	lockTimeout, retryTimeout time.Duration, maxLeads int, seed int64) *xcrash {
+	if maxLeads <= 0 {
+		maxLeads = 1
+	}
 	return &xcrash{
 		topo: topo, cluster: cluster, self: self, status: status, validate: validate,
+		table: table, maxLeads: maxLeads,
 		lockTimeout: lockTimeout, retryTimeout: retryTimeout,
 		rng:      rand.New(rand.NewSource(seed)),
 		waiting:  make(map[types.Hash]*types.Envelope),
@@ -140,14 +212,40 @@ func newXCrash(topo *consensus.Topology, cluster types.ClusterID, self types.Nod
 		decided:  make(map[types.Hash]bool),
 		txs:      make(map[types.Hash][]*types.Transaction),
 		recent:   make(map[types.Hash]*xcommitRetain),
+		traceOn:  os.Getenv("SHARPER_TRACE") != "",
 	}
 }
 
-func (x *xcrash) Locked() bool { return x.locked }
+func (x *xcrash) Locked() bool { return x.table.Held() }
 
 func (x *xcrash) Waiting() int { return len(x.waiting) }
 
 func (x *xcrash) Pending() int { return len(x.leads) + len(x.waiting) }
+
+// CanInitiate consults the conflict table's lead-admission rule.
+func (x *xcrash) CanInitiate(involved types.ClusterSet) bool {
+	depth := x.maxLeads
+	if depth > crossLeadDepth {
+		depth = crossLeadDepth
+	}
+	return x.table.CanLead(involved, depth)
+}
+
+// ActiveLeads counts in-flight leads over exactly this set.
+func (x *xcrash) ActiveLeads(involved types.ClusterSet) int {
+	return x.table.LeadsFor(involved)
+}
+
+// NeedsSlot reports whether an in-flight lead is still waiting to cast its
+// initiator vote — the node's scheduler must let the chain drain then.
+func (x *xcrash) NeedsSlot() bool {
+	for _, lead := range x.leads {
+		if lead.needSelfVote && !lead.dormant && !lead.done {
+			return true
+		}
+	}
+	return false
+}
 
 // backoff returns the jittered, exponentially growing re-propose delay.
 func (x *xcrash) backoff(attempts int) time.Duration {
@@ -161,7 +259,8 @@ func (x *xcrash) backoff(attempts int) time.Duration {
 
 // Initiate starts Algorithm 1 for a batch of cross-shard transactions that
 // share one involved-cluster set (lines 6–8). The caller guarantees this
-// node is the primary of an involved cluster (normally the super primary).
+// node is the primary of an involved cluster (normally the super primary)
+// and has checked CanInitiate.
 func (x *xcrash) Initiate(txs []*types.Transaction, now time.Time) []consensus.Outbound {
 	involved, ok := batchInvolved(txs)
 	if !ok {
@@ -175,30 +274,25 @@ func (x *xcrash) Initiate(txs []*types.Transaction, now time.Time) []consensus.O
 		votes: consensus.NewHashVoteSet()}
 	x.leads[digest] = lead
 	x.txs[digest] = txs
-	return x.propose(lead, now)
+	x.table.RegisterLead(digest, involved)
+	outs, _ := x.propose(lead, now) // a fresh attempt cannot decide yet
+	return outs
 }
 
-// propose (re)issues the PROPOSE multicast for a lead instance.
-func (x *xcrash) propose(lead *xlead, now time.Time) []consensus.Outbound {
+// propose (re)issues the PROPOSE multicast for a lead instance and casts the
+// initiator's own vote if the slot is free (deferring it otherwise).
+func (x *xcrash) propose(lead *xlead, now time.Time) ([]consensus.Outbound, []crossDecision) {
 	x.nPropose++
 	lead.attempts++
 	lead.view++
 	lead.dormant = false
 	lead.fastRetried = false
 	lead.votes = consensus.NewHashVoteSet()
-	st := x.status()
 	lead.deadline = now.Add(x.backoff(lead.attempts))
+	lead.needSelfVote = true
+	lead.waitNoted = false
 
-	// The initiator primary locks its own cluster chain (§3.2: "the primary
-	// stops initiating or being involved in any other ... transactions").
-	x.lock(lead.digest, now)
-	// Record the initiator's own vote for its cluster.
-	lead.votes.Add(x.cluster, x.self, consensus.HashVote{
-		Key:   consensus.VoteKey{View: lead.view, Digest: lead.digest},
-		Prev:  st.Head,
-		Valid: validBits(lead.txs, x.validate),
-	})
-
+	st := x.status()
 	msg := &types.ConsensusMsg{
 		View:       lead.view,
 		Digest:     lead.digest,
@@ -207,20 +301,81 @@ func (x *xcrash) propose(lead *xlead, now time.Time) []consensus.Outbound {
 		Txs:        lead.txs,
 	}
 	env := &types.Envelope{Type: types.MsgXPropose, From: x.self, Payload: msg.Encode(nil)}
-	return []consensus.Outbound{{
+	outs := []consensus.Outbound{{
 		To:  othersOf(x.topo.InvolvedNodes(lead.involved), x.self),
 		Env: env,
 	}}
+	o, d := x.castLeadVote(lead, now)
+	return append(outs, o...), d
 }
 
-// withdraw invalidates the current attempt and releases everyone's locks.
-// Bumping lead.view first guarantees no late accept for the old attempt can
-// complete a quorum, so releasing the locks cannot fork the chain.
+// castLeadVote records the initiator's own vote for a lead once the chain is
+// drained and the slot vote is grantable; until then the vote stays pending
+// (the PROPOSE is already in flight — participants vote meanwhile).
+func (x *xcrash) castLeadVote(lead *xlead, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	if !lead.needSelfVote || lead.dormant || lead.done {
+		return nil, nil
+	}
+	st := x.status()
+	if !st.Drained || !x.table.CanVote(lead.digest) {
+		if !lead.waitNoted {
+			lead.waitNoted = true
+			x.table.NoteSelfVoteWait()
+		}
+		return nil, nil
+	}
+	x.acquire(lead.digest, lead.involved, st, now)
+	x.tracef("xselfvote d=%s slot=%d head=%s v=%d", lead.digest, st.Seq+1, st.Head, lead.view)
+	lead.needSelfVote = false
+	lead.votes.Add(x.cluster, x.self, consensus.HashVote{
+		Key:   consensus.VoteKey{View: lead.view, Digest: lead.digest},
+		Prev:  st.Head,
+		Valid: validBits(lead.txs, x.validate),
+	})
+	return x.tryComplete(lead, now)
+}
+
+// castSelfVotes retries pending initiator votes in digest order (a
+// deterministic tie-break; at most one can take the slot anyway).
+func (x *xcrash) castSelfVotes(now time.Time) ([]consensus.Outbound, []crossDecision) {
+	if x.table.Held() || !x.status().Drained {
+		return nil, nil // no self-vote can be cast; skip the scan
+	}
+	var pending []types.Hash
+	for dg, lead := range x.leads {
+		if lead.needSelfVote && !lead.dormant && !lead.done {
+			pending = append(pending, dg)
+		}
+	}
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		return bytes.Compare(pending[i][:], pending[j][:]) < 0
+	})
+	var outs []consensus.Outbound
+	var decs []crossDecision
+	for _, dg := range pending {
+		if lead, ok := x.leads[dg]; ok {
+			o, d := x.castLeadVote(lead, now)
+			outs = append(outs, o...)
+			decs = append(decs, d...)
+		}
+	}
+	return outs, decs
+}
+
+// withdraw invalidates the current attempt and releases everyone's slot
+// votes. Bumping lead.view first guarantees no late accept for the old
+// attempt can complete a quorum, so releasing the votes cannot fork the
+// chain. The lead stays registered (dormant) so its set keeps screening new
+// lead admissions until it decides or is dropped.
 func (x *xcrash) withdraw(lead *xlead, now time.Time) []consensus.Outbound {
 	x.nWithdraw++
 	lead.view++
 	lead.votes = consensus.NewHashVoteSet()
 	lead.dormant = true
+	lead.needSelfVote = false
 	lead.deadline = now.Add(x.backoff(lead.attempts))
 	x.unlock(lead.digest)
 
@@ -232,20 +387,24 @@ func (x *xcrash) withdraw(lead *xlead, now time.Time) []consensus.Outbound {
 	}}
 }
 
-func (x *xcrash) lock(digest types.Hash, now time.Time) {
-	x.locked = true
-	x.lockedAt = now
-	x.lockDigest = digest
-	x.lockDeadline = now.Add(x.lockTimeout)
-	// A participant vote for this lock re-arms the nudge below; an
-	// initiator-side lock has no accept to re-send.
-	x.lockReply, x.lockFrom, x.lockNudged = nil, 0, false
+// acquire takes the slot vote for digest (the §3.2 lock), promising the
+// current head as the predecessor of the next chain slot.
+func (x *xcrash) acquire(digest types.Hash, involved types.ClusterSet, st chainStatus, now time.Time) {
+	if !x.table.Held() {
+		x.lockedAt = now
+	}
+	x.table.Acquire(digest, involved, st.Seq+1, st.Head, now.Add(x.lockTimeout))
+	if digest != x.lockReplyDigest {
+		// A vote for a different attempt invalidates the retained accept.
+		x.lockReply, x.lockFrom, x.lockNudged = nil, 0, false
+		x.lockReplyDigest = types.Hash{}
+	}
 }
 
 func (x *xcrash) unlock(digest types.Hash) {
-	if x.locked && x.lockDigest == digest {
-		x.locked = false
+	if x.table.Release(digest) {
 		x.lockHold += time.Since(x.lockedAt)
+		x.tracef("xrelease d=%s", digest)
 	}
 }
 
@@ -265,9 +424,28 @@ func (x *xcrash) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound,
 	}
 }
 
+// park holds a proposal back until the slot vote frees or the chain drains,
+// keeping arrival order for FIFO granting.
+func (x *xcrash) park(digest types.Hash, env *types.Envelope, now time.Time) {
+	if _, ok := x.parkedAt[digest]; !ok {
+		x.parkedAt[digest] = now
+	}
+	if _, ok := x.waiting[digest]; !ok {
+		x.waitOrder = append(x.waitOrder, digest)
+	}
+	x.waiting[digest] = env
+}
+
+// unpark removes a proposal from the waiting set (granted, committed,
+// aborted, or decided); waitOrder is compacted lazily by drainWaiting.
+func (x *xcrash) unpark(digest types.Hash) {
+	delete(x.waiting, digest)
+}
+
 // onPropose implements lines 9–11: validate, then answer ACCEPT with our
-// cluster's previous-block hash. Voting requires a drained, unlocked chain;
-// otherwise the proposal parks until the lock clears or the chain advances.
+// cluster's previous-block hash. Voting requires a drained chain and a
+// grantable slot vote; otherwise the proposal parks until the vote frees or
+// the chain advances.
 func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbound {
 	m, err := types.DecodeConsensusMsg(env.Payload)
 	if err != nil {
@@ -283,11 +461,8 @@ func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbo
 	}
 	x.txs[digest] = m.Txs
 	st := x.status()
-	if (x.locked && x.lockDigest != digest) || !st.Drained {
-		if _, ok := x.parkedAt[digest]; !ok {
-			x.parkedAt[digest] = now
-		}
-		x.waiting[digest] = env
+	if !st.Drained || !x.table.CanVote(digest) {
+		x.park(digest, env, now)
 		return nil
 	}
 	if t, ok := x.parkedAt[digest]; ok {
@@ -295,9 +470,10 @@ func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbo
 		x.nParks++
 		delete(x.parkedAt, digest)
 	}
-	delete(x.waiting, digest)
+	x.unpark(digest)
 	x.nGrant++
-	x.lock(digest, now)
+	x.acquire(digest, involved, st, now)
+	x.tracef("xvote d=%s slot=%d head=%s v=%d from=%s", digest, st.Seq+1, st.Head, m.View, env.From)
 	reply := &types.ConsensusMsg{
 		View:       m.View,
 		Digest:     digest,
@@ -308,6 +484,7 @@ func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbo
 	}
 	renv := &types.Envelope{Type: types.MsgXAccept, From: x.self, Payload: reply.Encode(nil)}
 	x.lockReply, x.lockFrom, x.lockNudged = renv, env.From, false
+	x.lockReplyDigest = digest
 	return []consensus.Outbound{{
 		To:  []types.NodeID{env.From},
 		Env: renv,
@@ -353,7 +530,18 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		Prev:  m.PrevHashes[0],
 		Valid: m.Seq,
 	})
-	key := consensus.VoteKey{View: lead.view, Digest: m.Digest}
+	return x.tryComplete(lead, now)
+}
+
+// tryComplete checks the lead's quorum condition, deciding (and multicasting
+// COMMIT) on success or fast-retrying on a provably split vote. It is the
+// one completion path shared by participant accepts and the initiator's own
+// deferred vote.
+func (x *xcrash) tryComplete(lead *xlead, now time.Time) ([]consensus.Outbound, []crossDecision) {
+	if lead.done || lead.dormant {
+		return nil, nil
+	}
+	key := consensus.VoteKey{View: lead.view, Digest: lead.digest}
 	hashes, valid, ok := lead.votes.QuorumAllPrev(lead.involved, key,
 		func(c types.ClusterID) int { return x.topo.CrossQuorum(c) })
 	if !ok {
@@ -366,9 +554,9 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		if !lead.fastRetried {
 			for _, c := range lead.involved {
 				if lead.votes.MatchImpossible(c, key, x.topo.CrossQuorum(c), len(x.topo.Members(c))) {
-					out := x.propose(lead, now)
+					out, decs := x.propose(lead, now)
 					lead.fastRetried = true
-					return out, nil
+					return out, decs
 				}
 			}
 		}
@@ -377,13 +565,14 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 	lead.done = true
 	x.nDecide++
 	x.leadWait += now.Sub(lead.start)
-	x.decided[m.Digest] = true
-	delete(x.leads, m.Digest)
-	x.unlock(m.Digest)
+	x.decided[lead.digest] = true
+	delete(x.leads, lead.digest)
+	x.table.DropLead(lead.digest)
+	x.unlock(lead.digest)
 
 	cm := &types.ConsensusMsg{
 		View:       lead.view,
-		Digest:     m.Digest,
+		Digest:     lead.digest,
 		Cluster:    x.cluster,
 		PrevHashes: hashes,
 		Txs:        lead.txs,
@@ -394,11 +583,11 @@ func (x *xcrash) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 	// Retain the commit for retransmission: participants are holding their
 	// chains locked for it, and a lost or slow copy must not strand a
 	// cluster without the decided block.
-	x.recent[m.Digest] = &xcommitRetain{
+	x.recent[lead.digest] = &xcommitRetain{
 		env: cenv, to: to, deadline: now.Add(x.lockTimeout / 4),
 	}
 	out := []consensus.Outbound{{To: to, Env: cenv}}
-	dec := []crossDecision{{Txs: lead.txs, Digest: m.Digest, Hashes: hashes, Valid: valid}}
+	dec := []crossDecision{{Txs: lead.txs, Digest: lead.digest, Hashes: hashes, Valid: valid}}
 	return out, dec
 }
 
@@ -420,12 +609,12 @@ func (x *xcrash) onCommit(env *types.Envelope) ([]consensus.Outbound, []crossDec
 		return nil, nil
 	}
 	x.decided[m.Digest] = true
-	delete(x.waiting, m.Digest)
+	x.unpark(m.Digest)
 	x.unlock(m.Digest)
 	return nil, []crossDecision{{Txs: txs, Digest: m.Digest, Hashes: m.PrevHashes, Valid: m.Seq}}
 }
 
-// onAbort releases the lock the aborted attempt held at this node and
+// onAbort releases the slot vote the aborted attempt held at this node and
 // drops any parked copy of the proposal (the initiator re-sends a fresh
 // one when it retries).
 func (x *xcrash) onAbort(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision) {
@@ -433,53 +622,88 @@ func (x *xcrash) onAbort(env *types.Envelope, now time.Time) ([]consensus.Outbou
 	if err != nil || x.decided[m.Digest] {
 		return nil, nil
 	}
-	delete(x.waiting, m.Digest)
+	x.unpark(m.Digest)
 	x.unlock(m.Digest)
-	out, decs := x.drainWaiting(now)
-	return out, decs
+	out, decs := x.castSelfVotes(now)
+	o2, d2 := x.drainWaiting(now)
+	return append(out, o2...), append(decs, d2...)
 }
 
-// OnChainAdvanced retries parked proposals now that the chain moved.
+// OnChainAdvanced retries pending initiator votes and parked proposals now
+// that the chain moved. Self-votes go first: an in-flight lead waiting for
+// its own cluster's slot already holds (or is acquiring) higher clusters'
+// slots, so granting its home lock before any foreign parked proposal keeps
+// every attempt's lock acquisition lowest-cluster-first — the ordering that
+// keeps the cross-shard waits-for graph acyclic.
 func (x *xcrash) OnChainAdvanced(now time.Time) ([]consensus.Outbound, []crossDecision) {
-	return x.drainWaiting(now)
+	outs, decs := x.castSelfVotes(now)
+	o2, d2 := x.drainWaiting(now)
+	return append(outs, o2...), append(decs, d2...)
 }
 
-// drainWaiting re-steps parked proposals; at most one acquires the lock, the
-// rest re-park. Digest order breaks grant-order symmetry deterministically.
+// drainWaiting re-steps parked proposals in arrival order; at most one
+// acquires the slot vote, the rest re-park. FIFO order keeps pipelined
+// same-set attempts from one initiator granting in propose order at every
+// participant.
 func (x *xcrash) drainWaiting(now time.Time) ([]consensus.Outbound, []crossDecision) {
-	if len(x.waiting) == 0 || x.locked {
+	if len(x.waiting) == 0 || x.table.Held() {
+		x.compactWaitOrder()
 		return nil, nil
 	}
-	pending := make([]*types.Envelope, 0, len(x.waiting))
-	for _, env := range x.waiting {
-		pending = append(pending, env)
+	if !x.status().Drained {
+		// No parked proposal can be granted on an undrained chain; skip the
+		// rescan (each one re-decodes full batch payloads) until the intra
+		// pipeline lands.
+		return nil, nil
 	}
+	pending := make([]types.Hash, len(x.waitOrder))
+	copy(pending, x.waitOrder)
 	var outs []consensus.Outbound
-	for _, env := range pending {
+	for _, dg := range pending {
+		env, ok := x.waiting[dg]
+		if !ok {
+			continue // unpark happened; compacted below
+		}
 		outs = append(outs, x.onPropose(env, now)...)
-		if x.locked {
+		if x.table.Held() {
 			break
 		}
 	}
+	x.compactWaitOrder()
 	return outs, nil
 }
 
-// Tick expires locks (crashed-initiator fallback) and drives the initiator's
-// withdraw/backoff/re-propose cycle.
+// compactWaitOrder drops unparked digests once they dominate the order list.
+func (x *xcrash) compactWaitOrder() {
+	if len(x.waitOrder) <= 4*len(x.waiting)+8 {
+		return
+	}
+	kept := x.waitOrder[:0]
+	for _, dg := range x.waitOrder {
+		if _, ok := x.waiting[dg]; ok {
+			kept = append(kept, dg)
+		}
+	}
+	x.waitOrder = kept
+}
+
+// Tick expires slot votes (crashed-initiator fallback) and drives the
+// initiator's withdraw/backoff/re-propose cycle.
 func (x *xcrash) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 	var outs []consensus.Outbound
-	if x.locked && !x.lockNudged && x.lockReply != nil &&
-		now.After(x.lockDeadline.Add(-x.lockTimeout/4)) {
-		// The lock has sat un-released for most of its window: re-send the
-		// accept so a live initiator repeats its commit (or abort) before
+	if dl, held := x.table.HolderDeadline(); held && !x.lockNudged && x.lockReply != nil &&
+		x.table.Holds(x.lockReplyDigest) && now.After(dl.Add(-x.lockTimeout/4)) {
+		// The slot vote has sat un-released for most of its window: re-send
+		// the accept so a live initiator repeats its commit (or abort) before
 		// this node expires unilaterally and lets its chain move on.
 		x.lockNudged = true
 		outs = append(outs, consensus.Outbound{To: []types.NodeID{x.lockFrom}, Env: x.lockReply})
 	}
-	if x.locked && now.After(x.lockDeadline) {
+	if d, ok := x.table.ExpireHolder(now); ok {
 		// The initiator died without committing or aborting; give up.
 		x.nLockExpire++
-		x.locked = false
+		x.lockHold += time.Since(x.lockedAt)
+		x.tracef("xexpire d=%s", d)
 	}
 	for digest, r := range x.recent {
 		if !now.After(r.deadline) {
@@ -493,15 +717,19 @@ func (x *xcrash) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 		r.deadline = now.Add(x.lockTimeout / 4)
 		outs = append(outs, consensus.Outbound{To: r.to, Env: r.env})
 	}
+	var decs []crossDecision
 	for digest, lead := range x.leads {
 		if lead.done || !now.After(lead.deadline) {
 			continue
 		}
 		if lead.dormant {
-			// Re-propose only when free: between withdraw and re-propose
-			// this node may have granted its lock to a parked proposal.
-			if !x.locked && x.status().Drained {
-				outs = append(outs, x.propose(lead, now)...)
+			// Re-propose only when this node could actually vote again:
+			// between withdraw and re-propose the slot may have been granted
+			// to a parked proposal.
+			if x.table.CanVote(lead.digest) && x.status().Drained {
+				o, d := x.propose(lead, now)
+				outs = append(outs, o...)
+				decs = append(decs, d...)
 			} else {
 				lead.deadline = now.Add(x.retryTimeout)
 			}
@@ -510,12 +738,23 @@ func (x *xcrash) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 		if lead.attempts >= maxCrossAttempts {
 			outs = append(outs, x.withdraw(lead, now)...)
 			delete(x.leads, digest)
+			x.table.DropLead(digest)
 			continue
 		}
 		outs = append(outs, x.withdraw(lead, now)...)
+		// Same-set followers share the conflict that stalled this attempt
+		// AND must not keep remote slot votes while the home slot could go
+		// to a foreign attempt: withdraw them together.
+		for dg2, l2 := range x.leads {
+			if dg2 != digest && !l2.dormant && !l2.done && l2.involved.Equal(lead.involved) {
+				outs = append(outs, x.withdraw(l2, now)...)
+			}
+		}
 	}
-	o, d := x.drainWaiting(now)
-	return append(outs, o...), d
+	o, d := x.castSelfVotes(now)
+	outs, decs = append(outs, o...), append(decs, d...)
+	o2, d2 := x.drainWaiting(now)
+	return append(outs, o2...), append(decs, d2...)
 }
 
 // othersOf filters self out of a destination list.

@@ -128,8 +128,9 @@ func TestStressMixedByz(t *testing.T) {
 			extra += fmt.Sprintf(" lead[%s]{view=%d att=%d dormant=%v}", dg, lead.view, lead.attempts, lead.dormant)
 		}
 		st := n.chainStatus()
+		holder, _ := x.table.Holder()
 		t.Logf("node %s %s: locked=%v(%s) waiting=%d drained=%v pi=%d pc=%d def=%d pa=%d commit=%d len=%d%s",
-			n.ID(), n.Cluster(), x.locked, x.lockDigest, len(x.waiting), st.Drained,
+			n.ID(), n.Cluster(), x.table.Held(), holder, len(x.waiting), st.Drained,
 			len(n.pendingIntra), len(n.pendingCross), len(n.deferred), len(n.pendingApply),
 			n.Committed(), n.view.Len(), extra)
 	}
@@ -195,8 +196,9 @@ func TestStressWorkloadCrash(t *testing.T) {
 		if pe, ok := n.intra.(*paxos.Engine); ok {
 			eng = " || " + pe.DebugString()
 		}
+		holder, _ := x.table.Holder()
 		t.Logf("node %s %s: locked=%v(%s) drained=%v viewHead=%s pi=%d pc=%d def=%d pa=%d commit=%d len=%d anom=%d%s%s",
-			n.ID(), n.Cluster(), x.locked, x.lockDigest, st.Drained, n.view.Head(),
+			n.ID(), n.Cluster(), x.table.Held(), holder, st.Drained, n.view.Head(),
 			len(n.pendingIntra), len(n.pendingCross), len(n.deferred), len(n.pendingApply),
 			n.Committed(), n.view.Len(), n.Anomalies(), extra, eng)
 	}

@@ -69,6 +69,10 @@ type Config struct {
 	BatchSize    int
 	BatchTimeout time.Duration
 	MaxInFlight  int
+	// SerializeCross restores the pre-conflict-table cross-shard scheduler
+	// (one lead, drain-gated initiation, node-wide deferral) so benchmarks
+	// can A/B the conflict-aware scheduler against it.
+	SerializeCross bool
 	// Seed drives all randomness (keys, jitter, fault injection).
 	Seed int64
 	// Ed25519 switches Byzantine deployments from the default HMAC
@@ -271,24 +275,25 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			}
 		}
 		ncfg := NodeConfig{
-			Model:        topo.ModelOf(cluster),
-			Topology:     topo,
-			Cluster:      cluster,
-			Self:         id,
-			Net:          nodeFabric(id),
-			Shards:       shards,
-			Signer:       signer,
-			Verifier:     verifier,
-			IntraTimeout: cfg.IntraTimeout,
-			LockTimeout:  cfg.LockTimeout,
-			RetryTimeout: cfg.RetryTimeout,
-			TickInterval: cfg.TickInterval,
-			BatchSize:    cfg.BatchSize,
-			BatchTimeout: cfg.BatchTimeout,
-			MaxInFlight:  cfg.MaxInFlight,
-			SuperPrimary: !cfg.DisableSuperPrimary,
-			Seed:         cfg.Seed + int64(id) + 2,
-			Storage:      st,
+			Model:          topo.ModelOf(cluster),
+			Topology:       topo,
+			Cluster:        cluster,
+			Self:           id,
+			Net:            nodeFabric(id),
+			Shards:         shards,
+			Signer:         signer,
+			Verifier:       verifier,
+			IntraTimeout:   cfg.IntraTimeout,
+			LockTimeout:    cfg.LockTimeout,
+			RetryTimeout:   cfg.RetryTimeout,
+			TickInterval:   cfg.TickInterval,
+			BatchSize:      cfg.BatchSize,
+			BatchTimeout:   cfg.BatchTimeout,
+			MaxInFlight:    cfg.MaxInFlight,
+			SerializeCross: cfg.SerializeCross,
+			SuperPrimary:   !cfg.DisableSuperPrimary,
+			Seed:           cfg.Seed + int64(id) + 2,
+			Storage:        st,
 		}
 		d.nodeCfgs[id] = ncfg
 		d.nodes[id] = NewNode(ncfg)

@@ -24,14 +24,19 @@ type IntraEngine interface {
 	Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
 	// Step consumes a protocol message.
 	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
-	// Tick fires protocol timers (view change).
-	Tick(now time.Time) []consensus.Outbound
+	// Tick fires protocol timers (view change) and retries parked
+	// proposals whose slot reservation cleared; a retried proposal whose
+	// commit already arrived delivers, so Tick can surface decisions.
+	Tick(now time.Time) ([]consensus.Outbound, []consensus.Decision)
 	// SyncChainHead advances the engine past an externally decided block
 	// (a cross-shard block committed by the flattened protocol), returning
-	// messages from replaying parked proposals plus the node's own orphaned
-	// transactions (in-flight proposals killed by the new block) so the
-	// runtime can re-propose them.
-	SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction)
+	// messages and decisions from replaying parked proposals plus the
+	// node's own orphaned transactions (in-flight proposals killed by the
+	// new block) so the runtime can re-propose them. Decisions MUST be
+	// applied by the caller: dropping one leaves the engine's committed
+	// state ahead of the ledger, the desync behind the intra/cross fork
+	// class (an erased acceptance lets a node double-vote a chain slot).
+	SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []consensus.Decision, []*types.Transaction)
 	// ProposedHead returns the seq/hash of the latest proposed block.
 	ProposedHead() (uint64, types.Hash)
 	// HasUncommitted reports whether any consensus instance with a known
@@ -69,18 +74,25 @@ type chainStatus struct {
 	Drained bool
 }
 
-// newIntraEngine builds the model-appropriate engine.
+// newIntraEngine builds the model-appropriate engine. reserved is the
+// conflict-table eligibility check both engines consult at their vote
+// boundary (a chain slot promised to a cross-shard vote takes no intra
+// vote), so the §3.2 one-vote-per-slot rule holds even on internal replay
+// paths that never cross the node's dispatch.
 func newIntraEngine(model types.FailureModel, topo *consensus.Topology, cluster types.ClusterID,
 	self types.NodeID, signer crypto.Signer, verifier crypto.Verifier,
-	timeout time.Duration, genesis types.Hash, persist consensus.Persister) IntraEngine {
+	timeout time.Duration, genesis types.Hash, persist consensus.Persister,
+	reserved func(seq uint64) bool) IntraEngine {
 	if model == types.Byzantine {
 		return pbft.New(pbft.Config{
 			Topology: topo, Cluster: cluster, Self: self,
 			Signer: signer, Verifier: verifier, Timeout: timeout, Persist: persist,
+			Reserved: reserved,
 		}, genesis)
 	}
 	return paxos.New(paxos.Config{
 		Topology: topo, Cluster: cluster, Self: self, Timeout: timeout, Persist: persist,
+		Reserved: reserved,
 	}, genesis)
 }
 
@@ -122,6 +134,13 @@ func batchInvolved(txs []*types.Transaction) (types.ClusterSet, bool) {
 	return inv, true
 }
 
+// crossLeadDepth caps pipelined same-set cross-shard leads. Depth 2 keeps
+// the next attempt's PROPOSE pre-positioned (parked) at every participant so
+// the hand-off after a commit costs zero hops, while deeper pipelines only
+// add parked-proposal rescans and lead bookkeeping — the per-chain commit
+// cadence is one block per accept/commit ping-pong regardless of depth.
+const crossLeadDepth = 2
+
 // validBits evaluates validate over the batch and packs the verdicts into
 // the per-transaction validity bitmap (bit i = transaction i valid).
 func validBits(txs []*types.Transaction, validate func(*types.Transaction) bool) uint64 {
@@ -138,8 +157,26 @@ func validBits(txs []*types.Transaction, validate func(*types.Transaction) bool)
 // failure model.
 type crossEngine interface {
 	// Initiate starts flattened consensus on a batch of transactions that
-	// share one involved-cluster set (initiator primary only).
+	// share one involved-cluster set (initiator primary only). Callers check
+	// CanInitiate first; several leads may be in flight at once.
 	Initiate(txs []*types.Transaction, now time.Time) []consensus.Outbound
+	// CanInitiate reports whether a new lead over the involved-cluster set
+	// may launch alongside the in-flight ones: the conflict table admits
+	// identical sets (they pipeline FIFO) and sets disjoint outside the own
+	// cluster (they never contend), up to the lead cap.
+	CanInitiate(involved types.ClusterSet) bool
+	// ActiveLeads reports the in-flight leads over exactly this set, so the
+	// scheduler can keep accumulating a batch while one works (launching
+	// every arrival as a batch-of-one forfeits the amortization batching
+	// buys).
+	ActiveLeads(involved types.ClusterSet) int
+	// NeedsSlot reports whether an in-flight lead is still waiting to cast
+	// its own vote; the node's scheduler must let the chain drain then
+	// instead of feeding it new intra-shard proposals.
+	NeedsSlot() bool
+	// Stats reports the scheduler-observability counters (leads in flight,
+	// conflict-table size, parks, withdraws, deferral precision).
+	Stats() types.SchedStats
 	// Step consumes a cross-shard protocol message.
 	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []crossDecision)
 	// OnChainAdvanced is called after the local chain appends a block, so

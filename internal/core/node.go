@@ -57,8 +57,16 @@ type NodeConfig struct {
 	// MaxInFlight bounds the number of pipelined intra-shard consensus
 	// instances above the committed head. Requests arriving while the
 	// pipeline is full accumulate into the next batch instead of opening
-	// ever more instances.
+	// ever more instances. It also caps the initiator's pipelined
+	// cross-shard leads (the conflict table admits up to MaxInFlight
+	// compatible attempts at once).
 	MaxInFlight int
+
+	// SerializeCross restores the pre-conflict-table scheduler for A/B
+	// measurement: one cross-shard lead at a time, initiation gated on a
+	// fully drained chain, and node-wide deferral of intra-shard proposals
+	// while any cross-shard slot vote is held.
+	SerializeCross bool
 
 	// Storage, when non-nil, is the replica's durability subsystem: the
 	// node logs committed blocks and acceptor state through it
@@ -145,6 +153,10 @@ type Node struct {
 
 	intra IntraEngine
 	cross crossEngine
+	// table is the conflict table shared with the cross engine: the single
+	// authority over the node's cross-shard slot vote and lead admission,
+	// consulted by dispatch for slot-precise deferral.
+	table *consensus.ConflictTable
 
 	view  *ledger.View
 	store *state.Store
@@ -159,14 +171,24 @@ type Node struct {
 	// intraSince is when the oldest accumulated intra-shard request
 	// arrived, driving the BatchTimeout partial-batch flush.
 	intraSince time.Time
+	// crossArrived timestamps queued cross-shard requests, driving the
+	// per-set BatchTimeout accumulation in takeLaunchableBatch.
+	crossArrived map[types.TxID]time.Time
 	// queued tracks membership of the two queues so client retransmissions
 	// of queued transactions are not enqueued twice.
 	queued map[types.TxID]bool
-	// Intra-shard proposals deferred while locked (§3.2: a locked node
-	// does not process other transactions).
-	deferred []*types.Envelope
+	// Intra-shard messages deferred because they would bind the chain slot
+	// the held cross-shard vote promised away (§3.2), replayed when the
+	// conflict table changes. deferredGen is the table generation the
+	// deferred batch was parked against.
+	deferred    []*types.Envelope
+	deferredGen uint64
 	// Cross-shard decisions whose parent has not caught up locally yet.
 	pendingApply []crossDecision
+	// crossWantsDrain is set by the launcher when a queued fresh cross-shard
+	// batch is waiting for the chain to drain so this initiator can
+	// self-vote at launch; intra proposing yields to it (cross priority).
+	crossWantsDrain bool
 
 	replyCache *consensus.ReplyCache
 	// inFlight dedups client retransmissions against proposals that are
@@ -217,20 +239,21 @@ type Node struct {
 func NewNode(cfg NodeConfig) *Node {
 	cfg.fillDefaults()
 	n := &Node{
-		cfg:        cfg,
-		inbox:      cfg.Net.Register(cfg.Self),
-		view:       ledger.NewView(cfg.Cluster),
-		store:      state.NewStore(cfg.Cluster, cfg.Shards),
-		replyCache: consensus.NewReplyCache(replyCacheSize),
-		inFlight:   make(map[types.TxID]time.Time),
-		forwarded:  make(map[types.TxID]*forwardedReq),
-		queued:     make(map[types.TxID]bool),
-		failedTx:   make(map[types.TxID]bool),
-		lastAppend: time.Now(),
-		syncVotes:  make(map[uint64]map[types.NodeID]types.Hash),
-		syncBlocks: make(map[uint64]map[types.Hash]*types.Block),
-		stopCh:     make(chan struct{}),
-		doneCh:     make(chan struct{}),
+		cfg:          cfg,
+		inbox:        cfg.Net.Register(cfg.Self),
+		view:         ledger.NewView(cfg.Cluster),
+		store:        state.NewStore(cfg.Cluster, cfg.Shards),
+		replyCache:   consensus.NewReplyCache(replyCacheSize),
+		crossArrived: make(map[types.TxID]time.Time),
+		inFlight:     make(map[types.TxID]time.Time),
+		forwarded:    make(map[types.TxID]*forwardedReq),
+		queued:       make(map[types.TxID]bool),
+		failedTx:     make(map[types.TxID]bool),
+		lastAppend:   time.Now(),
+		syncVotes:    make(map[uint64]map[types.NodeID]types.Hash),
+		syncBlocks:   make(map[uint64]map[types.Hash]*types.Block),
+		stopCh:       make(chan struct{}),
+		doneCh:       make(chan struct{}),
 	}
 	genesis := ledger.GenesisHash()
 	// A nil *storage.Store must stay a nil Persister interface.
@@ -238,10 +261,20 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.Storage != nil {
 		persist = cfg.Storage
 	}
-	n.intra = newIntraEngine(cfg.Model, cfg.Topology, cfg.Cluster, cfg.Self,
-		cfg.Signer, cfg.Verifier, cfg.IntraTimeout, genesis, persist)
 	status := n.chainStatus
 	validate := func(tx *types.Transaction) bool { return n.store.Validate(tx) == nil }
+	// The conflict table is the scheduling authority shared between the
+	// cross engine (slot votes, lead admission) and the node (slot-precise
+	// deferral of intra proposals). The legacy serialized scheduler is one
+	// lead with whole-node deferral.
+	n.table = consensus.NewConflictTable(cfg.Cluster)
+	maxLeads := cfg.MaxInFlight
+	if cfg.SerializeCross {
+		maxLeads = 1
+	}
+	n.intra = newIntraEngine(cfg.Model, cfg.Topology, cfg.Cluster, cfg.Self,
+		cfg.Signer, cfg.Verifier, cfg.IntraTimeout, genesis, persist,
+		n.table.ConflictsIntra)
 	// Cross-shard protocol selection: the crash-only Algorithm 1 applies
 	// only when every cluster is crash-only; as soon as any cluster may
 	// lie, the decentralized Algorithm 2 runs deployment-wide with
@@ -249,10 +282,10 @@ func NewNode(cfg NodeConfig) *Node {
 	// ones) — the hybrid arrangement §3.4 sketches via SeeMoRe.
 	if cfg.Topology.AnyByzantine() {
 		n.cross = newXByz(cfg.Topology, cfg.Cluster, cfg.Self, cfg.Signer, cfg.Verifier,
-			status, validate, cfg.LockTimeout, cfg.RetryTimeout, cfg.Seed)
+			n.table, status, validate, cfg.LockTimeout, cfg.RetryTimeout, maxLeads, cfg.Seed)
 	} else {
 		n.cross = newXCrash(cfg.Topology, cfg.Cluster, cfg.Self,
-			status, validate, cfg.LockTimeout, cfg.RetryTimeout, cfg.Seed)
+			n.table, status, validate, cfg.LockTimeout, cfg.RetryTimeout, maxLeads, cfg.Seed)
 	}
 	if cfg.Storage != nil {
 		n.recoverChain(cfg.Storage.Recovered())
@@ -280,8 +313,9 @@ func (n *Node) recoverChain(rec *storage.Recovered) {
 		n.recoveredBlocks++
 	}
 	if seq := uint64(n.view.Len() - 1); seq > 0 {
-		// Advance the engine to the recovered head; outbound messages are
-		// impossible here (nothing is parked in a fresh engine).
+		// Advance the engine to the recovered head; outbound messages and
+		// decisions are impossible here (nothing is parked in a fresh
+		// engine).
 		n.intra.SyncChainHead(seq, n.view.Head(), now)
 	}
 	n.intra.Restore(rec.View, rec.Promised, rec.Accepted, now)
@@ -392,13 +426,15 @@ func (n *Node) DebugTrace() []string {
 // correct run; tests assert on it).
 func (n *Node) Anomalies() int64 { return n.anomalies.Load() }
 
-// chainStatus reports the local chain state to the cross-shard engine.
+// chainStatus reports the local chain state to the cross-shard engine. The
+// committed seq/head pair is read atomically (HeadInfo): seq+1 is the chain
+// slot a cross-shard vote reserves in the conflict table.
 func (n *Node) chainStatus() chainStatus {
 	pSeq, _ := n.intra.ProposedHead()
-	cSeq := uint64(n.view.Len() - 1)
+	cSeq, head := n.view.HeadInfo()
 	return chainStatus{
 		Seq:  cSeq,
-		Head: n.view.Head(),
+		Head: head,
 		// Values retained across a view change also block draining: they may
 		// hold a commit quorum at the deposed primary, and a cross-shard
 		// block voted on the current head would fork the chain against them.
@@ -483,15 +519,24 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 
 	case types.MsgPaxosAccept, types.MsgPrePrepare,
 		types.MsgViewChange, types.MsgNewView:
-		// New intra-shard proposals are deferred while the cross-shard lock
-		// is held: a locked node must not vote on other transactions. View
-		// changes defer too — a new primary's value recovery re-proposes
-		// intra values immediately, which would bind the chain slot this
-		// node's cross-shard vote has already promised away. The lock is
-		// released by commit, abort, or expiry, so deferral is bounded.
-		if n.cross.Locked() {
+		// An intra-shard proposal that would bind the chain slot a held
+		// cross-shard vote has promised away is deferred until the vote
+		// resolves (commit, abort, or expiry — deferral is bounded).
+		// Proposals for OTHER slots are processed: the conflict table makes
+		// the §3.2 rule slot-precise instead of node-wide, so a locked node
+		// keeps voting on non-conflicting intra batches (a lagging replica
+		// catching up, pipelined instances above the reservation). View
+		// changes still defer conservatively — a new primary's value
+		// recovery re-proposes values at arbitrary slots, including the
+		// reserved one.
+		if deferIntra(n.table, n.cfg.SerializeCross, env) {
+			n.table.NoteDefer()
+			n.deferredGen = n.table.Gen()
 			n.deferred = append(n.deferred, env)
 			return
+		}
+		if n.table.Held() {
+			n.table.NoteDeferAvoided()
 		}
 		outs, decs := n.intra.Step(env, now)
 		n.send(outs)
@@ -517,6 +562,9 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 	case types.MsgTraceRequest:
 		n.onTraceRequest(env)
 
+	case types.MsgStatsRequest:
+		n.onStatsRequest(env)
+
 	default:
 		// Replies and baseline-only traffic are not for us.
 	}
@@ -526,7 +574,9 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 func (n *Node) tick(now time.Time) {
 	n.tickCount++
 	n.checkForwards(now)
-	n.send(n.intra.Tick(now))
+	iouts, idecs := n.intra.Tick(now)
+	n.send(iouts)
+	n.applyIntra(idecs, now)
 	outs, decs := n.cross.Tick(now)
 	n.send(outs)
 	n.applyCross(decs, now)
@@ -722,10 +772,53 @@ func (n *Node) adoptBlock(b *types.Block, now time.Time) bool {
 		n.execute(tx, true)
 	}
 	seq := uint64(n.view.Len() - 1)
-	outs, orphans := n.intra.SyncChainHead(seq, b.Hash(), now)
+	outs, decs, orphans := n.intra.SyncChainHead(seq, b.Hash(), now)
 	n.send(outs)
 	n.requeueOrphans(orphans)
+	n.applyIntra(decs, now)
 	return true
+}
+
+// deferIntra decides whether an intra-shard protocol message must wait for
+// the held cross-shard slot vote. With the conflict table the test is
+// slot-precise: only a proposal at the reserved slot (or the view-change
+// machinery, which may re-bind it) defers. The serialized legacy scheduler
+// defers everything node-wide, as the pre-table engines did.
+func deferIntra(table *consensus.ConflictTable, serialize bool, env *types.Envelope) bool {
+	if !table.Held() {
+		return false
+	}
+	if serialize {
+		return true
+	}
+	switch env.Type {
+	case types.MsgViewChange, types.MsgNewView:
+		return true
+	}
+	seq, ok := types.PeekConsensusSeq(env.Payload)
+	if !ok {
+		return false // malformed; the engine drops it anyway
+	}
+	return table.ConflictsIntra(seq)
+}
+
+// Counters reports the node's cross-shard scheduler counters: protocol
+// events, leads in flight, conflict-table size, and deferral precision.
+// Like DebugTrace, read it only on a stopped or quiesced node — live
+// deployments fetch a consistent copy over the wire (MsgStatsRequest),
+// which the event loop answers itself.
+func (n *Node) Counters() *types.SchedStats {
+	s := n.cross.Stats()
+	s.Node = n.cfg.Self
+	return &s
+}
+
+// onStatsRequest answers a scheduler-observability fetch (sharperd -drive
+// prints the deployment-wide aggregate after its audit).
+func (n *Node) onStatsRequest(env *types.Envelope) {
+	n.cfg.Net.Send(env.From, &types.Envelope{
+		Type: types.MsgStatsResponse, From: n.cfg.Self, Payload: n.Counters().Encode(nil),
+	})
 }
 
 // onTraceRequest answers a debug trace fetch with this node's protocol
@@ -879,10 +972,20 @@ func (n *Node) inFlightIntra() int {
 // requests to amortize the instance's quorum cost.
 func (n *Node) flushIntra(now time.Time) {
 	for len(n.pendingIntra) > 0 {
-		// Queued or parked cross-shard work has priority: new intra
-		// proposals would keep the chain from draining and starve the
-		// flattened protocol.
-		if n.cross.Locked() || n.cross.Waiting() > 0 || len(n.pendingCross) > 0 {
+		// Cross-shard work that needs the chain drained has priority: new
+		// intra proposals would keep it from draining and starve the
+		// flattened protocol. That means parked cross proposals awaiting a
+		// vote, a held slot vote (the next proposal slot is exactly the
+		// reserved one), and a lead still waiting to cast its own vote.
+		// Merely-queued cross batches (accumulating toward BatchSize behind
+		// an in-flight lead) do NOT block intra — under the serialized
+		// legacy scheduler they did, which starved intra whenever the cross
+		// queue never emptied.
+		if n.cross.Locked() || n.cross.Waiting() > 0 || n.cross.NeedsSlot() ||
+			n.crossWantsDrain {
+			return
+		}
+		if n.cfg.SerializeCross && len(n.pendingCross) > 0 {
 			return
 		}
 		inFlight := n.inFlightIntra()
@@ -924,6 +1027,7 @@ func (n *Node) proposeCross(tx *types.Transaction, now time.Time) {
 		return
 	}
 	n.queued[tx.ID] = true
+	n.crossArrived[tx.ID] = now
 	n.pendingCross = append(n.pendingCross, tx)
 	// maybeLaunch (called after every dispatch) initiates immediately when
 	// the node is free, so an uncontended request still proposes in the
@@ -948,32 +1052,56 @@ func (n *Node) takeCrossBatch() []*types.Transaction {
 	n.pendingCross = rest
 	for _, tx := range batch {
 		delete(n.queued, tx.ID)
+		delete(n.crossArrived, tx.ID)
 	}
 	return batch
 }
 
 // maybeLaunch makes progress on whatever the node was forced to postpone:
-// deferred intra proposals after a lock clears, then queued cross-shard
-// initiations once the chain drains, then the accumulated intra batch. It is
-// called after every dispatch and tick, so no unlock transition is missed.
+// deferred intra messages whose slot conflict may have cleared, queued
+// cross-shard initiations the conflict table admits, then the accumulated
+// intra batch. It is called after every dispatch and tick, so no release
+// transition is missed.
 func (n *Node) maybeLaunch(now time.Time) {
-	if n.cross.Locked() {
+	n.replayDeferred(now)
+	n.launchCross(now)
+	n.flushIntra(now)
+}
+
+// replayDeferred re-dispatches deferred intra messages when the conflict
+// table has changed since they parked (messages that still conflict simply
+// re-defer). Skipped while the same slot vote that parked them is still
+// held unchanged — nothing can have become eligible.
+func (n *Node) replayDeferred(now time.Time) {
+	if len(n.deferred) == 0 {
 		return
 	}
-	if len(n.deferred) > 0 {
-		envs := n.deferred
-		n.deferred = nil
-		for _, env := range envs {
-			// dispatch re-defers the rest if the node re-locks mid-replay.
-			n.dispatch(env, now)
-		}
-		if n.cross.Locked() {
-			return
-		}
+	if n.table.Held() && n.table.Gen() == n.deferredGen {
+		return
 	}
-	if len(n.pendingCross) > 0 {
-		if !n.chainStatus().Drained {
-			return // wait for in-flight intra proposals to land
+	n.deferredGen = n.table.Gen()
+	envs := n.deferred
+	n.deferred = nil
+	for _, env := range envs {
+		// dispatch re-defers whatever still conflicts.
+		n.dispatch(env, now)
+	}
+}
+
+// launchCross initiates every queued cross-shard batch the scheduler
+// admits. The conflict-aware path walks the queue in arrival order and
+// skips involved-cluster sets blocked by an in-flight conflicting lead, so
+// a blocked head-of-line set no longer stalls later disjoint sets; the
+// legacy serialized path (SerializeCross) launches one batch at a time and
+// only on a fully drained, unlocked chain.
+func (n *Node) launchCross(now time.Time) {
+	n.crossWantsDrain = false
+	if len(n.pendingCross) == 0 {
+		return
+	}
+	if n.cfg.SerializeCross {
+		if n.cross.Locked() || len(n.deferred) > 0 || !n.chainStatus().Drained {
+			return
 		}
 		batch := n.takeCrossBatch()
 		for _, tx := range batch {
@@ -982,9 +1110,109 @@ func (n *Node) maybeLaunch(now time.Time) {
 		n.send(n.cross.Initiate(batch, now))
 		return
 	}
-	if n.cross.Waiting() == 0 {
-		n.flushIntra(now)
+	for len(n.pendingCross) > 0 {
+		batch := n.takeLaunchableBatch(now)
+		if batch == nil {
+			return
+		}
+		for _, tx := range batch {
+			n.inFlight[tx.ID] = now
+		}
+		n.send(n.cross.Initiate(batch, now))
 	}
+}
+
+// takeLaunchableBatch removes and returns the earliest queued cross-shard
+// batch whose involved-cluster set the conflict table admits, coalescing
+// later queued transactions with the same set up to BatchSize. A set that
+// already has a lead in flight keeps accumulating until its batch fills or
+// its oldest request has waited BatchTimeout — launching every arrival as a
+// batch-of-one would forfeit the amortization batching buys while gaining
+// nothing (the participants grant the pipelined attempts serially anyway).
+// It returns nil when every queued set is blocked or still accumulating.
+func (n *Node) takeLaunchableBatch(now time.Time) []*types.Transaction {
+	launchIdx := -1
+	var set types.ClusterSet
+	var skipped []types.ClusterSet
+	// A FRESH attempt (no same-set lead in flight) launches only when this
+	// initiator can cast its own vote immediately: the slot vote free and
+	// the chain drained. The initiator is the minimum involved cluster
+	// (super-primary routing), so self-voting at launch means every attempt
+	// acquires its lowest cluster's slot before any higher one — the
+	// lock-ordering that keeps the cross-shard waits-for graph acyclic.
+	// Launching fresh attempts while locked let an attempt hold a higher
+	// cluster while waiting for its own, and four-cluster wait cycles
+	// stalled the deployment on withdraw timers for hundreds of ms.
+	// Same-set followers are exempt: they wait only on their already-
+	// decided predecessor, which releases unconditionally.
+	freshOK := !n.cross.Locked() && n.chainStatus().Drained
+scan:
+	for i, tx := range n.pendingCross {
+		for _, s := range skipped {
+			if s.Equal(tx.Involved) {
+				continue scan
+			}
+		}
+		if !n.cross.CanInitiate(tx.Involved) {
+			skipped = append(skipped, tx.Involved)
+			continue
+		}
+		if n.cross.ActiveLeads(tx.Involved) == 0 {
+			if !freshOK {
+				// Signal flushIntra to stop feeding the pipeline: this
+				// fresh attempt needs the chain drained to launch.
+				n.crossWantsDrain = true
+				skipped = append(skipped, tx.Involved)
+				continue
+			}
+		} else if now.Sub(n.crossArrived[tx.ID]) < n.cfg.RetryTimeout {
+			// A lead over this set is already working: only a FULL follow-up
+			// batch launches alongside it, and only when batching is on at
+			// all. Partial batches wait for the in-flight lead to decide
+			// (the launch then happens in the same dispatch, exactly the
+			// serialized cadence) — splitting batches across pipelined leads
+			// costs more per-block overhead than the pipelining recovers,
+			// and single-transaction "batches" gain nothing from a follower
+			// (the per-chain commit cadence is one block per accept/commit
+			// round trip regardless). The RetryTimeout fallback bounds the
+			// wait behind a wedged (dormant, backing-off) lead.
+			full := false
+			if n.cfg.BatchSize > 1 {
+				count := 0
+				for _, later := range n.pendingCross[i:] {
+					if later.Involved.Equal(tx.Involved) {
+						count++
+					}
+				}
+				full = count >= n.cfg.BatchSize
+			}
+			if !full {
+				skipped = append(skipped, tx.Involved)
+				continue
+			}
+		}
+		launchIdx = i
+		set = tx.Involved
+		break
+	}
+	if launchIdx < 0 {
+		return nil
+	}
+	batch := make([]*types.Transaction, 0, n.cfg.BatchSize)
+	rest := n.pendingCross[:0]
+	for i, tx := range n.pendingCross {
+		if i >= launchIdx && len(batch) < n.cfg.BatchSize && tx.Involved.Equal(set) {
+			batch = append(batch, tx)
+		} else {
+			rest = append(rest, tx)
+		}
+	}
+	n.pendingCross = rest
+	for _, tx := range batch {
+		delete(n.queued, tx.ID)
+		delete(n.crossArrived, tx.ID)
+	}
+	return batch
 }
 
 // applyIntra appends intra-shard decisions to the ledger, executes every
@@ -1031,14 +1259,7 @@ func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 	// alone) must still append — duplicates across blocks are tolerated by
 	// the ledger and execution is idempotent, while skipping would silently
 	// drop the globally-decided fresh transactions in the batch.
-	allContained := true
-	for _, tx := range d.Txs {
-		if !n.view.Contains(tx.ID) {
-			allContained = false
-			break
-		}
-	}
-	if allContained {
+	if n.view.ContainsAll(d.Txs) {
 		return
 	}
 	if d.Hashes[slot] != n.view.Head() {
@@ -1057,9 +1278,10 @@ func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 		n.execute(tx, d.Valid&(1<<uint(i)) != 0)
 	}
 	seq := uint64(n.view.Len() - 1)
-	outs, orphans := n.intra.SyncChainHead(seq, block.Hash(), now)
+	outs, decs, orphans := n.intra.SyncChainHead(seq, block.Hash(), now)
 	n.send(outs)
 	n.requeueOrphans(orphans)
+	n.applyIntra(decs, now)
 	n.afterChainAdvance(now)
 }
 

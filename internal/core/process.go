@@ -38,6 +38,8 @@ type ProcessConfig struct {
 	BatchSize    int
 	BatchTimeout time.Duration
 	MaxInFlight  int
+	// SerializeCross restores the legacy serialized cross-shard scheduler.
+	SerializeCross bool
 	// DisableSuperPrimary turns off §3.2 super-primary routing.
 	DisableSuperPrimary bool
 
@@ -108,24 +110,25 @@ func NewProcessNode(cfg ProcessConfig) (*Node, error) {
 		}
 	}
 	return NewNode(NodeConfig{
-		Model:        cfg.Topo.ModelOf(cluster),
-		Topology:     cfg.Topo,
-		Cluster:      cluster,
-		Self:         cfg.Self,
-		Net:          cfg.Fabric,
-		Shards:       state.ShardMap{NumShards: len(cfg.Topo.Clusters)},
-		Signer:       signer,
-		Verifier:     verifier,
-		IntraTimeout: cfg.IntraTimeout,
-		LockTimeout:  cfg.LockTimeout,
-		RetryTimeout: cfg.RetryTimeout,
-		TickInterval: cfg.TickInterval,
-		BatchSize:    cfg.BatchSize,
-		BatchTimeout: cfg.BatchTimeout,
-		MaxInFlight:  cfg.MaxInFlight,
-		SuperPrimary: !cfg.DisableSuperPrimary,
-		Seed:         cfg.Seed + int64(cfg.Self) + 2,
-		Storage:      st,
+		Model:          cfg.Topo.ModelOf(cluster),
+		Topology:       cfg.Topo,
+		Cluster:        cluster,
+		Self:           cfg.Self,
+		Net:            cfg.Fabric,
+		Shards:         state.ShardMap{NumShards: len(cfg.Topo.Clusters)},
+		Signer:         signer,
+		Verifier:       verifier,
+		IntraTimeout:   cfg.IntraTimeout,
+		LockTimeout:    cfg.LockTimeout,
+		RetryTimeout:   cfg.RetryTimeout,
+		TickInterval:   cfg.TickInterval,
+		BatchSize:      cfg.BatchSize,
+		BatchTimeout:   cfg.BatchTimeout,
+		MaxInFlight:    cfg.MaxInFlight,
+		SerializeCross: cfg.SerializeCross,
+		SuperPrimary:   !cfg.DisableSuperPrimary,
+		Seed:           cfg.Seed + int64(cfg.Self) + 2,
+		Storage:        st,
 	}), nil
 }
 

@@ -254,16 +254,16 @@ func (e *Engine) advanceFrom(inst *instance, seq uint64) []consensus.Decision {
 }
 
 // Tick fires backup timers and triggers a view change on a stuck proposal.
-func (e *Engine) Tick(now time.Time) []consensus.Outbound {
+func (e *Engine) Tick(now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	if e.IsPrimary() || e.viewChanging {
-		return nil
+		return nil, nil
 	}
 	for seq, inst := range e.instances {
 		if seq > e.committedSeq && len(inst.txs) > 0 && !inst.committed && now.After(inst.deadline) {
-			return e.startViewChange(e.view + 1)
+			return e.startViewChange(e.view + 1), nil
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func (e *Engine) startViewChange(newView uint64) []consensus.Outbound {

@@ -70,6 +70,32 @@ func (v *View) Head() types.Hash {
 	return v.hashes[len(v.hashes)-1]
 }
 
+// HeadInfo returns the committed head's sequence (Len-1) and hash as one
+// consistent pair under a single lock acquisition. The pair defines the next
+// chain slot — seq+1, extending head — which is what a cross-shard vote
+// promises away; reading Len and Head separately could interleave with an
+// append and misreport the reservation.
+func (v *View) HeadInfo() (uint64, types.Hash) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return uint64(len(v.blocks) - 1), v.hashes[len(v.hashes)-1]
+}
+
+// ContainsAll reports whether every transaction of the batch is already
+// committed in the view — the dedup test for re-delivered cross-shard
+// decisions (a partially contained batch must still append; see the
+// runtime's apply path).
+func (v *View) ContainsAll(txs []*types.Transaction) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, tx := range txs {
+		if _, ok := v.byTx[tx.ID]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Len returns the number of blocks including genesis.
 func (v *View) Len() int {
 	v.mu.RLock()

@@ -57,6 +57,26 @@ func TestViewChaining(t *testing.T) {
 	}
 }
 
+func TestViewHeadInfoAndContainsAll(t *testing.T) {
+	v := NewView(0)
+	if seq, head := v.HeadInfo(); seq != 0 || head != GenesisHash() {
+		t.Fatalf("fresh view head info = (%d, %s)", seq, head)
+	}
+	t1 := intraTx(types.ClientIDBase+1, 1, 0)
+	b := appendIntra(t, v, t1)
+	seq, head := v.HeadInfo()
+	if seq != 1 || head != b.Hash() {
+		t.Fatalf("head info = (%d, %s), want (1, %s)", seq, head, b.Hash())
+	}
+	t2 := intraTx(types.ClientIDBase+1, 2, 0)
+	if !v.ContainsAll([]*types.Transaction{t1}) {
+		t.Fatal("committed batch not contained")
+	}
+	if v.ContainsAll([]*types.Transaction{t1, t2}) {
+		t.Fatal("partially committed batch reported contained")
+	}
+}
+
 func TestViewRejectsWrongParent(t *testing.T) {
 	v := NewView(0)
 	appendIntra(t, v, intraTx(types.ClientIDBase+1, 1, 0))

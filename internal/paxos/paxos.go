@@ -78,6 +78,9 @@ type Engine struct {
 	// restarted acceptor cannot renege on a promise or an acceptance.
 	persist consensus.Persister
 
+	// reserved consults the cross-shard conflict table (see Config.Reserved).
+	reserved func(seq uint64) bool
+
 	// trace is a bounded ring of protocol events for post-mortem debugging
 	// (see DebugTrace), recorded only when SHARPER_TRACE is set — the
 	// formatting is not free on the benchmark hot path.
@@ -90,10 +93,12 @@ func (e *Engine) tracef(format string, args ...interface{}) {
 	if !e.traceOn {
 		return
 	}
-	if len(e.trace) >= 512 {
+	if len(e.trace) >= 2048 {
 		e.trace = e.trace[1:]
 	}
-	e.trace = append(e.trace, fmt.Sprintf(format, args...))
+	// The wall-clock prefix lets a divergence hunt merge this ring with the
+	// cross-shard engine's (and other processes') into one timeline.
+	e.trace = append(e.trace, fmt.Sprintf("%d ", time.Now().UnixMilli()%100000)+fmt.Sprintf(format, args...))
 }
 
 // DebugTrace returns the recent protocol events (oldest first).
@@ -140,6 +145,15 @@ type Config struct {
 	// Persist, when non-nil, is the stable-storage hook for acceptor state
 	// (persist-before-ack; see consensus.Persister).
 	Persist consensus.Persister
+	// Reserved, when non-nil, reports whether the node's cross-shard engine
+	// holds this node's vote for the given chain slot (§3.2: a node must
+	// never vote for two values at one slot). The engine refuses to accept
+	// or propose an intra-shard binding at a reserved slot — it parks the
+	// proposal instead and retries when the reservation clears. This check
+	// sits at the vote boundary because proposals reach it through internal
+	// paths (parked-gap retries, view-change re-proposals) that never pass
+	// the node's dispatch-level deferral.
+	Reserved func(seq uint64) bool
 }
 
 // New creates an engine starting at view 0 with the genesis head.
@@ -159,8 +173,15 @@ func New(cfg Config, genesis types.Hash) *Engine {
 		vcVotes:       make(map[uint64]map[types.NodeID]*types.ViewChange),
 		timeout:       cfg.Timeout,
 		persist:       cfg.Persist,
+		reserved:      cfg.Reserved,
 		traceOn:       os.Getenv("SHARPER_TRACE") != "",
 	}
+}
+
+// slotReserved reports whether the cross-shard engine holds this node's vote
+// for the chain slot.
+func (e *Engine) slotReserved(seq uint64) bool {
+	return e.reserved != nil && e.reserved(seq)
 }
 
 // persistAccept records the instance's current binding if it changed since
@@ -281,14 +302,24 @@ func (e *Engine) ProposedHead() (uint64, types.Hash) { return e.proposedSeq, e.p
 // proposals that no longer extend the chain are discarded — their clients
 // retransmit — and out-of-order proposals parked earlier are retried; any
 // resulting outbound messages are returned.
-func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction) {
+func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []consensus.Decision, []*types.Transaction) {
+	if seq <= e.committedSeq {
+		// Stale: the engine has already committed past (or to) this height,
+		// so the caller's chain is catching up to knowledge the engine
+		// holds. Rewinding the proposal chain here would discard
+		// accepted-but-uncommitted instances above seq — acceptances other
+		// nodes may have counted toward commit quorums — and a node whose
+		// erased acceptance later lets it vote a cross-shard block into one
+		// of those slots forks the cluster.
+		e.tracef("sync-head-stale seq=%d (c=%d p=%d)", seq, e.committedSeq, e.proposedSeq)
+		return nil, nil, nil
+	}
+	e.tracef("sync-head seq=%d head=%s (was c=%d p=%d parked=%d)", seq, head,
+		e.committedSeq, e.proposedSeq, len(e.parked))
 	e.proposedSeq = seq
 	e.proposedHead = head
-	if seq > e.committedSeq {
-		e.committedSeq = seq
-		e.committedHead = head
-	}
-	e.tracef("sync-head seq=%d head=%s", seq, head)
+	e.committedSeq = seq
+	e.committedHead = head
 	// Slots at or below the new head are decided; their instances are
 	// stale. This node's own uncommitted proposals among them are handed
 	// back for re-proposal (the runtime dedups against the chain).
@@ -335,10 +366,10 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 			delete(e.parked, s)
 		}
 	}
-	out := e.retryParked(now)
+	out, decs := e.retryParked(now)
 	// The synced block may have satisfied the recovery barrier.
 	out = append(out, e.drainRepropose(now)...)
-	return out, orphans
+	return out, decs, orphans
 }
 
 // HasUncommitted reports whether any consensus instance with a known body
@@ -362,19 +393,30 @@ func (e *Engine) HasUncommitted() bool {
 	return false
 }
 
-// retryParked replays parked accepts that may now extend the chain.
-func (e *Engine) retryParked(now time.Time) []consensus.Outbound {
+// retryParked replays parked accepts that may now extend the chain. The
+// decisions it surfaces MUST reach the caller: a parked proposal whose
+// commit raced ahead delivers the moment its body is accepted, and dropping
+// that decision leaves the engine's committed state ahead of the ledger —
+// the desync behind a whole class of intra/cross forks (the chain heals by
+// sync, the backward head reset erases live acceptances, and the node votes
+// a cross-shard block into a slot it had already promised to intra).
+func (e *Engine) retryParked(now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	var out []consensus.Outbound
+	var decs []consensus.Decision
 	for {
+		if e.slotReserved(e.proposedSeq + 1) {
+			return out, decs // the slot is promised to a cross-shard vote
+		}
 		env, ok := e.parked[e.proposedSeq+1]
 		if !ok {
-			return out
+			return out, decs
 		}
 		delete(e.parked, e.proposedSeq+1)
-		o, _ := e.onAccept(env, now)
+		o, d := e.onAccept(env, now)
 		out = append(out, o...)
+		decs = append(decs, d...)
 		if len(o) == 0 {
-			return out // still not acceptable; avoid spinning
+			return out, decs // still not acceptable; avoid spinning
 		}
 	}
 }
@@ -393,6 +435,11 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 		return nil, 0
 	}
 	seq := e.proposedSeq + 1
+	if e.slotReserved(seq) {
+		// The cross-shard engine holds this node's vote for the slot; the
+		// batch stays queued until the reservation resolves.
+		return nil, 0
+	}
 	parent := e.proposedHead
 	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
 	digest := block.BatchDigest()
@@ -497,6 +544,15 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 	case m.PrevHashes[0] != e.proposedHead:
 		return nil, nil // does not extend our chain (stale across a cross-shard commit)
 	}
+	if e.slotReserved(m.Seq) {
+		// This node's cross-shard vote has promised the slot away (§3.2);
+		// acknowledging an intra-shard binding there would vote twice at one
+		// height. Park the proposal: it retries when the reservation clears
+		// (cross commit advancing the chain, or abort/expiry via Tick).
+		e.tracef("reserve-park v=%d seq=%d d=%s", m.View, m.Seq, m.Digest)
+		e.parked[m.Seq] = env
+		return nil, nil
+	}
 	inst, ok := e.instances[m.Seq]
 	if !ok {
 		inst = &instance{accepted: make(map[types.NodeID]bool)}
@@ -537,10 +593,11 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		To:  []types.NodeID{env.From},
 		Env: &types.Envelope{Type: types.MsgPaxosAccepted, From: e.self, Payload: reply.Encode(nil)},
 	}}
-	out = append(out, e.retryParked(now)...)
 	// A commit may have arrived before this proposal (network reordering):
 	// now that the transaction body is known, the decision can deliver.
-	return out, e.advance()
+	decs := e.advance()
+	o2, d2 := e.retryParked(now)
+	return append(out, o2...), append(decs, d2...)
 }
 
 // instanceParent returns the parent hash of the in-flight instance at seq,
@@ -622,6 +679,7 @@ func (e *Engine) advance() []consensus.Decision {
 		e.delivered[seq] = true
 		e.committedSeq = seq
 		e.committedHead = block.Hash()
+		e.tracef("deliver seq=%d d=%s", seq, inst.digest)
 		out = append(out, consensus.Decision{Block: block, Seq: seq})
 		delete(e.instances, seq)
 	}
@@ -632,17 +690,20 @@ func (e *Engine) advance() []consensus.Decision {
 // tick to retry its recovery obligations once chain sync catches it up. A
 // node stuck mid-view-change past its deadline escalates to the next view —
 // the candidate primary may be dead too.
-func (e *Engine) Tick(now time.Time) []consensus.Outbound {
+func (e *Engine) Tick(now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	if e.viewChanging {
 		if now.After(e.vcDeadline) {
 			next := e.promised + 1
 			e.tracef("vc-escalate nv=%d", next)
-			return e.startViewChange(next, now)
+			return e.startViewChange(next, now), nil
 		}
-		return nil
+		return nil, nil
 	}
+	// A slot reservation released without a chain advance (cross-shard abort
+	// or expiry) leaves reserve-parked proposals with no other retry path.
+	out, decs := e.retryParked(now)
 	if e.IsPrimary() {
-		return e.drainRepropose(now)
+		return append(out, e.drainRepropose(now)...), decs
 	}
 	expired := false
 	for seq, inst := range e.instances {
@@ -652,9 +713,9 @@ func (e *Engine) Tick(now time.Time) []consensus.Outbound {
 		}
 	}
 	if !expired {
-		return nil
+		return out, decs
 	}
-	return e.startViewChange(e.view+1, now)
+	return append(out, e.startViewChange(e.view+1, now)...), decs
 }
 
 func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outbound {

@@ -68,7 +68,9 @@ func (h *harness) pump() {
 func (h *harness) tick(d time.Duration) {
 	h.now = h.now.Add(d)
 	for _, id := range h.topo.AllNodes() {
-		h.sendAll(h.engines[id].Tick(h.now))
+		outs, decs := h.engines[id].Tick(h.now)
+		h.sendAll(outs)
+		h.decided[id] = append(h.decided[id], decs...)
 	}
 	h.pump()
 }
@@ -255,7 +257,7 @@ func TestSyncChainHeadResetsPipeline(t *testing.T) {
 	primary.Propose(batch(tx(3)), h.now)
 	// An external (cross-shard) block takes seq 2.
 	external := types.HashBytes([]byte("cross-block"))
-	_, orphans := primary.SyncChainHead(2, external, h.now)
+	_, _, orphans := primary.SyncChainHead(2, external, h.now)
 	if len(orphans) != 2 {
 		t.Fatalf("%d orphans, want 2 (the dead pipeline)", len(orphans))
 	}

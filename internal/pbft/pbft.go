@@ -61,6 +61,15 @@ type Engine struct {
 	// storage before the message they vouch for leaves the node (see
 	// consensus.Persister and paxos.Engine).
 	persist consensus.Persister
+
+	// reserved consults the cross-shard conflict table (see Config.Reserved).
+	reserved func(seq uint64) bool
+}
+
+// slotReserved reports whether the cross-shard engine holds this node's vote
+// for the chain slot.
+func (e *Engine) slotReserved(seq uint64) bool {
+	return e.reserved != nil && e.reserved(seq)
 }
 
 // preparedCand is one value owed to the chain by a deposed view, with the
@@ -112,6 +121,11 @@ type Config struct {
 	// Persist, when non-nil, is the stable-storage hook for acceptor state
 	// (persist-before-ack; see consensus.Persister).
 	Persist consensus.Persister
+	// Reserved, when non-nil, reports whether the node's cross-shard engine
+	// holds this node's vote for the given chain slot (§3.2; see
+	// paxos.Config.Reserved). Pre-prepares at a reserved slot park until
+	// the reservation clears instead of drawing a prepare vote.
+	Reserved func(seq uint64) bool
 }
 
 // New creates an engine at view 0 with the genesis head.
@@ -139,6 +153,7 @@ func New(cfg Config, genesis types.Hash) *Engine {
 		vcVotes:       make(map[uint64]map[types.NodeID]*types.ViewChange),
 		timeout:       cfg.Timeout,
 		persist:       cfg.Persist,
+		reserved:      cfg.Reserved,
 	}
 }
 
@@ -255,13 +270,16 @@ func (e *Engine) ProposedHead() (uint64, types.Hash) { return e.proposedSeq, e.p
 // SyncChainHead advances past a block decided by the cross-shard protocol,
 // discarding in-flight proposals that no longer extend the chain and
 // retrying parked ones.
-func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []*types.Transaction) {
+func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]consensus.Outbound, []consensus.Decision, []*types.Transaction) {
+	if seq <= e.committedSeq {
+		// Stale: rewinding would discard acceptances other nodes may have
+		// counted toward quorums (see paxos.Engine.SyncChainHead).
+		return nil, nil, nil
+	}
 	e.proposedSeq = seq
 	e.proposedHead = head
-	if seq > e.committedSeq {
-		e.committedSeq = seq
-		e.committedHead = head
-	}
+	e.committedSeq = seq
+	e.committedHead = head
 	// Slots at or below the new head are decided; their instances are
 	// stale, and this node's own uncommitted proposals among them are
 	// handed back for re-proposal. Instances above the head survive while
@@ -301,9 +319,9 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 			delete(e.parked, s)
 		}
 	}
-	out := e.retryParked(now)
+	out, decs := e.retryParked(now)
 	out = append(out, e.drainRepropose(now)...)
-	return out, orphans
+	return out, decs, orphans
 }
 
 // HasUncommitted reports whether any consensus instance with a known body
@@ -332,18 +350,25 @@ func (e *Engine) HasUncommitted() bool {
 }
 
 // retryParked replays parked pre-prepares that may now extend the chain.
-func (e *Engine) retryParked(now time.Time) []consensus.Outbound {
+// Decisions surfaced here MUST propagate to the caller (see
+// paxos.Engine.retryParked — dropping them desyncs engine and ledger).
+func (e *Engine) retryParked(now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	var out []consensus.Outbound
+	var decs []consensus.Decision
 	for {
+		if e.slotReserved(e.proposedSeq + 1) {
+			return out, decs // the slot is promised to a cross-shard vote
+		}
 		env, ok := e.parked[e.proposedSeq+1]
 		if !ok {
-			return out
+			return out, decs
 		}
 		delete(e.parked, e.proposedSeq+1)
-		o, _ := e.onPrePrepare(env, now)
+		o, d := e.onPrePrepare(env, now)
 		out = append(out, o...)
+		decs = append(decs, d...)
 		if len(o) == 0 {
-			return out
+			return out, decs
 		}
 	}
 }
@@ -374,6 +399,11 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 		return nil, 0
 	}
 	seq := e.proposedSeq + 1
+	if e.slotReserved(seq) {
+		// The cross-shard engine holds this node's vote for the slot; the
+		// batch stays queued until the reservation resolves.
+		return nil, 0
+	}
 	parent := e.proposedHead
 	block := &types.Block{Txs: txs, Parents: []types.Hash{parent}}
 	digest := block.BatchDigest()
@@ -493,6 +523,13 @@ func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.O
 			return nil, nil
 		}
 	}
+	if e.slotReserved(m.Seq) {
+		// This node's cross-shard vote has promised the slot away (§3.2);
+		// voting prepare for an intra-shard binding there would vote twice
+		// at one height. Park until the reservation resolves.
+		e.parked[m.Seq] = env
+		return nil, nil
+	}
 	inst := e.getInstance(m.Seq)
 	if inst.prePrep && inst.view == m.View && inst.digest != m.Digest {
 		return nil, nil // equivocating primary: keep the first pre-prepare
@@ -524,8 +561,8 @@ func (e *Engine) onPrePrepare(env *types.Envelope, now time.Time) ([]consensus.O
 	out := e.votePrepare(inst, m.Seq)
 	out2, dec := e.maybeProgress(inst, m.Seq)
 	out = append(out, out2...)
-	out = append(out, e.retryParked(now)...)
-	return out, dec
+	o3, d3 := e.retryParked(now)
+	return append(out, o3...), append(dec, d3...)
 }
 
 func (e *Engine) votePrepare(inst *instance, seq uint64) []consensus.Outbound {
@@ -620,22 +657,25 @@ func (e *Engine) advance() []consensus.Decision {
 // Tick fires the backup timers that trigger view changes; a fresh primary
 // uses it to retry recovery obligations once chain sync catches it up. A
 // node stuck mid-view-change past its deadline escalates to the next view.
-func (e *Engine) Tick(now time.Time) []consensus.Outbound {
+func (e *Engine) Tick(now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	if e.viewChanging {
 		if now.After(e.vcDeadline) {
-			return e.startViewChange(e.promised+1, now)
+			return e.startViewChange(e.promised+1, now), nil
 		}
-		return nil
+		return nil, nil
 	}
+	// A slot reservation released without a chain advance (cross-shard abort
+	// or expiry) leaves reserve-parked pre-prepares with no other retry path.
+	out, decs := e.retryParked(now)
 	if e.IsPrimary() {
-		return e.drainRepropose(now)
+		return append(out, e.drainRepropose(now)...), decs
 	}
 	for seq, inst := range e.instances {
 		if seq > e.committedSeq && inst.prePrep && !inst.committed && now.After(inst.deadline) {
-			return e.startViewChange(e.view+1, now)
+			return append(out, e.startViewChange(e.view+1, now)...), decs
 		}
 	}
-	return nil
+	return out, decs
 }
 
 func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outbound {

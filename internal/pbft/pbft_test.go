@@ -82,7 +82,9 @@ func (h *harness) pump() {
 func (h *harness) tick(d time.Duration) {
 	h.now = h.now.Add(d)
 	for _, id := range h.topo.AllNodes() {
-		h.sendAll(h.engines[id].Tick(h.now))
+		outs, decs := h.engines[id].Tick(h.now)
+		h.sendAll(outs)
+		h.decided[id] = append(h.decided[id], decs...)
 	}
 	h.pump()
 }
@@ -336,7 +338,7 @@ func TestSyncChainHeadOrphans(t *testing.T) {
 	h.propose(tx(1))
 	p.Propose(batch(tx(2)), h.now)
 	external := types.HashBytes([]byte("x"))
-	_, orphans := p.SyncChainHead(2, external, h.now)
+	_, _, orphans := p.SyncChainHead(2, external, h.now)
 	if len(orphans) != 1 || orphans[0].ID.Seq != 2 {
 		t.Fatalf("orphans = %v", orphans)
 	}

@@ -23,7 +23,7 @@ import (
 type Engine interface {
 	Propose(txs []*types.Transaction, now time.Time) ([]consensus.Outbound, uint64)
 	Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision)
-	Tick(now time.Time) []consensus.Outbound
+	Tick(now time.Time) ([]consensus.Outbound, []consensus.Decision)
 	View() uint64
 	Primary() types.NodeID
 	IsPrimary() bool
@@ -258,7 +258,18 @@ func (n *Node) loop() {
 			n.dispatch(env, time.Now())
 		case now := <-ticker.C:
 			if n.active {
-				n.send(n.engine.Tick(now))
+				outs, decs := n.engine.Tick(now)
+				n.send(outs)
+				for _, dec := range decs {
+					for _, tx := range dec.Block.Txs {
+						n.execute(tx)
+						// Mirror the dispatch path: the primary streams
+						// executed results to passive replicas.
+						if n.engine.IsPrimary() && len(n.passives) > 0 {
+							n.updateQueue = append(n.updateQueue, tx)
+						}
+					}
+				}
 				n.flushUpdates()
 				n.checkForwards(now)
 			}

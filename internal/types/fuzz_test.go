@@ -138,6 +138,22 @@ func FuzzDecodeReply(f *testing.F) {
 	})
 }
 
+func FuzzDecodeSchedStats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&SchedStats{Node: 3, Proposes: 7, Grants: 2, LeadsInFlight: 4, DefersAvoided: 11}).Encode(nil))
+	f.Add((&SchedStats{Node: ClientIDBase, LockExpiries: 1, SelfVoteWaits: 9}).Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSchedStats(b)
+		if err != nil {
+			return
+		}
+		enc := s.Encode(nil)
+		if !bytes.Equal(enc, b[:len(enc)]) {
+			t.Fatalf("re-encode mismatch for %x", b[:len(enc)])
+		}
+	})
+}
+
 func FuzzDecodeTraceDump(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&TraceDump{Node: 3, Lines: []string{"propose v=0 seq=1", "commit-msg v=0 seq=1"}}).Encode(nil))

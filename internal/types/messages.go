@@ -63,6 +63,13 @@ const (
 	// runs with SHARPER_TRACE set.
 	MsgTraceRequest
 	MsgTraceResponse
+
+	// Scheduler observability: fetch a replica's cross-shard scheduling
+	// counters (leads in flight, conflict-table size, defers avoided,
+	// park/withdraw counts). A sharperd -drive audit prints the
+	// deployment-wide aggregate after every run.
+	MsgStatsRequest
+	MsgStatsResponse
 )
 
 var msgNames = map[MsgType]string{
@@ -77,6 +84,7 @@ var msgNames = map[MsgType]string{
 	MsgAPRStateUpdate: "apr-update",
 	MsgFastPropose:    "fast-propose", MsgFastAccept: "fast-accept", MsgFastCommit: "fast-commit",
 	MsgTraceRequest: "trace-req", MsgTraceResponse: "trace-resp",
+	MsgStatsRequest: "stats-req", MsgStatsResponse: "stats-resp",
 }
 
 func (m MsgType) String() string {
@@ -277,6 +285,17 @@ func (m *ConsensusMsg) Encode(dst []byte) []byte {
 	return dst
 }
 
+// PeekConsensusSeq reads the Seq field of an encoded ConsensusMsg without
+// decoding the rest — the scheduler's slot-conflict check needs only the
+// sequence, and a full decode (including the tx batch) on the dispatch hot
+// path would be paid twice. Layout lockstep with Encode: View(8) | Seq(8).
+func PeekConsensusSeq(b []byte) (uint64, bool) {
+	if len(b) < 16 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b[8:]), true
+}
+
 // DecodeConsensusMsg parses a ConsensusMsg.
 func DecodeConsensusMsg(b []byte) (*ConsensusMsg, error) {
 	const fixed = 8 + 8 + 32 + 2 + 2
@@ -424,6 +443,79 @@ func DecodeTraceDump(b []byte) (*TraceDump, error) {
 		off += l
 	}
 	return t, nil
+}
+
+// SchedStats is one replica's cross-shard scheduler counters, answered to a
+// MsgStatsRequest. The conflict-aware scheduler's behaviour is otherwise
+// invisible from outside a process: these are how benchmarks and the
+// sharperd -drive audit see leads pipelining and deferral precision working.
+type SchedStats struct {
+	Node NodeID
+	// Flattened-protocol event counts.
+	Proposes     uint64 // initiator PROPOSE multicasts (incl. retries)
+	Withdraws    uint64 // initiator attempt withdrawals
+	Grants       uint64 // participant votes granted (slot-vote acquisitions)
+	Decides      uint64 // attempts decided at this node as initiator
+	LockExpiries uint64 // slot votes released by the §3.2 timeout
+	Parks        uint64 // proposals parked for a busy slot or undrained chain
+	// Conflict-table scheduling state.
+	LeadsInFlight uint64 // current in-flight initiator attempts
+	LeadHighWater uint64 // most leads ever in flight together
+	TableSize     uint64 // live attempts tracked right now
+	Defers        uint64 // intra messages deferred on a slot conflict
+	DefersAvoided uint64 // intra messages processed despite a held slot vote
+	SelfVoteWaits uint64 // initiator self-votes deferred for a busy slot
+}
+
+// Add accumulates other's counters into s (for deployment-wide aggregates;
+// Node is left alone).
+func (s *SchedStats) Add(other *SchedStats) {
+	s.Proposes += other.Proposes
+	s.Withdraws += other.Withdraws
+	s.Grants += other.Grants
+	s.Decides += other.Decides
+	s.LockExpiries += other.LockExpiries
+	s.Parks += other.Parks
+	s.LeadsInFlight += other.LeadsInFlight
+	s.LeadHighWater += other.LeadHighWater
+	s.TableSize += other.TableSize
+	s.Defers += other.Defers
+	s.DefersAvoided += other.DefersAvoided
+	s.SelfVoteWaits += other.SelfVoteWaits
+}
+
+// schedStatsSize is the fixed wire size of a SchedStats.
+const schedStatsSize = 4 + 12*8
+
+// Encode appends the canonical encoding.
+func (s *SchedStats) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Node))
+	for _, v := range [...]uint64{
+		s.Proposes, s.Withdraws, s.Grants, s.Decides, s.LockExpiries, s.Parks,
+		s.LeadsInFlight, s.LeadHighWater, s.TableSize, s.Defers, s.DefersAvoided,
+		s.SelfVoteWaits,
+	} {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// DecodeSchedStats parses a SchedStats.
+func DecodeSchedStats(b []byte) (*SchedStats, error) {
+	if len(b) < schedStatsSize {
+		return nil, fmt.Errorf("types: short sched stats: %d bytes", len(b))
+	}
+	s := &SchedStats{Node: NodeID(binary.LittleEndian.Uint32(b))}
+	off := 4
+	for _, p := range [...]*uint64{
+		&s.Proposes, &s.Withdraws, &s.Grants, &s.Decides, &s.LockExpiries, &s.Parks,
+		&s.LeadsInFlight, &s.LeadHighWater, &s.TableSize, &s.Defers, &s.DefersAvoided,
+		&s.SelfVoteWaits,
+	} {
+		*p = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+	}
+	return s, nil
 }
 
 // VoteProof is one signed vote inside a prepared certificate: the named

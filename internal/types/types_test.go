@@ -246,6 +246,41 @@ func TestSyncRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPeekConsensusSeqMatchesDecode(t *testing.T) {
+	m := &ConsensusMsg{View: 3, Seq: 41, Cluster: 2,
+		PrevHashes: []Hash{HashBytes([]byte("p"))},
+		Txs:        []*Transaction{sampleTx()}}
+	b := m.Encode(nil)
+	seq, ok := PeekConsensusSeq(b)
+	if !ok || seq != 41 {
+		t.Fatalf("peek = (%d, %v), want (41, true)", seq, ok)
+	}
+	if _, ok := PeekConsensusSeq(b[:15]); ok {
+		t.Fatal("peek accepted a short buffer")
+	}
+}
+
+func TestSchedStatsRoundTrip(t *testing.T) {
+	s := &SchedStats{
+		Node: 7, Proposes: 1, Withdraws: 2, Grants: 3, Decides: 4,
+		LockExpiries: 5, Parks: 6, LeadsInFlight: 7, LeadHighWater: 8,
+		TableSize: 9, Defers: 10, DefersAvoided: 11, SelfVoteWaits: 12,
+	}
+	got, err := DecodeSchedStats(s.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("sched stats round trip mismatch: %+v vs %+v", s, got)
+	}
+	var sum SchedStats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.Parks != 12 || sum.DefersAvoided != 22 {
+		t.Fatalf("aggregate mismatch: %+v", sum)
+	}
+}
+
 func TestTxBatchRoundTrip(t *testing.T) {
 	txs := []*Transaction{sampleTx(), sampleTx()}
 	txs[1].ID.Seq = 43

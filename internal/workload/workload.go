@@ -13,6 +13,30 @@ import (
 	"sharper/internal/types"
 )
 
+// CrossSetMode selects how a cross-shard transaction's involved-cluster set
+// is chosen — the paper's "with/without overlapping clusters" axis. Disjoint
+// sets are what SharPer processes in parallel (§3.2); overlapping sets
+// serialize through the shared cluster's chain, so benchmarks and stress
+// tests dial contention with this knob.
+type CrossSetMode int
+
+const (
+	// SetsRandom picks ShardsPerCross distinct shards uniformly (the §4.1
+	// default: "two (randomly chosen) shards").
+	SetsRandom CrossSetMode = iota
+	// SetsDisjoint partitions the shards into fixed ⌊n/k⌋ groups
+	// ({0..k-1}, {k..2k-1}, …) and round-robins between them: concurrent
+	// cross-shard transactions conflict only within their own group.
+	SetsDisjoint
+	// SetsOverlapping pivots every set on cluster 0 plus rotating others:
+	// maximal contention, every cross-shard transaction fights for the
+	// pivot cluster's chain.
+	SetsOverlapping
+	// SetsMixed picks SetsOverlapping with probability OverlapPct (percent)
+	// and SetsDisjoint otherwise.
+	SetsMixed
+)
+
 // Config describes a workload mix.
 type Config struct {
 	// Shards is the deployment's shard map.
@@ -25,6 +49,11 @@ type Config struct {
 	// ShardsPerCross is how many distinct shards a cross-shard transaction
 	// touches (the paper uses 2).
 	ShardsPerCross int
+	// CrossSets selects the involved-cluster-set mode (default SetsRandom).
+	CrossSets CrossSetMode
+	// OverlapPct is the percentage (0–100) of overlapping-set cross-shard
+	// transactions under SetsMixed.
+	OverlapPct int
 	// Amount transferred per op.
 	Amount int64
 	// Zipf skews account selection within a shard when > 0 (s parameter of
@@ -41,6 +70,9 @@ type Generator struct {
 	rng  *rand.Rand
 	zipf *rand.Zipf
 	next int // round-robin home cluster to spread the load evenly
+	// nextGroup round-robins the disjoint-mode group and the overlapping
+	// mode's rotating partners.
+	nextGroup int
 }
 
 // New validates the configuration and builds a generator.
@@ -107,9 +139,7 @@ func (g *Generator) Next() []types.Op {
 		return []types.Op{{From: from, To: g.pickDistinct(home, from), Amount: g.cfg.Amount}}
 	}
 
-	// Choose ShardsPerCross distinct random shards (§4.1: "two (randomly
-	// chosen) shards are involved in each cross-shard transaction").
-	shards := g.rng.Perm(n)[:g.cfg.ShardsPerCross]
+	shards := g.pickCrossSet(n)
 	ops := make([]types.Op, 0, len(shards)-1)
 	for i := 0; i+1 < len(shards); i++ {
 		from := g.pickAccount(types.ClusterID(shards[i]))
@@ -117,6 +147,47 @@ func (g *Generator) Next() []types.Op {
 		ops = append(ops, types.Op{From: from, To: to, Amount: g.cfg.Amount})
 	}
 	return ops
+}
+
+// pickCrossSet chooses the involved shards of one cross-shard transaction
+// per the configured set mode.
+func (g *Generator) pickCrossSet(n int) []int {
+	k := g.cfg.ShardsPerCross
+	mode := g.cfg.CrossSets
+	if mode == SetsMixed {
+		if g.rng.Intn(100) < g.cfg.OverlapPct {
+			mode = SetsOverlapping
+		} else {
+			mode = SetsDisjoint
+		}
+	}
+	switch mode {
+	case SetsDisjoint:
+		groups := n / k
+		if groups < 1 {
+			groups = 1
+		}
+		gi := g.nextGroup % groups
+		g.nextGroup++
+		shards := make([]int, 0, k)
+		for i := 0; i < k; i++ {
+			shards = append(shards, (gi*k+i)%n)
+		}
+		return shards
+	case SetsOverlapping:
+		// Pivot on shard 0 plus k-1 rotating partners from 1..n-1.
+		shards := make([]int, 0, k)
+		shards = append(shards, 0)
+		for i := 0; i < k-1 && len(shards) < n; i++ {
+			shards = append(shards, 1+(g.nextGroup+i)%(n-1))
+		}
+		g.nextGroup++
+		return shards
+	default:
+		// §4.1: "two (randomly chosen) shards are involved in each
+		// cross-shard transaction".
+		return g.rng.Perm(n)[:k]
+	}
 }
 
 // IsCross reports whether the op-list spans multiple shards, for callers

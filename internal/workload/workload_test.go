@@ -4,7 +4,96 @@ import (
 	"testing"
 
 	"sharper/internal/state"
+	"sharper/internal/types"
 )
+
+func setOf(t *testing.T, shards state.ShardMap, ops []types.Op) types.ClusterSet {
+	t.Helper()
+	return shards.Involved(ops)
+}
+
+func TestCrossSetModes(t *testing.T) {
+	shards := state.ShardMap{NumShards: 4}
+	base := Config{
+		Shards: shards, AccountsPerShard: 64, CrossShardPct: 100,
+		ShardsPerCross: 2, Seed: 11,
+	}
+
+	t.Run("disjoint", func(t *testing.T) {
+		cfg := base
+		cfg.CrossSets = SetsDisjoint
+		g := New(cfg)
+		want := []types.ClusterSet{types.NewClusterSet(0, 1), types.NewClusterSet(2, 3)}
+		seen := map[string]int{}
+		for i := 0; i < 100; i++ {
+			set := setOf(t, shards, g.Next())
+			ok := false
+			for _, w := range want {
+				if set.Equal(w) {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("disjoint mode produced set %s", set)
+			}
+			seen[set.String()]++
+		}
+		if len(seen) != 2 {
+			t.Fatalf("disjoint mode used %d groups, want 2", len(seen))
+		}
+	})
+
+	t.Run("overlapping", func(t *testing.T) {
+		cfg := base
+		cfg.CrossSets = SetsOverlapping
+		g := New(cfg)
+		partners := map[types.ClusterID]bool{}
+		for i := 0; i < 100; i++ {
+			set := setOf(t, shards, g.Next())
+			if !set.Contains(0) {
+				t.Fatalf("overlapping mode produced pivot-free set %s", set)
+			}
+			for _, c := range set {
+				if c != 0 {
+					partners[c] = true
+				}
+			}
+		}
+		if len(partners) != 3 {
+			t.Fatalf("overlapping mode rotated over %d partners, want 3", len(partners))
+		}
+	})
+
+	t.Run("mixed", func(t *testing.T) {
+		cfg := base
+		cfg.CrossSets = SetsMixed
+		cfg.OverlapPct = 50
+		g := New(cfg)
+		overlap, disjoint := 0, 0
+		for i := 0; i < 400; i++ {
+			set := setOf(t, shards, g.Next())
+			if set.Contains(0) && !set.Equal(types.NewClusterSet(0, 1)) {
+				overlap++
+			} else {
+				disjoint++
+			}
+		}
+		if overlap == 0 || disjoint == 0 {
+			t.Fatalf("mixed mode not mixing: overlap=%d disjoint=%d", overlap, disjoint)
+		}
+	})
+
+	t.Run("random-default", func(t *testing.T) {
+		g := New(base) // SetsRandom zero value
+		distinct := map[string]bool{}
+		for i := 0; i < 200; i++ {
+			distinct[setOf(t, shards, g.Next()).String()] = true
+		}
+		if len(distinct) < 4 {
+			t.Fatalf("random mode produced only %d distinct sets", len(distinct))
+		}
+	})
+}
 
 func gen(crossPct int) *Generator {
 	return New(Config{

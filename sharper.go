@@ -161,6 +161,10 @@ type Options struct {
 	// MaxInFlight bounds pipelined consensus instances per cluster
 	// (default 8).
 	MaxInFlight int
+	// SerializeCross restores the legacy serialized cross-shard scheduler
+	// (whole-node lock, drain-gated initiation, one lead at a time) in
+	// place of the conflict-aware one, for A/B comparison.
+	SerializeCross bool
 	// DataDir enables durable storage: every replica keeps a write-ahead
 	// log and periodic checkpoints under DataDir/node-<id>, and a replica
 	// restarted over the same directory (RestartNode, or a new process for
@@ -221,6 +225,7 @@ func New(opts Options) (*Network, error) {
 		BatchSize:           opts.BatchSize,
 		BatchTimeout:        opts.BatchTimeout,
 		MaxInFlight:         opts.MaxInFlight,
+		SerializeCross:      opts.SerializeCross,
 		DataDir:             opts.DataDir,
 		Sync:                opts.Sync,
 		CheckpointInterval:  opts.CheckpointInterval,
@@ -262,6 +267,20 @@ func (n *Network) Balance(a AccountID) int64 {
 // DAG assembles the union blockchain ledger (Fig. 2a) from one
 // representative view per cluster, for inspection and audits.
 func (n *Network) DAG() *ledger.DAG { return n.d.DAG() }
+
+// SchedStats returns the deployment-wide aggregate of every replica's
+// cross-shard scheduler counters (leads in flight, conflict-table size,
+// parks, withdraws, deferral precision) — the conflict-aware scheduler's
+// observability surface. Call it on a quiesced (or closed) network; a
+// running deployment is probed over the wire instead (MsgStatsRequest),
+// which each replica's event loop answers itself.
+func (n *Network) SchedStats() types.SchedStats {
+	var agg types.SchedStats
+	for _, node := range n.d.Nodes() {
+		agg.Add(node.Counters())
+	}
+	return agg
+}
 
 // Verify checks ledger consistency across all clusters: per-view hash
 // chains, cross-shard agreement, and pairwise commit order. Call it on a
