@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -68,6 +69,8 @@ func main() {
 	syncPolicy := flag.String("sync", "group", "WAL fsync policy: none, group, or always")
 	lockTimeout := flag.Duration("lock-timeout", 0, "cross-shard lock expiry, the §3.2 'pre-determined time' (0 = default 3s); must dominate worst-case commit delivery in your environment")
 	serializeCross := flag.Bool("serialize-cross", false, "restore the legacy serialized cross-shard scheduler (whole-node lock, drain-gated initiation) for A/B comparison")
+	slash := flag.Bool("slash", false, "arm the equivocation-detecting auditor on every replica; the driver and local modes print an offender report from the collected fraud proofs")
+	ed25519 := flag.Bool("ed25519", false, "byzantine model: use ed25519 signatures instead of HMAC, making -slash fraud proofs verifiable by third parties holding only public keys")
 
 	topoPath := flag.String("topology", "", "topology file: run as one process of a multi-process deployment")
 	topoInit := flag.Bool("topology-init", false, "write a fresh topology file (with -clusters, -f, -model) and exit")
@@ -135,6 +138,8 @@ func main() {
 				ConnectTimeout: *connectTimeout,
 				ShowDAG:        *showDAG,
 				TraceDir:       td,
+				Slash:          *slash,
+				Ed25519:        *ed25519,
 			}, os.Stdout)
 			if err != nil {
 				log.Fatal(err)
@@ -164,6 +169,8 @@ func main() {
 				Sync:           sync,
 				LockTimeout:    *lockTimeout,
 				SerializeCross: *serializeCross,
+				Slash:          *slash,
+				Ed25519:        *ed25519,
 			}, stop, os.Stdout); err != nil {
 				log.Fatal(err)
 			}
@@ -178,6 +185,7 @@ func main() {
 		Duration: *duration, Seed: *seed, Batch: *batch, ShowDAG: *showDAG,
 		Accounts: *accounts, Balance: *balance, TCP: *transportKind == "tcp",
 		DataDir: *dataDir, Sync: sync, SerializeCross: *serializeCross,
+		Slash: *slash, Ed25519: *ed25519,
 	})
 }
 
@@ -207,6 +215,11 @@ type replicaOptions struct {
 	Sync    storage.SyncPolicy
 	// LockTimeout is the cross-shard lock expiry (0 = default).
 	LockTimeout time.Duration
+	// Slash arms the equivocation-detecting auditor; Ed25519 switches the
+	// Byzantine authenticator to real signatures so its fraud proofs are
+	// third-party verifiable.
+	Slash   bool
+	Ed25519 bool
 }
 
 // runReplica hosts one node of a multi-process deployment: a TCP fabric
@@ -237,6 +250,8 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 		Sync:           opts.Sync,
 		LockTimeout:    opts.LockTimeout,
 		SerializeCross: opts.SerializeCross,
+		Slash:          opts.Slash,
+		Ed25519:        opts.Ed25519,
 	}
 	if opts.DataDir != "" {
 		pcfg.DataDir = core.NodeDataDir(opts.DataDir, self)
@@ -285,6 +300,12 @@ type driverOptions struct {
 	// TraceDir is where a failed wire audit dumps every replica's
 	// SHARPER_TRACE ring (one trace-node-<id>.log per replica).
 	TraceDir string
+	// Slash makes the driver fetch every replica's fraud-proof evidence
+	// after the audit and print the offender report; Ed25519 tells it which
+	// authenticator the replicas derive from the seed, so it can rebuild the
+	// matching verifier offline.
+	Slash   bool
+	Ed25519 bool
 }
 
 // runDriver attaches to a running multi-process deployment over a dial-only
@@ -394,6 +415,9 @@ loop:
 	}
 	fmt.Fprintln(out, "ledger audit: all views consistent, cross-shard order agrees")
 	printSchedStats(fab, tf, clientBase+97_000, out)
+	if opts.Slash {
+		printEvidence(fab, tf, opts.Seed, opts.Ed25519, clientBase+96_000, out)
+	}
 	if opts.ShowDAG {
 		fmt.Fprint(out, dag.RenderASCII())
 	}
@@ -439,6 +463,94 @@ done:
 	fmt.Fprintf(out, "scheduler: leads=%d (hw %d) table=%d grants=%d parks=%d withdraws=%d expiries=%d defers=%d avoided=%d selfwaits=%d\n",
 		agg.LeadsInFlight, agg.LeadHighWater, agg.TableSize, agg.Grants, agg.Parks,
 		agg.Withdraws, agg.LockExpiries, agg.Defers, agg.DefersAvoided, agg.SelfVoteWaits)
+}
+
+// printEvidence fetches every replica's accumulated fraud proofs over the
+// wire (MsgEvidenceRequest), deduplicates them, re-verifies each one against
+// an authenticator rebuilt offline from the shared seed (exactly as every
+// replica derives it — the driver never sees a private channel the proofs
+// depend on), and prints the offender report. A proof that fails offline
+// verification is counted separately: the replicas should never have
+// admitted it.
+func printEvidence(fab *tcpnet.Net, tf *TopologyFile, seed int64, ed25519 bool, evID types.NodeID, out io.Writer) {
+	var verifier types.SigVerifier = crypto.NoopSigner{}
+	if tf.Topo.AnyByzantine() {
+		var auth crypto.Authenticator = crypto.NewMACKeyring()
+		if ed25519 {
+			auth = crypto.NewKeyring()
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		for _, id := range tf.Topo.AllNodes() {
+			if err := auth.Generate(id, rng); err != nil {
+				fmt.Fprintf(out, "sharperd: evidence: rebuilding keyring: %v\n", err)
+				return
+			}
+		}
+		verifier = auth
+	}
+
+	inbox := fab.Register(evID)
+	for id := range tf.Addrs {
+		fab.Send(id, &types.Envelope{Type: types.MsgEvidenceRequest, From: evID})
+	}
+	proofs := make(map[string]*types.FraudProof)
+	got := make(map[types.NodeID]bool)
+	deadline := time.After(3 * time.Second)
+	for len(got) < len(tf.Addrs) {
+		select {
+		case env := <-inbox:
+			if env.Type != types.MsgEvidenceResponse {
+				continue
+			}
+			dump, err := types.DecodeEvidenceDump(env.Payload)
+			if err != nil || got[dump.Node] {
+				continue
+			}
+			if _, known := tf.Addrs[dump.Node]; !known {
+				continue
+			}
+			got[dump.Node] = true
+			for _, p := range dump.Proofs {
+				proofs[p.Key()] = p
+			}
+		case <-deadline:
+			fmt.Fprintf(out, "sharperd: evidence: %d/%d replicas answered\n", len(got), len(tf.Addrs))
+			goto report
+		}
+	}
+report:
+	if len(proofs) == 0 {
+		fmt.Fprintln(out, "slasher: no fraud proofs collected — no equivocation observed")
+		return
+	}
+	perOffender := make(map[types.NodeID]map[types.FraudKind]int)
+	invalid := 0
+	for _, p := range proofs {
+		if err := p.Verify(verifier); err != nil {
+			invalid++
+			fmt.Fprintf(out, "slasher: REJECTED %s: %v\n", p, err)
+			continue
+		}
+		if perOffender[p.Offender] == nil {
+			perOffender[p.Offender] = make(map[types.FraudKind]int)
+		}
+		perOffender[p.Offender][p.Kind]++
+	}
+	fmt.Fprintf(out, "slasher: %d distinct fraud proofs, %d offenders, %d failed offline verification\n",
+		len(proofs)-invalid, len(perOffender), invalid)
+	for _, id := range tf.Topo.AllNodes() {
+		kinds, guilty := perOffender[id]
+		if !guilty {
+			continue
+		}
+		fmt.Fprintf(out, "slasher: offender %s:", id)
+		for _, k := range [...]types.FraudKind{types.FraudDoubleProposal, types.FraudDoubleVote, types.FraudConflictingViewChange} {
+			if n := kinds[k]; n > 0 {
+				fmt.Fprintf(out, " %s=%d", k, n)
+			}
+		}
+		fmt.Fprintln(out)
+	}
 }
 
 // dumpTraces asks every replica for its SHARPER_TRACE protocol-event ring
@@ -530,6 +642,8 @@ type localOptions struct {
 	DataDir                        string
 	Sync                           storage.SyncPolicy
 	SerializeCross                 bool
+	Slash                          bool
+	Ed25519                        bool
 }
 
 // runLocal is the original single-process mode: a full deployment in one
@@ -554,6 +668,8 @@ func runLocal(fm sharper.FailureModel, opts localOptions) {
 		DataDir:          opts.DataDir,
 		Sync:             opts.Sync,
 		SerializeCross:   opts.SerializeCross,
+		Slash:            opts.Slash,
+		Ed25519:          opts.Ed25519,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -629,6 +745,19 @@ loop:
 		log.Fatalf("ledger audit FAILED: %v", err)
 	}
 	fmt.Println("ledger audit: all views consistent, cross-shard order agrees")
+	if opts.Slash {
+		proofs := net.FraudProofs()
+		if len(proofs) == 0 {
+			fmt.Println("slasher: no fraud proofs — no equivocation observed")
+		} else {
+			// A fault-free local run should never reach here; proofs mean a
+			// replica equivocated (or the auditor has a bug worth a report).
+			fmt.Printf("slasher: %d fraud proofs collected:\n", len(proofs))
+			for _, p := range proofs {
+				fmt.Printf("  %s\n", p)
+			}
+		}
+	}
 	if opts.ShowDAG {
 		fmt.Print(net.DAG().RenderASCII())
 	}

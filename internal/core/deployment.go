@@ -96,6 +96,18 @@ type Config struct {
 	// for benchmarks that need a true in-memory baseline next to durable
 	// configurations in the same process.
 	NoPersist bool
+
+	// Slash arms the equivocation-detecting auditor on every replica: nodes
+	// index inbound consensus envelopes, mint signed fraud proofs from
+	// conflicting claims, gossip them cluster-wide, and persist them to the
+	// evidence log when storage is on. See internal/slasher.
+	Slash bool
+	// WrapFabric, when set, decorates each replica's fabric before the node
+	// registers on it — the seam the adversary harness uses to compromise
+	// nodes (internal/adversary). It runs under both transports and is
+	// re-applied when RestartNode rebuilds a replica. Clients are not
+	// wrapped.
+	WrapFabric func(types.NodeID, transport.Fabric) transport.Fabric
 }
 
 // resolvePersistence decides the deployment's storage configuration. An
@@ -274,12 +286,16 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 				return fail(serr)
 			}
 		}
+		fab := nodeFabric(id)
+		if cfg.WrapFabric != nil {
+			fab = cfg.WrapFabric(id, fab)
+		}
 		ncfg := NodeConfig{
 			Model:          topo.ModelOf(cluster),
 			Topology:       topo,
 			Cluster:        cluster,
 			Self:           id,
-			Net:            nodeFabric(id),
+			Net:            fab,
 			Shards:         shards,
 			Signer:         signer,
 			Verifier:       verifier,
@@ -294,6 +310,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			SuperPrimary:   !cfg.DisableSuperPrimary,
 			Seed:           cfg.Seed + int64(id) + 2,
 			Storage:        st,
+			Slash:          cfg.Slash,
 		}
 		d.nodeCfgs[id] = ncfg
 		d.nodes[id] = NewNode(ncfg)
@@ -477,6 +494,24 @@ func (d *Deployment) ClusterViews() []*ledger.View {
 
 // DAG returns the union ledger assembled from representative views.
 func (d *Deployment) DAG() *ledger.DAG { return ledger.NewDAG(d.ClusterViews()...) }
+
+// FraudProofs gathers every distinct fraud proof held across all replicas
+// (deduplicated by locus key — gossip makes most proofs appear on every
+// honest member of a cluster). Only safe once the deployment has quiesced or
+// stopped, like Counters.
+func (d *Deployment) FraudProofs() []*types.FraudProof {
+	seen := make(map[string]bool)
+	var out []*types.FraudProof
+	for _, id := range d.Topo.AllNodes() {
+		for _, p := range d.nodes[id].FraudProofs() {
+			if !seen[p.Key()] {
+				seen[p.Key()] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
 
 // TotalCommitted sums committed transactions over one representative node
 // per cluster (each committed tx counts once per involved cluster).

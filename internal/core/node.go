@@ -10,6 +10,7 @@ import (
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
+	"sharper/internal/slasher"
 	"sharper/internal/state"
 	"sharper/internal/storage"
 	"sharper/internal/transport"
@@ -75,6 +76,15 @@ type NodeConfig struct {
 	// consensus obligations from it before processing any message. The node
 	// owns the handle and closes it on Stop.
 	Storage *storage.Store
+
+	// Slash enables the equivocation-detecting auditor: every inbound
+	// consensus envelope is fed through a slasher index, detected fraud
+	// proofs are persisted (when Storage is set) and gossiped to cluster
+	// peers, and the node answers MsgEvidenceRequest with its accumulated
+	// evidence. Proofs are third-party verifiable only under the Ed25519
+	// keyring; the default MAC authenticator still detects and records, but
+	// the evidence convinces only parties holding the MAC keys.
+	Slash bool
 }
 
 func (c *NodeConfig) fillDefaults() {
@@ -207,6 +217,11 @@ type Node struct {
 	syncVotes  map[uint64]map[types.NodeID]types.Hash
 	syncBlocks map[uint64]map[types.Hash]*types.Block
 
+	// slash is the equivocation auditor (nil unless NodeConfig.Slash): it
+	// indexes every authenticated consensus envelope dispatch sees and
+	// mints fraud proofs from conflicting claims.
+	slash *slasher.Slasher
+
 	committed atomic.Int64
 	conflicts atomic.Int64 // cross-shard re-proposals observed
 	anomalies atomic.Int64 // ledger append failures (should stay 0)
@@ -290,7 +305,29 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.Storage != nil {
 		n.recoverChain(cfg.Storage.Recovered())
 	}
+	if cfg.Slash {
+		n.slash = slasher.New(slasher.Config{Verifier: cfg.Verifier})
+		if cfg.Storage != nil {
+			n.reloadEvidence(cfg.Storage)
+		}
+	}
 	return n
+}
+
+// reloadEvidence re-admits persisted fraud proofs into a fresh slasher so a
+// restarted replica keeps accusing. Records that fail to decode or verify
+// (damaged files, rotated keys) are skipped — the log keeps the raw bytes for
+// offline forensics either way.
+func (n *Node) reloadEvidence(st *storage.Store) {
+	recs, err := st.Evidence()
+	if err != nil {
+		return
+	}
+	for _, raw := range recs {
+		if p, err := types.DecodeFraudProof(raw); err == nil {
+			n.slash.AddProof(p)
+		}
+	}
 }
 
 // recoverChain rebuilds the ledger view and the intra engine from recovered
@@ -513,6 +550,16 @@ func (n *Node) send(outs []consensus.Outbound) {
 }
 
 func (n *Node) dispatch(env *types.Envelope, now time.Time) {
+	if n.slash != nil {
+		switch env.Type {
+		case types.MsgPrePrepare, types.MsgPrepare, types.MsgCommit, types.MsgViewChange:
+			// Audit before engine processing: the slasher indexes the claim
+			// even when the engine would defer, drop, or reject the message.
+			// Observe is idempotent per envelope, so re-dispatch of deferred
+			// messages is harmless.
+			n.reportFraud(n.slash.Observe(env))
+		}
+	}
 	switch env.Type {
 	case types.MsgRequest:
 		n.onRequest(env, now)
@@ -565,10 +612,83 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 	case types.MsgStatsRequest:
 		n.onStatsRequest(env)
 
+	case types.MsgFraudProof:
+		n.onFraudProof(env)
+
+	case types.MsgEvidenceRequest:
+		n.onEvidenceRequest(env)
+
 	default:
 		// Replies and baseline-only traffic are not for us.
 	}
 	n.maybeLaunch(now)
+}
+
+// reportFraud persists and gossips freshly minted fraud proofs. Persistence
+// goes first: a proof that crosses the wire before it hits disk could be lost
+// to a crash on this node yet survive on peers, which is fine — but the
+// reverse (durable everywhere except the accuser) is the ordering audits
+// expect.
+func (n *Node) reportFraud(proofs []*types.FraudProof) {
+	if len(proofs) == 0 {
+		return
+	}
+	peers := othersOf(n.cfg.Topology.Members(n.cfg.Cluster), n.cfg.Self)
+	for _, p := range proofs {
+		raw := p.Encode(nil)
+		if n.cfg.Storage != nil {
+			if err := n.cfg.Storage.AppendEvidence(raw); err != nil {
+				n.anomalies.Add(1)
+			}
+		}
+		if len(peers) > 0 {
+			n.cfg.Net.Multicast(peers, &types.Envelope{
+				Type: types.MsgFraudProof, From: n.cfg.Self,
+				Payload: raw, Sig: n.cfg.Signer.Sign(raw),
+			})
+		}
+	}
+}
+
+// onFraudProof admits a gossiped proof. AddProof re-verifies the embedded
+// envelopes against the deployment's authenticator, so a lying gossiper
+// cannot plant evidence against an honest node; the carrying envelope's own
+// signature is irrelevant to admission.
+func (n *Node) onFraudProof(env *types.Envelope) {
+	if n.slash == nil {
+		return
+	}
+	p, err := types.DecodeFraudProof(env.Payload)
+	if err != nil {
+		return
+	}
+	if n.slash.AddProof(p) && n.cfg.Storage != nil {
+		if err := n.cfg.Storage.AppendEvidence(p.Encode(nil)); err != nil {
+			n.anomalies.Add(1)
+		}
+	}
+}
+
+// onEvidenceRequest answers an audit fetch with every proof this replica
+// holds, mirroring the stats-request pattern.
+func (n *Node) onEvidenceRequest(env *types.Envelope) {
+	dump := &types.EvidenceDump{Node: n.cfg.Self}
+	if n.slash != nil {
+		dump.Proofs = n.slash.Proofs()
+	}
+	n.cfg.Net.Send(env.From, &types.Envelope{
+		Type: types.MsgEvidenceResponse, From: n.cfg.Self, Payload: dump.Encode(nil),
+	})
+}
+
+// FraudProofs returns the proofs the node's slasher has accumulated (nil when
+// slashing is disabled). Only safe once the node has quiesced or stopped,
+// like Counters.
+func (n *Node) FraudProofs() []*types.FraudProof {
+	if n.slash == nil {
+		return nil
+	}
+	return n.slash.Proofs()
 }
 
 func (n *Node) tick(now time.Time) {

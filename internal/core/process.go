@@ -29,6 +29,9 @@ type ProcessConfig struct {
 	Seed int64
 	// Ed25519 switches Byzantine deployments to real signatures.
 	Ed25519 bool
+	// Slash arms the equivocation-detecting auditor (see internal/slasher).
+	// Combine with Ed25519 for third-party-verifiable fraud proofs.
+	Slash bool
 
 	// Timers and batching; zero values take the NodeConfig defaults.
 	IntraTimeout time.Duration
@@ -129,6 +132,7 @@ func NewProcessNode(cfg ProcessConfig) (*Node, error) {
 		SuperPrimary:   !cfg.DisableSuperPrimary,
 		Seed:           cfg.Seed + int64(cfg.Self) + 2,
 		Storage:        st,
+		Slash:          cfg.Slash,
 	}), nil
 }
 

@@ -80,6 +80,15 @@ func (k *Keyring) Generate(id types.NodeID, rng *rand.Rand) error {
 	return nil
 }
 
+// AddPublicKey registers a verification-only key for id. A keyring built
+// solely from public keys can verify signatures and fraud proofs but cannot
+// sign — the position of an external auditor checking slashing evidence.
+func (k *Keyring) AddPublicKey(id types.NodeID, pub ed25519.PublicKey) {
+	k.mu.Lock()
+	k.pub[id] = pub
+	k.mu.Unlock()
+}
+
 // PublicKey returns the registered public key for id.
 func (k *Keyring) PublicKey(id types.NodeID) (ed25519.PublicKey, bool) {
 	k.mu.RLock()

@@ -71,6 +71,153 @@ func TestVerifyPoolOrderAndVerdicts(t *testing.T) {
 	}
 }
 
+// TestVerifyPoolMalformedSignatures feeds the pool ed25519 envelopes with
+// truncated, oversized, empty, and garbage signatures — adversarial input at
+// the authentication boundary. Every envelope must emerge, in order, with a
+// false verdict, and the pool must keep serving valid traffic afterwards.
+func TestVerifyPoolMalformedSignatures(t *testing.T) {
+	k := NewKeyring()
+	rng := rand.New(rand.NewSource(2))
+	if err := k.Generate(1, rng); err != nil {
+		t.Fatal(err)
+	}
+	s, err := k.SignerFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := make(chan *types.Envelope, 64)
+	p := NewVerifyPool(k, in, 4, 8)
+	defer p.Close()
+
+	payload := []byte("attack at dawn")
+	good := s.Sign(payload)
+	malformed := [][]byte{
+		nil,                                     // absent
+		{},                                      // empty
+		good[:5],                                // truncated
+		good[:63],                               // one byte short
+		append(append([]byte{}, good...), 0xaa), // one byte long
+		make([]byte, 64),                        // right length, all zeros
+		{0xde, 0xad, 0xbe, 0xef},                // garbage
+	}
+	var sent []*types.Envelope
+	var want []bool
+	for _, sig := range malformed {
+		env := &types.Envelope{Type: types.MsgPrepare, From: 1, Payload: payload, Sig: sig}
+		sent = append(sent, env)
+		want = append(want, false)
+		in <- env
+	}
+	// A valid envelope after the junk: the pool must not have wedged.
+	env := &types.Envelope{Type: types.MsgPrepare, From: 1, Payload: payload, Sig: good}
+	sent = append(sent, env)
+	want = append(want, true)
+	in <- env
+
+	for i := range sent {
+		select {
+		case got := <-p.Out():
+			if got != sent[i] {
+				t.Fatalf("envelope %d emitted out of order", i)
+			}
+			ok, known := got.Auth()
+			if !known {
+				t.Fatalf("envelope %d emitted without a verdict", i)
+			}
+			if ok != want[i] {
+				t.Fatalf("envelope %d: verdict %v, want %v (sig len %d)", i, ok, want[i], len(got.Sig))
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("pool stalled after %d envelopes", i)
+		}
+	}
+}
+
+// TestVerifyPoolBadMACFloodDoesNotStarveHonest floods the pool with a
+// compromised peer's bad-MAC envelopes interleaved with honest traffic. The
+// pool's contract — submission-order output with correct verdicts — must
+// hold throughout: the flood cannot wedge the pool, starve honest envelopes,
+// or flip a verdict.
+func TestVerifyPoolBadMACFloodDoesNotStarveHonest(t *testing.T) {
+	k := NewMACKeyring()
+	rng := rand.New(rand.NewSource(3))
+	signers := make(map[types.NodeID]Signer)
+	for id := types.NodeID(1); id <= 2; id++ {
+		if err := k.Generate(id, rng); err != nil {
+			t.Fatal(err)
+		}
+		s, err := k.SignerFor(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[id] = s
+	}
+
+	const total = 2000
+	in := make(chan *types.Envelope, 256)
+	p := NewVerifyPool(k, in, 4, 32)
+	defer p.Close()
+
+	type expect struct {
+		env *types.Envelope
+		ok  bool
+	}
+	expects := make(chan expect, total)
+	go func() {
+		for i := 0; i < total; i++ {
+			var env *types.Envelope
+			var ok bool
+			if i%10 == 9 {
+				// One honest envelope per ten flood envelopes.
+				payload := binary.LittleEndian.AppendUint64(nil, uint64(i))
+				env = &types.Envelope{Type: types.MsgCommit, From: 2, Payload: payload, Sig: signers[2].Sign(payload)}
+				ok = true
+			} else {
+				payload := binary.LittleEndian.AppendUint64(nil, uint64(i))
+				sig := signers[1].Sign(payload)
+				sig[len(sig)/2] ^= 0xff
+				env = &types.Envelope{Type: types.MsgPrepare, From: 1, Payload: payload, Sig: sig}
+			}
+			expects <- expect{env, ok}
+			in <- env
+		}
+		close(expects)
+	}()
+
+	honest := 0
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < total; i++ {
+		var want expect
+		select {
+		case want = <-expects:
+		case <-deadline:
+			t.Fatalf("producer stalled at envelope %d", i)
+		}
+		select {
+		case got := <-p.Out():
+			if got != want.env {
+				t.Fatalf("envelope %d emitted out of order", i)
+			}
+			ok, known := got.Auth()
+			if !known {
+				t.Fatalf("envelope %d emitted without a verdict", i)
+			}
+			if ok != want.ok {
+				t.Fatalf("envelope %d: verdict %v, want %v", i, ok, want.ok)
+			}
+			if ok {
+				honest++
+			}
+		case <-deadline:
+			t.Fatalf("pool starved: stalled at envelope %d (%d honest through)", i, honest)
+		}
+	}
+	if honest != total/10 {
+		t.Fatalf("%d honest envelopes emerged, want %d", honest, total/10)
+	}
+}
+
 // TestVerifyPoolCloseUnblocks asserts Close returns even with envelopes
 // still queued and nobody draining Out.
 func TestVerifyPoolCloseUnblocks(t *testing.T) {

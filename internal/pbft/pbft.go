@@ -79,6 +79,7 @@ type preparedCand struct {
 	seq    uint64
 	view   uint64
 	digest types.Hash
+	parent types.Hash // parent the certificate's votes bound
 	txs    []*types.Transaction
 	proof  []types.VoteProof
 }
@@ -204,6 +205,7 @@ func (e *Engine) Restore(view, promised uint64, insts []consensus.DurableInstanc
 		}
 		payload := (&types.ConsensusMsg{
 			View: d.View, Seq: d.Seq, Digest: d.Digest, Cluster: e.cluster,
+			PrevHashes: []types.Hash{d.Parent},
 		}).Encode(nil)
 		e.instances[d.Seq] = &instance{
 			digest:   d.Digest,
@@ -577,7 +579,12 @@ func (e *Engine) votePrepare(inst *instance, seq uint64) []consensus.Outbound {
 	}
 	inst.sentPrep = true
 	inst.prepares[e.self] = inst.digest
-	m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster}
+	// The vote names the parent it extends: a slot re-bound after a
+	// cross-shard SyncChainHead is legitimately re-voted with a different
+	// digest, and only the parent distinguishes that from equivocation —
+	// both for the slasher and for anyone verifying a vote offline.
+	m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster,
+		PrevHashes: []types.Hash{inst.parent}}
 	payload := m.Encode(nil)
 	sig := e.sign(payload)
 	inst.voteSigs[e.self] = sig
@@ -620,7 +627,8 @@ func (e *Engine) maybeProgress(inst *instance, seq uint64) ([]consensus.Outbound
 		// Prepared: 2f matching prepares from others + our own (§3.1).
 		inst.sentCommit = true
 		inst.commits[e.self] = inst.digest
-		m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster}
+		m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster,
+			PrevHashes: []types.Hash{inst.parent}}
 		payload := m.Encode(nil)
 		sig := e.sign(payload)
 		if _, ok := inst.voteSigs[e.self]; !ok {
@@ -711,7 +719,8 @@ func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outb
 			continue
 		}
 		vc.Prepared = append(vc.Prepared, types.PreparedInstance{
-			Seq: seq, View: inst.view, Digest: inst.digest, Txs: inst.txs, Proof: proof,
+			Seq: seq, View: inst.view, Digest: inst.digest, Parent: inst.parent,
+			Txs: inst.txs, Proof: proof,
 		})
 		reported[seq] = true
 		if seq > vc.PreparedSeq {
@@ -725,7 +734,8 @@ func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outb
 	for _, c := range e.pendingRepropose {
 		if c.seq > e.committedSeq && !reported[c.seq] {
 			vc.Prepared = append(vc.Prepared, types.PreparedInstance{
-				Seq: c.seq, View: c.view, Digest: c.digest, Txs: c.txs, Proof: c.proof,
+				Seq: c.seq, View: c.view, Digest: c.digest, Parent: c.parent,
+				Txs: c.txs, Proof: c.proof,
 			})
 		}
 	}
@@ -800,7 +810,8 @@ func (e *Engine) adoptRecovery(votes map[types.NodeID]*types.ViewChange, f int) 
 				continue
 			}
 			if cur, ok := cands[p.Seq]; !ok || p.View > cur.view {
-				cands[p.Seq] = preparedCand{seq: p.Seq, view: p.View, digest: p.Digest, txs: p.Txs, proof: p.Proof}
+				cands[p.Seq] = preparedCand{seq: p.Seq, view: p.View, digest: p.Digest,
+					parent: p.Parent, txs: p.Txs, proof: p.Proof}
 			}
 		}
 	}
@@ -825,6 +836,7 @@ func (e *Engine) adoptRecovery(votes map[types.NodeID]*types.ViewChange, f int) 
 func (e *Engine) verifyCertificate(p *types.PreparedInstance, need int) bool {
 	payload := (&types.ConsensusMsg{
 		View: p.View, Seq: p.Seq, Digest: p.Digest, Cluster: e.cluster,
+		PrevHashes: []types.Hash{p.Parent},
 	}).Encode(nil)
 	members := make(map[types.NodeID]bool, len(e.topo.Members(e.cluster)))
 	for _, m := range e.topo.Members(e.cluster) {

@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Evidence retention. Fraud proofs a replica's slasher detects (or accepts
+// from gossip) are appended to evidence.log in the replica's data directory,
+// one CRC-framed record per encoded types.FraudProof. The file uses the same
+// torn-tail-tolerant framing as the WAL but lives apart from it: evidence is
+// never truncated by checkpoints — an accusation must survive as long as the
+// operator wants it, not as long as the consensus state needs it.
+//
+// The storage layer treats proofs as opaque bytes; encoding, verification
+// and deduplication belong to the slasher. Writes are fsynced immediately:
+// evidence is rare and forensically load-bearing, so it gets the strictest
+// policy regardless of the WAL's SyncPolicy.
+const evidenceFile = "evidence.log"
+
+// AppendEvidence durably appends one encoded fraud proof.
+func (s *Store) AppendEvidence(proof []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("storage: store closed")
+	}
+	if s.evid == nil {
+		f, err := os.OpenFile(filepath.Join(s.dir, evidenceFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.evid = f
+	}
+	if _, err := s.evid.Write(appendFrame(nil, proof)); err != nil {
+		return err
+	}
+	return s.evid.Sync()
+}
+
+// Evidence returns every intact fraud-proof record in the evidence log, in
+// append order. A torn or corrupted tail ends the scan at the last valid
+// record, like WAL recovery.
+func (s *Store) Evidence() ([][]byte, error) {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	b, err := os.ReadFile(filepath.Join(dir, evidenceFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out [][]byte
+	for len(b) > 0 {
+		payload, used, err := readFrame(b)
+		if err != nil {
+			break // torn tail
+		}
+		out = append(out, payload)
+		b = b[used:]
+	}
+	return out, nil
+}

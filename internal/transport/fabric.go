@@ -41,6 +41,9 @@ type FaultInjector interface {
 	// Partition blocks delivery in both directions between every pair drawn
 	// from a and b.
 	Partition(a, b []types.NodeID)
+	// Heal removes the partition rules between every pair drawn from a and
+	// b, leaving other partitions intact.
+	Heal(a, b []types.NodeID)
 	// HealPartition removes all partition rules.
 	HealPartition()
 }

@@ -196,7 +196,7 @@ func (n *Network) Restart(id types.NodeID) {
 }
 
 // Partition blocks delivery in both directions between every pair drawn from
-// a and b. Heal with HealPartition.
+// a and b. Heal pairwise with Heal, or wholesale with HealPartition.
 func (n *Network) Partition(a, b []types.NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -204,6 +204,20 @@ func (n *Network) Partition(a, b []types.NodeID) {
 		for _, y := range b {
 			n.partition[[2]types.NodeID{x, y}] = true
 			n.partition[[2]types.NodeID{y, x}] = true
+		}
+	}
+}
+
+// Heal removes the partition rules between every pair drawn from a and b,
+// leaving any other partitions in place — so overlapping cuts installed by
+// separate Partition calls can be lifted independently.
+func (n *Network) Heal(a, b []types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			delete(n.partition, [2]types.NodeID{x, y})
+			delete(n.partition, [2]types.NodeID{y, x})
 		}
 	}
 }

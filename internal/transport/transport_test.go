@@ -87,6 +87,45 @@ func TestPartitionAndHeal(t *testing.T) {
 	}
 }
 
+// TestPairwiseHeal: two overlapping partitions installed by separate calls
+// must be liftable independently — healing the a↔b cut must not reconnect
+// a↔c. HealPartition's all-or-nothing semantics can't express that, which is
+// what Heal exists for (the partition+equivocation combo scenarios lift one
+// cut while keeping the other).
+func TestPairwiseHeal(t *testing.T) {
+	n := New(Config{}, locateAll)
+	defer n.Close()
+	a, b, c := types.NodeID(0), types.NodeID(1), types.NodeID(2)
+	n.Register(a)
+	inboxB := n.Register(b)
+	inboxC := n.Register(c)
+
+	n.Partition([]types.NodeID{a}, []types.NodeID{b})
+	n.Partition([]types.NodeID{a}, []types.NodeID{c})
+	n.Heal([]types.NodeID{a}, []types.NodeID{b})
+
+	n.Send(b, &types.Envelope{From: a, Type: types.MsgRequest})
+	select {
+	case <-inboxB:
+	case <-time.After(time.Second):
+		t.Fatal("healed pair still partitioned")
+	}
+	n.Send(c, &types.Envelope{From: a, Type: types.MsgRequest})
+	select {
+	case <-inboxC:
+		t.Fatal("pairwise heal lifted an unrelated partition")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Both directions of the healed pair are open.
+	inboxA := n.Register(a)
+	n.Send(a, &types.Envelope{From: b, Type: types.MsgRequest})
+	select {
+	case <-inboxA:
+	case <-time.After(time.Second):
+		t.Fatal("reverse direction still partitioned after heal")
+	}
+}
+
 func TestDropProbability(t *testing.T) {
 	n, a, b, inboxB := twoNodes(Config{DropProb: 1.0})
 	defer n.Close()

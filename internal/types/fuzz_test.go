@@ -154,6 +154,53 @@ func FuzzDecodeSchedStats(f *testing.F) {
 	})
 }
 
+func fuzzFraudProof() *FraudProof {
+	mk := func(d string) *Envelope {
+		m := &ConsensusMsg{View: 2, Seq: 5, Digest: HashBytes([]byte(d)), Cluster: 1}
+		return &Envelope{Type: MsgPrePrepare, From: 9, Payload: m.Encode(nil), Sig: []byte{1, 2, 3, 4}}
+	}
+	return &FraudProof{
+		Offender: 9, Cluster: 1, Kind: FraudDoubleProposal, View: 2, Seq: 5,
+		First: mk("a"), Second: mk("b"),
+	}
+}
+
+func FuzzDecodeFraudProof(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(fuzzFraudProof().Encode(nil))
+	vc := &FraudProof{Offender: 3, Cluster: 0, Kind: FraudConflictingViewChange, View: 1, Seq: 7,
+		First:  &Envelope{Type: MsgViewChange, From: 3, Payload: (&ViewChange{NewView: 1, LastSeq: 7, LastHash: HashBytes([]byte("x"))}).Encode(nil)},
+		Second: &Envelope{Type: MsgViewChange, From: 3, Payload: (&ViewChange{NewView: 1, LastSeq: 7, LastHash: HashBytes([]byte("y"))}).Encode(nil)},
+	}
+	f.Add(vc.Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := DecodeFraudProof(b)
+		if err != nil {
+			return
+		}
+		enc := p.Encode(nil)
+		if !bytes.Equal(enc, b[:len(enc)]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
+func FuzzDecodeEvidenceDump(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&EvidenceDump{Node: 4}).Encode(nil))
+	f.Add((&EvidenceDump{Node: 4, Proofs: []*FraudProof{fuzzFraudProof()}}).Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeEvidenceDump(b)
+		if err != nil {
+			return
+		}
+		enc := d.Encode(nil)
+		if !bytes.Equal(enc, b[:len(enc)]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
 func FuzzDecodeTraceDump(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&TraceDump{Node: 3, Lines: []string{"propose v=0 seq=1", "commit-msg v=0 seq=1"}}).Encode(nil))

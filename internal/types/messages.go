@@ -70,6 +70,13 @@ const (
 	// deployment-wide aggregate after every run.
 	MsgStatsRequest
 	MsgStatsResponse
+
+	// Slashing: a FraudProof gossiped between replicas on detection, and the
+	// driver-side evidence fetch mirroring the trace/stats request pattern.
+	// Appended after the stats pair to keep existing wire values stable.
+	MsgFraudProof
+	MsgEvidenceRequest
+	MsgEvidenceResponse
 )
 
 var msgNames = map[MsgType]string{
@@ -85,6 +92,7 @@ var msgNames = map[MsgType]string{
 	MsgFastPropose:    "fast-propose", MsgFastAccept: "fast-accept", MsgFastCommit: "fast-commit",
 	MsgTraceRequest: "trace-req", MsgTraceResponse: "trace-resp",
 	MsgStatsRequest: "stats-req", MsgStatsResponse: "stats-resp",
+	MsgFraudProof: "fraud-proof", MsgEvidenceRequest: "evidence-req", MsgEvidenceResponse: "evidence-resp",
 }
 
 func (m MsgType) String() string {
@@ -542,6 +550,10 @@ type PreparedInstance struct {
 	Seq    uint64
 	View   uint64 // view the instance was accepted in; highest view wins
 	Digest Hash
+	// Parent is the chain parent the certified votes bound: vote payloads
+	// carry it (see pbft.Engine.votePrepare), so certificate verification
+	// must reconstruct it.
+	Parent Hash
 	Txs    []*Transaction
 	Proof  []VoteProof
 }
@@ -573,6 +585,7 @@ func (v *ViewChange) Encode(dst []byte) []byte {
 		dst = binary.LittleEndian.AppendUint64(dst, p.Seq)
 		dst = binary.LittleEndian.AppendUint64(dst, p.View)
 		dst = append(dst, p.Digest[:]...)
+		dst = append(dst, p.Parent[:]...)
 		dst = EncodeTxBatch(dst, p.Txs)
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.Proof)))
 		for _, pr := range p.Proof {
@@ -606,7 +619,7 @@ func DecodeViewChange(b []byte) (*ViewChange, error) {
 	n := int(binary.LittleEndian.Uint16(b[off:]))
 	off += 2
 	for i := 0; i < n; i++ {
-		if len(b) < off+8+8+32 {
+		if len(b) < off+8+8+32+32 {
 			return nil, fmt.Errorf("types: short view-change prepared entry")
 		}
 		var p PreparedInstance
@@ -615,6 +628,8 @@ func DecodeViewChange(b []byte) (*ViewChange, error) {
 		p.View = binary.LittleEndian.Uint64(b[off:])
 		off += 8
 		copy(p.Digest[:], b[off:off+32])
+		off += 32
+		copy(p.Parent[:], b[off:off+32])
 		off += 32
 		txs, used, err := decodeTxBatch(b[off:])
 		if err != nil {

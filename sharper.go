@@ -179,6 +179,18 @@ type Options struct {
 	// CheckpointInterval is the number of committed blocks between
 	// checkpoints (default 256).
 	CheckpointInterval int
+	// Ed25519 switches Byzantine deployments from the default HMAC
+	// authenticators to real ed25519 signatures. Slower, but fraud proofs
+	// minted under it are verifiable by third parties holding only public
+	// keys.
+	Ed25519 bool
+	// Slash arms the equivocation-detecting auditor on every replica:
+	// conflicting signed claims (double proposals, double votes, conflicting
+	// view-change histories) are turned into fraud proofs, gossiped
+	// cluster-wide, persisted to the evidence log when DataDir is set, and
+	// exposed through FraudProofs. See DESIGN.md, "Adversary model &
+	// slashing".
+	Slash bool
 }
 
 // Network is a running SharPer deployment.
@@ -229,6 +241,8 @@ func New(opts Options) (*Network, error) {
 		DataDir:             opts.DataDir,
 		Sync:                opts.Sync,
 		CheckpointInterval:  opts.CheckpointInterval,
+		Ed25519:             opts.Ed25519,
+		Slash:               opts.Slash,
 	}
 	if opts.Plan != nil {
 		cfg.Topology = opts.Plan.topo
@@ -281,6 +295,11 @@ func (n *Network) SchedStats() types.SchedStats {
 	}
 	return agg
 }
+
+// FraudProofs returns every distinct fraud proof the deployment's slashers
+// hold (empty unless Options.Slash; gossip deduplicated). Call it on a
+// quiesced (or closed) network, like SchedStats.
+func (n *Network) FraudProofs() []*types.FraudProof { return n.d.FraudProofs() }
 
 // Verify checks ledger consistency across all clusters: per-view hash
 // chains, cross-shard agreement, and pairwise commit order. Call it on a
