@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, crossparallel, 6, 7, 8, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, crossparallel, wan, 6, 7, 8, all")
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPath := flag.String("csv", "", "also append results as CSV to this file")
@@ -127,6 +127,8 @@ func main() {
 			writeJSON(out, jsonOverride, "BENCH_hotpath.json", bench.AblationHotpath(out, o))
 		case name == "crossparallel":
 			writeJSON(out, jsonOverride, "BENCH_crossparallel.json", bench.AblationCrossParallel(out, o))
+		case name == "wan":
+			writeJSON(out, jsonOverride, "BENCH_wan.json", bench.AblationWAN(out, o))
 		case name == "6":
 			for _, p := range []string{"6a", "6b", "6c", "6d"} {
 				run(p)
@@ -139,7 +141,7 @@ func main() {
 			run("8a")
 			run("8b")
 		case name == "all":
-			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath", "crossparallel"} {
+			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath", "crossparallel", "wan"} {
 				run(p)
 			}
 		default:

@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -47,6 +48,7 @@ import (
 	"sharper/internal/ledger"
 	"sharper/internal/state"
 	"sharper/internal/storage"
+	"sharper/internal/transport"
 	"sharper/internal/transport/tcpnet"
 	"sharper/internal/types"
 	"sharper/internal/workload"
@@ -71,6 +73,8 @@ func main() {
 	serializeCross := flag.Bool("serialize-cross", false, "restore the legacy serialized cross-shard scheduler (whole-node lock, drain-gated initiation) for A/B comparison")
 	slash := flag.Bool("slash", false, "arm the equivocation-detecting auditor on every replica; the driver and local modes print an offender report from the collected fraud proofs")
 	ed25519 := flag.Bool("ed25519", false, "byzantine model: use ed25519 signatures instead of HMAC, making -slash fraud proofs verifiable by third parties holding only public keys")
+	shapeSpec := flag.String("shape", "", "link shaping: 'multiregion' (the paper's cross-datacenter WAN) or a spec like 'delay 30ms bw 200Mbps loss 0.001' applied to every link; in topology modes it overrides the file's link directives, with -topology-init it is written into the file")
+	verifyWindow := flag.Int("verify-window", 0, "signature batch-verification window per node (1 = strictly per signature; 0 = SHARPER_VERIFY_WINDOW or the built-in default)")
 
 	topoPath := flag.String("topology", "", "topology file: run as one process of a multi-process deployment")
 	topoInit := flag.Bool("topology-init", false, "write a fresh topology file (with -clusters, -f, -model) and exit")
@@ -104,13 +108,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	shaping, err := parseShaping(*shapeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *topoInit {
 		if *topoPath == "" {
 			fmt.Fprintln(os.Stderr, "-topology-init needs -topology FILE")
 			os.Exit(2)
 		}
-		if err := WriteTopologyFile(*topoPath, *host, *basePort, *clusters, *f, fm, *secret); err != nil {
+		if err := WriteTopologyFile(*topoPath, *host, *basePort, *clusters, *f, fm, *secret, *shapeSpec); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s: %d %s clusters, f=%d\n", *topoPath, *clusters, fm, *f)
@@ -121,6 +130,9 @@ func main() {
 		tf, err := ParseTopologyFile(*topoPath)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if shaping != nil {
+			tf.Shaping = shaping // -shape overrides the file's link directives
 		}
 		switch {
 		case *drive:
@@ -171,6 +183,7 @@ func main() {
 				SerializeCross: *serializeCross,
 				Slash:          *slash,
 				Ed25519:        *ed25519,
+				VerifyWindow:   *verifyWindow,
 			}, stop, os.Stdout); err != nil {
 				log.Fatal(err)
 			}
@@ -180,13 +193,37 @@ func main() {
 		return
 	}
 
+	if shaping != nil && *shapeSpec != "multiregion" {
+		// The single-process facade exposes the preset only; arbitrary link
+		// matrices belong in a topology file.
+		fmt.Fprintln(os.Stderr, "single-process mode supports -shape multiregion only (use -topology for custom link shapes)")
+		os.Exit(2)
+	}
 	runLocal(fm, localOptions{
 		Clusters: *clusters, F: *f, CrossPct: *cross, Clients: *clients,
 		Duration: *duration, Seed: *seed, Batch: *batch, ShowDAG: *showDAG,
 		Accounts: *accounts, Balance: *balance, TCP: *transportKind == "tcp",
 		DataDir: *dataDir, Sync: sync, SerializeCross: *serializeCross,
 		Slash: *slash, Ed25519: *ed25519,
+		Multiregion: *shapeSpec == "multiregion", VerifyWindow: *verifyWindow,
 	})
+}
+
+// parseShaping turns the -shape flag into a shaping matrix: empty means no
+// shaping, "multiregion" is the paper's cross-datacenter preset, anything
+// else is one delay/bw/loss spec applied uniformly to every link class.
+func parseShaping(spec string) (*transport.Shaping, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if spec == "multiregion" {
+		return transport.Multiregion(), nil
+	}
+	s, err := transport.ParseLinkShape(strings.Fields(spec))
+	if err != nil {
+		return nil, fmt.Errorf("-shape: %w", err)
+	}
+	return &transport.Shaping{Default: s, Intra: s, Client: s}, nil
 }
 
 func parseModel(s string) (sharper.FailureModel, error) {
@@ -220,6 +257,9 @@ type replicaOptions struct {
 	// third-party verifiable.
 	Slash   bool
 	Ed25519 bool
+	// VerifyWindow is the signature batch-verification window (0 = env or
+	// default, 1 = strictly per signature).
+	VerifyWindow int
 }
 
 // runReplica hosts one node of a multi-process deployment: a TCP fabric
@@ -230,12 +270,18 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 	if !ok {
 		return fmt.Errorf("node %s is not in the topology", self)
 	}
-	fab, err := tcpnet.New(tcpnet.Config{
+	fcfg := tcpnet.Config{
 		Self:       self,
 		ListenAddr: addr,
 		Peers:      tf.Addrs,
 		Secret:     crypto.WireKey(tf.Secret),
-	})
+	}
+	// Every process shapes its own outbound links, so the deployment as a
+	// whole emulates the WAN the topology file describes.
+	if tune := core.ShapeTune(tf.Shaping, opts.Seed, tf.Topo.ClusterOf); tune != nil {
+		tune(&fcfg)
+	}
+	fab, err := tcpnet.New(fcfg)
 	if err != nil {
 		return err
 	}
@@ -252,6 +298,7 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 		SerializeCross: opts.SerializeCross,
 		Slash:          opts.Slash,
 		Ed25519:        opts.Ed25519,
+		VerifyWindow:   opts.VerifyWindow,
 	}
 	if opts.DataDir != "" {
 		pcfg.DataDir = core.NodeDataDir(opts.DataDir, self)
@@ -312,10 +359,16 @@ type driverOptions struct {
 // fabric, issues the workload, then audits the deployment's DAG by fetching
 // every cluster's chain through the sync protocol.
 func runDriver(tf *TopologyFile, opts driverOptions, out io.Writer) error {
-	fab, err := tcpnet.New(tcpnet.Config{
+	fcfg := tcpnet.Config{
 		Peers:  tf.Addrs,
 		Secret: crypto.WireKey(tf.Secret),
-	})
+	}
+	// The driver's dial-only fabric gets the topology's client link shape, so
+	// request/reply latency matches the emulated WAN too.
+	if tune := core.ShapeTune(tf.Shaping, opts.Seed, tf.Topo.ClusterOf); tune != nil {
+		tune(&fcfg)
+	}
+	fab, err := tcpnet.New(fcfg)
 	if err != nil {
 		return err
 	}
@@ -644,6 +697,8 @@ type localOptions struct {
 	SerializeCross                 bool
 	Slash                          bool
 	Ed25519                        bool
+	Multiregion                    bool
+	VerifyWindow                   int
 }
 
 // runLocal is the original single-process mode: a full deployment in one
@@ -670,12 +725,17 @@ func runLocal(fm sharper.FailureModel, opts localOptions) {
 		SerializeCross:   opts.SerializeCross,
 		Slash:            opts.Slash,
 		Ed25519:          opts.Ed25519,
+		Multiregion:      opts.Multiregion,
+		VerifyWindow:     opts.VerifyWindow,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer net.Close()
 
+	if opts.Multiregion {
+		trName += ", multiregion WAN shaping"
+	}
 	size := fm.ClusterSize(opts.F)
 	fmt.Printf("sharperd: %s model, %d clusters × %d nodes (%d total) over %s, %d%% cross-shard, %d clients, batch≤%d\n",
 		fm, opts.Clusters, size, opts.Clusters*size, trName, opts.CrossPct, opts.Clients, opts.Batch)

@@ -18,6 +18,7 @@ import (
 	"sharper/internal/core"
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
+	"sharper/internal/transport"
 	"sharper/internal/transport/tcpnet"
 	"sharper/internal/types"
 )
@@ -352,7 +353,7 @@ func parseTotals(t *testing.T, out string) (committed, crossShard int) {
 
 func TestTopologyFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "topo.txt")
-	if err := WriteTopologyFile(path, "127.0.0.1", 7300, 3, 1, types.Byzantine, "s3cret"); err != nil {
+	if err := WriteTopologyFile(path, "127.0.0.1", 7300, 3, 1, types.Byzantine, "s3cret", "multiregion"); err != nil {
 		t.Fatal(err)
 	}
 	tf, err := ParseTopologyFile(path)
@@ -361,6 +362,9 @@ func TestTopologyFileRoundTrip(t *testing.T) {
 	}
 	if tf.Model != types.Byzantine || tf.F != 1 || tf.Secret != "s3cret" {
 		t.Fatalf("header mismatch: %+v", tf)
+	}
+	if tf.Shaping == nil || tf.Shaping.Default != transport.Multiregion().Default {
+		t.Fatalf("link multiregion did not round-trip: %+v", tf.Shaping)
 	}
 	if len(tf.Topo.Clusters) != 3 {
 		t.Fatalf("want 3 clusters, got %d", len(tf.Topo.Clusters))

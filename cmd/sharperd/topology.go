@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"sharper/internal/consensus"
+	"sharper/internal/transport"
 	"sharper/internal/types"
 )
 
@@ -22,16 +23,30 @@ import (
 //	cluster 0 127.0.0.1:7100 127.0.0.1:7101 127.0.0.1:7102
 //	cluster 1 127.0.0.1:7110 127.0.0.1:7111 127.0.0.1:7112
 //
+// Optional `link` directives shape the links between clusters, netem-style
+// (every process applies them to its own outbound connections, so the whole
+// deployment emulates one WAN from the one file):
+//
+//	link multiregion                    # preset: paper-style cross-datacenter WAN
+//	link default delay 30ms bw 200Mbps  # links between clusters not paired below
+//	link intra delay 500us bw 1Gbps     # links within a cluster
+//	link client delay 1ms               # driver↔replica links, both directions
+//	link 0 2 delay 80ms loss 0.001      # one specific cluster pair
+//
+// The preset may be combined with later overrides; keys are delay, bw (or
+// bandwidth), and loss (a fraction in [0,1]).
+//
 // Node IDs are assigned densely in listing order (cluster 0's members are
 // n0, n1, n2, …), matching consensus.UniformTopology, so every process
 // derives the same topology — and, for Byzantine deployments, the same
 // seed-derived keyring — from the same file.
 type TopologyFile struct {
-	Model  types.FailureModel
-	F      int
-	Secret string
-	Topo   *consensus.Topology
-	Addrs  map[types.NodeID]string
+	Model   types.FailureModel
+	F       int
+	Secret  string
+	Topo    *consensus.Topology
+	Addrs   map[types.NodeID]string
+	Shaping *transport.Shaping // nil when the file has no link directives
 }
 
 // ParseTopologyFile reads and validates a topology file.
@@ -114,6 +129,10 @@ func ParseTopologyFile(path string) (*TopologyFile, error) {
 				next++
 			}
 			tf.Topo.Clusters[cid] = cl
+		case "link":
+			if err := tf.parseLink(fields[1:]); err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+			}
 		default:
 			return nil, fmt.Errorf("%s:%d: unknown directive %q", path, lineNo, fields[0])
 		}
@@ -138,6 +157,56 @@ func ParseTopologyFile(path string) (*TopologyFile, error) {
 	return tf, nil
 }
 
+// parseLink handles one `link` directive (arguments after the keyword).
+func (tf *TopologyFile) parseLink(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("link needs a target (multiregion, default, intra, client, or a cluster pair)")
+	}
+	if tf.Shaping == nil {
+		tf.Shaping = &transport.Shaping{}
+	}
+	switch args[0] {
+	case "multiregion":
+		if len(args) != 1 {
+			return fmt.Errorf("link multiregion takes no further arguments")
+		}
+		pairs := tf.Shaping.Pairs // keep pairs already set; preset fills the classes
+		*tf.Shaping = *transport.Multiregion()
+		if pairs != nil {
+			tf.Shaping.Pairs = pairs
+		}
+		return nil
+	case "default", "intra", "client":
+		shape, err := transport.ParseLinkShape(args[1:])
+		if err != nil {
+			return err
+		}
+		switch args[0] {
+		case "default":
+			tf.Shaping.Default = shape
+		case "intra":
+			tf.Shaping.Intra = shape
+		case "client":
+			tf.Shaping.Client = shape
+		}
+		return nil
+	}
+	if len(args) < 3 {
+		return fmt.Errorf("link pair needs two cluster ids and a shape")
+	}
+	a, errA := strconv.ParseUint(args[0], 10, 16)
+	b, errB := strconv.ParseUint(args[1], 10, 16)
+	if errA != nil || errB != nil {
+		return fmt.Errorf("bad link target %q %q (want multiregion, default, intra, client, or two cluster ids)", args[0], args[1])
+	}
+	shape, err := transport.ParseLinkShape(args[2:])
+	if err != nil {
+		return err
+	}
+	tf.Shaping.SetPair(types.ClusterID(a), types.ClusterID(b), shape)
+	return nil
+}
+
 // NodeByListenAddr resolves -listen: the node whose topology address equals
 // addr.
 func (tf *TopologyFile) NodeByListenAddr(addr string) (types.NodeID, bool) {
@@ -150,11 +219,22 @@ func (tf *TopologyFile) NodeByListenAddr(addr string) (types.NodeID, bool) {
 }
 
 // WriteTopologyFile renders a topology file for n uniform clusters, used by
-// `sharperd -topology-init` to scaffold a deployment.
-func WriteTopologyFile(path, host string, basePort, clusters, f int, model types.FailureModel, secret string) error {
+// `sharperd -topology-init` to scaffold a deployment. A non-empty shape
+// ("multiregion" or a raw delay/bw/loss spec applied to every link class)
+// adds the matching link directives.
+func WriteTopologyFile(path, host string, basePort, clusters, f int, model types.FailureModel, secret, shape string) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# sharperd topology: %d %s clusters, f=%d\n", clusters, model, f)
 	fmt.Fprintf(&b, "model %s\nf %d\nsecret %s\n", model, f, secret)
+	switch {
+	case shape == "multiregion":
+		b.WriteString("# paper-style WAN: fast intra-datacenter links, ~30ms between regions\nlink multiregion\n")
+	case shape != "":
+		if _, err := transport.ParseLinkShape(strings.Fields(shape)); err != nil {
+			return fmt.Errorf("-shape: %w", err)
+		}
+		fmt.Fprintf(&b, "link default %[1]s\nlink intra %[1]s\nlink client %[1]s\n", shape)
+	}
 	size := model.ClusterSize(f)
 	port := basePort
 	for c := 0; c < clusters; c++ {

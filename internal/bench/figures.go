@@ -6,11 +6,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"sharper/internal/ahl"
 	"sharper/internal/apr"
 	"sharper/internal/consensus"
 	"sharper/internal/core"
+	"sharper/internal/crypto"
 	"sharper/internal/fab"
 	"sharper/internal/fastpaxos"
 	"sharper/internal/replica"
@@ -650,6 +652,146 @@ func AblationCrossParallel(w io.Writer, o FigureOptions) []CrossParallelResult {
 		}
 	}
 	Fprint(w, "Ablation — conflict-aware cross-shard scheduling vs serialized, crash model, batch 16", series)
+	return results
+}
+
+// WanResult is one point of the WAN ablation, shaped for the
+// machine-readable BENCH_wan.json that tracks the link-shaping and
+// batched-verification work: shaped-vs-loopback isolates the emulated WAN's
+// cost, batched-vs-per-signature isolates the verify pool's window.
+type WanResult struct {
+	// Crypto is "mac" (PBFT's normal-case HMAC vectors) or "ed25519".
+	Crypto string `json:"crypto"`
+	// Network is "loopback" (unshaped sockets) or "multiregion" (the paper's
+	// cross-datacenter link matrix emulated on those sockets).
+	Network string `json:"network"`
+	// VerifyWindow is the verify pool's batch window (1 = strictly per
+	// signature, the baseline every speedup row divides by).
+	VerifyWindow int     `json:"verify_window"`
+	BatchSize    int     `json:"batch_size"`
+	Clients      int     `json:"clients"`
+	CrossPct     int     `json:"cross_pct"`
+	ThroughputTx float64 `json:"tx_per_sec"`
+	AvgLatencyMs float64 `json:"ms_per_tx"`
+	P99LatencyMs float64 `json:"p99_ms"`
+	// SpeedupVsPerSig is ThroughputTx over the window-1 row with the same
+	// crypto and network (set once both measured).
+	SpeedupVsPerSig float64 `json:"speedup_vs_per_sig,omitempty"`
+	// WanCostPct is the throughput lost to multiregion shaping relative to
+	// the loopback row with the same crypto and window.
+	WanCostPct float64 `json:"wan_cost_pct,omitempty"`
+}
+
+// AblationWAN measures the two halves of the WAN-real fabric work on a
+// Byzantine TCP deployment (4 clusters × 4 over real sockets): per-link
+// multiregion shaping against raw loopback, and windowed batch verification
+// against strict per-signature verification, for both authenticator families.
+// Single-transaction blocks keep the verify pool on the hot path (every
+// commit is its own PBFT instance, so signature checks per transaction are
+// maximal — the regime the batching work targets), and the workload is
+// intra-shard only: cross-shard mixes are bound by cross-region round-trips
+// and lock contention, not verification, so they would bury the crypto A/B
+// in scheduler noise (measured: 10% cross at high client counts loses more
+// to parks/defers than the verify pool can ever win back).
+func AblationWAN(w io.Writer, o FigureOptions) []WanResult {
+	o.fill()
+	const clusters, f = 4, 1
+	const bs = 1
+	const crossPct = 0
+	clients := 64
+	if o.Quick {
+		clients = 24
+	}
+	cases := []struct {
+		crypto  string
+		ed25519 bool
+		network string
+		window  int
+	}{
+		{"mac", false, "loopback", 1},
+		{"mac", false, "loopback", crypto.DefaultVerifyWindow},
+		{"mac", false, "multiregion", 1},
+		{"mac", false, "multiregion", 4},
+		{"mac", false, "multiregion", crypto.DefaultVerifyWindow},
+		{"ed25519", true, "multiregion", 1},
+		{"ed25519", true, "multiregion", crypto.DefaultVerifyWindow},
+	}
+	// Shaped links need a longer window than the defaults (the delay lines
+	// ramp throughput over the first second), and deployments measured back
+	// to back in one process interfere (GC debt, scheduler state): each
+	// configuration runs over several fresh deployments and reports the
+	// median-throughput run, the same discipline as AblationCrossParallel.
+	opts := Options{Warmup: time.Second, Measure: 3 * time.Second}
+	reps := 3
+	if o.Quick {
+		opts = o.bench()
+		reps = 1
+	}
+	perSig := make(map[string]float64)   // crypto/network → window-1 tx/s
+	unshaped := make(map[string]float64) // crypto/window → loopback tx/s
+	var results []WanResult
+	var series []Series
+	for _, c := range cases {
+		var runs []Point
+		for rep := 0; rep < reps; rep++ {
+			gen := workloadFor(clusters, crossPct, o)
+			cfg := core.Config{
+				Model: types.Byzantine, Clusters: clusters, F: f,
+				Seed:      o.Seed + int64(rep),
+				BatchSize: bs, Transport: core.TransportTCP,
+				Ed25519: c.ed25519, VerifyWindow: c.window,
+				// The path under measurement is the wire + the verify pool.
+				NoPersist: true,
+			}
+			if c.network == "multiregion" {
+				cfg.Shaping = transport.Multiregion()
+			}
+			d, err := core.NewDeployment(cfg)
+			if err != nil {
+				fmt.Fprintf(w, "# %s/%s/window-%d: deployment failed: %v\n", c.crypto, c.network, c.window, err)
+				continue
+			}
+			d.SeedAccounts(o.AccountsPerShard, seedBalance)
+			d.Start()
+			sys := SharPerSystem{D: d}
+			runs = append(runs, Run(sys, gen, clients, opts))
+			sys.Stop()
+			runtime.GC() // don't bill this deployment's garbage to the next
+		}
+		if len(runs) == 0 {
+			continue
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].ThroughputTx < runs[j].ThroughputTx })
+		pt := runs[len(runs)/2]
+		r := WanResult{
+			Crypto:       c.crypto,
+			Network:      c.network,
+			VerifyWindow: c.window,
+			BatchSize:    bs,
+			Clients:      clients,
+			CrossPct:     crossPct,
+			ThroughputTx: pt.ThroughputTx,
+			AvgLatencyMs: pt.AvgLatencyMs,
+			P99LatencyMs: pt.P99LatencyMs,
+		}
+		if c.window == 1 {
+			perSig[c.crypto+"/"+c.network] = r.ThroughputTx
+		} else if base := perSig[c.crypto+"/"+c.network]; base > 0 {
+			r.SpeedupVsPerSig = r.ThroughputTx / base
+		}
+		key := fmt.Sprintf("%s/%d", c.crypto, c.window)
+		if c.network == "loopback" {
+			unshaped[key] = r.ThroughputTx
+		} else if base := unshaped[key]; base > 0 {
+			r.WanCostPct = 100 * (base - r.ThroughputTx) / base
+		}
+		results = append(results, r)
+		series = append(series, Series{
+			Name:   fmt.Sprintf("%s/%s/window-%d", c.crypto, c.network, c.window),
+			Points: []Point{pt},
+		})
+	}
+	Fprint(w, "Ablation — WAN shaping + batched verification, Byzantine model over TCP, intra-shard workload", series)
 	return results
 }
 

@@ -56,6 +56,13 @@ type Config struct {
 	// Network configures the simulated fabric; zero value = DefaultConfig.
 	// Ignored under TransportTCP (real sockets have real latency).
 	Network transport.Config
+	// Shaping applies one per-link delay/bandwidth/loss matrix to whichever
+	// fabric the deployment runs over: the simulated network consults it per
+	// message, and TCP replicas shape each peer link from it (cluster pairs
+	// via each peer's cluster, Client for the driver's links and reply
+	// routes). transport.Multiregion() reproduces the paper's
+	// cross-datacenter setup. Nil leaves both fabrics unshaped.
+	Shaping *transport.Shaping
 	// SuperPrimary enables §3.2 super-primary routing (default on via
 	// NewDeployment unless DisableSuperPrimary).
 	DisableSuperPrimary bool
@@ -69,6 +76,12 @@ type Config struct {
 	BatchSize    int
 	BatchTimeout time.Duration
 	MaxInFlight  int
+	// VerifyWindow is the signature batch-verification window of every
+	// node's verify pool: 1 verifies strictly per signature, larger windows
+	// batch-verify with bisection on failure. 0 takes the
+	// SHARPER_VERIFY_WINDOW override, defaulting to
+	// crypto.DefaultVerifyWindow. See NodeConfig.VerifyWindow.
+	VerifyWindow int
 	// SerializeCross restores the pre-conflict-table cross-shard scheduler
 	// (one lead, drain-gated initiation, node-wide deferral) so benchmarks
 	// can A/B the conflict-aware scheduler against it.
@@ -144,7 +157,7 @@ type Deployment struct {
 	// Net is the fabric clients attach to: the shared simulated network, or
 	// the dial-only client fabric of a TCP deployment.
 	Net     transport.Fabric
-	Keyring crypto.Authenticator
+	Keyring crypto.Provider
 	Shards  state.ShardMap
 
 	// fabrics holds each replica's own fabric under TransportTCP (every
@@ -174,6 +187,51 @@ type Deployment struct {
 // with sharperd's per-process replicas.
 func NodeDataDir(base string, id types.NodeID) string {
 	return filepath.Join(base, fmt.Sprintf("node-%d", id))
+}
+
+// ShapeTune translates a topology-level shaping matrix into per-fabric
+// tcpnet link configuration: each replica shapes its outbound link to every
+// peer by the two clusters' pair entry, the client driver's links and the
+// replicas' reply routes take the Client shape. Returns nil (leave fabrics
+// untouched) when shaping is nil — the single translation point shared by
+// in-process TCP deployments and sharperd's one-process-per-replica mode.
+func ShapeTune(sh *transport.Shaping, seed int64, clusterOf func(types.NodeID) (types.ClusterID, bool)) func(*tcpnet.Config) {
+	if sh == nil {
+		return nil
+	}
+	return func(tc *tcpnet.Config) {
+		tc.ShapeSeed = seed
+		// Dial-only fabrics with no listener are client drivers; their
+		// endpoints live outside every cluster.
+		isClient := tc.Listener == nil && tc.ListenAddr == ""
+		selfCluster, located := types.ClusterID(0), false
+		if !isClient {
+			selfCluster, located = clusterOf(tc.Self)
+		}
+		shape := make(map[types.NodeID]transport.LinkShape, len(tc.Peers))
+		for id := range tc.Peers {
+			if id == tc.Self && !isClient {
+				continue
+			}
+			var s transport.LinkShape
+			if isClient || !located {
+				s = sh.Client
+			} else if pc, ok := clusterOf(id); ok {
+				s = sh.For(selfCluster, pc)
+			} else {
+				s = sh.Default
+			}
+			if !s.IsZero() {
+				shape[id] = s
+			}
+		}
+		if len(shape) > 0 {
+			tc.Shape = shape
+		}
+		if cs := sh.Client; !cs.IsZero() {
+			tc.ClientShape = &cs
+		}
+	}
 }
 
 // NewDeployment validates the configuration and builds all nodes (stopped).
@@ -208,6 +266,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		if netCfg.Seed == 0 {
 			netCfg.Seed = cfg.Seed
 		}
+		if cfg.Shaping != nil {
+			netCfg.Shaping = cfg.Shaping
+		}
 		clientNet = transport.New(netCfg, func(id types.NodeID) (types.ClusterID, bool) {
 			return topo.ClusterOf(id)
 		})
@@ -215,7 +276,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		secret := crypto.WireKey(fmt.Sprintf("loopback-%d", cfg.Seed))
 		var clientFab *tcpnet.Net
 		var err error
-		fabrics, clientFab, err = tcpnet.Loopback(topo.AllNodes(), secret, nil)
+		fabrics, clientFab, err = tcpnet.Loopback(topo.AllNodes(), secret, ShapeTune(cfg.Shaping, cfg.Seed, topo.ClusterOf))
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +293,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		return nil, err
 	}
 
-	var auth crypto.Authenticator = crypto.NewMACKeyring()
+	var auth crypto.Provider = crypto.NewMACKeyring()
 	if cfg.Ed25519 {
 		auth = crypto.NewKeyring()
 	}
@@ -308,6 +369,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			MaxInFlight:    cfg.MaxInFlight,
 			SerializeCross: cfg.SerializeCross,
 			SuperPrimary:   !cfg.DisableSuperPrimary,
+			VerifyWindow:   cfg.VerifyWindow,
 			Seed:           cfg.Seed + int64(id) + 2,
 			Storage:        st,
 			Slash:          cfg.Slash,

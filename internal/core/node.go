@@ -85,6 +85,13 @@ type NodeConfig struct {
 	// keyring; the default MAC authenticator still detects and records, but
 	// the evidence convinces only parties holding the MAC keys.
 	Slash bool
+
+	// VerifyWindow is the verification pool's batching window: up to this
+	// many already-arrived envelopes are verified per batch (bisected to
+	// exact per-envelope verdicts on failure, see crypto.VerifyPool). 1
+	// verifies strictly per signature; 0 takes the SHARPER_VERIFY_WINDOW
+	// override, defaulting to crypto.DefaultVerifyWindow.
+	VerifyWindow int
 }
 
 func (c *NodeConfig) fillDefaults() {
@@ -132,6 +139,9 @@ func (c *NodeConfig) fillDefaults() {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 8
 	}
+	if c.VerifyWindow <= 0 {
+		c.VerifyWindow = envVerifyWindow()
+	}
 }
 
 // envBatchSize reads the SHARPER_BATCH override (default 1, the paper's
@@ -143,6 +153,18 @@ func envBatchSize() int {
 		}
 	}
 	return 1
+}
+
+// envVerifyWindow reads the SHARPER_VERIFY_WINDOW override (default
+// crypto.DefaultVerifyWindow), so CI can re-run the whole suite with
+// batching disabled (1) or widened without touching call sites.
+func envVerifyWindow() int {
+	if v := os.Getenv("SHARPER_VERIFY_WINDOW"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return crypto.DefaultVerifyWindow
 }
 
 // replyCacheSize bounds the retransmission-dedup cache; entries older than
@@ -489,7 +511,7 @@ func (n *Node) Start() {
 	// leak no goroutines. NoopSigner deployments skip it: every envelope
 	// verifies trivially, the pipeline would be pure overhead.
 	if _, noop := n.cfg.Verifier.(crypto.NoopSigner); !noop {
-		n.vpool = crypto.NewVerifyPool(n.cfg.Verifier, n.inbox, 0, 0)
+		n.vpool = crypto.NewVerifyPool(n.cfg.Verifier, n.inbox, 0, 0, n.cfg.VerifyWindow)
 	}
 	go n.loop()
 }

@@ -41,6 +41,9 @@ type ProcessConfig struct {
 	BatchSize    int
 	BatchTimeout time.Duration
 	MaxInFlight  int
+	// VerifyWindow is the node's signature batch-verification window (see
+	// NodeConfig.VerifyWindow; 1 = strictly per signature).
+	VerifyWindow int
 	// SerializeCross restores the legacy serialized cross-shard scheduler.
 	SerializeCross bool
 	// DisableSuperPrimary turns off §3.2 super-primary routing.
@@ -128,6 +131,7 @@ func NewProcessNode(cfg ProcessConfig) (*Node, error) {
 		BatchSize:      cfg.BatchSize,
 		BatchTimeout:   cfg.BatchTimeout,
 		MaxInFlight:    cfg.MaxInFlight,
+		VerifyWindow:   cfg.VerifyWindow,
 		SerializeCross: cfg.SerializeCross,
 		SuperPrimary:   !cfg.DisableSuperPrimary,
 		Seed:           cfg.Seed + int64(cfg.Self) + 2,

@@ -9,10 +9,17 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
+	"hash"
 	"math/rand"
 	"sync"
 
 	"sharper/internal/types"
+)
+
+// Both keyrings implement the full Provider surface.
+var (
+	_ Provider = (*Keyring)(nil)
+	_ Provider = (*MACKeyring)(nil)
 )
 
 // Signer signs payloads on behalf of one node.
@@ -46,6 +53,34 @@ type Authenticator interface {
 	Verifier
 	Generate(id types.NodeID, rng *rand.Rand) error
 	SignerFor(id types.NodeID) (Signer, error)
+}
+
+// BatchVerifier verifies a whole window of signatures with one aggregate
+// answer: true iff every (from, payload, sig) triple verifies. It does not
+// attribute failures — a backend with a genuine aggregate check (batched
+// ed25519 equations, shared keyed-MAC sessions) answers for the window as a
+// whole, and on false the caller bisects into sub-windows (ultimately
+// singleton Verify calls) to recover exact per-item verdicts. VerifyPool
+// implements that bisection, which is what keeps slashing evidence sound:
+// batching can never blur which envelope carried the forged signature.
+type BatchVerifier interface {
+	VerifyBatch(from []types.NodeID, payloads, sigs [][]byte) bool
+}
+
+// Provider is the full crypto surface a deployment wires its nodes and
+// fabrics to (the narrow swappable-backend interface, after rubin-protocol's
+// CryptoProvider): per-node signing and verification (Authenticator),
+// windowed batch verification (BatchVerifier), and wire-frame authentication
+// for the transport. All pooled state — per-sender keyed MAC sessions, frame
+// HMAC pools — is owned behind this interface, so hot paths never build
+// keyed state per message and backends can be swapped without touching the
+// engines.
+type Provider interface {
+	Authenticator
+	BatchVerifier
+	// FrameAuth returns the transport-frame authenticator for a derived wire
+	// key (see WireKey); fabrics split it into per-link sessions.
+	FrameAuth(key []byte) *FrameAuth
 }
 
 // Keyring holds the ed25519 key pairs of an entire deployment. Each node
@@ -108,6 +143,32 @@ func (k *Keyring) Verify(from types.NodeID, payload, sig []byte) bool {
 	return ed25519.Verify(pub, payload, sig)
 }
 
+// VerifyBatch reports whether every signature in the window verifies. The
+// in-tree backend has no aggregate ed25519 equation (that is what a curve
+// library would slot in here), so the window win is amortized key-directory
+// locking and the caller's amortized dispatch; verdict semantics match a
+// loop of Verify exactly.
+func (k *Keyring) VerifyBatch(from []types.NodeID, payloads, sigs [][]byte) bool {
+	k.mu.RLock()
+	pubs := make([]ed25519.PublicKey, len(from))
+	for i, id := range from {
+		pubs[i] = k.pub[id]
+	}
+	k.mu.RUnlock()
+	for i := range from {
+		if pubs[i] == nil || len(sigs[i]) != ed25519.SignatureSize {
+			return false
+		}
+		if !ed25519.Verify(pubs[i], payloads[i], sigs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FrameAuth returns a pooled wire-frame authenticator for key.
+func (k *Keyring) FrameAuth(key []byte) *FrameAuth { return NewFrameAuth(key) }
+
 // SignerFor returns a Signer bound to id's private key.
 func (k *Keyring) SignerFor(id types.NodeID) (Signer, error) {
 	k.mu.RLock()
@@ -152,11 +213,21 @@ func (r rngReader) Read(p []byte) (int, error) {
 type MACKeyring struct {
 	mu   sync.RWMutex
 	keys map[types.NodeID][]byte
+	// sessions pools pre-keyed HMAC states per node: the batch path and the
+	// signers Reset a pooled state instead of paying hmac.New's two SHA-256
+	// key blocks (and four allocations) per message. The singleton Verify
+	// keeps the straightforward per-call construction — it is the
+	// per-signature baseline the batching window is measured against, and
+	// the cold path engines fall back to.
+	sessions map[types.NodeID]*sync.Pool
 }
 
 // NewMACKeyring creates an empty MAC keyring.
 func NewMACKeyring() *MACKeyring {
-	return &MACKeyring{keys: make(map[types.NodeID][]byte)}
+	return &MACKeyring{
+		keys:     make(map[types.NodeID][]byte),
+		sessions: make(map[types.NodeID]*sync.Pool),
+	}
 }
 
 // Generate creates and registers a 32-byte secret for id.
@@ -167,6 +238,7 @@ func (k *MACKeyring) Generate(id types.NodeID, rng *rand.Rand) error {
 	}
 	k.mu.Lock()
 	k.keys[id] = key
+	k.sessions[id] = &sync.Pool{New: func() any { return hmac.New(sha256.New, key) }}
 	k.mu.Unlock()
 	return nil
 }
@@ -184,22 +256,78 @@ func (k *MACKeyring) Verify(from types.NodeID, payload, sig []byte) bool {
 	return hmac.Equal(sig, mac.Sum(nil))
 }
 
+// VerifyBatch reports whether every tag in the window verifies, recomputing
+// each over a pooled per-sender keyed state — the session-MAC fast path. A
+// one-slot sender cache exploits the same-sender streaks consensus windows
+// are full of (a primary's pre-prepares, a burst of one replica's votes).
+func (k *MACKeyring) VerifyBatch(from []types.NodeID, payloads, sigs [][]byte) bool {
+	var (
+		cached   types.NodeID
+		pool     *sync.Pool
+		mac      hash.Hash
+		sum      [sha256.Size]byte
+		verified = true
+	)
+	release := func() {
+		if mac != nil {
+			pool.Put(mac)
+			mac = nil
+		}
+	}
+	for i := range from {
+		if !verified {
+			break
+		}
+		if len(sigs[i]) != sha256.Size {
+			verified = false
+			break
+		}
+		if mac == nil || from[i] != cached {
+			release()
+			k.mu.RLock()
+			pool = k.sessions[from[i]]
+			k.mu.RUnlock()
+			if pool == nil {
+				verified = false
+				break
+			}
+			cached = from[i]
+			mac = pool.Get().(hash.Hash)
+		}
+		mac.Reset()
+		mac.Write(payloads[i])
+		if !hmac.Equal(sigs[i], mac.Sum(sum[:0])) {
+			verified = false
+		}
+	}
+	release()
+	return verified
+}
+
+// FrameAuth returns a pooled wire-frame authenticator for key.
+func (k *MACKeyring) FrameAuth(key []byte) *FrameAuth { return NewFrameAuth(key) }
+
 // SignerFor returns a Signer bound to id's secret.
 func (k *MACKeyring) SignerFor(id types.NodeID) (Signer, error) {
 	k.mu.RLock()
-	key, ok := k.keys[id]
+	pool, ok := k.sessions[id]
 	k.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("crypto: no MAC key for %s", id)
 	}
-	return macSigner{key: key}, nil
+	return macSigner{pool: pool}, nil
 }
 
-type macSigner struct{ key []byte }
+type macSigner struct{ pool *sync.Pool }
 
-// Sign returns the HMAC-SHA256 tag over payload.
+// Sign returns the HMAC-SHA256 tag over payload, computed on a pooled keyed
+// state (the signing half of the session-MAC machinery: no per-message keyed
+// setup; only the returned tag allocates, since it escapes to the wire).
 func (s macSigner) Sign(payload []byte) []byte {
-	mac := hmac.New(sha256.New, s.key)
+	mac := s.pool.Get().(hash.Hash)
+	mac.Reset()
 	mac.Write(payload)
-	return mac.Sum(nil)
+	tag := mac.Sum(nil)
+	s.pool.Put(mac)
+	return tag
 }

@@ -41,15 +41,18 @@ func VerifyFrameTag(key, frame, tag []byte) bool {
 // FrameAuth is the hot-path form of FrameTag/VerifyFrameTag: one instance
 // per fabric holds a pool of keyed HMAC states, so tagging or verifying a
 // frame costs a Reset instead of rebuilding the two SHA-256 key blocks (and
-// their allocations) that hmac.New pays on every call.
+// their allocations) that hmac.New pays on every call. Link goroutines that
+// own their whole read or write path should hold a FrameSession instead and
+// skip the pool round-trip per frame too.
 type FrameAuth struct {
+	key  []byte
 	pool sync.Pool
 }
 
 // NewFrameAuth builds a pooled authenticator for key (see WireKey).
 func NewFrameAuth(key []byte) *FrameAuth {
 	k := append([]byte(nil), key...)
-	return &FrameAuth{pool: sync.Pool{New: func() any { return hmac.New(sha256.New, k) }}}
+	return &FrameAuth{key: k, pool: sync.Pool{New: func() any { return hmac.New(sha256.New, k) }}}
 }
 
 // AppendTag appends the authenticator over msg to dst and returns the
@@ -75,5 +78,39 @@ func (a *FrameAuth) Verify(msg, tag []byte) bool {
 	var sum [FrameTagSize]byte
 	got := m.Sum(sum[:0])
 	a.pool.Put(m)
+	return hmac.Equal(tag, got)
+}
+
+// NewSession returns a session authenticator for one link direction: a
+// dedicated rolling keyed HMAC state owned by a single goroutine (a link's
+// writer or its read loop), so per-frame authentication is a Reset on local
+// state — no pool synchronization, no per-frame keyed setup. Sessions must
+// not be shared between goroutines.
+func (a *FrameAuth) NewSession() *FrameSession {
+	return &FrameSession{m: hmac.New(sha256.New, a.key)}
+}
+
+// FrameSession is the per-link form of FrameAuth (see NewSession).
+type FrameSession struct {
+	m   hash.Hash
+	sum [FrameTagSize]byte
+}
+
+// AppendTag appends the authenticator over msg to dst and returns the
+// extended slice. msg may alias dst.
+func (s *FrameSession) AppendTag(dst, msg []byte) []byte {
+	s.m.Reset()
+	s.m.Write(msg)
+	return s.m.Sum(dst)
+}
+
+// Verify reports whether tag authenticates msg, in constant time.
+func (s *FrameSession) Verify(msg, tag []byte) bool {
+	if len(tag) != FrameTagSize {
+		return false
+	}
+	s.m.Reset()
+	s.m.Write(msg)
+	got := s.m.Sum(s.sum[:0])
 	return hmac.Equal(tag, got)
 }

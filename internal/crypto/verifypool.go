@@ -7,6 +7,11 @@ import (
 	"sharper/internal/types"
 )
 
+// DefaultVerifyWindow is the batch-verification window used when a node does
+// not configure one: up to this many already-queued envelopes are verified
+// as one batch.
+const DefaultVerifyWindow = 16
+
 // VerifyPool verifies envelope signatures on a bounded worker pool ahead of
 // a node's single-threaded consensus loop. Envelopes are read from the
 // node's inbox, verified concurrently (MAC vectors or ed25519, whichever
@@ -15,11 +20,26 @@ import (
 // arrived — so per-sender FIFO delivery, which the protocols rely on, is
 // preserved while the signature CPU cost moves off the event loop.
 //
+// # Windowed batch verification
+//
+// With window > 1 and a Verifier that implements BatchVerifier, the pool
+// accumulates up to `window` envelopes per job — only what the inbox already
+// holds, never waiting, so an idle link adds zero latency — and verifies the
+// window with one VerifyBatch call (pooled per-sender MAC sessions, or an
+// aggregate signature equation in a batched backend). A window that fails
+// the aggregate check is bisected: each half re-verified, down to singleton
+// Verify calls, so every envelope still ends up with its own exact verdict.
+// That bisection is what keeps slashing evidence sound — a forged signature
+// in a batch of honest traffic is pinned to precisely the envelope that
+// carried it, and only that envelope is marked invalid.
+//
 // The engines consult the cached verdict through Envelope.Auth and only
 // fall back to inline verification for envelopes that never passed through
 // a pool (tests stepping engines directly, recovery paths).
 type VerifyPool struct {
 	verifier Verifier
+	batch    BatchVerifier // nil → per-signature verification
+	window   int
 
 	work    chan *verifyJob
 	ordered chan *verifyJob
@@ -30,10 +50,10 @@ type VerifyPool struct {
 	wg        sync.WaitGroup
 }
 
-// verifyJob is one envelope in flight; done closes when the verdict is
-// marked on the envelope.
+// verifyJob is one verification window in flight; done closes when every
+// envelope in it has its verdict marked.
 type verifyJob struct {
-	env  *types.Envelope
+	envs []*types.Envelope
 	done chan struct{}
 }
 
@@ -41,8 +61,10 @@ type verifyJob struct {
 // verified envelopes on Out in arrival order. workers ≤ 0 picks
 // min(GOMAXPROCS, 4); depth ≤ 0 picks 256 (the backpressure bound: when the
 // consumer stalls, Submit stalls, and the fabric's inbox fills exactly as it
-// would without the pool). Close the pool after the consumer stops.
-func NewVerifyPool(v Verifier, in <-chan *types.Envelope, workers, depth int) *VerifyPool {
+// would without the pool). window ≤ 0 picks DefaultVerifyWindow; window 1
+// verifies strictly per signature (the A/B baseline); larger windows batch
+// when v implements BatchVerifier. Close the pool after the consumer stops.
+func NewVerifyPool(v Verifier, in <-chan *types.Envelope, workers, depth, window int) *VerifyPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 		if workers > 4 {
@@ -52,12 +74,19 @@ func NewVerifyPool(v Verifier, in <-chan *types.Envelope, workers, depth int) *V
 	if depth <= 0 {
 		depth = 256
 	}
+	if window <= 0 {
+		window = DefaultVerifyWindow
+	}
 	p := &VerifyPool{
 		verifier: v,
+		window:   window,
 		work:     make(chan *verifyJob, depth),
 		ordered:  make(chan *verifyJob, depth),
 		out:      make(chan *types.Envelope, depth),
 		done:     make(chan struct{}),
+	}
+	if bv, ok := v.(BatchVerifier); ok && window > 1 {
+		p.batch = bv
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -80,7 +109,9 @@ func (p *VerifyPool) Close() {
 }
 
 // feed submits inbox arrivals in order: the ordered queue fixes emission
-// order, the work queue feeds the workers.
+// order, the work queue feeds the workers. Each job gathers whatever the
+// inbox already holds, up to the window — accumulation never waits for
+// traffic that has not arrived.
 func (p *VerifyPool) feed(in <-chan *types.Envelope) {
 	defer p.wg.Done()
 	for {
@@ -88,7 +119,17 @@ func (p *VerifyPool) feed(in <-chan *types.Envelope) {
 		case <-p.done:
 			return
 		case env := <-in:
-			j := &verifyJob{env: env, done: make(chan struct{})}
+			j := &verifyJob{envs: make([]*types.Envelope, 1, p.window), done: make(chan struct{})}
+			j.envs[0] = env
+		fill:
+			for len(j.envs) < p.window {
+				select {
+				case more := <-in:
+					j.envs = append(j.envs, more)
+				default:
+					break fill
+				}
+			}
 			select {
 			case p.ordered <- j:
 			case <-p.done:
@@ -103,21 +144,62 @@ func (p *VerifyPool) feed(in <-chan *types.Envelope) {
 	}
 }
 
-// worker verifies jobs as they come, in any order.
+// batchScratch is one worker's reusable argument slices for VerifyBatch.
+type batchScratch struct {
+	from     []types.NodeID
+	payloads [][]byte
+	sigs     [][]byte
+}
+
+func (s *batchScratch) load(envs []*types.Envelope) {
+	s.from, s.payloads, s.sigs = s.from[:0], s.payloads[:0], s.sigs[:0]
+	for _, e := range envs {
+		s.from = append(s.from, e.From)
+		s.payloads = append(s.payloads, e.Payload)
+		s.sigs = append(s.sigs, e.Sig)
+	}
+}
+
+// worker verifies windows as they come, in any order.
 func (p *VerifyPool) worker() {
 	defer p.wg.Done()
+	var scratch batchScratch
 	for {
 		select {
 		case <-p.done:
 			return
 		case j := <-p.work:
-			j.env.MarkAuth(p.verifier.Verify(j.env.From, j.env.Payload, j.env.Sig))
+			p.verifyWindow(j.envs, &scratch)
 			close(j.done)
 		}
 	}
 }
 
-// collect re-serializes: wait for each job in submission order, then emit.
+// verifyWindow marks a verdict on every envelope: one aggregate VerifyBatch
+// when the whole window is clean (the overwhelmingly common case), bisection
+// down to singleton Verify calls when it is not.
+func (p *VerifyPool) verifyWindow(envs []*types.Envelope, scratch *batchScratch) {
+	if len(envs) == 1 {
+		env := envs[0]
+		env.MarkAuth(p.verifier.Verify(env.From, env.Payload, env.Sig))
+		return
+	}
+	if p.batch != nil {
+		scratch.load(envs)
+		if p.batch.VerifyBatch(scratch.from, scratch.payloads, scratch.sigs) {
+			for _, e := range envs {
+				e.MarkAuth(true)
+			}
+			return
+		}
+	}
+	mid := len(envs) / 2
+	p.verifyWindow(envs[:mid], scratch)
+	p.verifyWindow(envs[mid:], scratch)
+}
+
+// collect re-serializes: wait for each window in submission order, then emit
+// its envelopes.
 func (p *VerifyPool) collect() {
 	defer p.wg.Done()
 	for {
@@ -130,10 +212,12 @@ func (p *VerifyPool) collect() {
 			case <-p.done:
 				return
 			}
-			select {
-			case p.out <- j.env:
-			case <-p.done:
-				return
+			for _, env := range j.envs {
+				select {
+				case p.out <- env:
+				case <-p.done:
+					return
+				}
 			}
 		}
 	}

@@ -32,7 +32,7 @@ func TestVerifyPoolOrderAndVerdicts(t *testing.T) {
 
 	const total = 600
 	in := make(chan *types.Envelope, total)
-	p := NewVerifyPool(k, in, 4, 32)
+	p := NewVerifyPool(k, in, 4, 32, 16)
 	defer p.Close()
 
 	sent := make([]*types.Envelope, 0, total)
@@ -87,7 +87,7 @@ func TestVerifyPoolMalformedSignatures(t *testing.T) {
 	}
 
 	in := make(chan *types.Envelope, 64)
-	p := NewVerifyPool(k, in, 4, 8)
+	p := NewVerifyPool(k, in, 4, 8, 8)
 	defer p.Close()
 
 	payload := []byte("attack at dawn")
@@ -156,7 +156,7 @@ func TestVerifyPoolBadMACFloodDoesNotStarveHonest(t *testing.T) {
 
 	const total = 2000
 	in := make(chan *types.Envelope, 256)
-	p := NewVerifyPool(k, in, 4, 32)
+	p := NewVerifyPool(k, in, 4, 32, 16)
 	defer p.Close()
 
 	type expect struct {
@@ -227,7 +227,7 @@ func TestVerifyPoolCloseUnblocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := make(chan *types.Envelope, 1024)
-	p := NewVerifyPool(k, in, 2, 4)
+	p := NewVerifyPool(k, in, 2, 4, 4)
 	for i := 0; i < 1024; i++ {
 		in <- &types.Envelope{From: 1, Payload: []byte{byte(i)}}
 	}

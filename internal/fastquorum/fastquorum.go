@@ -184,6 +184,11 @@ func (e *Engine) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outb
 	if m.Digest != types.BatchDigest(m.Txs) {
 		return nil, nil
 	}
+	if m.Seq <= e.committedSeq {
+		// Delivered slot: a re-delivered proposal must not resurrect its
+		// deleted instance (see pbft.Engine.onPrepare).
+		return nil, nil
+	}
 	inst := e.getInstance(m.Seq)
 	if len(inst.txs) == 0 {
 		inst.digest = m.Digest
@@ -219,6 +224,9 @@ func (e *Engine) onAccept(env *types.Envelope) ([]consensus.Outbound, []consensu
 	m, err := types.DecodeConsensusMsg(env.Payload)
 	if err != nil {
 		return nil, nil
+	}
+	if m.Seq <= e.committedSeq {
+		return nil, nil // delivered slot; straggler vote (see pbft.Engine.onPrepare)
 	}
 	inst := e.getInstance(m.Seq)
 	inst.accepts[env.From] = m.Digest

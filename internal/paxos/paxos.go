@@ -647,6 +647,13 @@ func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensu
 	if env.From != e.topo.Primary(e.cluster, m.View) {
 		return nil, nil
 	}
+	if m.Seq <= e.committedSeq {
+		// The slot is already delivered; a straggler commit must not
+		// resurrect its deleted instance (see pbft.Engine.onPrepare — the
+		// zombie would linger in e.instances and tax every Tick and
+		// HasUncommitted sweep).
+		return nil, nil
+	}
 	inst, ok := e.instances[m.Seq]
 	if !ok {
 		// Commit raced ahead of accept; remember it and wait for the accept.

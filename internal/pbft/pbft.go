@@ -599,6 +599,14 @@ func (e *Engine) onPrepare(env *types.Envelope) ([]consensus.Outbound, []consens
 	if err != nil || m.View != e.view || m.View < e.promised {
 		return nil, nil
 	}
+	if m.Seq <= e.committedSeq {
+		// The slot is already delivered; a straggler vote must not resurrect
+		// its deleted instance (the zombie would sit in e.instances forever —
+		// only SyncChainHead trims below the head — and every Tick and
+		// HasUncommitted pays to skip it). The slasher audited the envelope
+		// before dispatch, so no equivocation evidence is lost.
+		return nil, nil
+	}
 	inst := e.getInstance(m.Seq)
 	inst.prepares[env.From] = m.Digest
 	inst.voteSigs[env.From] = env.Sig
@@ -609,6 +617,9 @@ func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensu
 	m, err := types.DecodeConsensusMsg(env.Payload)
 	if err != nil || m.View < e.promised {
 		return nil, nil
+	}
+	if m.Seq <= e.committedSeq {
+		return nil, nil // delivered slot; see onPrepare
 	}
 	inst := e.getInstance(m.Seq)
 	inst.commits[env.From] = m.Digest

@@ -1,0 +1,188 @@
+// Link shaping: netem-style per-link delay / bandwidth / loss emulation,
+// shared by both fabrics. The simulated Network applies a Shaping directly in
+// its delivery model; the TCP fabric (internal/transport/tcpnet) applies the
+// per-peer LinkShape it derives from the same Shaping on each outbound link.
+// One topology file therefore drives identical network conditions over either
+// fabric, which is what makes cross-datacenter numbers comparable between the
+// simulation and real processes.
+package transport
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"sharper/internal/types"
+)
+
+// LinkShape is the emulated behaviour of one directed link.
+type LinkShape struct {
+	// Delay is the added one-way propagation delay.
+	Delay time.Duration
+	// Bandwidth caps the link's throughput in bits per second (0 =
+	// unlimited). Frames serialize onto the link one after another, so a
+	// burst behind a slow link sees queueing delay on top of Delay, exactly
+	// like netem's rate limiter.
+	Bandwidth int64
+	// Loss drops each frame independently with this probability.
+	Loss float64
+}
+
+// IsZero reports whether the shape emulates nothing.
+func (s LinkShape) IsZero() bool {
+	return s.Delay == 0 && s.Bandwidth == 0 && s.Loss == 0
+}
+
+// TxTime is how long n bytes occupy the link at the shaped bandwidth.
+func (s LinkShape) TxTime(n int) time.Duration {
+	if s.Bandwidth <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) * 8 / float64(s.Bandwidth) * float64(time.Second))
+}
+
+func (s LinkShape) String() string {
+	var parts []string
+	if s.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay %s", s.Delay))
+	}
+	if s.Bandwidth > 0 {
+		parts = append(parts, fmt.Sprintf("bw %s", FormatBandwidth(s.Bandwidth)))
+	}
+	if s.Loss > 0 {
+		parts = append(parts, fmt.Sprintf("loss %g", s.Loss))
+	}
+	if len(parts) == 0 {
+		return "unshaped"
+	}
+	return strings.Join(parts, " ")
+}
+
+// ClusterPair is an unordered cluster pair, the key of a Shaping matrix
+// entry. Use PairKey to normalize.
+type ClusterPair struct{ A, B types.ClusterID }
+
+// PairKey normalizes an unordered cluster pair.
+func PairKey(a, b types.ClusterID) ClusterPair {
+	if b < a {
+		a, b = b, a
+	}
+	return ClusterPair{A: a, B: b}
+}
+
+// Shaping is a deployment's link-shape matrix: defaults per link class plus
+// per cluster-pair overrides. Links are symmetric (the shape applies to both
+// directions independently, like configuring netem on both endpoints).
+type Shaping struct {
+	// Default applies to cross-cluster links without a Pairs override.
+	Default LinkShape
+	// Intra applies between nodes of the same cluster.
+	Intra LinkShape
+	// Client applies between clients and replicas (both directions).
+	Client LinkShape
+	// Pairs overrides the cross-cluster default for specific cluster pairs.
+	Pairs map[ClusterPair]LinkShape
+}
+
+// SetPair records a cluster-pair override.
+func (s *Shaping) SetPair(a, b types.ClusterID, shape LinkShape) {
+	if s.Pairs == nil {
+		s.Pairs = make(map[ClusterPair]LinkShape)
+	}
+	s.Pairs[PairKey(a, b)] = shape
+}
+
+// For returns the shape of the link between clusters a and b.
+func (s *Shaping) For(a, b types.ClusterID) LinkShape {
+	if a == b {
+		return s.Intra
+	}
+	if sh, ok := s.Pairs[PairKey(a, b)]; ok {
+		return sh
+	}
+	return s.Default
+}
+
+// Multiregion reproduces the paper's cross-datacenter deployment (§4 runs
+// clusters in different regions): sub-millisecond links inside a datacenter,
+// tens of milliseconds and constrained bandwidth between them, clients
+// co-located with their home region.
+func Multiregion() *Shaping {
+	return &Shaping{
+		Intra:   LinkShape{Delay: 500 * time.Microsecond, Bandwidth: 1_000_000_000},
+		Default: LinkShape{Delay: 30 * time.Millisecond, Bandwidth: 200_000_000},
+		Client:  LinkShape{Delay: 1 * time.Millisecond, Bandwidth: 1_000_000_000},
+	}
+}
+
+// ParseBandwidth parses a rate like "200Mbps", "1gbps", "64kbps", or a plain
+// number of bits per second.
+func ParseBandwidth(s string) (int64, error) {
+	v := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(v, "kbps"):
+		mult, v = 1_000, strings.TrimSuffix(v, "kbps")
+	case strings.HasSuffix(v, "mbps"):
+		mult, v = 1_000_000, strings.TrimSuffix(v, "mbps")
+	case strings.HasSuffix(v, "gbps"):
+		mult, v = 1_000_000_000, strings.TrimSuffix(v, "gbps")
+	case strings.HasSuffix(v, "bps"):
+		v = strings.TrimSuffix(v, "bps")
+	}
+	n, err := strconv.ParseFloat(v, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("transport: bad bandwidth %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}
+
+// FormatBandwidth renders bits per second with the largest clean suffix.
+func FormatBandwidth(bps int64) string {
+	switch {
+	case bps >= 1_000_000_000 && bps%1_000_000_000 == 0:
+		return fmt.Sprintf("%dGbps", bps/1_000_000_000)
+	case bps >= 1_000_000 && bps%1_000_000 == 0:
+		return fmt.Sprintf("%dMbps", bps/1_000_000)
+	case bps >= 1_000 && bps%1_000 == 0:
+		return fmt.Sprintf("%dKbps", bps/1_000)
+	default:
+		return fmt.Sprintf("%dbps", bps)
+	}
+}
+
+// ParseLinkShape parses the key/value tail of a topology-file link directive:
+// "delay 30ms bw 200Mbps loss 0.001" in any order. Unknown keys are errors.
+func ParseLinkShape(args []string) (LinkShape, error) {
+	var shape LinkShape
+	if len(args)%2 != 0 {
+		return shape, fmt.Errorf("transport: link shape needs key/value pairs, got %q", strings.Join(args, " "))
+	}
+	for i := 0; i < len(args); i += 2 {
+		key, val := args[i], args[i+1]
+		switch key {
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return shape, fmt.Errorf("transport: bad link delay %q", val)
+			}
+			shape.Delay = d
+		case "bw", "bandwidth":
+			b, err := ParseBandwidth(val)
+			if err != nil {
+				return shape, err
+			}
+			shape.Bandwidth = b
+		case "loss":
+			l, err := strconv.ParseFloat(val, 64)
+			if err != nil || l < 0 || l > 1 {
+				return shape, fmt.Errorf("transport: bad link loss %q (want [0,1])", val)
+			}
+			shape.Loss = l
+		default:
+			return shape, fmt.Errorf("transport: unknown link shape key %q", key)
+		}
+	}
+	return shape, nil
+}

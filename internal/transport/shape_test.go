@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"sharper/internal/types"
+)
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"200Mbps", 200_000_000},
+		{"1gbps", 1_000_000_000},
+		{"64kbps", 64_000},
+		{"1.5Mbps", 1_500_000},
+		{"9600bps", 9600},
+		{"9600", 9600},
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBandwidth(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "fast", "-1Mbps"} {
+		if _, err := ParseBandwidth(bad); err == nil {
+			t.Errorf("ParseBandwidth(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseLinkShape(t *testing.T) {
+	s, err := ParseLinkShape([]string{"delay", "30ms", "bw", "200Mbps", "loss", "0.01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Delay != 30*time.Millisecond || s.Bandwidth != 200_000_000 || s.Loss != 0.01 {
+		t.Fatalf("parsed %+v", s)
+	}
+	for _, bad := range [][]string{
+		{"delay"},          // dangling key
+		{"delay", "fast"},  // bad duration
+		{"loss", "2"},      // out of range
+		{"speed", "1Mbps"}, // unknown key
+		{"bw", "veryfast"}, // bad rate
+		{"delay", "-5ms"},  // negative
+	} {
+		if _, err := ParseLinkShape(bad); err == nil {
+			t.Errorf("ParseLinkShape(%v) succeeded", bad)
+		}
+	}
+}
+
+func TestShapingForMatrix(t *testing.T) {
+	s := &Shaping{
+		Default: LinkShape{Delay: 30 * time.Millisecond},
+		Intra:   LinkShape{Delay: 500 * time.Microsecond},
+		Client:  LinkShape{Delay: time.Millisecond},
+	}
+	s.SetPair(1, 0, LinkShape{Delay: 80 * time.Millisecond})
+	if got := s.For(0, 0); got.Delay != 500*time.Microsecond {
+		t.Fatalf("intra = %v", got)
+	}
+	// Pair lookup is symmetric regardless of the order set or queried.
+	if got := s.For(0, 1); got.Delay != 80*time.Millisecond {
+		t.Fatalf("pair 0-1 = %v", got)
+	}
+	if got := s.For(1, 0); got.Delay != 80*time.Millisecond {
+		t.Fatalf("pair 1-0 = %v", got)
+	}
+	if got := s.For(0, 2); got.Delay != 30*time.Millisecond {
+		t.Fatalf("default = %v", got)
+	}
+}
+
+// TestShapedDelayAppliesPerLink drives one intra and one cross message and
+// checks the cross link's much larger shaped delay is observable end to end.
+func TestShapedDelayAppliesPerLink(t *testing.T) {
+	shaping := &Shaping{
+		Intra:   LinkShape{Delay: 0},
+		Default: LinkShape{Delay: 30 * time.Millisecond},
+	}
+	n := New(Config{Shaping: shaping}, func(id types.NodeID) (types.ClusterID, bool) {
+		return types.ClusterID(uint32(id) % 2), true
+	})
+	defer n.Close()
+	a := types.NodeID(0)
+	intra := n.Register(types.NodeID(2)) // same cluster as a
+	cross := n.Register(types.NodeID(1)) // other cluster
+
+	start := time.Now()
+	n.Send(2, &types.Envelope{From: a, Type: types.MsgRequest})
+	<-intra
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("intra link took %v, want ~0", d)
+	}
+	start = time.Now()
+	n.Send(1, &types.Envelope{From: a, Type: types.MsgRequest})
+	<-cross
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("cross link took %v, want ≥ ~30ms", d)
+	}
+}
+
+// TestShapedLossDropsPerLink: loss=1 on cross links kills exactly the cross
+// traffic; intra traffic is untouched. This is the sim-side parity for the
+// tcpnet per-link loss config.
+func TestShapedLossDropsPerLink(t *testing.T) {
+	shaping := &Shaping{Default: LinkShape{Loss: 1}}
+	n := New(Config{Shaping: shaping}, func(id types.NodeID) (types.ClusterID, bool) {
+		return types.ClusterID(uint32(id) % 2), true
+	})
+	defer n.Close()
+	a := types.NodeID(0)
+	intra := n.Register(types.NodeID(2))
+	n.Register(types.NodeID(1))
+
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		n.Send(1, &types.Envelope{From: a, Type: types.MsgRequest}) // cross: lost
+		n.Send(2, &types.Envelope{From: a, Type: types.MsgRequest}) // intra: delivered
+	}
+	for i := 0; i < rounds; i++ {
+		select {
+		case <-intra:
+		case <-time.After(time.Second):
+			t.Fatal("intra delivery stalled")
+		}
+	}
+	if got := n.Stats().Dropped.Load(); got != rounds {
+		t.Fatalf("dropped = %d, want %d (every cross frame)", got, rounds)
+	}
+	if got := n.Stats().Delivered.Load(); got != rounds {
+		t.Fatalf("delivered = %d, want %d (every intra frame)", got, rounds)
+	}
+}
+
+// TestShapedBandwidthSerializes checks that a burst through a slow link takes
+// at least the serialization time bandwidth dictates.
+func TestShapedBandwidthSerializes(t *testing.T) {
+	// 1 Mbps; 50 frames × ~1048 wire bytes ≈ 419 ms of serialization.
+	shaping := &Shaping{Intra: LinkShape{Bandwidth: 1_000_000}}
+	n := New(Config{Shaping: shaping}, locateAll)
+	defer n.Close()
+	a, b := types.NodeID(0), types.NodeID(1)
+	n.Register(a)
+	inboxB := n.Register(b)
+
+	payload := make([]byte, 1000)
+	const frames = 50
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		n.Send(b, &types.Envelope{From: a, Type: types.MsgRequest, Payload: payload})
+	}
+	for i := 0; i < frames; i++ {
+		<-inboxB
+	}
+	elapsed := time.Since(start)
+	var want time.Duration
+	for i := 0; i < frames; i++ {
+		want += shaping.Intra.TxTime(len(payload) + 48)
+	}
+	if elapsed < want/2 {
+		t.Fatalf("burst of %d frames took %v, want ≥ ~%v of link serialization", frames, elapsed, want)
+	}
+}

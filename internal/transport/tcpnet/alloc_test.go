@@ -29,11 +29,21 @@ func TestAppendFrameAllocs(t *testing.T) {
 		Sig:     make([]byte, 32),
 	}
 	buf := make([]byte, 0, 4096)
-	buf = n.appendFrame(buf, 7, env) // warm the HMAC pool
+	buf = n.appendFrame(buf, 7, env, nil) // warm the HMAC pool
 	allocs := testing.AllocsPerRun(200, func() {
-		buf = n.appendFrame(buf[:0], 7, env)
+		buf = n.appendFrame(buf[:0], 7, env, nil)
 	})
 	if allocs > 0 {
 		t.Fatalf("appendFrame allocates %.1f per frame in steady state (want 0)", allocs)
+	}
+
+	// The per-link session path must be allocation-free too.
+	sess := n.auth.NewSession()
+	buf = n.appendFrame(buf[:0], 7, env, sess)
+	allocs = testing.AllocsPerRun(200, func() {
+		buf = n.appendFrame(buf[:0], 7, env, sess)
+	})
+	if allocs > 0 {
+		t.Fatalf("session appendFrame allocates %.1f per frame in steady state (want 0)", allocs)
 	}
 }

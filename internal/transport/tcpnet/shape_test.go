@@ -1,0 +1,211 @@
+package tcpnet
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// shapedPair builds a listening fabric b and a dialer a whose outbound link
+// to b carries the given shape; cfg tweaks a's config further when non-nil.
+func shapedPair(t *testing.T, shape transport.LinkShape, tuneA, tuneB func(*Config)) (*Net, *Net) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := map[types.NodeID]string{1: ln.Addr().String()}
+	bCfg := Config{Self: 1, Listener: ln, Peers: peers, Secret: testSecret}
+	if tuneB != nil {
+		tuneB(&bCfg)
+	}
+	b, err := New(bCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCfg := Config{Self: 0, Peers: peers, Secret: testSecret}
+	if !shape.IsZero() {
+		aCfg.Shape = map[types.NodeID]transport.LinkShape{1: shape}
+	}
+	if tuneA != nil {
+		tuneA(&aCfg)
+	}
+	a, err := New(aCfg)
+	if err != nil {
+		b.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+// TestShapedLinkDelay: a 60ms one-way shaped link must hold frames for
+// roughly that long, while the unshaped loopback baseline stays fast.
+func TestShapedLinkDelay(t *testing.T) {
+	a, b := shapedPair(t, transport.LinkShape{Delay: 60 * time.Millisecond}, nil, nil)
+	inbox := b.Register(1)
+	if err := a.ConnectAll(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	a.Send(1, &types.Envelope{Type: types.MsgRequest, From: 0})
+	waitEnvelope(t, inbox, 5*time.Second)
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("shaped frame arrived in %v, want ≥ ~60ms", d)
+	}
+
+	fast, slow := shapedPair(t, transport.LinkShape{}, nil, nil)
+	inbox2 := slow.Register(1)
+	if err := fast.ConnectAll(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	fast.Send(1, &types.Envelope{Type: types.MsgRequest, From: 0})
+	waitEnvelope(t, inbox2, 5*time.Second)
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("unshaped loopback frame took %v", d)
+	}
+}
+
+// TestShapedLinkLoss: loss=1 must drop every data frame at the shaper's
+// loss gate (counted as drops) while the connection itself stays healthy —
+// loss emulates a lossy path, not a dead one.
+func TestShapedLinkLoss(t *testing.T) {
+	a, b := shapedPair(t, transport.LinkShape{Loss: 1}, nil, nil)
+	inbox := b.Register(1)
+	if err := a.ConnectAll(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 20
+	before := a.Stats().Dropped.Load()
+	for i := 0; i < frames; i++ {
+		a.Send(1, &types.Envelope{Type: types.MsgRequest, From: 0})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Stats().Dropped.Load() < before+frames {
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped = %d, want ≥ %d", a.Stats().Dropped.Load()-before, frames)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case env := <-inbox:
+		t.Fatalf("frame survived a loss=1 link: %+v", env)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestShapedLinkBandwidth: a burst through a 2 Mbps link must take at least
+// the serialization time the bandwidth dictates.
+func TestShapedLinkBandwidth(t *testing.T) {
+	shape := transport.LinkShape{Bandwidth: 2_000_000}
+	a, b := shapedPair(t, shape, nil, nil)
+	inbox := b.Register(1)
+	if err := a.ConnectAll(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, 2000)
+	const frames = 20 // ≈ 40 KB ≈ 160 ms at 2 Mbps
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		a.Send(1, &types.Envelope{Type: types.MsgRequest, From: 0, Payload: payload})
+	}
+	for i := 0; i < frames; i++ {
+		waitEnvelope(t, inbox, 5*time.Second)
+	}
+	elapsed := time.Since(start)
+	want := shape.TxTime(frames * len(payload))
+	if elapsed < want/2 {
+		t.Fatalf("burst took %v, want ≥ ~%v of serialization", elapsed, want)
+	}
+}
+
+// TestIdleInboundConnReaped: an accepted connection whose dialer never
+// sends anything (no frames, no keepalive probes — not a tcpnet fabric)
+// must be reaped by the idle timer instead of lingering forever.
+func TestIdleInboundConnReaped(t *testing.T) {
+	fabs, client, err := Loopback([]types.NodeID{0}, testSecret, func(c *Config) {
+		c.KeepaliveInterval = 50 * time.Millisecond
+		c.IdleTimeout = 200 * time.Millisecond
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	t.Cleanup(fabs[0].Close)
+
+	raw, err := net.Dial("tcp", fabs[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("silent connection survived the idle timeout")
+	}
+}
+
+// TestKeepaliveKeepsQuietLinkAlive: with keepalive probes well inside the
+// acceptor's idle timeout, a long-quiet peer link must stay on its original
+// connection — the acceptor sees exactly one accept, and traffic after the
+// quiet period flows without a reconnect.
+func TestKeepaliveKeepsQuietLinkAlive(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &countingListener{Listener: ln}
+	peers := map[types.NodeID]string{1: ln.Addr().String()}
+	b, err := New(Config{Self: 1, Listener: cl, Peers: peers, Secret: testSecret,
+		IdleTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{Self: 0, Peers: peers, Secret: testSecret,
+		KeepaliveInterval: 75 * time.Millisecond})
+	if err != nil {
+		b.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	inbox := b.Register(1)
+	a.Register(0)
+	if err := a.ConnectAll(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(1200 * time.Millisecond) // several idle timeouts of silence
+
+	a.Send(1, &types.Envelope{Type: types.MsgRequest, From: 0})
+	waitEnvelope(t, inbox, 5*time.Second)
+	if got := cl.accepts.Load(); got != 1 {
+		t.Fatalf("%d connections accepted, want 1 (keepalive failed to hold the link)", got)
+	}
+}
+
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}

@@ -43,6 +43,33 @@
 // frames on establishment, so replies to clients flow back over the
 // client's own connections without the clients appearing in any topology
 // file.
+//
+// # Link shaping
+//
+// Config.Shape attaches a netem-style discipline to each outbound peer
+// link: propagation delay, serialization bandwidth, and random loss
+// (transport.LinkShape — the same type the simulated fabric's shaping
+// matrix uses, so one topology file drives both). Shaping happens in the
+// link's writer goroutine after batch assembly: drained frames pass a
+// per-frame loss gate, serialize through a virtual busy clock at the link
+// bandwidth, then sit on a FIFO delay line until due — assembly is never
+// blocked by a sleeping link, and a shaped link still coalesces exactly
+// like an unshaped one. The delay line is bounded (tail drop beyond it,
+// like a congested router queue). Connection establishment traffic (hellos,
+// carried retransmissions) is written unshaped: shaping emulates the
+// steady-state path, not the dial handshake.
+//
+// # Liveness
+//
+// Every outbound peer link writes a small hello probe each
+// KeepaliveInterval. Accepted connections arm a read deadline of
+// IdleTimeout — a partitioned or wedged dialer stops refreshing it, the
+// read fails, and the connection is reaped, handing the link back to the
+// dialer's reconnect/backoff loop. Only accepted connections are reaped:
+// an outbound link to a quiet peer legitimately reads nothing (replies
+// travel over the peer's own dialed connection), and every dialer in a
+// SharPer deployment is a tcpnet fabric that probes. WriteTimeout bounds
+// each batch write so a peer that stops reading cannot pin a writer.
 package tcpnet
 
 import (
@@ -50,8 +77,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sharper/internal/crypto"
@@ -101,6 +130,30 @@ type Config struct {
 	// MaxFrame caps accepted frame sizes (default 4 MiB); oversized length
 	// prefixes poison the connection, which is dropped and redialed.
 	MaxFrame int
+	// Shape applies netem-style shaping (delay, bandwidth, loss) to the
+	// outbound link toward each listed peer; unlisted peers are unshaped.
+	// core.Deployment builds this map from a topology-level shaping matrix
+	// (transport.Shaping) and each peer's cluster.
+	Shape map[types.NodeID]transport.LinkShape
+	// ClientShape, when non-nil and non-zero, shapes return-route traffic
+	// (replies to clients) on every accepted connection.
+	ClientShape *transport.LinkShape
+	// ShapeSeed seeds the per-link loss generators, so shaped runs are
+	// reproducible.
+	ShapeSeed int64
+	// KeepaliveInterval is how often each outbound peer link writes a hello
+	// probe, keeping the acceptor's idle timer refreshed across quiet
+	// periods (default 1s; negative disables probing).
+	KeepaliveInterval time.Duration
+	// IdleTimeout reaps an accepted connection that delivered no bytes for
+	// this long — its dialer is partitioned or wedged — handing the link
+	// back to the dialer's reconnect/backoff loop (default 5× the keepalive
+	// interval; negative disables).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each batch write, so a peer that stops reading
+	// cannot pin a writer goroutine forever (default 10s; negative
+	// disables).
+	WriteTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -115,6 +168,21 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = 4 << 20
+	}
+	if c.KeepaliveInterval == 0 {
+		c.KeepaliveInterval = time.Second
+	} else if c.KeepaliveInterval < 0 {
+		c.KeepaliveInterval = 0
+	}
+	if c.IdleTimeout == 0 && c.KeepaliveInterval > 0 {
+		c.IdleTimeout = 5 * c.KeepaliveInterval
+	} else if c.IdleTimeout < 0 {
+		c.IdleTimeout = 0
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	} else if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0
 	}
 }
 
@@ -140,9 +208,10 @@ type Net struct {
 	peers   map[types.NodeID]*peer
 	closed  bool
 
-	stats transport.Stats
-	done  chan struct{}
-	wg    sync.WaitGroup
+	stats   transport.Stats
+	connSeq atomic.Int64 // salts per-connection loss generators
+	done    chan struct{}
+	wg      sync.WaitGroup
 }
 
 var _ transport.Fabric = (*Net)(nil)
@@ -317,15 +386,20 @@ func (n *Net) Close() {
 
 // appendFrame assembles one complete length-prefixed, authenticated wire
 // frame for env into dst and returns the extended slice. The HMAC runs over
-// the frame bytes in place (pooled authenticator state, no per-frame hash
-// construction), so steady-state frame assembly into a reused buffer does
-// not allocate.
-func (n *Net) appendFrame(dst []byte, to uint32, env *types.Envelope) []byte {
+// the frame bytes in place, so steady-state frame assembly into a reused
+// buffer does not allocate. sess is the calling goroutine's frame session
+// (rolling keyed HMAC state, no pool round-trip per frame); nil falls back
+// to the fabric's shared pooled authenticator.
+func (n *Net) appendFrame(dst []byte, to uint32, env *types.Envelope, sess *crypto.FrameSession) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
 	dst = binary.LittleEndian.AppendUint32(dst, to)
 	dst = env.Encode(dst)
-	dst = n.auth.AppendTag(dst, dst[start+4:])
+	if sess != nil {
+		dst = sess.AppendTag(dst, dst[start+4:])
+	} else {
+		dst = n.auth.AppendTag(dst, dst[start+4:])
+	}
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
 	return dst
 }
@@ -387,19 +461,123 @@ func (p *peer) enqueue(f outFrame, stats *transport.Stats) {
 // buffer and the number of frames in it. This is the heart of the write
 // path: one wakeup, one buffer, one flush — however many messages the
 // queue held.
-func (n *Net) drainBatch(scratch []byte, f outFrame, ch <-chan outFrame) ([]byte, int) {
-	scratch = n.appendFrame(scratch[:0], f.to, f.env)
+func (n *Net) drainBatch(scratch []byte, f outFrame, ch <-chan outFrame, sess *crypto.FrameSession) ([]byte, int) {
+	scratch = n.appendFrame(scratch[:0], f.to, f.env, sess)
 	count := 1
 	for len(scratch) < maxCoalesce {
 		select {
 		case more := <-ch:
-			scratch = n.appendFrame(scratch, more.to, more.env)
+			scratch = n.appendFrame(scratch, more.to, more.env, sess)
 			count++
 		default:
 			return scratch, count
 		}
 	}
 	return scratch, count
+}
+
+// drainBatchLossy is drainBatch behind a per-frame loss gate: each frame is
+// dropped (and counted) with probability sh.shape.Loss before assembly, the
+// way a lossy path loses individual packets out of a burst.
+func (n *Net) drainBatchLossy(scratch []byte, f outFrame, ch <-chan outFrame, sess *crypto.FrameSession, sh *linkShaper) ([]byte, int) {
+	count := 0
+	loss := sh.shape.Loss
+	if loss > 0 && sh.rng.Float64() < loss {
+		n.stats.Dropped.Add(1)
+	} else {
+		scratch = n.appendFrame(scratch, f.to, f.env, sess)
+		count++
+	}
+	for len(scratch) < maxCoalesce {
+		select {
+		case more := <-ch:
+			if loss > 0 && sh.rng.Float64() < loss {
+				n.stats.Dropped.Add(1)
+				continue
+			}
+			scratch = n.appendFrame(scratch, more.to, more.env, sess)
+			count++
+		default:
+			return scratch, count
+		}
+	}
+	return scratch, count
+}
+
+// shapedBacklog bounds the bytes a shaped link may hold on its delay line —
+// the emulated router queue. Frames beyond it tail-drop, as they would on a
+// congested path; without the bound, a sender outrunning the link bandwidth
+// would grow the queue without limit.
+const shapedBacklog = 4 << 20
+
+// linkShaper models one outbound link's emulated discipline (netem-style):
+// frames drained off the queue pass a per-frame loss gate, serialize
+// through a virtual busy clock at the link bandwidth, and sit on a FIFO
+// delay line until their due time. The owning writer goroutine writes
+// batches as they come due; nothing in the shaper ever blocks batch
+// assembly, so a link "sleeping out" its propagation delay keeps
+// coalescing arrivals the whole time.
+type linkShaper struct {
+	shape transport.LinkShape
+	rng   *rand.Rand // loss gate; seeded per link for reproducibility
+	busy  time.Time  // virtual clock: when queued bytes finish serializing
+	queue []shapedBatch
+	bytes int      // wire bytes on the delay line, bounded by shapedBacklog
+	free  [][]byte // recycled batch buffers
+}
+
+// shapedBatch is one assembled batch waiting out its delay.
+type shapedBatch struct {
+	due   time.Time
+	buf   []byte
+	count int
+}
+
+func newLinkShaper(shape transport.LinkShape, seed int64) *linkShaper {
+	return &linkShaper{shape: shape, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (sh *linkShaper) getBuf() []byte {
+	if n := len(sh.free); n > 0 {
+		b := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (sh *linkShaper) putBuf(b []byte) {
+	if cap(b) <= maxCoalesce && len(sh.free) < 8 {
+		sh.free = append(sh.free, b)
+	}
+}
+
+// push schedules an assembled batch: serialization time advances the busy
+// clock, propagation delay sets the due time. Due times are monotone, so
+// the delay line stays FIFO.
+func (sh *linkShaper) push(buf []byte, count int, now time.Time) {
+	if sh.busy.Before(now) {
+		sh.busy = now
+	}
+	sh.busy = sh.busy.Add(sh.shape.TxTime(len(buf)))
+	sh.queue = append(sh.queue, shapedBatch{due: sh.busy.Add(sh.shape.Delay), buf: buf, count: count})
+	sh.bytes += len(buf)
+}
+
+// fold concatenates every batch from index from onward into carry (in FIFO
+// order) and empties the delay line, returning the carry and the number of
+// frames in it — the write path failed, and what was in flight either rides
+// the reconnect (peer links) or is dropped with accounting (return routes).
+func (sh *linkShaper) fold(carry []byte, from int) ([]byte, int) {
+	lost := 0
+	for _, b := range sh.queue[from:] {
+		carry = append(carry, b.buf...)
+		lost += b.count
+	}
+	sh.queue = sh.queue[:0]
+	sh.bytes = 0
+	sh.busy = time.Time{}
+	return carry, lost
 }
 
 // runPeer owns the peer's connection lifecycle: dial with exponential
@@ -410,12 +588,18 @@ func (n *Net) drainBatch(scratch []byte, f outFrame, ch <-chan outFrame) ([]byte
 // connection — coalescing must not amplify a broken connection's one
 // in-flight loss into the loss of the whole drained batch. (The receiver
 // tolerates the resulting duplicates when the failed write partially
-// landed; consensus is built for redelivery.)
+// landed; consensus is built for redelivery. Carried frames skip the
+// shaper: they already paid its discipline once.)
 func (n *Net) runPeer(p *peer) {
 	defer n.wg.Done()
 	const minBackoff = 25 * time.Millisecond
 	const maxBackoff = time.Second
 	backoff := minBackoff
+	sess := n.auth.NewSession()
+	var sh *linkShaper
+	if shape, ok := n.cfg.Shape[p.id]; ok && !shape.IsZero() {
+		sh = newLinkShaper(shape, n.cfg.ShapeSeed*1000003+int64(p.id)+1)
+	}
 	var carry []byte // drained-but-unwritten frames, retried after reconnect
 	for {
 		select {
@@ -437,7 +621,7 @@ func (n *Net) runPeer(p *peer) {
 			continue
 		}
 		backoff = minBackoff
-		wc := n.adoptConn(c)
+		wc := n.adoptConn(c, false)
 		if wc == nil {
 			return // fabric closed during dial
 		}
@@ -446,7 +630,7 @@ func (n *Net) runPeer(p *peer) {
 		ok := true
 		var hellos []byte
 		for _, hello := range n.helloEnvs() {
-			hellos = n.appendFrame(hellos, hello.to, hello.env)
+			hellos = n.appendFrame(hellos, hello.to, hello.env, sess)
 		}
 		if len(hellos) > 0 {
 			ok = wc.write(hellos) == nil
@@ -459,18 +643,10 @@ func (n *Net) runPeer(p *peer) {
 		}
 		if ok {
 			carry = carry[:0]
-		}
-	drain:
-		for ok {
-			select {
-			case <-n.done:
+			var alive bool
+			carry, _, alive = n.drainConn(p.ch, wc, carry, sh, sess, n.cfg.KeepaliveInterval)
+			if !alive {
 				return
-			case f := <-p.ch:
-				carry, _ = n.drainBatch(carry[:0], f, p.ch)
-				if err := wc.write(carry); err != nil {
-					break drain // carry retained: retried on the next connection
-				}
-				carry = carry[:0]
 			}
 		}
 		n.dropConn(wc)
@@ -480,13 +656,107 @@ func (n *Net) runPeer(p *peer) {
 	}
 }
 
+// drainConn drains ch into wc — coalescing, shaping when sh is non-nil, and
+// probing each keepalive interval when one is set — until the connection
+// fails or the fabric closes. It returns the frames drained but not yet
+// written (runPeer retries them after reconnect; writeLoop drops them with
+// accounting), how many there are, and whether the fabric is still open.
+func (n *Net) drainConn(ch <-chan outFrame, wc *wireConn, carry []byte, sh *linkShaper, sess *crypto.FrameSession, keepalive time.Duration) ([]byte, int, bool) {
+	var kaC <-chan time.Time
+	if keepalive > 0 {
+		ka := time.NewTicker(keepalive)
+		defer ka.Stop()
+		kaC = ka.C
+	}
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		var due <-chan time.Time
+		if sh != nil && len(sh.queue) > 0 {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(time.Until(sh.queue[0].due))
+			due = timer.C
+		}
+		select {
+		case <-n.done:
+			return carry, 0, false
+		case f := <-ch:
+			if sh == nil {
+				var count int
+				carry, count = n.drainBatch(carry[:0], f, ch, sess)
+				if err := wc.write(carry); err != nil {
+					return carry, count, true
+				}
+				carry = carry[:0]
+				continue
+			}
+			buf, count := n.drainBatchLossy(sh.getBuf(), f, ch, sess, sh)
+			if count == 0 {
+				sh.putBuf(buf)
+				continue
+			}
+			if sh.bytes+len(buf) > shapedBacklog {
+				n.stats.Dropped.Add(int64(count)) // emulated queue overflow
+				sh.putBuf(buf)
+				continue
+			}
+			sh.push(buf, count, time.Now())
+		case <-due:
+			now := time.Now()
+			pop := 0
+			for pop < len(sh.queue) && !sh.queue[pop].due.After(now) {
+				b := sh.queue[pop]
+				if err := wc.write(b.buf); err != nil {
+					var lost int
+					carry, lost = sh.fold(carry[:0], pop)
+					return carry, lost, true
+				}
+				sh.bytes -= len(b.buf)
+				sh.putBuf(b.buf)
+				pop++
+			}
+			sh.queue = append(sh.queue[:0], sh.queue[pop:]...)
+		case <-kaC:
+			var probe []byte
+			for _, hello := range n.helloEnvs() {
+				probe = n.appendFrame(probe, hello.to, hello.env, sess)
+			}
+			if len(probe) == 0 {
+				continue // nothing registered yet: nothing to advertise
+			}
+			if err := wc.write(probe); err != nil {
+				var lost int
+				if sh != nil {
+					carry, lost = sh.fold(carry[:0], 0)
+				} else {
+					carry = carry[:0]
+				}
+				return carry, lost, true
+			}
+		}
+	}
+}
+
 // adoptConn registers a new connection: tracked for shutdown, read loop
-// started. Returns nil (closing c) if the fabric is already closed.
-func (n *Net) adoptConn(c net.Conn) *wireConn {
+// started. inbound marks accepted (vs dialed) connections, which are the
+// only ones the idle timer reaps. Returns nil (closing c) if the fabric is
+// already closed.
+func (n *Net) adoptConn(c net.Conn, inbound bool) *wireConn {
 	wc := &wireConn{
-		c:   c,
-		w:   bufio.NewWriterSize(c, sockBufSize),
-		out: make(chan outFrame, n.cfg.QueueSize),
+		c:            c,
+		w:            bufio.NewWriterSize(c, sockBufSize),
+		out:          make(chan outFrame, n.cfg.QueueSize),
+		inbound:      inbound,
+		seq:          n.connSeq.Add(1),
+		writeTimeout: n.cfg.WriteTimeout,
 	}
 	n.mu.Lock()
 	if n.closed {
@@ -523,35 +793,26 @@ func (n *Net) acceptLoop() {
 		if err != nil {
 			return
 		}
-		n.adoptConn(c)
+		n.adoptConn(c, true)
 	}
 }
 
 // writeLoop drains a connection's return-route queue with the same
-// coalescing as runPeer. Static peer frames are written by runPeer
-// directly; this queue carries replies to clients and hello advertisements,
-// so neither path ever blocks a consensus goroutine.
+// coalescing (and, under Config.ClientShape, the same shaping discipline)
+// as runPeer. Static peer frames are written by runPeer directly; this
+// queue carries replies to clients and hello advertisements, so neither
+// path ever blocks a consensus goroutine. Unlike a static peer there is no
+// reconnect to retry on, so frames in flight when the connection dies are
+// lost — counted as drops, and clients retransmit.
 func (n *Net) writeLoop(wc *wireConn) {
 	defer n.wg.Done()
-	var scratch []byte
-	for {
-		select {
-		case <-n.done:
-			return
-		case f := <-wc.out:
-			batch, count := n.drainBatch(scratch[:0], f, wc.out)
-			scratch = batch
-			if err := wc.write(batch); err != nil {
-				// The connection (and the return routes through it) is gone;
-				// unlike a static peer there is no reconnect to retry on, so
-				// the drained batch is lost — count it, clients retransmit.
-				n.stats.Dropped.Add(int64(count))
-				return
-			}
-			if cap(scratch) > maxCoalesce {
-				scratch = nil // don't pin a burst-sized buffer per connection
-			}
-		}
+	var sh *linkShaper
+	if n.cfg.ClientShape != nil && !n.cfg.ClientShape.IsZero() {
+		sh = newLinkShaper(*n.cfg.ClientShape, n.cfg.ShapeSeed*1000003-wc.seq)
+	}
+	_, lost, alive := n.drainConn(wc.out, wc, nil, sh, n.auth.NewSession(), 0)
+	if alive && lost > 0 {
+		n.stats.Dropped.Add(int64(lost))
 	}
 }
 
@@ -564,9 +825,20 @@ func (n *Net) writeLoop(wc *wireConn) {
 func (n *Net) readLoop(wc *wireConn) {
 	defer n.wg.Done()
 	defer n.dropConn(wc)
+	sess := n.auth.NewSession()
+	idle := time.Duration(0)
+	if wc.inbound {
+		idle = n.cfg.IdleTimeout
+	}
 	br := bufio.NewReaderSize(wc.c, sockBufSize)
 	var lenBuf [4]byte
 	for {
+		if idle > 0 {
+			// Armed before each frame: a dialer that stops sending (even
+			// keepalive probes) is partitioned or dead, and holding its
+			// connection would only hide that from the routing table.
+			wc.c.SetReadDeadline(time.Now().Add(idle))
+		}
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
 		}
@@ -583,7 +855,7 @@ func (n *Net) readLoop(wc *wireConn) {
 		}
 		body := frame[:len(frame)-crypto.FrameTagSize]
 		tag := frame[len(frame)-crypto.FrameTagSize:]
-		if !n.auth.Verify(body, tag) {
+		if !sess.Verify(body, tag) {
 			return // unauthenticated traffic: drop the connection
 		}
 		to := binary.LittleEndian.Uint32(body)
@@ -634,9 +906,12 @@ func (n *Net) learnRoute(from types.NodeID, wc *wireConn) {
 // (runPeer and writeLoop may interleave on the same socket) and a bounded
 // queue for return-route traffic.
 type wireConn struct {
-	c   net.Conn
-	w   *bufio.Writer
-	out chan outFrame
+	c            net.Conn
+	w            *bufio.Writer
+	out          chan outFrame
+	inbound      bool  // accepted (true) vs dialed; only accepted conns idle out
+	seq          int64 // fabric-unique, salts this connection's loss generator
+	writeTimeout time.Duration
 
 	wmu       sync.Mutex
 	closeOnce sync.Once
@@ -644,10 +919,14 @@ type wireConn struct {
 
 // write pushes an assembled batch of frames through the buffered writer and
 // flushes once — one syscall per wakeup for any batch up to the buffer
-// size.
+// size. The write deadline bounds how long a peer that stopped reading can
+// pin the writer goroutine.
 func (wc *wireConn) write(batch []byte) error {
 	wc.wmu.Lock()
 	defer wc.wmu.Unlock()
+	if wc.writeTimeout > 0 {
+		wc.c.SetWriteDeadline(time.Now().Add(wc.writeTimeout))
+	}
 	if _, err := wc.w.Write(batch); err != nil {
 		return err
 	}

@@ -53,6 +53,12 @@ type Config struct {
 	// with cluster count, as on the paper's real testbed. Zero disables the
 	// model. Clients are not charged.
 	ProcessingTime time.Duration
+	// Shaping, when set, replaces the three scalar latencies above with a
+	// per-link shape matrix (delay, bandwidth, loss per cluster pair — the
+	// same structure the TCP fabric applies per peer link, so one topology
+	// file drives both fabrics). JitterFrac still applies on top of shaped
+	// delays; DropProb composes with per-link Loss.
+	Shaping *Shaping
 }
 
 // DefaultConfig returns a LAN-like configuration suitable for benchmarks:
@@ -96,9 +102,12 @@ type Network struct {
 	rng   *rand.Rand
 
 	// busyUntil models each replica's single message-processing core: the
-	// virtual time until which the node is occupied. Guarded by busyMu.
+	// virtual time until which the node is occupied. linkBusy models each
+	// directed link's serialization under a shaped bandwidth the same way.
+	// Both guarded by busyMu.
 	busyMu    sync.Mutex
 	busyUntil map[types.NodeID]time.Time
+	linkBusy  map[[2]types.NodeID]time.Time
 
 	// Delayed-delivery machinery: a min-heap drained by the dispatcher
 	// goroutine on a fine quantum (see Network.dispatcher).
@@ -137,6 +146,7 @@ func New(cfg Config, locate Locator) *Network {
 		partition: make(map[[2]types.NodeID]bool),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		busyUntil: make(map[types.NodeID]time.Time),
+		linkBusy:  make(map[[2]types.NodeID]time.Time),
 		qWake:     make(chan struct{}, 1),
 		qDone:     make(chan struct{}),
 		overflow:  make(map[types.NodeID][]*types.Envelope),
@@ -242,19 +252,41 @@ func (n *Network) Close() {
 	n.qMu.Unlock()
 }
 
+// shapeFor resolves the configured LinkShape of the link from → to (zero
+// when no Shaping matrix is configured).
+func (n *Network) shapeFor(from, to types.NodeID) LinkShape {
+	s := n.cfg.Shaping
+	if s == nil {
+		return LinkShape{}
+	}
+	if from.IsClient() || to.IsClient() {
+		return s.Client
+	}
+	cf, okF := n.locate(from)
+	ct, okT := n.locate(to)
+	if !okF || !okT {
+		return s.Default
+	}
+	return s.For(cf, ct)
+}
+
 // latency picks the one-way delay for the link from → to.
 func (n *Network) latency(from, to types.NodeID) time.Duration {
 	var base time.Duration
-	switch {
-	case from.IsClient() || to.IsClient():
-		base = n.cfg.ClientLatency
-	default:
-		cf, okF := n.locate(from)
-		ct, okT := n.locate(to)
-		if okF && okT && cf == ct {
-			base = n.cfg.IntraClusterLatency
-		} else {
-			base = n.cfg.CrossClusterLatency
+	if n.cfg.Shaping != nil {
+		base = n.shapeFor(from, to).Delay
+	} else {
+		switch {
+		case from.IsClient() || to.IsClient():
+			base = n.cfg.ClientLatency
+		default:
+			cf, okF := n.locate(from)
+			ct, okT := n.locate(to)
+			if okF && okT && cf == ct {
+				base = n.cfg.IntraClusterLatency
+			} else {
+				base = n.cfg.CrossClusterLatency
+			}
 		}
 	}
 	if n.cfg.JitterFrac > 0 && base > 0 {
@@ -264,6 +296,31 @@ func (n *Network) latency(from, to types.NodeID) time.Duration {
 		base += time.Duration(float64(base) * j)
 	}
 	return base
+}
+
+// linkOccupy serializes one frame of wireBytes onto the directed link
+// from → to starting no earlier than at, returning when the last bit leaves
+// the sender — the shaped-bandwidth queueing model.
+func (n *Network) linkOccupy(from, to types.NodeID, at time.Time, tx time.Duration) time.Time {
+	if tx <= 0 {
+		return at
+	}
+	key := [2]types.NodeID{from, to}
+	n.busyMu.Lock()
+	start := at
+	if b := n.linkBusy[key]; b.After(start) {
+		start = b
+	}
+	done := start.Add(tx)
+	n.linkBusy[key] = done
+	n.busyMu.Unlock()
+	return done
+}
+
+// wireBytes approximates the frame size of env on a real link: payload,
+// signature, and the fixed header/tag overhead of the TCP wire format.
+func wireBytes(env *types.Envelope) int {
+	return len(env.Payload) + len(env.Sig) + 48
 }
 
 // roll returns true with probability p.
@@ -288,15 +345,18 @@ func (n *Network) Send(to types.NodeID, env *types.Envelope) {
 	closed := n.closed
 	blocked := n.partition[[2]types.NodeID{env.From, to}]
 	n.mu.RUnlock()
-	if closed || blocked || n.roll(n.cfg.DropProb) {
+	shape := n.shapeFor(env.From, to)
+	if closed || blocked || n.roll(n.cfg.DropProb) || n.roll(shape.Loss) {
 		n.stats.Dropped.Add(1)
 		return
 	}
 
-	// Total delay = sender serialization + link latency + receiver
-	// serialization, each against the node's modelled processing core.
+	// Total delay = sender serialization + shaped link transmission + link
+	// latency + receiver serialization: the node's processing core, then the
+	// link's bandwidth, then propagation.
 	now := time.Now()
 	sent := n.occupy(env.From, now)
+	sent = n.linkOccupy(env.From, to, sent, shape.TxTime(wireBytes(env)))
 	arrival := sent.Add(n.latency(env.From, to))
 	done := n.occupy(to, arrival)
 	n.deliverAfter(to, env, done.Sub(now))

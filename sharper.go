@@ -142,6 +142,12 @@ type Options struct {
 	// Network tunes the simulated fabric; zero values take defaults.
 	// Ignored under TransportTCP (real sockets have real latency).
 	Network NetworkOptions
+	// Multiregion shapes every link after the paper's cross-datacenter
+	// setup — sub-millisecond intra-cluster links, ~30ms / 200Mbps between
+	// clusters — on either transport (the simulated fabric models the
+	// delays; TCP fabrics shape their real sockets). It overrides the
+	// scalar Network latencies.
+	Multiregion bool
 	// Seed drives all randomness; runs with equal seeds are comparable.
 	Seed int64
 	// Plan overrides the uniform cluster layout, e.g. the §3.4
@@ -161,6 +167,12 @@ type Options struct {
 	// MaxInFlight bounds pipelined consensus instances per cluster
 	// (default 8).
 	MaxInFlight int
+	// VerifyWindow is each node's signature batch-verification window: up
+	// to this many queued envelopes are verified per batch, with bisection
+	// recovering exact per-envelope verdicts when a batch fails. 1 verifies
+	// strictly per signature; 0 takes the SHARPER_VERIFY_WINDOW override,
+	// defaulting to crypto.DefaultVerifyWindow.
+	VerifyWindow int
 	// SerializeCross restores the legacy serialized cross-shard scheduler
 	// (whole-node lock, drain-gated initiation, one lead at a time) in
 	// place of the conflict-aware one, for A/B comparison.
@@ -237,12 +249,16 @@ func New(opts Options) (*Network, error) {
 		BatchSize:           opts.BatchSize,
 		BatchTimeout:        opts.BatchTimeout,
 		MaxInFlight:         opts.MaxInFlight,
+		VerifyWindow:        opts.VerifyWindow,
 		SerializeCross:      opts.SerializeCross,
 		DataDir:             opts.DataDir,
 		Sync:                opts.Sync,
 		CheckpointInterval:  opts.CheckpointInterval,
 		Ed25519:             opts.Ed25519,
 		Slash:               opts.Slash,
+	}
+	if opts.Multiregion {
+		cfg.Shaping = transport.Multiregion()
 	}
 	if opts.Plan != nil {
 		cfg.Topology = opts.Plan.topo
