@@ -11,7 +11,10 @@
 // 8a/8b (scalability, crash/Byzantine), s34 (§3.4 clustered-network
 // optimization), ablation (super-primary routing on/off), batching
 // (multi-transaction blocks at batch sizes 1/8/16; -json writes the
-// machine-readable BENCH_batching.json other tooling tracks).
+// machine-readable BENCH_batching.json other tooling tracks), latency
+// (per-stage commit-latency breakdown, intra vs cross × loopback vs
+// multiregion × batch 1/16, plus the metrics-overhead A/B → BENCH_latency.json;
+// -assert-overhead makes the overhead budget a hard failure).
 package main
 
 import (
@@ -28,11 +31,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, crossparallel, wan, 6, 7, 8, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, crossparallel, wan, latency, 6, 7, 8, all")
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPath := flag.String("csv", "", "also append results as CSV to this file")
 	jsonPath := flag.String("json", "", "write machine-readable JSON here (batching → BENCH_batching.json, persistence → BENCH_persistence.json, hotpath → BENCH_hotpath.json when unset)")
+	assertOverhead := flag.Bool("assert-overhead", false, "with -fig latency: exit nonzero if the metrics overhead exceeds its budget")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run here (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit here (go tool pprof)")
 	flag.Parse()
@@ -129,6 +133,14 @@ func main() {
 			writeJSON(out, jsonOverride, "BENCH_crossparallel.json", bench.AblationCrossParallel(out, o))
 		case name == "wan":
 			writeJSON(out, jsonOverride, "BENCH_wan.json", bench.AblationWAN(out, o))
+		case name == "latency":
+			rep := bench.AblationLatency(out, o)
+			writeJSON(out, jsonOverride, "BENCH_latency.json", rep)
+			if *assertOverhead && rep.MetricsOverheadPct > rep.OverheadBudgetPct {
+				fmt.Fprintf(os.Stderr, "metrics overhead %.2f%% exceeds the %.0f%% budget\n",
+					rep.MetricsOverheadPct, rep.OverheadBudgetPct)
+				os.Exit(1)
+			}
 		case name == "6":
 			for _, p := range []string{"6a", "6b", "6c", "6d"} {
 				run(p)
@@ -141,7 +153,7 @@ func main() {
 			run("8a")
 			run("8b")
 		case name == "all":
-			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath", "crossparallel", "wan"} {
+			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath", "crossparallel", "wan", "latency"} {
 				run(p)
 			}
 		default:

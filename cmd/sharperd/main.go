@@ -46,6 +46,7 @@ import (
 	"sharper/internal/core"
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
+	"sharper/internal/obs"
 	"sharper/internal/state"
 	"sharper/internal/storage"
 	"sharper/internal/transport"
@@ -87,6 +88,8 @@ func main() {
 	driverIdx := flag.Int("driver-index", 0, "unique index of this driver process (keeps client IDs disjoint)")
 	connectTimeout := flag.Duration("connect-timeout", 15*time.Second, "driver mode: how long to wait for replicas to come up")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) so perf work starts from profiles")
+	metricsAddr := flag.String("metrics", "", "replica mode: serve Prometheus-text /metrics on this address; with -pprof the endpoint is also registered on the pprof mux")
+	traceSample := flag.Int("trace-sample", 0, "replica mode: lifecycle-tracer 1-in-N sampling (0 = built-in default, 1 = trace everything)")
 	traceDir := flag.String("trace-dir", "", "driver mode: directory to dump every replica's SHARPER_TRACE ring into when the wire audit finds divergence (default: the topology file's directory)")
 	flag.Parse()
 
@@ -184,6 +187,9 @@ func main() {
 				Slash:          *slash,
 				Ed25519:        *ed25519,
 				VerifyWindow:   *verifyWindow,
+				MetricsAddr:    *metricsAddr,
+				MetricsOnPprof: *pprofAddr != "",
+				TraceSample:    *traceSample,
 			}, stop, os.Stdout); err != nil {
 				log.Fatal(err)
 			}
@@ -260,6 +266,12 @@ type replicaOptions struct {
 	// VerifyWindow is the signature batch-verification window (0 = env or
 	// default, 1 = strictly per signature).
 	VerifyWindow int
+	// MetricsAddr serves Prometheus-text /metrics on its own listener;
+	// MetricsOnPprof additionally registers the endpoint on the process-wide
+	// pprof mux. TraceSample tunes the lifecycle tracer (0 = default).
+	MetricsAddr    string
+	MetricsOnPprof bool
+	TraceSample    int
 }
 
 // runReplica hosts one node of a multi-process deployment: a TCP fabric
@@ -299,6 +311,7 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 		Slash:          opts.Slash,
 		Ed25519:        opts.Ed25519,
 		VerifyWindow:   opts.VerifyWindow,
+		TraceSample:    opts.TraceSample,
 	}
 	if opts.DataDir != "" {
 		pcfg.DataDir = core.NodeDataDir(opts.DataDir, self)
@@ -313,6 +326,7 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 	}
 	node.Start()
 	defer node.Stop()
+	serveReplicaMetrics(node, fab, opts, out)
 	if n := node.RecoveredBlocks(); n > 0 {
 		fmt.Fprintf(out, "sharperd: replica %s recovered %d blocks from %s\n", self, n, pcfg.DataDir)
 	}
@@ -468,6 +482,7 @@ loop:
 	}
 	fmt.Fprintln(out, "ledger audit: all views consistent, cross-shard order agrees")
 	printSchedStats(fab, tf, clientBase+97_000, out)
+	printMetrics(fab, tf, clientBase+95_000, out)
 	if opts.Slash {
 		printEvidence(fab, tf, opts.Seed, opts.Ed25519, clientBase+96_000, out)
 	}
@@ -516,6 +531,125 @@ done:
 	fmt.Fprintf(out, "scheduler: leads=%d (hw %d) table=%d grants=%d parks=%d withdraws=%d expiries=%d defers=%d avoided=%d selfwaits=%d\n",
 		agg.LeadsInFlight, agg.LeadHighWater, agg.TableSize, agg.Grants, agg.Parks,
 		agg.Withdraws, agg.LockExpiries, agg.Defers, agg.DefersAvoided, agg.SelfVoteWaits)
+}
+
+// metricsOnPprofOnce guards the process-wide pprof-mux registration: tests
+// host several replicas in one process, and DefaultServeMux panics on a
+// duplicate pattern.
+var metricsOnPprofOnce sync.Once
+
+// serveReplicaMetrics exposes the replica's registry (plus its TCP fabric's
+// per-peer link counters, which live outside the registry) in Prometheus
+// text form: on a dedicated listener when -metrics is set, and on the pprof
+// mux when -pprof is up.
+func serveReplicaMetrics(node *core.Node, fab *tcpnet.Net, opts replicaOptions, out io.Writer) {
+	if opts.MetricsAddr == "" && !opts.MetricsOnPprof {
+		return
+	}
+	handler := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if reg := node.Metrics(); reg != nil {
+			reg.WritePrometheus(w)
+		}
+		writeLinkMetrics(w, fab)
+	}
+	if opts.MetricsOnPprof {
+		metricsOnPprofOnce.Do(func() { http.HandleFunc("/metrics", handler) })
+	}
+	if opts.MetricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", handler)
+		go func() {
+			if err := http.ListenAndServe(opts.MetricsAddr, mux); err != nil {
+				fmt.Fprintf(out, "sharperd: metrics server: %v\n", err)
+			}
+		}()
+	}
+}
+
+// writeLinkMetrics renders the TCP fabric's per-peer link counters as
+// labelled Prometheus series (queue depth, bytes, sends/drops, shaped delay,
+// reconnects) — the wire-level view the per-node registry cannot hold.
+func writeLinkMetrics(w io.Writer, fab *tcpnet.Net) {
+	stats := fab.LinkStats()
+	if len(stats) == 0 {
+		return
+	}
+	families := []struct {
+		name string
+		get  func(tcpnet.PeerLinkStats) int64
+	}{
+		{"sharper_link_sent", func(s tcpnet.PeerLinkStats) int64 { return s.Sent }},
+		{"sharper_link_dropped", func(s tcpnet.PeerLinkStats) int64 { return s.Dropped }},
+		{"sharper_link_bytes", func(s tcpnet.PeerLinkStats) int64 { return s.Bytes }},
+		{"sharper_link_reconnects", func(s tcpnet.PeerLinkStats) int64 { return s.Reconnects }},
+		{"sharper_link_shaped_us", func(s tcpnet.PeerLinkStats) int64 { return s.ShapedMicros }},
+		{"sharper_link_queue_depth", func(s tcpnet.PeerLinkStats) int64 { return int64(s.QueueDepth) }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", f.name)
+		for _, s := range stats {
+			fmt.Fprintf(w, "%s{peer=\"%s\"} %d\n", f.name, s.Peer, f.get(s))
+		}
+	}
+}
+
+// printMetrics fetches every replica's registry snapshot over the wire
+// (MsgMetricsRequest), merges the fleet, and prints the commit-latency
+// breakdown plus headline counters — the audit-time roll-up companion to
+// printSchedStats.
+func printMetrics(fab *tcpnet.Net, tf *TopologyFile, metricsID types.NodeID, out io.Writer) {
+	inbox := fab.Register(metricsID)
+	for id := range tf.Addrs {
+		fab.Send(id, &types.Envelope{Type: types.MsgMetricsRequest, From: metricsID})
+	}
+	var snaps [][]obs.Metric
+	got := make(map[types.NodeID]bool)
+	deadline := time.After(3 * time.Second)
+	for len(got) < len(tf.Addrs) {
+		select {
+		case env := <-inbox:
+			if env.Type != types.MsgMetricsResponse {
+				continue
+			}
+			d, err := types.DecodeMetricsDump(env.Payload)
+			if err != nil || got[d.Node] {
+				continue
+			}
+			if _, known := tf.Addrs[d.Node]; !known {
+				continue
+			}
+			got[d.Node] = true
+			snaps = append(snaps, obs.MetricsFromWire(d.Metrics))
+		case <-deadline:
+			fmt.Fprintf(out, "sharperd: metrics: %d/%d replicas answered\n", len(got), len(tf.Addrs))
+			if len(got) == 0 {
+				return
+			}
+			goto merge
+		}
+	}
+merge:
+	merged := obs.Merge(snaps...)
+	byName := make(map[string]*obs.Metric, len(merged))
+	for i := range merged {
+		byName[merged[i].Name] = &merged[i]
+	}
+	val := func(name string) uint64 {
+		if m := byName[name]; m != nil {
+			return m.Value
+		}
+		return 0
+	}
+	fmt.Fprintf(out, "metrics: committed=%d verify{windows=%d envelopes=%d bisects=%d} storage{wal=%dB ckpts=%d}\n",
+		val("committed_txs"), val("verify_windows"), val("verify_envelopes"),
+		val("verify_bisects"), val("storage_wal_bytes"), val("storage_checkpoints"))
+	for _, series := range []string{"intra", "cross"} {
+		if m := byName["stage_"+series+"_total_us"]; m != nil && m.Count > 0 {
+			fmt.Fprintf(out, "metrics: %s commit latency (µs, %d sampled): p50=%d p95=%d p99=%d\n",
+				series, m.Count, m.Quantile(0.50), m.Quantile(0.95), m.Quantile(0.99))
+		}
+	}
 }
 
 // printEvidence fetches every replica's accumulated fraud proofs over the

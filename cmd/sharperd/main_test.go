@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -57,6 +59,10 @@ func TestMain(m *testing.M) {
 			Seed: 1, Batch: 1, Accounts: 256, Balance: 1 << 30,
 			DataDir:     os.Getenv("SHARPERD_TEST_DATA"), // "" = in-memory
 			LockTimeout: lockTimeout,
+			// Trace every transaction so the driver's metrics roll-up has
+			// stage latencies to report; one process also serves /metrics.
+			TraceSample: 1,
+			MetricsAddr: os.Getenv("SHARPERD_TEST_METRICS"),
 		}, stop, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -97,7 +103,9 @@ func TestMultiProcessDeployment(t *testing.T) {
 	size := types.CrashOnly.ClusterSize(f)
 	total := clusters * size
 
-	addrs := freeAddrs(t, total)
+	addrs := freeAddrs(t, total+1)
+	metricsAddr := addrs[total]
+	addrs = addrs[:total]
 	var topo strings.Builder
 	fmt.Fprintf(&topo, "model crash\nf %d\nsecret multiproc-test\n", f)
 	for c := 0; c < clusters; c++ {
@@ -125,6 +133,9 @@ func TestMultiProcessDeployment(t *testing.T) {
 			"SHARPERD_DEBUG=1",
 			"SHARPER_TRACE=1",
 		)
+		if id == 0 {
+			cmd.Env = append(cmd.Env, "SHARPERD_TEST_METRICS="+metricsAddr)
+		}
 		log := &bytes.Buffer{}
 		cmd.Stdout = log
 		cmd.Stderr = log
@@ -179,6 +190,35 @@ func TestMultiProcessDeployment(t *testing.T) {
 	}
 	if crossShard == 0 {
 		t.Fatalf("no cross-shard transactions committed:\n%s", got)
+	}
+
+	// The driver's closing audit must have assembled the fleet metrics
+	// roll-up over the wire, stage latencies included (every replica ran
+	// with TraceSample 1).
+	if !strings.Contains(got, "metrics: committed=") {
+		t.Fatalf("driver output missing metrics roll-up:\n%s", got)
+	}
+	for _, series := range []string{"intra", "cross"} {
+		if !strings.Contains(got, "metrics: "+series+" commit latency") {
+			t.Fatalf("driver metrics roll-up missing %s latency line:\n%s", series, got)
+		}
+	}
+
+	// Replica 0 serves Prometheus text on its -metrics address; the replica
+	// processes outlive the driver, so scrape it now.
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape replica 0 metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read metrics body: %v", err)
+	}
+	for _, want := range []string{"sharper_committed_txs", "sharper_stage_intra_total_us", "sharper_link_sent{peer="} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, body)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sharper/internal/crypto"
 	"sharper/internal/fab"
 	"sharper/internal/fastpaxos"
+	"sharper/internal/obs"
 	"sharper/internal/replica"
 	"sharper/internal/state"
 	"sharper/internal/storage"
@@ -793,6 +794,183 @@ func AblationWAN(w io.Writer, o FigureOptions) []WanResult {
 	}
 	Fprint(w, "Ablation — WAN shaping + batched verification, Byzantine model over TCP, intra-shard workload", series)
 	return results
+}
+
+// StageLatency is one lifecycle stage's share of commit latency: the delta
+// from the previous stamped stage to this one, over every sampled commit.
+type StageLatency struct {
+	Stage string `json:"stage"`
+	Count uint64 `json:"count"`
+	P50Us uint64 `json:"p50_us"`
+	P99Us uint64 `json:"p99_us"`
+}
+
+// SeriesLatency breaks one transaction class ("intra" or "cross") into its
+// per-stage latency distribution plus the end-to-end total.
+type SeriesLatency struct {
+	Series     string         `json:"series"`
+	Sampled    uint64         `json:"sampled"`
+	TotalP50Us uint64         `json:"total_p50_us"`
+	TotalP99Us uint64         `json:"total_p99_us"`
+	Stages     []StageLatency `json:"stages"`
+}
+
+// LatencyResult is one cell of the latency matrix: a network × batch-size
+// configuration with both series' stage breakdowns.
+type LatencyResult struct {
+	// Network is "loopback" (unshaped sim fabric) or "multiregion" (the
+	// paper's cross-datacenter link matrix emulated on it).
+	Network      string          `json:"network"`
+	BatchSize    int             `json:"batch_size"`
+	Clients      int             `json:"clients"`
+	CrossPct     int             `json:"cross_pct"`
+	ThroughputTx float64         `json:"tx_per_sec"`
+	AvgLatencyMs float64         `json:"ms_per_tx"`
+	Series       []SeriesLatency `json:"series"`
+}
+
+// LatencyReport is the machine-readable BENCH_latency.json: the stage
+// breakdown matrix plus the metrics-overhead A/B the CI guard tracks.
+type LatencyReport struct {
+	Cases []LatencyResult `json:"cases"`
+	// MetricsOnTx / MetricsOffTx are median batch-16 sim throughputs with the
+	// observability registry at its production default vs NoMetrics.
+	MetricsOnTx        float64 `json:"metrics_on_tx_per_sec"`
+	MetricsOffTx       float64 `json:"metrics_off_tx_per_sec"`
+	MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
+	OverheadBudgetPct  float64 `json:"overhead_budget_pct"`
+}
+
+// AblationLatency produces the per-stage commit-latency breakdown the
+// observability work exists to answer: where does a transaction's time go,
+// intra vs cross, on a local fabric vs an emulated WAN, with and without
+// batching? Every transaction is traced (TraceSample 1) so the histograms
+// are the figure, not a sample of it; the separate overhead A/B below runs
+// at the production sampling default, since that is the configuration whose
+// cost the ≤3% budget bounds.
+func AblationLatency(w io.Writer, o FigureOptions) LatencyReport {
+	o.fill()
+	const clusters, f = 3, 1
+	const crossPct = 20
+	clients := 24
+	opts := Options{Warmup: 500 * time.Millisecond, Measure: 2 * time.Second}
+	if o.Quick {
+		clients = 8
+		opts = o.bench()
+	}
+	report := LatencyReport{OverheadBudgetPct: 3}
+	cases := []struct {
+		network string
+		batch   int
+	}{
+		{"loopback", 1},
+		{"loopback", 16},
+		{"multiregion", 1},
+		{"multiregion", 16},
+	}
+	fmt.Fprintf(w, "\n## Ablation — commit-latency stage breakdown (crash model, sim fabric, %d%% cross-shard, %d clients)\n", crossPct, clients)
+	for _, c := range cases {
+		gen := workloadFor(clusters, crossPct, o)
+		cfg := core.Config{
+			Model: types.CrashOnly, Clusters: clusters, F: f, Seed: o.Seed,
+			BatchSize: c.batch, TraceSample: 1,
+		}
+		if c.network == "multiregion" {
+			cfg.Shaping = transport.Multiregion()
+		}
+		d, err := core.NewDeployment(cfg)
+		if err != nil {
+			fmt.Fprintf(w, "# latency %s/batch-%d: deployment failed: %v\n", c.network, c.batch, err)
+			continue
+		}
+		d.SeedAccounts(o.AccountsPerShard, seedBalance)
+		d.Start()
+		sys := SharPerSystem{D: d}
+		pt := Run(sys, gen, clients, opts)
+		snap := d.MetricsSnapshot()
+		sys.Stop()
+		runtime.GC() // don't bill this deployment's garbage to the next
+
+		r := LatencyResult{
+			Network: c.network, BatchSize: c.batch, Clients: clients,
+			CrossPct: crossPct, ThroughputTx: pt.ThroughputTx, AvgLatencyMs: pt.AvgLatencyMs,
+		}
+		byName := make(map[string]*obs.Metric, len(snap))
+		for i := range snap {
+			byName[snap[i].Name] = &snap[i]
+		}
+		for si, series := range []string{"intra", "cross"} {
+			sl := SeriesLatency{Series: series}
+			if tot := byName["stage_"+series+"_total_us"]; tot != nil {
+				sl.Sampled = tot.Count
+				sl.TotalP50Us = tot.Quantile(0.50)
+				sl.TotalP99Us = tot.Quantile(0.99)
+			}
+			for st := obs.StageSeal; st < obs.NumStages; st++ {
+				if si == 0 && st == obs.StageLockGrant {
+					continue
+				}
+				h := byName["stage_"+series+"_"+st.String()+"_us"]
+				if h == nil || h.Count == 0 {
+					continue
+				}
+				sl.Stages = append(sl.Stages, StageLatency{
+					Stage: st.String(), Count: h.Count,
+					P50Us: h.Quantile(0.50), P99Us: h.Quantile(0.99),
+				})
+			}
+			fmt.Fprintf(w, "%-11s batch=%-2d %-5s  sampled=%-5d total p50=%6dµs p99=%6dµs |",
+				c.network, c.batch, series, sl.Sampled, sl.TotalP50Us, sl.TotalP99Us)
+			for _, s := range sl.Stages {
+				fmt.Fprintf(w, " %s=%dµs", s.Stage, s.P50Us)
+			}
+			fmt.Fprintln(w)
+			r.Series = append(r.Series, sl)
+		}
+		report.Cases = append(report.Cases, r)
+	}
+
+	// Overhead A/B: batch-16 loopback throughput with the registry at its
+	// production default against NoMetrics, interleaved so machine drift hits
+	// both arms equally, medians compared. NoPersist keeps fsync jitter from
+	// burying the few-percent signal under measurement noise.
+	reps := 3
+	if o.Quick {
+		reps = 1
+	}
+	measure := func(noMetrics bool, rep int) float64 {
+		gen := workloadFor(clusters, crossPct, o)
+		d, err := core.NewDeployment(core.Config{
+			Model: types.CrashOnly, Clusters: clusters, F: f,
+			Seed: o.Seed + int64(rep), BatchSize: 16,
+			NoPersist: true, NoMetrics: noMetrics,
+		})
+		if err != nil {
+			return 0
+		}
+		d.SeedAccounts(o.AccountsPerShard, seedBalance)
+		d.Start()
+		sys := SharPerSystem{D: d}
+		pt := Run(sys, gen, clients, opts)
+		sys.Stop()
+		runtime.GC()
+		return pt.ThroughputTx
+	}
+	var on, off []float64
+	for rep := 0; rep < reps; rep++ {
+		off = append(off, measure(true, rep))
+		on = append(on, measure(false, rep))
+	}
+	sort.Float64s(on)
+	sort.Float64s(off)
+	report.MetricsOnTx = on[len(on)/2]
+	report.MetricsOffTx = off[len(off)/2]
+	if report.MetricsOffTx > 0 {
+		report.MetricsOverheadPct = 100 * (report.MetricsOffTx - report.MetricsOnTx) / report.MetricsOffTx
+	}
+	fmt.Fprintf(w, "metrics overhead: on=%.0f tx/s off=%.0f tx/s → %.2f%% (budget %.0f%%)\n",
+		report.MetricsOnTx, report.MetricsOffTx, report.MetricsOverheadPct, report.OverheadBudgetPct)
+	return report
 }
 
 func runSharPer(model types.FailureModel, clusters, f int, gen *workload.Generator,

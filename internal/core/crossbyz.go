@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
+	"sharper/internal/obs"
 	"sharper/internal/types"
 )
 
@@ -56,7 +58,21 @@ type xbyz struct {
 
 	// Diagnostics (read via Stats).
 	nPropose, nWithdraw, nGrant, nDecide, nLockExpire, nParks int
+
+	// ring is a bounded ring of slot-vote events (SHARPER_TRACE only); the
+	// crash engine keeps the same ring, so a divergence hunt reads one
+	// timeline format regardless of the fault model.
+	ring *obs.EventRing
+	// tracer, when non-nil, receives digest-keyed lifecycle stamps for
+	// sampled cross-shard transactions (propose / lock-grant / prepared).
+	tracer *obs.TxTracer
 }
+
+// DebugTrace returns the recent slot-vote events (oldest first).
+func (x *xbyz) DebugTrace() []string { return x.ring.Lines() }
+
+// DebugEvents returns the recent slot-vote events in structured form.
+func (x *xbyz) DebugEvents() []obs.Event { return x.ring.Events() }
 
 // xinst is per-digest participant state.
 type xinst struct {
@@ -121,6 +137,7 @@ func newXByz(topo *consensus.Topology, cluster types.ClusterID, self types.NodeI
 		instances: make(map[types.Hash]*xinst),
 		leads:     make(map[types.Hash]*xbyzLead),
 		decided:   make(map[types.Hash]bool),
+		ring:      obs.NewEventRing(0, os.Getenv("SHARPER_TRACE") != ""),
 	}
 }
 
@@ -224,6 +241,8 @@ func (x *xbyz) Initiate(txs []*types.Transaction, now time.Time) []consensus.Out
 
 func (x *xbyz) propose(lead *xbyzLead, digest types.Hash, now time.Time) []consensus.Outbound {
 	x.nPropose++
+	x.tracer.StampDigest(digest, obs.StagePropose, now)
+	x.ring.Recordf("xpropose", uint64(lead.attempts+1), digest, "v=%d", lead.view+1)
 	lead.attempts++
 	lead.view++
 	lead.dormant = false
@@ -276,6 +295,8 @@ func (x *xbyz) tryVote(inst *xinst, digest types.Hash, now time.Time) []consensu
 	}
 	inst.needAccept = false
 	x.acquire(digest, inst.involved, st, now)
+	x.tracer.StampDigest(digest, obs.StageLockGrant, now)
+	x.ring.Recordf("xselfvote", st.Seq+1, digest, "head=%s v=%d", st.Head, inst.view)
 	return x.sendAccept(inst, digest, st)
 }
 
@@ -439,6 +460,7 @@ func (x *xbyz) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outbou
 	}
 	x.nGrant++
 	x.acquire(digest, involved, st, now)
+	x.ring.Recordf("xvote", st.Seq+1, digest, "head=%s v=%d from=%s", st.Head, m.View, env.From)
 	return x.sendAccept(inst, digest, st), nil
 }
 
@@ -544,6 +566,8 @@ func (x *xbyz) maybeCommit(inst *xinst, digest types.Hash, now time.Time) ([]con
 		return nil, nil
 	}
 	inst.sentCommit = true
+	x.tracer.StampDigest(digest, obs.StagePrepared, now)
+	x.ring.Recordf("xcommit", 0, digest, "v=%d", inst.view)
 	inst.committedHashes = hashes
 	key := commitKey(digest, hashes, valid)
 	inst.keyHashes[key] = keyedHashes{hashes: hashes, valid: valid}
@@ -603,6 +627,7 @@ func (x *xbyz) maybeDecide(inst *xinst, digest types.Hash) []crossDecision {
 		}
 		x.decided[digest] = true
 		x.nDecide++
+		x.ring.Recordf("xdecide", 0, digest, "")
 		x.unlock(digest)
 		x.unpark(digest)
 		txs := inst.txs

@@ -2,13 +2,13 @@ package core
 
 import (
 	"bytes"
-	"fmt"
 	"math/rand"
 	"os"
 	"sort"
 	"time"
 
 	"sharper/internal/consensus"
+	"sharper/internal/obs"
 	"sharper/internal/types"
 )
 
@@ -96,28 +96,20 @@ type xcrash struct {
 	lockHold                                          time.Duration
 	lockedAt                                          time.Time
 
-	// trace is a bounded ring of slot-vote events (SHARPER_TRACE only),
+	// ring is a bounded ring of slot-vote events (SHARPER_TRACE only),
 	// read next to the intra engine's ring when hunting intra/cross forks:
 	// the two rings together show every vote a node cast for one chain slot.
-	traceOn bool
-	trace   []string
-}
-
-// tracef records a slot-vote event in the debug ring.
-func (x *xcrash) tracef(format string, args ...interface{}) {
-	if !x.traceOn {
-		return
-	}
-	if len(x.trace) >= 2048 {
-		x.trace = x.trace[1:]
-	}
-	// The wall-clock prefix lets a divergence hunt merge the intra and cross
-	// rings of one node (and of different processes) into a single timeline.
-	x.trace = append(x.trace, fmt.Sprintf("%d ", time.Now().UnixMilli()%100000)+fmt.Sprintf(format, args...))
+	ring *obs.EventRing
+	// tracer, when non-nil, receives digest-keyed lifecycle stamps for
+	// sampled cross-shard transactions (propose / lock-grant / prepared).
+	tracer *obs.TxTracer
 }
 
 // DebugTrace returns the recent slot-vote events (oldest first).
-func (x *xcrash) DebugTrace() []string { return x.trace }
+func (x *xcrash) DebugTrace() []string { return x.ring.Lines() }
+
+// DebugEvents returns the recent slot-vote events in structured form.
+func (x *xcrash) DebugEvents() []obs.Event { return x.ring.Events() }
 
 // WaitStats reports accumulated wait diagnostics.
 func (x *xcrash) WaitStats() (parks int, avgParkMs, avgLeadMs, avgLockHoldMs float64) {
@@ -212,7 +204,7 @@ func newXCrash(topo *consensus.Topology, cluster types.ClusterID, self types.Nod
 		decided:  make(map[types.Hash]bool),
 		txs:      make(map[types.Hash][]*types.Transaction),
 		recent:   make(map[types.Hash]*xcommitRetain),
-		traceOn:  os.Getenv("SHARPER_TRACE") != "",
+		ring:     obs.NewEventRing(0, os.Getenv("SHARPER_TRACE") != ""),
 	}
 }
 
@@ -283,6 +275,7 @@ func (x *xcrash) Initiate(txs []*types.Transaction, now time.Time) []consensus.O
 // initiator's own vote if the slot is free (deferring it otherwise).
 func (x *xcrash) propose(lead *xlead, now time.Time) ([]consensus.Outbound, []crossDecision) {
 	x.nPropose++
+	x.tracer.StampDigest(lead.digest, obs.StagePropose, now)
 	lead.attempts++
 	lead.view++
 	lead.dormant = false
@@ -325,7 +318,8 @@ func (x *xcrash) castLeadVote(lead *xlead, now time.Time) ([]consensus.Outbound,
 		return nil, nil
 	}
 	x.acquire(lead.digest, lead.involved, st, now)
-	x.tracef("xselfvote d=%s slot=%d head=%s v=%d", lead.digest, st.Seq+1, st.Head, lead.view)
+	x.tracer.StampDigest(lead.digest, obs.StageLockGrant, now)
+	x.ring.Recordf("xselfvote", st.Seq+1, lead.digest, "head=%s v=%d", st.Head, lead.view)
 	lead.needSelfVote = false
 	lead.votes.Add(x.cluster, x.self, consensus.HashVote{
 		Key:   consensus.VoteKey{View: lead.view, Digest: lead.digest},
@@ -404,7 +398,7 @@ func (x *xcrash) acquire(digest types.Hash, involved types.ClusterSet, st chainS
 func (x *xcrash) unlock(digest types.Hash) {
 	if x.table.Release(digest) {
 		x.lockHold += time.Since(x.lockedAt)
-		x.tracef("xrelease d=%s", digest)
+		x.ring.Recordf("xrelease", 0, digest, "")
 	}
 }
 
@@ -473,7 +467,7 @@ func (x *xcrash) onPropose(env *types.Envelope, now time.Time) []consensus.Outbo
 	x.unpark(digest)
 	x.nGrant++
 	x.acquire(digest, involved, st, now)
-	x.tracef("xvote d=%s slot=%d head=%s v=%d from=%s", digest, st.Seq+1, st.Head, m.View, env.From)
+	x.ring.Recordf("xvote", st.Seq+1, digest, "head=%s v=%d from=%s", st.Head, m.View, env.From)
 	reply := &types.ConsensusMsg{
 		View:       m.View,
 		Digest:     digest,
@@ -564,6 +558,7 @@ func (x *xcrash) tryComplete(lead *xlead, now time.Time) ([]consensus.Outbound, 
 	}
 	lead.done = true
 	x.nDecide++
+	x.tracer.StampDigest(lead.digest, obs.StagePrepared, now)
 	x.leadWait += now.Sub(lead.start)
 	x.decided[lead.digest] = true
 	delete(x.leads, lead.digest)
@@ -703,7 +698,7 @@ func (x *xcrash) Tick(now time.Time) ([]consensus.Outbound, []crossDecision) {
 		// The initiator died without committing or aborting; give up.
 		x.nLockExpire++
 		x.lockHold += time.Since(x.lockedAt)
-		x.tracef("xexpire d=%s", d)
+		x.ring.Recordf("xexpire", 0, d, "")
 	}
 	for digest, r := range x.recent {
 		if !now.After(r.deadline) {

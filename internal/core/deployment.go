@@ -11,6 +11,7 @@ import (
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
+	"sharper/internal/obs"
 	"sharper/internal/state"
 	"sharper/internal/storage"
 	"sharper/internal/transport"
@@ -109,6 +110,15 @@ type Config struct {
 	// for benchmarks that need a true in-memory baseline next to durable
 	// configurations in the same process.
 	NoPersist bool
+
+	// NoMetrics disables the per-node observability registries. Metrics are
+	// on by default (the hot path costs one atomic per event), so every
+	// deployment is scrapeable; the overhead benchmark flips this for its
+	// A/B baseline.
+	NoMetrics bool
+	// TraceSample is the lifecycle tracer's 1-in-N sampling rate (0 takes
+	// obs.DefaultTraceSample, 1 traces everything). Ignored under NoMetrics.
+	TraceSample int
 
 	// Slash arms the equivocation-detecting auditor on every replica: nodes
 	// index inbound consensus envelopes, mint signed fraud proofs from
@@ -339,10 +349,16 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			signer, verifier = s, d.Keyring
 		}
 		cluster, _ := topo.ClusterOf(id)
+		var reg *obs.Registry
+		if !cfg.NoMetrics {
+			reg = obs.NewRegistry()
+		}
 		var st *storage.Store
 		if d.dataDir != "" {
+			opts := d.storageOpts
+			opts.Metrics = obs.NewStoreMetrics(reg)
 			var serr error
-			st, serr = storage.Open(NodeDataDir(d.dataDir, id), d.storageOpts)
+			st, serr = storage.Open(NodeDataDir(d.dataDir, id), opts)
 			if serr != nil {
 				return fail(serr)
 			}
@@ -351,6 +367,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		if cfg.WrapFabric != nil {
 			fab = cfg.WrapFabric(id, fab)
 		}
+		registerSimLinkGauges(reg, clientNet, id)
 		ncfg := NodeConfig{
 			Model:          topo.ModelOf(cluster),
 			Topology:       topo,
@@ -373,11 +390,52 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			Seed:           cfg.Seed + int64(id) + 2,
 			Storage:        st,
 			Slash:          cfg.Slash,
+			Metrics:        reg,
+			TraceSample:    cfg.TraceSample,
 		}
 		d.nodeCfgs[id] = ncfg
 		d.nodes[id] = NewNode(ncfg)
 	}
 	return d, nil
+}
+
+// registerSimLinkGauges exposes a replica's inbound link counters on its
+// registry when the deployment runs over the shared simulated fabric. Each
+// node registers only its OWN link, so a fleet merge never double-counts the
+// shared network. Pull-style: the callbacks read the fabric's atomics at
+// snapshot time. (TCP fabrics expose per-peer stats through
+// tcpnet.LinkStats; sharperd bridges those itself.)
+func registerSimLinkGauges(reg *obs.Registry, fab transport.Fabric, id types.NodeID) {
+	if reg == nil {
+		return
+	}
+	sim, ok := fab.(*transport.Network)
+	if !ok {
+		return
+	}
+	link := sim.Link(id)
+	reg.GaugeFunc("link_in_sent", func() uint64 { return uint64(link.Sent.Load()) })
+	reg.GaugeFunc("link_in_delivered", func() uint64 { return uint64(link.Delivered.Load()) })
+	reg.GaugeFunc("link_in_dropped", func() uint64 { return uint64(link.Dropped.Load()) })
+	reg.GaugeFunc("link_in_bytes", func() uint64 { return uint64(link.Bytes.Load()) })
+	reg.GaugeFunc("link_in_delay_us", func() uint64 { return uint64(link.DelayMicros.Load()) })
+	reg.GaugeFunc("link_in_queue_depth", func() uint64 { return uint64(sim.QueueDepth(id)) })
+}
+
+// MetricsSnapshot returns the fleet-wide merged registry snapshot of every
+// replica (nil when metrics are disabled). Sched gauges refresh on each
+// node's tick, so a merged snapshot is at most one tick stale.
+func (d *Deployment) MetricsSnapshot() []obs.Metric {
+	var snaps [][]obs.Metric
+	for _, n := range d.Nodes() {
+		if r := n.Metrics(); r != nil {
+			snaps = append(snaps, r.Snapshot())
+		}
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	return obs.Merge(snaps...)
 }
 
 // closeStorages closes every built node's storage (used on construction
@@ -449,7 +507,11 @@ func (d *Deployment) RestartNode(id types.NodeID) (*Node, error) {
 	cfg := d.nodeCfgs[id]
 	cfg.Storage = nil
 	if d.dataDir != "" {
-		st, err := storage.Open(NodeDataDir(d.dataDir, id), d.storageOpts)
+		// The incarnation keeps its registry (nodeCfgs carries it), so the
+		// rebuilt store's handles resolve to the same counters.
+		opts := d.storageOpts
+		opts.Metrics = obs.NewStoreMetrics(cfg.Metrics)
+		st, err := storage.Open(NodeDataDir(d.dataDir, id), opts)
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
+	"sharper/internal/obs"
 	"sharper/internal/slasher"
 	"sharper/internal/state"
 	"sharper/internal/storage"
@@ -92,6 +93,18 @@ type NodeConfig struct {
 	// verifies strictly per signature; 0 takes the SHARPER_VERIFY_WINDOW
 	// override, defaulting to crypto.DefaultVerifyWindow.
 	VerifyWindow int
+
+	// Metrics, when non-nil, is this node's observability registry: the
+	// consensus engines, storage, verify pool, scheduler, and transaction
+	// tracer all register their series on it. Each node owns exactly one
+	// registry (never shared), so fleet roll-ups can Merge without
+	// double-counting. Nil disables all metric collection at a branch per
+	// update site.
+	Metrics *obs.Registry
+	// TraceSample is the lifecycle tracer's 1-in-N sampling rate: 1 traces
+	// every transaction, 0 takes obs.DefaultTraceSample. Only consulted when
+	// Metrics is set.
+	TraceSample int
 }
 
 func (c *NodeConfig) fillDefaults() {
@@ -261,6 +274,15 @@ type Node struct {
 	failedTx   map[types.TxID]bool
 	failedList []types.TxID
 
+	// reg is the node's metrics registry (nil when observability is off);
+	// tracer samples per-transaction lifecycle stamps into it. gauges mirror
+	// scheduler and queue depths into the registry, refreshed on the event
+	// loop so off-loop scrapes read consistent last-published values.
+	reg          *obs.Registry
+	tracer       *obs.TxTracer
+	gauges       *nodeGauges
+	committedCtr *obs.Counter
+
 	// recoveredBlocks counts the chain blocks loaded from storage at build
 	// time (restart tests assert catch-up fetched only the delta).
 	recoveredBlocks int
@@ -293,6 +315,23 @@ func NewNode(cfg NodeConfig) *Node {
 		doneCh:       make(chan struct{}),
 	}
 	genesis := ledger.GenesisHash()
+	n.reg = cfg.Metrics
+	if n.reg != nil {
+		n.tracer = obs.NewTxTracer(n.reg, cfg.TraceSample, 0)
+		n.gauges = newNodeGauges(n.reg)
+		n.committedCtr = n.reg.Counter("committed_txs")
+	}
+	// The prepared callback is keyed by consensus seq; flushIntra binds the
+	// batch to its seq right after Propose, so by the time any quorum forms
+	// the binding exists.
+	var onPrepared func(seq uint64)
+	if n.tracer != nil {
+		onPrepared = func(seq uint64) { n.tracer.StampSeq(seq, obs.StagePrepared, time.Now()) }
+	}
+	intraPrefix := "paxos"
+	if cfg.Model == types.Byzantine {
+		intraPrefix = "pbft"
+	}
 	// A nil *storage.Store must stay a nil Persister interface.
 	var persist consensus.Persister
 	if cfg.Storage != nil {
@@ -311,18 +350,22 @@ func NewNode(cfg NodeConfig) *Node {
 	}
 	n.intra = newIntraEngine(cfg.Model, cfg.Topology, cfg.Cluster, cfg.Self,
 		cfg.Signer, cfg.Verifier, cfg.IntraTimeout, genesis, persist,
-		n.table.ConflictsIntra)
+		n.table.ConflictsIntra, obs.NewEngineMetrics(n.reg, intraPrefix), onPrepared)
 	// Cross-shard protocol selection: the crash-only Algorithm 1 applies
 	// only when every cluster is crash-only; as soon as any cluster may
 	// lie, the decentralized Algorithm 2 runs deployment-wide with
 	// per-cluster quorums (f+1 from crash clusters, 2f+1 from Byzantine
 	// ones) — the hybrid arrangement §3.4 sketches via SeeMoRe.
 	if cfg.Topology.AnyByzantine() {
-		n.cross = newXByz(cfg.Topology, cfg.Cluster, cfg.Self, cfg.Signer, cfg.Verifier,
+		xb := newXByz(cfg.Topology, cfg.Cluster, cfg.Self, cfg.Signer, cfg.Verifier,
 			n.table, status, validate, cfg.LockTimeout, cfg.RetryTimeout, maxLeads, cfg.Seed)
+		xb.tracer = n.tracer
+		n.cross = xb
 	} else {
-		n.cross = newXCrash(cfg.Topology, cfg.Cluster, cfg.Self,
+		xc := newXCrash(cfg.Topology, cfg.Cluster, cfg.Self,
 			n.table, status, validate, cfg.LockTimeout, cfg.RetryTimeout, maxLeads, cfg.Seed)
+		xc.tracer = n.tracer
+		n.cross = xc
 	}
 	if cfg.Storage != nil {
 		n.recoverChain(cfg.Storage.Recovered())
@@ -512,6 +555,7 @@ func (n *Node) Start() {
 	// verifies trivially, the pipeline would be pure overhead.
 	if _, noop := n.cfg.Verifier.(crypto.NoopSigner); !noop {
 		n.vpool = crypto.NewVerifyPool(n.cfg.Verifier, n.inbox, 0, 0, n.cfg.VerifyWindow)
+		n.vpool.SetMetrics(obs.NewVerifyMetrics(n.reg))
 	}
 	go n.loop()
 }
@@ -634,6 +678,9 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 	case types.MsgStatsRequest:
 		n.onStatsRequest(env)
 
+	case types.MsgMetricsRequest:
+		n.onMetricsRequest(env)
+
 	case types.MsgFraudProof:
 		n.onFraudProof(env)
 
@@ -715,6 +762,7 @@ func (n *Node) FraudProofs() []*types.FraudProof {
 
 func (n *Node) tick(now time.Time) {
 	n.tickCount++
+	n.refreshGauges()
 	n.checkForwards(now)
 	iouts, idecs := n.intra.Tick(now)
 	n.send(iouts)
@@ -963,6 +1011,86 @@ func (n *Node) onStatsRequest(env *types.Envelope) {
 	})
 }
 
+// nodeGauges mirror the cross-shard scheduler's counters and the node's
+// queue depths into the registry. They are refreshed only on the event loop
+// (tick and metrics fetches) because SchedStats walks engine state the loop
+// owns; off-loop scrapes read the last published values through the gauges'
+// atomics.
+type nodeGauges struct {
+	proposes, withdraws, grants, decides   *obs.Gauge
+	lockExpiries, parks, leads, leadHW     *obs.Gauge
+	tableSize, defers, defersAvoided       *obs.Gauge
+	selfVoteWaits                          *obs.Gauge
+	pendingIntra, pendingCross, deferredIn *obs.Gauge
+	inboxDepth                             *obs.Gauge
+}
+
+func newNodeGauges(r *obs.Registry) *nodeGauges {
+	return &nodeGauges{
+		proposes:      r.Gauge("sched_proposes"),
+		withdraws:     r.Gauge("sched_withdraws"),
+		grants:        r.Gauge("sched_grants"),
+		decides:       r.Gauge("sched_decides"),
+		lockExpiries:  r.Gauge("sched_lock_expiries"),
+		parks:         r.Gauge("sched_parks"),
+		leads:         r.Gauge("sched_leads_in_flight"),
+		leadHW:        r.Gauge("sched_lead_high_water"),
+		tableSize:     r.Gauge("sched_table_size"),
+		defers:        r.Gauge("sched_defers"),
+		defersAvoided: r.Gauge("sched_defers_avoided"),
+		selfVoteWaits: r.Gauge("sched_self_vote_waits"),
+		pendingIntra:  r.Gauge("queue_pending_intra"),
+		pendingCross:  r.Gauge("queue_pending_cross"),
+		deferredIn:    r.Gauge("queue_deferred_intra"),
+		inboxDepth:    r.Gauge("net_inbox_depth"),
+	}
+}
+
+// refreshGauges publishes the scheduler counters and queue depths; called
+// from tick and before answering a metrics fetch.
+func (n *Node) refreshGauges() {
+	g := n.gauges
+	if g == nil {
+		return
+	}
+	s := n.cross.Stats()
+	g.proposes.Set(s.Proposes)
+	g.withdraws.Set(s.Withdraws)
+	g.grants.Set(s.Grants)
+	g.decides.Set(s.Decides)
+	g.lockExpiries.Set(s.LockExpiries)
+	g.parks.Set(s.Parks)
+	g.leads.Set(s.LeadsInFlight)
+	g.leadHW.Set(s.LeadHighWater)
+	g.tableSize.Set(s.TableSize)
+	g.defers.Set(s.Defers)
+	g.defersAvoided.Set(s.DefersAvoided)
+	g.selfVoteWaits.Set(s.SelfVoteWaits)
+	g.pendingIntra.Set(uint64(len(n.pendingIntra)))
+	g.pendingCross.Set(uint64(len(n.pendingCross)))
+	g.deferredIn.Set(uint64(len(n.deferred)))
+	g.inboxDepth.Set(uint64(len(n.inbox)))
+}
+
+// onMetricsRequest answers a registry fetch with the node's full snapshot
+// (the fleet roll-up path: the driver merges every node's dump). Gauges are
+// refreshed first so the dump is current, not one tick stale.
+func (n *Node) onMetricsRequest(env *types.Envelope) {
+	n.refreshGauges()
+	dump := &types.MetricsDump{Node: n.cfg.Self, Metrics: obs.MetricsToWire(n.reg.Snapshot())}
+	n.cfg.Net.Send(env.From, &types.Envelope{
+		Type: types.MsgMetricsResponse, From: n.cfg.Self, Payload: dump.Encode(nil),
+	})
+}
+
+// Metrics returns the node's registry (nil when observability is off).
+// Snapshotting it is safe from any goroutine; the event loop owns updates.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// Tracer returns the node's lifecycle tracer (nil when observability is
+// off); tests and benchmarks read completed traces through it.
+func (n *Node) Tracer() *obs.TxTracer { return n.tracer }
+
 // onTraceRequest answers a debug trace fetch with this node's protocol
 // event ring (empty unless SHARPER_TRACE is set — the engines only record
 // events then). Divergence hunts across a multi-process deployment need the
@@ -1012,6 +1140,7 @@ func (n *Node) onRequest(env *types.Envelope, now time.Time) {
 			return
 		}
 		n.inFlight[tx.ID] = now
+		n.tracer.Start(tx.ID, false, now)
 		n.proposeIntra(tx, now)
 		return
 	}
@@ -1029,6 +1158,7 @@ func (n *Node) onRequest(env *types.Envelope, now time.Time) {
 		return
 	}
 	n.inFlight[tx.ID] = now
+	n.tracer.Start(tx.ID, true, now)
 	n.proposeCross(tx, now)
 }
 
@@ -1148,6 +1278,7 @@ func (n *Node) flushIntra(now time.Time) {
 		n.intraSince = now
 		for _, tx := range batch {
 			delete(n.queued, tx.ID)
+			n.tracer.Stamp(tx.ID, obs.StageSeal, now)
 		}
 		outs, seq := n.intra.Propose(batch, now)
 		if seq == 0 {
@@ -1159,6 +1290,16 @@ func (n *Node) flushIntra(now time.Time) {
 			}
 			n.pendingIntra = append(batch, n.pendingIntra...)
 			return
+		}
+		if n.tracer != nil {
+			ids := make([]types.TxID, len(batch))
+			for i, tx := range batch {
+				ids[i] = tx.ID
+			}
+			n.tracer.BindSeq(seq, ids)
+			for _, id := range ids {
+				n.tracer.Stamp(id, obs.StagePropose, now)
+			}
 		}
 		n.send(outs)
 	}
@@ -1249,6 +1390,7 @@ func (n *Node) launchCross(now time.Time) {
 		for _, tx := range batch {
 			n.inFlight[tx.ID] = now
 		}
+		n.bindCrossTrace(batch, now)
 		n.send(n.cross.Initiate(batch, now))
 		return
 	}
@@ -1260,8 +1402,22 @@ func (n *Node) launchCross(now time.Time) {
 		for _, tx := range batch {
 			n.inFlight[tx.ID] = now
 		}
+		n.bindCrossTrace(batch, now)
 		n.send(n.cross.Initiate(batch, now))
 	}
+}
+
+// bindCrossTrace seals the traced members of a launching cross-shard batch
+// and binds them to the batch digest, so the cross engine's digest-keyed
+// stamps (propose, lock-grant, prepared) land on them.
+func (n *Node) bindCrossTrace(batch []*types.Transaction, now time.Time) {
+	if n.tracer == nil {
+		return
+	}
+	for _, tx := range batch {
+		n.tracer.Stamp(tx.ID, obs.StageSeal, now)
+	}
+	n.tracer.BindDigest(types.BatchDigest(batch), batch)
 }
 
 // takeLaunchableBatch removes and returns the earliest queued cross-shard
@@ -1365,7 +1521,17 @@ func (n *Node) applyIntra(decs []consensus.Decision, now time.Time) {
 			n.anomalies.Add(1)
 			continue
 		}
+		if n.tracer != nil {
+			// A fresh clock read, not the dispatch-entry now: the engine's
+			// prepared callback stamped inside Step, after now was taken.
+			n.tracer.StampSeq(d.Seq, obs.StageCommitted, time.Now())
+		}
 		n.persistCommit(d.Block, ^uint64(0))
+		if n.tracer != nil {
+			// Persisted is stamped after the (possibly synchronous) log write,
+			// so the committed→persisted delta is the durability cost.
+			n.tracer.StampSeq(d.Seq, obs.StagePersisted, time.Now())
+		}
 		n.lastAppend = now
 		for _, tx := range d.Block.Txs {
 			n.execute(tx, true)
@@ -1414,7 +1580,13 @@ func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 		n.anomalies.Add(1)
 		return
 	}
+	if n.tracer != nil {
+		n.tracer.StampDigest(d.Digest, obs.StageCommitted, time.Now())
+	}
 	n.persistCommit(block, d.Valid)
+	if n.tracer != nil {
+		n.tracer.StampDigest(d.Digest, obs.StagePersisted, time.Now())
+	}
 	n.lastAppend = now
 	for i, tx := range d.Txs {
 		n.execute(tx, d.Valid&(1<<uint(i)) != 0)
@@ -1485,8 +1657,12 @@ func (n *Node) execute(tx *types.Transaction, valid bool) {
 		n.recordFailed(tx.ID)
 	}
 	n.committed.Add(1)
+	n.committedCtr.Inc()
 	r := &types.Reply{TxID: tx.ID, Replica: n.cfg.Self, Committed: ok}
 	n.replyCache.Put(tx.ID, r)
+	if n.tracer != nil {
+		n.tracer.Finish(tx.ID, time.Now())
+	}
 	// Under the crash model only the responsible primary answers (Fig. 3a):
 	// the cluster primary for intra-shard transactions, the initiator
 	// cluster's primary for cross-shard ones. Byzantine clients wait for

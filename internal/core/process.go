@@ -8,6 +8,7 @@ import (
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
+	"sharper/internal/obs"
 	"sharper/internal/state"
 	"sharper/internal/storage"
 	"sharper/internal/transport"
@@ -59,6 +60,13 @@ type ProcessConfig struct {
 	// CheckpointInterval is the number of committed blocks between
 	// checkpoints (default 256).
 	CheckpointInterval int
+
+	// NoMetrics disables the replica's observability registry (on by
+	// default; see Config.NoMetrics).
+	NoMetrics bool
+	// TraceSample is the lifecycle tracer's 1-in-N sampling rate (0 takes
+	// obs.DefaultTraceSample).
+	TraceSample int
 }
 
 // NewProcessNode builds the single replica a standalone process hosts. Key
@@ -105,11 +113,16 @@ func NewProcessNode(cfg ProcessConfig) (*Node, error) {
 		signer, verifier = s, auth
 	}
 
+	var reg *obs.Registry
+	if !cfg.NoMetrics {
+		reg = obs.NewRegistry()
+	}
 	var st *storage.Store
 	if cfg.DataDir != "" {
 		var serr error
 		st, serr = storage.Open(cfg.DataDir, storage.Options{
 			Sync: cfg.Sync, CheckpointInterval: cfg.CheckpointInterval,
+			Metrics: obs.NewStoreMetrics(reg),
 		})
 		if serr != nil {
 			return nil, serr
@@ -137,6 +150,8 @@ func NewProcessNode(cfg ProcessConfig) (*Node, error) {
 		Seed:           cfg.Seed + int64(cfg.Self) + 2,
 		Storage:        st,
 		Slash:          cfg.Slash,
+		Metrics:        reg,
+		TraceSample:    cfg.TraceSample,
 	}), nil
 }
 

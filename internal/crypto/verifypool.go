@@ -3,7 +3,9 @@ package crypto
 import (
 	"runtime"
 	"sync"
+	"time"
 
+	"sharper/internal/obs"
 	"sharper/internal/types"
 )
 
@@ -40,6 +42,7 @@ type VerifyPool struct {
 	verifier Verifier
 	batch    BatchVerifier // nil → per-signature verification
 	window   int
+	metrics  *obs.VerifyMetrics
 
 	work    chan *verifyJob
 	ordered chan *verifyJob
@@ -100,6 +103,11 @@ func NewVerifyPool(v Verifier, in <-chan *types.Envelope, workers, depth, window
 
 // Out is the ordered stream of envelopes with their verdicts marked.
 func (p *VerifyPool) Out() <-chan *types.Envelope { return p.out }
+
+// SetMetrics attaches pool instrumentation (window count and occupancy,
+// bisection events, per-window verify latency). Call before traffic flows;
+// a nil bundle (or never calling) leaves the pool unobserved.
+func (p *VerifyPool) SetMetrics(m *obs.VerifyMetrics) { p.metrics = m }
 
 // Close stops every pool goroutine. Envelopes still in flight are dropped
 // (the pool only closes after its consumer has stopped dispatching).
@@ -169,7 +177,16 @@ func (p *VerifyPool) worker() {
 		case <-p.done:
 			return
 		case j := <-p.work:
-			p.verifyWindow(j.envs, &scratch)
+			if m := p.metrics; m != nil {
+				start := time.Now()
+				p.verifyWindow(j.envs, &scratch)
+				m.Windows.Inc()
+				m.Envelopes.Add(uint64(len(j.envs)))
+				m.Occupancy.Observe(uint64(len(j.envs)))
+				m.VerifyMicros.Observe(uint64(time.Since(start).Microseconds()))
+			} else {
+				p.verifyWindow(j.envs, &scratch)
+			}
 			close(j.done)
 		}
 	}
@@ -192,6 +209,9 @@ func (p *VerifyPool) verifyWindow(envs []*types.Envelope, scratch *batchScratch)
 			}
 			return
 		}
+	}
+	if m := p.metrics; m != nil {
+		m.Bisects.Inc()
 	}
 	mid := len(envs) / 2
 	p.verifyWindow(envs[:mid], scratch)

@@ -16,6 +16,7 @@ import (
 
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
+	"sharper/internal/obs"
 	"sharper/internal/types"
 )
 
@@ -33,6 +34,9 @@ type Config struct {
 	Verifier crypto.Verifier
 	// Timeout before a backup suspects the primary.
 	Timeout time.Duration
+	// Obs, when non-nil, receives engine health metrics (view changes,
+	// straggler drops, live instance count).
+	Obs *obs.EngineMetrics
 }
 
 // Engine is one node's state. It satisfies the replica.Engine interface.
@@ -187,6 +191,7 @@ func (e *Engine) onPropose(env *types.Envelope, now time.Time) ([]consensus.Outb
 	if m.Seq <= e.committedSeq {
 		// Delivered slot: a re-delivered proposal must not resurrect its
 		// deleted instance (see pbft.Engine.onPrepare).
+		e.cfg.Obs.Stragglers().Inc()
 		return nil, nil
 	}
 	inst := e.getInstance(m.Seq)
@@ -226,6 +231,7 @@ func (e *Engine) onAccept(env *types.Envelope) ([]consensus.Outbound, []consensu
 		return nil, nil
 	}
 	if m.Seq <= e.committedSeq {
+		e.cfg.Obs.Stragglers().Inc()
 		return nil, nil // delivered slot; straggler vote (see pbft.Engine.onPrepare)
 	}
 	inst := e.getInstance(m.Seq)
@@ -258,6 +264,7 @@ func (e *Engine) advanceFrom(inst *instance, seq uint64) []consensus.Decision {
 		e.committedHead = block.Hash()
 		out = append(out, consensus.Decision{Block: block, Seq: next})
 		delete(e.instances, next)
+		e.cfg.Obs.InstGauge().Set(uint64(len(e.instances)))
 	}
 }
 
@@ -345,6 +352,7 @@ func (e *Engine) installView(v uint64) {
 	}
 	e.view = v
 	e.viewChanging = false
+	e.cfg.Obs.VC().Inc()
 	e.proposedSeq = e.committedSeq
 	e.proposedHead = e.committedHead
 	for seq, inst := range e.instances {
@@ -352,6 +360,7 @@ func (e *Engine) installView(v uint64) {
 			delete(e.instances, seq)
 		}
 	}
+	e.cfg.Obs.InstGauge().Set(uint64(len(e.instances)))
 }
 
 func others(members []types.NodeID, self types.NodeID) []types.NodeID {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sharper/internal/consensus"
+	"sharper/internal/obs"
 	"sharper/internal/types"
 )
 
@@ -81,28 +82,27 @@ type Engine struct {
 	// reserved consults the cross-shard conflict table (see Config.Reserved).
 	reserved func(seq uint64) bool
 
-	// trace is a bounded ring of protocol events for post-mortem debugging
-	// (see DebugTrace), recorded only when SHARPER_TRACE is set — the
-	// formatting is not free on the benchmark hot path.
-	traceOn bool
-	trace   []string
-}
-
-// tracef records a protocol event in the debug ring.
-func (e *Engine) tracef(format string, args ...interface{}) {
-	if !e.traceOn {
-		return
-	}
-	if len(e.trace) >= 2048 {
-		e.trace = e.trace[1:]
-	}
-	// The wall-clock prefix lets a divergence hunt merge this ring with the
+	// ring is a bounded ring of structured protocol events for post-mortem
+	// debugging (see DebugTrace), recorded only when SHARPER_TRACE is set —
+	// the formatting is not free on the benchmark hot path. The wall-clock
+	// stamp on each event lets a divergence hunt merge this ring with the
 	// cross-shard engine's (and other processes') into one timeline.
-	e.trace = append(e.trace, fmt.Sprintf("%d ", time.Now().UnixMilli()%100000)+fmt.Sprintf(format, args...))
+	ring *obs.EventRing
+
+	// metrics, when configured, tracks engine health (view changes,
+	// straggler drops, instance-map size); nil-safe handles.
+	metrics *obs.EngineMetrics
+	// onPrepared fires when a proposal launched by this primary reaches its
+	// commit quorum — the intra-shard "prepared" lifecycle stamp.
+	onPrepared func(seq uint64)
 }
 
-// DebugTrace returns the recent protocol events (oldest first).
-func (e *Engine) DebugTrace() []string { return e.trace }
+// DebugTrace returns the recent protocol events (oldest first), rendered in
+// the historical SHARPER_TRACE line format.
+func (e *Engine) DebugTrace() []string { return e.ring.Lines() }
+
+// DebugEvents returns the recent protocol events in structured form.
+func (e *Engine) DebugEvents() []obs.Event { return e.ring.Events() }
 
 // preparedCand is one value owed to the chain by a deposed view. digest is
 // the batch digest the reporting quorum already verified for txs, carried
@@ -154,6 +154,12 @@ type Config struct {
 	// paths (parked-gap retries, view-change re-proposals) that never pass
 	// the node's dispatch-level deferral.
 	Reserved func(seq uint64) bool
+	// Obs, when non-nil, receives engine health metrics (view changes,
+	// straggler drops, live instance count).
+	Obs *obs.EngineMetrics
+	// OnPrepared, when non-nil, fires when a proposal this primary launched
+	// reaches its commit quorum (per-transaction lifecycle tracing).
+	OnPrepared func(seq uint64)
 }
 
 // New creates an engine starting at view 0 with the genesis head.
@@ -174,7 +180,9 @@ func New(cfg Config, genesis types.Hash) *Engine {
 		timeout:       cfg.Timeout,
 		persist:       cfg.Persist,
 		reserved:      cfg.Reserved,
-		traceOn:       os.Getenv("SHARPER_TRACE") != "",
+		ring:          obs.NewEventRing(0, os.Getenv("SHARPER_TRACE") != ""),
+		metrics:       cfg.Obs,
+		onPrepared:    cfg.OnPrepared,
 	}
 }
 
@@ -255,8 +263,8 @@ func (e *Engine) Restore(view, promised uint64, insts []consensus.DurableInstanc
 		e.proposedHead = bh
 		expect = bh
 	}
-	e.tracef("restore v=%d promised=%d committed=%d proposed=%d accepted=%d",
-		e.view, e.promised, e.committedSeq, e.proposedSeq, len(insts))
+	e.ring.Recordf("restore", e.proposedSeq, types.ZeroHash,
+		"v=%d promised=%d committed=%d accepted=%d", e.view, e.promised, e.committedSeq, len(insts))
 }
 
 // DurableState reports the engine state a checkpoint must carry forward
@@ -311,10 +319,10 @@ func (e *Engine) SyncChainHead(seq uint64, head types.Hash, now time.Time) ([]co
 		// nodes may have counted toward commit quorums — and a node whose
 		// erased acceptance later lets it vote a cross-shard block into one
 		// of those slots forks the cluster.
-		e.tracef("sync-head-stale seq=%d (c=%d p=%d)", seq, e.committedSeq, e.proposedSeq)
+		e.ring.Recordf("sync-head-stale", seq, types.ZeroHash, "c=%d p=%d", e.committedSeq, e.proposedSeq)
 		return nil, nil, nil
 	}
-	e.tracef("sync-head seq=%d head=%s (was c=%d p=%d parked=%d)", seq, head,
+	e.ring.Recordf("sync-head", seq, head, "was c=%d p=%d parked=%d",
 		e.committedSeq, e.proposedSeq, len(e.parked))
 	e.proposedSeq = seq
 	e.proposedHead = head
@@ -479,7 +487,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	e.instances[seq] = inst
 	e.proposedSeq = seq
 	e.proposedHead = block.Hash()
-	e.tracef("propose v=%d seq=%d d=%s tx0=%s", e.view, seq, digest, txs[0].ID)
+	e.ring.Recordf("propose", seq, digest, "v=%d tx0=%s", e.view, txs[0].ID)
 
 	msg := &types.ConsensusMsg{
 		View:       e.view,
@@ -499,6 +507,12 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 // Step consumes one protocol message and returns outbound messages plus any
 // decisions that became deliverable (in sequence order).
 func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	outs, decs := e.step(env, now)
+	e.metrics.InstGauge().Set(uint64(len(e.instances)))
+	return outs, decs
+}
+
+func (e *Engine) step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	switch env.Type {
 	case types.MsgPaxosAccept:
 		return e.onAccept(env, now)
@@ -549,7 +563,7 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 		// acknowledging an intra-shard binding there would vote twice at one
 		// height. Park the proposal: it retries when the reservation clears
 		// (cross commit advancing the chain, or abort/expiry via Tick).
-		e.tracef("reserve-park v=%d seq=%d d=%s", m.View, m.Seq, m.Digest)
+		e.ring.Recordf("reserve-park", m.Seq, m.Digest, "v=%d", m.View)
 		e.parked[m.Seq] = env
 		return nil, nil
 	}
@@ -576,7 +590,7 @@ func (e *Engine) onAccept(env *types.Envelope, now time.Time) ([]consensus.Outbo
 	inst.block = &types.Block{Txs: m.Txs, Parents: []types.Hash{inst.parent}}
 	inst.view = m.View
 	inst.deadline = now.Add(e.timeout)
-	e.tracef("accept v=%d seq=%d d=%s tx0=%s", m.View, m.Seq, m.Digest, m.Txs[0].ID)
+	e.ring.Recordf("accept", m.Seq, m.Digest, "v=%d tx0=%s", m.View, m.Txs[0].ID)
 	if m.Seq > e.proposedSeq {
 		e.proposedSeq = m.Seq
 		e.proposedHead = inst.block.Hash()
@@ -630,7 +644,10 @@ func (e *Engine) onAccepted(env *types.Envelope) ([]consensus.Outbound, []consen
 	// Quorum: multicast commit and decide locally.
 	inst.sentCmt = true
 	inst.committed = true
-	e.tracef("commit-quorum v=%d seq=%d d=%s acc=%d", inst.view, m.Seq, inst.digest, len(inst.accepted))
+	e.ring.Recordf("commit-quorum", m.Seq, inst.digest, "v=%d acc=%d", inst.view, len(inst.accepted))
+	if e.onPrepared != nil && inst.own {
+		e.onPrepared(m.Seq)
+	}
 	cm := &types.ConsensusMsg{View: inst.view, Seq: m.Seq, Digest: inst.digest, Cluster: e.cluster}
 	out := []consensus.Outbound{{
 		To:  others(e.topo.Members(e.cluster), e.self),
@@ -652,6 +669,7 @@ func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensu
 		// resurrect its deleted instance (see pbft.Engine.onPrepare — the
 		// zombie would linger in e.instances and tax every Tick and
 		// HasUncommitted sweep).
+		e.metrics.Stragglers().Inc()
 		return nil, nil
 	}
 	inst, ok := e.instances[m.Seq]
@@ -669,7 +687,7 @@ func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensu
 		return nil, nil
 	}
 	inst.committed = true
-	e.tracef("commit-msg v=%d seq=%d d=%s from=%s", m.View, m.Seq, m.Digest, env.From)
+	e.ring.Recordf("commit-msg", m.Seq, m.Digest, "v=%d from=%s", m.View, env.From)
 	return nil, e.advance()
 }
 
@@ -686,9 +704,10 @@ func (e *Engine) advance() []consensus.Decision {
 		e.delivered[seq] = true
 		e.committedSeq = seq
 		e.committedHead = block.Hash()
-		e.tracef("deliver seq=%d d=%s", seq, inst.digest)
+		e.ring.Recordf("deliver", seq, inst.digest, "")
 		out = append(out, consensus.Decision{Block: block, Seq: seq})
 		delete(e.instances, seq)
+		e.metrics.InstGauge().Set(uint64(len(e.instances)))
 	}
 }
 
@@ -701,7 +720,7 @@ func (e *Engine) Tick(now time.Time) ([]consensus.Outbound, []consensus.Decision
 	if e.viewChanging {
 		if now.After(e.vcDeadline) {
 			next := e.promised + 1
-			e.tracef("vc-escalate nv=%d", next)
+			e.ring.Recordf("vc-escalate", 0, types.ZeroHash, "nv=%d", next)
 			return e.startViewChange(next, now), nil
 		}
 		return nil, nil
@@ -777,7 +796,7 @@ func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outb
 		}
 	}
 	e.recordViewChange(e.self, vc)
-	e.tracef("vc-vote nv=%d last=%d prepared=%d", newView, vc.LastSeq, len(vc.Prepared))
+	e.ring.Recordf("vc-vote", vc.LastSeq, types.ZeroHash, "nv=%d prepared=%d", newView, len(vc.Prepared))
 	env := &types.Envelope{Type: types.MsgViewChange, From: e.self, Payload: vc.Encode(nil)}
 	return []consensus.Outbound{{To: others(e.topo.Members(e.cluster), e.self), Env: env}}
 }
@@ -854,7 +873,8 @@ func (e *Engine) adoptRecovery(votes map[types.NodeID]*types.ViewChange) {
 	sort.Slice(e.pendingRepropose, func(i, j int) bool {
 		return e.pendingRepropose[i].seq < e.pendingRepropose[j].seq
 	})
-	e.tracef("adopt-recovery barrier=%d pending=%d committed=%d", e.reproposeBarrier, len(e.pendingRepropose), e.committedSeq)
+	e.ring.Recordf("adopt-recovery", e.reproposeBarrier, types.ZeroHash,
+		"pending=%d committed=%d", len(e.pendingRepropose), e.committedSeq)
 }
 
 // drainRepropose re-binds recovered values once the primary has caught up
@@ -895,11 +915,12 @@ func (e *Engine) installView(v uint64, now time.Time) {
 	}
 	e.view = v
 	e.viewChanging = false
+	e.metrics.VC().Inc()
 	// Best effort: the installed view is recoverable from peers (a higher
 	// view's first proposal re-installs it); the promise above is what
 	// safety rides on.
 	e.persistViewState()
-	e.tracef("install-view v=%d committed=%d", v, e.committedSeq)
+	e.ring.Recordf("install-view", e.committedSeq, types.ZeroHash, "v=%d", v)
 	// Reset the proposal chain to committed state. Uncommitted accepted
 	// instances are RETAINED: like Paxos acceptors, this node keeps the
 	// values it voted for so later view changes can still recover them (a

@@ -9,11 +9,13 @@
 package pbft
 
 import (
+	"os"
 	"sort"
 	"time"
 
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
+	"sharper/internal/obs"
 	"sharper/internal/types"
 )
 
@@ -64,7 +66,24 @@ type Engine struct {
 
 	// reserved consults the cross-shard conflict table (see Config.Reserved).
 	reserved func(seq uint64) bool
+
+	// ring records structured protocol events for post-mortem debugging when
+	// SHARPER_TRACE is set (see obs.EventRing; same format as the Paxos and
+	// cross-shard engines, so divergence dumps merge into one timeline).
+	ring *obs.EventRing
+	// metrics, when configured, tracks engine health; nil-safe handles.
+	metrics *obs.EngineMetrics
+	// onPrepared fires when a proposal this primary launched reaches its
+	// prepared certificate — the intra-shard "prepared" lifecycle stamp.
+	onPrepared func(seq uint64)
 }
+
+// DebugTrace returns the recent protocol events (oldest first), rendered in
+// the historical SHARPER_TRACE line format.
+func (e *Engine) DebugTrace() []string { return e.ring.Lines() }
+
+// DebugEvents returns the recent protocol events in structured form.
+func (e *Engine) DebugEvents() []obs.Event { return e.ring.Events() }
 
 // slotReserved reports whether the cross-shard engine holds this node's vote
 // for the chain slot.
@@ -127,6 +146,12 @@ type Config struct {
 	// paxos.Config.Reserved). Pre-prepares at a reserved slot park until
 	// the reservation clears instead of drawing a prepare vote.
 	Reserved func(seq uint64) bool
+	// Obs, when non-nil, receives engine health metrics (view changes,
+	// straggler drops, live instance count).
+	Obs *obs.EngineMetrics
+	// OnPrepared, when non-nil, fires when a proposal this primary launched
+	// reaches its prepared certificate (per-transaction lifecycle tracing).
+	OnPrepared func(seq uint64)
 }
 
 // New creates an engine at view 0 with the genesis head.
@@ -155,6 +180,9 @@ func New(cfg Config, genesis types.Hash) *Engine {
 		timeout:       cfg.Timeout,
 		persist:       cfg.Persist,
 		reserved:      cfg.Reserved,
+		ring:          obs.NewEventRing(0, os.Getenv("SHARPER_TRACE") != ""),
+		metrics:       cfg.Obs,
+		onPrepared:    cfg.OnPrepared,
 	}
 }
 
@@ -456,6 +484,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 		View: e.view, Seq: seq, Digest: digest, Cluster: e.cluster,
 		PrevHashes: []types.Hash{parent}, Txs: txs,
 	}
+	e.ring.Recordf("propose", seq, digest, "v=%d tx0=%s", e.view, txs[0].ID)
 	payload := msg.Encode(nil)
 	out := []consensus.Outbound{{
 		To:  others(e.topo.Members(e.cluster), e.self),
@@ -463,6 +492,7 @@ func (e *Engine) Propose(txs []*types.Transaction, now time.Time) ([]consensus.O
 	}}
 	// The primary's own prepare vote is broadcast like everyone else's.
 	out = append(out, e.votePrepare(inst, seq)...)
+	e.metrics.InstGauge().Set(uint64(len(e.instances)))
 	return out, seq
 }
 
@@ -481,6 +511,12 @@ func (e *Engine) getInstance(seq uint64) *instance {
 
 // Step consumes one protocol message.
 func (e *Engine) Step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
+	outs, decs := e.step(env, now)
+	e.metrics.InstGauge().Set(uint64(len(e.instances)))
+	return outs, decs
+}
+
+func (e *Engine) step(env *types.Envelope, now time.Time) ([]consensus.Outbound, []consensus.Decision) {
 	if !e.authentic(env) {
 		return nil, nil
 	}
@@ -605,6 +641,7 @@ func (e *Engine) onPrepare(env *types.Envelope) ([]consensus.Outbound, []consens
 		// only SyncChainHead trims below the head — and every Tick and
 		// HasUncommitted pays to skip it). The slasher audited the envelope
 		// before dispatch, so no equivocation evidence is lost.
+		e.metrics.Stragglers().Inc()
 		return nil, nil
 	}
 	inst := e.getInstance(m.Seq)
@@ -619,6 +656,7 @@ func (e *Engine) onCommit(env *types.Envelope) ([]consensus.Outbound, []consensu
 		return nil, nil
 	}
 	if m.Seq <= e.committedSeq {
+		e.metrics.Stragglers().Inc()
 		return nil, nil // delivered slot; see onPrepare
 	}
 	inst := e.getInstance(m.Seq)
@@ -638,6 +676,10 @@ func (e *Engine) maybeProgress(inst *instance, seq uint64) ([]consensus.Outbound
 		// Prepared: 2f matching prepares from others + our own (§3.1).
 		inst.sentCommit = true
 		inst.commits[e.self] = inst.digest
+		e.ring.Recordf("prepared", seq, inst.digest, "v=%d", inst.view)
+		if e.onPrepared != nil && inst.own {
+			e.onPrepared(seq)
+		}
 		m := &types.ConsensusMsg{View: inst.view, Seq: seq, Digest: inst.digest, Cluster: e.cluster,
 			PrevHashes: []types.Hash{inst.parent}}
 		payload := m.Encode(nil)
@@ -668,8 +710,10 @@ func (e *Engine) advance() []consensus.Decision {
 		e.delivered[seq] = true
 		e.committedSeq = seq
 		e.committedHead = block.Hash()
+		e.ring.Recordf("deliver", seq, inst.digest, "")
 		out = append(out, consensus.Decision{Block: block, Seq: seq})
 		delete(e.instances, seq)
+		e.metrics.InstGauge().Set(uint64(len(e.instances)))
 	}
 }
 
@@ -751,6 +795,7 @@ func (e *Engine) startViewChange(newView uint64, now time.Time) []consensus.Outb
 		}
 	}
 	e.recordViewChange(e.self, vc)
+	e.ring.Recordf("vc-vote", vc.LastSeq, types.ZeroHash, "nv=%d prepared=%d", newView, len(vc.Prepared))
 	payload := vc.Encode(nil)
 	env := &types.Envelope{Type: types.MsgViewChange, From: e.self, Payload: payload, Sig: e.sign(payload)}
 	return []consensus.Outbound{{To: others(e.topo.Members(e.cluster), e.self), Env: env}}
@@ -924,7 +969,9 @@ func (e *Engine) installView(v uint64, now time.Time) {
 	}
 	e.view = v
 	e.viewChanging = false
+	e.metrics.VC().Inc()
 	e.persistViewState()
+	e.ring.Recordf("install-view", e.committedSeq, types.ZeroHash, "v=%d", v)
 	e.proposedSeq = e.committedSeq
 	e.proposedHead = e.committedHead
 	// Uncommitted instances are retained (see paxos.Engine.installView):

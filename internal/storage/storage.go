@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"sharper/internal/consensus"
+	"sharper/internal/obs"
 	"sharper/internal/types"
 )
 
@@ -104,6 +105,10 @@ type Options struct {
 	// next checkpoint (default 256). Checkpoints bound both recovery replay
 	// and log growth.
 	CheckpointInterval int
+	// Metrics, when non-nil, receives storage instrumentation (fsync
+	// latency, WAL bytes, checkpoint count). Each store wants its own
+	// bundle: the handles belong to one node's registry.
+	Metrics *obs.StoreMetrics
 }
 
 func (o *Options) fill() {
@@ -347,7 +352,7 @@ func (s *Store) flusher() {
 			s.walDirty = false
 			s.mu.Unlock()
 			if walDirty && wf != nil {
-				wf.Sync() // a swapped-out (checkpoint-rotated) file syncs harmlessly
+				s.timedSync(wf) // a swapped-out (checkpoint-rotated) file syncs harmlessly
 			}
 		}
 	}
@@ -430,11 +435,23 @@ func (s *Store) writeLocked(f *os.File, dirty *bool) error {
 	if _, err := f.Write(s.buf); err != nil {
 		return err // disk full/error; recovery truncates at the last whole record
 	}
+	s.opts.Metrics.WAL().Add(uint64(len(s.buf)))
 	if s.opts.Sync == SyncAlways {
-		return f.Sync()
+		return s.timedSync(f)
 	}
 	*dirty = true
 	return nil
+}
+
+// timedSync fsyncs f, feeding the latency histogram when one is attached.
+func (s *Store) timedSync(f *os.File) error {
+	if s.opts.Metrics == nil {
+		return f.Sync()
+	}
+	start := time.Now()
+	err := f.Sync()
+	s.opts.Metrics.Fsync().Observe(uint64(time.Since(start).Microseconds()))
+	return err
 }
 
 // AppendCommit logs a block committed at chain index seq to the chain log
@@ -452,10 +469,11 @@ func (s *Store) AppendCommit(seq, valid uint64, b *types.Block) {
 	if _, err := s.chainW.Write(s.buf); err != nil {
 		return // disk full/error: degraded to in-memory
 	}
+	s.opts.Metrics.WAL().Add(uint64(len(s.buf)))
 	s.chainDirty = true
 	if s.opts.Sync == SyncAlways {
 		s.chainW.Flush()
-		s.chain.Sync()
+		s.timedSync(s.chain)
 		s.chainDirty = false
 	}
 }
@@ -495,11 +513,11 @@ func (s *Store) Flush() {
 	if s.chainDirty {
 		s.chainDirty = false
 		s.chainW.Flush()
-		s.chain.Sync()
+		s.timedSync(s.chain)
 	}
 	if s.walDirty {
 		s.walDirty = false
-		s.wal.Sync()
+		s.timedSync(s.wal)
 	}
 }
 
@@ -533,7 +551,7 @@ func (s *Store) Checkpoint(height uint64, balances map[types.AccountID]int64,
 	if err := s.chainW.Flush(); err != nil {
 		return err
 	}
-	if err := s.chain.Sync(); err != nil {
+	if err := s.timedSync(s.chain); err != nil {
 		return err
 	}
 	s.chainDirty = false
@@ -574,6 +592,7 @@ func (s *Store) Checkpoint(height uint64, balances map[types.AccountID]int64,
 	s.wal = f
 	s.walBase = height
 	s.walDirty = false
+	s.opts.Metrics.Ckpt().Inc()
 
 	// Old checkpoints and acceptor segments are garbage now: the fresh
 	// fsynced segment holds every live obligation, so every other segment

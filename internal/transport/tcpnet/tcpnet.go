@@ -79,6 +79,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -259,6 +260,45 @@ func (n *Net) Addr() string {
 // Stats returns the live counters.
 func (n *Net) Stats() *transport.Stats { return &n.stats }
 
+// PeerLinkStats is a point-in-time snapshot of one outbound peer link.
+type PeerLinkStats struct {
+	Peer         types.NodeID
+	Sent         int64 // frames enqueued toward the peer
+	Dropped      int64 // frames lost to queue overflow on this link
+	Bytes        int64 // payload bytes enqueued
+	Reconnects   int64 // successful dials beyond the first
+	ShapedMicros int64 // cumulative emulated delay (serialization + propagation), µs
+	QueueDepth   int   // frames waiting in the outbound queue right now
+}
+
+// LinkStats snapshots every established outbound peer link, sorted by peer.
+func (n *Net) LinkStats() []PeerLinkStats {
+	n.mu.RLock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.RUnlock()
+	out := make([]PeerLinkStats, 0, len(peers))
+	for _, p := range peers {
+		rc := p.connects.Load() - 1
+		if rc < 0 {
+			rc = 0
+		}
+		out = append(out, PeerLinkStats{
+			Peer:         p.id,
+			Sent:         p.sent.Load(),
+			Dropped:      p.dropped.Load(),
+			Bytes:        p.bytes.Load(),
+			Reconnects:   rc,
+			ShapedMicros: p.shapedMicros.Load(),
+			QueueDepth:   len(p.ch),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
 // Register creates (or returns) the local inbox for id and advertises it to
 // every known peer, so replicas can route replies back here. Advertisements
 // travel through the same per-peer queues as ordinary frames, so on any one
@@ -310,7 +350,10 @@ func (n *Net) Send(to types.NodeID, env *types.Envelope) {
 		return
 	}
 	if _, ok := n.cfg.Peers[to]; ok {
-		n.peerFor(to).enqueue(outFrame{to: uint32(to), env: env}, &n.stats)
+		p := n.peerFor(to)
+		p.sent.Add(1)
+		p.bytes.Add(int64(len(env.Payload)))
+		p.enqueue(outFrame{to: uint32(to), env: env}, &n.stats)
 		return
 	}
 	if route != nil {
@@ -445,6 +488,13 @@ type peer struct {
 
 	ready     chan struct{} // closed after the first successful connect
 	readyOnce sync.Once
+
+	// Link counters, snapshotted by Net.LinkStats.
+	sent         atomic.Int64
+	dropped      atomic.Int64
+	bytes        atomic.Int64
+	connects     atomic.Int64
+	shapedMicros atomic.Int64
 }
 
 // enqueue adds a frame to an outbound queue, dropping when full.
@@ -453,6 +503,7 @@ func (p *peer) enqueue(f outFrame, stats *transport.Stats) {
 	case p.ch <- f:
 	default:
 		stats.Dropped.Add(1)
+		p.dropped.Add(1)
 	}
 }
 
@@ -518,8 +569,9 @@ const shapedBacklog = 4 << 20
 // assembly, so a link "sleeping out" its propagation delay keeps
 // coalescing arrivals the whole time.
 type linkShaper struct {
-	shape transport.LinkShape
-	rng   *rand.Rand // loss gate; seeded per link for reproducibility
+	shape  transport.LinkShape
+	rng    *rand.Rand    // loss gate; seeded per link for reproducibility
+	shaped *atomic.Int64 // cumulative emulated delay added, µs (may be nil)
 	busy  time.Time  // virtual clock: when queued bytes finish serializing
 	queue []shapedBatch
 	bytes int      // wire bytes on the delay line, bounded by shapedBacklog
@@ -533,8 +585,8 @@ type shapedBatch struct {
 	count int
 }
 
-func newLinkShaper(shape transport.LinkShape, seed int64) *linkShaper {
-	return &linkShaper{shape: shape, rng: rand.New(rand.NewSource(seed))}
+func newLinkShaper(shape transport.LinkShape, seed int64, shaped *atomic.Int64) *linkShaper {
+	return &linkShaper{shape: shape, rng: rand.New(rand.NewSource(seed)), shaped: shaped}
 }
 
 func (sh *linkShaper) getBuf() []byte {
@@ -560,7 +612,11 @@ func (sh *linkShaper) push(buf []byte, count int, now time.Time) {
 		sh.busy = now
 	}
 	sh.busy = sh.busy.Add(sh.shape.TxTime(len(buf)))
-	sh.queue = append(sh.queue, shapedBatch{due: sh.busy.Add(sh.shape.Delay), buf: buf, count: count})
+	due := sh.busy.Add(sh.shape.Delay)
+	if sh.shaped != nil {
+		sh.shaped.Add(due.Sub(now).Microseconds())
+	}
+	sh.queue = append(sh.queue, shapedBatch{due: due, buf: buf, count: count})
 	sh.bytes += len(buf)
 }
 
@@ -598,7 +654,7 @@ func (n *Net) runPeer(p *peer) {
 	sess := n.auth.NewSession()
 	var sh *linkShaper
 	if shape, ok := n.cfg.Shape[p.id]; ok && !shape.IsZero() {
-		sh = newLinkShaper(shape, n.cfg.ShapeSeed*1000003+int64(p.id)+1)
+		sh = newLinkShaper(shape, n.cfg.ShapeSeed*1000003+int64(p.id)+1, &p.shapedMicros)
 	}
 	var carry []byte // drained-but-unwritten frames, retried after reconnect
 	for {
@@ -621,6 +677,7 @@ func (n *Net) runPeer(p *peer) {
 			continue
 		}
 		backoff = minBackoff
+		p.connects.Add(1)
 		wc := n.adoptConn(c, false)
 		if wc == nil {
 			return // fabric closed during dial
@@ -808,7 +865,7 @@ func (n *Net) writeLoop(wc *wireConn) {
 	defer n.wg.Done()
 	var sh *linkShaper
 	if n.cfg.ClientShape != nil && !n.cfg.ClientShape.IsZero() {
-		sh = newLinkShaper(*n.cfg.ClientShape, n.cfg.ShapeSeed*1000003-wc.seq)
+		sh = newLinkShaper(*n.cfg.ClientShape, n.cfg.ShapeSeed*1000003-wc.seq, nil)
 	}
 	_, lost, alive := n.drainConn(wc.out, wc, nil, sh, n.auth.NewSession(), 0)
 	if alive && lost > 0 {

@@ -87,6 +87,19 @@ type Stats struct {
 	Bytes     atomic.Int64
 }
 
+// LinkStats aggregates per-destination counters: messages and bytes sent
+// toward one node, drops on that path, and the cumulative simulated delay
+// (processing + shaped serialization + propagation) the fabric scheduled.
+// Counters are atomics; a snapshot read while traffic flows is approximate
+// but race-free.
+type LinkStats struct {
+	Sent        atomic.Int64
+	Delivered   atomic.Int64
+	Dropped     atomic.Int64
+	Bytes       atomic.Int64
+	DelayMicros atomic.Int64 // total scheduled one-way delay, µs
+}
+
 // Network is the in-process message fabric. It is safe for concurrent use.
 type Network struct {
 	cfg    Config
@@ -125,6 +138,10 @@ type Network struct {
 	ovBusy   map[types.NodeID]bool
 
 	stats Stats
+
+	// Per-destination link counters, created lazily on first send.
+	linkMu sync.RWMutex
+	links  map[types.NodeID]*LinkStats
 }
 
 // overflowFactor sizes the per-node overflow queue relative to InboxSize;
@@ -151,6 +168,7 @@ func New(cfg Config, locate Locator) *Network {
 		qDone:     make(chan struct{}),
 		overflow:  make(map[types.NodeID][]*types.Envelope),
 		ovBusy:    make(map[types.NodeID]bool),
+		links:     make(map[types.NodeID]*LinkStats),
 	}
 	go n.dispatcher()
 	return n
@@ -176,6 +194,41 @@ func (n *Network) occupy(id types.NodeID, at time.Time) time.Time {
 
 // Stats returns the live counters.
 func (n *Network) Stats() *Stats { return &n.stats }
+
+// Link returns the live per-destination counters for traffic toward id,
+// creating them on first use.
+func (n *Network) Link(id types.NodeID) *LinkStats {
+	n.linkMu.RLock()
+	ls, ok := n.links[id]
+	n.linkMu.RUnlock()
+	if ok {
+		return ls
+	}
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	if ls, ok = n.links[id]; ok {
+		return ls
+	}
+	ls = &LinkStats{}
+	n.links[id] = ls
+	return ls
+}
+
+// QueueDepth reports the number of messages buffered toward id: its inbox
+// backlog plus any overflow spill. Zero for unregistered nodes.
+func (n *Network) QueueDepth(id types.NodeID) int {
+	n.mu.RLock()
+	ch := n.inboxes[id]
+	n.mu.RUnlock()
+	depth := 0
+	if ch != nil {
+		depth = len(ch)
+	}
+	n.ovMu.Lock()
+	depth += len(n.overflow[id])
+	n.ovMu.Unlock()
+	return depth
+}
 
 // Register creates (or returns) the inbox for id. Each node and client calls
 // this once before participating.
@@ -340,6 +393,9 @@ func (n *Network) roll(p float64) bool {
 func (n *Network) Send(to types.NodeID, env *types.Envelope) {
 	n.stats.Sent.Add(1)
 	n.stats.Bytes.Add(int64(len(env.Payload)))
+	link := n.Link(to)
+	link.Sent.Add(1)
+	link.Bytes.Add(int64(len(env.Payload)))
 
 	n.mu.RLock()
 	closed := n.closed
@@ -348,6 +404,7 @@ func (n *Network) Send(to types.NodeID, env *types.Envelope) {
 	shape := n.shapeFor(env.From, to)
 	if closed || blocked || n.roll(n.cfg.DropProb) || n.roll(shape.Loss) {
 		n.stats.Dropped.Add(1)
+		link.Dropped.Add(1)
 		return
 	}
 
@@ -359,6 +416,8 @@ func (n *Network) Send(to types.NodeID, env *types.Envelope) {
 	sent = n.linkOccupy(env.From, to, sent, shape.TxTime(wireBytes(env)))
 	arrival := sent.Add(n.latency(env.From, to))
 	done := n.occupy(to, arrival)
+	link.Delivered.Add(1)
+	link.DelayMicros.Add(done.Sub(now).Microseconds())
 	n.deliverAfter(to, env, done.Sub(now))
 	if n.roll(n.cfg.DupProb) {
 		n.deliverAfter(to, env, done.Sub(now)+n.latency(env.From, to))

@@ -201,6 +201,25 @@ func FuzzDecodeEvidenceDump(f *testing.F) {
 	})
 }
 
+func FuzzDecodeMetricsDump(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&MetricsDump{Node: 2}).Encode(nil))
+	f.Add((&MetricsDump{Node: 5, Metrics: []MetricVal{
+		{Name: "committed_txs", Kind: 0, Values: []uint64{42}},
+		{Name: "stage_intra_prepared_us", Kind: 2, Values: []uint64{3, 900, 0, 1, 2}},
+	}}).Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeMetricsDump(b)
+		if err != nil {
+			return
+		}
+		enc := d.Encode(nil)
+		if !bytes.Equal(enc, b[:len(enc)]) {
+			t.Fatalf("re-encode mismatch for %x", b[:len(enc)])
+		}
+	})
+}
+
 func FuzzDecodeTraceDump(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&TraceDump{Node: 3, Lines: []string{"propose v=0 seq=1", "commit-msg v=0 seq=1"}}).Encode(nil))

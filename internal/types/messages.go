@@ -77,6 +77,13 @@ const (
 	MsgFraudProof
 	MsgEvidenceRequest
 	MsgEvidenceResponse
+
+	// Metrics: fetch a replica's full obs registry snapshot (counters,
+	// gauges, per-stage latency histograms) so a sharperd -drive audit can
+	// print a fleet-wide roll-up. Appended after the evidence pair to keep
+	// existing wire values stable.
+	MsgMetricsRequest
+	MsgMetricsResponse
 )
 
 var msgNames = map[MsgType]string{
@@ -93,6 +100,7 @@ var msgNames = map[MsgType]string{
 	MsgTraceRequest: "trace-req", MsgTraceResponse: "trace-resp",
 	MsgStatsRequest: "stats-req", MsgStatsResponse: "stats-resp",
 	MsgFraudProof: "fraud-proof", MsgEvidenceRequest: "evidence-req", MsgEvidenceResponse: "evidence-resp",
+	MsgMetricsRequest: "metrics-req", MsgMetricsResponse: "metrics-resp",
 }
 
 func (m MsgType) String() string {
@@ -524,6 +532,89 @@ func DecodeSchedStats(b []byte) (*SchedStats, error) {
 		off += 8
 	}
 	return s, nil
+}
+
+// MetricVal is one metric in a MetricsDump: counters and gauges carry a
+// single value, histograms carry [count, sum, bucket0..bucketN-1] so the
+// receiver can re-extract quantiles and merge fleet-wide (bucket layouts are
+// fixed, see obs.NumBuckets).
+type MetricVal struct {
+	Name   string
+	Kind   uint8 // 0 counter, 1 gauge, 2 histogram
+	Values []uint64
+}
+
+// MetricsDump carries one replica's full metrics-registry snapshot, answered
+// to a MsgMetricsRequest (the registry cousin of TraceDump and SchedStats).
+type MetricsDump struct {
+	Node    NodeID
+	Metrics []MetricVal
+}
+
+// Bounds on a decoded MetricsDump; the registry holds dozens of short-named
+// metrics, so anything bigger is a hostile length prefix.
+const (
+	maxMetricName   = 256
+	maxMetricValues = 256
+	maxMetricsCount = 1 << 14
+)
+
+// Encode appends the canonical encoding.
+func (d *MetricsDump) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(d.Node))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(d.Metrics)))
+	for i := range d.Metrics {
+		m := &d.Metrics[i]
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Name)))
+		dst = append(dst, m.Name...)
+		dst = append(dst, m.Kind)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Values)))
+		for _, v := range m.Values {
+			dst = binary.LittleEndian.AppendUint64(dst, v)
+		}
+	}
+	return dst
+}
+
+// DecodeMetricsDump parses a MetricsDump.
+func DecodeMetricsDump(b []byte) (*MetricsDump, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("types: short metrics dump")
+	}
+	d := &MetricsDump{Node: NodeID(binary.LittleEndian.Uint32(b))}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if n > maxMetricsCount {
+		return nil, fmt.Errorf("types: metrics dump count %d exceeds bound", n)
+	}
+	off := 8
+	for i := 0; i < n; i++ {
+		if len(b) < off+2 {
+			return nil, fmt.Errorf("types: short metrics dump name header")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if nameLen > maxMetricName || nameLen > len(b)-off {
+			return nil, fmt.Errorf("types: metrics dump name overruns buffer")
+		}
+		m := MetricVal{Name: string(b[off : off+nameLen])}
+		off += nameLen
+		if len(b) < off+3 {
+			return nil, fmt.Errorf("types: short metrics dump value header")
+		}
+		m.Kind = b[off]
+		vals := int(binary.LittleEndian.Uint16(b[off+1:]))
+		off += 3
+		if vals > maxMetricValues || vals*8 > len(b)-off {
+			return nil, fmt.Errorf("types: metrics dump values overrun buffer")
+		}
+		m.Values = make([]uint64, vals)
+		for j := 0; j < vals; j++ {
+			m.Values[j] = binary.LittleEndian.Uint64(b[off:])
+			off += 8
+		}
+		d.Metrics = append(d.Metrics, m)
+	}
+	return d, nil
 }
 
 // VoteProof is one signed vote inside a prepared certificate: the named

@@ -281,6 +281,30 @@ func TestSchedStatsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMetricsDumpRoundTrip(t *testing.T) {
+	d := &MetricsDump{Node: 9, Metrics: []MetricVal{
+		{Name: "committed_txs", Kind: 0, Values: []uint64{42}},
+		{Name: "queue_depth", Kind: 1, Values: []uint64{3}},
+		{Name: "stage_cross_prepared_us", Kind: 2, Values: []uint64{2, 800, 0, 1, 1}},
+	}}
+	got, err := DecodeMetricsDump(d.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("metrics dump round trip mismatch: %+v vs %+v", d, got)
+	}
+	if _, err := DecodeMetricsDump([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short metrics dump decoded without error")
+	}
+	// hostile count prefix must be rejected, not allocated
+	hostile := make([]byte, 8)
+	hostile[4], hostile[5], hostile[6], hostile[7] = 0xff, 0xff, 0xff, 0xff
+	if _, err := DecodeMetricsDump(hostile); err == nil {
+		t.Fatal("hostile metrics count decoded without error")
+	}
+}
+
 func TestTxBatchRoundTrip(t *testing.T) {
 	txs := []*Transaction{sampleTx(), sampleTx()}
 	txs[1].ID.Seq = 43
