@@ -14,7 +14,9 @@
 // machine-readable BENCH_batching.json other tooling tracks), latency
 // (per-stage commit-latency breakdown, intra vs cross × loopback vs
 // multiregion × batch 1/16, plus the metrics-overhead A/B → BENCH_latency.json;
-// -assert-overhead makes the overhead budget a hard failure).
+// -assert-overhead makes the overhead budget a hard failure), pipeline
+// (commit pipeline vs inline commit across both fabrics × WAL fsync
+// policies × batch 1/16 → BENCH_pipeline.json).
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, crossparallel, wan, latency, 6, 7, 8, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, crossparallel, wan, latency, pipeline, 6, 7, 8, all")
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPath := flag.String("csv", "", "also append results as CSV to this file")
@@ -129,6 +131,8 @@ func main() {
 			writeJSON(out, jsonOverride, "BENCH_persistence.json", bench.AblationPersistence(out, o))
 		case name == "hotpath":
 			writeJSON(out, jsonOverride, "BENCH_hotpath.json", bench.AblationHotpath(out, o))
+		case name == "pipeline":
+			writeJSON(out, jsonOverride, "BENCH_pipeline.json", bench.AblationPipeline(out, o))
 		case name == "crossparallel":
 			writeJSON(out, jsonOverride, "BENCH_crossparallel.json", bench.AblationCrossParallel(out, o))
 		case name == "wan":
@@ -153,7 +157,7 @@ func main() {
 			run("8a")
 			run("8b")
 		case name == "all":
-			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath", "crossparallel", "wan", "latency"} {
+			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath", "crossparallel", "wan", "latency", "pipeline"} {
 				run(p)
 			}
 		default:

@@ -72,6 +72,7 @@ func main() {
 	syncPolicy := flag.String("sync", "group", "WAL fsync policy: none, group, or always")
 	lockTimeout := flag.Duration("lock-timeout", 0, "cross-shard lock expiry, the §3.2 'pre-determined time' (0 = default 3s); must dominate worst-case commit delivery in your environment")
 	serializeCross := flag.Bool("serialize-cross", false, "restore the legacy serialized cross-shard scheduler (whole-node lock, drain-gated initiation) for A/B comparison")
+	inlineCommit := flag.Bool("inline-commit", false, "restore the pre-pipeline synchronous commit path (apply, persist, and reply on the event loop) for A/B comparison")
 	slash := flag.Bool("slash", false, "arm the equivocation-detecting auditor on every replica; the driver and local modes print an offender report from the collected fraud proofs")
 	ed25519 := flag.Bool("ed25519", false, "byzantine model: use ed25519 signatures instead of HMAC, making -slash fraud proofs verifiable by third parties holding only public keys")
 	shapeSpec := flag.String("shape", "", "link shaping: 'multiregion' (the paper's cross-datacenter WAN) or a spec like 'delay 30ms bw 200Mbps loss 0.001' applied to every link; in topology modes it overrides the file's link directives, with -topology-init it is written into the file")
@@ -184,6 +185,7 @@ func main() {
 				Sync:           sync,
 				LockTimeout:    *lockTimeout,
 				SerializeCross: *serializeCross,
+				InlineCommit:   *inlineCommit,
 				Slash:          *slash,
 				Ed25519:        *ed25519,
 				VerifyWindow:   *verifyWindow,
@@ -210,6 +212,7 @@ func main() {
 		Duration: *duration, Seed: *seed, Batch: *batch, ShowDAG: *showDAG,
 		Accounts: *accounts, Balance: *balance, TCP: *transportKind == "tcp",
 		DataDir: *dataDir, Sync: sync, SerializeCross: *serializeCross,
+		InlineCommit: *inlineCommit,
 		Slash: *slash, Ed25519: *ed25519,
 		Multiregion: *shapeSpec == "multiregion", VerifyWindow: *verifyWindow,
 	})
@@ -252,6 +255,8 @@ type replicaOptions struct {
 	Balance  int64
 	// SerializeCross restores the legacy serialized cross-shard scheduler.
 	SerializeCross bool
+	// InlineCommit restores the pre-pipeline synchronous commit path.
+	InlineCommit bool
 	// DataDir is the deployment's storage base directory; this replica
 	// persists under DataDir/node-<id> and recovers from it on restart.
 	DataDir string
@@ -308,6 +313,7 @@ func runReplica(tf *TopologyFile, self types.NodeID, opts replicaOptions, stop <
 		Sync:           opts.Sync,
 		LockTimeout:    opts.LockTimeout,
 		SerializeCross: opts.SerializeCross,
+		InlineCommit:   opts.InlineCommit,
 		Slash:          opts.Slash,
 		Ed25519:        opts.Ed25519,
 		VerifyWindow:   opts.VerifyWindow,
@@ -481,6 +487,9 @@ loop:
 		time.Sleep(300 * time.Millisecond)
 	}
 	fmt.Fprintln(out, "ledger audit: all views consistent, cross-shard order agrees")
+	if err := auditState(fab, tf, clientBase+94_000, out); err != nil {
+		return fmt.Errorf("state audit FAILED: %w", err)
+	}
 	printSchedStats(fab, tf, clientBase+97_000, out)
 	printMetrics(fab, tf, clientBase+95_000, out)
 	if opts.Slash {
@@ -488,6 +497,83 @@ loop:
 	}
 	if opts.ShowDAG {
 		fmt.Fprint(out, dag.RenderASCII())
+	}
+	return nil
+}
+
+// auditState fetches every replica's deterministic store fingerprint
+// (MsgStateRequest) and asserts that, cluster by cluster, every replica
+// reports the same applied height and hash — the wire proof that
+// conflict-partitioned parallel apply produced exactly the state serial
+// execution would have. Replicas may briefly lag (executor drain, chain
+// sync), so disagreement retries until the deadline.
+func auditState(fab *tcpnet.Net, tf *TopologyFile, auditID types.NodeID, out io.Writer) error {
+	inbox := fab.Register(auditID)
+	deadline := time.Now().Add(10 * time.Second)
+	var lastErr error
+	for {
+		got := make(map[types.NodeID]*types.StateDigest)
+		for id := range tf.Addrs {
+			fab.Send(id, &types.Envelope{Type: types.MsgStateRequest, From: auditID})
+		}
+		timeout := time.After(3 * time.Second)
+	collect:
+		for len(got) < len(tf.Addrs) {
+			select {
+			case env := <-inbox:
+				if env.Type != types.MsgStateResponse {
+					continue
+				}
+				d, err := types.DecodeStateDigest(env.Payload)
+				if err != nil {
+					continue
+				}
+				if _, known := tf.Addrs[d.Node]; !known {
+					continue
+				}
+				got[d.Node] = d
+			case <-timeout:
+				break collect
+			}
+		}
+		lastErr = stateConsensus(tf, got)
+		if lastErr == nil {
+			fmt.Fprintln(out, "state audit: store fingerprints agree on every cluster")
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return lastErr
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+}
+
+// stateConsensus checks per-cluster agreement of fetched state digests.
+func stateConsensus(tf *TopologyFile, got map[types.NodeID]*types.StateDigest) error {
+	byCluster := make(map[types.ClusterID][]*types.StateDigest)
+	for id := range tf.Addrs {
+		d, ok := got[id]
+		if !ok {
+			return fmt.Errorf("replica %v did not answer the state audit", id)
+		}
+		c, ok := tf.Topo.ClusterOf(id)
+		if !ok {
+			continue
+		}
+		byCluster[c] = append(byCluster[c], d)
+	}
+	for c, ds := range byCluster {
+		first := ds[0]
+		for _, d := range ds[1:] {
+			if d.Height != first.Height {
+				return fmt.Errorf("cluster %v: applied heights differ (%v at %d, %v at %d)",
+					c, first.Node, first.Height, d.Node, d.Height)
+			}
+			if d.Hash != first.Hash {
+				return fmt.Errorf("cluster %v: fingerprint mismatch at height %d between %v and %v",
+					c, first.Height, first.Node, d.Node)
+			}
+		}
 	}
 	return nil
 }
@@ -829,6 +915,7 @@ type localOptions struct {
 	DataDir                        string
 	Sync                           storage.SyncPolicy
 	SerializeCross                 bool
+	InlineCommit                   bool
 	Slash                          bool
 	Ed25519                        bool
 	Multiregion                    bool
@@ -857,6 +944,7 @@ func runLocal(fm sharper.FailureModel, opts localOptions) {
 		DataDir:          opts.DataDir,
 		Sync:             opts.Sync,
 		SerializeCross:   opts.SerializeCross,
+		InlineCommit:     opts.InlineCommit,
 		Slash:            opts.Slash,
 		Ed25519:          opts.Ed25519,
 		Multiregion:      opts.Multiregion,

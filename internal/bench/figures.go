@@ -405,6 +405,125 @@ func AblationPersistence(w io.Writer, o FigureOptions) []PersistenceResult {
 	return results
 }
 
+// PipelineResult is one point of the commit-pipeline ablation, shaped for
+// the machine-readable BENCH_pipeline.json that tracks the decoupled
+// commit path (parallel apply + group-commit durability + off-loop
+// replies) against the inline baseline.
+type PipelineResult struct {
+	// Fabric is "sim" (the modelled in-process network) or "tcp" (real
+	// loopback sockets).
+	Fabric string `json:"fabric"`
+	// Commit is "inline" (the legacy synchronous path: the event loop
+	// applies, persists, and replies before touching the next message) or
+	// "pipelined" (the bounded executor stage).
+	Commit string `json:"commit"`
+	// SyncPolicy is the WAL fsync policy: "none", "group", "always".
+	SyncPolicy   string  `json:"sync_policy"`
+	BatchSize    int     `json:"batch_size"`
+	Clients      int     `json:"clients"`
+	ThroughputTx float64 `json:"tx_per_sec"`
+	AvgLatencyMs float64 `json:"ms_per_tx"`
+	// Speedup is ThroughputTx over the inline row of the same
+	// fabric/sync/batch configuration (pipelined rows only).
+	Speedup float64 `json:"speedup_vs_inline,omitempty"`
+}
+
+// AblationPipeline A/Bs the commit pipeline against the inline commit path
+// on the Fig. 6(a) intra-shard workload: both fabrics × WAL fsync policies
+// × batch sizes, every run writing a real write-ahead log. The pipelined
+// rows keep the identical persist-before-ack guarantee (replies leave only
+// after the batched append is durable under the run's sync policy); what
+// changes is *where* the work happens — conflict-partitioned parallel
+// apply off the event loop, and one fsync amortized over a whole commit
+// group instead of one per block. SyncAlways at batch 1 is the stress
+// case: inline pays a blocking fsync per block on the consensus loop,
+// while the pipeline overlaps that fsync with ordering the next blocks.
+// Each cell is the median of three back-to-back runs (one under -quick):
+// single runs on a busy box swing ±10%, which would drown the A/B.
+func AblationPipeline(w io.Writer, o FigureOptions) []PipelineResult {
+	o.fill()
+	const clusters, f = 4, 1
+	clients := 128
+	if o.Quick {
+		clients = 48
+	}
+	batches := []int{1, 16}
+	syncs := []storage.SyncPolicy{storage.SyncNone, storage.SyncGroup, storage.SyncAlways}
+	if o.Quick {
+		syncs = []storage.SyncPolicy{storage.SyncGroup}
+	}
+	gen := workloadFor(clusters, 0, o)
+	var results []PipelineResult
+	var series []Series
+	for _, fabric := range []struct {
+		name string
+		kind core.TransportKind
+	}{{"sim", core.TransportSim}, {"tcp", core.TransportTCP}} {
+		for _, sync := range syncs {
+			for _, bs := range batches {
+				reps := 3
+				if o.Quick {
+					reps = 1
+				}
+				var inlineTx float64
+				for _, commit := range []string{"inline", "pipelined"} {
+					runs := make([]Point, 0, reps)
+					for rep := 0; rep < reps; rep++ {
+						dir, err := os.MkdirTemp("", "sharper-bench-pipeline-")
+						if err != nil {
+							fmt.Fprintf(w, "# %s/%s/batch-%d: tempdir failed: %v\n", fabric.name, sync, bs, err)
+							continue
+						}
+						d, err := core.NewDeployment(core.Config{
+							Model: types.CrashOnly, Clusters: clusters, F: f,
+							Seed: o.Seed, BatchSize: bs, Transport: fabric.kind,
+							DataDir: dir, Sync: sync,
+							InlineCommit: commit == "inline",
+						})
+						if err != nil {
+							fmt.Fprintf(w, "# %s/%s/%s/batch-%d: deployment failed: %v\n", fabric.name, commit, sync, bs, err)
+							os.RemoveAll(dir)
+							continue
+						}
+						d.SeedAccounts(o.AccountsPerShard, seedBalance)
+						d.Start()
+						sys := SharPerSystem{D: d}
+						runs = append(runs, Run(sys, gen, clients, o.bench()))
+						sys.Stop()
+						os.RemoveAll(dir)
+					}
+					if len(runs) == 0 {
+						continue
+					}
+					sort.Slice(runs, func(i, j int) bool { return runs[i].ThroughputTx < runs[j].ThroughputTx })
+					pt := runs[len(runs)/2]
+					r := PipelineResult{
+						Fabric:       fabric.name,
+						Commit:       commit,
+						SyncPolicy:   sync.String(),
+						BatchSize:    bs,
+						Clients:      clients,
+						ThroughputTx: pt.ThroughputTx,
+						AvgLatencyMs: pt.AvgLatencyMs,
+					}
+					if commit == "inline" {
+						inlineTx = pt.ThroughputTx
+					} else if inlineTx > 0 {
+						r.Speedup = pt.ThroughputTx / inlineTx
+					}
+					results = append(results, r)
+					series = append(series, Series{
+						Name:   fmt.Sprintf("%s/%s/%s/batch-%d", fabric.name, commit, sync, bs),
+						Points: []Point{pt},
+					})
+				}
+			}
+		}
+	}
+	Fprint(w, "Ablation — commit pipeline vs inline commit, crash model, 0% cross-shard", series)
+	return results
+}
+
 // HotpathResult is one point of the hot-path ablation, shaped for the
 // machine-readable BENCH_hotpath.json that tracks the send/receive/verify
 // overhaul (digest memoization, pooled zero-alloc encoding, coalesced TCP

@@ -1,6 +1,8 @@
 package consensus
 
 import (
+	"sync"
+
 	"sharper/internal/types"
 )
 
@@ -9,7 +11,11 @@ import (
 // and to keep execution idempotent; without a bound it grows with every
 // transaction ever committed. Eviction is FIFO: retransmissions arrive
 // within a client's timeout window, so only recent entries matter.
+//
+// It is safe for concurrent use: the commit pipeline's executor populates it
+// off the node event loop while the loop consults it for retransmissions.
 type ReplyCache struct {
+	mu      sync.Mutex
 	cap     int
 	entries map[types.TxID]*types.Reply
 	order   []types.TxID
@@ -30,12 +36,16 @@ func NewReplyCache(capacity int) *ReplyCache {
 
 // Get returns the cached reply for id, if present.
 func (c *ReplyCache) Get(id types.TxID) (*types.Reply, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.entries[id]
 	return r, ok
 }
 
 // Contains reports whether id has a cached reply.
 func (c *ReplyCache) Contains(id types.TxID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, ok := c.entries[id]
 	return ok
 }
@@ -43,6 +53,8 @@ func (c *ReplyCache) Contains(id types.TxID) bool {
 // Put stores the reply for id, evicting the oldest entry when full.
 // Re-putting an existing id refreshes its value but not its position.
 func (c *ReplyCache) Put(id types.TxID, r *types.Reply) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.entries[id]; ok {
 		c.entries[id] = r
 		return
@@ -63,4 +75,8 @@ func (c *ReplyCache) Put(id types.TxID, r *types.Reply) {
 }
 
 // Len returns the number of cached replies.
-func (c *ReplyCache) Len() int { return len(c.entries) }
+func (c *ReplyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -87,6 +87,13 @@ type Config struct {
 	// (one lead, drain-gated initiation, node-wide deferral) so benchmarks
 	// can A/B the conflict-aware scheduler against it.
 	SerializeCross bool
+	// InlineCommit restores the pre-pipeline synchronous commit path (the
+	// event loop applies, persists, and replies inline) so benchmarks can
+	// A/B the commit pipeline against it.
+	InlineCommit bool
+	// PipelineDepth bounds each node's commit-pipeline queue (0 takes the
+	// NodeConfig default); tests shrink it to exercise backpressure.
+	PipelineDepth int
 	// Seed drives all randomness (keys, jitter, fault injection).
 	Seed int64
 	// Ed25519 switches Byzantine deployments from the default HMAC
@@ -385,6 +392,8 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			BatchTimeout:   cfg.BatchTimeout,
 			MaxInFlight:    cfg.MaxInFlight,
 			SerializeCross: cfg.SerializeCross,
+			InlineCommit:   cfg.InlineCommit,
+			PipelineDepth:  cfg.PipelineDepth,
 			SuperPrimary:   !cfg.DisableSuperPrimary,
 			VerifyWindow:   cfg.VerifyWindow,
 			Seed:           cfg.Seed + int64(id) + 2,

@@ -94,6 +94,16 @@ type NodeConfig struct {
 	// override, defaulting to crypto.DefaultVerifyWindow.
 	VerifyWindow int
 
+	// InlineCommit restores the pre-pipeline synchronous commit path for A/B
+	// measurement: the event loop itself applies, persists, and replies
+	// between consensus messages. Off by default — decided blocks normally
+	// flow through the commit pipeline (see exec.go).
+	InlineCommit bool
+	// PipelineDepth bounds the commit pipeline's queued blocks: at this depth
+	// the node stops proposing (never receiving) until the executor drains.
+	// 0 takes the default (32).
+	PipelineDepth int
+
 	// Metrics, when non-nil, is this node's observability registry: the
 	// consensus engines, storage, verify pool, scheduler, and transaction
 	// tracer all register their series on it. Each node owns exactly one
@@ -155,6 +165,9 @@ func (c *NodeConfig) fillDefaults() {
 	if c.VerifyWindow <= 0 {
 		c.VerifyWindow = envVerifyWindow()
 	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 32
+	}
 }
 
 // envBatchSize reads the SHARPER_BATCH override (default 1, the paper's
@@ -205,6 +218,10 @@ type Node struct {
 
 	view  *ledger.View
 	store *state.Store
+	// exec is the commit pipeline (exec.go): the loop appends decided blocks
+	// to the view and hands them off; apply, durability, and replies run on
+	// the executor goroutine. Nil under InlineCommit.
+	exec *executor
 
 	// Primary-side request accumulators. pendingIntra is the intra-shard
 	// batch accumulator drained by flushIntra (up to BatchSize per
@@ -337,8 +354,19 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.Storage != nil {
 		persist = cfg.Storage
 	}
+	if !cfg.InlineCommit {
+		n.exec = newExecutor(n, cfg.PipelineDepth)
+	}
 	status := n.chainStatus
-	validate := func(tx *types.Transaction) bool { return n.store.Validate(tx) == nil }
+	// Validity votes must read fully committed state: with the pipeline on,
+	// wait for every block the loop has committed to reach the store before
+	// validating (the inline path had this property for free).
+	validate := func(tx *types.Transaction) bool {
+		if n.exec != nil {
+			n.exec.WaitApplied(uint64(n.view.Len() - 1))
+		}
+		return n.store.Validate(tx) == nil
+	}
 	// The conflict table is the scheduling authority shared between the
 	// cross engine (slot votes, lead admission) and the node (slot-precise
 	// deferral of intra proposals). The legacy serialized scheduler is one
@@ -550,6 +578,11 @@ func (n *Node) chainStatus() chainStatus {
 // must see them).
 func (n *Node) Start() {
 	n.finishRecovery()
+	if n.exec != nil {
+		// The store now reflects the full recovered chain; the pipeline picks
+		// up from that height.
+		n.exec.start(uint64(n.view.Len() - 1))
+	}
 	// The pool starts with the loop (not at NewNode) so never-started nodes
 	// leak no goroutines. NoopSigner deployments skip it: every envelope
 	// verifies trivially, the pipeline would be pure overhead.
@@ -567,6 +600,12 @@ func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stopCh)
 		<-n.doneCh
+		if n.exec != nil {
+			// Drain the pipeline before closing storage: every decided block
+			// is applied, persisted, and replied, so post-Stop reads see
+			// final state.
+			n.exec.Close()
+		}
 		if n.vpool != nil {
 			n.vpool.Close()
 		}
@@ -681,6 +720,9 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 	case types.MsgMetricsRequest:
 		n.onMetricsRequest(env)
 
+	case types.MsgStateRequest:
+		n.onStateRequest(env)
+
 	case types.MsgFraudProof:
 		n.onFraudProof(env)
 
@@ -788,6 +830,11 @@ func (n *Node) tick(now time.Time) {
 func (n *Node) maybeCheckpoint() {
 	st := n.cfg.Storage
 	height := uint64(n.view.Len() - 1)
+	if n.exec != nil {
+		// The pipeline may still be applying the newest blocks; checkpoint at
+		// the durable frontier, where store, log, and verdict list agree.
+		height = n.exec.DurableSeq()
+	}
 	if !st.CheckpointDue(height) {
 		return
 	}
@@ -798,6 +845,14 @@ func (n *Node) maybeCheckpoint() {
 		return
 	}
 	n.lastCkptAttempt = now
+	if n.exec != nil {
+		// Quiesce the executor at a group boundary so the snapshot is a
+		// consistent cut; the loop keeps receiving while paused, acceptor
+		// writes stay on the loop, so no WAL record can race the rotation.
+		n.exec.Pause()
+		defer n.exec.Resume()
+		height = n.exec.DurableSeq()
+	}
 	view, promised, insts := n.intra.DurableState()
 	if err := st.Checkpoint(height, n.store.Snapshot(), n.store.Applied(), n.failedList,
 		view, promised, insts); err != nil {
@@ -811,11 +866,66 @@ func (n *Node) maybeCheckpoint() {
 // decision's validity bitmap, so replay reproduces remote shards' vetoes —
 // before its effects (execution, replies) happen. Losing an unsynced tail
 // commit is safe: the cluster quorum holds the block and chain sync
-// refetches it.
+// refetches it. Inline path only; the pipeline batches its own appends.
 func (n *Node) persistCommit(b *types.Block, valid uint64) {
 	if n.cfg.Storage != nil {
 		n.cfg.Storage.AppendCommit(uint64(n.view.Len()-1), valid, b)
 	}
+}
+
+// handOff moves a block just appended to the DAG into the commit pipeline:
+// the executor applies it, group-commits it to the chain log, and replies.
+// Under InlineCommit all three steps run synchronously right here, the
+// pre-pipeline behavior. Either way the loop's retransmission-dedup maps are
+// cleared now — onRequest's view.Contains check covers the window until the
+// reply cache entry exists.
+func (n *Node) handOff(b *types.Block, valid uint64, traceSeq uint64, digest types.Hash) {
+	for _, tx := range b.Txs {
+		delete(n.inFlight, tx.ID)
+		delete(n.forwarded, tx.ID)
+	}
+	if n.exec != nil {
+		n.exec.enqueue(commitTask{
+			seq:      uint64(n.view.Len() - 1),
+			block:    b,
+			valid:    valid,
+			traceSeq: traceSeq,
+			digest:   digest,
+			reply:    n.replyOwner(b),
+		})
+		return
+	}
+	n.persistCommit(b, valid)
+	if n.tracer != nil {
+		// Persisted is stamped after the (possibly synchronous) log write,
+		// so the committed→persisted delta is the durability cost.
+		ts := time.Now()
+		if traceSeq != 0 {
+			n.tracer.StampSeq(traceSeq, obs.StagePersisted, ts)
+		}
+		if !digest.IsZero() {
+			n.tracer.StampDigest(digest, obs.StagePersisted, ts)
+		}
+	}
+	for i, tx := range b.Txs {
+		n.execute(tx, valid&(1<<uint(i)) != 0)
+	}
+}
+
+// replyOwner decides, on the loop at hand-off time, whether this node
+// answers the block's clients. Under the crash model only the responsible
+// primary answers (Fig. 3a): the cluster primary for intra-shard blocks, the
+// initiator cluster's primary for cross-shard ones. Byzantine clients wait
+// for f+1 matching replies, so every replica answers. All transactions in a
+// block share one involved-cluster set, so the verdict is per-block.
+func (n *Node) replyOwner(b *types.Block) bool {
+	if n.cfg.Model != types.CrashOnly {
+		return true
+	}
+	if len(b.Txs) == 0 {
+		return false
+	}
+	return n.initiatorCluster(b.Txs[0].Involved) == n.cfg.Cluster && n.intra.IsPrimary()
 }
 
 // maybeSync probes a rotating cluster peer for blocks we may have missed.
@@ -951,16 +1061,13 @@ func (n *Node) adoptBlock(b *types.Block, now time.Time) bool {
 	if err := n.view.Append(b); err != nil {
 		return false
 	}
-	// The sync path has no validity bitmap (a pre-existing gap shared with
-	// live adoption below: local re-validation approximates the vote).
-	n.persistCommit(b, ^uint64(0))
 	n.lastAppend = now
-	// A synced cross-shard block was globally decided; replay its effects.
+	// The sync path has no validity bitmap (a pre-existing gap shared with
+	// live adoption below: local re-validation approximates the vote). A
+	// synced cross-shard block was globally decided; replay its effects.
 	// Validation is deterministic over the chain prefix, so re-validating
 	// locally reproduces the voted verdict for our shard's part.
-	for _, tx := range b.Txs {
-		n.execute(tx, true)
-	}
+	n.handOff(b, ^uint64(0), 0, types.Hash{})
 	seq := uint64(n.view.Len() - 1)
 	outs, decs, orphans := n.intra.SyncChainHead(seq, b.Hash(), now)
 	n.send(outs)
@@ -1023,6 +1130,7 @@ type nodeGauges struct {
 	selfVoteWaits                          *obs.Gauge
 	pendingIntra, pendingCross, deferredIn *obs.Gauge
 	inboxDepth                             *obs.Gauge
+	pipelineDepth, applyLag                *obs.Gauge
 }
 
 func newNodeGauges(r *obs.Registry) *nodeGauges {
@@ -1043,6 +1151,8 @@ func newNodeGauges(r *obs.Registry) *nodeGauges {
 		pendingCross:  r.Gauge("queue_pending_cross"),
 		deferredIn:    r.Gauge("queue_deferred_intra"),
 		inboxDepth:    r.Gauge("net_inbox_depth"),
+		pipelineDepth: r.Gauge("pipeline_depth"),
+		applyLag:      r.Gauge("apply_lag"),
 	}
 }
 
@@ -1070,6 +1180,12 @@ func (n *Node) refreshGauges() {
 	g.pendingCross.Set(uint64(len(n.pendingCross)))
 	g.deferredIn.Set(uint64(len(n.deferred)))
 	g.inboxDepth.Set(uint64(len(n.inbox)))
+	if n.exec != nil {
+		g.pipelineDepth.Set(uint64(n.exec.Depth()))
+		// apply_lag is committed seq − applied seq: how far the store trails
+		// the DAG head.
+		g.applyLag.Set(uint64(n.view.Len()-1) - n.exec.AppliedSeq())
+	}
 }
 
 // onMetricsRequest answers a registry fetch with the node's full snapshot
@@ -1081,6 +1197,46 @@ func (n *Node) onMetricsRequest(env *types.Envelope) {
 	n.cfg.Net.Send(env.From, &types.Envelope{
 		Type: types.MsgMetricsResponse, From: n.cfg.Self, Payload: dump.Encode(nil),
 	})
+}
+
+// onStateRequest answers a store-fingerprint audit fetch. With the pipeline
+// on, the executor is paused at a group boundary so the fingerprint is a
+// consistent cut at an exact chain height; inline nodes are already
+// consistent between dispatches.
+func (n *Node) onStateRequest(env *types.Envelope) {
+	height := uint64(n.view.Len() - 1)
+	if n.exec != nil {
+		n.exec.Pause()
+		height = n.exec.AppliedSeq()
+	}
+	dump := &types.StateDigest{
+		Node:    n.cfg.Self,
+		Height:  height,
+		Applied: uint64(n.store.Applied()),
+		Hash:    n.store.Fingerprint(),
+	}
+	if n.exec != nil {
+		n.exec.Resume()
+	}
+	n.cfg.Net.Send(env.From, &types.Envelope{
+		Type: types.MsgStateResponse, From: n.cfg.Self, Payload: dump.Encode(nil),
+	})
+}
+
+// StateDigest returns the node's fingerprint at its current applied height
+// (the in-process mirror of MsgStateRequest). Safe on a stopped or quiesced
+// node.
+func (n *Node) StateDigest() *types.StateDigest {
+	height := uint64(n.view.Len() - 1)
+	if n.exec != nil {
+		height = n.exec.AppliedSeq()
+	}
+	return &types.StateDigest{
+		Node:    n.cfg.Self,
+		Height:  height,
+		Applied: uint64(n.store.Applied()),
+		Hash:    n.store.Fingerprint(),
+	}
 }
 
 // Metrics returns the node's registry (nil when observability is off).
@@ -1120,6 +1276,12 @@ func (n *Node) onRequest(env *types.Envelope, now time.Time) {
 	}
 	if n.queued[tx.ID] {
 		return // already waiting in a primary queue
+	}
+	if n.view.Contains(tx.ID) {
+		// Committed but still in the pipeline (no reply cache entry yet):
+		// re-proposing would order it twice; the executor replies after the
+		// durable append.
+		return
 	}
 	if t, ok := n.inFlight[tx.ID]; ok && now.Sub(t) < n.cfg.IntraTimeout {
 		// Retransmission of a request still in consensus: proposing it
@@ -1257,6 +1419,9 @@ func (n *Node) flushIntra(now time.Time) {
 			n.crossWantsDrain {
 			return
 		}
+		if n.exec != nil && n.exec.Full() {
+			return // commit pipeline full: stop proposing, keep receiving
+		}
 		if n.cfg.SerializeCross && len(n.pendingCross) > 0 {
 			return
 		}
@@ -1381,6 +1546,9 @@ func (n *Node) launchCross(now time.Time) {
 	n.crossWantsDrain = false
 	if len(n.pendingCross) == 0 {
 		return
+	}
+	if n.exec != nil && n.exec.Full() {
+		return // commit pipeline full: stop initiating, keep receiving
 	}
 	if n.cfg.SerializeCross {
 		if n.cross.Locked() || len(n.deferred) > 0 || !n.chainStatus().Drained {
@@ -1526,16 +1694,8 @@ func (n *Node) applyIntra(decs []consensus.Decision, now time.Time) {
 			// prepared callback stamped inside Step, after now was taken.
 			n.tracer.StampSeq(d.Seq, obs.StageCommitted, time.Now())
 		}
-		n.persistCommit(d.Block, ^uint64(0))
-		if n.tracer != nil {
-			// Persisted is stamped after the (possibly synchronous) log write,
-			// so the committed→persisted delta is the durability cost.
-			n.tracer.StampSeq(d.Seq, obs.StagePersisted, time.Now())
-		}
 		n.lastAppend = now
-		for _, tx := range d.Block.Txs {
-			n.execute(tx, true)
-		}
+		n.handOff(d.Block, ^uint64(0), d.Seq, types.Hash{})
 	}
 	if len(decs) > 0 {
 		n.afterChainAdvance(now)
@@ -1583,14 +1743,8 @@ func (n *Node) applyCrossOne(d crossDecision, now time.Time) {
 	if n.tracer != nil {
 		n.tracer.StampDigest(d.Digest, obs.StageCommitted, time.Now())
 	}
-	n.persistCommit(block, d.Valid)
-	if n.tracer != nil {
-		n.tracer.StampDigest(d.Digest, obs.StagePersisted, time.Now())
-	}
 	n.lastAppend = now
-	for i, tx := range d.Txs {
-		n.execute(tx, d.Valid&(1<<uint(i)) != 0)
-	}
+	n.handOff(block, d.Valid, 0, d.Digest)
 	seq := uint64(n.view.Len() - 1)
 	outs, decs, orphans := n.intra.SyncChainHead(seq, block.Hash(), now)
 	n.send(outs)

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sharper/internal/types"
+)
+
+// TestPipelineCrashRecoveryReplaysUnappliedSuffix is the commit-pipeline
+// crash scenario: a replica dies with a checkpointed prefix on disk plus a
+// chain-log suffix the checkpoint does not cover (committed and durable,
+// but whose store effects live only in the dead process's memory). The
+// restarted incarnation must replay that suffix over the snapshot — with
+// the logged validity bitmaps, so remote shards' vetoes reproduce — and
+// rebuild the reply cache so a retransmission of a pre-crash transaction
+// is re-replied with its original verdict instead of re-ordered.
+func TestPipelineCrashRecoveryReplaysUnappliedSuffix(t *testing.T) {
+	d, err := NewDeployment(Config{
+		Model: types.CrashOnly, Clusters: 2, F: 1, Seed: 99,
+		DataDir: t.TempDir(), CheckpointInterval: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SeedAccounts(32, 1_000_000)
+	d.Start()
+	t.Cleanup(d.Stop)
+
+	c := d.NewClient()
+	workload := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			var ops []types.Op
+			if i%3 == 2 {
+				ops = crossOps(d, 0, 1)
+			} else {
+				ops = intraOps(d, 0)
+			}
+			if _, _, err := c.Transfer(ops); err != nil {
+				t.Fatalf("tx %d: %v", i, err)
+			}
+		}
+	}
+
+	victim := d.Topo.Members(0)[2]
+	workload(10)
+	// A vetoed cross-shard overdraft ordered before the crash: its verdict
+	// must survive the restart via log replay, not re-execution guesswork.
+	overdraft := c.MakeTx([]types.Op{{
+		From:   d.Shards.AccountInShard(1, 0),
+		To:     d.Shards.AccountInShard(0, 0),
+		Amount: 5_000_000, // seeded balance is 1M
+	}})
+	if ok, _, err := c.Submit(overdraft); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("overdraft reported committed")
+	}
+	workload(10)
+	waitQuiesce(t, d)
+
+	// The scenario needs both halves on disk: a checkpoint (the applied
+	// prefix) and chain-log blocks past it (the unapplied suffix).
+	lenAtCrash := d.Node(victim).View().Len()
+	ckpts, err := filepath.Glob(filepath.Join(NodeDataDir(d.DataDir(), victim), "checkpoint-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) == 0 {
+		t.Fatalf("no checkpoint written after %d blocks (interval 4); suffix replay untested", lenAtCrash)
+	}
+	d.CrashNode(victim)
+	workload(6) // the cluster keeps committing while the victim is down
+
+	n2, err := d.RestartNode(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n2.RecoveredBlocks(); got < lenAtCrash-1 {
+		t.Fatalf("recovered only %d blocks from storage; had %d before the crash", got, lenAtCrash-1)
+	}
+	// The reply cache must hold the pre-crash verdict immediately after
+	// recovery — before any catch-up traffic — or a retransmission would be
+	// re-proposed and double-ordered.
+	if r, ok := n2.replyCache.Get(overdraft.ID); !ok {
+		t.Fatal("restarted replica lost the overdraft's reply-cache entry")
+	} else if r.Committed {
+		t.Fatal("restarted replica reconstructed the overdraft as committed")
+	}
+
+	ref := d.Node(d.Topo.Members(0)[0])
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n2.View().Len() >= ref.View().Len() && n2.View().Head() == ref.View().Head() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica stuck at %d blocks, peer at %d",
+				n2.View().Len(), ref.View().Len())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitQuiesce(t, d)
+
+	// End-to-end verdict reconstruction: the client retransmits the exact
+	// pre-crash transaction and must get the original rejection back.
+	if ok, _, err := c.Submit(overdraft); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("retransmitted overdraft committed after restart")
+	}
+
+	want := ref.Store().Snapshot()
+	got := n2.Store().Snapshot()
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("account %s: restarted replica has %d, peer %d", k, got[k], v)
+		}
+	}
+	if err := d.DAG().Verify(); err != nil {
+		t.Fatalf("DAG verify after restart: %v", err)
+	}
+}
+
+// TestPipelineFingerprintMatchesInlineCommit is the parallel-apply
+// equivalence audit, in-process: the same workload runs once through the
+// pipelined commit path (conflict-partitioned parallel apply) and once
+// through the legacy inline path (strictly serial apply on the event
+// loop). Balances are seeded high enough that every transfer succeeds, so
+// the final state depends only on the set of committed transactions — any
+// divergence means the wave partitioning let conflicting transactions
+// race. Run under -race this also exercises the stripe locking itself.
+func TestPipelineFingerprintMatchesInlineCommit(t *testing.T) {
+	run := func(inline bool) *Deployment {
+		d, err := NewDeployment(Config{
+			Model: types.CrashOnly, Clusters: 2, F: 1, Seed: 7,
+			InlineCommit: inline,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SeedAccounts(64, 1_000_000)
+		d.Start()
+		c := d.NewClient()
+		for i := 0; i < 30; i++ {
+			var ops []types.Op
+			if i%4 == 3 {
+				ops = crossOps(d, 0, 1)
+			} else {
+				ops = []types.Op{{
+					From:   d.Shards.AccountInShard(types.ClusterID(i%2), uint64(i%8)),
+					To:     d.Shards.AccountInShard(types.ClusterID(i%2), uint64((i+1)%8)),
+					Amount: 5,
+				}}
+			}
+			if ok, _, err := c.Transfer(ops); err != nil {
+				t.Fatalf("inline=%v tx %d: %v", inline, i, err)
+			} else if !ok {
+				t.Fatalf("inline=%v tx %d rejected", inline, i)
+			}
+		}
+		waitQuiesce(t, d)
+		d.Stop() // drains the pipeline; fingerprints below are final
+		return d
+	}
+	piped := run(false)
+	serial := run(true)
+
+	for _, cid := range []types.ClusterID{0, 1} {
+		members := piped.Topo.Members(cid)
+		ref := serial.Node(members[0]).Store().Fingerprint()
+		for _, m := range members {
+			if got := piped.Node(m).Store().Fingerprint(); got != ref {
+				t.Fatalf("cluster %s node %s: pipelined fingerprint diverged from inline commit", cid, m)
+			}
+			if got := serial.Node(m).Store().Fingerprint(); got != ref {
+				t.Fatalf("cluster %s node %s: inline replicas disagree among themselves", cid, m)
+			}
+		}
+	}
+}
+
+// TestPipelineBackpressureKeepsCommitting pins the pipeline's backpressure
+// contract: with a pathologically small executor bound the loop must stop
+// *proposing* when the pipeline is full — never stop receiving — so the
+// deployment stays live (slowly) instead of deadlocking or dropping
+// blocks, and every block still applies exactly once.
+func TestPipelineBackpressureKeepsCommitting(t *testing.T) {
+	d, err := NewDeployment(Config{
+		Model: types.CrashOnly, Clusters: 2, F: 1, Seed: 21,
+		PipelineDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SeedAccounts(64, 1_000_000)
+	d.Start()
+	t.Cleanup(d.Stop)
+
+	c := d.NewClient()
+	for i := 0; i < 24; i++ {
+		var ops []types.Op
+		if i%4 == 3 {
+			ops = crossOps(d, 0, 1)
+		} else {
+			ops = intraOps(d, types.ClusterID(i%2))
+		}
+		if ok, _, err := c.Transfer(ops); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		} else if !ok {
+			t.Fatalf("tx %d rejected", i)
+		}
+	}
+	waitQuiesce(t, d)
+	if err := d.DAG().Verify(); err != nil {
+		t.Fatalf("DAG verify: %v", err)
+	}
+	for _, n := range d.Nodes() {
+		if n.Anomalies() != 0 {
+			t.Fatalf("node %s recorded %d anomalies under backpressure", n.ID(), n.Anomalies())
+		}
+	}
+}

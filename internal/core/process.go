@@ -47,6 +47,8 @@ type ProcessConfig struct {
 	VerifyWindow int
 	// SerializeCross restores the legacy serialized cross-shard scheduler.
 	SerializeCross bool
+	// InlineCommit restores the pre-pipeline synchronous commit path.
+	InlineCommit bool
 	// DisableSuperPrimary turns off §3.2 super-primary routing.
 	DisableSuperPrimary bool
 
@@ -146,6 +148,7 @@ func NewProcessNode(cfg ProcessConfig) (*Node, error) {
 		MaxInFlight:    cfg.MaxInFlight,
 		VerifyWindow:   cfg.VerifyWindow,
 		SerializeCross: cfg.SerializeCross,
+		InlineCommit:   cfg.InlineCommit,
 		SuperPrimary:   !cfg.DisableSuperPrimary,
 		Seed:           cfg.Seed + int64(cfg.Self) + 2,
 		Storage:        st,

@@ -207,6 +207,7 @@ func TestTxTracerLifecycle(t *testing.T) {
 	tr.StampDigest(digest, StageLockGrant, base.Add(3*time.Millisecond))
 	tr.StampDigest(digest, StagePrepared, base.Add(4*time.Millisecond))
 	tr.Stamp(id, StageCommitted, base.Add(5*time.Millisecond))
+	tr.Stamp(id, StageExecuted, base.Add(5*time.Millisecond))
 	tr.Stamp(id, StagePersisted, base.Add(5*time.Millisecond))
 	// first-stamp-wins: a late duplicate must not move the clock back
 	tr.StampDigest(digest, StagePropose, base.Add(9*time.Millisecond))

@@ -20,13 +20,14 @@ const (
 	StageLockGrant // cross only: initiator's own slot vote granted
 	StagePrepared  // quorum reached (commit-quorum / prepared certificate)
 	StageCommitted // decision applied to the DAG ledger
+	StageExecuted  // transactions applied to the store by the commit pipeline
 	StagePersisted // commit durably recorded per the persistence policy
 	StageReplied   // reply sent to the client
 	NumStages
 )
 
 var stageNames = [NumStages]string{
-	"ingest", "seal", "propose", "lock_grant", "prepared", "committed", "persisted", "replied",
+	"ingest", "seal", "propose", "lock_grant", "prepared", "committed", "executed", "persisted", "replied",
 }
 
 func (s Stage) String() string {

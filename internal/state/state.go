@@ -5,8 +5,13 @@
 package state
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sharper/internal/types"
 )
@@ -40,28 +45,96 @@ func (m ShardMap) AccountInShard(c types.ClusterID, k uint64) types.AccountID {
 	return types.AccountID(uint64(c) + k*uint64(m.NumShards))
 }
 
+// NumStripes is the lock-stripe fan-out of a Store. It is exactly 64 so a
+// transaction's stripe footprint fits in one uint64 bitmask, which is what
+// the commit pipeline's conflict partitioner intersects.
+const NumStripes = 64
+
+// stripeOf maps an account to its lock stripe. Accounts within one shard are
+// spaced NumShards apart (AccountInShard), so a plain modulo would collapse
+// onto gcd(NumShards, NumStripes) stripes; the Fibonacci multiplier scrambles
+// the low bits first.
+func stripeOf(a types.AccountID) int {
+	return int((uint64(a) * 0x9e3779b97f4a7c15) >> 58)
+}
+
+type stripe struct {
+	mu       sync.RWMutex
+	balances map[types.AccountID]int64
+}
+
 // Store holds one shard's account balances, replicated on every node of the
-// owning cluster. It is safe for concurrent use.
+// owning cluster. Balances are partitioned across NumStripes independently
+// locked stripes, so transactions with disjoint stripe footprints can be
+// validated and applied concurrently. It is safe for concurrent use.
 type Store struct {
 	cluster types.ClusterID
 	shards  ShardMap
 
-	mu       sync.RWMutex
-	balances map[types.AccountID]int64
-	applied  int // number of transactions applied, for audits
+	stripes [NumStripes]stripe
+	applied atomic.Int64 // transactions applied, for audits
 }
 
 // NewStore creates a store for the shard owned by cluster.
 func NewStore(cluster types.ClusterID, shards ShardMap) *Store {
-	return &Store{
-		cluster:  cluster,
-		shards:   shards,
-		balances: make(map[types.AccountID]int64),
+	s := &Store{cluster: cluster, shards: shards}
+	for i := range s.stripes {
+		s.stripes[i].balances = make(map[types.AccountID]int64)
 	}
+	return s
 }
 
 // Cluster returns the owning cluster.
 func (s *Store) Cluster() types.ClusterID { return s.cluster }
+
+// StripeMask returns the bitmask of stripes touched by tx's local-shard ops.
+// Two transactions whose masks do not intersect commute: they read and write
+// disjoint lock stripes, so the pipeline may apply them concurrently.
+func (s *Store) StripeMask(tx *types.Transaction) uint64 {
+	var m uint64
+	for _, op := range tx.Ops {
+		if s.shards.Cluster(op.From) == s.cluster {
+			m |= 1 << uint(stripeOf(op.From))
+		}
+		if s.shards.Cluster(op.To) == s.cluster {
+			m |= 1 << uint(stripeOf(op.To))
+		}
+	}
+	return m
+}
+
+// lockMask acquires the stripes in mask in ascending index order (the global
+// lock order, so concurrent Apply calls cannot deadlock).
+func (s *Store) lockMask(mask uint64, write bool) {
+	for m := mask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if write {
+			s.stripes[i].mu.Lock()
+		} else {
+			s.stripes[i].mu.RLock()
+		}
+	}
+}
+
+func (s *Store) unlockMask(mask uint64, write bool) {
+	for m := mask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if write {
+			s.stripes[i].mu.Unlock()
+		} else {
+			s.stripes[i].mu.RUnlock()
+		}
+	}
+}
+
+// lockAll acquires every stripe, for whole-store operations.
+func (s *Store) lockAll(write bool)   { s.lockMask(^uint64(0), write) }
+func (s *Store) unlockAll(write bool) { s.unlockMask(^uint64(0), write) }
+
+// bal reads a balance; the caller must hold the account's stripe lock.
+func (s *Store) bal(a types.AccountID) int64 {
+	return s.stripes[stripeOf(a)].balances[a]
+}
 
 // Credit seeds an account with an initial balance. It panics if the account
 // does not belong to this shard: placement errors are bugs, not runtime
@@ -70,24 +143,22 @@ func (s *Store) Credit(a types.AccountID, amount int64) {
 	if s.shards.Cluster(a) != s.cluster {
 		panic(fmt.Sprintf("state: account %s not in shard of %s", a, s.cluster))
 	}
-	s.mu.Lock()
-	s.balances[a] += amount
-	s.mu.Unlock()
+	st := &s.stripes[stripeOf(a)]
+	st.mu.Lock()
+	st.balances[a] += amount
+	st.mu.Unlock()
 }
 
 // Balance returns the account's balance (zero for unknown accounts).
 func (s *Store) Balance(a types.AccountID) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.balances[a]
+	st := &s.stripes[stripeOf(a)]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.balances[a]
 }
 
 // Applied returns the number of transactions applied so far.
-func (s *Store) Applied() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.applied
-}
+func (s *Store) Applied() int { return int(s.applied.Load()) }
 
 // Validate checks the local-shard effects of tx without applying them:
 // every op whose From account lives in this shard must be covered by the
@@ -95,8 +166,9 @@ func (s *Store) Applied() int {
 // account balance is at least x", §4). Ops on foreign shards are ignored —
 // their owning cluster validates them.
 func (s *Store) Validate(tx *types.Transaction) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	mask := s.StripeMask(tx)
+	s.lockMask(mask, false)
+	defer s.unlockMask(mask, false)
 	return s.validateLocked(tx)
 }
 
@@ -108,7 +180,7 @@ func (s *Store) validateLocked(tx *types.Transaction) error {
 		}
 		if s.shards.Cluster(op.From) == s.cluster {
 			delta[op.From] -= op.Amount
-			if s.balances[op.From]+delta[op.From] < 0 {
+			if s.bal(op.From)+delta[op.From] < 0 {
 				return fmt.Errorf("state: tx %s overdraws %s", tx.ID, op.From)
 			}
 		}
@@ -121,21 +193,24 @@ func (s *Store) validateLocked(tx *types.Transaction) error {
 
 // Apply validates and applies the local-shard effects of tx atomically.
 // A failed validation leaves the store unchanged and returns the error.
+// Only the stripes in tx's mask are locked, so applies with disjoint
+// footprints run in parallel.
 func (s *Store) Apply(tx *types.Transaction) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mask := s.StripeMask(tx)
+	s.lockMask(mask, true)
+	defer s.unlockMask(mask, true)
 	if err := s.validateLocked(tx); err != nil {
 		return err
 	}
 	for _, op := range tx.Ops {
 		if s.shards.Cluster(op.From) == s.cluster {
-			s.balances[op.From] -= op.Amount
+			s.stripes[stripeOf(op.From)].balances[op.From] -= op.Amount
 		}
 		if s.shards.Cluster(op.To) == s.cluster {
-			s.balances[op.To] += op.Amount
+			s.stripes[stripeOf(op.To)].balances[op.To] += op.Amount
 		}
 	}
-	s.applied++
+	s.applied.Add(1)
 	return nil
 }
 
@@ -143,11 +218,13 @@ func (s *Store) Apply(tx *types.Transaction) error {
 // in tests check that intra-shard transfers keep the per-shard total fixed
 // and cross-shard transfers keep the global total fixed.
 func (s *Store) Total() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.lockAll(false)
+	defer s.unlockAll(false)
 	var t int64
-	for _, b := range s.balances {
-		t += b
+	for i := range s.stripes {
+		for _, b := range s.stripes[i].balances {
+			t += b
+		}
 	}
 	return t
 }
@@ -155,22 +232,53 @@ func (s *Store) Total() int64 {
 // Snapshot returns a copy of all balances, for state transfer to passive
 // replicas (APR baseline) and for test assertions.
 func (s *Store) Snapshot() map[types.AccountID]int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[types.AccountID]int64, len(s.balances))
-	for k, v := range s.balances {
-		out[k] = v
+	s.lockAll(false)
+	defer s.unlockAll(false)
+	out := make(map[types.AccountID]int64)
+	for i := range s.stripes {
+		for k, v := range s.stripes[i].balances {
+			out[k] = v
+		}
 	}
 	return out
 }
 
 // Restore replaces the store contents with the snapshot.
 func (s *Store) Restore(snap map[types.AccountID]int64, applied int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.balances = make(map[types.AccountID]int64, len(snap))
-	for k, v := range snap {
-		s.balances[k] = v
+	s.lockAll(true)
+	defer s.unlockAll(true)
+	for i := range s.stripes {
+		s.stripes[i].balances = make(map[types.AccountID]int64)
 	}
-	s.applied = applied
+	for k, v := range snap {
+		s.stripes[stripeOf(k)].balances[k] = v
+	}
+	s.applied.Store(int64(applied))
+}
+
+// Fingerprint returns a deterministic digest of the store: SHA-256 over the
+// (account, balance) pairs in ascending account order. Two replicas that
+// applied the same committed transactions — serially or through the parallel
+// pipeline — produce identical fingerprints; the wire audit compares them
+// across a cluster to prove parallel apply matches serial apply.
+func (s *Store) Fingerprint() types.Hash {
+	s.lockAll(false)
+	defer s.unlockAll(false)
+	var accts []types.AccountID
+	for i := range s.stripes {
+		for k := range s.stripes[i].balances {
+			accts = append(accts, k)
+		}
+	}
+	sort.Slice(accts, func(i, j int) bool { return accts[i] < accts[j] })
+	h := sha256.New()
+	var buf [16]byte
+	for _, a := range accts {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(a))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(s.bal(a)))
+		h.Write(buf[:])
+	}
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
 }

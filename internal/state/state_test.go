@@ -2,6 +2,7 @@ package state
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -211,5 +212,113 @@ func TestQuickValidateApplyAgree(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParallelApplyFingerprint drives the striped store concurrently from
+// many goroutines over a conflicting account set and checks the result
+// against a strictly serial reference. Balances are seeded high enough
+// that every transfer succeeds, so the final state is order-independent:
+// any fingerprint divergence means the stripe locking let two transfers
+// race on a balance. Run under -race this is the striping proof the
+// commit pipeline's parallel waves rest on.
+func TestParallelApplyFingerprint(t *testing.T) {
+	m := ShardMap{NumShards: 1}
+	par, ser := NewStore(0, m), NewStore(0, m)
+	const accounts = 200 // > NumStripes so stripes are shared across accounts
+	for k := 0; k < accounts; k++ {
+		a := m.AccountInShard(0, uint64(k))
+		par.Credit(a, 1<<40)
+		ser.Credit(a, 1<<40)
+	}
+	rng := rand.New(rand.NewSource(9))
+	txs := make([]*types.Transaction, 600)
+	for i := range txs {
+		txs[i] = &types.Transaction{
+			ID: types.TxID{Client: 1, Seq: uint64(i + 1)},
+			Ops: []types.Op{{
+				From:   m.AccountInShard(0, uint64(rng.Intn(accounts))),
+				To:     m.AccountInShard(0, uint64(rng.Intn(accounts))),
+				Amount: int64(rng.Intn(1000) + 1),
+			}},
+			Involved: types.ClusterSet{0},
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(txs); i += workers {
+				if err := par.Apply(txs[i]); err != nil {
+					t.Errorf("parallel apply tx %d: %v", i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, tx := range txs {
+		if err := ser.Apply(tx); err != nil {
+			t.Fatalf("serial apply tx %d: %v", i, err)
+		}
+	}
+
+	if par.Total() != ser.Total() {
+		t.Fatalf("totals diverged: parallel %d, serial %d", par.Total(), ser.Total())
+	}
+	if par.Fingerprint() != ser.Fingerprint() {
+		t.Fatal("parallel apply fingerprint diverged from serial apply")
+	}
+	if par.Applied() != ser.Applied() {
+		t.Fatalf("applied counters diverged: parallel %d, serial %d", par.Applied(), ser.Applied())
+	}
+}
+
+// TestStripeMaskCoversLocalOps pins the wave-partitioning contract: the
+// mask must cover every locally-owned account a transaction touches (both
+// sides of a transfer) and nothing foreign — two transactions with
+// disjoint masks may run in the same parallel wave.
+func TestStripeMaskCoversLocalOps(t *testing.T) {
+	m := ShardMap{NumShards: 2}
+	s := NewStore(0, m)
+	a, b := m.AccountInShard(0, 0), m.AccountInShard(0, 1)
+	foreign := m.AccountInShard(1, 0)
+
+	local := &types.Transaction{Ops: []types.Op{{From: a, To: b, Amount: 1}}}
+	mask := s.StripeMask(local)
+	if mask&(1<<uint(stripeOf(a))) == 0 || mask&(1<<uint(stripeOf(b))) == 0 {
+		t.Fatalf("mask %#x misses a local account's stripe", mask)
+	}
+
+	cross := &types.Transaction{Ops: []types.Op{{From: foreign, To: a, Amount: 1}}}
+	if got := s.StripeMask(cross); got != 1<<uint(stripeOf(a)) {
+		t.Fatalf("cross-shard mask = %#x, want only %s's stripe %#x", got, a, 1<<uint(stripeOf(a)))
+	}
+
+	allForeign := &types.Transaction{Ops: []types.Op{{From: foreign, To: m.AccountInShard(1, 1), Amount: 1}}}
+	if got := s.StripeMask(allForeign); got != 0 {
+		t.Fatalf("fully-foreign mask = %#x, want 0", got)
+	}
+}
+
+// TestFingerprintDeterministic pins the audit digest: equal states reached
+// by different operation orders fingerprint identically, and any single
+// balance change shows up.
+func TestFingerprintDeterministic(t *testing.T) {
+	m := ShardMap{NumShards: 1}
+	x, y := NewStore(0, m), NewStore(0, m)
+	a, b := m.AccountInShard(0, 0), m.AccountInShard(0, 1)
+	x.Credit(a, 10)
+	x.Credit(b, 20)
+	y.Credit(b, 20)
+	y.Credit(a, 10)
+	if x.Fingerprint() != y.Fingerprint() {
+		t.Fatal("insertion order changed the fingerprint")
+	}
+	y.Credit(a, 1)
+	if x.Fingerprint() == y.Fingerprint() {
+		t.Fatal("fingerprint blind to a balance change")
 	}
 }

@@ -454,18 +454,42 @@ func (s *Store) timedSync(f *os.File) error {
 	return err
 }
 
+// CommitRecord is one committed block bound for the chain log, as passed to
+// AppendCommitBatch: the chain index it was committed at, the decision's
+// validity bitmap, and the block itself.
+type CommitRecord struct {
+	Seq   uint64
+	Valid uint64
+	Block *types.Block
+}
+
 // AppendCommit logs a block committed at chain index seq to the chain log
 // (buffered; see the chainW field for why that is safe), together with the
 // decision's validity bitmap.
 func (s *Store) AppendCommit(seq, valid uint64, b *types.Block) {
+	s.AppendCommitBatch([]CommitRecord{{Seq: seq, Valid: valid, Block: b}})
+}
+
+// AppendCommitBatch is the group-commit form of AppendCommit: all records are
+// framed into one buffer and written to the chain log under a single mutex
+// acquisition and, under SyncAlways, a single fsync for the whole group.
+// The commit pipeline uses it to amortize durability cost across the blocks
+// that accumulated while the previous group was being persisted.
+func (s *Store) AppendCommitBatch(recs []CommitRecord) {
+	if len(recs) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.chainW == nil {
 		return
 	}
-	var start int
-	s.buf, start = beginFrame(s.buf[:0])
-	s.buf = finishFrame(encodeCommit(s.buf, seq, valid, b), start)
+	s.buf = s.buf[:0]
+	for _, r := range recs {
+		var start int
+		s.buf, start = beginFrame(s.buf)
+		s.buf = finishFrame(encodeCommit(s.buf, r.Seq, r.Valid, r.Block), start)
+	}
 	if _, err := s.chainW.Write(s.buf); err != nil {
 		return // disk full/error: degraded to in-memory
 	}

@@ -84,6 +84,14 @@ const (
 	// existing wire values stable.
 	MsgMetricsRequest
 	MsgMetricsResponse
+
+	// State audit: fetch a replica's deterministic store fingerprint (hash
+	// over sorted balances at a stated applied height) so the wire audit can
+	// assert every replica of a cluster — whatever interleaving its parallel
+	// apply took — holds byte-identical state. Appended after the metrics
+	// pair to keep existing wire values stable.
+	MsgStateRequest
+	MsgStateResponse
 )
 
 var msgNames = map[MsgType]string{
@@ -101,6 +109,7 @@ var msgNames = map[MsgType]string{
 	MsgStatsRequest: "stats-req", MsgStatsResponse: "stats-resp",
 	MsgFraudProof: "fraud-proof", MsgEvidenceRequest: "evidence-req", MsgEvidenceResponse: "evidence-resp",
 	MsgMetricsRequest: "metrics-req", MsgMetricsResponse: "metrics-resp",
+	MsgStateRequest: "state-req", MsgStateResponse: "state-resp",
 }
 
 func (m MsgType) String() string {
@@ -531,6 +540,44 @@ func DecodeSchedStats(b []byte) (*SchedStats, error) {
 		*p = binary.LittleEndian.Uint64(b[off:])
 		off += 8
 	}
+	return s, nil
+}
+
+// StateDigest is one replica's deterministic store fingerprint, answered to
+// a MsgStateRequest: the chain height the store reflects, the number of
+// transactions applied, and the hash over sorted balances. Replicas of a
+// cluster reporting the same Height must report the same Hash — the wire
+// audit's proof that conflict-partitioned parallel apply produced the same
+// state serial execution would have.
+type StateDigest struct {
+	Node    NodeID
+	Height  uint64
+	Applied uint64
+	Hash    Hash
+}
+
+// stateDigestSize is the fixed wire size of a StateDigest.
+const stateDigestSize = 4 + 8 + 8 + 32
+
+// Encode appends the canonical encoding.
+func (s *StateDigest) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Node))
+	dst = binary.LittleEndian.AppendUint64(dst, s.Height)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Applied)
+	return append(dst, s.Hash[:]...)
+}
+
+// DecodeStateDigest parses a StateDigest.
+func DecodeStateDigest(b []byte) (*StateDigest, error) {
+	if len(b) < stateDigestSize {
+		return nil, fmt.Errorf("types: short state digest: %d bytes", len(b))
+	}
+	s := &StateDigest{
+		Node:    NodeID(binary.LittleEndian.Uint32(b)),
+		Height:  binary.LittleEndian.Uint64(b[4:]),
+		Applied: binary.LittleEndian.Uint64(b[12:]),
+	}
+	copy(s.Hash[:], b[20:])
 	return s, nil
 }
 

@@ -177,6 +177,10 @@ type Options struct {
 	// (whole-node lock, drain-gated initiation, one lead at a time) in
 	// place of the conflict-aware one, for A/B comparison.
 	SerializeCross bool
+	// InlineCommit restores the pre-pipeline synchronous commit path (the
+	// event loop applies, persists, and replies between consensus
+	// messages) in place of the commit pipeline, for A/B comparison.
+	InlineCommit bool
 	// DataDir enables durable storage: every replica keeps a write-ahead
 	// log and periodic checkpoints under DataDir/node-<id>, and a replica
 	// restarted over the same directory (RestartNode, or a new process for
@@ -251,6 +255,7 @@ func New(opts Options) (*Network, error) {
 		MaxInFlight:         opts.MaxInFlight,
 		VerifyWindow:        opts.VerifyWindow,
 		SerializeCross:      opts.SerializeCross,
+		InlineCommit:        opts.InlineCommit,
 		DataDir:             opts.DataDir,
 		Sync:                opts.Sync,
 		CheckpointInterval:  opts.CheckpointInterval,
