@@ -16,7 +16,10 @@
 // multiregion × batch 1/16, plus the metrics-overhead A/B → BENCH_latency.json;
 // -assert-overhead makes the overhead budget a hard failure), pipeline
 // (commit pipeline vs inline commit across both fabrics × WAL fsync
-// policies × batch 1/16 → BENCH_pipeline.json).
+// policies × batch 1/16 → BENCH_pipeline.json), saturation (open-loop
+// offered-load ladder through the gateway ingress path, both fabrics ×
+// batch 1/16, latency-vs-load knee and admission-control sheds →
+// BENCH_saturation.json).
 package main
 
 import (
@@ -33,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, crossparallel, wan, latency, pipeline, 6, 7, 8, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6a..6d, 7a..7d, 8a, 8b, s34, ablation, skew, batching, persistence, hotpath, crossparallel, wan, latency, pipeline, saturation, 6, 7, 8, all")
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPath := flag.String("csv", "", "also append results as CSV to this file")
@@ -137,6 +140,8 @@ func main() {
 			writeJSON(out, jsonOverride, "BENCH_crossparallel.json", bench.AblationCrossParallel(out, o))
 		case name == "wan":
 			writeJSON(out, jsonOverride, "BENCH_wan.json", bench.AblationWAN(out, o))
+		case name == "saturation":
+			writeJSON(out, jsonOverride, "BENCH_saturation.json", bench.AblationSaturation(out, o))
 		case name == "latency":
 			rep := bench.AblationLatency(out, o)
 			writeJSON(out, jsonOverride, "BENCH_latency.json", rep)
@@ -157,7 +162,7 @@ func main() {
 			run("8a")
 			run("8b")
 		case name == "all":
-			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath", "crossparallel", "wan", "latency", "pipeline"} {
+			for _, p := range []string{"6", "7", "8", "s34", "ablation", "skew", "batching", "persistence", "hotpath", "crossparallel", "wan", "latency", "pipeline", "saturation"} {
 				run(p)
 			}
 		default:

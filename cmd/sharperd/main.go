@@ -8,6 +8,13 @@
 //	sharperd -model crash -clusters 4 -f 1 -cross 10 -clients 16 -duration 5s
 //	sharperd -transport tcp -clusters 4 -f 1 -duration 5s
 //
+// Add -gateway to either single-process variant (or to -drive) to issue the
+// workload through the client-ingress plane — shard-routed submits into
+// per-shard mempool gateways — instead of the direct request path; admission
+// sheds are counted and printed:
+//
+//	sharperd -gateway -transport tcp -clusters 4 -f 1 -duration 5s
+//
 // Replica process — run ONE replica of a multi-process deployment described
 // by a topology file (every process is started from the same file; node
 // identity is derived from -listen or given with -node):
@@ -26,6 +33,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -73,6 +81,7 @@ func main() {
 	lockTimeout := flag.Duration("lock-timeout", 0, "cross-shard lock expiry, the §3.2 'pre-determined time' (0 = default 3s); must dominate worst-case commit delivery in your environment")
 	serializeCross := flag.Bool("serialize-cross", false, "restore the legacy serialized cross-shard scheduler (whole-node lock, drain-gated initiation) for A/B comparison")
 	inlineCommit := flag.Bool("inline-commit", false, "restore the pre-pipeline synchronous commit path (apply, persist, and reply on the event loop) for A/B comparison")
+	gateway := flag.Bool("gateway", false, "issue the workload through the client-ingress plane (shard-routed submits into per-shard mempool gateways) instead of the direct request path; admission sheds are counted and printed")
 	slash := flag.Bool("slash", false, "arm the equivocation-detecting auditor on every replica; the driver and local modes print an offender report from the collected fraud proofs")
 	ed25519 := flag.Bool("ed25519", false, "byzantine model: use ed25519 signatures instead of HMAC, making -slash fraud proofs verifiable by third parties holding only public keys")
 	shapeSpec := flag.String("shape", "", "link shaping: 'multiregion' (the paper's cross-datacenter WAN) or a spec like 'delay 30ms bw 200Mbps loss 0.001' applied to every link; in topology modes it overrides the file's link directives, with -topology-init it is written into the file")
@@ -156,6 +165,7 @@ func main() {
 				TraceDir:       td,
 				Slash:          *slash,
 				Ed25519:        *ed25519,
+				Gateway:        *gateway,
 			}, os.Stdout)
 			if err != nil {
 				log.Fatal(err)
@@ -215,6 +225,7 @@ func main() {
 		InlineCommit: *inlineCommit,
 		Slash: *slash, Ed25519: *ed25519,
 		Multiregion: *shapeSpec == "multiregion", VerifyWindow: *verifyWindow,
+		Gateway: *gateway,
 	})
 }
 
@@ -373,6 +384,16 @@ type driverOptions struct {
 	// matching verifier offline.
 	Slash   bool
 	Ed25519 bool
+	// Gateway issues the workload through the client-ingress plane (shard
+	// mempool gateways) instead of the direct request path.
+	Gateway bool
+}
+
+// driverClient is the issuing surface shared by the direct client and the
+// gateway client, so the driver loop is path-agnostic.
+type driverClient interface {
+	MakeTx(ops []types.Op) *types.Transaction
+	Submit(tx *types.Transaction) (bool, time.Duration, error)
 }
 
 // runDriver attaches to a running multi-process deployment over a dial-only
@@ -398,9 +419,14 @@ func runDriver(tf *TopologyFile, opts driverOptions, out io.Writer) error {
 	// Client IDs are partitioned by driver index so several driver processes
 	// can share one deployment without colliding.
 	clientBase := types.ClientIDBase + types.NodeID(opts.DriverIndex)*100_000
-	cls := make([]*core.Client, opts.Clients)
+	cls := make([]driverClient, opts.Clients)
 	for i := range cls {
-		cls[i] = core.NewClientAt(fab, tf.Topo, shards, clientBase+types.NodeID(i)+1)
+		id := clientBase + types.NodeID(i) + 1
+		if opts.Gateway {
+			cls[i] = core.NewGatewayClientAt(fab, tf.Topo, shards, id)
+		} else {
+			cls[i] = core.NewClientAt(fab, tf.Topo, shards, id)
+		}
 	}
 	fmt.Fprintf(out, "sharperd: driver connecting to %d replicas…\n", len(tf.Addrs))
 	if err := fab.ConnectAll(opts.ConnectTimeout); err != nil {
@@ -415,17 +441,21 @@ func runDriver(tf *TopologyFile, opts driverOptions, out io.Writer) error {
 		Seed:             opts.Seed,
 	})
 
-	var committed, crossDone, failed atomic.Int64
+	var committed, crossDone, failed, shed atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for i, c := range cls {
 		wg.Add(1)
-		go func(k int, c *core.Client) {
+		go func(k int, c driverClient) {
 			defer wg.Done()
 			g := gen.Split(k)
 			for !stop.Load() {
 				tx := c.MakeTx(g.Next())
 				ok, _, err := c.Submit(tx)
+				if errors.Is(err, core.ErrOverloaded) || errors.Is(err, core.ErrExpired) {
+					shed.Add(1)
+					continue
+				}
 				if err != nil {
 					failed.Add(1)
 					continue
@@ -458,8 +488,8 @@ loop:
 	wg.Wait()
 
 	n := committed.Load()
-	fmt.Fprintf(out, "total: %d transactions (%.0f tx/s), %d cross-shard, %d failed\n",
-		n, float64(n)/time.Since(start).Seconds(), crossDone.Load(), failed.Load())
+	fmt.Fprintf(out, "total: %d transactions (%.0f tx/s), %d cross-shard, %d failed, %d shed\n",
+		n, float64(n)/time.Since(start).Seconds(), crossDone.Load(), failed.Load(), shed.Load())
 
 	// Replicas keep converging (cross-shard decisions propagate to
 	// non-initiator replicas asynchronously, chain sync fills gaps), so
@@ -730,6 +760,9 @@ merge:
 	fmt.Fprintf(out, "metrics: committed=%d verify{windows=%d envelopes=%d bisects=%d} storage{wal=%dB ckpts=%d}\n",
 		val("committed_txs"), val("verify_windows"), val("verify_envelopes"),
 		val("verify_bisects"), val("storage_wal_bytes"), val("storage_checkpoints"))
+	fmt.Fprintf(out, "metrics: mempool admitted=%d deduped=%d shed=%d expired=%d pending{count=%d bytes=%d}\n",
+		val("mempool_admitted"), val("mempool_deduped"), val("mempool_shed"),
+		val("mempool_expired"), val("mempool_pending_count"), val("mempool_pending_bytes"))
 	for _, series := range []string{"intra", "cross"} {
 		if m := byName["stage_"+series+"_total_us"]; m != nil && m.Count > 0 {
 			fmt.Fprintf(out, "metrics: %s commit latency (µs, %d sampled): p50=%d p95=%d p99=%d\n",
@@ -920,6 +953,14 @@ type localOptions struct {
 	Ed25519                        bool
 	Multiregion                    bool
 	VerifyWindow                   int
+	// Gateway issues the workload through the client-ingress plane.
+	Gateway bool
+}
+
+// localClient is the issuing surface shared by the facade's direct and
+// gateway clients.
+type localClient interface {
+	Submit(ops []sharper.Op) (sharper.Result, error)
 }
 
 // runLocal is the original single-process mode: a full deployment in one
@@ -970,7 +1011,7 @@ func runLocal(fm sharper.FailureModel, opts localOptions) {
 		Seed:             opts.Seed,
 	})
 
-	var committed, crossDone atomic.Int64
+	var committed, crossDone, shed atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Clients; i++ {
@@ -978,10 +1019,19 @@ func runLocal(fm sharper.FailureModel, opts localOptions) {
 		go func(k int) {
 			defer wg.Done()
 			g := gen.Split(k)
-			c := net.NewClient()
+			var c localClient
+			if opts.Gateway {
+				c = net.NewGatewayClient()
+			} else {
+				c = net.NewClient()
+			}
 			for !stop.Load() {
 				ops := g.Next()
 				res, err := c.Submit(toOps(ops))
+				if errors.Is(err, sharper.ErrOverloaded) || errors.Is(err, sharper.ErrExpired) {
+					shed.Add(1)
+					continue
+				}
 				if err != nil {
 					continue
 				}
@@ -1013,8 +1063,8 @@ loop:
 	time.Sleep(200 * time.Millisecond) // quiesce
 
 	n := committed.Load()
-	fmt.Printf("total: %d transactions (%.0f tx/s), %d cross-shard\n",
-		n, float64(n)/time.Since(start).Seconds(), crossDone.Load())
+	fmt.Printf("total: %d transactions (%.0f tx/s), %d cross-shard, %d shed\n",
+		n, float64(n)/time.Since(start).Seconds(), crossDone.Load(), shed.Load())
 	// Stop the deployment before reading counters and auditing: scheduler
 	// counters are a quiesced read, and Close is idempotent under the
 	// deferred call above.

@@ -426,6 +426,9 @@ type PipelineResult struct {
 	// Speedup is ThroughputTx over the inline row of the same
 	// fabric/sync/batch configuration (pipelined rows only).
 	Speedup float64 `json:"speedup_vs_inline,omitempty"`
+	// Raw holds every rep's throughput (tx/s) behind the reported median, so
+	// the JSON preserves the spread a single cell hides.
+	Raw []float64 `json:"raw,omitempty"`
 }
 
 // AblationPipeline A/Bs the commit pipeline against the inline commit path
@@ -496,6 +499,10 @@ func AblationPipeline(w io.Writer, o FigureOptions) []PipelineResult {
 						continue
 					}
 					sort.Slice(runs, func(i, j int) bool { return runs[i].ThroughputTx < runs[j].ThroughputTx })
+					raw := make([]float64, len(runs))
+					for i, run := range runs {
+						raw[i] = run.ThroughputTx
+					}
 					pt := runs[len(runs)/2]
 					r := PipelineResult{
 						Fabric:       fabric.name,
@@ -505,6 +512,7 @@ func AblationPipeline(w io.Writer, o FigureOptions) []PipelineResult {
 						Clients:      clients,
 						ThroughputTx: pt.ThroughputTx,
 						AvgLatencyMs: pt.AvgLatencyMs,
+						Raw:          raw,
 					}
 					if commit == "inline" {
 						inlineTx = pt.ThroughputTx
@@ -653,6 +661,8 @@ type CrossParallelResult struct {
 	// Speedup is parallel/serialized throughput for the same workload
 	// (set on parallel rows once both measured).
 	Speedup float64 `json:"speedup_vs_serialized,omitempty"`
+	// Raw holds every rep's throughput (tx/s) behind the reported median.
+	Raw []float64 `json:"raw,omitempty"`
 }
 
 // AblationCrossParallel measures the conflict-aware cross-shard scheduler
@@ -753,7 +763,12 @@ func AblationCrossParallel(w io.Writer, o FigureOptions) []CrossParallelResult {
 			sort.Slice(runs, func(i, j int) bool {
 				return runs[i].ThroughputTx < runs[j].ThroughputTx
 			})
+			raw := make([]float64, len(runs))
+			for i, run := range runs {
+				raw[i] = run.ThroughputTx
+			}
 			r := runs[len(runs)/2]
+			r.Raw = raw
 			if sched.serialize {
 				serialized[wl.name] = r.ThroughputTx
 			} else if base := serialized[wl.name]; base > 0 {
@@ -800,6 +815,8 @@ type WanResult struct {
 	// WanCostPct is the throughput lost to multiregion shaping relative to
 	// the loopback row with the same crypto and window.
 	WanCostPct float64 `json:"wan_cost_pct,omitempty"`
+	// Raw holds every rep's throughput (tx/s) behind the reported median.
+	Raw []float64 `json:"raw,omitempty"`
 }
 
 // AblationWAN measures the two halves of the WAN-real fabric work on a
@@ -882,6 +899,10 @@ func AblationWAN(w io.Writer, o FigureOptions) []WanResult {
 			continue
 		}
 		sort.Slice(runs, func(i, j int) bool { return runs[i].ThroughputTx < runs[j].ThroughputTx })
+		raw := make([]float64, len(runs))
+		for i, run := range runs {
+			raw[i] = run.ThroughputTx
+		}
 		pt := runs[len(runs)/2]
 		r := WanResult{
 			Crypto:       c.crypto,
@@ -893,6 +914,7 @@ func AblationWAN(w io.Writer, o FigureOptions) []WanResult {
 			ThroughputTx: pt.ThroughputTx,
 			AvgLatencyMs: pt.AvgLatencyMs,
 			P99LatencyMs: pt.P99LatencyMs,
+			Raw:          raw,
 		}
 		if c.window == 1 {
 			perSig[c.crypto+"/"+c.network] = r.ThroughputTx
@@ -958,6 +980,9 @@ type LatencyReport struct {
 	MetricsOffTx       float64 `json:"metrics_off_tx_per_sec"`
 	MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
 	OverheadBudgetPct  float64 `json:"overhead_budget_pct"`
+	// MetricsOnRaw / MetricsOffRaw hold every rep behind the medians (tx/s).
+	MetricsOnRaw  []float64 `json:"metrics_on_raw,omitempty"`
+	MetricsOffRaw []float64 `json:"metrics_off_raw,omitempty"`
 }
 
 // AblationLatency produces the per-stage commit-latency breakdown the
@@ -1082,6 +1107,8 @@ func AblationLatency(w io.Writer, o FigureOptions) LatencyReport {
 	}
 	sort.Float64s(on)
 	sort.Float64s(off)
+	report.MetricsOnRaw = append([]float64(nil), on...)
+	report.MetricsOffRaw = append([]float64(nil), off...)
 	report.MetricsOnTx = on[len(on)/2]
 	report.MetricsOffTx = off[len(off)/2]
 	if report.MetricsOffTx > 0 {

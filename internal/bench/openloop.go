@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/types"
+	"sharper/internal/workload"
+)
+
+// OpenLoopIssuer submits one transaction built from ops and blocks until its
+// verdict arrives. It reports shed=true when the system refused the
+// transaction under admission control (overloaded or expired) — the open-loop
+// harness counts those separately from failures, because shedding under
+// overload is the behaviour the saturation figure exists to measure.
+type OpenLoopIssuer func(ops []types.Op) (lat time.Duration, shed bool, err error)
+
+// OpenLoopSystem abstracts a running deployment the open-loop harness can
+// drive through its admission-controlled ingress path.
+type OpenLoopSystem interface {
+	// NewOpenIssuer returns a fresh ingress client bound to the system.
+	NewOpenIssuer() OpenLoopIssuer
+	// Stop tears the deployment down.
+	Stop()
+}
+
+// OpenLoopPoint is one offered-load measurement: arrivals were generated at a
+// fixed rate regardless of completions (open loop), so past saturation the
+// latency and shed columns diverge instead of the arrival rate silently
+// adapting the way closed-loop clients do.
+type OpenLoopPoint struct {
+	// OfferedTx is the realized arrival rate over the measurement window.
+	OfferedTx float64
+	// ThroughputTx counts committed transactions per second.
+	ThroughputTx float64
+	AvgLatencyMs float64
+	P50LatencyMs float64
+	P99LatencyMs float64
+	// Shed counts arrivals refused by admission control plus arrivals dropped
+	// at the harness's in-flight cap (every issuer slot busy — the system is
+	// not keeping up with the offered rate either way).
+	Shed   int64
+	Errors int64
+}
+
+// RunOpenLoop offers transactions at `rate` per second with exponential
+// (Poisson-process) inter-arrival times, servicing arrivals from the fixed
+// issuer pool. The pool size is the in-flight cap: an arrival that finds
+// every issuer busy is counted as shed rather than queued, so the measured
+// latency is pure system latency, not harness queueing delay. Issuers are
+// created by the caller (once per deployment) so repeated ladder points reuse
+// the same registered clients instead of growing the fabric.
+func RunOpenLoop(issuers []OpenLoopIssuer, gen *workload.Generator, rate float64, seed int64, opts Options) OpenLoopPoint {
+	var (
+		measuring atomic.Bool
+		committed atomic.Int64
+		offered   atomic.Int64
+		shed      atomic.Int64
+		errs      atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	pool := make(chan OpenLoopIssuer, len(issuers))
+	for _, is := range issuers {
+		pool <- is
+	}
+	rng := rand.New(rand.NewSource(seed))
+	interval := func() time.Duration {
+		return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+	}
+
+	start := time.Now()
+	warmEnd := start.Add(opts.Warmup)
+	stopAt := warmEnd.Add(opts.Measure)
+	var measureStart time.Time
+	next := start
+	for {
+		now := time.Now()
+		if !now.Before(stopAt) {
+			break
+		}
+		if !measuring.Load() && !now.Before(warmEnd) {
+			measureStart = now
+			measuring.Store(true)
+		}
+		if d := next.Sub(now); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval())
+		ops := gen.Next()
+		if measuring.Load() {
+			offered.Add(1)
+		}
+		select {
+		case issue := <-pool:
+			wg.Add(1)
+			go func(issue OpenLoopIssuer, ops []types.Op) {
+				defer wg.Done()
+				m := measuring.Load()
+				lat, sh, err := issue(ops)
+				switch {
+				case sh:
+					if m {
+						shed.Add(1)
+					}
+				case err != nil:
+					if m {
+						errs.Add(1)
+					}
+				default:
+					if m {
+						committed.Add(1)
+						latMu.Lock()
+						latencies = append(latencies, lat)
+						latMu.Unlock()
+					}
+				}
+				pool <- issue
+			}(issue, ops)
+		default:
+			// In-flight cap reached: the open loop does not queue.
+			if measuring.Load() {
+				shed.Add(1)
+			}
+		}
+	}
+	measuring.Store(false)
+	wg.Wait()
+
+	elapsed := opts.Measure
+	if !measureStart.IsZero() {
+		elapsed = stopAt.Sub(measureStart)
+	}
+	p := OpenLoopPoint{
+		OfferedTx:    float64(offered.Load()) / elapsed.Seconds(),
+		ThroughputTx: float64(committed.Load()) / elapsed.Seconds(),
+		Shed:         shed.Load(),
+		Errors:       errs.Load(),
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		p.AvgLatencyMs = float64(sum.Microseconds()) / float64(len(latencies)) / 1000
+		p.P50LatencyMs = float64(latencies[len(latencies)/2].Microseconds()) / 1000
+		p.P99LatencyMs = float64(latencies[len(latencies)*99/100].Microseconds()) / 1000
+	}
+	return p
+}

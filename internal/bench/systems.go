@@ -24,6 +24,41 @@ func (s SharPerSystem) NewIssuer() Issuer {
 // Stop tears the deployment down.
 func (s SharPerSystem) Stop() { s.D.Stop() }
 
+// GatewaySystem adapts the client-ingress plane (gateway + sharded mempool)
+// to the open-loop harness. Admission sheds (overloaded, expired) surface as
+// shed, not errors.
+type GatewaySystem struct {
+	D *core.Deployment
+	// Timeout and MaxAttempts override the gateway client's retransmit policy
+	// when non-zero; the saturation ladder shortens them so overloaded
+	// attempts release their issuer slot quickly instead of burning the full
+	// retransmit schedule.
+	Timeout     time.Duration
+	MaxAttempts int
+}
+
+// NewOpenIssuer returns an open-loop issuer backed by a fresh gateway client.
+func (s GatewaySystem) NewOpenIssuer() OpenLoopIssuer {
+	c := s.D.NewGatewayClient()
+	if s.Timeout > 0 {
+		c.Timeout = s.Timeout
+	}
+	if s.MaxAttempts > 0 {
+		c.MaxAttempts = s.MaxAttempts
+	}
+	return func(ops []types.Op) (time.Duration, bool, error) {
+		_, lat, err := c.Transfer(ops)
+		switch err {
+		case core.ErrOverloaded, core.ErrExpired:
+			return lat, true, nil
+		}
+		return lat, false, err
+	}
+}
+
+// Stop tears the deployment down.
+func (s GatewaySystem) Stop() { s.D.Stop() }
+
 // AHLSystem adapts an AHL deployment to the harness.
 type AHLSystem struct{ D *ahl.Deployment }
 

@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"testing"
+	"time"
 
 	"sharper/internal/types"
 )
@@ -217,5 +218,61 @@ func TestReplyCacheCompaction(t *testing.T) {
 	}
 	if got := cap(c.order); got > 64 {
 		t.Fatalf("order slice grew to cap %d despite compaction", got)
+	}
+}
+
+func TestReplyCacheSweepExpires(t *testing.T) {
+	c := NewReplyCache(16)
+	id := func(seq uint64) types.TxID { return types.TxID{Client: 1, Seq: seq} }
+	for seq := uint64(1); seq <= 4; seq++ {
+		c.Put(id(seq), &types.Reply{TxID: id(seq)})
+	}
+	// Nothing is older than a cutoff in the past.
+	if n := c.Sweep(time.Now().Add(-time.Hour)); n != 0 {
+		t.Fatalf("past cutoff swept %d", n)
+	}
+	// Everything is older than a cutoff in the future.
+	if n := c.Sweep(time.Now().Add(time.Hour)); n != 4 {
+		t.Fatalf("future cutoff swept %d, want 4", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len %d after sweep", c.Len())
+	}
+	// The cache keeps working after a full sweep.
+	c.Put(id(9), &types.Reply{TxID: id(9)})
+	if !c.Contains(id(9)) {
+		t.Fatal("put after sweep lost")
+	}
+}
+
+func TestReplyCacheChurn10kClients(t *testing.T) {
+	// 10k distinct clients each run a few transactions through a large
+	// cache; periodic sweeps with a dedup-window cutoff must keep the live
+	// set bounded by the churn between sweeps, not by capacity, and the
+	// order slice must not grow with total traffic.
+	c := NewReplyCache(1 << 16)
+	live := 0
+	for client := 0; client < 10_000; client++ {
+		for seq := uint64(1); seq <= 3; seq++ {
+			id := types.TxID{Client: types.ClientIDBase + types.NodeID(client), Seq: seq}
+			c.Put(id, &types.Reply{TxID: id})
+			live++
+		}
+		if client%1000 == 999 {
+			// Everything inserted so far is "outside the dedup window".
+			if n := c.Sweep(time.Now().Add(time.Second)); n != live {
+				t.Fatalf("sweep at client %d dropped %d, want %d", client, n, live)
+			}
+			live = 0
+			if got := c.Len(); got != 0 {
+				t.Fatalf("live entries %d after sweep", got)
+			}
+		}
+	}
+	if got := c.Len(); got > 3000 {
+		t.Fatalf("unswept tail %d exceeds churn bound", got)
+	}
+	if got := cap(c.order); got > 1<<17 {
+		t.Fatalf("order slice grew to %d under churn", got)
 	}
 }

@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"sync"
+	"time"
 
 	"sharper/internal/types"
 )
@@ -10,16 +11,25 @@ import (
 // reply sent for it. Replicas use it both to answer client retransmissions
 // and to keep execution idempotent; without a bound it grows with every
 // transaction ever committed. Eviction is FIFO: retransmissions arrive
-// within a client's timeout window, so only recent entries matter.
+// within a client's timeout window, so only recent entries matter. Entries
+// are stamped at insertion so Sweep can also expire by age, tying the live
+// set to the mempool's dedup window instead of letting a large capacity keep
+// per-client state alive indefinitely under 10k-client churn.
 //
 // It is safe for concurrent use: the commit pipeline's executor populates it
 // off the node event loop while the loop consults it for retransmissions.
 type ReplyCache struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[types.TxID]*types.Reply
+	entries map[types.TxID]replyEntry
 	order   []types.TxID
 	head    int
+}
+
+// replyEntry pairs a cached reply with its insertion time.
+type replyEntry struct {
+	r  *types.Reply
+	at time.Time
 }
 
 // NewReplyCache creates a cache bounded to capacity entries (minimum 1).
@@ -29,7 +39,7 @@ func NewReplyCache(capacity int) *ReplyCache {
 	}
 	return &ReplyCache{
 		cap:     capacity,
-		entries: make(map[types.TxID]*types.Reply, capacity),
+		entries: make(map[types.TxID]replyEntry, capacity),
 		order:   make([]types.TxID, 0, capacity),
 	}
 }
@@ -38,8 +48,8 @@ func NewReplyCache(capacity int) *ReplyCache {
 func (c *ReplyCache) Get(id types.TxID) (*types.Reply, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.entries[id]
-	return r, ok
+	e, ok := c.entries[id]
+	return e.r, ok
 }
 
 // Contains reports whether id has a cached reply.
@@ -51,12 +61,14 @@ func (c *ReplyCache) Contains(id types.TxID) bool {
 }
 
 // Put stores the reply for id, evicting the oldest entry when full.
-// Re-putting an existing id refreshes its value but not its position.
+// Re-putting an existing id refreshes its value but not its position or
+// timestamp.
 func (c *ReplyCache) Put(id types.TxID, r *types.Reply) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[id]; ok {
-		c.entries[id] = r
+	if e, ok := c.entries[id]; ok {
+		e.r = r
+		c.entries[id] = e
 		return
 	}
 	if len(c.entries) >= c.cap {
@@ -70,8 +82,37 @@ func (c *ReplyCache) Put(id types.TxID, r *types.Reply) {
 		}
 		delete(c.entries, victim)
 	}
-	c.entries[id] = r
+	c.entries[id] = replyEntry{r: r, at: time.Now()}
 	c.order = append(c.order, id)
+}
+
+// Sweep removes every entry inserted before cutoff and returns how many were
+// dropped. The order slice is FIFO by insertion time, so expiry consumes a
+// prefix; evicted holes (zero TxIDs) and refreshed entries are skipped.
+func (c *ReplyCache) Sweep(cutoff time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for c.head < len(c.order) {
+		id := c.order[c.head]
+		if id != (types.TxID{}) {
+			e, ok := c.entries[id]
+			if ok && !e.at.Before(cutoff) {
+				break
+			}
+			if ok {
+				delete(c.entries, id)
+				dropped++
+			}
+		}
+		c.order[c.head] = types.TxID{}
+		c.head++
+	}
+	if c.head > 0 && (c.head >= len(c.order) || c.head > c.cap) {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+	return dropped
 }
 
 // Len returns the number of cached replies.

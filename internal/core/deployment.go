@@ -11,6 +11,7 @@ import (
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
+	"sharper/internal/mempool"
 	"sharper/internal/obs"
 	"sharper/internal/state"
 	"sharper/internal/storage"
@@ -126,6 +127,11 @@ type Config struct {
 	// TraceSample is the lifecycle tracer's 1-in-N sampling rate (0 takes
 	// obs.DefaultTraceSample, 1 traces everything). Ignored under NoMetrics.
 	TraceSample int
+
+	// Mempool bounds every replica's client-ingress gateway pool (byte/count
+	// caps over pending + in-flight, TTL, committed dedup window); zero
+	// fields take the mempool package defaults. See NodeConfig.Mempool.
+	Mempool mempool.Config
 
 	// Slash arms the equivocation-detecting auditor on every replica: nodes
 	// index inbound consensus envelopes, mint signed fraud proofs from
@@ -401,6 +407,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			Slash:          cfg.Slash,
 			Metrics:        reg,
 			TraceSample:    cfg.TraceSample,
+			Mempool:        cfg.Mempool,
 		}
 		d.nodeCfgs[id] = ncfg
 		d.nodes[id] = NewNode(ncfg)

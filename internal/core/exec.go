@@ -423,6 +423,10 @@ func (e *executor) sendReplies(t *commitTask, outs []replyOut) {
 		if !o.resend && n.tracer != nil {
 			n.tracer.Finish(o.tx.ID, ts)
 		}
+		// The gateway settles regardless of MsgReply ownership: every
+		// replica that admitted this transaction owes its submitter a
+		// verdict from its own commit observation.
+		n.gw.observeCommit(o.tx, o.r)
 		if !o.resend && !t.reply {
 			continue
 		}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"sharper/internal/mempool"
+	"sharper/internal/obs"
+	"sharper/internal/types"
+)
+
+// gateway is the replica's client-ingress front door: it admits MsgSubmit
+// transactions into the per-shard mempool, answers admission verdicts
+// (Overloaded, Expired) immediately, and answers commit verdicts from its own
+// observation of execution — every replica applies every committed block, so
+// a gateway replies to its clients without owning the ordering path.
+//
+// Ownership rules: a transaction belongs to the pool of whichever replicas of
+// the initiator cluster received it (directly from the client, or via a
+// propagation batch from a peer gateway). The primary's pump drains its pool
+// into the batch accumulators; non-primary gateways propagate drained batches
+// to the primary in one MsgSubmit (Via = self) instead of poking the
+// accumulator one transaction at a time. Capacity is released only when a
+// commit is observed or the TTL sweep gives up, so a stalled primary backs
+// pressure up to every admitting gateway, which then sheds with Overloaded.
+type gateway struct {
+	n       *Node
+	pool    *mempool.Pool
+	metrics *obs.MempoolMetrics
+
+	// origins maps an admitted transaction to the client endpoint owed a
+	// SubmitReply, stamped for expiry. Written on the loop (onSubmit),
+	// consumed on the executor goroutine (observeCommit).
+	mu      sync.Mutex
+	origins map[types.TxID]gatewayOrigin
+}
+
+// gatewayOrigin is one client endpoint awaiting a commit verdict.
+type gatewayOrigin struct {
+	to types.NodeID
+	at time.Time
+}
+
+func newGateway(n *Node, cfg mempool.Config) *gateway {
+	return &gateway{
+		n:       n,
+		pool:    mempool.New(cfg),
+		metrics: obs.NewMempoolMetrics(n.reg),
+		origins: make(map[types.TxID]gatewayOrigin),
+	}
+}
+
+// onSubmit admits a submitted batch. Runs on the event loop. Direct client
+// submits (Via == 0) owe the sender a SubmitReply per transaction; a peer
+// gateway's propagation batch (Via != 0) is admission-only — the origin
+// gateway answers its own clients.
+func (g *gateway) onSubmit(env *types.Envelope, now time.Time) {
+	s, err := types.DecodeSubmit(env.Payload)
+	if err != nil {
+		return
+	}
+	n := g.n
+	direct := s.Via == 0
+	for _, tx := range s.Txs {
+		if len(tx.Involved) == 0 {
+			continue
+		}
+		target := n.initiatorCluster(tx.Involved)
+		if target != n.cfg.Cluster {
+			if direct {
+				// Misrouted client submit: relay toward the owning cluster,
+				// preserving the client's identity so the remote gateway
+				// replies straight to it.
+				n.cfg.Net.Send(n.cfg.Topology.Members(target)[0], &types.Envelope{
+					Type: types.MsgSubmit, From: env.From,
+					Payload: (&types.Submit{Txs: []*types.Transaction{tx}}).Encode(nil),
+				})
+			}
+			continue
+		}
+		if direct {
+			if r, ok := n.replyCache.Get(tx.ID); ok {
+				// Already executed: answer from the cached verdict.
+				code := types.SubmitCommitted
+				if !r.Committed {
+					code = types.SubmitRejected
+				}
+				g.sendReply(env.From, tx.ID, code)
+				continue
+			}
+		}
+		switch g.pool.Admit(tx, now) {
+		case mempool.Admitted:
+			if g.metrics != nil {
+				g.metrics.Admitted.Inc()
+				lat := (now.UnixNano() - tx.Timestamp) / 1000
+				if lat < 0 {
+					lat = 0
+				}
+				g.metrics.IngestMicros.Observe(uint64(lat))
+			}
+			if direct {
+				g.recordOrigin(tx.ID, env.From, now)
+			}
+		case mempool.Duplicate:
+			if g.metrics != nil {
+				g.metrics.Deduped.Inc()
+			}
+			if direct {
+				// The duplicate submitter is owed the commit verdict too.
+				g.recordOrigin(tx.ID, env.From, now)
+			}
+		case mempool.Overloaded:
+			if g.metrics != nil {
+				g.metrics.Shed.Inc()
+			}
+			if direct {
+				g.sendReply(env.From, tx.ID, types.SubmitOverloaded)
+			}
+		case mempool.Expired:
+			if g.metrics != nil {
+				g.metrics.Expired.Inc()
+			}
+			if direct {
+				g.sendReply(env.From, tx.ID, types.SubmitExpired)
+			}
+		}
+	}
+}
+
+func (g *gateway) recordOrigin(id types.TxID, to types.NodeID, now time.Time) {
+	g.mu.Lock()
+	g.origins[id] = gatewayOrigin{to: to, at: now}
+	g.mu.Unlock()
+}
+
+// takeOrigin removes and returns the endpoint owed a reply for id.
+func (g *gateway) takeOrigin(id types.TxID) (types.NodeID, bool) {
+	g.mu.Lock()
+	o, ok := g.origins[id]
+	if ok {
+		delete(g.origins, id)
+	}
+	g.mu.Unlock()
+	return o.to, ok
+}
+
+func (g *gateway) sendReply(to types.NodeID, id types.TxID, code types.SubmitCode) {
+	payload := (&types.SubmitReply{TxID: id, Replica: g.n.cfg.Self, Code: code}).Encode(nil)
+	g.n.cfg.Net.Send(to, &types.Envelope{
+		Type: types.MsgSubmitReply, From: g.n.cfg.Self,
+		Payload: payload, Sig: g.n.cfg.Signer.Sign(payload),
+	})
+}
+
+// observeCommit settles one executed transaction: its mempool capacity is
+// released, its digest enters the committed dedup window, and any client owed
+// a verdict gets it. Called from the commit pipeline's reply stage (after the
+// durable group append) and from the inline execute path, on whatever
+// goroutine runs execution.
+func (g *gateway) observeCommit(tx *types.Transaction, r *types.Reply) {
+	g.pool.MarkCommitted(tx.Digest(), time.Now())
+	origin, ok := g.takeOrigin(tx.ID)
+	if !ok {
+		return
+	}
+	code := types.SubmitCommitted
+	if !r.Committed {
+		code = types.SubmitRejected
+	}
+	g.sendReply(origin, tx.ID, code)
+}
+
+// sweep expires pool state by age: pending transactions past the TTL are
+// answered with Expired; origins whose transaction silently disappeared
+// (e.g. shed at the primary after propagation) are dropped so the map cannot
+// grow without bound — the client's retransmission re-drives the submit.
+// Runs on the event loop tick.
+func (g *gateway) sweep(now time.Time) {
+	expired := g.pool.Sweep(now)
+	if len(expired) > 0 && g.metrics != nil {
+		g.metrics.Expired.Add(uint64(len(expired)))
+	}
+	for _, tx := range expired {
+		if origin, ok := g.takeOrigin(tx.ID); ok {
+			g.sendReply(origin, tx.ID, types.SubmitExpired)
+		}
+	}
+	cutoff := now.Add(-2 * g.pool.Config().TTL)
+	g.mu.Lock()
+	for id, o := range g.origins {
+		if o.at.Before(cutoff) {
+			delete(g.origins, id)
+		}
+	}
+	g.mu.Unlock()
+}
+
+// refreshGauges publishes the pool's occupancy; called with the node's other
+// gauge refreshes on the event loop.
+func (g *gateway) refreshGauges() {
+	if g.metrics == nil {
+		return
+	}
+	g.metrics.PendingBytes.Set(uint64(g.pool.PendingBytes()))
+	g.metrics.PendingCount.Set(uint64(g.pool.PendingCount()))
+}
+
+// pumpGateway moves admitted transactions toward ordering: the primary
+// drains its pool straight into the batch accumulators (bounded so the
+// sealer, not the pool, stays the batching authority), while a non-primary
+// gateway forwards one propagation batch to the primary per turn. Both paths
+// stop when the commit pipeline reports backpressure, composing the mempool
+// caps with the pipeline gate: overload slows draining, pools fill, Admit
+// sheds.
+func (n *Node) pumpGateway(now time.Time) {
+	g := n.gw
+	if g == nil || !g.pool.HasQueued() {
+		return
+	}
+	if n.exec != nil && n.exec.Full() {
+		return // commit pipeline full: stop feeding, keep receiving
+	}
+	if n.intra.IsPrimary() {
+		budget := n.cfg.BatchSize*n.cfg.MaxInFlight - len(n.pendingIntra) - len(n.pendingCross)
+		if budget > 256 {
+			budget = 256
+		}
+		for _, tx := range g.pool.Drain(budget) {
+			n.ingestFromPool(tx, now)
+		}
+		return
+	}
+	batch := g.pool.Drain(propagationBatch(n.cfg.BatchSize))
+	if len(batch) == 0 {
+		return
+	}
+	payload := (&types.Submit{Via: n.cfg.Self, Txs: batch}).Encode(nil)
+	n.cfg.Net.Send(n.intra.Primary(), &types.Envelope{
+		Type: types.MsgSubmit, From: n.cfg.Self,
+		Payload: payload, Sig: n.cfg.Signer.Sign(payload),
+	})
+}
+
+// propagationBatch sizes a gateway→primary batch: several sealer batches per
+// wire message, bounded by the cross-shard bitmap width.
+func propagationBatch(batchSize int) int {
+	pb := 4 * batchSize
+	if pb < 16 {
+		pb = 16
+	}
+	if pb > 64 {
+		pb = 64
+	}
+	return pb
+}
+
+// ingestFromPool routes one drained transaction into the proposal path,
+// running the same dedup chain onRequest applies to direct client requests.
+// Skipped transactions stay in the pool's in-flight set; the commit
+// observation (or the TTL sweep) releases them.
+func (n *Node) ingestFromPool(tx *types.Transaction, now time.Time) {
+	if r, ok := n.replyCache.Get(tx.ID); ok {
+		// Already executed (e.g. a peer gateway's copy won the race): settle
+		// immediately so the origin gets its verdict.
+		n.gw.observeCommit(tx, r)
+		return
+	}
+	if n.queued[tx.ID] || n.view.Contains(tx.ID) {
+		return
+	}
+	if t, ok := n.inFlight[tx.ID]; ok && now.Sub(t) < n.cfg.IntraTimeout {
+		return
+	}
+	if !tx.IsCrossShard() {
+		if tx.Involved[0] != n.cfg.Cluster {
+			return // misrouted; admission should have filtered this
+		}
+		n.inFlight[tx.ID] = now
+		n.tracer.Start(tx.ID, false, now)
+		n.proposeIntra(tx, now)
+		return
+	}
+	if n.initiatorCluster(tx.Involved) != n.cfg.Cluster {
+		return
+	}
+	n.inFlight[tx.ID] = now
+	n.tracer.Start(tx.ID, true, now)
+	n.proposeCross(tx, now)
+}

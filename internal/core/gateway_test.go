@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharper/internal/mempool"
+	"sharper/internal/types"
+)
+
+// submitTo offers tx directly to one chosen gateway replica, bypassing the
+// client's own routing, so tests can exercise specific ingress paths
+// (duplicates across nodes, misrouted cross-shard submits).
+func submitTo(c *GatewayClient, to types.NodeID, tx *types.Transaction) {
+	payload := (&types.Submit{Txs: []*types.Transaction{tx}}).Encode(nil)
+	c.net.Send(to, &types.Envelope{Type: types.MsgSubmit, From: c.id, Payload: payload})
+}
+
+// awaitVerdict drains the client inbox until a submit reply for id arrives.
+func awaitVerdict(t *testing.T, c *GatewayClient, id types.TxID, timeout time.Duration) (types.SubmitCode, types.NodeID) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case env := <-c.inbox:
+			if env.Type != types.MsgSubmitReply {
+				continue
+			}
+			r, err := types.DecodeSubmitReply(env.Payload)
+			if err != nil || r.TxID != id {
+				continue
+			}
+			return r.Code, env.From
+		case <-deadline:
+			t.Fatalf("no submit verdict for %s within %s", id, timeout)
+			return 0, 0
+		}
+	}
+}
+
+// TestGatewayDuplicateSubmitAcrossNodes submits the same transaction to two
+// different gateway replicas of the owning cluster: it must commit exactly
+// once, the first submitter gets a commit verdict from its gateway, and the
+// second (post-commit) submit is answered from the reply cache without
+// re-driving consensus.
+func TestGatewayDuplicateSubmitAcrossNodes(t *testing.T) {
+	d := newTestDeployment(t, types.CrashOnly, 2)
+	c := d.NewGatewayClient()
+	members := d.Topo.Members(0)
+	tx := c.MakeTx(intraOps(d, 0))
+
+	submitTo(c, members[0], tx)
+	code, from := awaitVerdict(t, c, tx.ID, 5*time.Second)
+	if code != types.SubmitCommitted {
+		t.Fatalf("first submit: got %s from %s, want committed", code, from)
+	}
+	waitQuiesce(t, d)
+	before := d.TotalCommitted()
+
+	// Same transaction to a different gateway replica: served from its cached
+	// verdict, no new commit.
+	submitTo(c, members[1], tx)
+	code, from = awaitVerdict(t, c, tx.ID, 5*time.Second)
+	if code != types.SubmitCommitted {
+		t.Fatalf("duplicate submit: got %s from %s, want committed", code, from)
+	}
+	if from != members[1] {
+		t.Fatalf("duplicate verdict came from %s, want the submitted-to gateway %s", from, members[1])
+	}
+	waitQuiesce(t, d)
+	if after := d.TotalCommitted(); after != before {
+		t.Fatalf("duplicate submit drove %d extra commits", after-before)
+	}
+	if err := d.DAG().Verify(); err != nil {
+		t.Fatalf("DAG verify: %v", err)
+	}
+}
+
+// TestGatewayCrossShardLandsAtLowestInitiator submits a cross-shard
+// transaction to a gateway of the *wrong* (higher) involved cluster: the
+// gateway must relay it to the lowest involved cluster — the initiator under
+// super-primary routing — whose replica answers the client directly, and the
+// commit must appear in both involved chains.
+func TestGatewayCrossShardLandsAtLowestInitiator(t *testing.T) {
+	d := newTestDeployment(t, types.CrashOnly, 3)
+	c := d.NewGatewayClient()
+	tx := c.MakeTx(crossOps(d, 1, 2))
+	if got := tx.Involved.Min(); got != 1 {
+		t.Fatalf("test workload: initiator cluster = %d, want 1", got)
+	}
+
+	// Deliberately misroute to a cluster-2 gateway.
+	wrong := d.Topo.Members(2)[0]
+	submitTo(c, wrong, tx)
+	code, from := awaitVerdict(t, c, tx.ID, 5*time.Second)
+	if code != types.SubmitCommitted {
+		t.Fatalf("misrouted submit: got %s, want committed", code)
+	}
+	if cl, ok := d.Topo.ClusterOf(from); !ok || cl != 1 {
+		t.Fatalf("verdict came from %s (cluster %d), want an initiator-cluster (1) replica", from, cl)
+	}
+	waitQuiesce(t, d)
+	views := d.ClusterViews()
+	if got := len(views[1].CrossShardBlocks()); got != 1 {
+		t.Fatalf("initiator cluster has %d cross-shard blocks, want 1", got)
+	}
+	if got := len(views[2].CrossShardBlocks()); got != 1 {
+		t.Fatalf("participant cluster has %d cross-shard blocks, want 1", got)
+	}
+	if err := d.DAG().Verify(); err != nil {
+		t.Fatalf("DAG verify: %v", err)
+	}
+}
+
+// TestGatewaySubmitExpiredDistinctCode checks that a transaction whose client
+// timestamp falls outside the mempool TTL is refused with the dedicated
+// Expired code — not Overloaded, not a silent timeout — on both fabrics.
+func TestGatewaySubmitExpiredDistinctCode(t *testing.T) {
+	const ttl = 250 * time.Millisecond
+	run := func(t *testing.T, d *Deployment) {
+		c := d.NewGatewayClient()
+		c.Timeout = 2 * time.Second
+		tx := c.MakeTx(intraOps(d, 0))
+		tx.Timestamp = time.Now().Add(-4 * ttl).UnixNano()
+		_, _, err := c.Submit(tx)
+		if !errors.Is(err, ErrExpired) {
+			t.Fatalf("stale submit: err = %v, want ErrExpired", err)
+		}
+		// A fresh timestamp goes through.
+		ok, _, err := c.Transfer(intraOps(d, 0))
+		if err != nil || !ok {
+			t.Fatalf("fresh submit: ok=%v err=%v", ok, err)
+		}
+	}
+	t.Run("sim", func(t *testing.T) {
+		d, err := NewDeployment(Config{
+			Model: types.CrashOnly, Clusters: 2, F: 1, Seed: 42,
+			Mempool: mempool.Config{TTL: ttl},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SeedAccounts(64, 1_000_000)
+		d.Start()
+		t.Cleanup(d.Stop)
+		run(t, d)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		cfg := tcpConfig(2)
+		cfg.Mempool = mempool.Config{TTL: ttl}
+		run(t, startTCP(t, cfg))
+	})
+}
+
+// TestGatewayOverloadShedsSafely drives far more load than a deliberately
+// tiny mempool can hold: admission control must shed with Overloaded (never
+// crash a replica), the byte cap must hold at every sampled instant, and the
+// ledger must stay consistent and anomaly-free once the storm passes.
+func TestGatewayOverloadShedsSafely(t *testing.T) {
+	const maxBytes = int64(1 << 10)
+	d, err := NewDeployment(Config{
+		Model: types.CrashOnly, Clusters: 2, F: 1, Seed: 42,
+		Mempool: mempool.Config{MaxBytes: maxBytes, MaxCount: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SeedAccounts(64, 1_000_000)
+	d.Start()
+	t.Cleanup(d.Stop)
+
+	// Monitor the byte cap while the storm runs.
+	var capViolations atomic.Int64
+	monitorDone := make(chan struct{})
+	stopMonitor := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		for {
+			select {
+			case <-stopMonitor:
+				return
+			case <-time.After(2 * time.Millisecond):
+				for _, n := range d.Nodes() {
+					if n.gw.pool.PendingBytes() > maxBytes {
+						capViolations.Add(1)
+					}
+				}
+			}
+		}
+	}()
+
+	const clients, perClient = 24, 30
+	var shed, committed, timeouts atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c := d.NewGatewayClient()
+			c.Timeout = time.Second
+			c.MaxAttempts = 1
+			for j := 0; j < perClient; j++ {
+				ok, _, err := c.Transfer(intraOps(d, types.ClusterID(k%2)))
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					shed.Add(1)
+				case err != nil:
+					timeouts.Add(1)
+				case ok:
+					committed.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopMonitor)
+	<-monitorDone
+
+	if shed.Load() == 0 {
+		t.Fatalf("no submits shed (committed=%d timeouts=%d): overload never engaged",
+			committed.Load(), timeouts.Load())
+	}
+	if committed.Load() == 0 {
+		t.Fatalf("nothing committed under overload (shed=%d)", shed.Load())
+	}
+	if v := capViolations.Load(); v != 0 {
+		t.Fatalf("pool byte cap exceeded at %d sampled instants", v)
+	}
+	t.Logf("overload storm: committed=%d shed=%d timeouts=%d",
+		committed.Load(), shed.Load(), timeouts.Load())
+
+	waitQuiesce(t, d)
+	if err := d.DAG().Verify(); err != nil {
+		t.Fatalf("DAG verify after overload: %v", err)
+	}
+	for _, cid := range d.Topo.ClusterIDs() {
+		members := d.Topo.Members(cid)
+		ref := d.Node(members[0]).View()
+		for _, m := range members[1:] {
+			v := d.Node(m).View()
+			if v.Len() != ref.Len() || v.Head() != ref.Head() {
+				t.Fatalf("cluster %s diverged after overload: %s has %d blocks, %s has %d",
+					cid, m, v.Len(), members[0], ref.Len())
+			}
+		}
+	}
+	for _, n := range d.Nodes() {
+		if n.Anomalies() != 0 {
+			t.Fatalf("node %s observed %d ledger anomalies", n.ID(), n.Anomalies())
+		}
+	}
+}
+
+// TestGatewayOverloadTCPSheds is the wire-level overload smoke CI runs: a
+// short storm against tiny caps over real sockets must shed without crashing
+// any replica, and the fleet must audit clean afterwards.
+func TestGatewayOverloadTCPSheds(t *testing.T) {
+	cfg := tcpConfig(2)
+	cfg.Mempool = mempool.Config{MaxBytes: 1 << 10, MaxCount: 4}
+	d := startTCP(t, cfg)
+
+	const clients, perClient = 16, 20
+	var shed, committed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c := d.NewGatewayClient()
+			c.Timeout = time.Second
+			c.MaxAttempts = 1
+			for j := 0; j < perClient; j++ {
+				ok, _, err := c.Transfer(intraOps(d, types.ClusterID(k%2)))
+				if errors.Is(err, ErrOverloaded) {
+					shed.Add(1)
+				} else if err == nil && ok {
+					committed.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if shed.Load() == 0 {
+		t.Fatalf("no submits shed over TCP (committed=%d)", committed.Load())
+	}
+	waitConverged(t, d)
+	if err := d.DAG().Verify(); err != nil {
+		t.Fatalf("DAG verify after TCP overload: %v", err)
+	}
+	for _, n := range d.Nodes() {
+		if n.Anomalies() != 0 {
+			t.Fatalf("node %s observed %d ledger anomalies", n.ID(), n.Anomalies())
+		}
+	}
+	t.Logf("tcp overload: committed=%d shed=%d", committed.Load(), shed.Load())
+}

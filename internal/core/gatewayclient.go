@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sharper/internal/consensus"
+	"sharper/internal/state"
+	"sharper/internal/transport"
+	"sharper/internal/types"
+)
+
+// Sentinel submit outcomes surfaced to callers (the open-loop benchmark
+// counts sheds separately from failures).
+var (
+	// ErrOverloaded: the gateway shed the submit; back off and retry later.
+	ErrOverloaded = errors.New("core: gateway overloaded")
+	// ErrExpired: the transaction's timestamp fell outside the mempool TTL;
+	// re-issue with a fresh timestamp.
+	ErrExpired = errors.New("core: submit expired")
+)
+
+// GatewayClient submits transactions through the client-ingress plane
+// (MsgSubmit → mempool → sealer) instead of the direct MsgRequest path. It
+// routes shard-aware — the owning cluster for single-shard transactions, the
+// lowest involved cluster (the initiator under super-primary routing) for
+// cross-shard ones — and collects the model-appropriate SubmitReply quorum:
+// one under the crash model, f+1 matching verdicts from distinct replicas
+// under the Byzantine model.
+type GatewayClient struct {
+	id     types.NodeID
+	net    transport.Fabric
+	topo   *consensus.Topology
+	shards state.ShardMap
+	inbox  <-chan *types.Envelope
+	seq    uint64
+	sendTo map[types.ClusterID]int // rotating member offset per cluster
+
+	// Timeout before the client retransmits a submit.
+	Timeout time.Duration
+	// MaxAttempts bounds retransmissions before giving up.
+	MaxAttempts int
+}
+
+// NewGatewayClient registers a fresh gateway-client endpoint on the
+// deployment's fabric (TCP fabrics connect to every replica first, so
+// replies always have a return path).
+func (d *Deployment) NewGatewayClient() *GatewayClient {
+	c := NewGatewayClientOn(d.Net, d.Topo, d.Shards)
+	if d.fabrics != nil {
+		d.connectClients()
+	}
+	return c
+}
+
+// NewGatewayClientOn builds a gateway client with a process-locally unique
+// ID on an arbitrary fabric.
+func NewGatewayClientOn(fab transport.Fabric, topo *consensus.Topology, shards state.ShardMap) *GatewayClient {
+	return NewGatewayClientAt(fab, topo, shards,
+		types.ClientIDBase+types.NodeID(clientCounter.Add(1)))
+}
+
+// NewGatewayClientAt builds a gateway client with an explicit endpoint ID
+// (must be ≥ types.ClientIDBase and unique deployment-wide).
+func NewGatewayClientAt(fab transport.Fabric, topo *consensus.Topology, shards state.ShardMap, id types.NodeID) *GatewayClient {
+	return &GatewayClient{
+		id:          id,
+		net:         fab,
+		topo:        topo,
+		shards:      shards,
+		inbox:       fab.Register(id),
+		sendTo:      make(map[types.ClusterID]int),
+		Timeout:     2 * time.Second,
+		MaxAttempts: 8,
+	}
+}
+
+// ID returns the client's network identity.
+func (c *GatewayClient) ID() types.NodeID { return c.id }
+
+// MakeTx assembles a transaction from ops, deriving the involved-cluster set
+// through the shard map.
+func (c *GatewayClient) MakeTx(ops []types.Op) *types.Transaction {
+	c.seq++
+	return &types.Transaction{
+		ID:        types.TxID{Client: c.id, Seq: c.seq},
+		Client:    c.id,
+		Timestamp: time.Now().UnixNano(),
+		Ops:       ops,
+		Involved:  c.shards.Involved(ops),
+	}
+}
+
+// Submit offers tx to the initiator cluster's gateways and blocks until the
+// verdict quorum arrives or every attempt times out. It returns whether the
+// transaction committed (false = ordered but rejected by validation).
+// Admission sheds surface immediately as ErrOverloaded / ErrExpired.
+func (c *GatewayClient) Submit(tx *types.Transaction) (bool, time.Duration, error) {
+	target := tx.Involved.Min()
+	needed := 1
+	if c.topo.ModelOf(target) == types.Byzantine {
+		needed = c.topo.F(target) + 1
+	}
+	payload := (&types.Submit{Txs: []*types.Transaction{tx}}).Encode(nil)
+	start := time.Now()
+
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		c.sendSubmit(target, payload, needed, attempt)
+		code, ok := c.awaitReplies(tx.ID, needed, c.Timeout)
+		if !ok {
+			continue
+		}
+		switch code {
+		case types.SubmitCommitted:
+			return true, time.Since(start), nil
+		case types.SubmitRejected:
+			return false, time.Since(start), nil
+		case types.SubmitOverloaded:
+			return false, time.Since(start), ErrOverloaded
+		case types.SubmitExpired:
+			return false, time.Since(start), ErrExpired
+		}
+	}
+	return false, time.Since(start), fmt.Errorf("core: submit %s timed out after %d attempts", tx.ID, c.MaxAttempts)
+}
+
+// Transfer builds, submits, and waits — the gateway-path mirror of
+// Client.Transfer.
+func (c *GatewayClient) Transfer(ops []types.Op) (bool, time.Duration, error) {
+	return c.Submit(c.MakeTx(ops))
+}
+
+// sendSubmit offers the transaction to `needed` distinct gateways of the
+// target cluster, rotating the member window on retries so a crashed replica
+// does not wedge the client.
+func (c *GatewayClient) sendSubmit(target types.ClusterID, payload []byte, needed, attempt int) {
+	members := c.topo.Members(target)
+	base := c.sendTo[target] + attempt
+	if attempt > 0 {
+		c.sendTo[target] = base % len(members)
+	}
+	if needed > len(members) {
+		needed = len(members)
+	}
+	env := &types.Envelope{Type: types.MsgSubmit, From: c.id, Payload: payload}
+	for i := 0; i < needed; i++ {
+		c.net.Send(members[(base+i)%len(members)], env)
+	}
+}
+
+// awaitReplies drains the inbox until `needed` matching submit verdicts for
+// id arrive from distinct replicas, or the deadline passes. Admission
+// verdicts (Overloaded, Expired) return on the first reply: they are local
+// judgments, and waiting for a quorum of sheds would just burn the timeout.
+func (c *GatewayClient) awaitReplies(id types.TxID, needed int, timeout time.Duration) (types.SubmitCode, bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	votes := make(map[types.SubmitCode]map[types.NodeID]bool)
+	for {
+		select {
+		case env := <-c.inbox:
+			if env.Type != types.MsgSubmitReply {
+				continue
+			}
+			r, err := types.DecodeSubmitReply(env.Payload)
+			if err != nil || r.TxID != id || r.Replica != env.From {
+				continue
+			}
+			if r.Code == types.SubmitOverloaded || r.Code == types.SubmitExpired {
+				return r.Code, true
+			}
+			m, ok := votes[r.Code]
+			if !ok {
+				m = make(map[types.NodeID]bool)
+				votes[r.Code] = m
+			}
+			m[r.Replica] = true
+			if len(m) >= needed {
+				return r.Code, true
+			}
+		case <-deadline.C:
+			return 0, false
+		}
+	}
+}

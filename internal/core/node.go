@@ -10,6 +10,7 @@ import (
 	"sharper/internal/consensus"
 	"sharper/internal/crypto"
 	"sharper/internal/ledger"
+	"sharper/internal/mempool"
 	"sharper/internal/obs"
 	"sharper/internal/slasher"
 	"sharper/internal/state"
@@ -115,6 +116,13 @@ type NodeConfig struct {
 	// every transaction, 0 takes obs.DefaultTraceSample. Only consulted when
 	// Metrics is set.
 	TraceSample int
+
+	// Mempool bounds the client-ingress gateway's transaction pool (byte and
+	// count caps over pending + in-flight transactions, TTL, committed dedup
+	// window). Zero fields take the mempool package defaults. The gateway is
+	// always on: replicas of deployments that never submit through it just
+	// keep an empty pool.
+	Mempool mempool.Config
 }
 
 func (c *NodeConfig) fillDefaults() {
@@ -253,6 +261,9 @@ type Node struct {
 	crossWantsDrain bool
 
 	replyCache *consensus.ReplyCache
+	// gw is the client-ingress gateway (gateway.go): the mempool behind
+	// MsgSubmit and the commit-observation reply path.
+	gw *gateway
 	// inFlight dedups client retransmissions against proposals that are
 	// still working their way through consensus.
 	inFlight map[types.TxID]time.Time
@@ -338,6 +349,7 @@ func NewNode(cfg NodeConfig) *Node {
 		n.gauges = newNodeGauges(n.reg)
 		n.committedCtr = n.reg.Counter("committed_txs")
 	}
+	n.gw = newGateway(n, cfg.Mempool)
 	// The prepared callback is keyed by consensus seq; flushIntra binds the
 	// batch to its seq right after Propose, so by the time any quorum forms
 	// the binding exists.
@@ -669,6 +681,9 @@ func (n *Node) dispatch(env *types.Envelope, now time.Time) {
 	case types.MsgRequest:
 		n.onRequest(env, now)
 
+	case types.MsgSubmit:
+		n.gw.onSubmit(env, now)
+
 	case types.MsgPaxosAccept, types.MsgPrePrepare,
 		types.MsgViewChange, types.MsgNewView:
 		// An intra-shard proposal that would bind the chain slot a held
@@ -815,6 +830,13 @@ func (n *Node) tick(now time.Time) {
 	n.retryPendingApply(now)
 	n.maybeLaunch(now)
 	n.maybeSync(now)
+	if n.tickCount%64 == 0 {
+		// Expiry cadence for the ingest plane: pool TTL sweeps, and reply
+		// cache entries older than the mempool's committed dedup window
+		// (client retries arrive well inside it).
+		n.gw.sweep(now)
+		n.replyCache.Sweep(now.Add(-n.gw.pool.Config().CommittedWindow))
+	}
 	if n.cfg.Storage != nil {
 		// Fsync cadence is the store's own business (SyncGroup runs a
 		// background flusher); the loop only drives checkpoints.
@@ -1159,6 +1181,7 @@ func newNodeGauges(r *obs.Registry) *nodeGauges {
 // refreshGauges publishes the scheduler counters and queue depths; called
 // from tick and before answering a metrics fetch.
 func (n *Node) refreshGauges() {
+	n.gw.refreshGauges()
 	g := n.gauges
 	if g == nil {
 		return
@@ -1512,6 +1535,9 @@ func (n *Node) takeCrossBatch() []*types.Transaction {
 // transition is missed.
 func (n *Node) maybeLaunch(now time.Time) {
 	n.replayDeferred(now)
+	// The gateway pump runs before the launchers so drained transactions
+	// seal in the same turn they leave the pool.
+	n.pumpGateway(now)
 	n.launchCross(now)
 	n.flushIntra(now)
 }
@@ -1797,6 +1823,7 @@ func (n *Node) retryPendingApply(now time.Time) {
 // applies only once.
 func (n *Node) execute(tx *types.Transaction, valid bool) {
 	if r, done := n.replyCache.Get(tx.ID); done {
+		n.gw.observeCommit(tx, r)
 		n.cfg.Net.Send(tx.Client, &types.Envelope{
 			Type: types.MsgReply, From: n.cfg.Self, Payload: r.Encode(nil),
 		})
@@ -1814,6 +1841,7 @@ func (n *Node) execute(tx *types.Transaction, valid bool) {
 	n.committedCtr.Inc()
 	r := &types.Reply{TxID: tx.ID, Replica: n.cfg.Self, Committed: ok}
 	n.replyCache.Put(tx.ID, r)
+	n.gw.observeCommit(tx, r)
 	if n.tracer != nil {
 		n.tracer.Finish(tx.ID, time.Now())
 	}

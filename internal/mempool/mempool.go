@@ -1,0 +1,307 @@
+// Package mempool implements the per-shard transaction pool behind the
+// client-ingress gateway: digest-keyed admission with dedup against both
+// pending and recently-committed transactions, byte- and count-capped
+// pending pools, expiration windows, and FIFO draining toward the sealer.
+//
+// The pool's capacity accounting covers pending ∪ in-flight transactions:
+// a transaction drained toward the primary stays counted against the caps
+// until its commit is observed, so a stalled primary (e.g. the commit
+// pipeline's backpressure gate holding proposals) backs pressure all the way
+// up to the admitting gateways, whose Admit then sheds with Overloaded. The
+// byte cap is therefore a hard bound on gateway-held transaction memory, not
+// just on the queued tail.
+package mempool
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharper/internal/types"
+)
+
+// Code is the admission verdict for one offered transaction.
+type Code uint8
+
+// Admission outcomes.
+const (
+	Admitted   Code = iota // accepted into the pending pool
+	Duplicate              // already pending, in flight, or recently committed
+	Overloaded             // shed: pool at byte or count capacity
+	Expired                // client timestamp outside the TTL window
+)
+
+// Config bounds one pool. Zero values take the defaults below.
+type Config struct {
+	// MaxBytes caps the encoded size of pending + in-flight transactions.
+	MaxBytes int64
+	// MaxCount caps the number of pending + in-flight transactions.
+	MaxCount int
+	// TTL is how old a client timestamp may be at admission, and how long a
+	// pending transaction may wait before the sweep expires it.
+	TTL time.Duration
+	// CommittedWindow is how long committed digests are remembered for
+	// dedup after commit.
+	CommittedWindow time.Duration
+}
+
+// Defaults, sized after the knobs production pools expose (pending pool
+// bytes, propagation batch size, expiration deadline).
+const (
+	DefaultMaxBytes        = int64(16 << 20)
+	DefaultMaxCount        = 1 << 16
+	DefaultTTL             = 30 * time.Second
+	DefaultCommittedWindow = 30 * time.Second
+
+	// committedCap bounds the committed-digest dedup set independently of
+	// the time window, so a throughput burst cannot grow it without limit.
+	committedCap = 1 << 17
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.MaxCount <= 0 {
+		c.MaxCount = DefaultMaxCount
+	}
+	if c.TTL <= 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.CommittedWindow <= 0 {
+		c.CommittedWindow = DefaultCommittedWindow
+	}
+	return c
+}
+
+// entry is one pooled transaction with its admission bookkeeping.
+type entry struct {
+	tx       *types.Transaction
+	digest   types.Hash
+	size     int64
+	admitted time.Time
+}
+
+// committedEntry remembers one committed digest until its window expires.
+type committedEntry struct {
+	digest types.Hash
+	at     time.Time
+}
+
+// Pool is one gateway's transaction pool. Safe for concurrent use: the node
+// loop admits and drains while the commit pipeline's executor goroutine
+// marks commits.
+type Pool struct {
+	cfg Config
+
+	mu        sync.Mutex
+	pending   map[types.Hash]*entry // admitted, not yet drained
+	order     []*entry              // FIFO over pending (nil holes after removal)
+	head      int                   // first live index in order
+	inflight  map[types.Hash]*entry // drained toward the sealer, commit not yet seen
+	committed map[types.Hash]time.Time
+	comOrder  []committedEntry // FIFO over committed for window expiry
+	comHead   int
+
+	bytes int64 // pending + inflight encoded bytes
+	count int   // pending + inflight transactions
+
+	// queuedN mirrors len(pending) so the hot pump path can skip the mutex
+	// when the pool is idle.
+	queuedN atomic.Int64
+}
+
+// New returns an empty pool bounded by cfg.
+func New(cfg Config) *Pool {
+	return &Pool{
+		cfg:       cfg.withDefaults(),
+		pending:   make(map[types.Hash]*entry),
+		inflight:  make(map[types.Hash]*entry),
+		committed: make(map[types.Hash]time.Time),
+	}
+}
+
+// Config returns the bounds the pool runs with (defaults applied).
+func (p *Pool) Config() Config { return p.cfg }
+
+// txSize is the capacity cost of one transaction: its canonical encoding.
+func txSize(tx *types.Transaction) int64 {
+	return int64(len(tx.Encode(nil)))
+}
+
+// Admit offers tx to the pool and returns the admission verdict. Expired
+// wins over Duplicate and Overloaded so clients learn to refresh their
+// timestamp; Duplicate wins over Overloaded so re-submits of tracked work
+// never read as shed load.
+func (p *Pool) Admit(tx *types.Transaction, now time.Time) Code {
+	if age := now.UnixNano() - tx.Timestamp; age > p.cfg.TTL.Nanoseconds() {
+		return Expired
+	}
+	d := tx.Digest()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pending[d]; ok {
+		return Duplicate
+	}
+	if _, ok := p.inflight[d]; ok {
+		return Duplicate
+	}
+	if _, ok := p.committed[d]; ok {
+		return Duplicate
+	}
+	size := txSize(tx)
+	if p.count+1 > p.cfg.MaxCount || p.bytes+size > p.cfg.MaxBytes {
+		return Overloaded
+	}
+	e := &entry{tx: tx, digest: d, size: size, admitted: now}
+	p.pending[d] = e
+	p.order = append(p.order, e)
+	p.bytes += size
+	p.count++
+	p.queuedN.Store(int64(len(p.pending)))
+	return Admitted
+}
+
+// Drain pops up to max transactions from the pending FIFO and moves them to
+// the in-flight set (they stay counted against the caps until MarkCommitted
+// or an expiry sweep releases them). Returns nil when the pool is empty or
+// max is non-positive.
+func (p *Pool) Drain(max int) []*types.Transaction {
+	if max <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*types.Transaction
+	for p.head < len(p.order) && len(out) < max {
+		e := p.order[p.head]
+		p.order[p.head] = nil
+		p.head++
+		if e == nil || p.pending[e.digest] != e {
+			continue // removed by a sweep
+		}
+		delete(p.pending, e.digest)
+		p.inflight[e.digest] = e
+		out = append(out, e.tx)
+	}
+	p.compactLocked()
+	p.queuedN.Store(int64(len(p.pending)))
+	return out
+}
+
+// MarkCommitted records that the transaction with digest d committed (or was
+// ordered and rejected — either way it is settled): its capacity is released
+// and the digest enters the committed dedup window.
+func (p *Pool) MarkCommitted(d types.Hash, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.pending[d]; ok {
+		delete(p.pending, d)
+		p.queuedN.Store(int64(len(p.pending)))
+		p.releaseLocked(e)
+	} else if e, ok := p.inflight[d]; ok {
+		delete(p.inflight, d)
+		p.releaseLocked(e)
+	}
+	if _, ok := p.committed[d]; !ok {
+		p.committed[d] = now
+		p.comOrder = append(p.comOrder, committedEntry{digest: d, at: now})
+		// Hard cap: evict the oldest committed digests past capacity so a
+		// burst cannot grow the window without bound.
+		for len(p.comOrder)-p.comHead > committedCap {
+			old := p.comOrder[p.comHead]
+			p.comOrder[p.comHead] = committedEntry{}
+			p.comHead++
+			if at, ok := p.committed[old.digest]; ok && at.Equal(old.at) {
+				delete(p.committed, old.digest)
+			}
+		}
+	}
+}
+
+// releaseLocked returns e's capacity to the pool.
+func (p *Pool) releaseLocked(e *entry) {
+	p.bytes -= e.size
+	p.count--
+}
+
+// Sweep expires state by age: pending transactions older than the TTL are
+// removed and returned (the gateway answers their origins with Expired);
+// over-age in-flight entries are silently released (their commit reply, if
+// any, already went through the reply cache); committed digests past the
+// window are forgotten. Call it periodically from the node tick.
+func (p *Pool) Sweep(now time.Time) []*types.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var expired []*types.Transaction
+	cutoff := now.Add(-p.cfg.TTL)
+	for d, e := range p.pending {
+		if e.admitted.Before(cutoff) {
+			delete(p.pending, d)
+			p.releaseLocked(e)
+			expired = append(expired, e.tx)
+		}
+	}
+	p.queuedN.Store(int64(len(p.pending)))
+	for d, e := range p.inflight {
+		if e.admitted.Before(cutoff) {
+			delete(p.inflight, d)
+			p.releaseLocked(e)
+		}
+	}
+	comCutoff := now.Add(-p.cfg.CommittedWindow)
+	for p.comHead < len(p.comOrder) {
+		old := p.comOrder[p.comHead]
+		if !old.at.Before(comCutoff) {
+			break
+		}
+		p.comOrder[p.comHead] = committedEntry{}
+		p.comHead++
+		if at, ok := p.committed[old.digest]; ok && at.Equal(old.at) {
+			delete(p.committed, old.digest)
+		}
+	}
+	p.compactComLocked()
+	return expired
+}
+
+// compactLocked reclaims the consumed prefix of the pending FIFO.
+func (p *Pool) compactLocked() {
+	if p.head > 0 && (p.head >= len(p.order) || p.head > 4096) {
+		p.order = append(p.order[:0], p.order[p.head:]...)
+		p.head = 0
+	}
+}
+
+// compactComLocked reclaims the consumed prefix of the committed FIFO.
+func (p *Pool) compactComLocked() {
+	if p.comHead > 0 && (p.comHead >= len(p.comOrder) || p.comHead > 4096) {
+		p.comOrder = append(p.comOrder[:0], p.comOrder[p.comHead:]...)
+		p.comHead = 0
+	}
+}
+
+// PendingBytes returns the encoded size of pending + in-flight transactions.
+func (p *Pool) PendingBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// PendingCount returns the number of pending + in-flight transactions.
+func (p *Pool) PendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// QueuedCount returns the number of pending (not yet drained) transactions.
+func (p *Pool) QueuedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// HasQueued reports whether any transaction awaits draining, without taking
+// the pool lock (the node's pump runs after every dispatch).
+func (p *Pool) HasQueued() bool { return p.queuedN.Load() > 0 }

@@ -1,0 +1,167 @@
+package mempool
+
+import (
+	"testing"
+	"time"
+
+	"sharper/internal/types"
+)
+
+func mkTx(client types.NodeID, seq uint64, at time.Time) *types.Transaction {
+	return &types.Transaction{
+		ID:        types.TxID{Client: client, Seq: seq},
+		Client:    client,
+		Timestamp: at.UnixNano(),
+		Ops:       []types.Op{{From: 1, To: 2, Amount: 3}},
+		Involved:  types.NewClusterSet(0),
+	}
+}
+
+func TestAdmitDrainCommit(t *testing.T) {
+	now := time.Now()
+	p := New(Config{})
+	tx := mkTx(types.ClientIDBase, 1, now)
+	if c := p.Admit(tx, now); c != Admitted {
+		t.Fatalf("admit: got %d", c)
+	}
+	if c := p.Admit(tx, now); c != Duplicate {
+		t.Fatalf("re-admit pending: got %d, want Duplicate", c)
+	}
+	if n := p.PendingCount(); n != 1 {
+		t.Fatalf("pending count %d", n)
+	}
+	got := p.Drain(10)
+	if len(got) != 1 || got[0] != tx {
+		t.Fatalf("drain returned %v", got)
+	}
+	// In flight still counts against capacity and still dedups.
+	if n := p.PendingCount(); n != 1 {
+		t.Fatalf("inflight not counted: %d", n)
+	}
+	if c := p.Admit(tx, now); c != Duplicate {
+		t.Fatalf("re-admit inflight: got %d, want Duplicate", c)
+	}
+	p.MarkCommitted(tx.Digest(), now)
+	if n := p.PendingCount(); n != 0 {
+		t.Fatalf("capacity not released: %d", n)
+	}
+	if b := p.PendingBytes(); b != 0 {
+		t.Fatalf("bytes not released: %d", b)
+	}
+	// Committed window still dedups.
+	if c := p.Admit(tx, now); c != Duplicate {
+		t.Fatalf("re-admit committed: got %d, want Duplicate", c)
+	}
+	// Past the window the same digest admits again.
+	later := now.Add(2 * DefaultCommittedWindow)
+	p.Sweep(later)
+	tx2 := mkTx(types.ClientIDBase, 1, later)
+	if c := p.Admit(tx2, later); c != Admitted {
+		t.Fatalf("admit after window: got %d", c)
+	}
+}
+
+func TestCountCapSheds(t *testing.T) {
+	now := time.Now()
+	p := New(Config{MaxCount: 2})
+	for i := uint64(1); i <= 2; i++ {
+		if c := p.Admit(mkTx(types.ClientIDBase, i, now), now); c != Admitted {
+			t.Fatalf("admit %d: got %d", i, c)
+		}
+	}
+	if c := p.Admit(mkTx(types.ClientIDBase, 3, now), now); c != Overloaded {
+		t.Fatalf("over cap: got %d, want Overloaded", c)
+	}
+	// Draining does NOT free capacity — only commit observation does.
+	p.Drain(2)
+	if c := p.Admit(mkTx(types.ClientIDBase, 3, now), now); c != Overloaded {
+		t.Fatalf("inflight over cap: got %d, want Overloaded", c)
+	}
+	p.MarkCommitted(mkTx(types.ClientIDBase, 1, now).Digest(), now)
+	if c := p.Admit(mkTx(types.ClientIDBase, 3, now), now); c != Admitted {
+		t.Fatalf("after release: got %d", c)
+	}
+}
+
+func TestByteCapSheds(t *testing.T) {
+	now := time.Now()
+	one := mkTx(types.ClientIDBase, 1, now)
+	size := int64(len(one.Encode(nil)))
+	p := New(Config{MaxBytes: 2*size + 1})
+	if c := p.Admit(one, now); c != Admitted {
+		t.Fatalf("admit 1: %d", c)
+	}
+	if c := p.Admit(mkTx(types.ClientIDBase, 2, now), now); c != Admitted {
+		t.Fatalf("admit 2: %d", c)
+	}
+	if c := p.Admit(mkTx(types.ClientIDBase, 3, now), now); c != Overloaded {
+		t.Fatalf("over byte cap: got %d, want Overloaded", c)
+	}
+	if b := p.PendingBytes(); b > 2*size+1 {
+		t.Fatalf("byte cap exceeded: %d > %d", b, 2*size+1)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	now := time.Now()
+	p := New(Config{TTL: time.Second})
+	stale := mkTx(types.ClientIDBase, 1, now.Add(-2*time.Second))
+	if c := p.Admit(stale, now); c != Expired {
+		t.Fatalf("stale admit: got %d, want Expired", c)
+	}
+	fresh := mkTx(types.ClientIDBase, 2, now)
+	if c := p.Admit(fresh, now); c != Admitted {
+		t.Fatalf("fresh admit: %d", c)
+	}
+	exp := p.Sweep(now.Add(5 * time.Second))
+	if len(exp) != 1 || exp[0] != fresh {
+		t.Fatalf("sweep returned %v", exp)
+	}
+	if n := p.PendingCount(); n != 0 {
+		t.Fatalf("sweep left %d counted", n)
+	}
+	// Expired-in-flight entries release capacity too.
+	tx3 := mkTx(types.ClientIDBase, 3, now.Add(5*time.Second))
+	if c := p.Admit(tx3, now.Add(5*time.Second)); c != Admitted {
+		t.Fatalf("admit 3: %d", c)
+	}
+	p.Drain(1)
+	p.Sweep(now.Add(20 * time.Second))
+	if n := p.PendingCount(); n != 0 {
+		t.Fatalf("inflight expiry left %d counted", n)
+	}
+}
+
+func TestDrainFIFO(t *testing.T) {
+	now := time.Now()
+	p := New(Config{})
+	for i := uint64(1); i <= 5; i++ {
+		p.Admit(mkTx(types.ClientIDBase, i, now), now)
+	}
+	got := p.Drain(3)
+	if len(got) != 3 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, tx := range got {
+		if tx.ID.Seq != uint64(i+1) {
+			t.Fatalf("drain order: pos %d got seq %d", i, tx.ID.Seq)
+		}
+	}
+	if n := p.QueuedCount(); n != 2 {
+		t.Fatalf("queued after drain: %d", n)
+	}
+}
+
+func TestCommittedWindowHardCap(t *testing.T) {
+	now := time.Now()
+	p := New(Config{})
+	for i := 0; i < committedCap+100; i++ {
+		p.MarkCommitted(mkTx(types.ClientIDBase, uint64(i+1), now).Digest(), now)
+	}
+	p.mu.Lock()
+	n := len(p.committed)
+	p.mu.Unlock()
+	if n > committedCap {
+		t.Fatalf("committed set %d exceeds cap %d", n, committedCap)
+	}
+}

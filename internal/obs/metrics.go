@@ -116,3 +116,30 @@ func (m *StoreMetrics) Ckpt() *Counter {
 	}
 	return m.Checkpoints
 }
+
+// MempoolMetrics instruments the client-ingress gateway and its mempool.
+type MempoolMetrics struct {
+	Admitted     *Counter   // transactions admitted into the pending pool
+	Deduped      *Counter   // submits dropped as duplicates (pending/inflight/committed)
+	Expired      *Counter   // submits rejected or swept for stale timestamps
+	Shed         *Counter   // submits shed with Overloaded (pool at capacity)
+	PendingBytes *Gauge     // encoded bytes pending + in flight
+	PendingCount *Gauge     // transactions pending + in flight
+	IngestMicros *Histogram // client timestamp → mempool admission latency
+}
+
+// NewMempoolMetrics registers the gateway/mempool series. Nil registry → nil.
+func NewMempoolMetrics(r *Registry) *MempoolMetrics {
+	if r == nil {
+		return nil
+	}
+	return &MempoolMetrics{
+		Admitted:     r.Counter("mempool_admitted"),
+		Deduped:      r.Counter("mempool_deduped"),
+		Expired:      r.Counter("mempool_expired"),
+		Shed:         r.Counter("mempool_shed"),
+		PendingBytes: r.Gauge("mempool_pending_bytes"),
+		PendingCount: r.Gauge("mempool_pending_count"),
+		IngestMicros: r.Histogram("mempool_ingest_us"),
+	}
+}

@@ -138,6 +138,27 @@ func FuzzDecodeReply(f *testing.F) {
 	})
 }
 
+func FuzzDecodeSubmit(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Submit{Via: 0, Txs: []*Transaction{fuzzTx(1)}}).Encode(nil))
+	f.Add((&Submit{Via: 5, Txs: []*Transaction{fuzzTx(2), fuzzTx(3)}}).Encode(nil))
+	f.Add((&SubmitReply{TxID: TxID{Client: ClientIDBase + 1, Seq: 9}, Replica: 2, Code: SubmitOverloaded}).Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if s, err := DecodeSubmit(b); err == nil {
+			enc := s.Encode(nil)
+			if !bytes.Equal(enc, b[:len(enc)]) {
+				t.Fatalf("submit re-encode mismatch")
+			}
+		}
+		if r, err := DecodeSubmitReply(b); err == nil {
+			enc := r.Encode(nil)
+			if !bytes.Equal(enc, b[:len(enc)]) {
+				t.Fatalf("submit-reply re-encode mismatch")
+			}
+		}
+	})
+}
+
 func FuzzDecodeSchedStats(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&SchedStats{Node: 3, Proposes: 7, Grants: 2, LeadsInFlight: 4, DefersAvoided: 11}).Encode(nil))

@@ -92,6 +92,13 @@ const (
 	// pair to keep existing wire values stable.
 	MsgStateRequest
 	MsgStateResponse
+
+	// Client ingress: a transaction batch submitted to a gateway replica for
+	// mempool admission (client → gateway, or gateway → primary propagation
+	// batch), and the gateway's per-transaction outcome reply. Appended after
+	// the state pair to keep existing wire values stable.
+	MsgSubmit
+	MsgSubmitReply
 )
 
 var msgNames = map[MsgType]string{
@@ -110,6 +117,7 @@ var msgNames = map[MsgType]string{
 	MsgFraudProof: "fraud-proof", MsgEvidenceRequest: "evidence-req", MsgEvidenceResponse: "evidence-resp",
 	MsgMetricsRequest: "metrics-req", MsgMetricsResponse: "metrics-resp",
 	MsgStateRequest: "state-req", MsgStateResponse: "state-resp",
+	MsgSubmit: "submit", MsgSubmitReply: "submit-reply",
 }
 
 func (m MsgType) String() string {
@@ -262,6 +270,98 @@ func DecodeReply(b []byte) (*Reply, error) {
 	r.Replica = NodeID(binary.LittleEndian.Uint32(b[12:]))
 	r.Committed = b[16] == 1
 	r.Result = int64(binary.LittleEndian.Uint64(b[17:]))
+	return r, nil
+}
+
+// Submit is the client-ingress payload: a batch of transactions offered to a
+// gateway replica for mempool admission. Via distinguishes the two hops of
+// the ingest path: zero means a direct client submit (the receiver owes the
+// client a SubmitReply per transaction), nonzero names the gateway replica
+// that already admitted the batch and is propagating it to its primary for
+// ordering (no reply owed — the origin gateway answers the client from its
+// own commit observation).
+type Submit struct {
+	Via NodeID
+	Txs []*Transaction
+}
+
+// Encode appends the canonical encoding.
+func (s *Submit) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Via))
+	return EncodeTxBatch(dst, s.Txs)
+}
+
+// DecodeSubmit parses a Submit.
+func DecodeSubmit(b []byte) (*Submit, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("types: short submit")
+	}
+	s := &Submit{Via: NodeID(binary.LittleEndian.Uint32(b))}
+	txs, _, err := decodeTxBatch(b[4:])
+	if err != nil {
+		return nil, err
+	}
+	s.Txs = txs
+	return s, nil
+}
+
+// SubmitCode is the gateway's admission/commit verdict for one submitted
+// transaction.
+type SubmitCode uint8
+
+// Submit outcomes. Committed/Rejected arrive after ordering and execution;
+// Overloaded and Expired are immediate admission-control verdicts (the client
+// should back off, or re-issue with a fresh timestamp, respectively).
+const (
+	SubmitCommitted  SubmitCode = iota // ordered, executed, and applied
+	SubmitRejected                     // ordered but failed validation
+	SubmitOverloaded                   // shed: pending pool at capacity
+	SubmitExpired                      // timestamp outside the mempool TTL
+)
+
+func (c SubmitCode) String() string {
+	switch c {
+	case SubmitCommitted:
+		return "committed"
+	case SubmitRejected:
+		return "rejected"
+	case SubmitOverloaded:
+		return "overloaded"
+	case SubmitExpired:
+		return "expired"
+	}
+	return fmt.Sprintf("SubmitCode(%d)", uint8(c))
+}
+
+// SubmitReply is a gateway's per-transaction response to a Submit.
+type SubmitReply struct {
+	TxID    TxID
+	Replica NodeID
+	Code    SubmitCode
+}
+
+// Encode appends the canonical encoding (fixed 17 bytes).
+func (r *SubmitReply) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.TxID.Client))
+	dst = binary.LittleEndian.AppendUint64(dst, r.TxID.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Replica))
+	dst = append(dst, byte(r.Code))
+	return dst
+}
+
+// DecodeSubmitReply parses a SubmitReply.
+func DecodeSubmitReply(b []byte) (*SubmitReply, error) {
+	if len(b) < 4+8+4+1 {
+		return nil, fmt.Errorf("types: short submit reply")
+	}
+	r := &SubmitReply{}
+	r.TxID.Client = NodeID(binary.LittleEndian.Uint32(b))
+	r.TxID.Seq = binary.LittleEndian.Uint64(b[4:])
+	r.Replica = NodeID(binary.LittleEndian.Uint32(b[12:]))
+	if b[16] > byte(SubmitExpired) {
+		return nil, fmt.Errorf("types: bad submit reply code %d", b[16])
+	}
+	r.Code = SubmitCode(b[16])
 	return r, nil
 }
 

@@ -414,6 +414,60 @@ func (c *Client) Submit(ops []Op) (Result, error) {
 	}, err
 }
 
+// Submit outcomes surfaced by gateway clients.
+var (
+	// ErrOverloaded: the gateway's mempool shed the submit under admission
+	// control; back off and retry later.
+	ErrOverloaded = core.ErrOverloaded
+	// ErrExpired: the transaction's timestamp fell outside the mempool TTL;
+	// re-issue with a fresh timestamp.
+	ErrExpired = core.ErrExpired
+)
+
+// GatewayClient issues transactions through the client-ingress plane
+// (MsgSubmit → per-shard mempool → sealer) instead of the direct request
+// path: submits are routed shard-aware to the owning cluster's gateways,
+// admitted into byte- and count-capped pools, and answered per transaction —
+// including explicit Overloaded / Expired verdicts when admission control
+// sheds. Create one per concurrent goroutine, like Client.
+type GatewayClient struct {
+	n *Network
+	c *core.GatewayClient
+}
+
+// NewGatewayClient registers a new gateway-client endpoint.
+func (n *Network) NewGatewayClient() *GatewayClient {
+	return &GatewayClient{n: n, c: n.d.NewGatewayClient()}
+}
+
+// SetRetry adjusts the client's per-attempt reply timeout and its attempt
+// budget (default 2s × 8), like Client.SetRetry.
+func (c *GatewayClient) SetRetry(timeout time.Duration, attempts int) {
+	if timeout > 0 {
+		c.c.Timeout = timeout
+	}
+	if attempts > 0 {
+		c.c.MaxAttempts = attempts
+	}
+}
+
+// Transfer moves amount between accounts through the gateway path.
+func (c *GatewayClient) Transfer(from, to AccountID, amount int64) (Result, error) {
+	return c.Submit([]Op{{From: from, To: to, Amount: amount}})
+}
+
+// Submit executes a multi-op transaction atomically through the gateway
+// path. Admission sheds return ErrOverloaded or ErrExpired.
+func (c *GatewayClient) Submit(ops []Op) (Result, error) {
+	tx := c.c.MakeTx(ops)
+	committed, lat, err := c.c.Submit(tx)
+	return Result{
+		Committed:  committed,
+		CrossShard: tx.IsCrossShard(),
+		Latency:    lat,
+	}, err
+}
+
 // Plan is a cluster layout, possibly heterogeneous (§3.4): groups with
 // known, different fault bounds yield more clusters than a single global f.
 type Plan struct {
